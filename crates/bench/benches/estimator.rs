@@ -1,0 +1,40 @@
+//! Ablation: update cost of the load estimators (paper §3.4) — these run on
+//! LVRM's hot dispatch path once per frame.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lvrm_core::estimate::{EwmaInterArrival, EwmaQueueLength, LoadEstimator};
+use lvrm_metrics::RateEstimator;
+
+fn estimators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimator/update");
+    g.throughput(Throughput::Elements(1));
+    let mut t = 0u64;
+    let mut ql = EwmaQueueLength::new(7.0);
+    g.bench_with_input(BenchmarkId::from_parameter("ewma-queue-length"), &(), |b, _| {
+        b.iter(|| {
+            t += 1_000;
+            ql.on_dispatch(std::hint::black_box(5), t);
+            std::hint::black_box(ql.estimate())
+        });
+    });
+    let mut ia = EwmaInterArrival::new(7.0);
+    g.bench_with_input(BenchmarkId::from_parameter("ewma-inter-arrival"), &(), |b, _| {
+        b.iter(|| {
+            t += 1_000;
+            ia.on_dispatch(std::hint::black_box(5), t);
+            std::hint::black_box(ia.estimate())
+        });
+    });
+    let mut rate = RateEstimator::new(100_000_000, 1.0);
+    g.bench_with_input(BenchmarkId::from_parameter("arrival-rate"), &(), |b, _| {
+        b.iter(|| {
+            t += 1_000;
+            rate.record(t);
+            std::hint::black_box(rate.rate_per_sec())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, estimators);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Ablation: lock-free vs lock-based IPC queues (paper §3.5).
+//!
+//! The paper asserts lock-free synchronization "is more efficient than the
+//! lock-based synchronization"; this bench quantifies it for the three
+//! shipped implementations, same-thread (pure queue cost) and cross-thread
+//! (cache-coherence cost included).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lvrm_ipc::{queue, Full, QueueKind};
+
+fn same_thread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipc_queue/same_thread");
+    g.throughput(Throughput::Elements(1));
+    for kind in QueueKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let (mut tx, mut rx) = queue::<u64>(kind, 1024);
+            b.iter(|| {
+                tx.try_send(std::hint::black_box(42)).unwrap();
+                std::hint::black_box(rx.try_recv().unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn cross_thread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipc_queue/cross_thread_100k");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(100_000));
+    for kind in QueueKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let (mut tx, mut rx) = queue::<u64>(kind, 1024);
+                let producer = std::thread::spawn(move || {
+                    for i in 0..100_000u64 {
+                        let mut v = i;
+                        loop {
+                            match tx.try_send(v) {
+                                Ok(()) => break,
+                                Err(Full(back)) => {
+                                    v = back;
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                });
+                let mut got = 0u64;
+                while got < 100_000 {
+                    if rx.try_recv().is_some() {
+                        got += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                producer.join().unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Two-thread ping-pong: the microcosm of Experiment 1e's control-message
+/// latency. One round trip = two queue traversals + two cache handovers.
+fn ping_pong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipc_queue/ping_pong_1k_roundtrips");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1_000));
+    for kind in QueueKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let (mut ping_tx, mut ping_rx) = queue::<u64>(kind, 16);
+                let (mut pong_tx, mut pong_rx) = queue::<u64>(kind, 16);
+                let echo = std::thread::spawn(move || {
+                    for _ in 0..1_000u32 {
+                        loop {
+                            if let Some(v) = ping_rx.try_recv() {
+                                while pong_tx.try_send(v).is_err() {
+                                    std::hint::spin_loop();
+                                }
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+                for i in 0..1_000u64 {
+                    while ping_tx.try_send(i).is_err() {
+                        std::hint::spin_loop();
+                    }
+                    loop {
+                        if let Some(v) = pong_rx.try_recv() {
+                            assert_eq!(v, i);
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+                echo.join().unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, same_thread, cross_thread, ping_pong);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end micro-benchmark of the LVRM-only pipeline (the measured side
+//! of Experiments 1c/1d): frames from RAM through the real monitor, one
+//! in-process VRI, and back — per-frame cost of the whole relay path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lvrm_core::clock::ManualClock;
+use lvrm_core::host::RecordingHost;
+use lvrm_core::topology::{AffinityMode, CoreId, CoreMap, CoreTopology};
+use lvrm_core::{Lvrm, LvrmConfig};
+use lvrm_net::{Trace, TraceSpec};
+use std::net::Ipv4Addr;
+
+fn pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lvrm_pipeline/relay");
+    g.throughput(Throughput::Elements(1));
+    for (name, wire) in [("84B", 84usize), ("1538B", 1538)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &wire, |b, &wire| {
+            let clock = ManualClock::new();
+            let cores = CoreMap::new(
+                CoreTopology::dual_quad_xeon(),
+                CoreId(0),
+                AffinityMode::SiblingFirst,
+            );
+            let mut lvrm = Lvrm::new(LvrmConfig::default(), cores, clock.clone());
+            let mut host = RecordingHost::default();
+            let routes = lvrm_router::parse_map_file("0.0.0.0/0 1\n").unwrap();
+            let _ = lvrm.add_vr(
+                "vr0",
+                &[(Ipv4Addr::new(10, 0, 1, 0), 24)],
+                Box::new(lvrm_router::FastVr::new("cpp", routes)),
+                &mut host,
+            );
+            let mut trace = Trace::generate(&TraceSpec::new(wire, 64));
+            let mut out = Vec::with_capacity(16);
+            b.iter(|| {
+                clock.advance_ns(1_000);
+                lvrm.ingress(trace.next_frame(), &mut host);
+                host.pump();
+                out.clear();
+                lvrm.poll_egress(&mut out);
+                std::hint::black_box(out.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

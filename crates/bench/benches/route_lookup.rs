@@ -1,0 +1,61 @@
+//! Ablation: LPM trie vs linear route list for the VR route tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lvrm_router::{Route, RouteTable};
+use std::net::Ipv4Addr;
+
+fn routes(n: u32) -> Vec<Route> {
+    (0..n)
+        .map(|i| Route {
+            prefix: Ipv4Addr::new(10, (i >> 8) as u8, (i & 0xff) as u8, 0),
+            len: 24,
+            iface: (i % 4) as u16,
+            next_hop: None,
+        })
+        .collect()
+}
+
+fn linear_lookup(routes: &[Route], dst: Ipv4Addr) -> Option<u16> {
+    let d = u32::from(dst);
+    routes
+        .iter()
+        .filter(|r| {
+            let mask = if r.len == 0 { 0 } else { u32::MAX << (32 - r.len) };
+            u32::from(r.prefix) & mask == d & mask
+        })
+        .max_by_key(|r| r.len)
+        .map(|r| r.iface)
+}
+
+fn lookup(c: &mut Criterion) {
+    for n in [8u32, 64, 512] {
+        let rs = routes(n);
+        let mut g = c.benchmark_group(format!("route_lookup/{n}_routes"));
+        g.throughput(Throughput::Elements(1));
+
+        let mut trie = RouteTable::new();
+        for r in &rs {
+            trie.insert(*r);
+        }
+        let mut i = 0u32;
+        g.bench_with_input(BenchmarkId::from_parameter("trie"), &(), |b, _| {
+            b.iter(|| {
+                let dst = Ipv4Addr::new(10, ((i >> 8) % 4) as u8, (i & 0xff) as u8, 9);
+                i = i.wrapping_add(1);
+                std::hint::black_box(trie.lookup(dst).map(|r| r.iface))
+            });
+        });
+        let mut j = 0u32;
+        g.bench_with_input(BenchmarkId::from_parameter("linear"), &(), |b, _| {
+            b.iter(|| {
+                let dst = Ipv4Addr::new(10, ((j >> 8) % 4) as u8, (j & 0xff) as u8, 9);
+                j = j.wrapping_add(1);
+                std::hint::black_box(linear_lookup(&rs, dst))
+            });
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, lookup);
+criterion_main!(benches);

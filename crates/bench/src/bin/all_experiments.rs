@@ -1,0 +1,49 @@
+//! Run every experiment binary in sequence (Chapter 4, end to end).
+//!
+//! ```sh
+//! cargo run --release -p lvrm-bench --bin all_experiments
+//! LVRM_EXP_FULL=1 cargo run --release -p lvrm-bench --bin all_experiments  # paper-scale
+//! ```
+//!
+//! Tables print to stdout and are saved as JSON under `target/experiments/`.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp1a", "exp1a_cpu", "exp1b", "exp1c", "exp1d", "exp1e",
+    "exp2a", "exp2b", "exp2c", "exp2d", "exp2e",
+    "exp3a", "exp3b", "exp3c", "exp4",
+    "exp_ablation_alloc",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    let t0 = std::time::Instant::now();
+    for exp in EXPERIMENTS {
+        let path = bin_dir.join(exp);
+        eprintln!("\n########## {exp} ##########");
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{exp} exited with {s}");
+                failures.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("{exp} failed to launch ({e}); build with `cargo build --release -p lvrm-bench --bins` first");
+                failures.push(*exp);
+            }
+        }
+    }
+    eprintln!(
+        "\nall experiments done in {:.1} s; results under {}",
+        t0.elapsed().as_secs_f64(),
+        lvrm_bench::out_dir().display()
+    );
+    if !failures.is_empty() {
+        eprintln!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,398 @@
+//! Parser for the Click configuration language subset.
+//!
+//! Supported grammar (a faithful subset of Click's):
+//!
+//! ```text
+//! config     := statement (';' statement)* ';'?
+//! statement  := chain
+//! chain      := endpoint ('->' endpoint)*
+//! endpoint   := ['[' PORT ']'] core ['[' PORT ']']
+//! core       := NAME '::' CLASS args?      // named declaration (inline ok)
+//!             | CLASS args?                // anonymous declaration
+//!             | NAME                       // reference to earlier decl
+//! args       := '(' raw-text-with-balanced-parens ')'
+//! ```
+//!
+//! Comments: `//` to end of line and `/* ... */`. Argument text is split on
+//! top-level commas and passed to the element constructors verbatim, so
+//! patterns like `Classifier(ip proto tcp, -)` work. A leading `[n]` binds
+//! the *input* port of the endpoint; a trailing `[n]` binds its *output*
+//! port, as in Click (`a [1] -> [0] b`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed element declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decl {
+    /// Instance name (auto-generated `__anon<N>` for anonymous elements).
+    pub name: String,
+    /// Element class, e.g. `FromDevice`.
+    pub class: String,
+    /// Raw argument strings, split on top-level commas and trimmed.
+    pub args: Vec<String>,
+}
+
+/// A parsed connection `from[out_port] -> [in_port]to`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Link {
+    pub from: String,
+    pub out_port: usize,
+    pub to: String,
+    pub in_port: usize,
+}
+
+/// Parse result: declarations in order plus the connection list.
+#[derive(Clone, Debug, Default)]
+pub struct ConfigAst {
+    pub decls: Vec<Decl>,
+    pub links: Vec<Link>,
+}
+
+/// Configuration parse error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "click config error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ConfigError> {
+    Err(ConfigError(msg.into()))
+}
+
+/// Strip `//` and `/* */` comments.
+fn strip_comments(text: &str) -> Result<String, ConfigError> {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '/' {
+            match chars.peek() {
+                Some('/') => {
+                    for c2 in chars.by_ref() {
+                        if c2 == '\n' {
+                            out.push('\n');
+                            break;
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    let mut closed = false;
+                    while let Some(c2) = chars.next() {
+                        if c2 == '*' && chars.peek() == Some(&'/') {
+                            chars.next();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return err("unterminated /* comment");
+                    }
+                    out.push(' ');
+                }
+                _ => out.push(c),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Split on `sep` at paren/bracket depth zero.
+fn split_top_level(text: &str, sep: char) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in text.chars() {
+        match c {
+            '(' | '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' | ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            c if c == sep && depth == 0 => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    parts
+}
+
+/// Split a chain on `->` at top level.
+fn split_arrows(text: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            '-' if depth == 0 && i + 1 < bytes.len() && bytes[i + 1] == '>' => {
+                parts.push(std::mem::take(&mut cur));
+                i += 2;
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+        i += 1;
+    }
+    parts.push(cur);
+    parts
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().unwrap().is_ascii_alphabetic()
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One endpoint after port extraction.
+struct Endpoint {
+    name: String,
+    in_port: usize,
+    out_port: usize,
+}
+
+struct Parser {
+    ast: ConfigAst,
+    known: HashMap<String, usize>,
+    anon_counter: usize,
+}
+
+impl Parser {
+    fn declare(&mut self, name: String, class: String, args: Vec<String>) -> Result<(), ConfigError> {
+        if self.known.contains_key(&name) {
+            return err(format!("element {name:?} declared twice"));
+        }
+        self.known.insert(name.clone(), self.ast.decls.len());
+        self.ast.decls.push(Decl { name, class, args });
+        Ok(())
+    }
+
+    /// Parse an endpoint: `[in] core [out]` where core is a decl or reference.
+    fn parse_endpoint(&mut self, raw: &str) -> Result<Endpoint, ConfigError> {
+        let mut s = raw.trim();
+        let mut in_port = 0usize;
+        let mut out_port = 0usize;
+        // Leading [n] = input port.
+        if let Some(rest) = s.strip_prefix('[') {
+            let close = rest
+                .find(']')
+                .ok_or_else(|| ConfigError(format!("unclosed input port in {raw:?}")))?;
+            in_port = rest[..close]
+                .trim()
+                .parse()
+                .map_err(|_| ConfigError(format!("bad input port in {raw:?}")))?;
+            s = rest[close + 1..].trim_start();
+        }
+        // Trailing [n] = output port (only when it is not part of args).
+        if s.ends_with(']') {
+            if let Some(open) = s.rfind('[') {
+                let inner = &s[open + 1..s.len() - 1];
+                out_port = inner
+                    .trim()
+                    .parse()
+                    .map_err(|_| ConfigError(format!("bad output port in {raw:?}")))?;
+                s = s[..open].trim_end();
+            }
+        }
+        let s = s.trim();
+        if s.is_empty() {
+            return err(format!("empty endpoint in {raw:?}"));
+        }
+
+        // Inline named declaration: NAME :: CLASS(args)
+        if let Some((name_part, class_part)) = s.split_once("::") {
+            let name = name_part.trim().to_string();
+            if !is_ident(&name) {
+                return err(format!("bad element name {name:?}"));
+            }
+            let (class, args) = parse_class_args(class_part.trim())?;
+            self.declare(name.clone(), class, args)?;
+            return Ok(Endpoint { name, in_port, out_port });
+        }
+
+        // Plain reference to an existing element.
+        if is_ident(s) && self.known.contains_key(s) {
+            return Ok(Endpoint { name: s.to_string(), in_port, out_port });
+        }
+
+        // Anonymous declaration: CLASS or CLASS(args). Classes start uppercase.
+        let (class, args) = parse_class_args(s)?;
+        if !class.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            return err(format!("unknown element {class:?} (references must be declared first)"));
+        }
+        let name = format!("__anon{}", self.anon_counter);
+        self.anon_counter += 1;
+        self.declare(name.clone(), class, args)?;
+        Ok(Endpoint { name, in_port, out_port })
+    }
+
+    fn parse_statement(&mut self, stmt: &str) -> Result<(), ConfigError> {
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            return Ok(());
+        }
+        let segments = split_arrows(stmt);
+        let mut prev: Option<Endpoint> = None;
+        for seg in &segments {
+            let ep = self.parse_endpoint(seg)?;
+            if let Some(p) = prev {
+                self.ast.links.push(Link {
+                    from: p.name,
+                    out_port: p.out_port,
+                    to: ep.name.clone(),
+                    in_port: ep.in_port,
+                });
+            }
+            prev = Some(ep);
+        }
+        Ok(())
+    }
+}
+
+/// Parse `CLASS` or `CLASS(arg, arg)` into (class, args).
+fn parse_class_args(s: &str) -> Result<(String, Vec<String>), ConfigError> {
+    if let Some(open) = s.find('(') {
+        if !s.ends_with(')') {
+            return err(format!("unbalanced parentheses in {s:?}"));
+        }
+        let class = s[..open].trim().to_string();
+        if !is_ident(&class) {
+            return err(format!("bad element class {class:?}"));
+        }
+        let inner = &s[open + 1..s.len() - 1];
+        let args = if inner.trim().is_empty() {
+            Vec::new()
+        } else {
+            split_top_level(inner, ',').into_iter().map(|a| a.trim().to_string()).collect()
+        };
+        Ok((class, args))
+    } else {
+        if !is_ident(s) {
+            return err(format!("bad element class {s:?}"));
+        }
+        Ok((s.to_string(), Vec::new()))
+    }
+}
+
+/// Parse Click configuration text into an AST.
+pub fn parse_config(text: &str) -> Result<ConfigAst, ConfigError> {
+    let clean = strip_comments(text)?;
+    let mut p = Parser { ast: ConfigAst::default(), known: HashMap::new(), anon_counter: 0 };
+    for stmt in split_top_level(&clean, ';') {
+        p.parse_statement(&stmt)?;
+    }
+    if p.ast.decls.is_empty() {
+        return err("configuration declares no elements");
+    }
+    Ok(p.ast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_forwarding_chain() {
+        let ast = parse_config("FromDevice(0) -> ToDevice(1);").unwrap();
+        assert_eq!(ast.decls.len(), 2);
+        assert_eq!(ast.decls[0].class, "FromDevice");
+        assert_eq!(ast.decls[0].args, vec!["0"]);
+        assert_eq!(ast.links.len(), 1);
+        assert_eq!(ast.links[0].from, "__anon0");
+        assert_eq!(ast.links[0].to, "__anon1");
+    }
+
+    #[test]
+    fn named_declarations_and_references() {
+        let ast = parse_config(
+            "in :: FromDevice(0);\nout :: ToDevice(1);\nin -> Counter -> out;",
+        )
+        .unwrap();
+        assert_eq!(ast.decls.len(), 3);
+        assert_eq!(ast.links.len(), 2);
+        assert_eq!(ast.links[0].from, "in");
+        assert_eq!(ast.links[1].to, "out");
+    }
+
+    #[test]
+    fn ports_parse_on_both_sides() {
+        let ast = parse_config(
+            "cl :: Classifier(ip proto tcp, -); a :: Counter; b :: Counter;\n\
+             cl[0] -> a; cl[1] -> [0]b;",
+        )
+        .unwrap();
+        let l0 = &ast.links[0];
+        assert_eq!((l0.from.as_str(), l0.out_port, l0.to.as_str(), l0.in_port), ("cl", 0, "a", 0));
+        let l1 = &ast.links[1];
+        assert_eq!((l1.from.as_str(), l1.out_port), ("cl", 1));
+    }
+
+    #[test]
+    fn args_with_commas_and_spaces() {
+        let ast = parse_config("cl :: Classifier(ip proto tcp, ip proto udp, -);").unwrap();
+        assert_eq!(ast.decls[0].args, vec!["ip proto tcp", "ip proto udp", "-"]);
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let ast = parse_config(
+            "// entry\nFromDevice(0) /* nic 0 */ -> ToDevice(1); // done",
+        )
+        .unwrap();
+        assert_eq!(ast.decls.len(), 2);
+    }
+
+    #[test]
+    fn inline_declaration_in_chain() {
+        let ast = parse_config("src :: FromDevice(0) -> sink :: Discard;").unwrap();
+        assert_eq!(ast.decls.len(), 2);
+        assert_eq!(ast.decls[1].name, "sink");
+        assert_eq!(ast.links[0].to, "sink");
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let e = parse_config("a :: Counter; a :: Counter;").unwrap_err();
+        assert!(e.0.contains("twice"));
+    }
+
+    #[test]
+    fn undeclared_lowercase_reference_rejected() {
+        let e = parse_config("a :: Counter; a -> b;").unwrap_err();
+        assert!(e.0.contains("unknown element"));
+    }
+
+    #[test]
+    fn unterminated_comment_rejected() {
+        assert!(parse_config("a :: Counter; /* oops").is_err());
+    }
+
+    #[test]
+    fn empty_config_rejected() {
+        assert!(parse_config("  // nothing\n").is_err());
+    }
+
+    #[test]
+    fn lookup_route_args_keep_slashes() {
+        let ast =
+            parse_config("rt :: LookupIPRoute(10.0.2.0/24 0, 0.0.0.0/0 1);").unwrap();
+        assert_eq!(ast.decls[0].args, vec!["10.0.2.0/24 0", "0.0.0.0/0 1"]);
+    }
+}

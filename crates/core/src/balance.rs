@@ -1,0 +1,353 @@
+//! Load balancing among the VRIs of a VR (paper §3.3, Fig. 3.3).
+//!
+//! Three base policies — join-the-shortest-queue, round-robin, random —
+//! each usable *frame-based* (every frame balanced independently) or
+//! *flow-based* (the first frame of a flow is balanced, later frames follow
+//! it via the connection-tracking [`FlowTable`], avoiding intra-flow
+//! reordering).
+
+use lvrm_net::{FlowKey, Frame};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::flowtable::FlowTable;
+use crate::VriId;
+
+/// Everything a balancer may consult for one decision. Slots are parallel
+/// arrays: `vris[i]` has estimated load `loads[i]`; `valid[i]` is false for
+/// slots that must not receive traffic (dead or saturated VRIs — the
+/// pseudocode's "valid VRI" check).
+pub struct BalanceCtx<'a> {
+    pub vris: &'a [VriId],
+    pub loads: &'a [f64],
+    pub valid: &'a [bool],
+    pub now_ns: u64,
+}
+
+impl BalanceCtx<'_> {
+    fn slot_of(&self, vri: VriId) -> Option<usize> {
+        self.vris.iter().position(|v| *v == vri).filter(|i| self.valid[*i])
+    }
+}
+
+/// A load-balancing policy. `pick` returns the slot index to dispatch to.
+pub trait LoadBalancer: Send {
+    fn pick(&mut self, frame: &Frame, ctx: &BalanceCtx<'_>) -> Option<usize>;
+
+    /// Forget any affinity to a VRI that was destroyed.
+    fn purge_vri(&mut self, _vri: VriId) {}
+
+    fn name(&self) -> &'static str;
+}
+
+/// First valid slot helper shared by the policies.
+fn first_valid(ctx: &BalanceCtx<'_>) -> Option<usize> {
+    ctx.valid.iter().position(|v| *v)
+}
+
+/// Join-the-shortest-queue: the slot with the smallest estimated load
+/// (Fig. 3.3 `JSQ`). Ties go to the lowest slot, matching the pseudocode's
+/// strict `<` scan.
+#[derive(Default)]
+pub struct Jsq;
+
+impl LoadBalancer for Jsq {
+    fn pick(&mut self, _frame: &Frame, ctx: &BalanceCtx<'_>) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for i in 0..ctx.loads.len() {
+            if !ctx.valid[i] {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) if ctx.loads[i] < ctx.loads[b] => best = Some(i),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "jsq"
+    }
+}
+
+/// Round-robin over valid slots (Fig. 3.3 `RR`: "the next and valid VRI").
+#[derive(Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl LoadBalancer for RoundRobin {
+    fn pick(&mut self, _frame: &Frame, ctx: &BalanceCtx<'_>) -> Option<usize> {
+        let n = ctx.valid.len();
+        if n == 0 {
+            return None;
+        }
+        for step in 1..=n {
+            let i = (self.cursor + step) % n;
+            if ctx.valid[i] {
+                self.cursor = i;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+}
+
+/// Uniform random choice among valid slots (Fig. 3.3 `Rnd`). Deterministic
+/// under a fixed seed, for reproducible experiments.
+pub struct RandomBalancer {
+    rng: SmallRng,
+}
+
+impl RandomBalancer {
+    pub fn new(seed: u64) -> RandomBalancer {
+        RandomBalancer { rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl LoadBalancer for RandomBalancer {
+    fn pick(&mut self, _frame: &Frame, ctx: &BalanceCtx<'_>) -> Option<usize> {
+        let n_valid = ctx.valid.iter().filter(|v| **v).count();
+        if n_valid == 0 {
+            return None;
+        }
+        let target = self.rng.gen_range(0..n_valid);
+        ctx.valid
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v)
+            .nth(target)
+            .map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Flow-based wrapper (Fig. 3.3 `balance`): look the frame's 5-tuple up in
+/// the hash table; on a hit with a still-valid VRI, stick with it; otherwise
+/// delegate to the inner policy and remember the answer ("if flow-based,
+/// VRI of added entry <- JSQ()/Rnd()/RR()").
+pub struct FlowBased<B> {
+    inner: B,
+    table: FlowTable,
+    /// Frames that followed an existing flow entry.
+    pub sticky_hits: u64,
+    /// Frames balanced fresh (first-of-flow, expired, or non-IP).
+    pub fresh_picks: u64,
+}
+
+impl<B: LoadBalancer> FlowBased<B> {
+    pub fn new(inner: B, flow_capacity: usize, flow_timeout_ns: u64) -> FlowBased<B> {
+        FlowBased {
+            inner,
+            table: FlowTable::new(flow_capacity, flow_timeout_ns),
+            sticky_hits: 0,
+            fresh_picks: 0,
+        }
+    }
+
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+}
+
+impl<B: LoadBalancer> LoadBalancer for FlowBased<B> {
+    fn pick(&mut self, frame: &Frame, ctx: &BalanceCtx<'_>) -> Option<usize> {
+        if let Some(key) = FlowKey::from_frame(frame) {
+            if let Some(vri) = self.table.find_and_touch(&key, ctx.now_ns) {
+                // "if the entry is found and the VRI of the entry is valid"
+                if let Some(slot) = ctx.slot_of(vri) {
+                    self.sticky_hits += 1;
+                    return Some(slot);
+                }
+            }
+            let slot = self.inner.pick(frame, ctx)?;
+            self.table.insert(key, ctx.vris[slot], ctx.now_ns);
+            self.fresh_picks += 1;
+            return Some(slot);
+        }
+        // Non-IP frames cannot be flow-classified; balance per frame.
+        self.fresh_picks += 1;
+        self.inner.pick(frame, ctx)
+    }
+
+    fn purge_vri(&mut self, vri: VriId) {
+        self.table.purge_vri(vri);
+        self.inner.purge_vri(vri);
+    }
+
+    fn name(&self) -> &'static str {
+        match self.inner.name() {
+            "jsq" => "flow-jsq",
+            "rr" => "flow-rr",
+            "random" => "flow-random",
+            _ => "flow-based",
+        }
+    }
+}
+
+/// Fallback used when a VR currently has zero usable VRIs: `None` from any
+/// policy. Kept as a helper so callers share the drop accounting.
+pub fn no_valid_slot(ctx: &BalanceCtx<'_>) -> bool {
+    first_valid(ctx).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvrm_net::FrameBuilder;
+    use std::net::Ipv4Addr;
+
+    fn frame(src_port: u16) -> Frame {
+        FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 5), Ipv4Addr::new(10, 0, 2, 9))
+            .udp(src_port, 80, &[0u8; 10])
+    }
+
+    fn vris(n: u32) -> Vec<VriId> {
+        (0..n).map(VriId).collect()
+    }
+
+    #[test]
+    fn jsq_picks_lightest_valid() {
+        let mut b = Jsq;
+        let v = vris(3);
+        let ctx = BalanceCtx {
+            vris: &v,
+            loads: &[5.0, 1.0, 3.0],
+            valid: &[true, true, true],
+            now_ns: 0,
+        };
+        assert_eq!(b.pick(&frame(1), &ctx), Some(1));
+        let ctx = BalanceCtx {
+            vris: &v,
+            loads: &[5.0, 1.0, 3.0],
+            valid: &[true, false, true],
+            now_ns: 0,
+        };
+        assert_eq!(b.pick(&frame(1), &ctx), Some(2));
+    }
+
+    #[test]
+    fn jsq_tie_breaks_to_lowest_slot() {
+        let mut b = Jsq;
+        let v = vris(3);
+        let ctx =
+            BalanceCtx { vris: &v, loads: &[2.0, 2.0, 2.0], valid: &[true; 3], now_ns: 0 };
+        assert_eq!(b.pick(&frame(1), &ctx), Some(0));
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_invalid() {
+        let mut b = RoundRobin::default();
+        let v = vris(3);
+        let loads = [0.0; 3];
+        let valid = [true, false, true];
+        let mut picks = Vec::new();
+        for _ in 0..4 {
+            let ctx = BalanceCtx { vris: &v, loads: &loads, valid: &valid, now_ns: 0 };
+            picks.push(b.pick(&frame(1), &ctx).unwrap());
+        }
+        assert_eq!(picks, vec![2, 0, 2, 0]);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_uniform_ish() {
+        let mut b = RandomBalancer::new(42);
+        let v = vris(4);
+        let loads = [0.0; 4];
+        let valid = [true; 4];
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            let ctx = BalanceCtx { vris: &v, loads: &loads, valid: &valid, now_ns: 0 };
+            counts[b.pick(&frame(1), &ctx).unwrap()] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "counts {counts:?} not uniform");
+        }
+        // Deterministic replay.
+        let mut b2 = RandomBalancer::new(42);
+        let ctx = BalanceCtx { vris: &v, loads: &loads, valid: &valid, now_ns: 0 };
+        let mut b3 = RandomBalancer::new(42);
+        let ctx2 = BalanceCtx { vris: &v, loads: &loads, valid: &valid, now_ns: 0 };
+        assert_eq!(b2.pick(&frame(1), &ctx), b3.pick(&frame(1), &ctx2));
+    }
+
+    #[test]
+    fn all_invalid_yields_none() {
+        let v = vris(2);
+        let loads = [0.0; 2];
+        let valid = [false, false];
+        let ctx = BalanceCtx { vris: &v, loads: &loads, valid: &valid, now_ns: 0 };
+        assert!(Jsq.pick(&frame(1), &ctx).is_none());
+        assert!(RoundRobin::default().pick(&frame(1), &ctx).is_none());
+        assert!(RandomBalancer::new(1).pick(&frame(1), &ctx).is_none());
+        assert!(no_valid_slot(&ctx));
+    }
+
+    #[test]
+    fn flow_based_sticks_to_first_assignment() {
+        let mut b = FlowBased::new(RoundRobin::default(), 64, u64::MAX);
+        let v = vris(3);
+        let loads = [0.0; 3];
+        let valid = [true; 3];
+        let f = frame(7777);
+        let ctx = BalanceCtx { vris: &v, loads: &loads, valid: &valid, now_ns: 0 };
+        let first = b.pick(&f, &ctx).unwrap();
+        for t in 1..20 {
+            let ctx = BalanceCtx { vris: &v, loads: &loads, valid: &valid, now_ns: t };
+            assert_eq!(b.pick(&f, &ctx), Some(first), "flow must stay put");
+        }
+        assert_eq!(b.sticky_hits, 19);
+        assert_eq!(b.fresh_picks, 1);
+    }
+
+    #[test]
+    fn flow_based_rebalances_after_vri_death() {
+        let mut b = FlowBased::new(Jsq, 64, u64::MAX);
+        let v = vris(2);
+        let f = frame(1234);
+        let ctx = BalanceCtx {
+            vris: &v,
+            loads: &[0.0, 1.0],
+            valid: &[true, true],
+            now_ns: 0,
+        };
+        assert_eq!(b.pick(&f, &ctx), Some(0)); // JSQ picks slot 0 (VriId 0)
+        // VRI 0 dies: slot 0 invalid. The sticky entry must not be used.
+        let ctx = BalanceCtx {
+            vris: &v,
+            loads: &[0.0, 1.0],
+            valid: &[false, true],
+            now_ns: 1,
+        };
+        assert_eq!(b.pick(&f, &ctx), Some(1));
+    }
+
+    #[test]
+    fn flow_based_distinct_flows_spread() {
+        let mut b = FlowBased::new(RoundRobin::default(), 256, u64::MAX);
+        let v = vris(2);
+        let loads = [0.0; 2];
+        let valid = [true; 2];
+        let mut per_slot = [0u32; 2];
+        for p in 0..100 {
+            let ctx = BalanceCtx { vris: &v, loads: &loads, valid: &valid, now_ns: 0 };
+            per_slot[b.pick(&frame(p), &ctx).unwrap()] += 1;
+        }
+        assert_eq!(per_slot, [50, 50]);
+    }
+
+    #[test]
+    fn names_reflect_mode() {
+        assert_eq!(Jsq.name(), "jsq");
+        assert_eq!(FlowBased::new(Jsq, 16, 1).name(), "flow-jsq");
+    }
+}

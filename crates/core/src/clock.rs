@@ -1,0 +1,100 @@
+//! Time sources.
+//!
+//! LVRM's control decisions (1-second reallocation period, EWMA windows,
+//! flow-table timestamps) are all expressed against a nanosecond clock. The
+//! abstraction lets the same monitor code run against wall time in the real
+//! runtime and against simulated time in the discrete-event testbed.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+pub trait Clock {
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock time from a process-local epoch.
+#[derive(Clone, Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    pub fn new() -> MonotonicClock {
+        MonotonicClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A manually-advanced clock (simulation, tests). Cheap `Clone` — all clones
+/// observe the same time cell.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    now: Rc<Cell<u64>>,
+}
+
+impl ManualClock {
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Jump to an absolute time. Panics if time would move backwards.
+    pub fn set_ns(&self, ns: u64) {
+        assert!(ns >= self.now.get(), "manual clock must not run backwards");
+        self.now.set(ns);
+    }
+
+    /// Advance by a delta.
+    pub fn advance_ns(&self, delta: u64) {
+        self.now.set(self.now.get() + delta);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(c.now_ns() > a);
+    }
+
+    #[test]
+    fn manual_clock_is_shared_between_clones() {
+        let c = ManualClock::new();
+        let c2 = c.clone();
+        c.set_ns(500);
+        assert_eq!(c2.now_ns(), 500);
+        c2.advance_ns(100);
+        assert_eq!(c.now_ns(), 600);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn manual_clock_rejects_time_travel() {
+        let c = ManualClock::new();
+        c.set_ns(100);
+        c.set_ns(50);
+    }
+}

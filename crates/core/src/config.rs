@@ -1,0 +1,216 @@
+//! LVRM configuration: one knob per extensibility dimension.
+
+use lvrm_ipc::QueueKind;
+
+use crate::alloc::{CoreAllocator, DynamicFixedThreshold, DynamicServiceRate, FixedAllocator};
+use crate::balance::{FlowBased, Jsq, LoadBalancer, RandomBalancer, RoundRobin};
+use crate::estimate::{EwmaInterArrival, EwmaQueueLength, LoadEstimator};
+use crate::topology::AffinityMode;
+
+/// Which load-balancing policy to run (paper §3.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BalancerKind {
+    /// Join-the-shortest-queue (the paper's default; slightly best in §4.4).
+    #[default]
+    Jsq,
+    RoundRobin,
+    Random,
+}
+
+impl BalancerKind {
+    pub const ALL: [BalancerKind; 3] =
+        [BalancerKind::Jsq, BalancerKind::RoundRobin, BalancerKind::Random];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            BalancerKind::Jsq => "jsq",
+            BalancerKind::RoundRobin => "rr",
+            BalancerKind::Random => "random",
+        }
+    }
+}
+
+/// Which core-allocation policy to run (paper §3.2).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum AllocatorKind {
+    /// Pre-assign a fixed number of cores at VR start.
+    Fixed { cores: usize },
+    /// Dynamic with fixed thresholds: a configured per-core rate (fps).
+    DynamicFixed { per_core_rate: f64 },
+    /// Dynamic with dynamic thresholds: measured service rates, with a
+    /// bootstrap per-core rate until the first measurement.
+    DynamicServiceRate { bootstrap_rate: f64 },
+}
+
+impl Default for AllocatorKind {
+    fn default() -> Self {
+        // The paper's default implementation: "LVRM uses dynamic core
+        // allocation with fixed thresholds" (§4.1), 60 Kfps per core as in
+        // Experiment 2c.
+        AllocatorKind::DynamicFixed { per_core_rate: 60_000.0 }
+    }
+}
+
+impl AllocatorKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocatorKind::Fixed { .. } => "fixed",
+            AllocatorKind::DynamicFixed { .. } => "dynamic-fixed",
+            AllocatorKind::DynamicServiceRate { .. } => "dynamic-service-rate",
+        }
+    }
+}
+
+/// Which per-VRI load estimator to run (paper §3.4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EstimatorKind {
+    /// EWMA of the incoming data queue length (the paper's default).
+    #[default]
+    QueueLength,
+    /// EWMA of dispatch inter-arrival times, as a rate.
+    InterArrival,
+}
+
+/// Full LVRM configuration. `Default` matches the paper's defaults (§4.1):
+/// PF_RING-style transport is the host's concern; here it is the lock-free
+/// Lamport queue, dynamic fixed-threshold allocation, and frame-based JSQ.
+#[derive(Clone, Debug)]
+pub struct LvrmConfig {
+    /// IPC queue implementation (§3.5).
+    pub queue_kind: QueueKind,
+    /// Data-queue capacity per direction per VRI, frames.
+    pub data_queue_capacity: usize,
+    /// Control-queue capacity per direction per VRI, events.
+    pub ctrl_queue_capacity: usize,
+    /// Load-balancing policy.
+    pub balancer: BalancerKind,
+    /// Wrap the balancer in flow-based connection tracking.
+    pub flow_based: bool,
+    /// Flow-table slots (flow-based only).
+    pub flow_table_capacity: usize,
+    /// Idle flows expire after this long (flow-based only).
+    pub flow_timeout_ns: u64,
+    /// Core-allocation policy.
+    pub allocator: AllocatorKind,
+    /// Per-VRI load estimator.
+    pub estimator: EstimatorKind,
+    /// EWMA history weight for the load estimator (Fig. 3.4's `weight`).
+    pub estimator_weight: f64,
+    /// Minimum spacing between core reallocation passes — the paper's
+    /// 1-second period ("we set the period to be 1 second, while this
+    /// parameter is tunable", §3.2).
+    pub allocation_period_ns: u64,
+    /// Window of the per-VR arrival-rate estimator.
+    pub arrival_window_ns: u64,
+    /// EWMA history weight of the per-VR arrival-rate estimator.
+    pub arrival_weight: f64,
+    /// Upper bound on VRIs per VR (beyond physical cores throughput drops —
+    /// Experiment 2b — so LVRM "seeks to limit the number of cores").
+    pub max_vris_per_vr: usize,
+    /// Core-affinity policy (§3.2's sibling-first heuristic by default).
+    pub affinity: AffinityMode,
+    /// Upper bound on the estimated queue memory of all live VRIs, bytes
+    /// (0 = unlimited). This is the §3.2 extensibility hook — "to extend via
+    /// the function call setrlimit() with other resource managements such as
+    /// the memory management" — realized as an admission check: a grow that
+    /// would exceed the budget is refused.
+    pub max_queue_memory_bytes: usize,
+    /// Seed for the random balancer (reproducible experiments).
+    pub seed: u64,
+}
+
+impl Default for LvrmConfig {
+    fn default() -> Self {
+        LvrmConfig {
+            queue_kind: QueueKind::Lamport,
+            data_queue_capacity: 1024,
+            ctrl_queue_capacity: 64,
+            balancer: BalancerKind::Jsq,
+            flow_based: false,
+            flow_table_capacity: 4096,
+            flow_timeout_ns: 30_000_000_000, // 30 s
+            allocator: AllocatorKind::default(),
+            estimator: EstimatorKind::QueueLength,
+            estimator_weight: 7.0,
+            allocation_period_ns: 1_000_000_000, // 1 s
+            arrival_window_ns: 100_000_000,      // 100 ms
+            arrival_weight: 1.0,
+            max_vris_per_vr: 64,
+            affinity: AffinityMode::SiblingFirst,
+            max_queue_memory_bytes: 0,
+            seed: 0x1a2b3c4d,
+        }
+    }
+}
+
+impl LvrmConfig {
+    /// Instantiate the configured balancer.
+    pub fn build_balancer(&self) -> Box<dyn LoadBalancer> {
+        macro_rules! wrap {
+            ($inner:expr) => {
+                if self.flow_based {
+                    Box::new(FlowBased::new(
+                        $inner,
+                        self.flow_table_capacity,
+                        self.flow_timeout_ns,
+                    )) as Box<dyn LoadBalancer>
+                } else {
+                    Box::new($inner) as Box<dyn LoadBalancer>
+                }
+            };
+        }
+        match self.balancer {
+            BalancerKind::Jsq => wrap!(Jsq),
+            BalancerKind::RoundRobin => wrap!(RoundRobin::default()),
+            BalancerKind::Random => wrap!(RandomBalancer::new(self.seed)),
+        }
+    }
+
+    /// Instantiate the configured allocator.
+    pub fn build_allocator(&self) -> Box<dyn CoreAllocator> {
+        match self.allocator {
+            AllocatorKind::Fixed { cores } => Box::new(FixedAllocator::new(cores)),
+            AllocatorKind::DynamicFixed { per_core_rate } => {
+                Box::new(DynamicFixedThreshold::new(per_core_rate))
+            }
+            AllocatorKind::DynamicServiceRate { bootstrap_rate } => {
+                Box::new(DynamicServiceRate::new(bootstrap_rate))
+            }
+        }
+    }
+
+    /// Instantiate the configured load estimator.
+    pub fn build_estimator(&self) -> Box<dyn LoadEstimator> {
+        match self.estimator {
+            EstimatorKind::QueueLength => Box::new(EwmaQueueLength::new(self.estimator_weight)),
+            EstimatorKind::InterArrival => Box::new(EwmaInterArrival::new(self.estimator_weight)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = LvrmConfig::default();
+        assert_eq!(c.queue_kind, QueueKind::Lamport);
+        assert_eq!(c.balancer, BalancerKind::Jsq);
+        assert!(!c.flow_based);
+        assert_eq!(c.allocation_period_ns, 1_000_000_000);
+        assert!(matches!(c.allocator, AllocatorKind::DynamicFixed { per_core_rate } if per_core_rate == 60_000.0));
+    }
+
+    #[test]
+    fn builders_honor_kinds() {
+        let mut c = LvrmConfig { balancer: BalancerKind::RoundRobin, ..Default::default() };
+        assert_eq!(c.build_balancer().name(), "rr");
+        c.flow_based = true;
+        assert_eq!(c.build_balancer().name(), "flow-rr");
+        c.allocator = AllocatorKind::Fixed { cores: 2 };
+        assert_eq!(c.build_allocator().name(), "fixed");
+        c.estimator = EstimatorKind::InterArrival;
+        assert_eq!(c.build_estimator().name(), "ewma-inter-arrival");
+    }
+}

@@ -1,0 +1,279 @@
+//! Connection-tracking flow table for flow-based load balancing.
+//!
+//! "Instead of the dynamic arrays, the hash tables are used for the
+//! performance issues in the connection tracking functions, which are called
+//! for each incoming data frames" (paper §3.3). The table maps a flow's
+//! 5-tuple to the VRI its first frame was assigned, so later frames follow
+//! it and intra-flow reordering is avoided.
+//!
+//! Implementation: open addressing with linear probing over a power-of-two
+//! slot array, keyed by the flow's FNV hash. Every hit refreshes the entry's
+//! timestamp (the paper updates flow timestamps via `times()`); expired and
+//! dead-VRI entries are reclaimed lazily during probes.
+
+use lvrm_net::FlowKey;
+
+use crate::VriId;
+
+#[derive(Clone, Copy)]
+struct Entry {
+    key: FlowKey,
+    vri: VriId,
+    last_seen_ns: u64,
+}
+
+/// Fixed-capacity connection-tracking table.
+pub struct FlowTable {
+    slots: Box<[Option<Entry>]>,
+    mask: usize,
+    timeout_ns: u64,
+    len: usize,
+    /// Insertions refused because the table was full (observability).
+    pub overflows: u64,
+}
+
+impl FlowTable {
+    /// `capacity` rounds up to a power of two; `timeout_ns` expires idle
+    /// flows (TCP flows silent that long have effectively closed).
+    pub fn new(capacity: usize, timeout_ns: u64) -> FlowTable {
+        let cap = capacity.max(16).next_power_of_two();
+        FlowTable {
+            slots: vec![None; cap].into_boxed_slice(),
+            mask: cap - 1,
+            timeout_ns,
+            len: 0,
+            overflows: 0,
+        }
+    }
+
+    /// Live entries (may include not-yet-reclaimed expired flows).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn expired(&self, e: &Entry, now_ns: u64) -> bool {
+        now_ns.saturating_sub(e.last_seen_ns) > self.timeout_ns
+    }
+
+    /// Look up `key`; on a live hit, refresh its timestamp and return its
+    /// VRI ("hash table find the entry with current timestamp and add flag",
+    /// Fig. 3.3). Expired entries encountered on the probe path are removed.
+    pub fn find_and_touch(&mut self, key: &FlowKey, now_ns: u64) -> Option<VriId> {
+        let mut i = key.hash64() as usize & self.mask;
+        for _ in 0..self.slots.len() {
+            match &mut self.slots[i] {
+                None => return None,
+                Some(e) if e.key == *key => {
+                    if self.expired(&self.slots[i].unwrap(), now_ns) {
+                        self.remove_at(i);
+                        return None;
+                    }
+                    let e = self.slots[i].as_mut().expect("just matched");
+                    e.last_seen_ns = now_ns;
+                    return Some(e.vri);
+                }
+                Some(_) => i = (i + 1) & self.mask,
+            }
+        }
+        None
+    }
+
+    /// Insert or update `key -> vri`.
+    pub fn insert(&mut self, key: FlowKey, vri: VriId, now_ns: u64) -> bool {
+        let mut i = key.hash64() as usize & self.mask;
+        for _ in 0..self.slots.len() {
+            match &mut self.slots[i] {
+                slot @ None => {
+                    *slot = Some(Entry { key, vri, last_seen_ns: now_ns });
+                    self.len += 1;
+                    return true;
+                }
+                Some(e) if e.key == key => {
+                    e.vri = vri;
+                    e.last_seen_ns = now_ns;
+                    return true;
+                }
+                Some(e) if now_ns.saturating_sub(e.last_seen_ns) > self.timeout_ns => {
+                    // Reclaim an expired stranger's slot.
+                    *e = Entry { key, vri, last_seen_ns: now_ns };
+                    return true;
+                }
+                Some(_) => i = (i + 1) & self.mask,
+            }
+        }
+        self.overflows += 1;
+        false
+    }
+
+    /// Remove every entry pointing at `vri` (called when a VRI is killed so
+    /// its flows get re-balanced instead of black-holed).
+    ///
+    /// Collects the victim keys first and removes them by probe: a naive
+    /// positional sweep would miss entries that the backshift deletion
+    /// relocates into slots the sweep already passed (found by the
+    /// model-based property test).
+    pub fn purge_vri(&mut self, vri: VriId) -> usize {
+        let keys: Vec<FlowKey> = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|e| e.vri == vri)
+            .map(|e| e.key)
+            .collect();
+        for k in &keys {
+            self.remove_key(k);
+        }
+        keys.len()
+    }
+
+    /// Remove `key` wherever it currently sits on its probe chain.
+    fn remove_key(&mut self, key: &FlowKey) {
+        let mut i = key.hash64() as usize & self.mask;
+        for _ in 0..self.slots.len() {
+            match &self.slots[i] {
+                None => return,
+                Some(e) if e.key == *key => {
+                    self.remove_at(i);
+                    return;
+                }
+                Some(_) => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Tombstone-free removal: delete slot `i` and re-insert the probe chain
+    /// behind it (standard linear-probing backshift).
+    fn remove_at(&mut self, i: usize) {
+        self.slots[i] = None;
+        self.len -= 1;
+        let mut j = (i + 1) & self.mask;
+        while let Some(e) = self.slots[j] {
+            self.slots[j] = None;
+            self.len -= 1;
+            // Re-insert preserves its timestamp.
+            let mut k = e.key.hash64() as usize & self.mask;
+            while self.slots[k].is_some() {
+                k = (k + 1) & self.mask;
+            }
+            self.slots[k] = Some(e);
+            self.len += 1;
+            j = (j + 1) & self.mask;
+        }
+    }
+}
+
+impl std::fmt::Debug for FlowTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowTable")
+            .field("len", &self.len)
+            .field("capacity", &self.capacity())
+            .field("overflows", &self.overflows)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvrm_net::flow::Protocol;
+    use std::net::Ipv4Addr;
+
+    fn key(n: u8) -> FlowKey {
+        FlowKey {
+            src: Ipv4Addr::new(10, 0, 1, n),
+            dst: Ipv4Addr::new(10, 0, 2, 1),
+            src_port: 1000 + n as u16,
+            dst_port: 80,
+            proto: Protocol::Tcp,
+        }
+    }
+
+    #[test]
+    fn insert_find_roundtrip() {
+        let mut t = FlowTable::new(64, 1_000_000_000);
+        assert!(t.insert(key(1), VriId(3), 100));
+        assert_eq!(t.find_and_touch(&key(1), 200), Some(VriId(3)));
+        assert_eq!(t.find_and_touch(&key(2), 200), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn expiry_evicts_idle_flows() {
+        let mut t = FlowTable::new(64, 1_000);
+        t.insert(key(1), VriId(3), 0);
+        // Within timeout: hit refreshes.
+        assert_eq!(t.find_and_touch(&key(1), 900), Some(VriId(3)));
+        // The refresh at 900 extends life to 1900.
+        assert_eq!(t.find_and_touch(&key(1), 1800), Some(VriId(3)));
+        // Far past timeout: gone.
+        assert_eq!(t.find_and_touch(&key(1), 10_000), None);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn insert_reclaims_expired_slots() {
+        let mut t = FlowTable::new(16, 10);
+        for n in 0..16 {
+            assert!(t.insert(key(n), VriId(0), 0));
+        }
+        // All expired by t=100; new inserts reuse their slots.
+        assert!(t.insert(key(100), VriId(1), 100));
+        assert_eq!(t.find_and_touch(&key(100), 100), Some(VriId(1)));
+    }
+
+    #[test]
+    fn full_table_reports_overflow() {
+        let mut t = FlowTable::new(16, u64::MAX);
+        for n in 0..16 {
+            assert!(t.insert(key(n), VriId(0), 0));
+        }
+        assert!(!t.insert(key(99), VriId(0), 0));
+        assert_eq!(t.overflows, 1);
+    }
+
+    #[test]
+    fn purge_vri_removes_only_its_flows() {
+        let mut t = FlowTable::new(64, u64::MAX);
+        t.insert(key(1), VriId(1), 0);
+        t.insert(key(2), VriId(2), 0);
+        t.insert(key(3), VriId(1), 0);
+        assert_eq!(t.purge_vri(VriId(1)), 2);
+        assert_eq!(t.find_and_touch(&key(2), 0), Some(VriId(2)));
+        assert_eq!(t.find_and_touch(&key(1), 0), None);
+    }
+
+    #[test]
+    fn backshift_keeps_probe_chains_reachable() {
+        // Force collisions by filling a tiny table, then delete from the
+        // middle of a chain and confirm later entries still resolve.
+        let mut t = FlowTable::new(16, u64::MAX);
+        let keys: Vec<FlowKey> = (0..12).map(key).collect();
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(*k, VriId(i as u32), 0);
+        }
+        t.purge_vri(VriId(4));
+        for (i, k) in keys.iter().enumerate() {
+            if i == 4 {
+                continue;
+            }
+            assert_eq!(t.find_and_touch(k, 0), Some(VriId(i as u32)), "key {i} lost");
+        }
+    }
+
+    #[test]
+    fn update_existing_flow_changes_vri() {
+        let mut t = FlowTable::new(16, u64::MAX);
+        t.insert(key(1), VriId(1), 0);
+        t.insert(key(1), VriId(5), 10);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.find_and_touch(&key(1), 10), Some(VriId(5)));
+    }
+}

@@ -1,0 +1,127 @@
+//! The host abstraction: who actually runs VRIs.
+//!
+//! The paper's VRI monitor "creates or deletes VRIs via the function calls
+//! `vfork()` and `kill()`" (§3.3) and binds each to a CPU core. How a VRI
+//! becomes a running entity is host-specific: the discrete-event testbed
+//! registers a simulated process on a simulated core, while the real runtime
+//! spawns an OS thread and (best-effort) pins it. LVRM only needs the two
+//! verbs below.
+
+use lvrm_ipc::VriEndpoint;
+use lvrm_net::Frame;
+use lvrm_router::VirtualRouter;
+
+use crate::topology::CoreId;
+use crate::{VrId, VriId};
+
+/// Everything a host needs to start one VRI.
+#[derive(Clone, Copy, Debug)]
+pub struct VriSpec {
+    pub vr: VrId,
+    pub vri: VriId,
+    /// The dedicated core ("to avoid the contention of multiple processes
+    /// for a single CPU core, it is important to associate a CPU core with
+    /// only one VRI", §3.2).
+    pub core: CoreId,
+}
+
+/// Spawns and kills VRIs on behalf of the VRI monitor.
+pub trait VriHost {
+    /// Start a VRI: bind it to `spec.core`, give it its queue endpoint and
+    /// its router instance, and begin its poll loop.
+    fn spawn_vri(
+        &mut self,
+        spec: VriSpec,
+        endpoint: VriEndpoint<Frame>,
+        router: Box<dyn VirtualRouter>,
+    );
+
+    /// Stop the VRI (the paper's `kill()`); the monitor destroys the queues
+    /// afterwards ("kill the VRI … destroy all queues and clear allocated
+    /// memory", Fig. 3.2).
+    fn kill_vri(&mut self, vr: VrId, vri: VriId);
+}
+
+/// A no-op host for unit tests: records spawn/kill calls.
+#[derive(Default)]
+pub struct RecordingHost {
+    pub spawned: Vec<VriSpec>,
+    pub killed: Vec<(VrId, VriId)>,
+    /// Endpoints of live VRIs, so tests can drive them manually.
+    pub endpoints: Vec<(VriId, VriEndpoint<Frame>, Box<dyn VirtualRouter>)>,
+}
+
+impl VriHost for RecordingHost {
+    fn spawn_vri(
+        &mut self,
+        spec: VriSpec,
+        endpoint: VriEndpoint<Frame>,
+        router: Box<dyn VirtualRouter>,
+    ) {
+        self.spawned.push(spec);
+        self.endpoints.push((spec.vri, endpoint, router));
+    }
+
+    fn kill_vri(&mut self, vr: VrId, vri: VriId) {
+        self.killed.push((vr, vri));
+        self.endpoints.retain(|(id, _, _)| *id != vri);
+    }
+}
+
+impl RecordingHost {
+    /// Run every live VRI's loop once: drain control then data, process each
+    /// frame through the router, and push forwarded frames back. Returns the
+    /// number of frames processed. This makes the recording host a complete
+    /// single-threaded in-process "runtime" for integration tests.
+    pub fn pump(&mut self) -> usize {
+        use lvrm_ipc::channels::Work;
+        let mut processed = 0;
+        for (_, endpoint, router) in &mut self.endpoints {
+            while let Some(work) = endpoint.next_work() {
+                match work {
+                    Work::Control(_ev) => {}
+                    Work::Data(mut frame) => {
+                        processed += 1;
+                        if let lvrm_router::RouterAction::Forward { .. } = router.process(&mut frame)
+                        {
+                            let _ = endpoint.data_tx.try_send(frame);
+                        }
+                    }
+                }
+            }
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvrm_ipc::QueueKind;
+    use lvrm_router::{FastVr, RouteTable};
+
+    #[test]
+    fn recording_host_tracks_lifecycle() {
+        let mut host = RecordingHost::default();
+        let (mut chans, endpoint) =
+            lvrm_ipc::channels::vri_channels::<Frame>(QueueKind::Lamport, 8, 4);
+        let vr = FastVr::new("t", RouteTable::new());
+        let spec = VriSpec { vr: VrId(0), vri: VriId(1), core: CoreId(2) };
+        host.spawn_vri(spec, endpoint, Box::new(vr));
+        assert_eq!(host.spawned.len(), 1);
+        assert_eq!(host.endpoints.len(), 1);
+
+        // No routes: frames are dropped, not returned.
+        let f = lvrm_net::FrameBuilder::new(
+            std::net::Ipv4Addr::new(10, 0, 1, 1),
+            std::net::Ipv4Addr::new(10, 0, 2, 1),
+        )
+        .udp(1, 2, &[]);
+        chans.data_tx.try_send(f).unwrap();
+        assert_eq!(host.pump(), 1);
+        assert!(chans.data_rx.try_recv().is_none());
+
+        host.kill_vri(VrId(0), VriId(1));
+        assert!(host.endpoints.is_empty());
+    }
+}

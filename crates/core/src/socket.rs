@@ -1,0 +1,149 @@
+//! Socket adapters (paper §3.1).
+//!
+//! "The socket adapter is the software interface that relays data frames via
+//! LVRM. … the polling process of the socket adapter is transparent" to the
+//! monitor. Three lower-level access methods exist in the paper: the raw BSD
+//! socket, the PF_RING zero-copy ring, and main memory (a preloaded trace,
+//! used to factor the network out of measurements). This module defines the
+//! trait plus the main-memory implementation; the simulated raw-socket and
+//! PF_RING variants live in `lvrm-testbed` (where their per-frame costs are
+//! modeled) and a live loopback variant in `lvrm-runtime`.
+
+use lvrm_net::{Frame, Trace};
+
+/// Which lower-level mechanism an adapter models or wraps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SocketKind {
+    /// Non-blocking `recvfrom()`/`send()` on a raw BSD socket: two kernel
+    /// copies and a syscall per frame.
+    RawSocket,
+    /// PF_RING-style memory-mapped ring polled directly: zero-copy receive
+    /// (and, since LVRM 1.1 / PF_RING 3.7.5, zero-copy send).
+    PfRing,
+    /// Frames replayed from main memory; output is discarded. Used by the
+    /// "LVRM only" experiments (1c/1d) to exclude the network.
+    MemTrace,
+}
+
+impl SocketKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            SocketKind::RawSocket => "raw-socket",
+            SocketKind::PfRing => "pf_ring",
+            SocketKind::MemTrace => "mem-trace",
+        }
+    }
+}
+
+/// The interface LVRM polls for ingress frames and hands egress frames to.
+pub trait SocketAdapter: Send {
+    /// Non-blocking poll for the next available ingress frame.
+    fn poll(&mut self) -> Option<Frame>;
+
+    /// Emit one egress frame toward the wire (or wherever the adapter's
+    /// lower level leads). Adapters may drop on backpressure; they count it.
+    fn send(&mut self, frame: Frame);
+
+    fn kind(&self) -> SocketKind;
+
+    /// Frames delivered to LVRM so far.
+    fn rx_count(&self) -> u64;
+
+    /// Frames sent (or discarded, for [`SocketKind::MemTrace`]) so far.
+    fn tx_count(&self) -> u64;
+}
+
+/// The main-memory adapter: replays a preloaded trace as fast as the caller
+/// polls, up to a frame budget; `send` discards (Experiment 1c: "add an
+/// output interface to LVRM to simply discard the frames").
+pub struct MemTraceAdapter {
+    trace: Trace,
+    remaining: u64,
+    rx: u64,
+    tx: u64,
+    /// Stamp frames with this ingress interface.
+    pub ingress_if: u16,
+}
+
+impl MemTraceAdapter {
+    /// Replay `total_frames` logical frames from `trace` (the distinct
+    /// frames cycle, like the paper's 100 M-frame trace file in RAM).
+    pub fn new(trace: Trace, total_frames: u64) -> MemTraceAdapter {
+        MemTraceAdapter { trace, remaining: total_frames, rx: 0, tx: 0, ingress_if: 0 }
+    }
+
+    /// Frames left to replay.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// True once the whole trace has been delivered.
+    pub fn exhausted(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+impl SocketAdapter for MemTraceAdapter {
+    fn poll(&mut self) -> Option<Frame> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.rx += 1;
+        let mut f = self.trace.next_frame();
+        f.ingress_if = self.ingress_if;
+        Some(f)
+    }
+
+    fn send(&mut self, _frame: Frame) {
+        self.tx += 1; // discard
+    }
+
+    fn kind(&self) -> SocketKind {
+        SocketKind::MemTrace
+    }
+
+    fn rx_count(&self) -> u64 {
+        self.rx
+    }
+
+    fn tx_count(&self) -> u64 {
+        self.tx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvrm_net::TraceSpec;
+
+    #[test]
+    fn replays_exactly_the_budget() {
+        let trace = Trace::generate(&TraceSpec::new(84, 4));
+        let mut a = MemTraceAdapter::new(trace, 10);
+        let mut n = 0;
+        while let Some(f) = a.poll() {
+            assert_eq!(f.wire_len(), 84);
+            n += 1;
+        }
+        assert_eq!(n, 10);
+        assert!(a.exhausted());
+        assert_eq!(a.rx_count(), 10);
+    }
+
+    #[test]
+    fn send_discards_but_counts() {
+        let trace = Trace::generate(&TraceSpec::new(84, 1));
+        let mut a = MemTraceAdapter::new(trace, 1);
+        let f = a.poll().unwrap();
+        a.send(f);
+        assert_eq!(a.tx_count(), 1);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(SocketKind::RawSocket.name(), "raw-socket");
+        assert_eq!(SocketKind::PfRing.name(), "pf_ring");
+        assert_eq!(SocketKind::MemTrace.name(), "mem-trace");
+    }
+}

@@ -1,0 +1,342 @@
+//! Per-VRI adapters on both sides of the IPC queues.
+//!
+//! * [`VriAdapter`] is LVRM's handle on one VRI (paper §3.4): it relays
+//!   frames to/from the instance and runs the load estimator the balancer
+//!   consults.
+//! * [`LvrmAdapter`] is the VRI's handle on LVRM (paper §3.6): it exposes
+//!   the `fromLVRM()`/`toLVRM()` API, and — when dynamic thresholds are on —
+//!   estimates the VRI's service rate from the gaps between `from_lvrm`
+//!   calls and reports it upstream through the control queue.
+
+use lvrm_ipc::channels::{ControlEvent, VriChannels, VriEndpoint, Work};
+use lvrm_ipc::Full;
+use lvrm_metrics::ServiceRateEstimator;
+use lvrm_net::Frame;
+
+use crate::estimate::LoadEstimator;
+use crate::topology::CoreId;
+use crate::VriId;
+
+/// Control events addressed to this pseudo-VRI id are consumed by LVRM
+/// itself (service-rate reports) instead of being relayed to a VRI.
+pub const LVRM_CTRL_ID: u32 = u32::MAX;
+
+/// Magic prefix of a service-rate report payload.
+const SVC_RATE_MAGIC: &[u8; 4] = b"SVCR";
+
+/// Encode a service-rate report event.
+pub fn encode_service_rate(vri: VriId, rate_fps: f64) -> ControlEvent {
+    let mut payload = Vec::with_capacity(12);
+    payload.extend_from_slice(SVC_RATE_MAGIC);
+    payload.extend_from_slice(&rate_fps.to_le_bytes());
+    ControlEvent::new(vri.0, LVRM_CTRL_ID, payload)
+}
+
+/// Decode a service-rate report, if the event is one.
+pub fn decode_service_rate(ev: &ControlEvent) -> Option<(VriId, f64)> {
+    if ev.dst_vri != LVRM_CTRL_ID || ev.payload.len() != 12 || &ev.payload[..4] != SVC_RATE_MAGIC
+    {
+        return None;
+    }
+    let rate = f64::from_le_bytes(ev.payload[4..12].try_into().ok()?);
+    Some((VriId(ev.src_vri), rate))
+}
+
+/// LVRM's side of one VRI.
+pub struct VriAdapter {
+    pub id: VriId,
+    pub core: CoreId,
+    channels: VriChannels<Frame>,
+    estimator: Box<dyn LoadEstimator>,
+    /// Frames dispatched into the VRI's data queue.
+    pub dispatched: u64,
+    /// Dispatches refused because the data queue was full.
+    pub dispatch_drops: u64,
+    /// Frames the VRI handed back for egress.
+    pub returned: u64,
+    /// Most recent service-rate report from the instance, frames/second.
+    pub reported_service_rate: Option<f64>,
+}
+
+impl VriAdapter {
+    pub fn new(
+        id: VriId,
+        core: CoreId,
+        channels: VriChannels<Frame>,
+        estimator: Box<dyn LoadEstimator>,
+    ) -> VriAdapter {
+        VriAdapter {
+            id,
+            core,
+            channels,
+            estimator,
+            dispatched: 0,
+            dispatch_drops: 0,
+            returned: 0,
+            reported_service_rate: None,
+        }
+    }
+
+    /// Push one frame toward the VRI and update the load estimate with the
+    /// observed queue depth ("when the VRI adapter forwards a data frame to
+    /// the VRI, it measures the load by observing the current queue length",
+    /// §3.4). Returns the frame on backpressure.
+    pub fn dispatch(&mut self, frame: Frame, now_ns: u64) -> Result<(), Frame> {
+        match self.channels.data_tx.try_send(frame) {
+            Ok(()) => {
+                self.dispatched += 1;
+                self.estimator.on_dispatch(self.channels.data_tx.len(), now_ns);
+                Ok(())
+            }
+            Err(Full(frame)) => {
+                self.dispatch_drops += 1;
+                Err(frame)
+            }
+        }
+    }
+
+    /// Current smoothed load estimate for the balancer.
+    pub fn load(&self) -> f64 {
+        self.estimator.estimate()
+    }
+
+    /// Feed the estimator the current queue depth without a dispatch
+    /// (called for every VRI per balancing decision; see
+    /// [`crate::estimate::LoadEstimator::observe`]).
+    pub fn observe_load(&mut self, now_ns: u64) {
+        self.estimator.observe(self.channels.data_tx.len(), now_ns);
+    }
+
+    /// Whether the data queue has room (a "valid" dispatch target).
+    pub fn accepting(&self) -> bool {
+        self.channels.data_tx.len() < self.channels.data_tx.capacity()
+    }
+
+    /// Instantaneous incoming-queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.channels.data_tx.len()
+    }
+
+    /// Whether forwarded frames are waiting in the outgoing data queue.
+    pub fn has_pending_egress(&self) -> bool {
+        !self.channels.data_rx.is_empty()
+    }
+
+    /// Drain frames the VRI forwarded, appending to `out`.
+    pub fn drain_egress(&mut self, out: &mut Vec<Frame>) {
+        while let Some(f) = self.channels.data_rx.try_recv() {
+            self.returned += 1;
+            out.push(f);
+        }
+    }
+
+    /// Drain control events the VRI emitted.
+    pub fn drain_control(&mut self, out: &mut Vec<ControlEvent>) {
+        while let Some(ev) = self.channels.ctrl_rx.try_recv() {
+            out.push(ev);
+        }
+    }
+
+    /// Relay a control event *to* this VRI. Returns it on backpressure.
+    pub fn relay_control(&mut self, ev: ControlEvent) -> Result<(), ControlEvent> {
+        self.channels.ctrl_tx.try_send(ev).map_err(|Full(ev)| ev)
+    }
+}
+
+/// The VRI's side of the wire (the paper's "LVRM adapter for VRI", §3.6).
+pub struct LvrmAdapter {
+    id: VriId,
+    endpoint: VriEndpoint<Frame>,
+    svc_est: ServiceRateEstimator,
+    report_period_ns: u64,
+    last_report_ns: u64,
+    estimate_service_rate: bool,
+}
+
+impl LvrmAdapter {
+    /// Wrap the queue endpoint LVRM passed at spawn time ("the LVRM adapter
+    /// is initialized with a shared memory identifier, which is passed from
+    /// LVRM via the main arguments to VRIs").
+    pub fn new(id: VriId, endpoint: VriEndpoint<Frame>) -> LvrmAdapter {
+        LvrmAdapter {
+            id,
+            endpoint,
+            // EWMA weight 4, idle cutoff 10 ms: gaps longer than that mean
+            // the VRI was starved, not slow.
+            svc_est: ServiceRateEstimator::new(4.0, 10_000_000),
+            report_period_ns: 100_000_000, // report every 100 ms
+            last_report_ns: 0,
+            estimate_service_rate: true,
+        }
+    }
+
+    /// Disable service-rate estimation/reporting (fixed-threshold setups).
+    pub fn without_service_estimation(mut self) -> LvrmAdapter {
+        self.estimate_service_rate = false;
+        self
+    }
+
+    pub fn id(&self) -> VriId {
+        self.id
+    }
+
+    /// The paper's `fromLVRM()`: next unit of work, control before data.
+    /// Data departures feed the service-rate estimator, and a fresh estimate
+    /// is reported upstream at most every report period.
+    pub fn from_lvrm(&mut self, now_ns: u64) -> Option<Work<Frame>> {
+        let work = self.endpoint.next_work();
+        if self.estimate_service_rate {
+            match &work {
+                Some(Work::Data(_)) => {
+                    self.svc_est.record_departure(now_ns);
+                    if now_ns.saturating_sub(self.last_report_ns) >= self.report_period_ns {
+                        if let Some(rate) = self.svc_est.rate_per_sec() {
+                            let _ = self
+                                .endpoint
+                                .ctrl_tx
+                                .try_send(encode_service_rate(self.id, rate));
+                            self.last_report_ns = now_ns;
+                        }
+                    }
+                }
+                // An empty poll means the VRI is idle: the gap to the next
+                // departure would measure starvation, not service time.
+                None => self.svc_est.note_idle(),
+                Some(Work::Control(_)) => {}
+            }
+        }
+        work
+    }
+
+    /// The paper's `toLVRM()`: hand a processed frame back for egress.
+    /// Returns the frame if the outgoing queue is full.
+    pub fn to_lvrm(&mut self, frame: Frame) -> Result<(), Frame> {
+        self.endpoint.data_tx.try_send(frame).map_err(|Full(f)| f)
+    }
+
+    /// Send a user control event toward another VRI (via LVRM).
+    pub fn send_control(&mut self, ev: ControlEvent) -> Result<(), ControlEvent> {
+        self.endpoint.ctrl_tx.try_send(ev).map_err(|Full(ev)| ev)
+    }
+
+    /// Current service-rate estimate (frames/second), if any.
+    pub fn service_rate(&self) -> Option<f64> {
+        self.svc_est.rate_per_sec()
+    }
+
+    /// Whether any data or control work is queued for this VRI (used by
+    /// polling hosts to decide whether to schedule a service pass).
+    pub fn has_pending(&self) -> bool {
+        !self.endpoint.data_rx.is_empty() || !self.endpoint.ctrl_rx.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::EwmaQueueLength;
+    use lvrm_ipc::channels::vri_channels;
+    use lvrm_ipc::QueueKind;
+    use lvrm_net::FrameBuilder;
+    use std::net::Ipv4Addr;
+
+    fn frame() -> Frame {
+        FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 1))
+            .udp(1, 2, &[])
+    }
+
+    fn pair(cap: usize) -> (VriAdapter, LvrmAdapter) {
+        let (chans, endpoint) = vri_channels::<Frame>(QueueKind::Lamport, cap, 8);
+        let adapter = VriAdapter::new(
+            VriId(7),
+            CoreId(1),
+            chans,
+            Box::new(EwmaQueueLength::new(1.0)),
+        );
+        (adapter, LvrmAdapter::new(VriId(7), endpoint))
+    }
+
+    #[test]
+    fn dispatch_roundtrip_through_vri() {
+        let (mut lvrm, mut vri) = pair(8);
+        lvrm.dispatch(frame(), 0).unwrap();
+        let Some(Work::Data(f)) = vri.from_lvrm(10) else {
+            panic!("expected data")
+        };
+        vri.to_lvrm(f).unwrap();
+        let mut out = Vec::new();
+        lvrm.drain_egress(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(lvrm.dispatched, 1);
+        assert_eq!(lvrm.returned, 1);
+    }
+
+    #[test]
+    fn backpressure_returns_frame_and_counts() {
+        let (mut lvrm, _vri) = pair(1);
+        lvrm.dispatch(frame(), 0).unwrap();
+        assert!(!lvrm.accepting());
+        let refused = lvrm.dispatch(frame(), 1);
+        assert!(refused.is_err());
+        assert_eq!(lvrm.dispatch_drops, 1);
+    }
+
+    #[test]
+    fn load_estimate_rises_with_backlog() {
+        let (mut lvrm, _vri) = pair(16);
+        assert_eq!(lvrm.load(), 0.0);
+        for i in 0..8 {
+            lvrm.dispatch(frame(), i).unwrap();
+        }
+        assert!(lvrm.load() > 1.0, "load {}", lvrm.load());
+        assert_eq!(lvrm.queue_len(), 8);
+    }
+
+    #[test]
+    fn service_rate_reports_flow_upstream() {
+        let (mut lvrm, mut vri) = pair(64);
+        // Feed frames and have the VRI consume them with 20 us gaps => 50 Kfps.
+        let mut now = 0u64;
+        for _ in 0..32 {
+            lvrm.dispatch(frame(), now).unwrap();
+        }
+        for _ in 0..32 {
+            now += 20_000;
+            let _ = vri.from_lvrm(now);
+        }
+        // Force a report past the period boundary.
+        lvrm.dispatch(frame(), now).unwrap();
+        now += 200_000_000;
+        let _ = vri.from_lvrm(now);
+        let mut evs = Vec::new();
+        lvrm.drain_control(&mut evs);
+        let report = evs.iter().find_map(decode_service_rate).expect("a report");
+        assert_eq!(report.0, VriId(7));
+        assert!((report.1 - 50_000.0).abs() / 50_000.0 < 0.1, "rate {}", report.1);
+    }
+
+    #[test]
+    fn service_rate_codec_rejects_foreign_events() {
+        let ev = ControlEvent::new(1, 2, b"hello".to_vec());
+        assert!(decode_service_rate(&ev).is_none());
+        let ev = encode_service_rate(VriId(3), 1234.5);
+        let (id, rate) = decode_service_rate(&ev).unwrap();
+        assert_eq!(id, VriId(3));
+        assert!((rate - 1234.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn control_events_pass_through_adapters() {
+        let (mut lvrm, mut vri) = pair(8);
+        // VRI -> LVRM
+        vri.send_control(ControlEvent::new(7, 9, b"sync".to_vec())).unwrap();
+        let mut evs = Vec::new();
+        lvrm.drain_control(&mut evs);
+        assert_eq!(evs.len(), 1);
+        // LVRM -> VRI (priority over data).
+        lvrm.dispatch(frame(), 0).unwrap();
+        lvrm.relay_control(ControlEvent::new(9, 7, b"ack".to_vec())).unwrap();
+        assert!(matches!(vri.from_lvrm(1), Some(Work::Control(_))));
+        assert!(matches!(vri.from_lvrm(2), Some(Work::Data(_))));
+    }
+}

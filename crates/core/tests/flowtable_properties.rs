@@ -1,0 +1,90 @@
+//! Model-based property test: the open-addressing flow table must behave
+//! exactly like a `HashMap` with timestamps under any operation sequence
+//! (within capacity), including the backshift deletion path.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use lvrm_core::flowtable::FlowTable;
+use lvrm_core::VriId;
+use lvrm_net::flow::{FlowKey, Protocol};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { key: u8, vri: u8 },
+    Find { key: u8 },
+    PurgeVri { vri: u8 },
+    Advance { by: u32 },
+}
+
+fn key(n: u8) -> FlowKey {
+    FlowKey {
+        src: Ipv4Addr::new(10, 0, 1, n),
+        dst: Ipv4Addr::new(10, 0, 2, 1),
+        src_port: 1000 + n as u16,
+        dst_port: 80,
+        proto: Protocol::Udp,
+    }
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u8>(), 0u8..6).prop_map(|(key, vri)| Op::Insert { key, vri }),
+            any::<u8>().prop_map(|key| Op::Find { key }),
+            (0u8..6).prop_map(|vri| Op::PurgeVri { vri }),
+            (1u32..1000).prop_map(|by| Op::Advance { by }),
+        ],
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn matches_hashmap_model(script in ops()) {
+        const TIMEOUT: u64 = 10_000;
+        // Capacity 512 >> 256 distinct keys: overflow never muddies the model.
+        let mut table = FlowTable::new(512, TIMEOUT);
+        let mut model: HashMap<u8, (VriId, u64)> = HashMap::new();
+        let mut now: u64 = 0;
+        for op in script {
+            match op {
+                Op::Insert { key: k, vri } => {
+                    let ok = table.insert(key(k), VriId(vri as u32), now);
+                    prop_assert!(ok, "insert under capacity must succeed");
+                    model.insert(k, (VriId(vri as u32), now));
+                }
+                Op::Find { key: k } => {
+                    let got = table.find_and_touch(&key(k), now);
+                    let expect = match model.get(&k) {
+                        Some((vri, seen)) if now - seen <= TIMEOUT => Some(*vri),
+                        _ => None,
+                    };
+                    prop_assert_eq!(got, expect, "find({}) at t={}", k, now);
+                    match got {
+                        Some(_) => {
+                            model.get_mut(&k).unwrap().1 = now; // touched
+                        }
+                        None => {
+                            model.remove(&k); // expired entries are evicted
+                        }
+                    }
+                }
+                Op::PurgeVri { vri } => {
+                    table.purge_vri(VriId(vri as u32));
+                    model.retain(|_, (v, _)| *v != VriId(vri as u32));
+                }
+                Op::Advance { by } => now += by as u64,
+            }
+        }
+        // Full sweep: every live model entry must still resolve.
+        for (k, (vri, seen)) in &model {
+            if now - seen <= TIMEOUT {
+                prop_assert_eq!(table.find_and_touch(&key(*k), now), Some(*vri));
+            }
+        }
+    }
+}

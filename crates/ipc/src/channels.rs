@@ -1,0 +1,151 @@
+//! Queue bundles in the shapes LVRM uses them.
+//!
+//! Each VRI is wired to LVRM with **two pairs** of queues (paper §2.1,
+//! Fig. 2.1): an incoming/outgoing *data queue* pair carrying raw frames, and
+//! an incoming/outgoing *control queue* pair carrying inter-VRI control
+//! events. Control queues have strict priority: "each VRI first processes any
+//! control event available in its incoming control queue, and then processes
+//! data frames available in its incoming data queue."
+
+use crate::{queue, QueueKind, Receiver, Sender};
+
+/// A control event exchanged between VRIs (via LVRM). The payload is opaque
+/// to LVRM — the paper lets users "communicate with each other VRIs via their
+/// user-specified protocols similar to the UDP socket programming" (§3.7).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ControlEvent {
+    /// VRI that emitted the event.
+    pub src_vri: u32,
+    /// VRI the event is addressed to.
+    pub dst_vri: u32,
+    /// Timestamp at emission, ns (used by the message-passing latency bench).
+    pub ts_ns: u64,
+    /// User-defined payload.
+    pub payload: Vec<u8>,
+}
+
+impl ControlEvent {
+    pub fn new(src_vri: u32, dst_vri: u32, payload: Vec<u8>) -> ControlEvent {
+        ControlEvent { src_vri, dst_vri, ts_ns: 0, payload }
+    }
+}
+
+/// Create both directions of a queue pair: `(lvrm→vri, vri→lvrm)`, returning
+/// `((tx, rx), (tx, rx))` where the first tuple is held `tx` by LVRM and `rx`
+/// by the VRI, and the second the other way around.
+#[allow(clippy::type_complexity)]
+pub fn duplex<T: Send>(
+    kind: QueueKind,
+    capacity: usize,
+) -> ((Sender<T>, Receiver<T>), (Sender<T>, Receiver<T>)) {
+    (queue(kind, capacity), queue(kind, capacity))
+}
+
+/// One unit of work a VRI pulls off its queues.
+#[derive(Debug)]
+pub enum Work<F> {
+    /// A control event (always delivered before any data).
+    Control(ControlEvent),
+    /// A data frame.
+    Data(F),
+}
+
+/// LVRM's side of a VRI's queues.
+pub struct VriChannels<F> {
+    /// Data frames LVRM dispatches to the VRI.
+    pub data_tx: Sender<F>,
+    /// Forwarded frames coming back from the VRI.
+    pub data_rx: Receiver<F>,
+    /// Control events LVRM relays *to* this VRI.
+    pub ctrl_tx: Sender<ControlEvent>,
+    /// Control events this VRI emits (LVRM relays them onward).
+    pub ctrl_rx: Receiver<ControlEvent>,
+}
+
+/// The VRI's side of its queues.
+pub struct VriEndpoint<F> {
+    /// Data frames arriving from LVRM.
+    pub data_rx: Receiver<F>,
+    /// Forwarded frames handed back to LVRM.
+    pub data_tx: Sender<F>,
+    /// Control events arriving from LVRM.
+    pub ctrl_rx: Receiver<ControlEvent>,
+    /// Control events this VRI emits.
+    pub ctrl_tx: Sender<ControlEvent>,
+}
+
+impl<F: Send> VriEndpoint<F> {
+    /// Pull the next unit of work, giving control events strict priority
+    /// over data frames (paper §2.1).
+    #[inline]
+    pub fn next_work(&mut self) -> Option<Work<F>> {
+        if let Some(ev) = self.ctrl_rx.try_recv() {
+            return Some(Work::Control(ev));
+        }
+        self.data_rx.try_recv().map(Work::Data)
+    }
+}
+
+/// Build the full queue fabric for one VRI.
+///
+/// `data_capacity` sizes the data queues; control queues are sized
+/// `ctrl_capacity` (typically much smaller — control traffic is sparse).
+pub fn vri_channels<F: Send>(
+    kind: QueueKind,
+    data_capacity: usize,
+    ctrl_capacity: usize,
+) -> (VriChannels<F>, VriEndpoint<F>) {
+    let ((data_tx, vri_data_rx), (vri_data_tx, data_rx)) = duplex::<F>(kind, data_capacity);
+    let ((ctrl_tx, vri_ctrl_rx), (vri_ctrl_tx, ctrl_rx)) =
+        duplex::<ControlEvent>(kind, ctrl_capacity);
+    (
+        VriChannels { data_tx, data_rx, ctrl_tx, ctrl_rx },
+        VriEndpoint {
+            data_rx: vri_data_rx,
+            data_tx: vri_data_tx,
+            ctrl_rx: vri_ctrl_rx,
+            ctrl_tx: vri_ctrl_tx,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_roundtrip_through_vri() {
+        for kind in QueueKind::ALL {
+            let (mut lvrm, mut vri) = vri_channels::<u64>(kind, 8, 4);
+            lvrm.data_tx.try_send(42).unwrap();
+            match vri.next_work() {
+                Some(Work::Data(v)) => assert_eq!(v, 42),
+                other => panic!("unexpected work: {other:?}"),
+            }
+            vri.data_tx.try_send(42).unwrap();
+            assert_eq!(lvrm.data_rx.try_recv(), Some(42));
+        }
+    }
+
+    #[test]
+    fn control_has_priority_over_data() {
+        let (mut lvrm, mut vri) = vri_channels::<u64>(QueueKind::Lamport, 8, 4);
+        lvrm.data_tx.try_send(1).unwrap();
+        lvrm.data_tx.try_send(2).unwrap();
+        lvrm.ctrl_tx.try_send(ControlEvent::new(0, 1, vec![9])).unwrap();
+        // The control event arrived last but must be delivered first.
+        assert!(matches!(vri.next_work(), Some(Work::Control(ev)) if ev.payload == [9]));
+        assert!(matches!(vri.next_work(), Some(Work::Data(1))));
+        assert!(matches!(vri.next_work(), Some(Work::Data(2))));
+        assert!(vri.next_work().is_none());
+    }
+
+    #[test]
+    fn control_events_flow_upstream() {
+        let (mut lvrm, mut vri) = vri_channels::<u64>(QueueKind::FastForward, 8, 4);
+        vri.ctrl_tx.try_send(ControlEvent::new(3, 0, b"sync".to_vec())).unwrap();
+        let ev = lvrm.ctrl_rx.try_recv().unwrap();
+        assert_eq!(ev.src_vri, 3);
+        assert_eq!(ev.payload, b"sync");
+    }
+}

@@ -1,0 +1,251 @@
+//! FastForward-style cache-optimized SPSC queue (the paper's cited \[17\]).
+//!
+//! Lamport's ring shares two index words between the threads; every full/empty
+//! probe can ping-pong a cache line. FastForward (Giacomoni et al., PPoPP'08)
+//! removes the shared indices entirely: each *slot* carries its own occupancy
+//! flag, the producer and consumer keep private positions, and the only
+//! cross-thread cache traffic is the slot being handed over. We implement the
+//! same idea with a per-slot `AtomicBool` next to the payload.
+//!
+//! Because the endpoints never read each other's position, a producer-side
+//! `len()` cannot be exact; we maintain an approximate occupancy counter with
+//! Relaxed arithmetic — the load estimator (paper §3.4) smooths it with an
+//! EWMA anyway, so a transiently stale value is harmless.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+use crate::Full;
+
+struct Slot<T> {
+    /// `true` when `value` holds an item the consumer may take.
+    full: AtomicBool,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct Inner<T> {
+    slots: Box<[CachePadded<Slot<T>>]>,
+    /// Approximate occupancy for observers (see module docs).
+    approx_len: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: each slot's flag hands exclusive ownership of `value` back and
+// forth between exactly one producer and one consumer.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+/// Factory type; split into endpoints with [`FastForwardQueue::with_capacity`].
+pub struct FastForwardQueue<T>(std::marker::PhantomData<T>);
+
+impl<T: Send> FastForwardQueue<T> {
+    /// Create a queue with `capacity` slots and split it into endpoints.
+    pub fn with_capacity(capacity: usize) -> (FfSender<T>, FfReceiver<T>) {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let slots: Box<[CachePadded<Slot<T>>]> = (0..capacity)
+            .map(|_| {
+                CachePadded::new(Slot {
+                    full: AtomicBool::new(false),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+            })
+            .collect();
+        let inner =
+            Arc::new(Inner { slots, approx_len: CachePadded::new(AtomicUsize::new(0)) });
+        (
+            FfSender { inner: Arc::clone(&inner), pos: 0 },
+            FfReceiver { inner, pos: 0 },
+        )
+    }
+}
+
+/// Producer endpoint.
+pub struct FfSender<T> {
+    inner: Arc<Inner<T>>,
+    /// Private write position (never shared).
+    pos: usize,
+}
+
+/// Consumer endpoint.
+pub struct FfReceiver<T> {
+    inner: Arc<Inner<T>>,
+    /// Private read position (never shared).
+    pos: usize,
+}
+
+impl<T: Send> FfSender<T> {
+    #[inline]
+    pub fn try_send(&mut self, item: T) -> Result<(), Full<T>> {
+        let slot = &self.inner.slots[self.pos];
+        // Acquire pairs with the consumer's Release clear, so the slot's
+        // previous payload has been fully taken before we overwrite.
+        if slot.full.load(Ordering::Acquire) {
+            return Err(Full(item));
+        }
+        // SAFETY: flag is false, so the consumer will not touch this slot
+        // until our Release store below publishes it.
+        unsafe { (*slot.value.get()).write(item) };
+        slot.full.store(true, Ordering::Release);
+        self.pos = if self.pos + 1 == self.inner.slots.len() { 0 } else { self.pos + 1 };
+        self.inner.approx_len.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Approximate queued-item count (see module docs).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.approx_len.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+}
+
+impl<T: Send> FfReceiver<T> {
+    #[inline]
+    pub fn try_recv(&mut self) -> Option<T> {
+        let slot = &self.inner.slots[self.pos];
+        if !slot.full.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: flag is true, so the producer published this payload and
+        // will not touch the slot until we clear the flag with Release.
+        let item = unsafe { (*slot.value.get()).assume_init_read() };
+        slot.full.store(false, Ordering::Release);
+        self.pos = if self.pos + 1 == self.inner.slots.len() { 0 } else { self.pos + 1 };
+        self.inner.approx_len.fetch_sub(1, Ordering::Relaxed);
+        Some(item)
+    }
+
+    /// Approximate queued-item count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.approx_len.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+}
+
+impl<T> Drop for FfReceiver<T> {
+    fn drop(&mut self) {
+        // Drain undelivered items so their destructors run.
+        let n = self.inner.slots.len();
+        for _ in 0..n {
+            let slot = &self.inner.slots[self.pos];
+            if !slot.full.load(Ordering::Acquire) {
+                break;
+            }
+            unsafe { (*slot.value.get()).assume_init_drop() };
+            slot.full.store(false, Ordering::Release);
+            self.pos = if self.pos + 1 == n { 0 } else { self.pos + 1 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (mut tx, mut rx) = FastForwardQueue::with_capacity(8);
+        for i in 0..8 {
+            tx.try_send(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(rx.try_recv(), Some(i));
+        }
+        assert!(rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn full_when_all_slots_occupied() {
+        let (mut tx, mut rx) = FastForwardQueue::with_capacity(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(Full(3)));
+        assert_eq!(rx.try_recv(), Some(1));
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn approximate_len_settles_when_quiescent() {
+        let (mut tx, mut rx) = FastForwardQueue::with_capacity(8);
+        for i in 0..5 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(tx.len(), 5);
+        rx.try_recv();
+        rx.try_recv();
+        assert_eq!(tx.len(), 3);
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_order() {
+        let (mut tx, mut rx) = FastForwardQueue::with_capacity(64);
+        const N: u64 = 200_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.try_send(v) {
+                        Ok(()) => break,
+                        Err(Full(back)) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = rx.try_recv() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn drop_runs_destructors_of_queued_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        let (mut tx, rx) = FastForwardQueue::with_capacity(4);
+        tx.try_send(D).unwrap();
+        tx.try_send(D).unwrap();
+        tx.try_send(D).unwrap();
+        drop(rx);
+        drop(tx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+}

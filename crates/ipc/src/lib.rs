@@ -1,0 +1,217 @@
+//! Inter-process communication queues for LVRM (paper §3.5).
+//!
+//! LVRM and each VRI exchange frames and control events through bounded FIFO
+//! queues placed in shared memory. The paper stresses that IPC must be cheap:
+//! its prototype uses **lock-free synchronization** after Lamport's proof that
+//! a single-producer/single-consumer ring buffer is correct without locks,
+//! and cites FastForward-style cache-optimized variants as drop-in upgrades.
+//!
+//! This crate ships three interchangeable SPSC queue implementations:
+//!
+//! * [`LamportQueue`] — the classic ring with shared head/tail indices,
+//!   published with Acquire/Release atomics (the paper's default, \[23\]);
+//! * [`FastForwardQueue`] — a slot-flag ring in which producer and consumer
+//!   never share an index cache line (the paper's cited upgrade \[17\]);
+//! * [`MutexQueue`] — a lock-based baseline used by the ablation benches to
+//!   justify the lock-free choice.
+//!
+//! Endpoints are **typed**: a queue splits into a [`Sender`] and a
+//! [`Receiver`], each `Send` but deliberately not `Clone`/`Sync`, so the
+//! single-producer/single-consumer contract is enforced by the type system
+//! rather than by discipline. [`QueueKind`] selects an implementation at run
+//! time (LVRM's extensibility dimension); dispatch goes through a small enum
+//! rather than trait objects so the hot path stays monomorphic-friendly.
+//!
+//! The [`channels`] module bundles queues into the shapes LVRM needs: a
+//! bidirectional data-plane pair plus a control pair per VRI, with the
+//! control queue given strict priority (paper §2.1: "each VRI first processes
+//! any control event available in its incoming control queue").
+
+pub mod channels;
+pub mod fastforward;
+pub mod lamport;
+pub mod mutexq;
+
+pub use channels::{duplex, ControlEvent, VriChannels, VriEndpoint};
+pub use fastforward::FastForwardQueue;
+pub use lamport::LamportQueue;
+pub use mutexq::MutexQueue;
+
+/// Which queue implementation to instantiate (extensibility dimension §3.5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum QueueKind {
+    /// Lamport's lock-free SPSC ring (the paper's default).
+    #[default]
+    Lamport,
+    /// FastForward-style slot-flag ring (cache-optimized variant).
+    FastForward,
+    /// Lock-based baseline.
+    Mutex,
+}
+
+impl QueueKind {
+    /// All variants, for sweeps and ablations.
+    pub const ALL: [QueueKind; 3] = [QueueKind::Lamport, QueueKind::FastForward, QueueKind::Mutex];
+
+    /// Human-readable name used in bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueKind::Lamport => "lamport",
+            QueueKind::FastForward => "fastforward",
+            QueueKind::Mutex => "mutex",
+        }
+    }
+}
+
+/// Error returned by `try_send` when the queue is full; carries the item back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Full<T>(pub T);
+
+/// Sending endpoint of an SPSC queue.
+///
+/// `&mut self` on [`Sender::try_send`] enforces single-producer use.
+pub enum Sender<T> {
+    Lamport(lamport::LamportSender<T>),
+    FastForward(fastforward::FfSender<T>),
+    Mutex(mutexq::MutexSender<T>),
+}
+
+/// Receiving endpoint of an SPSC queue.
+pub enum Receiver<T> {
+    Lamport(lamport::LamportReceiver<T>),
+    FastForward(fastforward::FfReceiver<T>),
+    Mutex(mutexq::MutexReceiver<T>),
+}
+
+impl<T: Send> Sender<T> {
+    /// Enqueue `item`, or give it back if the queue is full.
+    #[inline]
+    pub fn try_send(&mut self, item: T) -> Result<(), Full<T>> {
+        match self {
+            Sender::Lamport(s) => s.try_send(item),
+            Sender::FastForward(s) => s.try_send(item),
+            Sender::Mutex(s) => s.try_send(item),
+        }
+    }
+
+    /// Current number of queued items, as observable from the producer side.
+    ///
+    /// The VRI adapter's queue-length load estimator (paper §3.4) reads this
+    /// on every dispatch. For [`FastForwardQueue`] the value is a lower-bound
+    /// estimate maintained without touching consumer state.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Sender::Lamport(s) => s.len(),
+            Sender::FastForward(s) => s.len(),
+            Sender::Mutex(s) => s.len(),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity (maximum number of buffered items).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        match self {
+            Sender::Lamport(s) => s.capacity(),
+            Sender::FastForward(s) => s.capacity(),
+            Sender::Mutex(s) => s.capacity(),
+        }
+    }
+}
+
+impl<T: Send> Receiver<T> {
+    /// Dequeue the next item, if any.
+    #[inline]
+    pub fn try_recv(&mut self) -> Option<T> {
+        match self {
+            Receiver::Lamport(r) => r.try_recv(),
+            Receiver::FastForward(r) => r.try_recv(),
+            Receiver::Mutex(r) => r.try_recv(),
+        }
+    }
+
+    /// Current number of queued items, as observable from the consumer side.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Receiver::Lamport(r) => r.len(),
+            Receiver::FastForward(r) => r.len(),
+            Receiver::Mutex(r) => r.len(),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Create an SPSC queue of `capacity` items using implementation `kind`.
+pub fn queue<T: Send>(kind: QueueKind, capacity: usize) -> (Sender<T>, Receiver<T>) {
+    match kind {
+        QueueKind::Lamport => {
+            let (s, r) = lamport::LamportQueue::with_capacity(capacity);
+            (Sender::Lamport(s), Receiver::Lamport(r))
+        }
+        QueueKind::FastForward => {
+            let (s, r) = fastforward::FastForwardQueue::with_capacity(capacity);
+            (Sender::FastForward(s), Receiver::FastForward(r))
+        }
+        QueueKind::Mutex => {
+            let (s, r) = mutexq::MutexQueue::with_capacity(capacity);
+            (Sender::Mutex(s), Receiver::Mutex(r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        for kind in QueueKind::ALL {
+            let (mut tx, mut rx) = queue::<u32>(kind, 4);
+            assert!(tx.is_empty());
+            tx.try_send(7).unwrap();
+            tx.try_send(8).unwrap();
+            assert_eq!(tx.len(), 2);
+            assert_eq!(rx.try_recv(), Some(7));
+            assert_eq!(rx.try_recv(), Some(8));
+            assert_eq!(rx.try_recv(), None);
+        }
+    }
+
+    #[test]
+    fn full_returns_item() {
+        for kind in QueueKind::ALL {
+            let (mut tx, _rx) = queue::<u32>(kind, 2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            match tx.try_send(3) {
+                Err(Full(v)) => assert_eq!(v, 3),
+                Ok(()) => panic!("{:?} accepted item beyond capacity", kind.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_reported() {
+        for kind in QueueKind::ALL {
+            let (tx, _rx) = queue::<u32>(kind, 8);
+            assert!(tx.capacity() >= 8, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            QueueKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Lock-based SPSC queue baseline.
+//!
+//! The paper argues lock-free IPC "is more efficient than the lock-based
+//! synchronization, in which only one process can access the queue at one
+//! time" (§3.5). This mutex-guarded ring exists so the `ipc_queue` ablation
+//! bench can quantify that claim instead of asserting it.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::Full;
+
+struct Inner<T> {
+    q: Mutex<VecDeque<T>>,
+    capacity: usize,
+}
+
+/// Factory type; split into endpoints with [`MutexQueue::with_capacity`].
+pub struct MutexQueue<T>(std::marker::PhantomData<T>);
+
+impl<T: Send> MutexQueue<T> {
+    pub fn with_capacity(capacity: usize) -> (MutexSender<T>, MutexReceiver<T>) {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let inner = Arc::new(Inner { q: Mutex::new(VecDeque::with_capacity(capacity)), capacity });
+        (MutexSender { inner: Arc::clone(&inner) }, MutexReceiver { inner })
+    }
+}
+
+/// Producer endpoint.
+pub struct MutexSender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Consumer endpoint.
+pub struct MutexReceiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T: Send> MutexSender<T> {
+    #[inline]
+    pub fn try_send(&mut self, item: T) -> Result<(), Full<T>> {
+        let mut q = self.inner.q.lock();
+        if q.len() >= self.inner.capacity {
+            return Err(Full(item));
+        }
+        q.push_back(item);
+        Ok(())
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.q.lock().len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+}
+
+impl<T: Send> MutexReceiver<T> {
+    #[inline]
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.inner.q.lock().pop_front()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.q.lock().len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let (mut tx, mut rx) = MutexQueue::with_capacity(2);
+        tx.try_send('a').unwrap();
+        tx.try_send('b').unwrap();
+        assert_eq!(tx.try_send('c'), Err(Full('c')));
+        assert_eq!(rx.try_recv(), Some('a'));
+        assert_eq!(rx.try_recv(), Some('b'));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let (mut tx, mut rx) = MutexQueue::with_capacity(16);
+        const N: u32 = 50_000;
+        let t = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.try_send(v) {
+                        Ok(()) => break,
+                        Err(Full(b)) => {
+                            v = b;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut seen = 0;
+        while seen < N {
+            if let Some(v) = rx.try_recv() {
+                assert_eq!(v, seen);
+                seen += 1;
+            }
+        }
+        t.join().unwrap();
+    }
+}

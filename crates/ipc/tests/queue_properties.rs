@@ -1,0 +1,122 @@
+//! Property-based tests: every queue implementation must behave exactly like
+//! a bounded FIFO (modeled with `VecDeque`) under any interleaving of sends
+//! and receives, and must deliver items unmutated and in order across threads.
+
+use std::collections::VecDeque;
+
+use lvrm_ipc::{queue, Full, QueueKind};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Send(u64),
+    Recv,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![any::<u64>().prop_map(Op::Send), Just(Op::Recv)],
+        0..200,
+    )
+}
+
+fn check_against_model(kind: QueueKind, capacity: usize, script: &[Op]) {
+    let (mut tx, mut rx) = queue::<u64>(kind, capacity);
+    let mut model: VecDeque<u64> = VecDeque::new();
+    for op in script {
+        match op {
+            Op::Send(v) => {
+                let res = tx.try_send(*v);
+                if model.len() < capacity {
+                    assert_eq!(res, Ok(()), "send should succeed below capacity");
+                    model.push_back(*v);
+                } else {
+                    assert_eq!(res, Err(Full(*v)), "send should fail at capacity");
+                }
+            }
+            Op::Recv => {
+                assert_eq!(rx.try_recv(), model.pop_front());
+            }
+        }
+    }
+    // Drain: everything still queued must come out in model order.
+    while let Some(expect) = model.pop_front() {
+        assert_eq!(rx.try_recv(), Some(expect));
+    }
+    assert_eq!(rx.try_recv(), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lamport_matches_fifo_model(script in ops(), cap in 1usize..16) {
+        check_against_model(QueueKind::Lamport, cap, &script);
+    }
+
+    #[test]
+    fn fastforward_matches_fifo_model(script in ops(), cap in 1usize..16) {
+        check_against_model(QueueKind::FastForward, cap, &script);
+    }
+
+    #[test]
+    fn mutex_matches_fifo_model(script in ops(), cap in 1usize..16) {
+        check_against_model(QueueKind::Mutex, cap, &script);
+    }
+
+    /// Producer-side `len()` must equal true occupancy whenever the queue is
+    /// quiescent (no concurrent access), for every implementation.
+    #[test]
+    fn quiescent_len_is_exact(kind_idx in 0usize..3, sends in 0usize..8, recvs in 0usize..8) {
+        let kind = QueueKind::ALL[kind_idx];
+        let cap = 8;
+        let (mut tx, mut rx) = queue::<u64>(kind, cap);
+        let mut occupancy = 0usize;
+        for i in 0..sends {
+            if tx.try_send(i as u64).is_ok() {
+                occupancy += 1;
+            }
+        }
+        for _ in 0..recvs {
+            if rx.try_recv().is_some() {
+                occupancy -= 1;
+            }
+        }
+        prop_assert_eq!(tx.len(), occupancy);
+        prop_assert_eq!(rx.len(), occupancy);
+    }
+}
+
+/// Concurrent smoke test per kind: order and content preserved under real
+/// thread interleavings (longer stress lives in each module's unit tests).
+#[test]
+fn concurrent_order_all_kinds() {
+    for kind in QueueKind::ALL {
+        let (mut tx, mut rx) = queue::<u64>(kind, 32);
+        const N: u64 = 50_000;
+        let t = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.try_send(v) {
+                        Ok(()) => break,
+                        Err(Full(b)) => {
+                            v = b;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0;
+        while expected < N {
+            if let Some(v) = rx.try_recv() {
+                assert_eq!(v, expected, "kind {}", kind.name());
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        t.join().unwrap();
+    }
+}

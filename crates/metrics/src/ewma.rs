@@ -1,0 +1,290 @@
+//! Exponential weighted moving averages and rate estimators.
+//!
+//! The paper's load-estimation pseudocode (Fig. 3.4) updates the average as
+//!
+//! ```text
+//! Average_Load <- (current load + weight * Average_Load) / (1 + weight)
+//! ```
+//!
+//! i.e. a convex combination with smoothing factor `alpha = 1 / (1 + weight)`
+//! applied to the newest sample. [`Ewma`] implements exactly that recurrence;
+//! the first sample initializes the average (the "is valid" guard in the
+//! pseudocode).
+
+/// Exponential weighted moving average in the paper's parameterization.
+#[derive(Clone, Debug)]
+pub struct Ewma {
+    /// The paper's `weight` (history weight); `alpha = 1 / (1 + weight)`.
+    weight: f64,
+    avg: Option<f64>,
+}
+
+impl Ewma {
+    /// Create an EWMA with the paper's `weight` parameter (must be >= 0).
+    /// `weight = 0` tracks the latest sample exactly; larger is smoother.
+    pub fn new(weight: f64) -> Ewma {
+        assert!(weight >= 0.0 && weight.is_finite(), "weight must be finite and >= 0");
+        Ewma { weight, avg: None }
+    }
+
+    /// Feed one sample; returns the updated average.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        let next = match self.avg {
+            None => sample,
+            Some(avg) => (sample + self.weight * avg) / (1.0 + self.weight),
+        };
+        self.avg = Some(next);
+        next
+    }
+
+    /// The current average (`None` before the first sample).
+    pub fn value(&self) -> Option<f64> {
+        self.avg
+    }
+
+    /// Current average, or `default` before the first sample.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.avg.unwrap_or(default)
+    }
+
+    /// Forget all history.
+    pub fn reset(&mut self) {
+        self.avg = None;
+    }
+
+    /// True once at least one sample has been absorbed.
+    pub fn is_valid(&self) -> bool {
+        self.avg.is_some()
+    }
+}
+
+/// Arrival-rate estimator: counts events in fixed windows and smooths the
+/// per-window rate with an [`Ewma`]. This is the "exponential weighted
+/// average arrival rate of incoming data frames" the VR monitor compares
+/// against its thresholds (§3.2).
+#[derive(Clone, Debug)]
+pub struct RateEstimator {
+    window_ns: u64,
+    window_start: Option<u64>,
+    count_in_window: u64,
+    ewma: Ewma,
+}
+
+impl RateEstimator {
+    /// `window_ns` is the sampling window; `weight` the EWMA history weight.
+    pub fn new(window_ns: u64, weight: f64) -> RateEstimator {
+        assert!(window_ns > 0, "window must be positive");
+        RateEstimator { window_ns, window_start: None, count_in_window: 0, ewma: Ewma::new(weight) }
+    }
+
+    /// Record one event at `now_ns`.
+    pub fn record(&mut self, now_ns: u64) {
+        self.advance(now_ns);
+        self.count_in_window += 1;
+    }
+
+    /// Close any windows that have fully elapsed by `now_ns`, feeding their
+    /// rates into the EWMA. Call this from the control loop even when no
+    /// events arrive, so silence drives the rate toward zero.
+    pub fn advance(&mut self, now_ns: u64) {
+        let start = *self.window_start.get_or_insert(now_ns);
+        if now_ns < start {
+            return; // out-of-order timestamp; ignore
+        }
+        let mut start = start;
+        while now_ns - start >= self.window_ns {
+            let rate = self.count_in_window as f64 * 1e9 / self.window_ns as f64;
+            self.ewma.update(rate);
+            self.count_in_window = 0;
+            start += self.window_ns;
+        }
+        self.window_start = Some(start);
+    }
+
+    /// Smoothed events-per-second estimate.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.ewma.value_or(0.0)
+    }
+
+    pub fn reset(&mut self) {
+        self.window_start = None;
+        self.count_in_window = 0;
+        self.ewma.reset();
+    }
+}
+
+/// Service-rate estimator: the average **departure rate** of a VRI's
+/// incoming data queue, measured from the gaps between consecutive
+/// dequeues while the VRI is busy (§3.6 — "it measures the service rate by
+/// observing the service time between the current call and the next call of
+/// the function fromLVRM()").
+///
+/// The paper prefers this over `getrusage()` CPU load because it is directly
+/// comparable with the arrival rate.
+#[derive(Clone, Debug)]
+pub struct ServiceRateEstimator {
+    last_departure_ns: Option<u64>,
+    /// EWMA over service *times* (ns); rate is its reciprocal.
+    service_time: Ewma,
+    /// Gaps longer than this mean the VRI went idle, not slow; they are
+    /// discarded so idleness does not deflate the service-rate estimate.
+    idle_cutoff_ns: u64,
+}
+
+impl ServiceRateEstimator {
+    pub fn new(weight: f64, idle_cutoff_ns: u64) -> ServiceRateEstimator {
+        ServiceRateEstimator {
+            last_departure_ns: None,
+            service_time: Ewma::new(weight),
+            idle_cutoff_ns,
+        }
+    }
+
+    /// The queue was observed empty: the next departure gap would measure
+    /// idleness, not service time, so forget the last departure.
+    pub fn note_idle(&mut self) {
+        self.last_departure_ns = None;
+    }
+
+    /// Record that one frame departed the incoming queue at `now_ns`.
+    pub fn record_departure(&mut self, now_ns: u64) {
+        if let Some(prev) = self.last_departure_ns {
+            let gap = now_ns.saturating_sub(prev);
+            if gap > 0 && gap <= self.idle_cutoff_ns {
+                self.service_time.update(gap as f64);
+            }
+        }
+        self.last_departure_ns = Some(now_ns);
+    }
+
+    /// Smoothed frames-per-second service rate (`None` until two departures
+    /// closer than the idle cutoff have been seen).
+    pub fn rate_per_sec(&self) -> Option<f64> {
+        self.service_time.value().map(|t| 1e9 / t)
+    }
+
+    pub fn reset(&mut self) {
+        self.last_departure_ns = None;
+        self.service_time.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = Ewma::new(7.0);
+        assert!(!e.is_valid());
+        assert_eq!(e.update(10.0), 10.0);
+        assert!(e.is_valid());
+    }
+
+    #[test]
+    fn paper_recurrence() {
+        // avg = (current + w*avg) / (1 + w) with w = 3:
+        let mut e = Ewma::new(3.0);
+        e.update(8.0);
+        let v = e.update(4.0); // (4 + 3*8)/4 = 7
+        assert!((v - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_zero_tracks_latest() {
+        let mut e = Ewma::new(0.0);
+        e.update(100.0);
+        assert_eq!(e.update(5.0), 5.0);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(9.0);
+        e.update(0.0);
+        for _ in 0..2000 {
+            e.update(50.0);
+        }
+        assert!((e.value().unwrap() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be finite")]
+    fn negative_weight_rejected() {
+        let _ = Ewma::new(-1.0);
+    }
+
+    #[test]
+    fn rate_estimator_measures_cbr() {
+        // 1000 events/s for 5 seconds in 100 ms windows.
+        let mut r = RateEstimator::new(100_000_000, 1.0);
+        let mut t = 0u64;
+        for _ in 0..5000 {
+            r.record(t);
+            t += 1_000_000; // 1 ms apart => 1000/s
+        }
+        r.advance(t);
+        assert!((r.rate_per_sec() - 1000.0).abs() / 1000.0 < 0.05, "{}", r.rate_per_sec());
+    }
+
+    #[test]
+    fn rate_decays_to_zero_when_idle() {
+        let mut r = RateEstimator::new(100_000_000, 1.0);
+        for i in 0..100 {
+            r.record(i * 1_000_000);
+        }
+        // 10 s of silence.
+        r.advance(10_000_000_000);
+        assert!(r.rate_per_sec() < 1.0, "{}", r.rate_per_sec());
+    }
+
+    #[test]
+    fn rate_ignores_out_of_order_timestamps() {
+        let mut r = RateEstimator::new(1_000_000, 1.0);
+        r.record(5_000_000);
+        r.record(1_000_000); // earlier than window start: not crash, counted
+        let _ = r.rate_per_sec();
+    }
+
+    #[test]
+    fn service_rate_from_departure_gaps() {
+        // Departures every 16.67 us => 60 Kfps (the paper's dummy-load rate).
+        let mut s = ServiceRateEstimator::new(4.0, 1_000_000);
+        let mut t = 0u64;
+        for _ in 0..100 {
+            t += 16_667;
+            s.record_departure(t);
+        }
+        let rate = s.rate_per_sec().unwrap();
+        assert!((rate - 60_000.0).abs() / 60_000.0 < 0.01, "{rate}");
+    }
+
+    #[test]
+    fn service_rate_skips_idle_gaps() {
+        let mut s = ServiceRateEstimator::new(0.0, 1_000_000);
+        s.record_departure(0);
+        s.record_departure(10_000); // 10 us busy gap
+        s.record_departure(2_000_000_000); // 2 s idle gap: ignored
+        let rate = s.rate_per_sec().unwrap();
+        assert!((rate - 100_000.0).abs() < 1.0, "{rate}");
+    }
+
+    #[test]
+    fn note_idle_breaks_the_gap_chain() {
+        let mut s = ServiceRateEstimator::new(0.0, u64::MAX);
+        s.record_departure(0);
+        s.record_departure(10_000); // 100 Kfps busy gap
+        s.note_idle();
+        // A long wait follows, but the gap after idleness is not counted.
+        s.record_departure(500_000_000);
+        let rate = s.rate_per_sec().unwrap();
+        assert!((rate - 100_000.0).abs() < 1.0, "idle gap polluted the rate: {rate}");
+    }
+
+    #[test]
+    fn service_rate_none_before_two_departures() {
+        let mut s = ServiceRateEstimator::new(1.0, 1_000_000);
+        assert!(s.rate_per_sec().is_none());
+        s.record_departure(100);
+        assert!(s.rate_per_sec().is_none());
+    }
+}

@@ -1,0 +1,86 @@
+//! Fairness indexes used by Experiments 3c and 4 (§4.1 "Metrics").
+//!
+//! * **Jain's fairness index** (Jain, Chiu & Hawe 1984, the paper's \[20\]):
+//!   `(Σx)² / (n · Σx²)`, in `(0, 1]`; 1 means perfectly equal shares. The
+//!   paper reads it as "the majority of the flows".
+//! * **Max-min fairness**, "which focuses on the outliner": the worst flow's
+//!   share normalized by the mean share, `n · min(x) / Σx`, also in `[0, 1]`.
+
+/// Jain's fairness index over per-flow rates. Returns 1.0 for an empty or
+/// all-zero population (nothing is unfair about nothing).
+pub fn jain_index(rates: &[f64]) -> f64 {
+    if rates.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = rates.iter().sum();
+    let sum_sq: f64 = rates.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (rates.len() as f64 * sum_sq)
+}
+
+/// Normalized max-min fairness: the minimum share divided by the mean share
+/// (`n·min/Σ`). Returns 1.0 for an empty or all-zero population.
+pub fn max_min_fairness(rates: &[f64]) -> f64 {
+    if rates.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = rates.iter().sum();
+    if sum == 0.0 {
+        return 1.0;
+    }
+    let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+    (rates.len() as f64 * min) / sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_shares_are_perfectly_fair() {
+        let r = [5.0; 8];
+        assert!((jain_index(&r) - 1.0).abs() < 1e-12);
+        assert!((max_min_fairness(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_known_value() {
+        // One flow gets everything among n: index = 1/n.
+        let r = [10.0, 0.0, 0.0, 0.0];
+        assert!((jain_index(&r) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_min_detects_outlier() {
+        // One starved flow drags max-min down but barely moves Jain.
+        let mut r = vec![10.0; 100];
+        r[0] = 1.0;
+        assert!(max_min_fairness(&r) < 0.11);
+        assert!(jain_index(&r) > 0.99);
+    }
+
+    #[test]
+    fn degenerate_populations() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(max_min_fairness(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(max_min_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn indexes_are_scale_invariant() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((jain_index(&a) - jain_index(&b)).abs() < 1e-12);
+        assert!((max_min_fairness(&a) - max_min_fairness(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_between_bounds() {
+        let r = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let j = jain_index(&r);
+        assert!(j > 1.0 / r.len() as f64 && j < 1.0);
+    }
+}

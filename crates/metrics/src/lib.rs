@@ -1,0 +1,22 @@
+//! Load estimation and evaluation metrics for LVRM.
+//!
+//! Two halves:
+//!
+//! * **On-line estimators** used by LVRM's control loop — the exponential
+//!   weighted moving average of §3.4 (queue length or inter-arrival time),
+//!   the windowed arrival-rate estimator the VR monitor feeds its thresholds
+//!   with (§3.2), and the departure-rate service estimator behind the
+//!   dynamic-threshold allocator (§3.6).
+//! * **Off-line evaluation metrics** used by Chapter 4 — Jain's fairness
+//!   index, normalized max-min fairness, latency histograms with percentile
+//!   queries, and small summary statistics for multi-trial experiments.
+
+pub mod ewma;
+pub mod fairness;
+pub mod histogram;
+pub mod summary;
+
+pub use ewma::{Ewma, RateEstimator, ServiceRateEstimator};
+pub use fairness::{jain_index, max_min_fairness};
+pub use histogram::LatencyHistogram;
+pub use summary::Summary;

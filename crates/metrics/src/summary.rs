@@ -1,0 +1,127 @@
+//! Multi-trial summary statistics.
+//!
+//! The paper runs "ten trials in one experiment" for UDP and three for FTP
+//! (§4.1) and plots mean values. [`Summary`] accumulates per-trial results
+//! and reports mean, standard deviation and extremes.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance (Welford) over trial results.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    pub fn new() -> Summary {
+        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Absorb one trial result.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Build a summary from a slice of trial results.
+    pub fn of(values: &[f64]) -> Summary {
+        let mut s = Summary::new();
+        for &v in values {
+            s.add(v);
+        }
+        s
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3} (n={})", self.mean(), self.stddev(), self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is ~2.138.
+        assert!((s.stddev() - 2.138).abs() < 1e-3);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let vals = [1.5, -2.0, 3.25, 8.0, 0.0];
+        let mut a = Summary::new();
+        for v in vals {
+            a.add(v);
+        }
+        let b = Summary::of(&vals);
+        assert!((a.mean() - b.mean()).abs() < 1e-12);
+        assert!((a.stddev() - b.stddev()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests on the metric invariants Chapter 4 relies on.
+
+use lvrm_metrics::{jain_index, max_min_fairness, Ewma, LatencyHistogram, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Jain's index lies in [1/n, 1] for any positive population, and
+    /// max-min never exceeds it.
+    #[test]
+    fn fairness_bounds(rates in prop::collection::vec(0.001f64..1e6, 1..64)) {
+        let j = jain_index(&rates);
+        let n = rates.len() as f64;
+        prop_assert!(j >= 1.0 / n - 1e-9 && j <= 1.0 + 1e-9, "jain {j}");
+        let m = max_min_fairness(&rates);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&m), "max-min {m}");
+        prop_assert!(m <= j + 1e-9, "max-min never exceeds jain: {m} vs {j}");
+    }
+
+    /// EWMA output always lies within the sample range seen so far.
+    #[test]
+    fn ewma_stays_in_range(weight in 0.0f64..64.0, samples in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+        let mut e = Ewma::new(weight);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &s in &samples {
+            lo = lo.min(s);
+            hi = hi.max(s);
+            let v = e.update(s);
+            prop_assert!(v >= lo - 1e-6 && v <= hi + 1e-6, "ewma {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Histogram percentiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn percentiles_monotone(samples in prop::collection::vec(1u64..10_000_000, 1..500)) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut prev = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let p = h.percentile_ns(q);
+            prop_assert!(p >= prev, "p({q}) = {p} < previous {prev}");
+            prev = p;
+        }
+        let max = *samples.iter().max().unwrap() as f64;
+        let min = *samples.iter().min().unwrap() as f64;
+        prop_assert!(h.percentile_ns(1.0) as f64 <= max * 1.05 + 1.0);
+        prop_assert!(h.percentile_ns(0.0) as f64 >= min * 0.95 - 1.0);
+    }
+
+    /// Histogram merge equals recording the union.
+    #[test]
+    fn merge_equals_union(
+        a in prop::collection::vec(1u64..1_000_000, 0..200),
+        b in prop::collection::vec(1u64..1_000_000, 0..200),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut hu = LatencyHistogram::new();
+        for &x in &a { ha.record(x); hu.record(x); }
+        for &x in &b { hb.record(x); hu.record(x); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.max_ns(), hu.max_ns());
+        prop_assert_eq!(ha.min_ns(), hu.min_ns());
+        prop_assert!((ha.mean_ns() - hu.mean_ns()).abs() < 1e-6);
+        prop_assert_eq!(ha.percentile_ns(0.5), hu.percentile_ns(0.5));
+    }
+
+    /// Welford summary matches the naive two-pass computation.
+    #[test]
+    fn summary_matches_naive(values in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let s = Summary::of(&values);
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.stddev() - var.sqrt()).abs() < 1e-5 * var.sqrt().max(1.0));
+    }
+}

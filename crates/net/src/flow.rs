@@ -1,0 +1,176 @@
+//! Flow identification for flow-based load balancing (paper §3.3).
+//!
+//! The paper's flow-based balancer keys its hash table on the classic TCP/IP
+//! 5-tuple so that "data frames of the same flow are always forwarded to the
+//! same core", avoiding intra-flow reordering.
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::frame::Frame;
+use crate::headers::{IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP};
+
+/// Transport protocol of a flow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Protocol {
+    Tcp,
+    Udp,
+    Icmp,
+    Other(u8),
+}
+
+impl Protocol {
+    pub fn from_ip_proto(p: u8) -> Protocol {
+        match p {
+            IPPROTO_TCP => Protocol::Tcp,
+            IPPROTO_UDP => Protocol::Udp,
+            IPPROTO_ICMP => Protocol::Icmp,
+            other => Protocol::Other(other),
+        }
+    }
+
+    pub fn to_ip_proto(self) -> u8 {
+        match self {
+            Protocol::Tcp => IPPROTO_TCP,
+            Protocol::Udp => IPPROTO_UDP,
+            Protocol::Icmp => IPPROTO_ICMP,
+            Protocol::Other(p) => p,
+        }
+    }
+}
+
+/// The 5-tuple identifying a flow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct FlowKey {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub proto: Protocol,
+}
+
+impl FlowKey {
+    /// Extract the 5-tuple from a frame. Non-IPv4 frames and unknown
+    /// transports fall back to ports `0` so they still hash consistently.
+    pub fn from_frame(frame: &Frame) -> Option<FlowKey> {
+        let ip = frame.ipv4().ok()?;
+        let proto = Protocol::from_ip_proto(ip.protocol());
+        let (src_port, dst_port) = match proto {
+            Protocol::Tcp => {
+                let t = frame.tcp().ok()?;
+                (t.src_port(), t.dst_port())
+            }
+            Protocol::Udp => {
+                let u = frame.udp().ok()?;
+                (u.src_port(), u.dst_port())
+            }
+            _ => (0, 0),
+        };
+        Some(FlowKey { src: ip.src(), dst: ip.dst(), src_port, dst_port, proto })
+    }
+
+    /// The same flow with endpoints swapped (the reverse direction).
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// A fast, stable 64-bit hash of the 5-tuple (FNV-1a). The flow table
+    /// uses this instead of `std::hash` so the layout is reproducible across
+    /// runs and the hot path avoids hasher construction.
+    pub fn hash64(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut mix = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        };
+        for b in self.src.octets() {
+            mix(b);
+        }
+        for b in self.dst.octets() {
+            mix(b);
+        }
+        for b in self.src_port.to_be_bytes() {
+            mix(b);
+        }
+        for b in self.dst_port.to_be_bytes() {
+            mix(b);
+        }
+        mix(self.proto.to_ip_proto());
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameBuilder;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    #[test]
+    fn key_from_udp_frame() {
+        let mut b = FrameBuilder::new(ip(10, 0, 1, 5), ip(10, 0, 2, 9));
+        let f = b.udp(40000, 53, b"q");
+        let k = FlowKey::from_frame(&f).unwrap();
+        assert_eq!(k.src, ip(10, 0, 1, 5));
+        assert_eq!(k.dst_port, 53);
+        assert_eq!(k.proto, Protocol::Udp);
+    }
+
+    #[test]
+    fn key_from_tcp_frame() {
+        let mut b = FrameBuilder::new(ip(10, 0, 1, 5), ip(10, 0, 2, 9));
+        let f = b.tcp(40000, 21, 0, 0, crate::headers::tcp_flags::SYN, 8192, &[]);
+        let k = FlowKey::from_frame(&f).unwrap();
+        assert_eq!(k.proto, Protocol::Tcp);
+        assert_eq!(k.dst_port, 21);
+    }
+
+    #[test]
+    fn reversed_twice_is_identity() {
+        let k = FlowKey {
+            src: ip(1, 2, 3, 4),
+            dst: ip(5, 6, 7, 8),
+            src_port: 10,
+            dst_port: 20,
+            proto: Protocol::Tcp,
+        };
+        assert_eq!(k.reversed().reversed(), k);
+        assert_ne!(k.reversed(), k);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_direction_sensitive() {
+        let k = FlowKey {
+            src: ip(10, 0, 1, 5),
+            dst: ip(10, 0, 2, 9),
+            src_port: 40000,
+            dst_port: 80,
+            proto: Protocol::Tcp,
+        };
+        assert_eq!(k.hash64(), k.hash64());
+        assert_ne!(k.hash64(), k.reversed().hash64());
+    }
+
+    #[test]
+    fn same_flow_same_hash_across_frames() {
+        let mut b = FrameBuilder::new(ip(10, 0, 1, 5), ip(10, 0, 2, 9));
+        let f1 = b.udp(1111, 2222, b"a");
+        let f2 = b.udp(1111, 2222, b"bbbb");
+        assert_eq!(
+            FlowKey::from_frame(&f1).unwrap().hash64(),
+            FlowKey::from_frame(&f2).unwrap().hash64()
+        );
+    }
+}

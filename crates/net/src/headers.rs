@@ -1,0 +1,346 @@
+//! Zero-copy header views over raw frame bytes.
+//!
+//! LVRM inspects only a handful of fields on the hot path — the source IPv4
+//! address (VR classification, §2.1 step 2) and the TCP/UDP 5-tuple (flow-based
+//! load balancing, §3.3) — so the views below borrow the frame buffer instead
+//! of deserializing it.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// A deterministic locally-administered unicast address for host `n`.
+    pub fn host(n: u32) -> MacAddr {
+        let b = n.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    pub fn as_bytes(&self) -> &[u8; 6] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// EtherType values the workspace cares about.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u16)]
+pub enum EtherType {
+    Ipv4 = 0x0800,
+    Arp = 0x0806,
+    /// Anything else, carried verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    pub fn from_u16(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+/// IP protocol numbers used by the traffic models.
+pub const IPPROTO_ICMP: u8 = 1;
+pub const IPPROTO_TCP: u8 = 6;
+pub const IPPROTO_UDP: u8 = 17;
+
+/// View over an Ethernet header (14 bytes).
+#[derive(Clone, Copy, Debug)]
+pub struct EthernetView<'a>(&'a [u8]);
+
+impl<'a> EthernetView<'a> {
+    pub const LEN: usize = 14;
+
+    /// Interpret `data` as an Ethernet frame. Returns `None` if too short.
+    pub fn new(data: &'a [u8]) -> Option<Self> {
+        (data.len() >= Self::LEN).then_some(EthernetView(data))
+    }
+
+    pub fn dst(&self) -> MacAddr {
+        MacAddr(self.0[0..6].try_into().unwrap())
+    }
+
+    pub fn src(&self) -> MacAddr {
+        MacAddr(self.0[6..12].try_into().unwrap())
+    }
+
+    pub fn ethertype(&self) -> EtherType {
+        EtherType::from_u16(u16::from_be_bytes([self.0[12], self.0[13]]))
+    }
+
+    /// The bytes after the Ethernet header.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.0[Self::LEN..]
+    }
+}
+
+/// View over an IPv4 header (without options support beyond IHL accounting).
+#[derive(Clone, Copy, Debug)]
+pub struct Ipv4View<'a>(&'a [u8]);
+
+impl<'a> Ipv4View<'a> {
+    pub const MIN_LEN: usize = 20;
+
+    /// Interpret `data` as an IPv4 packet. Returns `None` when the version is
+    /// not 4 or the buffer is shorter than the declared header.
+    pub fn new(data: &'a [u8]) -> Option<Self> {
+        if data.len() < Self::MIN_LEN || data[0] >> 4 != 4 {
+            return None;
+        }
+        let ihl = ((data[0] & 0x0f) as usize) * 4;
+        if ihl < Self::MIN_LEN || data.len() < ihl {
+            return None;
+        }
+        Some(Ipv4View(data))
+    }
+
+    pub fn header_len(&self) -> usize {
+        ((self.0[0] & 0x0f) as usize) * 4
+    }
+
+    pub fn total_len(&self) -> u16 {
+        u16::from_be_bytes([self.0[2], self.0[3]])
+    }
+
+    pub fn ttl(&self) -> u8 {
+        self.0[8]
+    }
+
+    pub fn protocol(&self) -> u8 {
+        self.0[9]
+    }
+
+    pub fn checksum(&self) -> u16 {
+        u16::from_be_bytes([self.0[10], self.0[11]])
+    }
+
+    pub fn src(&self) -> Ipv4Addr {
+        Ipv4Addr::new(self.0[12], self.0[13], self.0[14], self.0[15])
+    }
+
+    pub fn dst(&self) -> Ipv4Addr {
+        Ipv4Addr::new(self.0[16], self.0[17], self.0[18], self.0[19])
+    }
+
+    /// Verify the header checksum (sums to zero when valid).
+    pub fn checksum_ok(&self) -> bool {
+        internet_checksum(&self.0[..self.header_len()]) == 0
+    }
+
+    /// Bytes after the IPv4 header, clamped to the declared total length.
+    pub fn payload(&self) -> &'a [u8] {
+        let hl = self.header_len();
+        let end = (self.total_len() as usize).min(self.0.len());
+        &self.0[hl..end.max(hl)]
+    }
+}
+
+/// View over a UDP header (8 bytes).
+#[derive(Clone, Copy, Debug)]
+pub struct UdpView<'a>(&'a [u8]);
+
+impl<'a> UdpView<'a> {
+    pub const LEN: usize = 8;
+
+    pub fn new(data: &'a [u8]) -> Option<Self> {
+        (data.len() >= Self::LEN).then_some(UdpView(data))
+    }
+
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.0[0], self.0[1]])
+    }
+
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.0[2], self.0[3]])
+    }
+
+    pub fn len(&self) -> u16 {
+        u16::from_be_bytes([self.0[4], self.0[5]])
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() as usize <= Self::LEN
+    }
+
+    pub fn payload(&self) -> &'a [u8] {
+        let end = (self.len() as usize).clamp(Self::LEN, self.0.len());
+        &self.0[Self::LEN..end]
+    }
+}
+
+/// View over a TCP header (20+ bytes). Only the fields the flow table and the
+/// testbed's TCP model need are exposed.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpView<'a>(&'a [u8]);
+
+impl<'a> TcpView<'a> {
+    pub const MIN_LEN: usize = 20;
+
+    pub fn new(data: &'a [u8]) -> Option<Self> {
+        if data.len() < Self::MIN_LEN {
+            return None;
+        }
+        let doff = ((data[12] >> 4) as usize) * 4;
+        if doff < Self::MIN_LEN || data.len() < doff {
+            return None;
+        }
+        Some(TcpView(data))
+    }
+
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.0[0], self.0[1]])
+    }
+
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.0[2], self.0[3]])
+    }
+
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes([self.0[4], self.0[5], self.0[6], self.0[7]])
+    }
+
+    pub fn ack(&self) -> u32 {
+        u32::from_be_bytes([self.0[8], self.0[9], self.0[10], self.0[11]])
+    }
+
+    pub fn header_len(&self) -> usize {
+        ((self.0[12] >> 4) as usize) * 4
+    }
+
+    pub fn flags(&self) -> u8 {
+        self.0[13]
+    }
+
+    pub fn window(&self) -> u16 {
+        u16::from_be_bytes([self.0[14], self.0[15]])
+    }
+
+    pub fn payload(&self) -> &'a [u8] {
+        &self.0[self.header_len()..]
+    }
+}
+
+/// TCP flag bits.
+pub mod tcp_flags {
+    pub const FIN: u8 = 0x01;
+    pub const SYN: u8 = 0x02;
+    pub const RST: u8 = 0x04;
+    pub const PSH: u8 = 0x08;
+    pub const ACK: u8 = 0x10;
+}
+
+/// RFC 1071 internet checksum over `data` (one's-complement sum folded to 16
+/// bits, complemented). Over a header whose checksum field is filled in, a
+/// valid header sums to `0`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_host_is_unicast_and_unique() {
+        let a = MacAddr::host(1);
+        let b = MacAddr::host(2);
+        assert_ne!(a, b);
+        // Locally administered, unicast.
+        assert_eq!(a.0[0] & 0x01, 0);
+        assert_eq!(a.0[0] & 0x02, 0x02);
+        assert_eq!(format!("{a}"), "02:00:00:00:00:01");
+    }
+
+    #[test]
+    fn ethertype_roundtrip() {
+        for v in [0x0800u16, 0x0806, 0x86dd, 0x1234] {
+            assert_eq!(EtherType::from_u16(v).to_u16(), v);
+        }
+    }
+
+    #[test]
+    fn ethernet_view_rejects_short_buffers() {
+        assert!(EthernetView::new(&[0u8; 13]).is_none());
+        assert!(EthernetView::new(&[0u8; 14]).is_some());
+    }
+
+    #[test]
+    fn ipv4_view_rejects_bad_version_and_truncation() {
+        let mut hdr = [0u8; 20];
+        hdr[0] = 0x45;
+        assert!(Ipv4View::new(&hdr).is_some());
+        hdr[0] = 0x65; // IPv6 version nibble
+        assert!(Ipv4View::new(&hdr).is_none());
+        hdr[0] = 0x46; // IHL = 24 but only 20 bytes present
+        assert!(Ipv4View::new(&hdr).is_none());
+    }
+
+    #[test]
+    fn checksum_of_rfc1071_example() {
+        // Known vector: checksum of this 8-byte sequence is 0x220d.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        // Odd trailing byte is padded with zero on the right.
+        let even = internet_checksum(&[0xab, 0x00]);
+        let odd = internet_checksum(&[0xab]);
+        assert_eq!(even, odd);
+    }
+
+    #[test]
+    fn tcp_view_header_len_guard() {
+        let mut hdr = [0u8; 20];
+        hdr[12] = 0x50; // data offset 5 words = 20 bytes
+        assert!(TcpView::new(&hdr).is_some());
+        hdr[12] = 0x60; // claims 24 bytes, buffer has 20
+        assert!(TcpView::new(&hdr).is_none());
+        hdr[12] = 0x40; // below minimum
+        assert!(TcpView::new(&hdr).is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Allocation-free frame buffer pool for the hot path.
+//!
+//! The runtime's forwarding loop must not allocate per frame (perf-book idiom;
+//! also what PF_RING's preallocated ring gives the paper's prototype). The
+//! pool hands out fixed-capacity buffers that return themselves on drop.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use crossbeam::queue::ArrayQueue;
+
+/// A pool of fixed-capacity byte buffers.
+///
+/// `get` pops a recycled buffer or allocates a fresh one if the pool is dry
+/// (so the pool never blocks); dropping a [`PooledBuf`] pushes the buffer
+/// back, up to the pool's capacity.
+pub struct FramePool {
+    free: Arc<ArrayQueue<Vec<u8>>>,
+    buf_capacity: usize,
+}
+
+impl FramePool {
+    /// Create a pool of `slots` buffers, each of `buf_capacity` bytes.
+    pub fn new(slots: usize, buf_capacity: usize) -> FramePool {
+        let free = Arc::new(ArrayQueue::new(slots.max(1)));
+        for _ in 0..slots {
+            // Pre-fill so steady state never allocates.
+            let _ = free.push(Vec::with_capacity(buf_capacity));
+        }
+        FramePool { free, buf_capacity }
+    }
+
+    /// Buffers currently available without allocating.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Capacity of each pooled buffer.
+    pub fn buf_capacity(&self) -> usize {
+        self.buf_capacity
+    }
+
+    /// Take a cleared buffer from the pool (or allocate if empty).
+    pub fn get(&self) -> PooledBuf {
+        let mut buf = self
+            .free
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.buf_capacity));
+        buf.clear();
+        PooledBuf { buf: Some(buf), home: Arc::clone(&self.free) }
+    }
+
+    /// Take a buffer initialized with `data`.
+    pub fn get_with(&self, data: &[u8]) -> PooledBuf {
+        let mut b = self.get();
+        b.extend_from_slice(data);
+        b
+    }
+}
+
+impl Clone for FramePool {
+    fn clone(&self) -> Self {
+        FramePool { free: Arc::clone(&self.free), buf_capacity: self.buf_capacity }
+    }
+}
+
+/// A buffer checked out of a [`FramePool`]; returns to the pool on drop.
+pub struct PooledBuf {
+    buf: Option<Vec<u8>>,
+    home: Arc<ArrayQueue<Vec<u8>>>,
+}
+
+impl PooledBuf {
+    /// Detach the buffer from the pool (it will be freed normally).
+    pub fn into_vec(mut self) -> Vec<u8> {
+        self.buf.take().expect("buffer present until drop")
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        self.buf.as_ref().expect("buffer present until drop")
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        self.buf.as_mut().expect("buffer present until drop")
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            // If the pool is already full the buffer is simply freed.
+            let _ = self.home.push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_return_cycles_buffers() {
+        let pool = FramePool::new(2, 64);
+        assert_eq!(pool.available(), 2);
+        let a = pool.get();
+        assert_eq!(pool.available(), 1);
+        drop(a);
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn exhausted_pool_still_serves() {
+        let pool = FramePool::new(1, 64);
+        let _a = pool.get();
+        let b = pool.get(); // allocates fresh
+        assert_eq!(pool.available(), 0);
+        drop(b);
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn buffers_are_cleared_on_reuse() {
+        let pool = FramePool::new(1, 64);
+        {
+            let mut b = pool.get();
+            b.extend_from_slice(&[1, 2, 3]);
+        }
+        let b = pool.get();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn get_with_copies_data() {
+        let pool = FramePool::new(1, 64);
+        let b = pool.get_with(&[9, 8, 7]);
+        assert_eq!(&b[..], &[9, 8, 7]);
+    }
+
+    #[test]
+    fn into_vec_detaches() {
+        let pool = FramePool::new(1, 64);
+        let v = pool.get().into_vec();
+        assert_eq!(v.capacity(), 64);
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn clone_shares_freelist() {
+        let pool = FramePool::new(2, 64);
+        let p2 = pool.clone();
+        let _a = pool.get();
+        assert_eq!(p2.available(), 1);
+    }
+}

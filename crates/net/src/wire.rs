@@ -1,0 +1,110 @@
+//! On-the-wire arithmetic.
+//!
+//! The paper counts frame sizes the way Cisco's PPS methodology does: the
+//! 84-byte "minimum frame" *includes* the 7-byte preamble, 1-byte start frame
+//! delimiter, 64-byte minimum Ethernet frame (header + payload + FCS) and the
+//! 12-byte inter-frame gap (§4.1: "the minimum frame size of an Ethernet frame,
+//! which is 84 bytes (including the preamble, payload, and check sequence)").
+//! All throughput figures in Chapter 4 are expressed against this wire size, so
+//! the whole workspace adopts it.
+
+/// Preamble (7) + start-frame delimiter (1), bytes.
+pub const PREAMBLE_SFD: usize = 8;
+/// Inter-frame gap, bytes.
+pub const IFG: usize = 12;
+/// Ethernet header (dst 6 + src 6 + ethertype 2), bytes.
+pub const ETH_HEADER: usize = 14;
+/// Frame check sequence, bytes.
+pub const FCS: usize = 4;
+/// Minimum Ethernet frame on the medium (header + payload + FCS), bytes.
+pub const MIN_ETH_FRAME: usize = 64;
+/// Maximum standard Ethernet frame on the medium, bytes.
+pub const MAX_ETH_FRAME: usize = 1518;
+
+/// Minimum *wire* frame size used throughout the paper: 84 bytes.
+pub const MIN_FRAME_WIRE: usize = MIN_ETH_FRAME + PREAMBLE_SFD + IFG;
+/// Maximum *wire* frame size used throughout the paper: 1538 bytes.
+pub const MAX_FRAME_WIRE: usize = MAX_ETH_FRAME + PREAMBLE_SFD + IFG;
+
+/// 1 Gbps in bits per second — the testbed's link rate (§4.1).
+pub const GIGABIT: u64 = 1_000_000_000;
+
+/// Convert an in-memory frame length (Ethernet header..FCS, i.e. what a raw
+/// socket sees *without* FCS) to its wire footprint in bytes.
+///
+/// Raw-socket captures exclude preamble, FCS and IFG; the wire adds them back.
+/// Sub-minimum frames are padded to the 64-byte Ethernet minimum.
+#[inline]
+pub fn wire_bytes(captured_len: usize) -> usize {
+    let on_medium = (captured_len + FCS).max(MIN_ETH_FRAME);
+    on_medium + PREAMBLE_SFD + IFG
+}
+
+/// Time to serialize `wire_len` bytes onto a link of `bits_per_sec`, in ns.
+#[inline]
+pub fn serialization_ns(wire_len: usize, bits_per_sec: u64) -> u64 {
+    // bits * 1e9 / bps, computed in u128 to avoid overflow for jumbo sweeps.
+    ((wire_len as u128 * 8 * 1_000_000_000) / bits_per_sec as u128) as u64
+}
+
+/// Maximum frame rate (frames/second) sustainable by a link at a wire size.
+#[inline]
+pub fn line_rate_fps(wire_len: usize, bits_per_sec: u64) -> f64 {
+    bits_per_sec as f64 / (wire_len as f64 * 8.0)
+}
+
+/// The frame-size sweep used by Experiments 1a–1d (wire sizes, bytes).
+pub const FRAME_SIZE_SWEEP: [usize; 8] = [84, 128, 256, 512, 768, 1024, 1280, 1538];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_min_and_max_wire_sizes() {
+        assert_eq!(MIN_FRAME_WIRE, 84);
+        assert_eq!(MAX_FRAME_WIRE, 1538);
+    }
+
+    #[test]
+    fn wire_bytes_pads_small_frames() {
+        // A 60-byte capture (no FCS) becomes exactly the 84-byte minimum.
+        assert_eq!(wire_bytes(60), 84);
+        // Anything smaller still pads to the minimum.
+        assert_eq!(wire_bytes(14), 84);
+    }
+
+    #[test]
+    fn wire_bytes_adds_overheads_to_large_frames() {
+        // 1514-byte capture + 4 FCS + 8 preamble + 12 IFG = 1538.
+        assert_eq!(wire_bytes(1514), 1538);
+    }
+
+    #[test]
+    fn gigabit_line_rate_at_min_frame() {
+        // Classic number: ~1.488 Mpps at 84-byte wire frames on 1 GbE.
+        let fps = line_rate_fps(MIN_FRAME_WIRE, GIGABIT);
+        assert!((fps - 1_488_095.0).abs() < 1.0, "fps = {fps}");
+    }
+
+    #[test]
+    fn serialization_time_min_frame() {
+        // 84 B * 8 = 672 bits -> 672 ns at 1 Gbps.
+        assert_eq!(serialization_ns(84, GIGABIT), 672);
+    }
+
+    #[test]
+    fn serialization_time_max_frame() {
+        assert_eq!(serialization_ns(1538, GIGABIT), 12_304);
+    }
+
+    #[test]
+    fn line_rate_is_inverse_of_serialization() {
+        for &sz in &FRAME_SIZE_SWEEP {
+            let fps = line_rate_fps(sz, GIGABIT);
+            let ns = serialization_ns(sz, GIGABIT) as f64;
+            let recomputed = 1e9 / ns;
+            assert!((fps - recomputed).abs() / fps < 1e-3);
+        }
+    }
+}

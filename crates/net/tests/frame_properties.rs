@@ -1,0 +1,85 @@
+//! Property tests: frame construction and parsing are inverses, checksums
+//! hold, and wire-size accounting behaves for arbitrary inputs.
+
+use std::net::Ipv4Addr;
+
+use lvrm_net::{wire, FlowKey, FrameBuilder};
+use proptest::prelude::*;
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    (any::<u32>()).prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn udp_build_parse_roundtrip(
+        src in arb_ip(),
+        dst in arb_ip(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        let mut b = FrameBuilder::new(src, dst);
+        let f = b.udp(sport, dport, &payload);
+        prop_assert_eq!(f.src_ip().unwrap(), src);
+        prop_assert_eq!(f.dst_ip().unwrap(), dst);
+        let u = f.udp().unwrap();
+        prop_assert_eq!(u.src_port(), sport);
+        prop_assert_eq!(u.dst_port(), dport);
+        prop_assert_eq!(u.payload(), &payload[..]);
+        prop_assert!(f.ipv4().unwrap().checksum_ok());
+    }
+
+    #[test]
+    fn tcp_build_parse_roundtrip(
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in any::<u8>(),
+        window in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        let mut b = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 1));
+        let f = b.tcp(40_000, 21, seq, ack, flags, window, &payload);
+        let t = f.tcp().unwrap();
+        prop_assert_eq!(t.seq(), seq);
+        prop_assert_eq!(t.ack(), ack);
+        prop_assert_eq!(t.flags(), flags);
+        prop_assert_eq!(t.window(), window);
+        prop_assert_eq!(t.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn wire_size_exact_for_valid_requests(size in 84usize..=1538) {
+        let mut b = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 1));
+        let f = b.udp_with_wire_size(1, 2, size).unwrap();
+        prop_assert_eq!(f.wire_len(), size);
+    }
+
+    #[test]
+    fn wire_bytes_monotonic(a in 0usize..3000, b in 0usize..3000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(wire::wire_bytes(lo) <= wire::wire_bytes(hi));
+        prop_assert!(wire::wire_bytes(lo) >= wire::MIN_FRAME_WIRE);
+    }
+
+    #[test]
+    fn flow_key_stable_under_payload_changes(
+        p1 in prop::collection::vec(any::<u8>(), 0..500),
+        p2 in prop::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let mut b = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 1));
+        let f1 = b.udp(1111, 2222, &p1);
+        let f2 = b.udp(1111, 2222, &p2);
+        prop_assert_eq!(FlowKey::from_frame(&f1), FlowKey::from_frame(&f2));
+    }
+
+    #[test]
+    fn serialization_scales_linearly(size in 64usize..10_000) {
+        let one = wire::serialization_ns(size, wire::GIGABIT);
+        let two = wire::serialization_ns(size * 2, wire::GIGABIT);
+        // Integer rounding allows 1 ns slack.
+        prop_assert!((two as i64 - 2 * one as i64).abs() <= 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Routing substrate and the minimal "C++ VR" implementation.
+//!
+//! A VRI "is responsible for interpreting the address resolution and routing
+//! information. Currently, the route tables are initialized with the map
+//! files, which pass the static routes to the memories of the VRIs" (paper
+//! §3.7). This crate provides:
+//!
+//! * [`RouteTable`] — longest-prefix-match IPv4 routing via a binary trie;
+//! * [`mapfile`] — the map-file format that seeds static routes;
+//! * [`VirtualRouter`] — the trait every hosted VR implements (LVRM "can in
+//!   essence host different implementations of virtual routers", §1);
+//! * [`FastVr`] — the paper's *C++ VR*: a minimal forwarder that relays
+//!   frames between interfaces, optionally with the synthetic per-frame
+//!   "dummy processing load" Chapter 4 uses to make workloads CPU-bound.
+
+pub mod fastvr;
+pub mod mapfile;
+pub mod rib;
+pub mod update;
+pub mod vr;
+
+pub use fastvr::FastVr;
+pub use mapfile::{parse_map_file, MapFileError};
+pub use rib::{Route, RouteTable};
+pub use update::{DynamicVr, RouteUpdate};
+pub use vr::{RouterAction, VirtualRouter};

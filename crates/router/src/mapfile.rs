@@ -1,0 +1,135 @@
+//! The map-file format that seeds a VR's static routes (paper §3.7).
+//!
+//! One route per line:
+//!
+//! ```text
+//! # destination          iface   [next-hop]
+//! 10.0.2.0/24            1
+//! 10.0.3.0/24            1       10.0.2.254
+//! 0.0.0.0/0              0
+//! ```
+//!
+//! `#` starts a comment; blank lines are skipped. The interface is a numeric
+//! index into the deployment's NIC table ("it is configured with the mappings
+//! of the routes to the network interfaces of the deployment architecture",
+//! §2.1).
+
+use std::net::Ipv4Addr;
+
+use crate::rib::{Route, RouteTable};
+
+/// Parse failure, with the 1-based line number where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapFileError {
+    pub line: usize,
+    pub reason: String,
+}
+
+impl std::fmt::Display for MapFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "map file line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for MapFileError {}
+
+fn err(line: usize, reason: impl Into<String>) -> MapFileError {
+    MapFileError { line, reason: reason.into() }
+}
+
+/// Parse map-file text into a [`RouteTable`].
+pub fn parse_map_file(text: &str) -> Result<RouteTable, MapFileError> {
+    let mut table = RouteTable::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let cidr = parts.next().ok_or_else(|| err(line_no, "missing destination"))?;
+        let iface_s = parts.next().ok_or_else(|| err(line_no, "missing interface index"))?;
+        let next_hop_s = parts.next();
+        if let Some(extra) = parts.next() {
+            return Err(err(line_no, format!("unexpected trailing token {extra:?}")));
+        }
+
+        let (prefix_s, len_s) = cidr
+            .split_once('/')
+            .ok_or_else(|| err(line_no, format!("destination {cidr:?} is not CIDR")))?;
+        let prefix: Ipv4Addr = prefix_s
+            .parse()
+            .map_err(|_| err(line_no, format!("bad prefix address {prefix_s:?}")))?;
+        let len: u8 = len_s
+            .parse()
+            .ok()
+            .filter(|l| *l <= 32)
+            .ok_or_else(|| err(line_no, format!("bad prefix length {len_s:?}")))?;
+        let iface: u16 = iface_s
+            .parse()
+            .map_err(|_| err(line_no, format!("bad interface index {iface_s:?}")))?;
+        let next_hop = match next_hop_s {
+            Some(s) => Some(
+                s.parse::<Ipv4Addr>()
+                    .map_err(|_| err(line_no, format!("bad next-hop {s:?}")))?,
+            ),
+            None => None,
+        };
+        table.insert(Route { prefix, len, iface, next_hop });
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_routes_comments_and_blanks() {
+        let text = "\
+# campus backbone
+10.0.2.0/24  1
+10.0.3.0/24  1  10.0.2.254   # via the CS gateway
+
+0.0.0.0/0    0
+";
+        let t = parse_map_file(text).unwrap();
+        assert_eq!(t.len(), 3);
+        let r = t.lookup(Ipv4Addr::new(10, 0, 3, 9)).unwrap();
+        assert_eq!(r.iface, 1);
+        assert_eq!(r.next_hop, Some(Ipv4Addr::new(10, 0, 2, 254)));
+        assert_eq!(t.lookup(Ipv4Addr::new(8, 8, 8, 8)).unwrap().iface, 0);
+    }
+
+    #[test]
+    fn rejects_non_cidr_destination() {
+        let e = parse_map_file("10.0.2.0 1").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.reason.contains("CIDR"));
+    }
+
+    #[test]
+    fn rejects_bad_prefix_length() {
+        assert!(parse_map_file("10.0.2.0/33 1").is_err());
+        assert!(parse_map_file("10.0.2.0/x 1").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_interface() {
+        let e = parse_map_file("10.0.2.0/24").unwrap_err();
+        assert!(e.reason.contains("interface"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_with_line_number() {
+        let e = parse_map_file("# ok\n10.0.2.0/24 1 10.0.0.1 junk").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.reason.contains("junk"));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_table() {
+        let t = parse_map_file("").unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,277 @@
+//! Route updates over the control plane.
+//!
+//! The paper's VRIs "can share control information with other VRIs of the
+//! same VR, for example, to synchronize the routing state" (§2.1), and "if
+//! dynamic routes are used, the VRIs can be slightly changed to support both
+//! static and dynamic routes without affecting the design of LVRM" (§3.7).
+//! This module provides that slight change: a compact wire codec for route
+//! updates (suitable for control-event payloads) and [`DynamicVr`], a
+//! variant of the C++ VR whose instances each own their route table and
+//! apply updates received from peers.
+
+use std::net::Ipv4Addr;
+
+use lvrm_net::Frame;
+
+use crate::rib::{Route, RouteTable};
+use crate::vr::{RouterAction, VirtualRouter};
+
+/// A single routing-state change.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouteUpdate {
+    Add(Route),
+    Remove { prefix: Ipv4Addr, len: u8 },
+}
+
+/// Codec errors.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CodecError(pub &'static str);
+
+impl RouteUpdate {
+    /// Serialize for a control-event payload.
+    ///
+    /// Layout: `magic(1) op(1) prefix(4) len(1) [iface(2) has_nh(1) nh(4)]`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(14);
+        out.push(0xAB); // magic
+        match self {
+            RouteUpdate::Add(r) => {
+                out.push(1);
+                out.extend_from_slice(&r.prefix.octets());
+                out.push(r.len);
+                out.extend_from_slice(&r.iface.to_be_bytes());
+                match r.next_hop {
+                    Some(nh) => {
+                        out.push(1);
+                        out.extend_from_slice(&nh.octets());
+                    }
+                    None => out.push(0),
+                }
+            }
+            RouteUpdate::Remove { prefix, len } => {
+                out.push(2);
+                out.extend_from_slice(&prefix.octets());
+                out.push(*len);
+            }
+        }
+        out
+    }
+
+    /// Parse a control-event payload.
+    pub fn from_bytes(data: &[u8]) -> Result<RouteUpdate, CodecError> {
+        if data.len() < 7 || data[0] != 0xAB {
+            return Err(CodecError("not a route update"));
+        }
+        let prefix = Ipv4Addr::new(data[2], data[3], data[4], data[5]);
+        let len = data[6];
+        if len > 32 {
+            return Err(CodecError("prefix length out of range"));
+        }
+        match data[1] {
+            1 => {
+                if data.len() < 10 {
+                    return Err(CodecError("truncated add"));
+                }
+                let iface = u16::from_be_bytes([data[7], data[8]]);
+                let next_hop = match data[9] {
+                    0 => None,
+                    1 => {
+                        if data.len() < 14 {
+                            return Err(CodecError("truncated next hop"));
+                        }
+                        Some(Ipv4Addr::new(data[10], data[11], data[12], data[13]))
+                    }
+                    _ => return Err(CodecError("bad next-hop flag")),
+                };
+                Ok(RouteUpdate::Add(Route { prefix, len, iface, next_hop }))
+            }
+            2 => Ok(RouteUpdate::Remove { prefix, len }),
+            _ => Err(CodecError("unknown op")),
+        }
+    }
+}
+
+/// A forwarding VR with per-instance dynamic routes. Unlike [`crate::FastVr`]
+/// (whose instances share one immutable table), each `DynamicVr` instance
+/// owns its table and converges with its peers by applying the same stream
+/// of [`RouteUpdate`]s — exactly the control-queue synchronization the paper
+/// sketches.
+pub struct DynamicVr {
+    name: String,
+    routes: RouteTable,
+    nominal_cost_ns: u64,
+    dummy_load_ns: u64,
+    /// Updates applied so far (observability).
+    pub updates_applied: u64,
+}
+
+impl DynamicVr {
+    pub fn new(name: impl Into<String>, routes: RouteTable) -> DynamicVr {
+        DynamicVr {
+            name: name.into(),
+            routes,
+            nominal_cost_ns: crate::fastvr::CPP_VR_COST_NS,
+            dummy_load_ns: 0,
+            updates_applied: 0,
+        }
+    }
+
+    pub fn with_dummy_load_ns(mut self, ns: u64) -> DynamicVr {
+        self.dummy_load_ns = ns;
+        self
+    }
+
+    /// Apply one routing-state change.
+    pub fn apply(&mut self, update: &RouteUpdate) {
+        match update {
+            RouteUpdate::Add(r) => {
+                self.routes.insert(*r);
+            }
+            RouteUpdate::Remove { prefix, len } => {
+                self.routes.remove(*prefix, *len);
+            }
+        }
+        self.updates_applied += 1;
+    }
+
+    /// Try to apply a raw control payload; `false` when it is not a route
+    /// update (other control traffic passes through untouched).
+    pub fn apply_payload(&mut self, payload: &[u8]) -> bool {
+        match RouteUpdate::from_bytes(payload) {
+            Ok(u) => {
+                self.apply(&u);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+}
+
+impl VirtualRouter for DynamicVr {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, frame: &mut Frame) -> RouterAction {
+        let Ok(dst) = frame.dst_ip() else {
+            return RouterAction::Drop;
+        };
+        match self.routes.lookup(dst) {
+            Some(route) => {
+                frame.egress_if = route.iface;
+                RouterAction::Forward { iface: route.iface }
+            }
+            None => RouterAction::Drop,
+        }
+    }
+
+    fn dummy_load_ns(&self) -> u64 {
+        self.dummy_load_ns
+    }
+
+    fn nominal_cost_ns(&self) -> u64 {
+        self.nominal_cost_ns
+    }
+
+    fn spawn_instance(&self) -> Box<dyn VirtualRouter> {
+        // New instances start from the current table snapshot; later updates
+        // arrive over the control plane.
+        let mut routes = RouteTable::new();
+        for r in self.routes.iter() {
+            routes.insert(*r);
+        }
+        Box::new(DynamicVr {
+            name: self.name.clone(),
+            routes,
+            nominal_cost_ns: self.nominal_cost_ns,
+            dummy_load_ns: self.dummy_load_ns,
+            updates_applied: 0,
+        })
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvrm_net::FrameBuilder;
+
+    fn route(a: u8, b: u8, c: u8, len: u8, iface: u16) -> Route {
+        Route { prefix: Ipv4Addr::new(a, b, c, 0), len, iface, next_hop: None }
+    }
+
+    #[test]
+    fn codec_roundtrip_add_without_next_hop() {
+        let u = RouteUpdate::Add(route(10, 0, 2, 24, 3));
+        assert_eq!(RouteUpdate::from_bytes(&u.to_bytes()), Ok(u));
+    }
+
+    #[test]
+    fn codec_roundtrip_add_with_next_hop() {
+        let u = RouteUpdate::Add(Route {
+            prefix: Ipv4Addr::new(10, 0, 3, 0),
+            len: 24,
+            iface: 1,
+            next_hop: Some(Ipv4Addr::new(10, 0, 2, 254)),
+        });
+        assert_eq!(RouteUpdate::from_bytes(&u.to_bytes()), Ok(u));
+    }
+
+    #[test]
+    fn codec_roundtrip_remove() {
+        let u = RouteUpdate::Remove { prefix: Ipv4Addr::new(10, 0, 2, 0), len: 24 };
+        assert_eq!(RouteUpdate::from_bytes(&u.to_bytes()), Ok(u));
+    }
+
+    #[test]
+    fn codec_rejects_garbage() {
+        assert!(RouteUpdate::from_bytes(b"hello").is_err());
+        assert!(RouteUpdate::from_bytes(&[]).is_err());
+        let mut bad = RouteUpdate::Remove { prefix: Ipv4Addr::new(1, 2, 3, 0), len: 24 }
+            .to_bytes();
+        bad[6] = 40; // invalid prefix length
+        assert!(RouteUpdate::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn dynamic_vr_applies_updates() {
+        let mut vr = DynamicVr::new("dyn", RouteTable::new());
+        let mut f = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 9))
+            .udp(1, 2, &[]);
+        assert_eq!(vr.process(&mut f), RouterAction::Drop);
+        vr.apply(&RouteUpdate::Add(route(10, 0, 2, 24, 5)));
+        let mut f2 = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 9))
+            .udp(1, 2, &[]);
+        assert_eq!(vr.process(&mut f2), RouterAction::Forward { iface: 5 });
+        vr.apply(&RouteUpdate::Remove { prefix: Ipv4Addr::new(10, 0, 2, 0), len: 24 });
+        let mut f3 = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 9))
+            .udp(1, 2, &[]);
+        assert_eq!(vr.process(&mut f3), RouterAction::Drop);
+        assert_eq!(vr.updates_applied, 2);
+    }
+
+    #[test]
+    fn apply_payload_ignores_foreign_control_traffic() {
+        let mut vr = DynamicVr::new("dyn", RouteTable::new());
+        assert!(!vr.apply_payload(b"user-protocol-chatter"));
+        assert!(vr.apply_payload(&RouteUpdate::Add(route(10, 0, 9, 24, 1)).to_bytes()));
+        assert_eq!(vr.updates_applied, 1);
+    }
+
+    #[test]
+    fn spawn_instance_snapshots_current_table() {
+        let mut vr = DynamicVr::new("dyn", RouteTable::new());
+        vr.apply(&RouteUpdate::Add(route(10, 0, 2, 24, 7)));
+        let mut inst = vr.spawn_instance();
+        let mut f = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 9))
+            .udp(1, 2, &[]);
+        assert_eq!(inst.process(&mut f), RouterAction::Forward { iface: 7 });
+    }
+}

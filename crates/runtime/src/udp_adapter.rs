@@ -1,0 +1,139 @@
+//! A live socket adapter over UDP loopback.
+//!
+//! The paper's raw-socket variant needs `AF_PACKET` and real NICs; inside a
+//! container we substitute a kernel **UDP socket pair on loopback**, which
+//! preserves the property the raw-socket path is measured for: every frame
+//! crosses the kernel with a syscall and two copies in each direction (see
+//! DESIGN.md). The adapter carries whole Ethernet frames as UDP payloads.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, UdpSocket};
+
+use bytes::Bytes;
+use lvrm_core::socket::{SocketAdapter, SocketKind};
+use lvrm_net::Frame;
+
+/// A `SocketAdapter` backed by a pair of non-blocking UDP sockets.
+pub struct UdpAdapter {
+    rx: UdpSocket,
+    tx: UdpSocket,
+    peer: SocketAddr,
+    buf: Vec<u8>,
+    rx_count: u64,
+    tx_count: u64,
+    /// Sends refused by the kernel (buffer full), frames dropped.
+    pub tx_drops: u64,
+}
+
+impl UdpAdapter {
+    /// Bind a receive socket on `127.0.0.1:0` and aim transmissions at
+    /// `peer`. Returns the adapter and its own listening address (give it to
+    /// whoever should send frames here).
+    pub fn bind(peer: SocketAddr) -> std::io::Result<(UdpAdapter, SocketAddr)> {
+        let rx = UdpSocket::bind("127.0.0.1:0")?;
+        rx.set_nonblocking(true)?;
+        let tx = UdpSocket::bind("127.0.0.1:0")?;
+        tx.set_nonblocking(true)?;
+        let local = rx.local_addr()?;
+        Ok((
+            UdpAdapter {
+                rx,
+                tx,
+                peer,
+                buf: vec![0u8; 65536],
+                rx_count: 0,
+                tx_count: 0,
+                tx_drops: 0,
+            },
+            local,
+        ))
+    }
+
+    /// Create a connected loopback pair: frames sent by one side arrive at
+    /// the other (a two-NIC gateway in miniature).
+    pub fn pair() -> std::io::Result<(UdpAdapter, UdpAdapter)> {
+        // Bind both first with throwaway peers, then cross-wire.
+        let (mut a, a_addr) = UdpAdapter::bind("127.0.0.1:1".parse().unwrap())?;
+        let (b, b_addr) = UdpAdapter::bind(a_addr)?;
+        a.peer = b_addr;
+        Ok((a, b))
+    }
+}
+
+impl SocketAdapter for UdpAdapter {
+    fn poll(&mut self) -> Option<Frame> {
+        match self.rx.recv_from(&mut self.buf) {
+            Ok((n, _)) => {
+                self.rx_count += 1;
+                Some(Frame::new(Bytes::copy_from_slice(&self.buf[..n])))
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => None,
+            Err(_) => None,
+        }
+    }
+
+    fn send(&mut self, frame: Frame) {
+        match self.tx.send_to(frame.bytes(), self.peer) {
+            Ok(_) => self.tx_count += 1,
+            Err(_) => self.tx_drops += 1,
+        }
+    }
+
+    fn kind(&self) -> SocketKind {
+        SocketKind::RawSocket
+    }
+
+    fn rx_count(&self) -> u64 {
+        self.rx_count
+    }
+
+    fn tx_count(&self) -> u64 {
+        self.tx_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvrm_net::FrameBuilder;
+    use std::net::Ipv4Addr;
+
+    fn frame(tag: u8) -> Frame {
+        FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 1))
+            .udp(100, 200, &[tag; 8])
+    }
+
+    #[test]
+    fn pair_roundtrips_frames() {
+        let (mut a, mut b) = UdpAdapter::pair().unwrap();
+        a.send(frame(7));
+        // Loopback delivery is fast but asynchronous; poll with a deadline.
+        let t0 = std::time::Instant::now();
+        let got = loop {
+            if let Some(f) = b.poll() {
+                break Some(f);
+            }
+            if t0.elapsed().as_secs() > 5 {
+                break None;
+            }
+        };
+        let f = got.expect("frame over loopback");
+        assert_eq!(f.udp().unwrap().payload(), &[7u8; 8]);
+        assert_eq!(a.tx_count(), 1);
+        assert_eq!(b.rx_count(), 1);
+    }
+
+    #[test]
+    fn poll_is_nonblocking_when_idle() {
+        let (mut a, _b) = UdpAdapter::pair().unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(a.poll().is_none());
+        assert!(t0.elapsed().as_millis() < 100);
+    }
+
+    #[test]
+    fn kind_reports_raw_socket_profile() {
+        let (a, _b) = UdpAdapter::pair().unwrap();
+        assert_eq!(a.kind(), SocketKind::RawSocket);
+    }
+}

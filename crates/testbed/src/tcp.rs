@@ -1,0 +1,543 @@
+//! A Reno-style TCP model for the FTP experiments (3c and 4).
+//!
+//! The paper's TCP workload is real FTP transfers; what matters for the
+//! reproduced figures is TCP's *congestion response* to the gateway's
+//! queueing, loss and (under frame-based balancing) reordering. This module
+//! implements the sender and receiver halves of a Reno flow at segment
+//! granularity: slow start, congestion avoidance, duplicate-ACK fast
+//! retransmit with fast recovery, retransmission timeout with exponential
+//! backoff, Karn-style RTT sampling, and a fixed advertised receive window
+//! (the paper notes the FTP receiver's window/flow control caps source
+//! rates; we model it as an advertised window).
+//!
+//! The module is pure protocol logic — the scenario world moves the frames.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use lvrm_net::headers::tcp_flags;
+use lvrm_net::{Frame, FrameBuilder};
+
+/// Well-known port of the simulated FTP data sink.
+pub const FTP_DATA_PORT: u16 = 21;
+
+/// Flow-level configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpConfig {
+    /// Payload bytes per segment (1460 fills a 1538-byte wire frame).
+    pub mss: usize,
+    /// Advertised receive window, in segments.
+    pub rwnd_segments: u32,
+    /// Initial slow-start threshold, in segments.
+    pub init_ssthresh: f64,
+    /// Minimum retransmission timeout.
+    pub min_rto_ns: u64,
+    /// Pace segments no closer than this (None = window-limited only).
+    pub pacing_ns: Option<u64>,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            rwnd_segments: 44, // ~64 KB
+            init_ssthresh: 64.0,
+            min_rto_ns: 200_000_000,
+            pacing_ns: None,
+        }
+    }
+}
+
+/// What the sender wants the world to do after an input.
+#[derive(Debug, Default)]
+pub struct SenderActions {
+    /// Segments (sequence numbers) to (re)transmit now.
+    pub transmit: Vec<u64>,
+    /// Re-arm the RTO timer (with the returned epoch) at `now + rto`.
+    pub rearm_timer: bool,
+}
+
+/// One bulk TCP flow (sender + receiver state, both ends simulated).
+pub struct TcpFlow {
+    pub id: usize,
+    /// VR whose subnets carry this flow.
+    pub vr: usize,
+    pub cfg: TcpConfig,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    pub src_port: u16,
+    data_builder: FrameBuilder,
+    ack_builder: FrameBuilder,
+
+    // --- sender ---
+    /// Congestion window, segments (fractional for CA's 1/cwnd growth).
+    pub cwnd: f64,
+    pub ssthresh: f64,
+    /// First unacknowledged byte.
+    snd_una: u64,
+    /// Next new byte to send.
+    snd_nxt: u64,
+    dup_acks: u32,
+    /// Reno fast recovery: inflight high-water at loss detection.
+    recover: u64,
+    in_recovery: bool,
+    /// Smoothed RTT state (RFC 6298).
+    srtt_ns: Option<f64>,
+    rttvar_ns: f64,
+    pub rto_ns: u64,
+    /// Timestamp + sequence of the segment being timed (Karn's algorithm:
+    /// only never-retransmitted segments are timed).
+    rtt_probe: Option<(u64, u64)>,
+    /// Invalidates stale timer events.
+    pub timer_epoch: u32,
+    backoff: u32,
+    earliest_next_send_ns: u64,
+
+    // --- receiver ---
+    rcv_nxt: u64,
+    /// Out-of-order segment starts received beyond `rcv_nxt`.
+    ooo: BTreeSet<u64>,
+
+    // --- accounting ---
+    /// In-order bytes delivered to the receiving application.
+    pub delivered_bytes: u64,
+    pub retransmits: u64,
+    pub timeouts: u64,
+}
+
+impl TcpFlow {
+    pub fn new(
+        id: usize,
+        vr: usize,
+        cfg: TcpConfig,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+    ) -> TcpFlow {
+        TcpFlow {
+            id,
+            vr,
+            cfg,
+            src_ip,
+            dst_ip,
+            src_port,
+            data_builder: FrameBuilder::new(src_ip, dst_ip),
+            ack_builder: FrameBuilder::new(dst_ip, src_ip),
+            cwnd: 2.0,
+            ssthresh: cfg.init_ssthresh,
+            snd_una: 0,
+            snd_nxt: 0,
+            dup_acks: 0,
+            recover: 0,
+            in_recovery: false,
+            srtt_ns: None,
+            rttvar_ns: 0.0,
+            rto_ns: cfg.min_rto_ns.max(1_000_000_000),
+            rtt_probe: None,
+            timer_epoch: 0,
+            backoff: 0,
+            earliest_next_send_ns: 0,
+            rcv_nxt: 0,
+            ooo: BTreeSet::new(),
+            delivered_bytes: 0,
+            retransmits: 0,
+            timeouts: 0,
+        }
+    }
+
+    /// The flow's endpoints `(sender, receiver)`.
+    pub fn endpoints(&self) -> (Ipv4Addr, Ipv4Addr) {
+        (self.src_ip, self.dst_ip)
+    }
+
+    /// Effective send window in bytes.
+    fn window_bytes(&self) -> u64 {
+        let w = self.cwnd.min(self.cfg.rwnd_segments as f64).max(1.0);
+        (w * self.cfg.mss as f64) as u64
+    }
+
+    /// Bytes in flight.
+    pub fn inflight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Can the sender emit a new segment at `now_ns`?
+    pub fn can_send(&self, now_ns: u64) -> bool {
+        if now_ns < self.earliest_next_send_ns {
+            return false;
+        }
+        self.inflight() + self.cfg.mss as u64 <= self.window_bytes()
+    }
+
+    /// Emit the next *new* segment. Caller must have checked `can_send`.
+    pub fn send_new(&mut self, now_ns: u64) -> Frame {
+        let seq = self.snd_nxt;
+        self.snd_nxt += self.cfg.mss as u64;
+        if self.rtt_probe.is_none() {
+            self.rtt_probe = Some((now_ns, seq));
+        }
+        if let Some(p) = self.cfg.pacing_ns {
+            self.earliest_next_send_ns = now_ns + p;
+        }
+        self.build_data(seq, now_ns)
+    }
+
+    /// Build the data frame for `seq` (also used for retransmissions).
+    pub fn build_data(&mut self, seq: u64, now_ns: u64) -> Frame {
+        let payload = vec![0u8; self.cfg.mss];
+        let mut f = self.data_builder.tcp(
+            self.src_port,
+            FTP_DATA_PORT,
+            seq as u32,
+            0,
+            tcp_flags::ACK | tcp_flags::PSH,
+            0xffff,
+            &payload,
+        );
+        f.ts_ns = now_ns;
+        f
+    }
+
+    // ----------------------------------------------------------------- RX
+
+    /// Receiver got a data segment; returns the cumulative ACK to send back.
+    pub fn on_data_at_receiver(&mut self, seq: u64, len: usize, now_ns: u64) -> Frame {
+        let end = seq + len as u64;
+        if end > self.rcv_nxt {
+            if seq <= self.rcv_nxt {
+                self.delivered_bytes += end - self.rcv_nxt;
+                self.rcv_nxt = end;
+                // Drain any contiguous out-of-order segments.
+                while let Some(&s) = self.ooo.first() {
+                    if s > self.rcv_nxt {
+                        break;
+                    }
+                    self.ooo.pop_first();
+                    let seg_end = s + self.cfg.mss as u64;
+                    if seg_end > self.rcv_nxt {
+                        self.delivered_bytes += seg_end - self.rcv_nxt;
+                        self.rcv_nxt = seg_end;
+                    }
+                }
+            } else {
+                self.ooo.insert(seq);
+            }
+        }
+        let mut ack = self.ack_builder.tcp(
+            FTP_DATA_PORT,
+            self.src_port,
+            0,
+            self.rcv_nxt as u32,
+            tcp_flags::ACK,
+            self.cfg.rwnd_segments as u16, // window in segments (model unit)
+            &[],
+        );
+        ack.ts_ns = now_ns;
+        ack
+    }
+
+    // ----------------------------------------------------------------- ACK
+
+    /// Sender got a cumulative ACK for byte `ack`.
+    pub fn on_ack_at_sender(&mut self, ack: u64, now_ns: u64) -> SenderActions {
+        let mut act = SenderActions::default();
+        if ack > self.snd_una {
+            // New data acknowledged.
+            self.snd_una = ack;
+            self.backoff = 0;
+            // RTT sample (Karn: only if the probe segment is covered and was
+            // never retransmitted — retransmission clears the probe).
+            if let Some((t0, seq)) = self.rtt_probe {
+                if ack > seq {
+                    self.sample_rtt(now_ns.saturating_sub(t0));
+                    self.rtt_probe = None;
+                }
+            }
+            if self.in_recovery {
+                if ack >= self.recover {
+                    // Full recovery: deflate.
+                    self.in_recovery = false;
+                    self.cwnd = self.ssthresh;
+                    self.dup_acks = 0;
+                } else {
+                    // Partial ACK (NewReno-lite): retransmit the next hole.
+                    act.transmit.push(self.snd_una);
+                    self.retransmits += 1;
+                }
+            } else {
+                self.dup_acks = 0;
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += 1.0; // slow start
+                } else {
+                    self.cwnd += 1.0 / self.cwnd; // congestion avoidance
+                }
+            }
+            act.rearm_timer = self.inflight() > 0;
+            if act.rearm_timer {
+                self.timer_epoch += 1;
+            }
+        } else if self.inflight() > 0 {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            if self.in_recovery {
+                self.cwnd += 1.0; // inflation
+            } else if self.dup_acks == 3 {
+                // Fast retransmit.
+                self.ssthresh = (self.inflight() as f64 / self.cfg.mss as f64 / 2.0).max(2.0);
+                self.cwnd = self.ssthresh + 3.0;
+                self.in_recovery = true;
+                self.recover = self.snd_nxt;
+                self.rtt_probe = None; // Karn
+                act.transmit.push(self.snd_una);
+                self.retransmits += 1;
+                act.rearm_timer = true;
+                self.timer_epoch += 1;
+            }
+        }
+        act
+    }
+
+    /// RTO fired with epoch `epoch`. Stale epochs are ignored.
+    pub fn on_timeout(&mut self, epoch: u32, _now_ns: u64) -> SenderActions {
+        let mut act = SenderActions::default();
+        if epoch != self.timer_epoch || self.inflight() == 0 {
+            return act;
+        }
+        self.timeouts += 1;
+        self.ssthresh = (self.inflight() as f64 / self.cfg.mss as f64 / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        self.in_recovery = false;
+        self.dup_acks = 0;
+        self.rtt_probe = None;
+        self.backoff = (self.backoff + 1).min(6);
+        act.transmit.push(self.snd_una);
+        self.retransmits += 1;
+        act.rearm_timer = true;
+        self.timer_epoch += 1;
+        act
+    }
+
+    /// Current RTO including exponential backoff.
+    pub fn current_rto_ns(&self) -> u64 {
+        self.rto_ns << self.backoff
+    }
+
+    fn sample_rtt(&mut self, rtt_ns: u64) {
+        let r = rtt_ns as f64;
+        match self.srtt_ns {
+            None => {
+                self.srtt_ns = Some(r);
+                self.rttvar_ns = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar_ns = 0.75 * self.rttvar_ns + 0.25 * (srtt - r).abs();
+                self.srtt_ns = Some(0.875 * srtt + 0.125 * r);
+            }
+        }
+        let rto = self.srtt_ns.unwrap() + 4.0 * self.rttvar_ns;
+        self.rto_ns = (rto as u64).max(self.cfg.min_rto_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> TcpFlow {
+        TcpFlow::new(
+            0,
+            0,
+            TcpConfig::default(),
+            Ipv4Addr::new(10, 0, 1, 1),
+            Ipv4Addr::new(10, 0, 2, 1),
+            40_000,
+        )
+    }
+
+    const MSS: u64 = 1460;
+
+    /// Deliver `seqs` to the receiver and feed the resulting ACKs back,
+    /// returning retransmissions requested.
+    fn ideal_exchange(f: &mut TcpFlow, seqs: &[u64], now: u64) -> Vec<u64> {
+        let mut retx = Vec::new();
+        for &s in seqs {
+            let ack_frame = f.on_data_at_receiver(s, MSS as usize, now);
+            let ack = ack_frame.tcp().unwrap().ack() as u64;
+            let act = f.on_ack_at_sender(ack, now + 1);
+            retx.extend(act.transmit);
+        }
+        retx
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut f = flow();
+        assert_eq!(f.cwnd as u32, 2);
+        // Send 2 segments, get both acked: cwnd -> 4.
+        let s1 = f.send_new(0).tcp().unwrap().seq() as u64;
+        let s2 = f.send_new(0).tcp().unwrap().seq() as u64;
+        ideal_exchange(&mut f, &[s1, s2], 100);
+        assert_eq!(f.cwnd as u32, 4);
+        assert_eq!(f.inflight(), 0);
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_linearly() {
+        let mut f = flow();
+        f.ssthresh = 2.0; // force CA immediately
+        let s1 = f.send_new(0).tcp().unwrap().seq() as u64;
+        ideal_exchange(&mut f, &[s1], 100);
+        // cwnd = 2 + 1/2 = 2.5
+        assert!((f.cwnd - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_limits_inflight() {
+        let mut f = flow();
+        f.cwnd = 3.0;
+        assert!(f.can_send(0));
+        f.send_new(0);
+        f.send_new(0);
+        f.send_new(0);
+        assert!(!f.can_send(0), "3 segments fill a cwnd of 3");
+    }
+
+    #[test]
+    fn receive_window_caps_cwnd() {
+        let mut f = flow();
+        f.cwnd = 1e9;
+        assert_eq!(f.window_bytes(), f.cfg.rwnd_segments as u64 * MSS);
+    }
+
+    #[test]
+    fn three_dup_acks_trigger_fast_retransmit() {
+        let mut f = flow();
+        f.cwnd = 10.0;
+        let mut seqs = Vec::new();
+        for _ in 0..6 {
+            seqs.push(f.send_new(0).tcp().unwrap().seq() as u64);
+        }
+        // Segment 0 lost; 1..=3 arrive => 3 dup ACKs (ack stays 0).
+        let mut retx = Vec::new();
+        for &s in &seqs[1..4] {
+            let ackf = f.on_data_at_receiver(s, MSS as usize, 50);
+            let ack = ackf.tcp().unwrap().ack() as u64;
+            assert_eq!(ack, 0, "holes must not advance the cumulative ACK");
+            retx.extend(f.on_ack_at_sender(ack, 60).transmit);
+        }
+        assert_eq!(retx, vec![0], "fast retransmit of the lost head");
+        assert!(f.in_recovery);
+        assert_eq!(f.retransmits, 1);
+        // Retransmission arrives: receiver fills the hole through seg 3.
+        let ackf = f.on_data_at_receiver(0, MSS as usize, 100);
+        let ack = ackf.tcp().unwrap().ack() as u64;
+        assert_eq!(ack, 4 * MSS);
+        let act = f.on_ack_at_sender(ack, 110);
+        // recover = 6*MSS > 4*MSS: partial ack retransmits the next hole...
+        assert_eq!(act.transmit, vec![4 * MSS]);
+    }
+
+    #[test]
+    fn recovery_completes_and_deflates() {
+        let mut f = flow();
+        f.cwnd = 8.0;
+        for _ in 0..4 {
+            f.send_new(0);
+        }
+        // Lose seg 0, deliver 1..3 (3 dupacks -> recovery).
+        for s in [MSS, 2 * MSS, 3 * MSS] {
+            let ackf = f.on_data_at_receiver(s, MSS as usize, 10);
+            let ack = ackf.tcp().unwrap().ack() as u64;
+            f.on_ack_at_sender(ack, 20);
+        }
+        assert!(f.in_recovery);
+        // Retransmit arrives; full cumulative ACK ends recovery.
+        let ackf = f.on_data_at_receiver(0, MSS as usize, 30);
+        let ack = ackf.tcp().unwrap().ack() as u64;
+        assert_eq!(ack, 4 * MSS);
+        f.on_ack_at_sender(ack, 40);
+        assert!(!f.in_recovery);
+        assert!((f.cwnd - f.ssthresh).abs() < 1e-9, "deflate to ssthresh");
+    }
+
+    #[test]
+    fn timeout_collapses_cwnd_and_backs_off() {
+        let mut f = flow();
+        f.cwnd = 16.0;
+        for _ in 0..4 {
+            f.send_new(0);
+        }
+        let epoch = f.timer_epoch;
+        let act = f.on_timeout(epoch, 1_000_000_000);
+        assert_eq!(act.transmit, vec![0]);
+        assert_eq!(f.cwnd as u32, 1);
+        assert_eq!(f.timeouts, 1);
+        let rto1 = f.current_rto_ns();
+        let act2 = f.on_timeout(f.timer_epoch, 2_000_000_000);
+        assert!(!act2.transmit.is_empty());
+        assert!(f.current_rto_ns() > rto1, "exponential backoff");
+    }
+
+    #[test]
+    fn stale_timeout_epoch_is_ignored() {
+        let mut f = flow();
+        f.send_new(0);
+        let old = f.timer_epoch;
+        let ackf = f.on_data_at_receiver(0, MSS as usize, 10);
+        f.on_ack_at_sender(ackf.tcp().unwrap().ack() as u64, 20); // bumps epoch
+        let act = f.on_timeout(old, 30);
+        assert!(act.transmit.is_empty());
+        assert_eq!(f.timeouts, 0);
+    }
+
+    #[test]
+    fn receiver_reassembles_out_of_order() {
+        let mut f = flow();
+        // Segments arrive 1, 2, 0.
+        let a1 = f.on_data_at_receiver(MSS, MSS as usize, 0);
+        assert_eq!(a1.tcp().unwrap().ack(), 0);
+        let a2 = f.on_data_at_receiver(2 * MSS, MSS as usize, 1);
+        assert_eq!(a2.tcp().unwrap().ack(), 0);
+        let a3 = f.on_data_at_receiver(0, MSS as usize, 2);
+        assert_eq!(a3.tcp().unwrap().ack() as u64, 3 * MSS);
+        assert_eq!(f.delivered_bytes, 3 * MSS);
+    }
+
+    #[test]
+    fn duplicate_data_does_not_double_count_goodput() {
+        let mut f = flow();
+        f.on_data_at_receiver(0, MSS as usize, 0);
+        f.on_data_at_receiver(0, MSS as usize, 1);
+        assert_eq!(f.delivered_bytes, MSS);
+    }
+
+    #[test]
+    fn rtt_sampling_sets_rto() {
+        let mut f = flow();
+        let cfg_min = f.cfg.min_rto_ns;
+        f.send_new(1_000_000);
+        let ackf = f.on_data_at_receiver(0, MSS as usize, 1_100_000);
+        f.on_ack_at_sender(ackf.tcp().unwrap().ack() as u64, 1_100_000);
+        // RTT 100 us -> RTO clamps to the configured minimum.
+        assert_eq!(f.rto_ns, cfg_min);
+        assert!(f.srtt_ns.is_some());
+    }
+
+    #[test]
+    fn pacing_gates_sends() {
+        let cfg = TcpConfig { pacing_ns: Some(1_000_000), ..Default::default() };
+        let mut f = TcpFlow::new(
+            0,
+            0,
+            cfg,
+            Ipv4Addr::new(10, 0, 1, 1),
+            Ipv4Addr::new(10, 0, 2, 1),
+            40_000,
+        );
+        f.cwnd = 100.0;
+        assert!(f.can_send(0));
+        f.send_new(0);
+        assert!(!f.can_send(500_000));
+        assert!(f.can_send(1_000_000));
+    }
+}

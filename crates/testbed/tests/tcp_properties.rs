@@ -1,0 +1,154 @@
+//! Property tests on the TCP Reno model: protocol invariants must hold
+//! under arbitrary interleavings of deliveries, losses, duplicated ACKs and
+//! timeouts — whatever the network does to the segments.
+
+use lvrm_testbed::tcp::{TcpConfig, TcpFlow};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+#[derive(Clone, Debug)]
+enum NetOp {
+    /// Sender transmits as much as its window allows.
+    Kick,
+    /// Deliver the oldest in-flight segment to the receiver (ACK returns).
+    DeliverOldest,
+    /// Drop the oldest in-flight segment.
+    DropOldest,
+    /// Deliver the *newest* in-flight segment (reordering).
+    DeliverNewest,
+    /// Fire the retransmission timer with the current epoch.
+    Timeout,
+    /// Let time pass.
+    Advance(u32),
+}
+
+fn ops() -> impl Strategy<Value = Vec<NetOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => Just(NetOp::Kick),
+            4 => Just(NetOp::DeliverOldest),
+            1 => Just(NetOp::DropOldest),
+            1 => Just(NetOp::DeliverNewest),
+            1 => Just(NetOp::Timeout),
+            2 => (1u32..50_000).prop_map(NetOp::Advance),
+        ],
+        0..400,
+    )
+}
+
+fn flow() -> TcpFlow {
+    TcpFlow::new(
+        0,
+        0,
+        TcpConfig::default(),
+        Ipv4Addr::new(10, 0, 1, 1),
+        Ipv4Addr::new(10, 0, 2, 1),
+        40_000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn reno_invariants_under_arbitrary_networks(script in ops()) {
+        let mut f = flow();
+        let mss = f.cfg.mss as u64;
+        let mut now: u64 = 0;
+        // Network: segments in flight as (seq, len).
+        let mut wire: VecDeque<(u64, usize)> = VecDeque::new();
+        let mut max_delivered_prev = 0u64;
+
+        let handle_transmits = |f: &mut TcpFlow, wire: &mut VecDeque<(u64, usize)>, seqs: Vec<u64>, now: u64| {
+            for s in seqs {
+                let frame = f.build_data(s, now);
+                let t = frame.tcp().unwrap();
+                wire.push_back((t.seq() as u64, t.payload().len()));
+            }
+        };
+
+        for op in script {
+            now += 1_000;
+            match op {
+                NetOp::Kick => {
+                    while f.can_send(now) {
+                        let frame = f.send_new(now);
+                        let t = frame.tcp().unwrap();
+                        wire.push_back((t.seq() as u64, t.payload().len()));
+                    }
+                }
+                NetOp::DeliverOldest | NetOp::DeliverNewest => {
+                    let seg = if matches!(op, NetOp::DeliverOldest) {
+                        wire.pop_front()
+                    } else {
+                        wire.pop_back()
+                    };
+                    if let Some((seq, len)) = seg {
+                        let ack_frame = f.on_data_at_receiver(seq, len, now);
+                        let ack = ack_frame.tcp().unwrap().ack() as u64;
+                        let act = f.on_ack_at_sender(ack, now);
+                        handle_transmits(&mut f, &mut wire, act.transmit, now);
+                    }
+                }
+                NetOp::DropOldest => {
+                    wire.pop_front();
+                }
+                NetOp::Timeout => {
+                    let epoch = f.timer_epoch;
+                    let act = f.on_timeout(epoch, now);
+                    handle_transmits(&mut f, &mut wire, act.transmit, now);
+                }
+                NetOp::Advance(by) => now += by as u64,
+            }
+
+            // --- invariants, checked after every step ---
+            prop_assert!(f.cwnd >= 1.0, "cwnd collapsed below 1: {}", f.cwnd);
+            prop_assert!(f.ssthresh >= 2.0, "ssthresh below 2: {}", f.ssthresh);
+            prop_assert!(
+                f.inflight() <= (f.cfg.rwnd_segments as u64 + 4) * mss,
+                "inflight {} blew past the advertised window",
+                f.inflight()
+            );
+            prop_assert!(
+                f.delivered_bytes >= max_delivered_prev,
+                "goodput went backwards"
+            );
+            max_delivered_prev = f.delivered_bytes;
+            prop_assert!(
+                f.current_rto_ns() >= f.cfg.min_rto_ns,
+                "RTO under the configured floor"
+            );
+        }
+    }
+
+    /// A loss-free in-order network delivers everything the sender emits,
+    /// exactly once.
+    #[test]
+    fn lossless_network_delivers_exactly_once(rounds in 1usize..60) {
+        let mut f = flow();
+        let mss = f.cfg.mss as u64;
+        let mut now = 0u64;
+        let mut sent_segments = 0u64;
+        for _ in 0..rounds {
+            now += 1_000;
+            let mut wire = Vec::new();
+            while f.can_send(now) {
+                let frame = f.send_new(now);
+                let t = frame.tcp().unwrap();
+                wire.push((t.seq() as u64, t.payload().len()));
+                sent_segments += 1;
+            }
+            for (seq, len) in wire {
+                now += 10;
+                let ack = f.on_data_at_receiver(seq, len, now);
+                let act = f.on_ack_at_sender(ack.tcp().unwrap().ack() as u64, now);
+                prop_assert!(act.transmit.is_empty(), "no retransmits on a clean path");
+            }
+        }
+        prop_assert_eq!(f.delivered_bytes, sent_segments * mss);
+        prop_assert_eq!(f.retransmits, 0);
+        prop_assert_eq!(f.timeouts, 0);
+        prop_assert_eq!(f.inflight(), 0);
+    }
+}

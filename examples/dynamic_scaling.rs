@@ -1,0 +1,67 @@
+//! Experiment 2c in miniature, live: drive a staircase load (60→360→60
+//! Kfps) at one VR and print the core allocation tracking it — the paper's
+//! Fig. 4.10 as a terminal chart.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_scaling
+//! ```
+
+use lvrm::testbed::scenario::Scenario;
+use lvrm::testbed::traffic::RateSchedule;
+use lvrm::testbed::{ForwardingMech, VrSpec, VrType};
+
+fn main() {
+    let dwell = 2_000_000_000; // 2 s per step (the paper uses 5 s)
+    let schedule = RateSchedule::staircase(60_000.0, 360_000.0, dwell);
+    let duration = schedule.last_change_ns() + dwell;
+
+    let mut sc = Scenario::new(ForwardingMech::Lvrm);
+    sc.duration_ns = duration;
+    sc.warmup_ns = 100_000_000;
+    sc.sample_period_ns = 500_000_000;
+    sc.vrs = vec![VrSpec::numbered(0, VrType::Cpp { dummy_load_ns: 16_667 })];
+    sc.lvrm.allocator =
+        lvrm::core::config::AllocatorKind::DynamicFixed { per_core_rate: 60_000.0 };
+    // Split the staircase across the two sender hosts, like the testbed.
+    for host in [1u8, 2u8] {
+        sc.sources.push(lvrm::testbed::scenario::SourceSpec {
+            vr: 0,
+            host,
+            kind: lvrm::testbed::traffic::SourceKind::UdpCbr { wire_size: 84, flows: 8 },
+            schedule: RateSchedule::piecewise(
+                (0..)
+                    .map_while(|k| {
+                        let t = k * dwell;
+                        (t <= schedule.last_change_ns())
+                            .then(|| (t, schedule.rate_at(t) / 2.0))
+                    })
+                    .collect(),
+            ),
+        });
+    }
+
+    println!("offered load vs allocated cores (one '#' per core):\n");
+    let result = sc.run();
+    for s in &result.samples {
+        let offered: f64 = s.offered_fps_per_vr.iter().sum();
+        let cores = s.vris_per_vr.first().copied().unwrap_or(0);
+        println!(
+            "t={:>5.1}s offered {:>6.0} Kfps  cores {:<7} {}",
+            s.t_ns as f64 / 1e9,
+            offered / 1e3,
+            format!("[{cores}]"),
+            "#".repeat(cores)
+        );
+    }
+    println!("\nreallocation events:");
+    for e in &result.realloc {
+        println!(
+            "  t={:>5.2}s {:?} -> {} VRIs (reaction {} us)",
+            e.ts_ns as f64 / 1e9,
+            e.decision,
+            e.vris_after,
+            e.latency_ns / 1_000
+        );
+    }
+    println!("\ndelivery ratio over the run: {:.3}", result.delivery_ratio());
+}

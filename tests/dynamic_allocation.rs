@@ -1,0 +1,111 @@
+//! Cross-crate integration: dynamic core allocation through the full
+//! simulated testbed (the substance of Experiments 2c–2e).
+
+use lvrm::core::config::AllocatorKind;
+use lvrm::testbed::scenario::{Scenario, SourceSpec};
+use lvrm::testbed::traffic::{RateSchedule, SourceKind};
+use lvrm::testbed::{ForwardingMech, VrSpec, VrType};
+
+fn base(duration_s: u64) -> Scenario {
+    let mut sc = Scenario::new(ForwardingMech::Lvrm);
+    sc.duration_ns = duration_s * 1_000_000_000;
+    sc.warmup_ns = 100_000_000;
+    sc.sample_period_ns = 500_000_000;
+    sc.vrs = vec![VrSpec::numbered(0, VrType::Cpp { dummy_load_ns: 16_667 })];
+    sc.lvrm.allocator = AllocatorKind::DynamicFixed { per_core_rate: 60_000.0 };
+    sc
+}
+
+#[test]
+fn staircase_up_allocates_staircase_of_cores() {
+    let mut sc = base(8);
+    sc.sources.push(SourceSpec {
+        vr: 0,
+        host: 1,
+        kind: SourceKind::UdpCbr { wire_size: 84, flows: 8 },
+        schedule: RateSchedule::piecewise(vec![
+            (0, 50_000.0),
+            (2_500_000_000, 110_000.0),
+            (5_000_000_000, 170_000.0),
+        ]),
+    });
+    let r = sc.run();
+    let cores: Vec<usize> = r.samples.iter().map(|s| s.vris_per_vr[0]).collect();
+    assert_eq!(*cores.last().unwrap(), 3, "170 Kfps wants 3 cores: {cores:?}");
+    assert!(cores.windows(2).all(|w| w[1] >= w[0]), "monotone ramp up: {cores:?}");
+}
+
+#[test]
+fn load_drop_releases_cores() {
+    let mut sc = base(10);
+    sc.sources.push(SourceSpec {
+        vr: 0,
+        host: 1,
+        kind: SourceKind::UdpCbr { wire_size: 84, flows: 8 },
+        schedule: RateSchedule::piecewise(vec![
+            (0, 170_000.0),
+            (4_000_000_000, 50_000.0),
+        ]),
+    });
+    let r = sc.run();
+    let peak = r.samples.iter().map(|s| s.vris_per_vr[0]).max().unwrap();
+    let last = r.samples.last().unwrap().vris_per_vr[0];
+    assert!(peak >= 3, "peak {peak}");
+    assert_eq!(last, 1, "idle load keeps one core");
+    // Shrinks must appear in the log.
+    assert!(r
+        .realloc
+        .iter()
+        .any(|e| e.decision == lvrm::core::alloc::AllocDecision::Shrink));
+}
+
+#[test]
+fn service_rate_thresholds_favor_the_slower_vr() {
+    let mut sc = Scenario::new(ForwardingMech::Lvrm);
+    sc.duration_ns = 8_000_000_000;
+    sc.warmup_ns = 100_000_000;
+    sc.sample_period_ns = 1_000_000_000;
+    sc.vrs = vec![
+        VrSpec::numbered(0, VrType::Cpp { dummy_load_ns: 33_333 }), // slow
+        VrSpec::numbered(1, VrType::Cpp { dummy_load_ns: 16_667 }), // fast
+    ];
+    sc.lvrm.allocator = AllocatorKind::DynamicServiceRate { bootstrap_rate: 60_000.0 };
+    for vr in 0..2 {
+        sc.sources.push(SourceSpec {
+            vr,
+            host: 1,
+            kind: SourceKind::UdpCbr { wire_size: 84, flows: 8 },
+            schedule: RateSchedule::constant(80_000.0),
+        });
+    }
+    let r = sc.run();
+    let last = r.samples.last().unwrap();
+    assert!(
+        last.vris_per_vr[0] > last.vris_per_vr[1],
+        "equal load, half the service rate => more cores: {:?}",
+        last.vris_per_vr
+    );
+}
+
+#[test]
+fn deterministic_given_same_scenario() {
+    let make = || {
+        let mut sc = base(4);
+        sc.sources.push(SourceSpec {
+            vr: 0,
+            host: 1,
+            kind: SourceKind::UdpCbr { wire_size: 84, flows: 8 },
+            schedule: RateSchedule::constant(120_000.0),
+        });
+        sc.run()
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a.udp_sent, b.udp_sent);
+    assert_eq!(a.udp_received, b.udp_received);
+    assert_eq!(
+        a.samples.iter().map(|s| s.vris_per_vr.clone()).collect::<Vec<_>>(),
+        b.samples.iter().map(|s| s.vris_per_vr.clone()).collect::<Vec<_>>()
+    );
+    assert_eq!(a.latency.mean_ns(), b.latency.mean_ns());
+}

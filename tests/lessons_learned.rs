@@ -1,0 +1,145 @@
+//! The paper's §4.6 "Lessons Learned", encoded as executable assertions
+//! over the simulated testbed. If a refactor breaks one of the paper's
+//! conclusions, these tests say so in the paper's own terms.
+
+use lvrm::core::config::AllocatorKind;
+use lvrm::core::SocketKind;
+use lvrm::testbed::scenario::{search_achievable, Scenario, SourceSpec, TcpFlowSpec};
+use lvrm::testbed::tcp::TcpConfig;
+use lvrm::testbed::traffic::{RateSchedule, SourceKind};
+use lvrm::testbed::{ForwardingMech, HypervisorKind, VrSpec, VrType};
+
+fn throughput_84b(mech: ForwardingMech, socket: SocketKind) -> f64 {
+    search_achievable(
+        |rate| {
+            let mut sc = Scenario::new(mech);
+            sc.socket = socket;
+            sc.duration_ns = 150_000_000;
+            sc.warmup_ns = 50_000_000;
+            sc.with_udp_load(0, 84, rate, 8)
+        },
+        20_000.0,
+        1_500_000.0,
+        5,
+    )
+}
+
+/// Lesson 1: "LVRM itself incurs minimal performance overhead in data
+/// forwarding in terms of throughput and latency. It also provides a more
+/// lightweight approach than general-purpose hypervisors."
+#[test]
+fn lesson1_lvrm_overhead_is_minimal_and_beats_hypervisors() {
+    let native = throughput_84b(ForwardingMech::Native, SocketKind::PfRing);
+    let lvrm = throughput_84b(ForwardingMech::Lvrm, SocketKind::PfRing);
+    let kvm = throughput_84b(
+        ForwardingMech::Hypervisor(HypervisorKind::QemuKvm),
+        SocketKind::PfRing,
+    );
+    assert!(
+        lvrm > native * 0.8,
+        "LVRM throughput must stay close to native: {lvrm:.0} vs {native:.0}"
+    );
+    assert!(
+        lvrm > kvm * 5.0,
+        "LVRM must dwarf the general-purpose hypervisor: {lvrm:.0} vs {kvm:.0}"
+    );
+}
+
+/// Lesson 2: "LVRM dynamically allocates CPU cores for VRs based on their
+/// traffic loads, with very small reaction times" — here: the allocation
+/// settles within one allocation period of a load change.
+#[test]
+fn lesson2_allocation_tracks_load_within_a_period() {
+    let mut sc = Scenario::new(ForwardingMech::Lvrm);
+    sc.duration_ns = 7_000_000_000;
+    sc.warmup_ns = 100_000_000;
+    sc.sample_period_ns = 250_000_000;
+    sc.vrs = vec![VrSpec::numbered(0, VrType::Cpp { dummy_load_ns: 16_667 })];
+    sc.lvrm.allocator = AllocatorKind::DynamicFixed { per_core_rate: 60_000.0 };
+    sc.sources.push(SourceSpec {
+        vr: 0,
+        host: 1,
+        kind: SourceKind::UdpCbr { wire_size: 84, flows: 8 },
+        schedule: RateSchedule::piecewise(vec![(0, 50_000.0), (3_000_000_000, 170_000.0)]),
+    });
+    let r = sc.run();
+    // The step lands at t=3 s and needs two grows; with the paper's one
+    // allocation pass per second the VR must hold 3 cores within ~2.5 s
+    // (estimator settle + two periods).
+    let settled: Vec<usize> = r
+        .samples
+        .iter()
+        .filter(|s| s.t_ns >= 5_500_000_000)
+        .map(|s| s.vris_per_vr[0])
+        .collect();
+    assert!(
+        !settled.is_empty() && settled.iter().all(|c| *c == 3),
+        "3x load step must settle at 3 cores within ~2.5 s: {settled:?}"
+    );
+    // And the reallocation events confirm growth started within 2 periods.
+    let first_growth_after_step = r
+        .realloc
+        .iter()
+        .find(|e| e.ts_ns > 3_000_000_000)
+        .expect("growth events after the step");
+    assert!(
+        first_growth_after_step.ts_ns < 5_000_000_000,
+        "first reaction too late: {} s",
+        first_growth_after_step.ts_ns as f64 / 1e9
+    );
+}
+
+/// Lesson 3: "it is desirable to first select sibling cores … and to
+/// dedicate a CPU core to at most one VRI."
+#[test]
+fn lesson3_sibling_first_and_dedicated_cores_win() {
+    use lvrm::core::topology::AffinityMode;
+    let run = |mode: AffinityMode| {
+        let mut sc = Scenario::new(ForwardingMech::Lvrm);
+        sc.duration_ns = 200_000_000;
+        sc.warmup_ns = 50_000_000;
+        sc.lvrm.affinity = mode;
+        sc.lvrm.allocator = AllocatorKind::Fixed { cores: 1 };
+        sc.with_udp_load(0, 84, 300_000.0, 8).run().delivered_fps()
+    };
+    let sibling = run(AffinityMode::SiblingFirst);
+    let non_sibling = run(AffinityMode::NonSiblingFirst);
+    let same = run(AffinityMode::Same);
+    assert!(sibling >= non_sibling, "sibling {sibling:.0} < non-sibling {non_sibling:.0}");
+    assert!(
+        same < sibling * 0.8,
+        "sharing LVRM's core must hurt clearly: {same:.0} vs {sibling:.0}"
+    );
+}
+
+/// Lesson 4: "LVRM is scalable … It also provides a fair approach as well
+/// as the native Linux IP forwarding."
+#[test]
+fn lesson4_tcp_fairness_parity_with_native() {
+    let run = |mech: ForwardingMech| {
+        let mut sc = Scenario::new(mech);
+        sc.duration_ns = 6_000_000_000;
+        sc.warmup_ns = 2_000_000_000;
+        sc.lvrm.allocator = AllocatorKind::Fixed { cores: 6 };
+        for i in 0..10 {
+            sc.tcp_flows.push(TcpFlowSpec {
+                vr: 0,
+                cfg: TcpConfig::default(),
+                start_ns: i * 5_000_000,
+            });
+        }
+        let r = sc.run();
+        (r.tcp_aggregate_mbps(), lvrm::metrics::jain_index(&r.tcp_goodput_mbps()))
+    };
+    let (native_mbps, native_jain) = run(ForwardingMech::Native);
+    let (lvrm_mbps, lvrm_jain) = run(ForwardingMech::Lvrm);
+    assert!(
+        lvrm_mbps > native_mbps * 0.95,
+        "aggregate parity: lvrm {lvrm_mbps:.0} vs native {native_mbps:.0}"
+    );
+    assert!(lvrm_jain > 0.9, "lvrm Jain {lvrm_jain:.3}");
+    assert!(
+        (lvrm_jain - native_jain).abs() < 0.1,
+        "fairness parity: lvrm {lvrm_jain:.3} vs native {native_jain:.3}"
+    );
+}
