@@ -24,7 +24,8 @@ fn bench_policy(c: &mut Criterion) {
         let mut i = 0usize;
         g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
             b.iter(|| {
-                let ctx = BalanceCtx { vris: &vris, loads: &loads, valid: &valid, now_ns: i as u64 };
+                let ctx =
+                    BalanceCtx { vris: &vris, loads: &loads, valid: &valid, now_ns: i as u64 };
                 let f = &frames[i % frames.len()];
                 i += 1;
                 std::hint::black_box(bal.pick(f, &ctx))

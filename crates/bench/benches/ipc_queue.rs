@@ -60,6 +60,92 @@ fn cross_thread(c: &mut Criterion) {
     g.finish();
 }
 
+/// Same-thread batch-size sweep: send a burst, then drain it, in bursts of
+/// 1/8/32/256 through `try_send_batch`/`try_recv_batch`. Per-element cost —
+/// burst size 1 prices the batch-API overhead itself; larger bursts
+/// amortize the atomic index publication to one per burst. Free of
+/// scheduler noise, so it isolates exactly what batching buys.
+fn batch_same_thread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipc_queue/batch_same_thread");
+    for kind in QueueKind::ALL {
+        for batch in [1usize, 8, 32, 256] {
+            g.throughput(Throughput::Elements(batch as u64));
+            let id = format!("{}/b{batch}", kind.name());
+            g.bench_with_input(
+                BenchmarkId::from_parameter(id),
+                &(kind, batch),
+                |b, &(kind, batch)| {
+                    let (mut tx, mut rx) = queue::<u64>(kind, 1024);
+                    let mut pending: Vec<u64> = Vec::with_capacity(batch);
+                    let mut out: Vec<u64> = Vec::with_capacity(batch);
+                    b.iter(|| {
+                        pending.clear();
+                        pending.extend(0..batch as u64);
+                        let sent = tx.try_send_batch(std::hint::black_box(&mut pending));
+                        out.clear();
+                        let got = rx.try_recv_batch(&mut out, batch);
+                        assert_eq!((sent, got), (batch, batch));
+                        std::hint::black_box(out.last().copied())
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Batch-size sweep for the bulk entry points: the same 100k cross-thread
+/// transfer as `cross_thread`, but moved in bursts of 1/8/32/256 through
+/// `try_send_batch`/`try_recv_batch`. Burst size 1 prices the batch-API
+/// overhead itself; larger bursts amortize the index publication and the
+/// cache-line handover to one per burst. (Meaningful only on multi-core
+/// hosts; on one core the spin loops measure the scheduler.)
+fn batch_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipc_queue/batch_cross_thread_100k");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(100_000));
+    for kind in QueueKind::ALL {
+        for batch in [1usize, 8, 32, 256] {
+            let id = format!("{}/b{batch}", kind.name());
+            g.bench_with_input(
+                BenchmarkId::from_parameter(id),
+                &(kind, batch),
+                |b, &(kind, batch)| {
+                    b.iter(|| {
+                        let (mut tx, mut rx) = queue::<u64>(kind, 1024);
+                        let producer = std::thread::spawn(move || {
+                            let mut pending: Vec<u64> = Vec::with_capacity(batch);
+                            let mut next = 0u64;
+                            while next < 100_000 || !pending.is_empty() {
+                                while pending.len() < batch && next < 100_000 {
+                                    pending.push(next);
+                                    next += 1;
+                                }
+                                if tx.try_send_batch(&mut pending) == 0 {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        });
+                        let mut out: Vec<u64> = Vec::with_capacity(batch);
+                        let mut got = 0usize;
+                        while got < 100_000 {
+                            out.clear();
+                            let n = rx.try_recv_batch(&mut out, batch);
+                            if n == 0 {
+                                std::hint::spin_loop();
+                            } else {
+                                got += n;
+                            }
+                        }
+                        producer.join().unwrap();
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 /// Two-thread ping-pong: the microcosm of Experiment 1e's control-message
 /// latency. One round trip = two queue traversals + two cache handovers.
 fn ping_pong(c: &mut Criterion) {
@@ -103,5 +189,5 @@ fn ping_pong(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, same_thread, cross_thread, ping_pong);
+criterion_group!(benches, same_thread, batch_same_thread, cross_thread, batch_sweep, ping_pong);
 criterion_main!(benches);

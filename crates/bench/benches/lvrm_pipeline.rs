@@ -16,11 +16,8 @@ fn pipeline(c: &mut Criterion) {
     for (name, wire) in [("84B", 84usize), ("1538B", 1538)] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &wire, |b, &wire| {
             let clock = ManualClock::new();
-            let cores = CoreMap::new(
-                CoreTopology::dual_quad_xeon(),
-                CoreId(0),
-                AffinityMode::SiblingFirst,
-            );
+            let cores =
+                CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
             let mut lvrm = Lvrm::new(LvrmConfig::default(), cores, clock.clone());
             let mut host = RecordingHost::default();
             let routes = lvrm_router::parse_map_file("0.0.0.0/0 1\n").unwrap();
@@ -45,5 +42,57 @@ fn pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, pipeline);
+/// The same relay measured through `ingress_batch` at burst sizes 1/8/32/256
+/// (per-frame cost, so lines are directly comparable with `relay` above).
+/// A burst shares one clock read, one load-view refresh, and one bulk
+/// enqueue per VRI across all its frames.
+fn pipeline_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lvrm_pipeline/relay_batch");
+    for (name, wire) in [("84B", 84usize), ("1538B", 1538)] {
+        for batch in [1usize, 8, 32, 256] {
+            g.throughput(Throughput::Elements(batch as u64));
+            let id = format!("{name}/b{batch}");
+            g.bench_with_input(
+                BenchmarkId::from_parameter(id),
+                &(wire, batch),
+                |b, &(wire, batch)| {
+                    let clock = ManualClock::new();
+                    let cores = CoreMap::new(
+                        CoreTopology::dual_quad_xeon(),
+                        CoreId(0),
+                        AffinityMode::SiblingFirst,
+                    );
+                    let config = LvrmConfig { batch_size: batch, ..LvrmConfig::default() };
+                    let mut lvrm = Lvrm::new(config, cores, clock.clone());
+                    let mut host = RecordingHost::default();
+                    let routes = lvrm_router::parse_map_file("0.0.0.0/0 1\n").unwrap();
+                    let _ = lvrm.add_vr(
+                        "vr0",
+                        &[(Ipv4Addr::new(10, 0, 1, 0), 24)],
+                        Box::new(lvrm_router::FastVr::new("cpp", routes)),
+                        &mut host,
+                    );
+                    let mut trace = Trace::generate(&TraceSpec::new(wire, 64));
+                    let mut burst = Vec::with_capacity(batch);
+                    let mut out = Vec::with_capacity(batch);
+                    b.iter(|| {
+                        clock.advance_ns(1_000);
+                        burst.clear();
+                        for _ in 0..batch {
+                            burst.push(trace.next_frame());
+                        }
+                        lvrm.ingress_batch(&mut burst, &mut host);
+                        host.pump();
+                        out.clear();
+                        lvrm.poll_egress(&mut out);
+                        std::hint::black_box(out.len())
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, pipeline, pipeline_batch);
 criterion_main!(benches);

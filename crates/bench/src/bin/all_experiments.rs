@@ -10,9 +10,21 @@
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[
-    "exp1a", "exp1a_cpu", "exp1b", "exp1c", "exp1d", "exp1e",
-    "exp2a", "exp2b", "exp2c", "exp2d", "exp2e",
-    "exp3a", "exp3b", "exp3c", "exp4",
+    "exp1a",
+    "exp1a_cpu",
+    "exp1b",
+    "exp1c",
+    "exp1d",
+    "exp1e",
+    "exp2a",
+    "exp2b",
+    "exp2c",
+    "exp2d",
+    "exp2e",
+    "exp3a",
+    "exp3b",
+    "exp3c",
+    "exp4",
     "exp_ablation_alloc",
 ];
 

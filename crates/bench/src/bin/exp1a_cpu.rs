@@ -40,9 +40,10 @@ fn main() {
             // Aggregate busy time across cores, normalized by the run length
             // on the busiest core (the paper reports per-core percentages;
             // we report the whole-gateway totals scaled to one core).
-            let (us, sy, si) = r.cpu_busy.iter().fold((0u64, 0u64, 0u64), |a, c| {
-                (a.0 + c.0, a.1 + c.1, a.2 + c.2)
-            });
+            let (us, sy, si) = r
+                .cpu_busy
+                .iter()
+                .fold((0u64, 0u64, 0u64), |a, c| (a.0 + c.0, a.1 + c.1, a.2 + c.2));
             let f = 100.0 / dur as f64;
             // The LVRM process busy-polls between frames: whatever the cost
             // model did not charge on LVRM's core is spin time, attributed

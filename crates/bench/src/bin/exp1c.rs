@@ -10,7 +10,7 @@
 //! core count so EXPERIMENTS.md can contextualize (a single-core container
 //! time-slices LVRM and its VRIs and lands well below the paper).
 
-use lvrm_bench::{kfps, full_scale, Table};
+use lvrm_bench::{full_scale, kfps, Table};
 use lvrm_runtime::pipeline::{run_lvrm_only, run_lvrm_only_inline, PipelineVr};
 
 fn main() {

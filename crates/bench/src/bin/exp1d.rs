@@ -20,10 +20,7 @@ fn main() {
          small next to the network path of Exp 1b. On fewer cores the figures \
          inflate by scheduler timeslices",
     );
-    println!(
-        "running on {} core(s); paper used 8",
-        lvrm_runtime::affinity::available_cores()
-    );
+    println!("running on {} core(s); paper used 8", lvrm_runtime::affinity::available_cores());
     for vr in [PipelineVr::Cpp, PipelineVr::Click] {
         for &size in &sizes {
             eprintln!("[exp1d] {vr:?} {size}B ...");

@@ -20,10 +20,7 @@ fn main() {
          weak dependence on event size. Scheduler timeslices inflate this on \
          core-starved hosts",
     );
-    println!(
-        "running on {} core(s); paper used 8",
-        lvrm_runtime::affinity::available_cores()
-    );
+    println!("running on {} core(s); paper used 8", lvrm_runtime::affinity::available_cores());
     for &payload in &payloads {
         for full_load in [false, true] {
             let label = if full_load { "full" } else { "none" };

@@ -24,8 +24,7 @@ fn main() {
          cores; over-allocating beyond physical cores loses throughput to \
          contention",
     );
-    for vr_type in
-        [VrType::Cpp { dummy_load_ns: 16_667 }, VrType::Click { dummy_load_ns: 16_667 }]
+    for vr_type in [VrType::Cpp { dummy_load_ns: 16_667 }, VrType::Click { dummy_load_ns: 16_667 }]
     {
         for cores in 1..=8usize {
             eprintln!("[exp2b] {} cores={cores} ...", vr_type.name());

@@ -79,12 +79,9 @@ fn staircase_run() {
 fn real_reaction_latency() {
     let clock = MonotonicClock::new();
     let n = lvrm_runtime::affinity::available_cores().max(2) as u16;
-    let cores =
-        CoreMap::new(CoreTopology::single_package(n), CoreId(0), AffinityMode::Same);
-    let config = LvrmConfig {
-        allocator: AllocatorKind::Fixed { cores: 1 },
-        ..LvrmConfig::default()
-    };
+    let cores = CoreMap::new(CoreTopology::single_package(n), CoreId(0), AffinityMode::Same);
+    let config =
+        LvrmConfig { allocator: AllocatorKind::Fixed { cores: 1 }, ..LvrmConfig::default() };
     let mut lvrm = Lvrm::new(config, cores, clock.clone());
     let mut host = lvrm_runtime::ThreadHost::new(clock.clone());
     let routes = lvrm_router::parse_map_file("0.0.0.0/0 1\n").unwrap();

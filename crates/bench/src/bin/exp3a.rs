@@ -22,8 +22,7 @@ fn main() {
         "all schemes near the ideal; JSQ slightly ahead of RR and random; \
          Click below C++ due to its internal processing",
     );
-    for vr_type in
-        [VrType::Cpp { dummy_load_ns: 16_667 }, VrType::Click { dummy_load_ns: 16_667 }]
+    for vr_type in [VrType::Cpp { dummy_load_ns: 16_667 }, VrType::Click { dummy_load_ns: 16_667 }]
     {
         for balancer in BalancerKind::ALL {
             eprintln!("[exp3a] {} {} ...", vr_type.name(), balancer.name());
@@ -35,8 +34,7 @@ fn main() {
             sc.warmup_ns = 200_000_000;
             let sc = sc.with_udp_load(0, 84, 360_000.0, 16);
             let r = sc.run();
-            let dispatch: Vec<f64> =
-                r.per_vri_dispatches[0].iter().map(|d| *d as f64).collect();
+            let dispatch: Vec<f64> = r.per_vri_dispatches[0].iter().map(|d| *d as f64).collect();
             table.row(vec![
                 vr_type.name().to_string(),
                 balancer.name().to_string(),

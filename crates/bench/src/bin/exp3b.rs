@@ -21,8 +21,7 @@ fn main() {
         "C++ VR: T very close to the 360 Kfps ideal for every scheme, JSQ \
          slightly ahead; Click lower due to its processing load",
     );
-    for vr_type in
-        [VrType::Cpp { dummy_load_ns: 16_667 }, VrType::Click { dummy_load_ns: 16_667 }]
+    for vr_type in [VrType::Cpp { dummy_load_ns: 16_667 }, VrType::Click { dummy_load_ns: 16_667 }]
     {
         for balancer in BalancerKind::ALL {
             eprintln!("[exp3b] {} {} ...", vr_type.name(), balancer.name());

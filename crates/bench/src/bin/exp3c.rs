@@ -74,12 +74,8 @@ fn main() {
          frame-based; max-min all > 0.6 (flow-based lowest); Jain all > 0.9",
     );
     let variants: Vec<(String, ForwardingMech, BalancerKind, bool)> = {
-        let mut v = vec![(
-            "native-linux".to_string(),
-            ForwardingMech::Native,
-            BalancerKind::Jsq,
-            false,
-        )];
+        let mut v =
+            vec![("native-linux".to_string(), ForwardingMech::Native, BalancerKind::Jsq, false)];
         for balancer in lvrm_core::config::BalancerKind::ALL {
             for flow_based in [false, true] {
                 let mode = if flow_based { "flow" } else { "frame" };
@@ -96,12 +92,7 @@ fn main() {
     for (label, mech, balancer, flow_based) in variants {
         eprintln!("[exp3c] {label} ...");
         let (agg, mm, jain) = run_variant(mech, balancer, flow_based, pairs, duration);
-        table.row(vec![
-            label,
-            mbps(agg),
-            format!("{mm:.3}"),
-            format!("{jain:.3}"),
-        ]);
+        table.row(vec![label, mbps(agg), format!("{mm:.3}"), format!("{jain:.3}")]);
     }
     table.finish();
 }

@@ -30,11 +30,7 @@ fn scenario(mech: ForwardingMech, flow_based: bool, pairs: usize, duration: u64)
         sc.tcp_flows.push(TcpFlowSpec { vr: 0, cfg: TcpConfig::default(), start_ns });
         sc.tcp_flows.push(TcpFlowSpec {
             vr: 0,
-            cfg: TcpConfig {
-                mss: 256,
-                pacing_ns: Some(20_000_000),
-                ..TcpConfig::default()
-            },
+            cfg: TcpConfig { mss: 256, pacing_ns: Some(20_000_000), ..TcpConfig::default() },
             start_ns,
         });
     }
@@ -92,10 +88,7 @@ fn main() {
         "mostly around ~700 Mbps with small dips; LVRM tracks native",
     );
     for s in &r.samples {
-        timeline.row(vec![
-            format!("{:.1}", s.t_ns as f64 / 1e9),
-            mbps(s.delivered_mbps),
-        ]);
+        timeline.row(vec![format!("{:.1}", s.t_ns as f64 / 1e9), mbps(s.delivered_mbps)]);
     }
     timeline.finish();
 }

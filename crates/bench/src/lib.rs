@@ -12,8 +12,6 @@
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
-
 /// Whether to run paper-scale experiments (default: quick profile).
 pub fn full_scale() -> bool {
     std::env::var("LVRM_EXP_FULL").is_ok_and(|v| !v.is_empty() && v != "0")
@@ -21,16 +19,13 @@ pub fn full_scale() -> bool {
 
 /// Where JSON results are written.
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
-    )
-    .join("experiments");
+    let dir = PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .join("experiments");
     let _ = fs::create_dir_all(&dir);
     dir
 }
 
 /// A printable, serializable result table.
-#[derive(Serialize)]
 pub struct Table {
     pub experiment: String,
     pub figure: String,
@@ -89,16 +84,48 @@ impl Table {
         println!("paper: {}", self.paper_expectation);
     }
 
+    /// Serialize as pretty-printed JSON (hand-rolled: the workspace builds
+    /// without serde, see shims/README.md).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn arr(items: &[String]) -> String {
+            format!("[{}]", items.iter().map(|s| esc(s)).collect::<Vec<_>>().join(", "))
+        }
+        let rows =
+            self.rows.iter().map(|r| format!("    {}", arr(r))).collect::<Vec<_>>().join(",\n");
+        format!(
+            "{{\n  \"experiment\": {},\n  \"figure\": {},\n  \"title\": {},\n  \
+             \"columns\": {},\n  \"rows\": [\n{}\n  ],\n  \"paper_expectation\": {}\n}}\n",
+            esc(&self.experiment),
+            esc(&self.figure),
+            esc(&self.title),
+            arr(&self.columns),
+            rows,
+            esc(&self.paper_expectation),
+        )
+    }
+
     /// Write JSON next to the other experiment outputs.
     pub fn save(&self) {
         let path = out_dir().join(format!("{}.json", self.experiment));
-        match serde_json::to_string_pretty(self) {
-            Ok(json) => {
-                if let Err(e) = fs::write(&path, json) {
-                    eprintln!("warning: could not write {}: {e}", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: could not serialize {}: {e}", self.experiment),
+        if let Err(e) = fs::write(&path, self.to_json()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
         }
     }
 

@@ -175,7 +175,12 @@ struct Parser {
 }
 
 impl Parser {
-    fn declare(&mut self, name: String, class: String, args: Vec<String>) -> Result<(), ConfigError> {
+    fn declare(
+        &mut self,
+        name: String,
+        class: String,
+        args: Vec<String>,
+    ) -> Result<(), ConfigError> {
         if self.known.contains_key(&name) {
             return err(format!("element {name:?} declared twice"));
         }
@@ -321,10 +326,8 @@ mod tests {
 
     #[test]
     fn named_declarations_and_references() {
-        let ast = parse_config(
-            "in :: FromDevice(0);\nout :: ToDevice(1);\nin -> Counter -> out;",
-        )
-        .unwrap();
+        let ast = parse_config("in :: FromDevice(0);\nout :: ToDevice(1);\nin -> Counter -> out;")
+            .unwrap();
         assert_eq!(ast.decls.len(), 3);
         assert_eq!(ast.links.len(), 2);
         assert_eq!(ast.links[0].from, "in");
@@ -352,10 +355,8 @@ mod tests {
 
     #[test]
     fn comments_are_stripped() {
-        let ast = parse_config(
-            "// entry\nFromDevice(0) /* nic 0 */ -> ToDevice(1); // done",
-        )
-        .unwrap();
+        let ast =
+            parse_config("// entry\nFromDevice(0) /* nic 0 */ -> ToDevice(1); // done").unwrap();
         assert_eq!(ast.decls.len(), 2);
     }
 
@@ -391,8 +392,7 @@ mod tests {
 
     #[test]
     fn lookup_route_args_keep_slashes() {
-        let ast =
-            parse_config("rt :: LookupIPRoute(10.0.2.0/24 0, 0.0.0.0/0 1);").unwrap();
+        let ast = parse_config("rt :: LookupIPRoute(10.0.2.0/24 0, 0.0.0.0/0 1);").unwrap();
         assert_eq!(ast.decls[0].args, vec!["10.0.2.0/24 0", "0.0.0.0/0 1"]);
     }
 }

@@ -348,9 +348,8 @@ impl LookupIpRoute {
             let Some((prefix_s, len_s)) = cidr.split_once('/') else {
                 return cfg_err(format!("LookupIPRoute destination {cidr:?} is not CIDR"));
             };
-            let prefix: Ipv4Addr = prefix_s
-                .parse()
-                .map_err(|_| ConfigError(format!("bad prefix {prefix_s:?}")))?;
+            let prefix: Ipv4Addr =
+                prefix_s.parse().map_err(|_| ConfigError(format!("bad prefix {prefix_s:?}")))?;
             let len: u8 = len_s
                 .parse()
                 .ok()
@@ -562,9 +561,7 @@ impl Element for SetIpTtl {
 
 fn one_u16(decl: &Decl) -> Result<u16, ConfigError> {
     match decl.args.as_slice() {
-        [a] => a
-            .parse()
-            .map_err(|_| ConfigError(format!("{}: bad interface {a:?}", decl.class))),
+        [a] => a.parse().map_err(|_| ConfigError(format!("{}: bad interface {a:?}", decl.class))),
         _ => cfg_err(format!("{} takes exactly one interface argument", decl.class)),
     }
 }
@@ -694,8 +691,11 @@ mod tests {
         let mut cl = CheckLength::from_args(&["100".into()]).unwrap();
         let small = udp_frame();
         assert_eq!(collect(&mut cl, small)[0].0, 0);
-        let big = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 5), Ipv4Addr::new(10, 0, 2, 9))
-            .udp(1, 2, &[0u8; 200]);
+        let big = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 5), Ipv4Addr::new(10, 0, 2, 9)).udp(
+            1,
+            2,
+            &[0u8; 200],
+        );
         assert_eq!(collect(&mut cl, big)[0].0, 1);
         assert_eq!(cl.oversized, 1);
     }

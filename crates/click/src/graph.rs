@@ -58,10 +58,8 @@ impl ElementGraph {
             return Err(ConfigError("configuration has no FromDevice entry point".into()));
         }
 
-        let mut edges: Vec<OutEdges> = elements
-            .iter()
-            .map(|e| vec![None; e.n_outputs()].into_boxed_slice())
-            .collect();
+        let mut edges: Vec<OutEdges> =
+            elements.iter().map(|e| vec![None; e.n_outputs()].into_boxed_slice()).collect();
         for link in &ast.links {
             let from = *index
                 .get(&link.from)
@@ -177,11 +175,7 @@ impl ElementGraph {
         use std::fmt::Write;
         let mut out = String::from("digraph click {\n  rankdir=LR;\n  node [shape=box];\n");
         for (i, name) in self.names.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "  n{i} [label=\"{name}\\n{}\"];",
-                self.elements[i].class_name()
-            );
+            let _ = writeln!(out, "  n{i} [label=\"{name}\\n{}\"];", self.elements[i].class_name());
         }
         for (i, outs) in self.edges.iter().enumerate() {
             for (port, edge) in outs.iter().enumerate() {
@@ -254,14 +248,8 @@ mod tests {
              -> rt :: LookupIPRoute(10.0.2.0/24 0, 10.0.3.0/24 1);\n\
              rt[0] -> ToDevice(1); rt[1] -> ToDevice(2);",
         );
-        assert_eq!(
-            g.run(udp([10, 0, 1, 5], [10, 0, 2, 9])),
-            PacketFate::Forwarded { iface: 1 }
-        );
-        assert_eq!(
-            g.run(udp([10, 0, 1, 5], [10, 0, 3, 9])),
-            PacketFate::Forwarded { iface: 2 }
-        );
+        assert_eq!(g.run(udp([10, 0, 1, 5], [10, 0, 2, 9])), PacketFate::Forwarded { iface: 1 });
+        assert_eq!(g.run(udp([10, 0, 1, 5], [10, 0, 3, 9])), PacketFate::Forwarded { iface: 2 });
         assert_eq!(g.run(udp([10, 0, 1, 5], [8, 8, 8, 8])), PacketFate::Dropped);
     }
 
@@ -271,12 +259,16 @@ mod tests {
             "cl :: Classifier(ip proto udp, -);\n\
              FromDevice(0) -> cl; cl[0] -> ToDevice(1); cl[1] -> sink :: Discard;",
         );
-        assert_eq!(
-            g.run(udp([10, 0, 1, 5], [10, 0, 2, 9])),
-            PacketFate::Forwarded { iface: 1 }
+        assert_eq!(g.run(udp([10, 0, 1, 5], [10, 0, 2, 9])), PacketFate::Forwarded { iface: 1 });
+        let tcp = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 5), Ipv4Addr::new(10, 0, 2, 9)).tcp(
+            1,
+            2,
+            0,
+            0,
+            0x02,
+            100,
+            &[],
         );
-        let tcp = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 5), Ipv4Addr::new(10, 0, 2, 9))
-            .tcp(1, 2, 0, 0, 0x02, 100, &[]);
         assert_eq!(g.run(tcp), PacketFate::Dropped);
         assert_eq!(g.element_count("sink"), Some(1));
     }
@@ -289,9 +281,7 @@ mod tests {
 
     #[test]
     fn multi_entry_selects_by_ingress() {
-        let mut g = compile(
-            "FromDevice(0) -> ToDevice(1); FromDevice(1) -> ToDevice(0);",
-        );
+        let mut g = compile("FromDevice(0) -> ToDevice(1); FromDevice(1) -> ToDevice(0);");
         let mut f = udp([10, 0, 1, 5], [10, 0, 2, 9]);
         f.ingress_if = 1;
         assert_eq!(g.run(f), PacketFate::Forwarded { iface: 0 });
@@ -326,8 +316,7 @@ mod tests {
 
     #[test]
     fn compile_requires_entry_point() {
-        let e = ElementGraph::compile(&parse_config("Counter -> Discard;").unwrap())
-            .unwrap_err();
+        let e = ElementGraph::compile(&parse_config("Counter -> Discard;").unwrap()).unwrap_err();
         assert!(e.0.contains("FromDevice"));
     }
 
@@ -357,9 +346,8 @@ mod tests {
 
     #[test]
     fn tee_forwards_first_todevice_fate() {
-        let mut g = compile(
-            "FromDevice(0) -> t :: Tee(2); t[0] -> ToDevice(1); t[1] -> ToDevice(2);",
-        );
+        let mut g =
+            compile("FromDevice(0) -> t :: Tee(2); t[0] -> ToDevice(1); t[1] -> ToDevice(2);");
         // Both copies are forwarded; the fate reports one interface, and both
         // ToDevice counters tick.
         let fate = g.run(udp([10, 0, 1, 5], [10, 0, 2, 9]));

@@ -118,12 +118,7 @@ impl LoadBalancer for RandomBalancer {
             return None;
         }
         let target = self.rng.gen_range(0..n_valid);
-        ctx.valid
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| **v)
-            .nth(target)
-            .map(|(i, _)| i)
+        ctx.valid.iter().enumerate().filter(|(_, v)| **v).nth(target).map(|(i, _)| i)
     }
 
     fn name(&self) -> &'static str {
@@ -219,12 +214,8 @@ mod tests {
     fn jsq_picks_lightest_valid() {
         let mut b = Jsq;
         let v = vris(3);
-        let ctx = BalanceCtx {
-            vris: &v,
-            loads: &[5.0, 1.0, 3.0],
-            valid: &[true, true, true],
-            now_ns: 0,
-        };
+        let ctx =
+            BalanceCtx { vris: &v, loads: &[5.0, 1.0, 3.0], valid: &[true, true, true], now_ns: 0 };
         assert_eq!(b.pick(&frame(1), &ctx), Some(1));
         let ctx = BalanceCtx {
             vris: &v,
@@ -239,8 +230,7 @@ mod tests {
     fn jsq_tie_breaks_to_lowest_slot() {
         let mut b = Jsq;
         let v = vris(3);
-        let ctx =
-            BalanceCtx { vris: &v, loads: &[2.0, 2.0, 2.0], valid: &[true; 3], now_ns: 0 };
+        let ctx = BalanceCtx { vris: &v, loads: &[2.0, 2.0, 2.0], valid: &[true; 3], now_ns: 0 };
         assert_eq!(b.pick(&frame(1), &ctx), Some(0));
     }
 
@@ -314,20 +304,10 @@ mod tests {
         let mut b = FlowBased::new(Jsq, 64, u64::MAX);
         let v = vris(2);
         let f = frame(1234);
-        let ctx = BalanceCtx {
-            vris: &v,
-            loads: &[0.0, 1.0],
-            valid: &[true, true],
-            now_ns: 0,
-        };
+        let ctx = BalanceCtx { vris: &v, loads: &[0.0, 1.0], valid: &[true, true], now_ns: 0 };
         assert_eq!(b.pick(&f, &ctx), Some(0)); // JSQ picks slot 0 (VriId 0)
-        // VRI 0 dies: slot 0 invalid. The sticky entry must not be used.
-        let ctx = BalanceCtx {
-            vris: &v,
-            loads: &[0.0, 1.0],
-            valid: &[false, true],
-            now_ns: 1,
-        };
+                                               // VRI 0 dies: slot 0 invalid. The sticky entry must not be used.
+        let ctx = BalanceCtx { vris: &v, loads: &[0.0, 1.0], valid: &[false, true], now_ns: 1 };
         assert_eq!(b.pick(&f, &ctx), Some(1));
     }
 

@@ -109,6 +109,11 @@ pub struct LvrmConfig {
     pub max_vris_per_vr: usize,
     /// Core-affinity policy (§3.2's sibling-first heuristic by default).
     pub affinity: AffinityMode,
+    /// Ingress/dispatch/egress burst size for the batched dataplane. Frames
+    /// are classified, balanced, and enqueued in bursts of up to this many,
+    /// with queue indices published once per burst. `1` reproduces the
+    /// per-frame dataplane exactly (same stats, same dispatch order).
+    pub batch_size: usize,
     /// Upper bound on the estimated queue memory of all live VRIs, bytes
     /// (0 = unlimited). This is the §3.2 extensibility hook — "to extend via
     /// the function call setrlimit() with other resource managements such as
@@ -137,6 +142,7 @@ impl Default for LvrmConfig {
             arrival_weight: 1.0,
             max_vris_per_vr: 64,
             affinity: AffinityMode::SiblingFirst,
+            batch_size: 1,
             max_queue_memory_bytes: 0,
             seed: 0x1a2b3c4d,
         }
@@ -149,11 +155,8 @@ impl LvrmConfig {
         macro_rules! wrap {
             ($inner:expr) => {
                 if self.flow_based {
-                    Box::new(FlowBased::new(
-                        $inner,
-                        self.flow_table_capacity,
-                        self.flow_timeout_ns,
-                    )) as Box<dyn LoadBalancer>
+                    Box::new(FlowBased::new($inner, self.flow_table_capacity, self.flow_timeout_ns))
+                        as Box<dyn LoadBalancer>
                 } else {
                     Box::new($inner) as Box<dyn LoadBalancer>
                 }
@@ -199,7 +202,10 @@ mod tests {
         assert_eq!(c.balancer, BalancerKind::Jsq);
         assert!(!c.flow_based);
         assert_eq!(c.allocation_period_ns, 1_000_000_000);
-        assert!(matches!(c.allocator, AllocatorKind::DynamicFixed { per_core_rate } if per_core_rate == 60_000.0));
+        assert_eq!(c.batch_size, 1, "per-frame dataplane by default");
+        assert!(
+            matches!(c.allocator, AllocatorKind::DynamicFixed { per_core_rate } if per_core_rate == 60_000.0)
+        );
     }
 
     #[test]

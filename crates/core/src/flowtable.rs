@@ -121,13 +121,8 @@ impl FlowTable {
     /// relocates into slots the sweep already passed (found by the
     /// model-based property test).
     pub fn purge_vri(&mut self, vri: VriId) -> usize {
-        let keys: Vec<FlowKey> = self
-            .slots
-            .iter()
-            .flatten()
-            .filter(|e| e.vri == vri)
-            .map(|e| e.key)
-            .collect();
+        let keys: Vec<FlowKey> =
+            self.slots.iter().flatten().filter(|e| e.vri == vri).map(|e| e.key).collect();
         for k in &keys {
             self.remove_key(k);
         }

@@ -82,7 +82,8 @@ impl RecordingHost {
                     Work::Control(_ev) => {}
                     Work::Data(mut frame) => {
                         processed += 1;
-                        if let lvrm_router::RouterAction::Forward { .. } = router.process(&mut frame)
+                        if let lvrm_router::RouterAction::Forward { .. } =
+                            router.process(&mut frame)
                         {
                             let _ = endpoint.data_tx.try_send(frame);
                         }

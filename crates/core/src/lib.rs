@@ -40,7 +40,9 @@ pub mod socket;
 pub mod topology;
 pub mod vri;
 
-pub use alloc::{AllocDecision, CoreAllocator, DynamicFixedThreshold, DynamicServiceRate, FixedAllocator};
+pub use alloc::{
+    AllocDecision, CoreAllocator, DynamicFixedThreshold, DynamicServiceRate, FixedAllocator,
+};
 pub use balance::{BalanceCtx, Jsq, LoadBalancer, RandomBalancer, RoundRobin};
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use config::{AllocatorKind, BalancerKind, EstimatorKind, LvrmConfig};

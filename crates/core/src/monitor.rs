@@ -87,8 +87,7 @@ struct VrState {
 impl VrState {
     /// Mean of the live VRIs' reported service rates, if any reported.
     fn service_rate_per_vri(&self) -> Option<f64> {
-        let rates: Vec<f64> =
-            self.vris.iter().filter_map(|v| v.reported_service_rate).collect();
+        let rates: Vec<f64> = self.vris.iter().filter_map(|v| v.reported_service_rate).collect();
         if rates.is_empty() {
             None
         } else {
@@ -136,7 +135,12 @@ impl std::fmt::Display for VrSnapshot {
             write!(
                 f,
                 "\n  {} on {}: load {:.2}, q {}, {}/{} in/out, {} drops",
-                v.id, v.core, v.load_estimate, v.queue_len, v.dispatched, v.returned,
+                v.id,
+                v.core,
+                v.load_estimate,
+                v.queue_len,
+                v.dispatched,
+                v.returned,
                 v.dispatch_drops
             )?;
         }
@@ -162,6 +166,12 @@ pub struct Lvrm<C: Clock> {
     scratch_valid: Vec<bool>,
     scratch_vris: Vec<VriId>,
     scratch_ctrl: Vec<ControlEvent>,
+    /// Single-frame burst buffer backing [`Lvrm::ingress`].
+    scratch_single: Vec<Frame>,
+    /// Per-VR frame buckets for [`Lvrm::ingress_batch`], indexed by VR.
+    scratch_vr_buckets: Vec<Vec<Frame>>,
+    /// Per-VRI-slot frame buckets within one VR's burst.
+    scratch_slot_buckets: Vec<Vec<Frame>>,
 }
 
 impl<C: Clock> Lvrm<C> {
@@ -180,6 +190,9 @@ impl<C: Clock> Lvrm<C> {
             scratch_valid: Vec::new(),
             scratch_vris: Vec::new(),
             scratch_ctrl: Vec::new(),
+            scratch_single: Vec::new(),
+            scratch_vr_buckets: Vec::new(),
+            scratch_slot_buckets: Vec::new(),
         }
     }
 
@@ -202,9 +215,7 @@ impl<C: Clock> Lvrm<C> {
 
     /// Per-VR (frames_in, frames_out).
     pub fn vr_frame_counts(&self, vr: VrId) -> (u64, u64) {
-        self.vrs
-            .get(vr.0 as usize)
-            .map_or((0, 0), |s| (s.frames_in, s.frames_out))
+        self.vrs.get(vr.0 as usize).map_or((0, 0), |s| (s.frames_in, s.frames_out))
     }
 
     /// Smoothed arrival rate of `vr`, frames/second.
@@ -259,10 +270,7 @@ impl<C: Clock> Lvrm<C> {
             vris: Vec::new(),
             balancer: self.config.build_balancer(),
             allocator,
-            arrival: RateEstimator::new(
-                self.config.arrival_window_ns,
-                self.config.arrival_weight,
-            ),
+            arrival: RateEstimator::new(self.config.arrival_window_ns, self.config.arrival_weight),
             frames_in: 0,
             frames_out: 0,
         });
@@ -295,38 +303,96 @@ impl<C: Clock> Lvrm<C> {
     }
 
     /// Step 2 of the workflow: accept one ingress frame, classify, balance,
-    /// dispatch. Also drives the lazy reallocation check.
+    /// dispatch. Also drives the lazy reallocation check. This is the
+    /// batch-of-1 case of [`Lvrm::ingress_batch`] — a burst of one frame
+    /// runs the identical classify/balance/dispatch sequence.
     pub fn ingress(&mut self, frame: Frame, host: &mut dyn VriHost) {
+        let mut single = std::mem::take(&mut self.scratch_single);
+        single.push(frame);
+        self.ingress_batch(&mut single, host);
+        single.clear();
+        self.scratch_single = single;
+    }
+
+    /// Step 2 of the workflow, batched: classify a whole burst, bucket the
+    /// frames per VR, refresh each VR's load view **once**, balance frame by
+    /// frame against that view, and push each VRI's share with one bulk
+    /// enqueue (one queue-index publication per VRI per burst). The lazy
+    /// reallocation check runs once per burst; since every frame in the
+    /// burst shares one clock reading, that is exactly what the per-frame
+    /// path would have done (the pass is rate-limited per §3.2's period).
+    ///
+    /// `frames` is drained. Frames that fail classification, balancing, or
+    /// dispatch are counted in [`Lvrm::stats`] exactly as on the per-frame
+    /// path.
+    pub fn ingress_batch(&mut self, frames: &mut Vec<Frame>, host: &mut dyn VriHost) {
+        if frames.is_empty() {
+            return;
+        }
         let now = self.clock.now_ns();
-        self.stats.frames_in += 1;
+        self.stats.frames_in += frames.len() as u64;
 
         // Classify by source address ("LVRM inspects the source IP address
-        // of the data frame, and determines the VR", §2.1).
-        let Some(vr_idx) = frame
-            .src_ip()
-            .ok()
-            .and_then(|src| self.classifier.lookup(src))
-            .map(|r| r.iface as usize)
-        else {
-            self.stats.unclassified += 1;
-            return;
-        };
-
-        {
-            let vr = &mut self.vrs[vr_idx];
-            vr.frames_in += 1;
-            vr.arrival.record(now);
-
-            // Balance among the VR's VRIs.
-            self.scratch_loads.clear();
-            self.scratch_valid.clear();
-            self.scratch_vris.clear();
-            for v in &mut vr.vris {
-                v.observe_load(now);
-                self.scratch_loads.push(v.load());
-                self.scratch_valid.push(v.accepting());
-                self.scratch_vris.push(v.id);
+        // of the data frame, and determines the VR", §2.1), bucketing the
+        // burst per VR.
+        while self.scratch_vr_buckets.len() < self.vrs.len() {
+            self.scratch_vr_buckets.push(Vec::new());
+        }
+        let mut buckets = std::mem::take(&mut self.scratch_vr_buckets);
+        let mut any_classified = false;
+        for frame in frames.drain(..) {
+            match frame
+                .src_ip()
+                .ok()
+                .and_then(|src| self.classifier.lookup(src))
+                .map(|r| r.iface as usize)
+            {
+                Some(vr_idx) => {
+                    buckets[vr_idx].push(frame);
+                    any_classified = true;
+                }
+                None => self.stats.unclassified += 1,
             }
+        }
+        for (vr_idx, bucket) in buckets.iter_mut().enumerate() {
+            if !bucket.is_empty() {
+                self.dispatch_bucket(vr_idx, bucket, now);
+            }
+        }
+        self.scratch_vr_buckets = buckets;
+
+        // A burst of only-unclassified frames never reached a VR, and the
+        // per-frame path returns before the reallocation check in that case.
+        if any_classified {
+            self.maybe_reallocate(now, host);
+        }
+    }
+
+    /// Balance and dispatch one VR's share of a burst. The load view is
+    /// refreshed once; within the burst, each pick adds a synthetic +1 to
+    /// the chosen slot's load so JSQ keeps spreading frames the estimator
+    /// has not observed yet (instead of sending the whole burst to the
+    /// momentarily-shortest queue).
+    fn dispatch_bucket(&mut self, vr_idx: usize, bucket: &mut Vec<Frame>, now: u64) {
+        let vr = &mut self.vrs[vr_idx];
+        vr.frames_in += bucket.len() as u64;
+        for _ in 0..bucket.len() {
+            vr.arrival.record(now);
+        }
+
+        self.scratch_loads.clear();
+        self.scratch_valid.clear();
+        self.scratch_vris.clear();
+        for v in &mut vr.vris {
+            v.observe_load(now);
+            self.scratch_loads.push(v.load());
+            self.scratch_valid.push(v.accepting());
+            self.scratch_vris.push(v.id);
+        }
+        while self.scratch_slot_buckets.len() < vr.vris.len() {
+            self.scratch_slot_buckets.push(Vec::new());
+        }
+        for frame in bucket.drain(..) {
             let ctx = BalanceCtx {
                 vris: &self.scratch_vris,
                 loads: &self.scratch_loads,
@@ -335,17 +401,22 @@ impl<C: Clock> Lvrm<C> {
             };
             match vr.balancer.pick(&frame, &ctx) {
                 Some(slot) => {
-                    if vr.vris[slot].dispatch(frame, now).is_err() {
-                        self.stats.dispatch_drops += 1;
-                    }
+                    self.scratch_slot_buckets[slot].push(frame);
+                    self.scratch_loads[slot] += 1.0;
                 }
-                None => {
-                    self.stats.no_vri_drops += 1;
-                }
+                None => self.stats.no_vri_drops += 1,
             }
         }
-
-        self.maybe_reallocate(now, host);
+        for (slot, sb) in self.scratch_slot_buckets.iter_mut().enumerate().take(vr.vris.len()) {
+            if sb.is_empty() {
+                continue;
+            }
+            vr.vris[slot].dispatch_batch(sb, now);
+            // Whatever the bulk enqueue could not fit is dropped, exactly as
+            // the per-frame path drops on a full queue.
+            self.stats.dispatch_drops += sb.len() as u64;
+            sb.clear();
+        }
     }
 
     /// Steps 3–4: collect frames the VRIs forwarded, appending to `out`.
@@ -396,10 +467,7 @@ impl<C: Clock> Lvrm<C> {
     /// Whether any VRI has forwarded frames waiting to be collected (used
     /// by polling hosts to decide whether another egress pass is needed).
     pub fn has_pending_egress(&self) -> bool {
-        self.vrs
-            .iter()
-            .flat_map(|vr| vr.vris.iter())
-            .any(|v| v.has_pending_egress())
+        self.vrs.iter().flat_map(|vr| vr.vris.iter()).any(|v| v.has_pending_egress())
     }
 
     /// Relay control traffic: service-rate reports terminate here; anything
@@ -434,10 +502,7 @@ impl<C: Clock> Lvrm<C> {
     }
 
     fn find_vri_mut(&mut self, id: VriId) -> Option<&mut VriAdapter> {
-        self.vrs
-            .iter_mut()
-            .flat_map(|vr| vr.vris.iter_mut())
-            .find(|v| v.id == id)
+        self.vrs.iter_mut().flat_map(|vr| vr.vris.iter_mut()).find(|v| v.id == id)
     }
 
     /// The VR monitor's allocation pass (Fig. 3.2's `allocate`), rate-limited
@@ -445,9 +510,7 @@ impl<C: Clock> Lvrm<C> {
     /// drive it on a timer even without traffic.
     pub fn maybe_reallocate(&mut self, now_ns: u64, host: &mut dyn VriHost) {
         match self.last_alloc_ns {
-            Some(last) if now_ns.saturating_sub(last) < self.config.allocation_period_ns => {
-                return
-            }
+            Some(last) if now_ns.saturating_sub(last) < self.config.allocation_period_ns => return,
             _ => {}
         }
         self.last_alloc_ns = Some(now_ns);
@@ -514,9 +577,7 @@ impl<C: Clock> Lvrm<C> {
         }
         if self.config.max_queue_memory_bytes > 0 {
             let live: usize = self.vrs.iter().map(|v| v.vris.len()).sum();
-            if (live + 1) * self.vri_queue_memory_estimate()
-                > self.config.max_queue_memory_bytes
-            {
+            if (live + 1) * self.vri_queue_memory_estimate() > self.config.max_queue_memory_bytes {
                 return false; // memory budget exhausted (§3.2 extension)
             }
         }
@@ -606,11 +667,8 @@ mod tests {
     }
 
     fn new_lvrm(clock: ManualClock, config: LvrmConfig) -> Lvrm<ManualClock> {
-        let cores = CoreMap::new(
-            CoreTopology::dual_quad_xeon(),
-            CoreId(0),
-            AffinityMode::SiblingFirst,
-        );
+        let cores =
+            CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
         Lvrm::new(config, cores, clock)
     }
 
@@ -747,10 +805,8 @@ mod tests {
     #[test]
     fn grow_stops_at_core_exhaustion() {
         let clock = ManualClock::new();
-        let config = LvrmConfig {
-            allocator: AllocatorKind::Fixed { cores: 100 },
-            ..Default::default()
-        };
+        let config =
+            LvrmConfig { allocator: AllocatorKind::Fixed { cores: 100 }, ..Default::default() };
         let mut lvrm = new_lvrm(clock.clone(), config);
         let mut host = RecordingHost::default();
         let vr = lvrm.add_vr("deptA", &[subnet(10, 0, 1)], routed_vr("a"), &mut host);
@@ -765,10 +821,8 @@ mod tests {
     #[test]
     fn two_vrs_share_the_core_pool() {
         let clock = ManualClock::new();
-        let config = LvrmConfig {
-            allocator: AllocatorKind::Fixed { cores: 4 },
-            ..Default::default()
-        };
+        let config =
+            LvrmConfig { allocator: AllocatorKind::Fixed { cores: 4 }, ..Default::default() };
         let mut lvrm = new_lvrm(clock.clone(), config);
         let mut host = RecordingHost::default();
         let a = lvrm.add_vr("deptA", &[subnet(10, 0, 1)], routed_vr("a"), &mut host);
@@ -787,10 +841,8 @@ mod tests {
     #[test]
     fn snapshot_reports_live_state() {
         let clock = ManualClock::new();
-        let config = LvrmConfig {
-            allocator: AllocatorKind::Fixed { cores: 2 },
-            ..Default::default()
-        };
+        let config =
+            LvrmConfig { allocator: AllocatorKind::Fixed { cores: 2 }, ..Default::default() };
         let mut lvrm = new_lvrm(clock, config);
         let mut host = RecordingHost::default();
         let _ = lvrm.add_vr("deptA", &[subnet(10, 0, 1)], routed_vr("a"), &mut host);
@@ -820,11 +872,8 @@ mod tests {
         };
         // Budget for exactly three VRIs' worth of queues.
         let per_vri = {
-            let cores = CoreMap::new(
-                CoreTopology::dual_quad_xeon(),
-                CoreId(0),
-                AffinityMode::SiblingFirst,
-            );
+            let cores =
+                CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
             Lvrm::new(config.clone(), cores, ManualClock::new()).vri_queue_memory_estimate()
         };
         config.max_queue_memory_bytes = 3 * per_vri;
@@ -842,10 +891,8 @@ mod tests {
     #[test]
     fn realloc_log_records_events() {
         let clock = ManualClock::new();
-        let config = LvrmConfig {
-            allocator: AllocatorKind::Fixed { cores: 3 },
-            ..Default::default()
-        };
+        let config =
+            LvrmConfig { allocator: AllocatorKind::Fixed { cores: 3 }, ..Default::default() };
         let mut lvrm = new_lvrm(clock.clone(), config);
         let mut host = RecordingHost::default();
         let _ = lvrm.add_vr("deptA", &[subnet(10, 0, 1)], routed_vr("a"), &mut host);
@@ -853,8 +900,7 @@ mod tests {
             clock.set_ns(s * 1_100_000_000);
             lvrm.ingress(frame_from([10, 0, 1, 5]), &mut host);
         }
-        let grows =
-            lvrm.realloc_log.iter().filter(|e| e.decision == AllocDecision::Grow).count();
+        let grows = lvrm.realloc_log.iter().filter(|e| e.decision == AllocDecision::Grow).count();
         assert_eq!(grows, 3, "initial + two growth events");
         assert_eq!(lvrm.realloc_log.last().unwrap().vris_after, 3);
     }
@@ -888,6 +934,114 @@ mod tests {
         }
     }
 
+    /// The frame mix used by the batch-equivalence tests: two VRs plus
+    /// unclassified traffic, deterministic pattern.
+    fn mixed_frames(n: usize) -> Vec<Frame> {
+        (0..n)
+            .map(|i| match i % 4 {
+                0 | 1 => frame_from([10, 0, 1, (i % 200) as u8]),
+                2 => frame_from([10, 0, 3, (i % 200) as u8]),
+                _ => frame_from([192, 168, 0, 1]), // matches no VR
+            })
+            .collect()
+    }
+
+    fn run_mix(batch: usize) -> (LvrmStats, (u64, u64), (u64, u64), Vec<u64>) {
+        let clock = ManualClock::new();
+        let config = LvrmConfig {
+            allocator: AllocatorKind::Fixed { cores: 3 },
+            batch_size: batch,
+            ..Default::default()
+        };
+        let mut lvrm = new_lvrm(clock.clone(), config);
+        let mut host = RecordingHost::default();
+        let a = lvrm.add_vr("deptA", &[subnet(10, 0, 1)], routed_vr("a"), &mut host);
+        let b = lvrm.add_vr("deptB", &[subnet(10, 0, 3)], routed_vr("b"), &mut host);
+        // Let the fixed policy reach its target before traffic starts.
+        for s in 1..4u64 {
+            clock.set_ns(s * 1_100_000_000);
+            lvrm.maybe_reallocate(clock.now_ns(), &mut host);
+        }
+        let frames = mixed_frames(600);
+        let mut out = Vec::new();
+        if batch == 0 {
+            // The per-frame entry point (itself a burst of one internally).
+            for f in frames {
+                lvrm.ingress(f, &mut host);
+                host.pump();
+                lvrm.poll_egress(&mut out);
+            }
+        } else {
+            let mut burst = Vec::new();
+            for chunk in frames.chunks(batch) {
+                burst.extend(chunk.iter().cloned());
+                lvrm.ingress_batch(&mut burst, &mut host);
+                host.pump();
+                lvrm.poll_egress(&mut out);
+            }
+        }
+        (
+            lvrm.stats.clone(),
+            lvrm.vr_frame_counts(a),
+            lvrm.vr_frame_counts(b),
+            lvrm.vri_dispatch_counts(a),
+        )
+    }
+
+    #[test]
+    fn batch_of_one_is_identical_to_per_frame_path() {
+        let (s1, a1, b1, d1) = run_mix(1);
+        let (s2, a2, b2, d2) = run_mix(0); // 0 exercises the explicit per-frame loop
+        assert_eq!(s1.frames_in, s2.frames_in);
+        assert_eq!(s1.frames_out, s2.frames_out);
+        assert_eq!(s1.unclassified, s2.unclassified);
+        assert_eq!(s1.dispatch_drops, s2.dispatch_drops);
+        assert_eq!(s1.no_vri_drops, s2.no_vri_drops);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_eq!(d1, d2, "per-VRI dispatch counts must match exactly");
+    }
+
+    #[test]
+    fn batched_ingress_preserves_aggregate_stats() {
+        let (per_frame, a1, b1, _) = run_mix(1);
+        for batch in [8usize, 32, 256] {
+            let (s, a, b, _) = run_mix(batch);
+            assert_eq!(s.frames_in, per_frame.frames_in, "batch {batch}");
+            assert_eq!(s.frames_out, per_frame.frames_out, "batch {batch}");
+            assert_eq!(s.unclassified, per_frame.unclassified, "batch {batch}");
+            assert_eq!(s.dispatch_drops, 0, "batch {batch}");
+            assert_eq!(s.no_vri_drops, 0, "batch {batch}");
+            assert_eq!(a, a1, "batch {batch}: per-VR accounting");
+            assert_eq!(b, b1, "batch {batch}: per-VR accounting");
+        }
+    }
+
+    #[test]
+    fn batched_jsq_spreads_within_a_burst() {
+        let clock = ManualClock::new();
+        let config =
+            LvrmConfig { allocator: AllocatorKind::Fixed { cores: 3 }, ..Default::default() };
+        let mut lvrm = new_lvrm(clock.clone(), config);
+        let mut host = RecordingHost::default();
+        let vr = lvrm.add_vr("deptA", &[subnet(10, 0, 1)], routed_vr("a"), &mut host);
+        for s in 1..4u64 {
+            clock.set_ns(s * 1_100_000_000);
+            lvrm.maybe_reallocate(clock.now_ns(), &mut host);
+        }
+        assert_eq!(lvrm.vri_count(vr), 3);
+        // One big burst: without the within-burst load bump JSQ would pin
+        // every frame on one VRI.
+        let mut burst: Vec<Frame> =
+            (0..300).map(|i| frame_from([10, 0, 1, (i % 200) as u8])).collect();
+        lvrm.ingress_batch(&mut burst, &mut host);
+        let counts = lvrm.vri_dispatch_counts(vr);
+        assert_eq!(counts.iter().sum::<u64>(), 300);
+        for c in &counts {
+            assert!((95..=105).contains(c), "burst must spread across VRIs: {counts:?}");
+        }
+    }
+
     #[test]
     fn service_rate_reports_reach_allocator_view() {
         let clock = ManualClock::new();
@@ -897,10 +1051,7 @@ mod tests {
         // Inject a synthetic report through the VRI's control channel.
         let (_, endpoint, _) = &mut host.endpoints[0];
         let vri_id = host.spawned[0].vri;
-        endpoint
-            .ctrl_tx
-            .try_send(crate::vri::encode_service_rate(vri_id, 42_000.0))
-            .unwrap();
+        endpoint.ctrl_tx.try_send(crate::vri::encode_service_rate(vri_id, 42_000.0)).unwrap();
         lvrm.process_control();
         let state = &lvrm.vrs[vr.0 as usize];
         assert_eq!(state.service_rate_per_vri(), Some(42_000.0));

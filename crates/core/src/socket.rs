@@ -40,9 +40,39 @@ pub trait SocketAdapter: Send {
     /// Non-blocking poll for the next available ingress frame.
     fn poll(&mut self) -> Option<Frame>;
 
+    /// Non-blocking poll for up to `budget` ingress frames, appended to
+    /// `out`. Returns how many arrived. The default just loops [`poll`];
+    /// adapters with a cheaper bulk path (ring drains, trace replay)
+    /// override it.
+    ///
+    /// [`poll`]: SocketAdapter::poll
+    fn poll_batch(&mut self, out: &mut Vec<Frame>, budget: usize) -> usize {
+        let mut n = 0;
+        while n < budget {
+            match self.poll() {
+                Some(f) => {
+                    out.push(f);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
     /// Emit one egress frame toward the wire (or wherever the adapter's
     /// lower level leads). Adapters may drop on backpressure; they count it.
     fn send(&mut self, frame: Frame);
+
+    /// Emit a burst of egress frames. The default loops [`send`]; adapters
+    /// with a bulk enqueue override it.
+    ///
+    /// [`send`]: SocketAdapter::send
+    fn send_batch(&mut self, frames: &mut Vec<Frame>) {
+        for f in frames.drain(..) {
+            self.send(f);
+        }
+    }
 
     fn kind(&self) -> SocketKind;
 
@@ -95,8 +125,27 @@ impl SocketAdapter for MemTraceAdapter {
         Some(f)
     }
 
+    fn poll_batch(&mut self, out: &mut Vec<Frame>, budget: usize) -> usize {
+        // Native bulk path: one budget check for the whole burst.
+        let n = (budget as u64).min(self.remaining) as usize;
+        self.remaining -= n as u64;
+        self.rx += n as u64;
+        out.reserve(n);
+        for _ in 0..n {
+            let mut f = self.trace.next_frame();
+            f.ingress_if = self.ingress_if;
+            out.push(f);
+        }
+        n
+    }
+
     fn send(&mut self, _frame: Frame) {
         self.tx += 1; // discard
+    }
+
+    fn send_batch(&mut self, frames: &mut Vec<Frame>) {
+        self.tx += frames.len() as u64;
+        frames.clear(); // discard
     }
 
     fn kind(&self) -> SocketKind {
@@ -138,6 +187,22 @@ mod tests {
         let f = a.poll().unwrap();
         a.send(f);
         assert_eq!(a.tx_count(), 1);
+    }
+
+    #[test]
+    fn batch_poll_matches_per_frame_path() {
+        let trace = Trace::generate(&TraceSpec::new(84, 4));
+        let mut a = MemTraceAdapter::new(trace, 10);
+        let mut out = Vec::new();
+        assert_eq!(a.poll_batch(&mut out, 6), 6);
+        assert_eq!(a.poll_batch(&mut out, 6), 4, "budget capped by remaining");
+        assert_eq!(a.poll_batch(&mut out, 6), 0);
+        assert_eq!(out.len(), 10);
+        assert_eq!(a.rx_count(), 10);
+        assert!(a.exhausted());
+        a.send_batch(&mut out);
+        assert!(out.is_empty());
+        assert_eq!(a.tx_count(), 10);
     }
 
     #[test]

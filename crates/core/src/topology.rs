@@ -71,10 +71,7 @@ impl CoreTopology {
     /// The paper's gateway: two quad-core Xeon E5530 packages, cores 0–3 in
     /// package 0 and 4–7 in package 1 (§4.1).
     pub fn dual_quad_xeon() -> CoreTopology {
-        CoreTopology::new(vec![
-            (0..4).map(CoreId).collect(),
-            (4..8).map(CoreId).collect(),
-        ])
+        CoreTopology::new(vec![(0..4).map(CoreId).collect(), (4..8).map(CoreId).collect()])
     }
 
     /// A uniform single-package topology with `n` cores.
@@ -188,10 +185,7 @@ impl CoreMap {
                 Some(self.lvrm_core)
             }
             _ => {
-                let core = self
-                    .candidates()
-                    .into_iter()
-                    .find(|c| !self.in_use.contains(c))?;
+                let core = self.candidates().into_iter().find(|c| !self.in_use.contains(c))?;
                 self.in_use.push(core);
                 Some(core)
             }
@@ -283,6 +277,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "not in topology")]
     fn lvrm_core_must_exist() {
-        let _ = CoreMap::new(CoreTopology::single_package(2), CoreId(9), AffinityMode::SiblingFirst);
+        let _ =
+            CoreMap::new(CoreTopology::single_package(2), CoreId(9), AffinityMode::SiblingFirst);
     }
 }

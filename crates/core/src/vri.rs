@@ -34,8 +34,7 @@ pub fn encode_service_rate(vri: VriId, rate_fps: f64) -> ControlEvent {
 
 /// Decode a service-rate report, if the event is one.
 pub fn decode_service_rate(ev: &ControlEvent) -> Option<(VriId, f64)> {
-    if ev.dst_vri != LVRM_CTRL_ID || ev.payload.len() != 12 || &ev.payload[..4] != SVC_RATE_MAGIC
-    {
+    if ev.dst_vri != LVRM_CTRL_ID || ev.payload.len() != 12 || &ev.payload[..4] != SVC_RATE_MAGIC {
         return None;
     }
     let rate = f64::from_le_bytes(ev.payload[4..12].try_into().ok()?);
@@ -95,6 +94,25 @@ impl VriAdapter {
         }
     }
 
+    /// Push a burst of frames toward the VRI with one queue-index
+    /// publication, draining the accepted prefix from `frames`. The load
+    /// estimator sees the post-burst queue depth once (the batched
+    /// equivalent of §3.4's observe-on-dispatch); frames that did not fit
+    /// stay in `frames` and are counted as drops here — the caller decides
+    /// whether to retry or discard them. Returns how many were accepted.
+    pub fn dispatch_batch(&mut self, frames: &mut Vec<Frame>, now_ns: u64) -> usize {
+        if frames.is_empty() {
+            return 0;
+        }
+        let accepted = self.channels.data_tx.try_send_batch(frames);
+        self.dispatched += accepted as u64;
+        if accepted > 0 {
+            self.estimator.on_dispatch(self.channels.data_tx.len(), now_ns);
+        }
+        self.dispatch_drops += frames.len() as u64;
+        accepted
+    }
+
     /// Current smoothed load estimate for the balancer.
     pub fn load(&self) -> f64 {
         self.estimator.estimate()
@@ -122,11 +140,16 @@ impl VriAdapter {
         !self.channels.data_rx.is_empty()
     }
 
-    /// Drain frames the VRI forwarded, appending to `out`.
+    /// Drain frames the VRI forwarded, appending to `out`. Internally pulls
+    /// whole bursts so the consumer index is published once per burst, not
+    /// once per frame.
     pub fn drain_egress(&mut self, out: &mut Vec<Frame>) {
-        while let Some(f) = self.channels.data_rx.try_recv() {
-            self.returned += 1;
-            out.push(f);
+        loop {
+            let n = self.channels.data_rx.try_recv_batch(out, usize::MAX);
+            self.returned += n as u64;
+            if n == 0 {
+                break;
+            }
         }
     }
 
@@ -187,18 +210,7 @@ impl LvrmAdapter {
         let work = self.endpoint.next_work();
         if self.estimate_service_rate {
             match &work {
-                Some(Work::Data(_)) => {
-                    self.svc_est.record_departure(now_ns);
-                    if now_ns.saturating_sub(self.last_report_ns) >= self.report_period_ns {
-                        if let Some(rate) = self.svc_est.rate_per_sec() {
-                            let _ = self
-                                .endpoint
-                                .ctrl_tx
-                                .try_send(encode_service_rate(self.id, rate));
-                            self.last_report_ns = now_ns;
-                        }
-                    }
-                }
+                Some(Work::Data(_)) => self.note_departure(now_ns),
                 // An empty poll means the VRI is idle: the gap to the next
                 // departure would measure starvation, not service time.
                 None => self.svc_est.note_idle(),
@@ -208,10 +220,62 @@ impl LvrmAdapter {
         work
     }
 
+    /// Batch `fromLVRM()`: drain every pending control event into `ctrl`
+    /// (strict priority, §2.1), then pull up to `max` data frames into
+    /// `data` with one consumer-index publication. Returns the number of
+    /// data frames pulled.
+    ///
+    /// Unlike [`from_lvrm`], departures are NOT recorded here: frames in a
+    /// burst are dequeued at one instant, so the dequeue gap measures
+    /// nothing. Call [`note_departure`] as each frame finishes processing.
+    ///
+    /// [`from_lvrm`]: LvrmAdapter::from_lvrm
+    /// [`note_departure`]: LvrmAdapter::note_departure
+    pub fn from_lvrm_batch(
+        &mut self,
+        ctrl: &mut Vec<ControlEvent>,
+        data: &mut Vec<Frame>,
+        max: usize,
+    ) -> usize {
+        while let Some(ev) = self.endpoint.ctrl_rx.try_recv() {
+            ctrl.push(ev);
+        }
+        let n = self.endpoint.data_rx.try_recv_batch(data, max);
+        if n == 0 && ctrl.is_empty() && self.estimate_service_rate {
+            self.svc_est.note_idle();
+        }
+        n
+    }
+
+    /// Feed the service-rate estimator one frame departure at `now_ns`, and
+    /// report the estimate upstream if the report period elapsed. Batch
+    /// consumers call this per processed frame (see
+    /// [`LvrmAdapter::from_lvrm_batch`]).
+    pub fn note_departure(&mut self, now_ns: u64) {
+        if !self.estimate_service_rate {
+            return;
+        }
+        self.svc_est.record_departure(now_ns);
+        if now_ns.saturating_sub(self.last_report_ns) >= self.report_period_ns {
+            if let Some(rate) = self.svc_est.rate_per_sec() {
+                let _ = self.endpoint.ctrl_tx.try_send(encode_service_rate(self.id, rate));
+                self.last_report_ns = now_ns;
+            }
+        }
+    }
+
     /// The paper's `toLVRM()`: hand a processed frame back for egress.
     /// Returns the frame if the outgoing queue is full.
     pub fn to_lvrm(&mut self, frame: Frame) -> Result<(), Frame> {
         self.endpoint.data_tx.try_send(frame).map_err(|Full(f)| f)
+    }
+
+    /// Batch `toLVRM()`: hand a burst of processed frames back with one
+    /// producer-index publication, draining the accepted prefix. Returns how
+    /// many were accepted; the rest stay in `frames` for the caller to
+    /// retry (LVRM drains the outgoing queue continuously).
+    pub fn to_lvrm_batch(&mut self, frames: &mut Vec<Frame>) -> usize {
+        self.endpoint.data_tx.try_send_batch(frames)
     }
 
     /// Send a user control event toward another VRI (via LVRM).
@@ -241,18 +305,13 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn frame() -> Frame {
-        FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 1))
-            .udp(1, 2, &[])
+        FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 1)).udp(1, 2, &[])
     }
 
     fn pair(cap: usize) -> (VriAdapter, LvrmAdapter) {
         let (chans, endpoint) = vri_channels::<Frame>(QueueKind::Lamport, cap, 8);
-        let adapter = VriAdapter::new(
-            VriId(7),
-            CoreId(1),
-            chans,
-            Box::new(EwmaQueueLength::new(1.0)),
-        );
+        let adapter =
+            VriAdapter::new(VriId(7), CoreId(1), chans, Box::new(EwmaQueueLength::new(1.0)));
         (adapter, LvrmAdapter::new(VriId(7), endpoint))
     }
 
@@ -260,9 +319,7 @@ mod tests {
     fn dispatch_roundtrip_through_vri() {
         let (mut lvrm, mut vri) = pair(8);
         lvrm.dispatch(frame(), 0).unwrap();
-        let Some(Work::Data(f)) = vri.from_lvrm(10) else {
-            panic!("expected data")
-        };
+        let Some(Work::Data(f)) = vri.from_lvrm(10) else { panic!("expected data") };
         vri.to_lvrm(f).unwrap();
         let mut out = Vec::new();
         lvrm.drain_egress(&mut out);
@@ -313,6 +370,71 @@ mod tests {
         let report = evs.iter().find_map(decode_service_rate).expect("a report");
         assert_eq!(report.0, VriId(7));
         assert!((report.1 - 50_000.0).abs() / 50_000.0 < 0.1, "rate {}", report.1);
+    }
+
+    #[test]
+    fn batch_dispatch_and_egress_roundtrip() {
+        let (mut lvrm, mut vri) = pair(8);
+        let mut burst: Vec<Frame> = (0..12).map(|_| frame()).collect();
+        assert_eq!(lvrm.dispatch_batch(&mut burst, 0), 8, "queue capacity caps the burst");
+        assert_eq!(burst.len(), 4, "rejected suffix stays with the caller");
+        assert_eq!(lvrm.dispatched, 8);
+        assert_eq!(lvrm.dispatch_drops, 4);
+        assert_eq!(lvrm.queue_len(), 8);
+        burst.clear();
+
+        let mut ctrl = Vec::new();
+        let mut data = Vec::new();
+        assert_eq!(vri.from_lvrm_batch(&mut ctrl, &mut data, 64), 8);
+        assert!(ctrl.is_empty());
+        let mut processed: Vec<Frame> = std::mem::take(&mut data);
+        assert_eq!(vri.to_lvrm_batch(&mut processed), 8);
+        assert!(processed.is_empty());
+
+        let mut out = Vec::new();
+        lvrm.drain_egress(&mut out);
+        assert_eq!(out.len(), 8);
+        assert_eq!(lvrm.returned, 8);
+    }
+
+    #[test]
+    fn batch_from_lvrm_delivers_control_first() {
+        let (mut lvrm, mut vri) = pair(8);
+        lvrm.dispatch(frame(), 0).unwrap();
+        lvrm.relay_control(ControlEvent::new(9, 7, b"cfg".to_vec())).unwrap();
+        let mut ctrl = Vec::new();
+        let mut data = Vec::new();
+        assert_eq!(vri.from_lvrm_batch(&mut ctrl, &mut data, 4), 1);
+        assert_eq!(ctrl.len(), 1, "control drained in the same pass");
+        assert_eq!(data.len(), 1);
+    }
+
+    #[test]
+    fn note_departure_reports_upstream() {
+        let (mut lvrm, mut vri) = pair(64);
+        let mut ctrl = Vec::new();
+        let mut data = Vec::new();
+        let mut now = 0u64;
+        for _ in 0..32 {
+            lvrm.dispatch(frame(), now).unwrap();
+        }
+        vri.from_lvrm_batch(&mut ctrl, &mut data, 64);
+        for f in data.drain(..) {
+            now += 20_000; // 50 Kfps service pace
+            vri.note_departure(now);
+            vri.to_lvrm(f).unwrap();
+        }
+        // Push past the report period so a report is emitted.
+        lvrm.dispatch(frame(), now).unwrap();
+        vri.from_lvrm_batch(&mut ctrl, &mut data, 64);
+        now += 200_000_000;
+        vri.note_departure(now);
+        let mut evs = Vec::new();
+        lvrm.drain_egress(&mut Vec::new());
+        lvrm.drain_control(&mut evs);
+        let (id, rate) = evs.iter().find_map(decode_service_rate).expect("a report");
+        assert_eq!(id, VriId(7));
+        assert!(rate > 0.0);
     }
 
     #[test]

@@ -38,6 +38,20 @@ struct Inner<T> {
 unsafe impl<T: Send> Send for Inner<T> {}
 unsafe impl<T: Send> Sync for Inner<T> {}
 
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Runs once both endpoints are gone (last Arc clone dropped), so
+        // every still-full slot holds an undelivered item — including ones
+        // pushed after the receiver went away. `get_mut` needs no ordering:
+        // we have exclusive access.
+        for slot in self.slots.iter_mut() {
+            if *slot.full.get_mut() {
+                unsafe { (*slot.value.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
 /// Factory type; split into endpoints with [`FastForwardQueue::with_capacity`].
 pub struct FastForwardQueue<T>(std::marker::PhantomData<T>);
 
@@ -53,12 +67,8 @@ impl<T: Send> FastForwardQueue<T> {
                 })
             })
             .collect();
-        let inner =
-            Arc::new(Inner { slots, approx_len: CachePadded::new(AtomicUsize::new(0)) });
-        (
-            FfSender { inner: Arc::clone(&inner), pos: 0 },
-            FfReceiver { inner, pos: 0 },
-        )
+        let inner = Arc::new(Inner { slots, approx_len: CachePadded::new(AtomicUsize::new(0)) });
+        (FfSender { inner: Arc::clone(&inner), pos: 0 }, FfReceiver { inner, pos: 0 })
     }
 }
 
@@ -94,6 +104,45 @@ impl<T: Send> FfSender<T> {
         Ok(())
     }
 
+    /// Send up to `items.len()` items in one burst, draining the accepted
+    /// prefix from `items`. Returns how many were accepted.
+    ///
+    /// The occupancy flags are inherently per-slot in FastForward, so unlike
+    /// Lamport there is no shared index to batch; what the burst amortizes is
+    /// the `approx_len` read-modify-write, issued once instead of per item.
+    /// A first pass counts the empty run (only this producer sets flags true,
+    /// so an empty slot stays empty), then the write pass fills exactly that
+    /// run.
+    pub fn try_send_batch(&mut self, items: &mut Vec<T>) -> usize {
+        if items.is_empty() {
+            return 0;
+        }
+        let slots = self.inner.slots.len();
+        let want = items.len().min(slots);
+        let mut free = 0;
+        let mut probe = self.pos;
+        while free < want {
+            if self.inner.slots[probe].full.load(Ordering::Acquire) {
+                break;
+            }
+            free += 1;
+            probe = if probe + 1 == slots { 0 } else { probe + 1 };
+        }
+        if free == 0 {
+            return 0;
+        }
+        for item in items.drain(..free) {
+            let slot = &self.inner.slots[self.pos];
+            // SAFETY: the scan above saw this flag false, and only this
+            // producer can set it true, so the slot is still ours.
+            unsafe { (*slot.value.get()).write(item) };
+            slot.full.store(true, Ordering::Release);
+            self.pos = if self.pos + 1 == slots { 0 } else { self.pos + 1 };
+        }
+        self.inner.approx_len.fetch_add(free, Ordering::Relaxed);
+        free
+    }
+
     /// Approximate queued-item count (see module docs).
     #[inline]
     pub fn len(&self) -> usize {
@@ -127,6 +176,32 @@ impl<T: Send> FfReceiver<T> {
         Some(item)
     }
 
+    /// Receive up to `max` items in one burst, appending them to `out`.
+    /// Returns how many were received. The `approx_len` counter is adjusted
+    /// once for the whole burst (see [`FfSender::try_send_batch`]).
+    pub fn try_recv_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let slots = self.inner.slots.len();
+        let want = max.min(slots);
+        let mut taken = 0;
+        out.reserve(want);
+        while taken < want {
+            let slot = &self.inner.slots[self.pos];
+            if !slot.full.load(Ordering::Acquire) {
+                break;
+            }
+            // SAFETY: flag is true — the producer published this payload and
+            // will not touch the slot until we clear the flag.
+            out.push(unsafe { (*slot.value.get()).assume_init_read() });
+            slot.full.store(false, Ordering::Release);
+            self.pos = if self.pos + 1 == slots { 0 } else { self.pos + 1 };
+            taken += 1;
+        }
+        if taken > 0 {
+            self.inner.approx_len.fetch_sub(taken, Ordering::Relaxed);
+        }
+        taken
+    }
+
     /// Approximate queued-item count.
     #[inline]
     pub fn len(&self) -> usize {
@@ -141,22 +216,6 @@ impl<T: Send> FfReceiver<T> {
     #[inline]
     pub fn capacity(&self) -> usize {
         self.inner.slots.len()
-    }
-}
-
-impl<T> Drop for FfReceiver<T> {
-    fn drop(&mut self) {
-        // Drain undelivered items so their destructors run.
-        let n = self.inner.slots.len();
-        for _ in 0..n {
-            let slot = &self.inner.slots[self.pos];
-            if !slot.full.load(Ordering::Acquire) {
-                break;
-            }
-            unsafe { (*slot.value.get()).assume_init_drop() };
-            slot.full.store(false, Ordering::Release);
-            self.pos = if self.pos + 1 == n { 0 } else { self.pos + 1 };
-        }
     }
 }
 
@@ -247,5 +306,86 @@ mod tests {
         drop(rx);
         drop(tx);
         assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+
+    /// Regression: items pushed after the receiver dropped used to leak when
+    /// the drain lived in `FfReceiver::drop`. The queue's own Drop now scans
+    /// every slot.
+    #[test]
+    fn send_after_receiver_drop_still_runs_destructors() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        let (mut tx, rx) = FastForwardQueue::with_capacity(4);
+        tx.try_send(D).unwrap();
+        drop(rx);
+        tx.try_send(D).unwrap();
+        tx.try_send(D).unwrap();
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0, "no drops while queued");
+        drop(tx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn batch_send_accepts_free_run_only() {
+        let (mut tx, mut rx) = FastForwardQueue::with_capacity(4);
+        let mut items: Vec<u32> = (0..7).collect();
+        assert_eq!(tx.try_send_batch(&mut items), 4);
+        assert_eq!(items, vec![4, 5, 6]);
+        assert_eq!(tx.try_send_batch(&mut items), 0, "all slots full");
+        for i in 0..4 {
+            assert_eq!(rx.try_recv(), Some(i));
+        }
+        assert_eq!(tx.try_send_batch(&mut items), 3);
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn batch_recv_respects_max_and_order() {
+        let (mut tx, mut rx) = FastForwardQueue::with_capacity(8);
+        for i in 0..6u32 {
+            tx.try_send(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.try_recv_batch(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(rx.try_recv_batch(&mut out, 100), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(rx.try_recv_batch(&mut out, 4), 0);
+        assert_eq!(tx.len(), 0, "approx_len settles after batch ops");
+    }
+
+    #[test]
+    fn batch_cross_thread_transfer_preserves_order() {
+        let (mut tx, mut rx) = FastForwardQueue::with_capacity(64);
+        const N: u64 = 200_000;
+        let producer = std::thread::spawn(move || {
+            let mut pending: Vec<u64> = Vec::new();
+            let mut next = 0u64;
+            while next < N || !pending.is_empty() {
+                while pending.len() < 17 && next < N {
+                    pending.push(next);
+                    next += 1;
+                }
+                if tx.try_send_batch(&mut pending) == 0 {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut out = Vec::with_capacity(N as usize);
+        while out.len() < N as usize {
+            if rx.try_recv_batch(&mut out, 23) == 0 {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert!(out.iter().copied().eq(0..N));
     }
 }

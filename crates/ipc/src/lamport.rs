@@ -31,6 +31,24 @@ struct Inner<T> {
 unsafe impl<T: Send> Send for Inner<T> {}
 unsafe impl<T: Send> Sync for Inner<T> {}
 
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Runs when the *last* endpoint goes away, so it sees every item that
+        // was ever enqueued and not received — including items the sender
+        // pushed after the receiver dropped (the old receiver-side drain
+        // leaked those).
+        let slots = self.buf.len();
+        let mut head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        while head != tail {
+            // SAFETY: &mut self means no endpoint is alive; every slot in
+            // [head, tail) holds an initialized, undelivered item.
+            unsafe { (*self.buf[head].get()).assume_init_drop() };
+            head = if head + 1 == slots { 0 } else { head + 1 };
+        }
+    }
+}
+
 /// Factory type; split into endpoints with [`LamportQueue::with_capacity`].
 pub struct LamportQueue<T>(std::marker::PhantomData<T>);
 
@@ -94,6 +112,43 @@ impl<T: Send> LamportSender<T> {
         Ok(())
     }
 
+    /// Enqueue as many items as fit from the front of `items`, removing the
+    /// accepted prefix, and publish `tail` **once** for the whole burst.
+    /// Returns how many were accepted.
+    ///
+    /// SPSC safety is unchanged: every slot in `[tail, tail + n)` is invisible
+    /// to the consumer until the single Release store below, exactly as a
+    /// one-item send publishes its single slot. Items that don't fit stay in
+    /// `items` (no loss): the free run is computed *before* any slot is
+    /// written.
+    pub fn try_send_batch(&mut self, items: &mut Vec<T>) -> usize {
+        if items.is_empty() {
+            return 0;
+        }
+        let inner = &*self.inner;
+        let slots = inner.buf.len();
+        let mut tail = inner.tail.load(Ordering::Relaxed);
+        let free = |head: usize| (head + slots - tail - 1) % slots;
+        let mut avail = free(self.cached_head);
+        if avail < items.len() {
+            // Looks too full against the cached head — refresh once per burst.
+            self.cached_head = inner.head.load(Ordering::Acquire);
+            avail = free(self.cached_head);
+        }
+        let n = avail.min(items.len());
+        if n == 0 {
+            return 0;
+        }
+        for item in items.drain(..n) {
+            // SAFETY: slot `tail` lies in the free run computed above and is
+            // not visible to the consumer until the Release store below.
+            unsafe { (*inner.buf[tail].get()).write(item) };
+            tail = if tail + 1 == slots { 0 } else { tail + 1 };
+        }
+        inner.tail.store(tail, Ordering::Release);
+        n
+    }
+
     /// Items currently buffered (producer-side estimate, exact for SPSC use).
     #[inline]
     pub fn len(&self) -> usize {
@@ -135,6 +190,39 @@ impl<T: Send> LamportReceiver<T> {
         Some(item)
     }
 
+    /// Dequeue up to `max` items into `out`, publishing `head` **once** for
+    /// the whole burst. Returns how many were appended.
+    ///
+    /// Mirror image of [`LamportSender::try_send_batch`]: the occupied run is
+    /// read against a tail observed with one Acquire load, and the slots are
+    /// handed back to the producer with a single Release store at the end.
+    pub fn try_recv_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let inner = &*self.inner;
+        let slots = inner.buf.len();
+        let mut head = inner.head.load(Ordering::Relaxed);
+        let mut avail = (self.cached_tail + slots - head) % slots;
+        if avail < max {
+            self.cached_tail = inner.tail.load(Ordering::Acquire);
+            avail = (self.cached_tail + slots - head) % slots;
+        }
+        let n = avail.min(max);
+        if n == 0 {
+            return 0;
+        }
+        out.reserve(n);
+        for _ in 0..n {
+            // SAFETY: head != cached_tail within the occupied run, so each
+            // slot holds an item published by the producer's Release store.
+            out.push(unsafe { (*inner.buf[head].get()).assume_init_read() });
+            head = if head + 1 == slots { 0 } else { head + 1 };
+        }
+        inner.head.store(head, Ordering::Release);
+        n
+    }
+
     /// Items currently buffered (consumer-side view).
     #[inline]
     pub fn len(&self) -> usize {
@@ -152,24 +240,6 @@ impl<T: Send> LamportReceiver<T> {
     #[inline]
     pub fn capacity(&self) -> usize {
         self.inner.buf.len() - 1
-    }
-}
-
-impl<T> Drop for LamportReceiver<T> {
-    fn drop(&mut self) {
-        // Drain undelivered items so their destructors run. The sender may
-        // still push afterwards; those items are leaked into the ring and
-        // freed when the ring's memory goes away — acceptable for POD frames,
-        // and the workspace always drops senders first in practice.
-        let inner = &*self.inner;
-        let slots = inner.buf.len();
-        let mut head = inner.head.load(Ordering::Relaxed);
-        let tail = inner.tail.load(Ordering::Acquire);
-        while head != tail {
-            unsafe { (*inner.buf[head].get()).assume_init_drop() };
-            head = if head + 1 == slots { 0 } else { head + 1 };
-        }
-        inner.head.store(head, Ordering::Release);
     }
 }
 
@@ -278,5 +348,98 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = LamportQueue::<u8>::with_capacity(0);
+    }
+
+    #[test]
+    fn batch_send_accepts_prefix_and_keeps_rest() {
+        let (mut tx, mut rx) = LamportQueue::with_capacity(4);
+        let mut items: Vec<u32> = (0..7).collect();
+        assert_eq!(tx.try_send_batch(&mut items), 4);
+        assert_eq!(items, vec![4, 5, 6], "unaccepted suffix stays put");
+        for i in 0..4 {
+            assert_eq!(rx.try_recv(), Some(i));
+        }
+        assert_eq!(tx.try_send_batch(&mut items), 3);
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn batch_recv_respects_max_and_order() {
+        let (mut tx, mut rx) = LamportQueue::with_capacity(8);
+        for i in 0..6u32 {
+            tx.try_send(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.try_recv_batch(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(rx.try_recv_batch(&mut out, 100), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(rx.try_recv_batch(&mut out, 4), 0, "empty queue");
+    }
+
+    #[test]
+    fn batch_ops_wrap_around() {
+        let (mut tx, mut rx) = LamportQueue::with_capacity(4);
+        let mut out = Vec::new();
+        let mut next = 0u64;
+        for _ in 0..50 {
+            let mut burst: Vec<u64> = (next..next + 3).collect();
+            next += 3;
+            assert_eq!(tx.try_send_batch(&mut burst), 3);
+            assert_eq!(rx.try_recv_batch(&mut out, 3), 3);
+        }
+        assert_eq!(out, (0..150).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn batch_cross_thread_transfer_preserves_order() {
+        let (mut tx, mut rx) = LamportQueue::with_capacity(64);
+        const N: u64 = 200_000;
+        let producer = std::thread::spawn(move || {
+            let mut pending: Vec<u64> = Vec::new();
+            let mut next = 0u64;
+            while next < N || !pending.is_empty() {
+                while pending.len() < 17 && next < N {
+                    pending.push(next);
+                    next += 1;
+                }
+                if tx.try_send_batch(&mut pending) == 0 {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut out = Vec::with_capacity(N as usize);
+        while out.len() < N as usize {
+            if rx.try_recv_batch(&mut out, 23) == 0 {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert!(out.iter().copied().eq(0..N));
+    }
+
+    /// Regression: items pushed *after* the receiver dropped used to leak
+    /// (the receiver-side drain could not see them). Draining in the ring's
+    /// own Drop catches every undelivered item regardless of teardown order.
+    #[test]
+    fn send_after_receiver_drop_still_runs_destructors() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        let (mut tx, rx) = LamportQueue::with_capacity(8);
+        tx.try_send(D).unwrap();
+        drop(rx);
+        tx.try_send(D).unwrap();
+        tx.try_send(D).unwrap();
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0, "no drops while queued");
+        drop(tx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
     }
 }

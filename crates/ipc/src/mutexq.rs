@@ -49,6 +49,19 @@ impl<T: Send> MutexSender<T> {
         Ok(())
     }
 
+    /// Send up to `items.len()` items under a single lock acquisition,
+    /// draining the accepted prefix from `items`. Returns how many fit.
+    pub fn try_send_batch(&mut self, items: &mut Vec<T>) -> usize {
+        if items.is_empty() {
+            return 0;
+        }
+        let mut q = self.inner.q.lock();
+        let free = self.inner.capacity.saturating_sub(q.len());
+        let n = free.min(items.len());
+        q.extend(items.drain(..n));
+        n
+    }
+
     #[inline]
     pub fn len(&self) -> usize {
         self.inner.q.lock().len()
@@ -69,6 +82,15 @@ impl<T: Send> MutexReceiver<T> {
     #[inline]
     pub fn try_recv(&mut self) -> Option<T> {
         self.inner.q.lock().pop_front()
+    }
+
+    /// Receive up to `max` items under a single lock acquisition, appending
+    /// them to `out`. Returns how many were received.
+    pub fn try_recv_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut q = self.inner.q.lock();
+        let n = q.len().min(max);
+        out.extend(q.drain(..n));
+        n
     }
 
     #[inline]
@@ -128,5 +150,21 @@ mod tests {
             }
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn batch_ops_roundtrip() {
+        let (mut tx, mut rx) = MutexQueue::with_capacity(4);
+        let mut items: Vec<u32> = (0..7).collect();
+        assert_eq!(tx.try_send_batch(&mut items), 4);
+        assert_eq!(items, vec![4, 5, 6]);
+        let mut out = Vec::new();
+        assert_eq!(rx.try_recv_batch(&mut out, 3), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(tx.try_send_batch(&mut items), 3);
+        assert!(items.is_empty());
+        assert_eq!(rx.try_recv_batch(&mut out, 100), 4);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(rx.try_recv_batch(&mut out, 1), 0);
     }
 }

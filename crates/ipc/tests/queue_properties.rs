@@ -14,10 +14,7 @@ enum Op {
 }
 
 fn ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![any::<u64>().prop_map(Op::Send), Just(Op::Recv)],
-        0..200,
-    )
+    prop::collection::vec(prop_oneof![any::<u64>().prop_map(Op::Send), Just(Op::Recv)], 0..200)
 }
 
 fn check_against_model(kind: QueueKind, capacity: usize, script: &[Op]) {
@@ -46,6 +43,79 @@ fn check_against_model(kind: QueueKind, capacity: usize, script: &[Op]) {
     assert_eq!(rx.try_recv(), None);
 }
 
+/// A script mixing per-item and bulk operations, to pin the batch entry
+/// points to the same bounded-FIFO model (and to each other).
+#[derive(Clone, Debug)]
+enum BatchOp {
+    Send(u64),
+    Recv,
+    /// Bulk send: the queue must accept exactly the free-space prefix.
+    SendBatch(Vec<u64>),
+    /// Bulk receive with a max: exactly `min(occupancy, max)` items, FIFO.
+    RecvBatch(usize),
+}
+
+fn batch_ops() -> impl Strategy<Value = Vec<BatchOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            any::<u64>().prop_map(BatchOp::Send),
+            Just(BatchOp::Recv),
+            prop::collection::vec(any::<u64>(), 0..12).prop_map(BatchOp::SendBatch),
+            (0usize..12).prop_map(BatchOp::RecvBatch),
+        ],
+        0..120,
+    )
+}
+
+fn check_batch_against_model(kind: QueueKind, capacity: usize, script: &[BatchOp]) {
+    let (mut tx, mut rx) = queue::<u64>(kind, capacity);
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut out: Vec<u64> = Vec::new();
+    for op in script {
+        match op {
+            BatchOp::Send(v) => {
+                let res = tx.try_send(*v);
+                if model.len() < capacity {
+                    assert_eq!(res, Ok(()));
+                    model.push_back(*v);
+                } else {
+                    assert_eq!(res, Err(Full(*v)));
+                }
+            }
+            BatchOp::Recv => {
+                assert_eq!(rx.try_recv(), model.pop_front());
+            }
+            BatchOp::SendBatch(items) => {
+                let free = capacity - model.len();
+                let want = free.min(items.len());
+                let mut pending = items.clone();
+                let accepted = tx.try_send_batch(&mut pending);
+                assert_eq!(accepted, want, "batch send must fill exactly the free space");
+                assert_eq!(pending.len(), items.len() - want, "rejected suffix stays");
+                assert_eq!(&pending[..], &items[want..], "rejected suffix unmutated");
+                model.extend(items[..want].iter().copied());
+            }
+            BatchOp::RecvBatch(max) => {
+                out.clear();
+                let want = model.len().min(*max);
+                let got = rx.try_recv_batch(&mut out, *max);
+                assert_eq!(got, want, "batch recv must drain exactly min(occupancy, max)");
+                assert_eq!(out.len(), want);
+                for v in &out {
+                    assert_eq!(Some(*v), model.pop_front(), "FIFO order across batch recv");
+                }
+            }
+        }
+    }
+    out.clear();
+    rx.try_recv_batch(&mut out, usize::MAX);
+    assert_eq!(out.len(), model.len());
+    for v in &out {
+        assert_eq!(Some(*v), model.pop_front());
+    }
+    assert_eq!(rx.try_recv(), None);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -62,6 +132,23 @@ proptest! {
     #[test]
     fn mutex_matches_fifo_model(script in ops(), cap in 1usize..16) {
         check_against_model(QueueKind::Mutex, cap, &script);
+    }
+
+    /// Batch and per-item entry points are interchangeable: any interleaving
+    /// of the four operations still behaves like the bounded FIFO model.
+    #[test]
+    fn lamport_batch_matches_fifo_model(script in batch_ops(), cap in 1usize..16) {
+        check_batch_against_model(QueueKind::Lamport, cap, &script);
+    }
+
+    #[test]
+    fn fastforward_batch_matches_fifo_model(script in batch_ops(), cap in 1usize..16) {
+        check_batch_against_model(QueueKind::FastForward, cap, &script);
+    }
+
+    #[test]
+    fn mutex_batch_matches_fifo_model(script in batch_ops(), cap in 1usize..16) {
+        check_batch_against_model(QueueKind::Mutex, cap, &script);
     }
 
     /// Producer-side `len()` must equal true occupancy whenever the queue is
@@ -84,6 +171,43 @@ proptest! {
         }
         prop_assert_eq!(tx.len(), occupancy);
         prop_assert_eq!(rx.len(), occupancy);
+    }
+}
+
+/// Concurrent bulk smoke test per kind: a producer pushing uneven bursts and
+/// a consumer draining uneven bursts still see one ordered FIFO stream.
+#[test]
+fn concurrent_batch_order_all_kinds() {
+    for kind in QueueKind::ALL {
+        let (mut tx, mut rx) = queue::<u64>(kind, 32);
+        const N: u64 = 50_000;
+        let t = std::thread::spawn(move || {
+            let mut pending: Vec<u64> = Vec::new();
+            let mut next = 0u64;
+            while next < N || !pending.is_empty() {
+                while pending.len() < 13 && next < N {
+                    pending.push(next);
+                    next += 1;
+                }
+                if tx.try_send_batch(&mut pending) == 0 {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut out: Vec<u64> = Vec::new();
+        let mut expected = 0u64;
+        while expected < N {
+            out.clear();
+            if rx.try_recv_batch(&mut out, 7) == 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            for v in &out {
+                assert_eq!(*v, expected, "kind {}", kind.name());
+                expected += 1;
+            }
+        }
+        t.join().unwrap();
     }
 }
 

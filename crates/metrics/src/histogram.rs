@@ -177,10 +177,7 @@ mod tests {
         }
         for (q, expect) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
             let got = h.percentile_ns(q) as f64;
-            assert!(
-                (got - expect).abs() / expect < 0.05,
-                "q={q}: got {got}, expect {expect}"
-            );
+            assert!((got - expect).abs() / expect < 0.05, "q={q}: got {got}, expect {expect}");
         }
     }
 

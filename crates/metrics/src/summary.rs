@@ -4,10 +4,8 @@
 //! (§4.1) and plots mean values. [`Summary`] accumulates per-trial results
 //! and reports mean, standard deviation and extremes.
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming mean/variance (Welford) over trial results.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Summary {
     n: u64,
     mean: f64,

@@ -171,10 +171,7 @@ pub fn rewrite_macs(frame: &mut Frame, src: MacAddr, dst: MacAddr) {
 
 /// Convenience: is this frame an ARP frame at all?
 pub fn is_arp(frame: &Frame) -> bool {
-    frame
-        .ethernet()
-        .map(|e| e.ethertype() == EtherType::Arp)
-        .unwrap_or(false)
+    frame.ethernet().map(|e| e.ethertype() == EtherType::Arp).unwrap_or(false)
 }
 
 #[cfg(test)]

@@ -6,13 +6,11 @@
 
 use std::net::Ipv4Addr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::frame::Frame;
 use crate::headers::{IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP};
 
 /// Transport protocol of a flow.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Protocol {
     Tcp,
     Udp,
@@ -41,7 +39,7 @@ impl Protocol {
 }
 
 /// The 5-tuple identifying a flow.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct FlowKey {
     pub src: Ipv4Addr,
     pub dst: Ipv4Addr,

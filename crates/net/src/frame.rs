@@ -6,8 +6,8 @@ use std::net::Ipv4Addr;
 use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::headers::{
-    internet_checksum, EtherType, EthernetView, Ipv4View, MacAddr, TcpView, UdpView,
-    IPPROTO_TCP, IPPROTO_UDP,
+    internet_checksum, EtherType, EthernetView, Ipv4View, MacAddr, TcpView, UdpView, IPPROTO_TCP,
+    IPPROTO_UDP,
 };
 use crate::wire;
 
@@ -217,8 +217,8 @@ impl FrameBuilder {
             });
         }
         // wire = captured + FCS + preamble + IFG, captured >= 60 (pad).
-        let captured = (wire_size - wire::FCS - wire::PREAMBLE_SFD - wire::IFG)
-            .max(Self::UDP_OVERHEAD);
+        let captured =
+            (wire_size - wire::FCS - wire::PREAMBLE_SFD - wire::IFG).max(Self::UDP_OVERHEAD);
         let payload = captured - Self::UDP_OVERHEAD;
         Ok(self.udp(src_port, dst_port, &vec![0u8; payload]))
     }
@@ -329,10 +329,7 @@ mod tests {
     #[test]
     fn udp_with_wire_size_rejects_sub_minimum() {
         let mut b = FrameBuilder::new(ip(10, 0, 1, 5), ip(10, 0, 2, 9));
-        assert!(matches!(
-            b.udp_with_wire_size(1, 2, 83),
-            Err(FrameError::SizeTooSmall { .. })
-        ));
+        assert!(matches!(b.udp_with_wire_size(1, 2, 83), Err(FrameError::SizeTooSmall { .. })));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod wire;
 pub use arp::{ArpMessage, ArpOp, NeighborTable};
 pub use flow::{FlowKey, Protocol};
 pub use frame::{Frame, FrameBuilder, FrameError};
-pub use headers::{EthernetView, Ipv4View, MacAddr, TcpView, UdpView, EtherType};
+pub use headers::{EtherType, EthernetView, Ipv4View, MacAddr, TcpView, UdpView};
 pub use pcap::{read_pcap, write_pcap, PcapError};
 pub use pool::{FramePool, PooledBuf};
 pub use trace::{Trace, TraceSpec};

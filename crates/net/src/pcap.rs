@@ -30,7 +30,9 @@ pub enum PcapError {
     /// Unsupported link type (only Ethernet is accepted).
     BadLinkType(u32),
     /// A record header describes an impossible length.
-    BadRecord { declared: u32 },
+    BadRecord {
+        declared: u32,
+    },
 }
 
 impl std::fmt::Display for PcapError {

@@ -42,10 +42,7 @@ impl FramePool {
 
     /// Take a cleared buffer from the pool (or allocate if empty).
     pub fn get(&self) -> PooledBuf {
-        let mut buf = self
-            .free
-            .pop()
-            .unwrap_or_else(|| Vec::with_capacity(self.buf_capacity));
+        let mut buf = self.free.pop().unwrap_or_else(|| Vec::with_capacity(self.buf_capacity));
         buf.clear();
         PooledBuf { buf: Some(buf), home: Arc::clone(&self.free) }
     }

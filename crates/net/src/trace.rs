@@ -108,8 +108,7 @@ mod tests {
     fn generates_requested_flow_count() {
         let t = Trace::generate(&TraceSpec::new(84, 8));
         assert_eq!(t.distinct(), 8);
-        let keys: HashSet<_> =
-            t.frames().iter().map(|f| FlowKey::from_frame(f).unwrap()).collect();
+        let keys: HashSet<_> = t.frames().iter().map(|f| FlowKey::from_frame(f).unwrap()).collect();
         assert_eq!(keys.len(), 8, "flows must be distinct");
     }
 
@@ -138,10 +137,7 @@ mod tests {
         let spec = TraceSpec {
             wire_size: 84,
             flows: 4,
-            src_subnets: vec![
-                (Ipv4Addr::new(10, 0, 1, 0), 24),
-                (Ipv4Addr::new(10, 0, 3, 0), 24),
-            ],
+            src_subnets: vec![(Ipv4Addr::new(10, 0, 1, 0), 24), (Ipv4Addr::new(10, 0, 3, 0), 24)],
             dst_subnet: (Ipv4Addr::new(10, 0, 2, 0), 24),
         };
         let t = Trace::generate(&spec);

@@ -70,8 +70,7 @@ pub fn parse_map_file(text: &str) -> Result<RouteTable, MapFileError> {
             .map_err(|_| err(line_no, format!("bad interface index {iface_s:?}")))?;
         let next_hop = match next_hop_s {
             Some(s) => Some(
-                s.parse::<Ipv4Addr>()
-                    .map_err(|_| err(line_no, format!("bad next-hop {s:?}")))?,
+                s.parse::<Ipv4Addr>().map_err(|_| err(line_no, format!("bad next-hop {s:?}")))?,
             ),
             None => None,
         };

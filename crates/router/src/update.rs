@@ -234,8 +234,7 @@ mod tests {
     fn codec_rejects_garbage() {
         assert!(RouteUpdate::from_bytes(b"hello").is_err());
         assert!(RouteUpdate::from_bytes(&[]).is_err());
-        let mut bad = RouteUpdate::Remove { prefix: Ipv4Addr::new(1, 2, 3, 0), len: 24 }
-            .to_bytes();
+        let mut bad = RouteUpdate::Remove { prefix: Ipv4Addr::new(1, 2, 3, 0), len: 24 }.to_bytes();
         bad[6] = 40; // invalid prefix length
         assert!(RouteUpdate::from_bytes(&bad).is_err());
     }
@@ -243,16 +242,25 @@ mod tests {
     #[test]
     fn dynamic_vr_applies_updates() {
         let mut vr = DynamicVr::new("dyn", RouteTable::new());
-        let mut f = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 9))
-            .udp(1, 2, &[]);
+        let mut f = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 9)).udp(
+            1,
+            2,
+            &[],
+        );
         assert_eq!(vr.process(&mut f), RouterAction::Drop);
         vr.apply(&RouteUpdate::Add(route(10, 0, 2, 24, 5)));
-        let mut f2 = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 9))
-            .udp(1, 2, &[]);
+        let mut f2 = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 9)).udp(
+            1,
+            2,
+            &[],
+        );
         assert_eq!(vr.process(&mut f2), RouterAction::Forward { iface: 5 });
         vr.apply(&RouteUpdate::Remove { prefix: Ipv4Addr::new(10, 0, 2, 0), len: 24 });
-        let mut f3 = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 9))
-            .udp(1, 2, &[]);
+        let mut f3 = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 9)).udp(
+            1,
+            2,
+            &[],
+        );
         assert_eq!(vr.process(&mut f3), RouterAction::Drop);
         assert_eq!(vr.updates_applied, 2);
     }
@@ -270,8 +278,11 @@ mod tests {
         let mut vr = DynamicVr::new("dyn", RouteTable::new());
         vr.apply(&RouteUpdate::Add(route(10, 0, 2, 24, 7)));
         let mut inst = vr.spawn_instance();
-        let mut f = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 9))
-            .udp(1, 2, &[]);
+        let mut f = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 9)).udp(
+            1,
+            2,
+            &[],
+        );
         assert_eq!(inst.process(&mut f), RouterAction::Forward { iface: 7 });
     }
 }

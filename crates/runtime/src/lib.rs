@@ -23,7 +23,10 @@ pub mod threads;
 pub mod udp_adapter;
 
 pub use msglat::{measure_control_latency, MsgLatencyReport};
+pub use pipeline::{
+    run_lvrm_only, run_lvrm_only_batched, run_lvrm_only_inline, run_lvrm_only_inline_batched,
+    PipelineReport,
+};
 pub use ring_adapter::RingAdapter;
-pub use pipeline::{run_lvrm_only, run_lvrm_only_inline, PipelineReport};
 pub use threads::{CtrlRole, ThreadHost};
 pub use udp_adapter::UdpAdapter;

@@ -16,8 +16,8 @@ use lvrm_metrics::LatencyHistogram;
 use lvrm_net::{Trace, TraceSpec};
 use parking_lot::Mutex;
 
-use crate::threads::{CtrlRole, ThreadHost};
 use crate::affinity::available_cores;
+use crate::threads::{CtrlRole, ThreadHost};
 
 /// Result of one message-passing run.
 #[derive(Debug)]
@@ -93,9 +93,8 @@ pub fn measure_control_latency(
         }
     }
     host.shutdown();
-    let latency = Arc::try_unwrap(sink)
-        .map(|m| m.into_inner())
-        .unwrap_or_else(|arc| arc.lock().clone());
+    let latency =
+        Arc::try_unwrap(sink).map(|m| m.into_inner()).unwrap_or_else(|arc| arc.lock().clone());
     MsgLatencyReport { latency, control_drops: lvrm.stats.control_drops, data_frames }
 }
 

@@ -34,8 +34,12 @@ pub struct PipelineReport {
     pub elapsed_ns: u64,
     /// Ingress-to-egress latency per frame.
     pub latency: LatencyHistogram,
-    /// Frames dropped because a VRI queue was full (backpressure).
+    /// Frames dropped because a VRI queue was full (backpressure) or the
+    /// VR had no usable VRI.
     pub dropped: u64,
+    /// Frames whose source matched no VR subnet (not a queue drop — kept
+    /// separate so backpressure numbers stay meaningful).
+    pub unclassified: u64,
 }
 
 impl PipelineReport {
@@ -56,28 +60,45 @@ fn build_vr(kind: PipelineVr) -> Box<dyn VirtualRouter> {
             Box::new(lvrm_router::FastVr::new("cpp", routes))
         }
         PipelineVr::Click => Box::new(
-            lvrm_click::ClickVr::minimal_forwarding("click", 0, 1)
-                .expect("static config compiles"),
+            lvrm_click::ClickVr::minimal_forwarding("click", 0, 1).expect("static config compiles"),
         ),
     }
 }
 
 /// Run the LVRM-only pipeline: replay `total_frames` frames of `wire_size`
 /// bytes from RAM through LVRM and `vris` VRI thread(s), discarding at the
-/// output. Returns measured throughput and latency.
+/// output. Returns measured throughput and latency. Per-frame dataplane
+/// (batch size 1); see [`run_lvrm_only_batched`].
 pub fn run_lvrm_only(
     vr: PipelineVr,
     wire_size: usize,
     total_frames: u64,
     vris: usize,
 ) -> PipelineReport {
+    run_lvrm_only_batched(vr, wire_size, total_frames, vris, 1)
+}
+
+/// As [`run_lvrm_only`], with an explicit dataplane burst size: the main
+/// loop polls up to `batch_size` frames from RAM, pushes them through
+/// [`Lvrm::ingress_batch`], and the VRI threads service their queues in
+/// bursts of the same size. `batch_size == 1` is the classic per-frame
+/// pipeline.
+pub fn run_lvrm_only_batched(
+    vr: PipelineVr,
+    wire_size: usize,
+    total_frames: u64,
+    vris: usize,
+    batch_size: usize,
+) -> PipelineReport {
     assert!(vris >= 1);
+    let batch_size = batch_size.max(1);
     let clock = MonotonicClock::new();
     let config = LvrmConfig {
         allocator: lvrm_core::config::AllocatorKind::Fixed { cores: vris },
         // Tight queues keep the latency measurement honest (1d): a deep
         // queue would measure queueing, not the relay path.
         data_queue_capacity: 256,
+        batch_size,
         ..LvrmConfig::default()
     };
     let n_cores = crate::affinity::available_cores().max(2) as u16;
@@ -87,13 +108,8 @@ pub fn run_lvrm_only(
         if n_cores > 1 { AffinityMode::SiblingFirst } else { AffinityMode::Same },
     );
     let mut lvrm = Lvrm::new(config, cores, clock.clone());
-    let mut host = ThreadHost::new(clock.clone());
-    let vr_id = lvrm.add_vr(
-        "vr0",
-        &[(Ipv4Addr::new(10, 0, 1, 0), 24)],
-        build_vr(vr),
-        &mut host,
-    );
+    let mut host = ThreadHost::new(clock.clone()).with_batch_size(batch_size);
+    let vr_id = lvrm.add_vr("vr0", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], build_vr(vr), &mut host);
     // Fixed allocation beyond the first VRI happens on reallocation passes;
     // force them now so all VRIs exist before the clock starts.
     for _ in 1..vris {
@@ -104,42 +120,50 @@ pub fn run_lvrm_only(
     let trace = Trace::generate(&TraceSpec::new(wire_size, 64));
     let mut adapter = MemTraceAdapter::new(trace, total_frames);
     let mut latency = LatencyHistogram::new();
+    let mut ingress: Vec<Frame> = Vec::with_capacity(batch_size);
     let mut egress: Vec<Frame> = Vec::with_capacity(1024);
     let mut forwarded = 0u64;
     let t0 = clock.now_ns();
     let drops_before = lvrm.stats.dispatch_drops + lvrm.stats.no_vri_drops;
+    let unclassified_before = lvrm.stats.unclassified;
 
-    // The LVRM main loop: poll RAM -> ingress -> collect -> discard.
+    // The LVRM main loop: poll RAM -> ingress -> collect -> discard,
+    // a burst at a time.
     let mut last_drops = drops_before;
     while forwarded < total_frames {
-        if let Some(mut f) = adapter.poll() {
-            f.ts_ns = clock.now_ns();
-            lvrm.ingress(f, &mut host);
+        if adapter.poll_batch(&mut ingress, batch_size) > 0 {
+            let now = clock.now_ns();
+            for f in ingress.iter_mut() {
+                f.ts_ns = now;
+            }
+            lvrm.ingress_batch(&mut ingress, &mut host);
         }
         egress.clear();
         lvrm.poll_egress(&mut egress);
         let now = clock.now_ns();
-        for f in egress.drain(..) {
+        for f in egress.iter() {
             latency.record(now.saturating_sub(f.ts_ns));
-            forwarded += 1;
-            adapter.send(f); // discard
         }
-        // Backpressure means the VRI threads are starved for CPU (on boxes
-        // with fewer cores than VRIs); yield our timeslice to them instead
-        // of spinning the queue full.
+        forwarded += egress.len() as u64;
+        adapter.send_batch(&mut egress); // discard
+                                         // Backpressure means the VRI threads are starved for CPU (on boxes
+                                         // with fewer cores than VRIs); yield our timeslice to them instead
+                                         // of spinning the queue full.
         let drops_now = lvrm.stats.dispatch_drops + lvrm.stats.no_vri_drops;
         if drops_now > last_drops {
             last_drops = drops_now;
             std::thread::yield_now();
         }
-        if adapter.exhausted() && forwarded + (drops_now - drops_before) >= total_frames {
+        let lost = (drops_now - drops_before) + (lvrm.stats.unclassified - unclassified_before);
+        if adapter.exhausted() && forwarded + lost >= total_frames {
             break;
         }
     }
     let elapsed_ns = clock.now_ns() - t0;
     host.shutdown();
     let dropped = lvrm.stats.dispatch_drops + lvrm.stats.no_vri_drops - drops_before;
-    PipelineReport { frames: forwarded, elapsed_ns, latency, dropped }
+    let unclassified = lvrm.stats.unclassified - unclassified_before;
+    PipelineReport { frames: forwarded, elapsed_ns, latency, dropped, unclassified }
 }
 
 /// Run the LVRM-only pipeline with the VRI serviced *inline* on the calling
@@ -147,43 +171,53 @@ pub fn run_lvrm_only(
 /// paper's eight this is the honest measure of the per-frame software cost:
 /// no scheduler timeslices, just the monitor + queues + router path.
 pub fn run_lvrm_only_inline(vr: PipelineVr, wire_size: usize, total_frames: u64) -> PipelineReport {
+    run_lvrm_only_inline_batched(vr, wire_size, total_frames, 1)
+}
+
+/// As [`run_lvrm_only_inline`], with an explicit dataplane burst size.
+pub fn run_lvrm_only_inline_batched(
+    vr: PipelineVr,
+    wire_size: usize,
+    total_frames: u64,
+    batch_size: usize,
+) -> PipelineReport {
     use lvrm_core::host::RecordingHost;
+    let batch_size = batch_size.max(1);
     let clock = MonotonicClock::new();
-    let cores = CoreMap::new(
-        CoreTopology::dual_quad_xeon(),
-        CoreId(0),
-        AffinityMode::SiblingFirst,
-    );
-    let mut lvrm = Lvrm::new(LvrmConfig::default(), cores, clock.clone());
+    let cores = CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
+    let config = LvrmConfig { batch_size, ..LvrmConfig::default() };
+    let mut lvrm = Lvrm::new(config, cores, clock.clone());
     let mut host = RecordingHost::default();
-    let _ = lvrm.add_vr(
-        "vr0",
-        &[(Ipv4Addr::new(10, 0, 1, 0), 24)],
-        build_vr(vr),
-        &mut host,
-    );
+    let _ = lvrm.add_vr("vr0", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], build_vr(vr), &mut host);
     let trace = Trace::generate(&TraceSpec::new(wire_size, 64));
     let mut adapter = MemTraceAdapter::new(trace, total_frames);
     let mut latency = LatencyHistogram::new();
+    let mut ingress: Vec<Frame> = Vec::with_capacity(batch_size);
     let mut egress: Vec<Frame> = Vec::with_capacity(64);
     let mut forwarded = 0u64;
     let t0 = clock.now_ns();
-    while let Some(mut f) = adapter.poll() {
-        f.ts_ns = clock.now_ns();
-        lvrm.ingress(f, &mut host);
+    while adapter.poll_batch(&mut ingress, batch_size) > 0 {
+        let now = clock.now_ns();
+        for f in ingress.iter_mut() {
+            f.ts_ns = now;
+        }
+        lvrm.ingress_batch(&mut ingress, &mut host);
         host.pump();
         egress.clear();
         lvrm.poll_egress(&mut egress);
         let now = clock.now_ns();
-        for f in egress.drain(..) {
+        for f in egress.iter() {
             latency.record(now.saturating_sub(f.ts_ns));
-            forwarded += 1;
-            adapter.send(f);
         }
+        forwarded += egress.len() as u64;
+        adapter.send_batch(&mut egress);
     }
     let elapsed_ns = clock.now_ns() - t0;
-    let dropped = total_frames - forwarded;
-    PipelineReport { frames: forwarded, elapsed_ns, latency, dropped }
+    // Account drops from the monitor's own counters: `total - forwarded`
+    // would silently fold unclassified frames into backpressure drops.
+    let dropped = lvrm.stats.dispatch_drops + lvrm.stats.no_vri_drops;
+    let unclassified = lvrm.stats.unclassified;
+    PipelineReport { frames: forwarded, elapsed_ns, latency, dropped, unclassified }
 }
 
 #[cfg(test)]
@@ -198,9 +232,28 @@ mod tests {
     fn cpp_pipeline_conserves_frames() {
         let r = run_lvrm_only(PipelineVr::Cpp, 84, 20_000, 1);
         assert_eq!(r.frames + r.dropped, 20_000, "every frame forwarded or counted dropped");
+        assert_eq!(r.unclassified, 0, "trace frames all match the VR subnet");
         assert!(r.frames > 0, "at least some frames must flow");
         assert_eq!(r.latency.count(), r.frames);
         assert!(r.fps() > 0.0);
+    }
+
+    #[test]
+    fn batched_pipeline_conserves_frames() {
+        let r = run_lvrm_only_batched(PipelineVr::Cpp, 84, 20_000, 1, 32);
+        assert_eq!(r.frames + r.dropped, 20_000);
+        assert_eq!(r.unclassified, 0);
+        assert!(r.frames > 0);
+    }
+
+    #[test]
+    fn inline_batched_is_lossless() {
+        for batch in [8u64, 32, 256] {
+            let r = run_lvrm_only_inline_batched(PipelineVr::Cpp, 84, 50_000, batch as usize);
+            assert_eq!(r.frames, 50_000, "batch {batch}");
+            assert_eq!(r.dropped, 0, "batch {batch}");
+            assert_eq!(r.unclassified, 0, "batch {batch}");
+        }
     }
 
     #[test]
@@ -215,6 +268,7 @@ mod tests {
         let r = run_lvrm_only_inline(PipelineVr::Cpp, 84, 50_000);
         assert_eq!(r.frames, 50_000);
         assert_eq!(r.dropped, 0);
+        assert_eq!(r.unclassified, 0);
         // Inline there are no timeslices: six figures of fps even in debug.
         assert!(r.fps() > 50_000.0, "inline fps {}", r.fps());
     }

@@ -48,11 +48,26 @@ impl SocketAdapter for RingAdapter {
         Some(f)
     }
 
+    fn poll_batch(&mut self, out: &mut Vec<Frame>, budget: usize) -> usize {
+        // Native bulk drain: one consumer-index publication per burst.
+        let n = self.rx.try_recv_batch(out, budget);
+        self.rx_count += n as u64;
+        n
+    }
+
     fn send(&mut self, frame: Frame) {
         match self.tx.try_send(frame) {
             Ok(()) => self.tx_count += 1,
             Err(_) => self.tx_drops += 1,
         }
+    }
+
+    fn send_batch(&mut self, frames: &mut Vec<Frame>) {
+        // Native bulk push; like `send`, overflow drops rather than blocks.
+        let accepted = self.tx.try_send_batch(frames);
+        self.tx_count += accepted as u64;
+        self.tx_drops += frames.len() as u64;
+        frames.clear();
     }
 
     fn kind(&self) -> SocketKind {
@@ -109,6 +124,23 @@ mod tests {
         a.send(frame(3));
         assert_eq!(a.tx_count(), 2);
         assert_eq!(a.tx_drops, 1);
+    }
+
+    #[test]
+    fn batch_ops_match_per_frame_counters() {
+        let (mut a, mut b) = RingAdapter::pair(8);
+        let mut burst: Vec<Frame> = (0..12).map(|i| frame(i as u8)).collect();
+        a.send_batch(&mut burst);
+        assert!(burst.is_empty());
+        assert_eq!(a.tx_count(), 8, "ring capacity caps the burst");
+        assert_eq!(a.tx_drops, 4);
+        let mut out = Vec::new();
+        assert_eq!(b.poll_batch(&mut out, 5), 5);
+        assert_eq!(b.poll_batch(&mut out, 5), 3);
+        assert_eq!(b.rx_count(), 8);
+        for (i, f) in out.iter().enumerate() {
+            assert_eq!(f.udp().unwrap().payload(), &[i as u8; 4], "FIFO order");
+        }
     }
 
     #[test]

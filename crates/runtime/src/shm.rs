@@ -219,8 +219,7 @@ impl<'a> ShmFrameQueue<'a> {
         let frame = unsafe {
             let len = (*(p as *const SlotHeader)).len as usize;
             let len = len.min(SLOT_BYTES);
-            let bytes =
-                std::slice::from_raw_parts(p.add(std::mem::size_of::<SlotHeader>()), len);
+            let bytes = std::slice::from_raw_parts(p.add(std::mem::size_of::<SlotHeader>()), len);
             Frame::new(Bytes::copy_from_slice(bytes))
         };
         self.head().store(((head + 1) % self.slots) as u32, Ordering::Release);
@@ -246,8 +245,11 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn frame(tag: u8, payload: usize) -> Frame {
-        FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 1))
-            .udp(100, 200, &vec![tag; payload])
+        FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 1)).udp(
+            100,
+            200,
+            &vec![tag; payload],
+        )
     }
 
     #[test]

@@ -13,7 +13,7 @@ use lvrm_core::clock::{Clock, MonotonicClock};
 use lvrm_core::host::{VriHost, VriSpec};
 use lvrm_core::vri::LvrmAdapter;
 use lvrm_core::{VrId, VriId};
-use lvrm_ipc::channels::{ControlEvent, Work};
+use lvrm_ipc::channels::ControlEvent;
 use lvrm_ipc::VriEndpoint;
 use lvrm_net::Frame;
 use lvrm_router::{RouterAction, VirtualRouter};
@@ -46,6 +46,10 @@ pub struct ThreadHost {
     clock: MonotonicClock,
     threads: Vec<VriThread>,
     pending_roles: Vec<CtrlRole>,
+    /// How many data frames a VRI pulls per `fromLVRM()` burst (>= 1).
+    /// Matches the monitor's `LvrmConfig::batch_size` in the batched
+    /// pipeline; 1 reproduces the per-frame service loop.
+    pub batch_size: usize,
     /// Frames processed across all VRIs (shared counter for reports).
     pub processed: Arc<AtomicU64>,
     /// Whether any pin attempt failed (diagnostic).
@@ -58,9 +62,16 @@ impl ThreadHost {
             clock,
             threads: Vec::new(),
             pending_roles: Vec::new(),
+            batch_size: 1,
             processed: Arc::new(AtomicU64::new(0)),
             pin_failures: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Builder-style batch-size override for the batched pipeline.
+    pub fn with_batch_size(mut self, batch_size: usize) -> ThreadHost {
+        self.batch_size = batch_size.max(1);
+        self
     }
 
     /// Queue a control role for the next spawned VRI.
@@ -111,6 +122,7 @@ impl VriHost for ThreadHost {
         };
         let core = spec.core.0 as usize;
         let vri = spec.vri;
+        let batch = self.batch_size.max(1);
         let handle = std::thread::Builder::new()
             .name(format!("{}-{}", spec.vr, spec.vri))
             .spawn(move || {
@@ -120,6 +132,9 @@ impl VriHost for ThreadHost {
                 let mut adapter = LvrmAdapter::new(vri, endpoint);
                 let dummy = router.dummy_load_ns();
                 let mut next_emit_ns = 0u64;
+                let mut ctrl: Vec<ControlEvent> = Vec::new();
+                let mut data: Vec<Frame> = Vec::with_capacity(batch);
+                let mut outq: Vec<Frame> = Vec::with_capacity(batch);
                 loop {
                     if stop2.load(Ordering::Acquire) {
                         break;
@@ -134,35 +149,38 @@ impl VriHost for ThreadHost {
                             next_emit_ns = now + period_ns;
                         }
                     }
-                    match adapter.from_lvrm(now) {
-                        Some(Work::Data(mut frame)) => {
-                            spin_for_ns(dummy);
-                            if let RouterAction::Forward { .. } = router.process(&mut frame) {
-                                // Retry until the outgoing queue accepts it:
-                                // LVRM drains it continuously.
-                                let mut f = frame;
-                                loop {
-                                    match adapter.to_lvrm(f) {
-                                        Ok(()) => break,
-                                        Err(back) => {
-                                            if stop2.load(Ordering::Acquire) {
-                                                return;
-                                            }
-                                            f = back;
-                                            std::hint::spin_loop();
-                                        }
-                                    }
-                                }
-                            }
-                            processed.fetch_add(1, Ordering::Relaxed);
+                    // Control first (strict priority, §2.1), then a data
+                    // burst pulled with one index publication.
+                    let n = adapter.from_lvrm_batch(&mut ctrl, &mut data, batch);
+                    for ev in ctrl.drain(..) {
+                        if let CtrlRole::Recorder { sink } = &role {
+                            let latency = clock.now_ns().saturating_sub(ev.ts_ns);
+                            sink.lock().record(latency);
                         }
-                        Some(Work::Control(ev)) => {
-                            if let CtrlRole::Recorder { sink } = &role {
-                                let latency = clock.now_ns().saturating_sub(ev.ts_ns);
-                                sink.lock().record(latency);
-                            }
+                    }
+                    if n == 0 {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    for mut frame in data.drain(..) {
+                        spin_for_ns(dummy);
+                        if let RouterAction::Forward { .. } = router.process(&mut frame) {
+                            outq.push(frame);
                         }
-                        None => std::hint::spin_loop(),
+                        // Per-frame departure times keep the service-rate
+                        // estimate honest even though the dequeue was bulk.
+                        adapter.note_departure(clock.now_ns());
+                        processed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Bulk return; retry until the outgoing queue accepts
+                    // everything (LVRM drains it continuously).
+                    while !outq.is_empty() {
+                        if adapter.to_lvrm_batch(&mut outq) == 0 {
+                            if stop2.load(Ordering::Acquire) {
+                                return;
+                            }
+                            std::hint::spin_loop();
+                        }
                     }
                 }
             })
@@ -200,12 +218,7 @@ mod tests {
         let cores = CoreMap::new(CoreTopology::single_package(1), CoreId(0), AffinityMode::Same);
         let mut lvrm = Lvrm::new(LvrmConfig::default(), cores, clock.clone());
         let mut host = ThreadHost::new(clock);
-        let _vr = lvrm.add_vr(
-            "t",
-            &[(Ipv4Addr::new(10, 0, 1, 0), 24)],
-            routed_vr(),
-            &mut host,
-        );
+        let _vr = lvrm.add_vr("t", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], routed_vr(), &mut host);
         assert_eq!(host.live(), 1);
         for _ in 0..100 {
             let f = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 5), Ipv4Addr::new(10, 0, 2, 1))
@@ -230,12 +243,7 @@ mod tests {
         let cores = CoreMap::new(CoreTopology::single_package(1), CoreId(0), AffinityMode::Same);
         let mut lvrm = Lvrm::new(LvrmConfig::default(), cores, clock.clone());
         let mut host = ThreadHost::new(clock);
-        let vr = lvrm.add_vr(
-            "t",
-            &[(Ipv4Addr::new(10, 0, 1, 0), 24)],
-            routed_vr(),
-            &mut host,
-        );
+        let vr = lvrm.add_vr("t", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], routed_vr(), &mut host);
         assert_eq!(host.live(), 1);
         // Find the VriId via the host's bookkeeping and kill it directly.
         let vri = host.threads[0].vri;

@@ -72,10 +72,37 @@ impl SocketAdapter for UdpAdapter {
         }
     }
 
+    fn poll_batch(&mut self, out: &mut Vec<Frame>, budget: usize) -> usize {
+        // One syscall per frame is unavoidable on a plain UDP socket (no
+        // recvmmsg in the shimmed libc); the native impl still skips the
+        // per-frame Option plumbing of the default loop.
+        let mut n = 0;
+        while n < budget {
+            match self.rx.recv_from(&mut self.buf) {
+                Ok((len, _)) => {
+                    self.rx_count += 1;
+                    out.push(Frame::new(Bytes::copy_from_slice(&self.buf[..len])));
+                    n += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        n
+    }
+
     fn send(&mut self, frame: Frame) {
         match self.tx.send_to(frame.bytes(), self.peer) {
             Ok(_) => self.tx_count += 1,
             Err(_) => self.tx_drops += 1,
+        }
+    }
+
+    fn send_batch(&mut self, frames: &mut Vec<Frame>) {
+        for frame in frames.drain(..) {
+            match self.tx.send_to(frame.bytes(), self.peer) {
+                Ok(_) => self.tx_count += 1,
+                Err(_) => self.tx_drops += 1,
+            }
         }
     }
 

@@ -79,8 +79,5 @@ fn frames_cross_a_fork_boundary() {
     let mut status = 0;
     let waited = unsafe { libc::waitpid(pid, &mut status, 0) };
     assert_eq!(waited, pid);
-    assert!(
-        libc::WIFEXITED(status) && libc::WEXITSTATUS(status) == 0,
-        "child exit {status}"
-    );
+    assert!(libc::WIFEXITED(status) && libc::WEXITSTATUS(status) == 0, "child exit {status}");
 }

@@ -189,9 +189,11 @@ mod tests {
         let m = CostModel::default();
         // Whole LVRM-only pipeline on one core: rx + dispatch + VR + egress + tx.
         let vr = 120; // C++ VR nominal
-        let per_frame =
-            (m.mem_rx.of(MIN_CAPTURED) + m.dispatch.of(MIN_CAPTURED) + vr
-                + m.egress.of(MIN_CAPTURED) + m.mem_tx.of(MIN_CAPTURED)) as f64;
+        let per_frame = (m.mem_rx.of(MIN_CAPTURED)
+            + m.dispatch.of(MIN_CAPTURED)
+            + vr
+            + m.egress.of(MIN_CAPTURED)
+            + m.mem_tx.of(MIN_CAPTURED)) as f64;
         let mfps = 1e9 / per_frame / 1e6;
         assert!((3.2..4.2).contains(&mfps), "LVRM-only 84B rate {mfps} Mfps should be ~3.7");
     }
@@ -201,8 +203,11 @@ mod tests {
         let m = CostModel::default();
         let captured = 1514; // 1538-byte wire frame
         let vr = 120;
-        let per_frame = (m.mem_rx.of(captured) + m.dispatch.of(captured) + vr
-            + m.egress.of(captured) + m.mem_tx.of(captured)) as f64;
+        let per_frame = (m.mem_rx.of(captured)
+            + m.dispatch.of(captured)
+            + vr
+            + m.egress.of(captured)
+            + m.mem_tx.of(captured)) as f64;
         let kfps = 1e9 / per_frame / 1e3;
         // Paper: 922 Kfps (11 Gbps) at 1538 B.
         assert!((800.0..1100.0).contains(&kfps), "LVRM-only 1538B rate {kfps} Kfps");

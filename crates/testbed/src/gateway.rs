@@ -189,10 +189,8 @@ impl VriHost for SimHost {
     }
 
     fn kill_vri(&mut self, vr: VrId, vri: VriId) {
-        if let Some(i) = self
-            .slots
-            .iter()
-            .position(|s| s.alive && s.spec.vr == vr && s.spec.vri == vri)
+        if let Some(i) =
+            self.slots.iter().position(|s| s.alive && s.spec.vr == vr && s.spec.vri == vri)
         {
             self.slots[i].alive = false;
             self.newly_killed.push(i);
@@ -250,7 +248,11 @@ mod tests {
         let mut host = SimHost::default();
         let (_, ep) = lvrm_ipc::channels::vri_channels::<Frame>(lvrm_ipc::QueueKind::Lamport, 4, 2);
         let spec = VriSpec { vr: VrId(0), vri: VriId(3), core: CoreId(1) };
-        host.spawn_vri(spec, ep, VrSpec::numbered(0, VrType::Cpp { dummy_load_ns: 0 }).build_router());
+        host.spawn_vri(
+            spec,
+            ep,
+            VrSpec::numbered(0, VrType::Cpp { dummy_load_ns: 0 }).build_router(),
+        );
         assert_eq!(host.newly_spawned, vec![0]);
         assert_eq!(host.slot_of(VriId(3)), Some(0));
         assert_eq!(host.live_count(VrId(0)), 1);

@@ -59,8 +59,8 @@ impl Link {
         let wire_len = frame.wire_len();
         // Backlog = wire time already committed beyond `now`.
         let backlog_ns = self.busy_until_ns.saturating_sub(now_ns);
-        let backlog_bytes = (backlog_ns as u128 * self.rate_bps as u128 / 8 / 1_000_000_000)
-            as usize;
+        let backlog_bytes =
+            (backlog_ns as u128 * self.rate_bps as u128 / 8 / 1_000_000_000) as usize;
         if backlog_bytes + wire_len > self.buffer_bytes {
             self.dropped += 1;
             return None;

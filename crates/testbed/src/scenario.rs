@@ -99,7 +99,13 @@ impl Scenario {
 
     /// Add the paper's standard two-sender UDP CBR load on VR `vr`:
     /// `total_fps` split across two sender hosts, `flows` flows per host.
-    pub fn with_udp_load(mut self, vr: usize, wire_size: usize, total_fps: f64, flows: u16) -> Scenario {
+    pub fn with_udp_load(
+        mut self,
+        vr: usize,
+        wire_size: usize,
+        total_fps: f64,
+        flows: u16,
+    ) -> Scenario {
         for host in [1u8, 2u8] {
             self.sources.push(SourceSpec {
                 vr,
@@ -185,17 +191,12 @@ impl ScenarioResult {
     pub fn per_flow_fps(&self) -> Vec<f64> {
         let mut keys: Vec<_> = self.udp_flows.keys().copied().collect();
         keys.sort_unstable();
-        keys.iter()
-            .map(|k| self.udp_flows[k].0 as f64 * 1e9 / self.window_ns() as f64)
-            .collect()
+        keys.iter().map(|k| self.udp_flows[k].0 as f64 * 1e9 / self.window_ns() as f64).collect()
     }
 
     /// Per-TCP-flow goodput rates, Mbps.
     pub fn tcp_goodput_mbps(&self) -> Vec<f64> {
-        self.tcp_goodput
-            .iter()
-            .map(|b| *b as f64 * 8.0 / self.window_ns() as f64 * 1e3)
-            .collect()
+        self.tcp_goodput.iter().map(|b| *b as f64 * 8.0 / self.window_ns() as f64 * 1e3).collect()
     }
 
     /// Aggregate TCP goodput, Mbps.
@@ -284,17 +285,16 @@ impl<'s> World<'s> {
         assert!(sc.warmup_ns < sc.duration_ns, "warmup must end before the run does");
         let lvrm_core = CoreId(0);
         let mech = match sc.mech {
-            ForwardingMech::Native => Mech::Kernel { route: kernel_routes(&sc.vrs), hypervisor: None },
+            ForwardingMech::Native => {
+                Mech::Kernel { route: kernel_routes(&sc.vrs), hypervisor: None }
+            }
             ForwardingMech::Hypervisor(kind) => {
                 Mech::Kernel { route: kernel_routes(&sc.vrs), hypervisor: Some(kind) }
             }
             ForwardingMech::Lvrm => {
                 let clock = ManualClock::new();
-                let cores = CoreMap::new(
-                    CoreTopology::dual_quad_xeon(),
-                    lvrm_core,
-                    sc.lvrm.affinity,
-                );
+                let cores =
+                    CoreMap::new(CoreTopology::dual_quad_xeon(), lvrm_core, sc.lvrm.affinity);
                 let mut lvrm = Lvrm::new(sc.lvrm.clone(), cores, clock.clone());
                 let mut host = SimHost::default();
                 let vr_ids = sc
@@ -410,8 +410,7 @@ impl<'s> World<'s> {
         let in_window = now >= self.sc.warmup_ns;
         let (frame, delay) = self.sources[i].emit(now);
         if let Some(frame) = frame {
-            let is_udp_data =
-                matches!(self.sources[i].kind, SourceKind::UdpCbr { .. });
+            let is_udp_data = matches!(self.sources[i].kind, SourceKind::UdpCbr { .. });
             if is_udp_data && in_window {
                 self.udp_sent += 1;
                 self.per_vr_sent[self.sources[i].vr] += 1;
@@ -460,19 +459,18 @@ impl<'s> World<'s> {
     fn on_receiver(&mut self, frame: Frame, now: u64) {
         let Ok(ip) = frame.ipv4() else { return };
         match ip.protocol() {
-            IPPROTO_UDP
-                if now >= self.sc.warmup_ns => {
-                    self.udp_received += 1;
-                    if let Some(vr) = self.vr_of_src(&frame) {
-                        self.per_vr_received[vr] += 1;
-                    }
-                    let key = flow_key(&frame);
-                    let e = self.udp_flows.entry(key).or_insert((0, 0));
-                    e.0 += 1;
-                    e.1 += frame.wire_len() as u64;
-                    self.latency.record(now.saturating_sub(frame.ts_ns));
-                    self.delivered_wire_bytes += frame.wire_len() as u64;
+            IPPROTO_UDP if now >= self.sc.warmup_ns => {
+                self.udp_received += 1;
+                if let Some(vr) = self.vr_of_src(&frame) {
+                    self.per_vr_received[vr] += 1;
                 }
+                let key = flow_key(&frame);
+                let e = self.udp_flows.entry(key).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += frame.wire_len() as u64;
+                self.latency.record(now.saturating_sub(frame.ts_ns));
+                self.delivered_wire_bytes += frame.wire_len() as u64;
+            }
             IPPROTO_ICMP => {
                 // Echo request: reflect it with source/destination swapped.
                 let (src, dst) = (ip.src(), ip.dst());
@@ -483,8 +481,7 @@ impl<'s> World<'s> {
                         bytes[14 + 9] = IPPROTO_ICMP;
                         bytes[14 + 10] = 0;
                         bytes[14 + 11] = 0;
-                        let csum =
-                            lvrm_net::headers::internet_checksum(&bytes[14..14 + 20]);
+                        let csum = lvrm_net::headers::internet_checksum(&bytes[14..14 + 20]);
                         bytes[14 + 10..14 + 12].copy_from_slice(&csum.to_be_bytes());
                     });
                     reply.ts_ns = frame.ts_ns; // carry the original stamp
@@ -513,10 +510,9 @@ impl<'s> World<'s> {
     fn on_sender_side(&mut self, frame: Frame, now: u64) {
         let Ok(ip) = frame.ipv4() else { return };
         match ip.protocol() {
-            IPPROTO_ICMP
-                if now >= self.sc.warmup_ns => {
-                    self.rtt.record(now.saturating_sub(frame.ts_ns));
-                }
+            IPPROTO_ICMP if now >= self.sc.warmup_ns => {
+                self.rtt.record(now.saturating_sub(frame.ts_ns));
+            }
             IPPROTO_TCP => {
                 let Ok(tcp) = frame.tcp() else { return };
                 if tcp.src_port() == FTP_DATA_PORT {
@@ -619,11 +615,7 @@ impl<'s> World<'s> {
                 } else {
                     t = self.cpu.charge(CoreId(0), t, c, CpuBucket::SoftIrq);
                 }
-                let egress = frame
-                    .dst_ip()
-                    .ok()
-                    .and_then(|d| route.lookup(d))
-                    .map(|r| r.iface);
+                let egress = frame.dst_ip().ok().and_then(|d| route.lookup(d)).map(|r| r.iface);
                 match egress {
                     Some(0) => {
                         frame.egress_if = 0;
@@ -649,11 +641,9 @@ impl<'s> World<'s> {
     /// what makes the "same" affinity mode the poorest in Fig. 4.8.
     fn core_residents(&self, core: CoreId) -> u64 {
         let vris_here = match &self.mech {
-            Mech::Lvrm { host, .. } => host
-                .slots
-                .iter()
-                .filter(|s| s.alive && s.spec.core == core)
-                .count() as u64,
+            Mech::Lvrm { host, .. } => {
+                host.slots.iter().filter(|s| s.alive && s.spec.core == core).count() as u64
+            }
             _ => 0,
         };
         let lvrm_here = u64::from(core == self.lvrm_core);
@@ -746,7 +736,12 @@ impl<'s> World<'s> {
                 (self.sc.cost.egress.of(len) + penalty) * contention,
                 CpuBucket::User,
             );
-            t = self.cpu.charge(self.lvrm_core, t, self.sc.cost.tx(socket, len) * contention, tx_bucket);
+            t = self.cpu.charge(
+                self.lvrm_core,
+                t,
+                self.sc.cost.tx(socket, len) * contention,
+                tx_bucket,
+            );
             match frame.egress_if {
                 0 => self.offer_link(3, t, frame),
                 1 => self.offer_link(1, t, frame),
@@ -816,8 +811,7 @@ impl<'s> World<'s> {
     // ------------------------------------------------------------ VRIs
 
     fn on_vri_poll(&mut self, slot: usize, now: u64) {
-        let unpinned =
-            self.sc.lvrm.affinity == lvrm_core::topology::AffinityMode::Default;
+        let unpinned = self.sc.lvrm.affinity == lvrm_core::topology::AffinityMode::Default;
         let contention = {
             let core = match &self.mech {
                 Mech::Lvrm { host, .. } => host.slots.get(slot).map(|s| s.spec.core),
@@ -848,8 +842,7 @@ impl<'s> World<'s> {
             }
             let deadline = now + POLL_SLICE_NS;
             let topo = CoreTopology::dual_quad_xeon();
-            let penalty =
-                self.sc.cost.core_penalty(&topo, self.lvrm_core, s.spec.core, unpinned);
+            let penalty = self.sc.cost.core_penalty(&topo, self.lvrm_core, s.spec.core, unpinned);
             for _ in 0..VRI_BATCH {
                 if t >= deadline {
                     break;
@@ -860,8 +853,9 @@ impl<'s> World<'s> {
                 // which would pollute the measured per-frame service time.
                 match s.adapter.from_lvrm(t) {
                     Some(lvrm_ipc::channels::Work::Data(mut frame)) => {
-                        let cost = (penalty + s.router.nominal_cost_ns() + s.router.dummy_load_ns())
-                            * contention;
+                        let cost =
+                            (penalty + s.router.nominal_cost_ns() + s.router.dummy_load_ns())
+                                * contention;
                         t = self.cpu.charge(s.spec.core, t, cost, CpuBucket::User);
                         s.processed += 1;
                         if let RouterAction::Forward { .. } = s.router.process(&mut frame) {
@@ -1119,8 +1113,12 @@ mod tests {
         sc = sc.with_udp_load(0, 84, 150_000.0, 8);
         let r = sc.run();
         let final_vris = r.samples.last().unwrap().vris_per_vr[0];
-        assert_eq!(final_vris, 3, "150 Kfps / 60 Kfps per core -> 3 VRIs; samples: {:?}",
-            r.samples.iter().map(|s| s.vris_per_vr.clone()).collect::<Vec<_>>());
+        assert_eq!(
+            final_vris,
+            3,
+            "150 Kfps / 60 Kfps per core -> 3 VRIs; samples: {:?}",
+            r.samples.iter().map(|s| s.vris_per_vr.clone()).collect::<Vec<_>>()
+        );
         assert!(r.delivery_ratio() > 0.95, "ratio {}", r.delivery_ratio());
     }
 

@@ -526,14 +526,8 @@ mod tests {
     #[test]
     fn pacing_gates_sends() {
         let cfg = TcpConfig { pacing_ns: Some(1_000_000), ..Default::default() };
-        let mut f = TcpFlow::new(
-            0,
-            0,
-            cfg,
-            Ipv4Addr::new(10, 0, 1, 1),
-            Ipv4Addr::new(10, 0, 2, 1),
-            40_000,
-        );
+        let mut f =
+            TcpFlow::new(0, 0, cfg, Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 1), 40_000);
         f.cwnd = 100.0;
         assert!(f.can_send(0));
         f.send_new(0);

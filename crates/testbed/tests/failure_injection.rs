@@ -25,11 +25,8 @@ fn overload_loses_frames_loudly_not_silently() {
     let r = sc.run();
     assert!(r.delivery_ratio() < 0.5, "overload must lose frames: {}", r.delivery_ratio());
     let s = r.lvrm_stats.unwrap();
-    let accounted = r.udp_received
-        + s.dispatch_drops
-        + s.no_vri_drops
-        + s.shrink_lost
-        + r.ring_drops;
+    let accounted =
+        r.udp_received + s.dispatch_drops + s.no_vri_drops + s.shrink_lost + r.ring_drops;
     // Everything sent in the window is either delivered or in a drop
     // counter (modulo frames still in flight at the end and the warmup
     // boundary). Allow a small in-flight slack.
@@ -52,18 +49,12 @@ fn shrink_under_traffic_keeps_forwarding() {
         vr: 0,
         host: 1,
         kind: SourceKind::UdpCbr { wire_size: 84, flows: 8 },
-        schedule: RateSchedule::piecewise(vec![
-            (0, 170_000.0),
-            (3_000_000_000, 40_000.0),
-        ]),
+        schedule: RateSchedule::piecewise(vec![(0, 170_000.0), (3_000_000_000, 40_000.0)]),
     });
     sc.sample_period_ns = 500_000_000;
     let r = sc.run();
-    let shrinks = r
-        .realloc
-        .iter()
-        .filter(|e| e.decision == lvrm_core::alloc::AllocDecision::Shrink)
-        .count();
+    let shrinks =
+        r.realloc.iter().filter(|e| e.decision == lvrm_core::alloc::AllocDecision::Shrink).count();
     assert!(shrinks >= 1, "the load drop must trigger shrinks");
     // After the shrink, traffic still flows: the last sample shows delivery.
     let last = r.samples.last().unwrap();
@@ -78,9 +69,7 @@ fn shrink_under_traffic_keeps_forwarding() {
 fn hypervisor_collapse_is_bounded_not_wedged() {
     // QEMU-KVM at 20x its capacity: the sim must neither livelock nor
     // deliver more than capacity.
-    let mut sc = Scenario::new(ForwardingMech::Hypervisor(
-        lvrm_testbed::HypervisorKind::QemuKvm,
-    ));
+    let mut sc = Scenario::new(ForwardingMech::Hypervisor(lvrm_testbed::HypervisorKind::QemuKvm));
     sc.duration_ns = 1_000_000_000;
     sc.warmup_ns = 200_000_000;
     let sc = sc.with_udp_load(0, 84, 300_000.0, 8);

@@ -26,8 +26,7 @@ fn main() {
             v
         })
         .collect();
-    sc.lvrm.allocator =
-        lvrm::core::config::AllocatorKind::DynamicFixed { per_core_rate: 60_000.0 };
+    sc.lvrm.allocator = lvrm::core::config::AllocatorKind::DynamicFixed { per_core_rate: 60_000.0 };
 
     // Steady 50 Kfps per department...
     for vr in 0..3 {
@@ -43,10 +42,7 @@ fn main() {
         vr: 0,
         host: 2,
         kind: SourceKind::UdpCbr { wire_size: 84, flows: 16 },
-        schedule: RateSchedule::piecewise(vec![
-            (4_000_000_000, 120_000.0),
-            (8_000_000_000, 0.0),
-        ]),
+        schedule: RateSchedule::piecewise(vec![(4_000_000_000, 120_000.0), (8_000_000_000, 0.0)]),
     });
 
     println!("time   cs-cores ee-cores math-cores   delivered");

@@ -35,22 +35,13 @@ rt[1] -> ToDevice(2);
 
 fn main() {
     let clock = MonotonicClock::new();
-    let cores = CoreMap::new(
-        CoreTopology::dual_quad_xeon(),
-        CoreId(0),
-        AffinityMode::SiblingFirst,
-    );
+    let cores = CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
     let mut lvrm = Lvrm::new(LvrmConfig::default(), cores, clock);
     let click = ClickVr::from_config("edge", CONFIG).expect("config parses");
     println!("compiled Click graph with {} elements", click.graph().len());
 
     let mut host = RecordingHost::default();
-    let vr = lvrm.add_vr(
-        "edge",
-        &[(Ipv4Addr::new(10, 0, 1, 0), 24)],
-        Box::new(click),
-        &mut host,
-    );
+    let vr = lvrm.add_vr("edge", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], Box::new(click), &mut host);
 
     // Mixed traffic: UDP to 10.0.2.x, TCP to 10.0.3.x, and some ARP noise.
     let mut b = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 5), Ipv4Addr::new(10, 0, 2, 9));

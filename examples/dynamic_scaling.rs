@@ -20,8 +20,7 @@ fn main() {
     sc.warmup_ns = 100_000_000;
     sc.sample_period_ns = 500_000_000;
     sc.vrs = vec![VrSpec::numbered(0, VrType::Cpp { dummy_load_ns: 16_667 })];
-    sc.lvrm.allocator =
-        lvrm::core::config::AllocatorKind::DynamicFixed { per_core_rate: 60_000.0 };
+    sc.lvrm.allocator = lvrm::core::config::AllocatorKind::DynamicFixed { per_core_rate: 60_000.0 };
     // Split the staircase across the two sender hosts, like the testbed.
     for host in [1u8, 2u8] {
         sc.sources.push(lvrm::testbed::scenario::SourceSpec {
@@ -32,8 +31,7 @@ fn main() {
                 (0..)
                     .map_while(|k| {
                         let t = k * dwell;
-                        (t <= schedule.last_change_ns())
-                            .then(|| (t, schedule.rate_at(t) / 2.0))
+                        (t <= schedule.last_change_ns()).then(|| (t, schedule.rate_at(t) / 2.0))
                     })
                     .collect(),
             ),

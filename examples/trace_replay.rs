@@ -21,9 +21,8 @@ fn main() {
             Ipv4Addr::new(10, 0, 1, (i % 200) as u8 + 1),
             Ipv4Addr::new(10, 0, 2, 9),
         );
-        let mut f = b
-            .udp_with_wire_size(10_000 + (i % 500) as u16, 20_000, size)
-            .expect("valid sizes");
+        let mut f =
+            b.udp_with_wire_size(10_000 + (i % 500) as u16, 20_000, size).expect("valid sizes");
         f.ts_ns = i as u64 * 1_000;
         frames.push(f);
     }
@@ -39,11 +38,7 @@ fn main() {
     // 3. Replay through LVRM from memory, inline (no network, output
     //    discarded) and time it.
     let clock = MonotonicClock::new();
-    let cores = CoreMap::new(
-        CoreTopology::dual_quad_xeon(),
-        CoreId(0),
-        AffinityMode::SiblingFirst,
-    );
+    let cores = CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
     let mut lvrm = Lvrm::new(LvrmConfig::default(), cores, clock.clone());
     let mut host = RecordingHost::default();
     let routes = lvrm::router::parse_map_file("0.0.0.0/0 1\n").unwrap();

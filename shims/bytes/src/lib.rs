@@ -1,0 +1,183 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is a cheaply clonable immutable buffer (an `Arc<Vec<u8>>`
+//! without the real crate's zero-copy slicing — LVRM never slices).
+//! [`BytesMut`] + [`BufMut`] cover the big-endian append API the frame
+//! builder uses. Semantics match the real crate for this subset: `put_u16`
+//! and `put_u32` write network byte order.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Cheaply clonable immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copy `data` into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: Arc::new(data.to_vec()) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: Arc::new(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Default, Debug, Clone)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+/// Append-style writer trait (the subset of `bytes::BufMut` LVRM uses).
+/// Multi-byte integers are written big-endian (network byte order), like the
+/// real crate.
+pub trait BufMut {
+    fn put_slice(&mut self, s: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_is_big_endian() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u8(1);
+        b.put_u16(0x0203);
+        b.put_u32(0x04050607);
+        b.put_slice(&[8]);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let clone = frozen.clone();
+        assert_eq!(frozen, clone);
+    }
+
+    #[test]
+    fn bytesmut_indexable() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[9, 9, 9]);
+        b[1..3].copy_from_slice(&[1, 2]);
+        assert_eq!(&b[..], &[9, 1, 2]);
+    }
+}

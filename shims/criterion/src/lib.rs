@@ -1,0 +1,251 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Implements the bench-definition API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`, `Throughput`, `BenchmarkId`) over a
+//! small calibrating harness: each benchmark is warmed up, then measured in
+//! batches until a time budget is spent, and the mean ns/iter plus derived
+//! throughput is printed.
+//!
+//! No statistics, plots, or regression tracking — this exists so
+//! `cargo bench` runs offline and produces comparable numbers between
+//! configurations on the same machine.
+//!
+//! Env knobs: `LVRM_BENCH_BUDGET_MS` (measure budget per benchmark,
+//! default 300), `LVRM_BENCH_WARMUP_MS` (default 100).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation; scales the printed per-second figure.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Measurement driver handed to the bench closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+    warmup: Duration,
+    budget: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its mean wall-clock cost.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.mean_ns = 0.0;
+            return;
+        }
+        // Warmup: also calibrates how many iterations fit the budget.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        let mut total_iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            total_iters += batch;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / total_iters as f64;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    harness: &'a Harness,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the harness is budget-driven.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = self.harness.bencher();
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = self.harness.bencher();
+        f(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if b.test_mode {
+            println!("test {}/{} ... ok", self.name, id);
+            return;
+        }
+        let mut line = format!("{}/{}: {:>12.1} ns/iter", self.name, id, b.mean_ns);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+                let eps = n as f64 * 1e9 / b.mean_ns;
+                line.push_str(&format!("  ({:.3} Melem/s)", eps / 1e6));
+            }
+            Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+                let bps = n as f64 * 1e9 / b.mean_ns;
+                line.push_str(&format!("  ({:.1} MiB/s)", bps / (1024.0 * 1024.0)));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+struct Harness {
+    warmup: Duration,
+    budget: Duration,
+    test_mode: bool,
+}
+
+impl Harness {
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            mean_ns: 0.0,
+            warmup: self.warmup,
+            budget: self.budget,
+            test_mode: self.test_mode,
+        }
+    }
+}
+
+/// Top-level benchmark driver with the criterion entry API.
+pub struct Criterion {
+    harness: Harness,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let ms = |var: &str, default_ms: u64| {
+            std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default_ms)
+        };
+        // `cargo test` runs harness=false bench targets with `--test`;
+        // `cargo bench` passes `--bench`. In test mode run everything once.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            harness: Harness {
+                warmup: Duration::from_millis(ms("LVRM_BENCH_WARMUP_MS", 100)),
+                budget: Duration::from_millis(ms("LVRM_BENCH_BUDGET_MS", 300)),
+                test_mode,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, harness: &self.harness }
+    }
+}
+
+/// Defines a function that runs each listed bench with a shared `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Defines `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            warmup: Duration::from_millis(1),
+            budget: Duration::from_millis(5),
+            test_mode: false,
+        };
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+    }
+}

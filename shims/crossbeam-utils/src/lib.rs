@@ -1,0 +1,53 @@
+//! Minimal offline stand-in for `crossbeam-utils`.
+//!
+//! Only [`CachePadded`] is provided — the one item the workspace uses. The
+//! alignment (128 bytes) matches what the real crate picks on x86_64, where
+//! the adjacent-line prefetcher makes a pair of 64-byte lines the effective
+//! false-sharing unit.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to avoid false sharing between cache lines.
+#[derive(Clone, Copy, Default, Debug)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_and_transparent() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        let mut p = CachePadded::new(7u64);
+        *p += 1;
+        assert_eq!(*p, 8);
+        assert_eq!(p.into_inner(), 8);
+    }
+}

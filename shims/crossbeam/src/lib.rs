@@ -1,0 +1,67 @@
+//! Minimal offline stand-in for `crossbeam`.
+//!
+//! Only `queue::ArrayQueue` is provided, backed by a mutexed `VecDeque`
+//! rather than the real lock-free ring. The sole user is the frame pool's
+//! free list (`lvrm-net::pool`), which is not on the measured hot path, so
+//! the simpler implementation keeps identical semantics at acceptable cost.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Bounded MPMC queue with the `crossbeam::queue::ArrayQueue` API.
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        cap: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Create a queue holding at most `cap` items (`cap > 0`).
+        pub fn new(cap: usize) -> ArrayQueue<T> {
+            assert!(cap > 0, "capacity must be positive");
+            ArrayQueue { inner: Mutex::new(VecDeque::with_capacity(cap)), cap }
+        }
+
+        /// Push, handing the item back when full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if q.len() >= self.cap {
+                return Err(value);
+            }
+            q.push_back(value);
+            Ok(())
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::ArrayQueue;
+
+    #[test]
+    fn bounded_fifo() {
+        let q = ArrayQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.capacity(), 2);
+    }
+}

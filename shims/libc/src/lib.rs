@@ -1,0 +1,83 @@
+//! Minimal offline stand-in for the `libc` crate.
+//!
+//! Declares exactly the glibc symbols, types, and constants the workspace
+//! uses (CPU affinity, SysV shared memory, fork/waitpid). Constant values
+//! and struct layouts match Linux/glibc on the architectures this repo
+//! targets; anything else is out of scope.
+
+#![allow(non_camel_case_types, non_snake_case)]
+
+pub use std::ffi::c_void;
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type size_t = usize;
+pub type pid_t = i32;
+pub type key_t = i32;
+
+/// `cpu_set_t`: a 1024-bit CPU mask, as on Linux/glibc.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; 16],
+}
+
+pub fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; 16];
+}
+
+pub fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < 1024 {
+        set.bits[cpu / 64] |= 1u64 << (cpu % 64);
+    }
+}
+
+pub fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < 1024 && set.bits[cpu / 64] & (1u64 << (cpu % 64)) != 0
+}
+
+// SysV IPC constants (Linux/glibc values).
+pub const IPC_PRIVATE: key_t = 0;
+pub const IPC_CREAT: c_int = 0o1000;
+pub const IPC_RMID: c_int = 0;
+
+// waitpid status decoding (Linux encoding).
+pub fn WIFEXITED(status: c_int) -> bool {
+    status & 0x7f == 0
+}
+
+pub fn WEXITSTATUS(status: c_int) -> c_int {
+    (status >> 8) & 0xff
+}
+
+extern "C" {
+    pub fn shmget(key: key_t, size: size_t, shmflg: c_int) -> c_int;
+    pub fn shmat(shmid: c_int, shmaddr: *const c_void, shmflg: c_int) -> *mut c_void;
+    pub fn shmdt(shmaddr: *const c_void) -> c_int;
+    pub fn shmctl(shmid: c_int, cmd: c_int, buf: *mut c_void) -> c_int;
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+    pub fn sched_getcpu() -> c_int;
+    pub fn fork() -> pid_t;
+    pub fn _exit(status: c_int) -> !;
+    pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_set_ops() {
+        let mut s: cpu_set_t = unsafe { std::mem::zeroed() };
+        CPU_ZERO(&mut s);
+        CPU_SET(3, &mut s);
+        assert!(CPU_ISSET(3, &s));
+        assert!(!CPU_ISSET(4, &s));
+    }
+
+    #[test]
+    fn getcpu_answers() {
+        let c = unsafe { sched_getcpu() };
+        assert!(c >= 0);
+    }
+}

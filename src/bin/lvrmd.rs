@@ -19,6 +19,7 @@
 //! flow-based on | off
 //! allocator  fixed <cores> | dynamic <fps-per-core> | service-rate <bootstrap-fps>
 //! queue      lamport | fastforward | mutex
+//! batch-size <n>         # frames per ingress/dispatch burst (1 = per-frame)
 //! vr <name> <sender-cidr> <receiver-cidr>
 //! ```
 
@@ -81,8 +82,7 @@ fn parse_config(text: &str) -> Result<DaemonConfig, String> {
                 };
             }
             ("allocator", ["fixed", n]) => {
-                let cores: usize =
-                    n.parse().map_err(|_| err(&format!("bad core count {n:?}")))?;
+                let cores: usize = n.parse().map_err(|_| err(&format!("bad core count {n:?}")))?;
                 lvrm.allocator = AllocatorKind::Fixed { cores };
             }
             ("allocator", ["dynamic", r]) => {
@@ -92,6 +92,12 @@ fn parse_config(text: &str) -> Result<DaemonConfig, String> {
             ("allocator", ["service-rate", r]) => {
                 let rate: f64 = r.parse().map_err(|_| err(&format!("bad rate {r:?}")))?;
                 lvrm.allocator = AllocatorKind::DynamicServiceRate { bootstrap_rate: rate };
+            }
+            ("batch-size", [n]) => {
+                lvrm.batch_size =
+                    n.parse().ok().filter(|b| *b >= 1).ok_or_else(|| {
+                        err(&format!("batch-size needs an integer >= 1, got {n:?}"))
+                    })?;
             }
             ("queue", [q]) => {
                 lvrm.queue_kind = match *q {
@@ -123,7 +129,12 @@ fn parse_config(text: &str) -> Result<DaemonConfig, String> {
 
 fn build_router(decl: &VrDecl) -> Box<dyn VirtualRouter> {
     let mut routes = RouteTable::new();
-    routes.insert(Route { prefix: decl.receiver.0, len: decl.receiver.1, iface: 1, next_hop: None });
+    routes.insert(Route {
+        prefix: decl.receiver.0,
+        len: decl.receiver.1,
+        iface: 1,
+        next_hop: None,
+    });
     routes.insert(Route { prefix: decl.sender.0, len: decl.sender.1, iface: 0, next_hop: None });
     Box::new(FastVr::new(&decl.name, routes))
 }
@@ -138,8 +149,9 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
         CoreId(0),
         if n > 1 { AffinityMode::SiblingFirst } else { AffinityMode::Same },
     );
+    let batch_size = config.lvrm.batch_size.max(1);
     let mut lvrm = Lvrm::new(config.lvrm, cores, clock.clone());
-    let mut host = lvrm::runtime::ThreadHost::new(clock.clone());
+    let mut host = lvrm::runtime::ThreadHost::new(clock.clone()).with_batch_size(batch_size);
     let vr_ids: Vec<VrId> = config
         .vrs
         .iter()
@@ -164,10 +176,7 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
         .map(|d| {
             let s = d.sender.0.octets();
             let r = d.receiver.0.octets();
-            (
-                Ipv4Addr::new(s[0], s[1], s[2], 5),
-                Ipv4Addr::new(r[0], r[1], r[2], 9),
-            )
+            (Ipv4Addr::new(s[0], s[1], s[2], 5), Ipv4Addr::new(r[0], r[1], r[2], 9))
         })
         .collect();
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -196,21 +205,26 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
     });
 
     let t_end = std::time::Instant::now() + std::time::Duration::from_secs(duration_s);
+    let mut ingress: Vec<Frame> = Vec::with_capacity(batch_size);
     let mut egress = Vec::new();
     let mut last_print = std::time::Instant::now();
     let mut last_out = 0u64;
     while std::time::Instant::now() < t_end {
-        if let Some(mut f) = nic.poll() {
-            f.ts_ns = clock.now_ns();
-            f.ingress_if = 0;
-            lvrm.ingress(f, &mut host);
+        // Burst dataplane: one poll, one classify/dispatch pass, one send
+        // per batch (batch-size 1 degenerates to the per-frame loop).
+        if nic.poll_batch(&mut ingress, batch_size) > 0 {
+            let ts = clock.now_ns();
+            for f in ingress.iter_mut() {
+                f.ts_ns = ts;
+                f.ingress_if = 0;
+            }
+            lvrm.ingress_batch(&mut ingress, &mut host);
+            ingress.clear();
         }
         lvrm.process_control();
         egress.clear();
         lvrm.poll_egress(&mut egress);
-        for f in egress.drain(..) {
-            nic.send(f); // back out the ring (the self-test peer counts them)
-        }
+        nic.send_batch(&mut egress); // back out the ring (the self-test peer counts them)
         if last_print.elapsed().as_secs() >= 1 {
             let s = &lvrm.stats;
             let vris: Vec<usize> = vr_ids.iter().map(|v| lvrm.vri_count(*v)).collect();
@@ -267,15 +281,18 @@ fn main() {
             }
             "--self-test" => i += 1, // the default; accepted for clarity
             "--help" | "-h" => {
-                println!("usage: lvrmd [--config FILE] [--duration SECS] [--rate FPS] [--self-test]");
+                println!(
+                    "usage: lvrmd [--config FILE] [--duration SECS] [--rate FPS] [--self-test]"
+                );
                 return;
             }
             other => die(&format!("unknown argument {other:?}")),
         }
     }
     let text = match &config_path {
-        Some(p) => std::fs::read_to_string(p)
-            .unwrap_or_else(|e| die(&format!("cannot read {p:?}: {e}"))),
+        Some(p) => {
+            std::fs::read_to_string(p).unwrap_or_else(|e| die(&format!("cannot read {p:?}: {e}")))
+        }
         None => String::new(),
     };
     let config = parse_config(&text).unwrap_or_else(|e| die(&e));
@@ -306,6 +323,7 @@ mod tests {
              flow-based on\n\
              allocator dynamic 60000\n\
              queue fastforward\n\
+             batch-size 32\n\
              vr cs   10.0.1.0/24 10.0.2.0/24\n\
              vr math 10.9.1.0/24 10.9.2.0/24\n",
         )
@@ -313,7 +331,10 @@ mod tests {
         assert_eq!(c.lvrm.balancer, BalancerKind::RoundRobin);
         assert!(c.lvrm.flow_based);
         assert_eq!(c.lvrm.queue_kind, QueueKind::FastForward);
-        assert!(matches!(c.lvrm.allocator, AllocatorKind::DynamicFixed { per_core_rate } if per_core_rate == 60_000.0));
+        assert_eq!(c.lvrm.batch_size, 32);
+        assert!(
+            matches!(c.lvrm.allocator, AllocatorKind::DynamicFixed { per_core_rate } if per_core_rate == 60_000.0)
+        );
         assert_eq!(c.vrs.len(), 2);
         assert_eq!(c.vrs[1].name, "math");
         assert_eq!(c.vrs[1].sender.0, Ipv4Addr::new(10, 9, 1, 0));
@@ -325,5 +346,7 @@ mod tests {
         assert!(e.contains("line 2"), "{e}");
         assert!(parse_config("vr a 10.0.1.0 10.0.2.0/24\n").is_err());
         assert!(parse_config("flow-based maybe\n").is_err());
+        assert!(parse_config("batch-size 0\n").is_err());
+        assert!(parse_config("batch-size many\n").is_err());
     }
 }

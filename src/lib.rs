@@ -71,8 +71,8 @@ pub use lvrm_testbed as testbed;
 pub mod prelude {
     pub use lvrm_core::{
         AffinityMode, AllocatorKind, BalancerKind, Clock, CoreId, CoreMap, CoreTopology,
-        EstimatorKind, Lvrm, LvrmConfig, ManualClock, MonotonicClock, SocketAdapter,
-        SocketKind, VrId, VriId,
+        EstimatorKind, Lvrm, LvrmConfig, ManualClock, MonotonicClock, SocketAdapter, SocketKind,
+        VrId, VriId,
     };
     pub use lvrm_ipc::QueueKind;
     pub use lvrm_net::{FlowKey, Frame, FrameBuilder, Trace, TraceSpec};

@@ -12,18 +12,8 @@ use proptest::prelude::*;
 
 fn fast_vr() -> FastVr {
     let mut routes = RouteTable::new();
-    routes.insert(Route {
-        prefix: Ipv4Addr::new(10, 0, 2, 0),
-        len: 24,
-        iface: 1,
-        next_hop: None,
-    });
-    routes.insert(Route {
-        prefix: Ipv4Addr::new(10, 0, 0, 0),
-        len: 16,
-        iface: 2,
-        next_hop: None,
-    });
+    routes.insert(Route { prefix: Ipv4Addr::new(10, 0, 2, 0), len: 24, iface: 1, next_hop: None });
+    routes.insert(Route { prefix: Ipv4Addr::new(10, 0, 0, 0), len: 16, iface: 2, next_hop: None });
     FastVr::new("fast", routes)
 }
 
@@ -73,21 +63,13 @@ fn both_types_host_identically_under_lvrm() {
     use lvrm::core::host::RecordingHost;
     for use_click in [false, true] {
         let clock = ManualClock::new();
-        let cores = CoreMap::new(
-            CoreTopology::dual_quad_xeon(),
-            CoreId(0),
-            AffinityMode::SiblingFirst,
-        );
+        let cores =
+            CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
         let mut lvrm = Lvrm::new(LvrmConfig::default(), cores, clock);
         let mut host = RecordingHost::default();
         let router: Box<dyn VirtualRouter> =
             if use_click { Box::new(click_vr()) } else { Box::new(fast_vr()) };
-        let _ = lvrm.add_vr(
-            "vr",
-            &[(Ipv4Addr::new(10, 0, 1, 0), 24)],
-            router,
-            &mut host,
-        );
+        let _ = lvrm.add_vr("vr", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], router, &mut host);
         let mut out = Vec::new();
         for i in 0..50u16 {
             let f = FrameBuilder::new(

@@ -42,10 +42,7 @@ fn load_drop_releases_cores() {
         vr: 0,
         host: 1,
         kind: SourceKind::UdpCbr { wire_size: 84, flows: 8 },
-        schedule: RateSchedule::piecewise(vec![
-            (0, 170_000.0),
-            (4_000_000_000, 50_000.0),
-        ]),
+        schedule: RateSchedule::piecewise(vec![(0, 170_000.0), (4_000_000_000, 50_000.0)]),
     });
     let r = sc.run();
     let peak = r.samples.iter().map(|s| s.vris_per_vr[0]).max().unwrap();
@@ -53,10 +50,7 @@ fn load_drop_releases_cores() {
     assert!(peak >= 3, "peak {peak}");
     assert_eq!(last, 1, "idle load keeps one core");
     // Shrinks must appear in the log.
-    assert!(r
-        .realloc
-        .iter()
-        .any(|e| e.decision == lvrm::core::alloc::AllocDecision::Shrink));
+    assert!(r.realloc.iter().any(|e| e.decision == lvrm::core::alloc::AllocDecision::Shrink));
 }
 
 #[test]

@@ -18,11 +18,7 @@ fn routed_vr(name: &str) -> Box<dyn VirtualRouter> {
 #[test]
 fn multi_vr_classification_and_forwarding() {
     let clock = ManualClock::new();
-    let cores = CoreMap::new(
-        CoreTopology::dual_quad_xeon(),
-        CoreId(0),
-        AffinityMode::SiblingFirst,
-    );
+    let cores = CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
     let mut lvrm = Lvrm::new(LvrmConfig::default(), cores, clock);
     let mut host = RecordingHost::default();
     let a = lvrm.add_vr("dept-a", &[subnet(10, 0, 1)], routed_vr("a"), &mut host);
@@ -51,11 +47,7 @@ fn multi_vr_classification_and_forwarding() {
 fn threaded_runtime_forwards_and_reports_service_rate() {
     let clock = MonotonicClock::new();
     let n = lvrm::runtime::affinity::available_cores().max(1) as u16;
-    let cores = CoreMap::new(
-        CoreTopology::single_package(n),
-        CoreId(0),
-        AffinityMode::Same,
-    );
+    let cores = CoreMap::new(CoreTopology::single_package(n), CoreId(0), AffinityMode::Same);
     let mut lvrm = Lvrm::new(LvrmConfig::default(), cores, clock.clone());
     let mut host = lvrm::runtime::ThreadHost::new(clock);
     let _vr = lvrm.add_vr("vr0", &[subnet(10, 0, 1)], routed_vr("t"), &mut host);
@@ -85,11 +77,7 @@ fn threaded_runtime_forwards_and_reports_service_rate() {
 #[test]
 fn unroutable_frames_are_dropped_not_misdelivered() {
     let clock = ManualClock::new();
-    let cores = CoreMap::new(
-        CoreTopology::dual_quad_xeon(),
-        CoreId(0),
-        AffinityMode::SiblingFirst,
-    );
+    let cores = CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
     let mut lvrm = Lvrm::new(LvrmConfig::default(), cores, clock);
     let mut host = RecordingHost::default();
     // The VR routes only 10.0.2.0/24.
@@ -97,8 +85,8 @@ fn unroutable_frames_are_dropped_not_misdelivered() {
     let mut out = Vec::new();
     // Frame to an unrouted destination: classified (source matches) but the
     // VR drops it.
-    let f = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 5), Ipv4Addr::new(172, 16, 0, 1))
-        .udp(1, 2, &[]);
+    let f =
+        FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 5), Ipv4Addr::new(172, 16, 0, 1)).udp(1, 2, &[]);
     lvrm.ingress(f, &mut host);
     host.pump();
     lvrm.poll_egress(&mut out);

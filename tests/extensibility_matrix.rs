@@ -58,10 +58,7 @@ fn balancers_spread_work_across_vris() {
         assert_eq!(dispatch.len(), 3);
         let total: u64 = dispatch.iter().sum();
         for (i, d) in dispatch.iter().enumerate() {
-            assert!(
-                *d * 6 > total,
-                "{balancer:?}: VRI {i} starved ({d} of {total}): {dispatch:?}"
-            );
+            assert!(*d * 6 > total, "{balancer:?}: VRI {i} starved ({d} of {total}): {dispatch:?}");
         }
     }
 }

@@ -31,10 +31,8 @@ fn throughput_84b(mech: ForwardingMech, socket: SocketKind) -> f64 {
 fn lesson1_lvrm_overhead_is_minimal_and_beats_hypervisors() {
     let native = throughput_84b(ForwardingMech::Native, SocketKind::PfRing);
     let lvrm = throughput_84b(ForwardingMech::Lvrm, SocketKind::PfRing);
-    let kvm = throughput_84b(
-        ForwardingMech::Hypervisor(HypervisorKind::QemuKvm),
-        SocketKind::PfRing,
-    );
+    let kvm =
+        throughput_84b(ForwardingMech::Hypervisor(HypervisorKind::QemuKvm), SocketKind::PfRing);
     assert!(
         lvrm > native * 0.8,
         "LVRM throughput must stay close to native: {lvrm:.0} vs {native:.0}"
@@ -66,22 +64,15 @@ fn lesson2_allocation_tracks_load_within_a_period() {
     // The step lands at t=3 s and needs two grows; with the paper's one
     // allocation pass per second the VR must hold 3 cores within ~2.5 s
     // (estimator settle + two periods).
-    let settled: Vec<usize> = r
-        .samples
-        .iter()
-        .filter(|s| s.t_ns >= 5_500_000_000)
-        .map(|s| s.vris_per_vr[0])
-        .collect();
+    let settled: Vec<usize> =
+        r.samples.iter().filter(|s| s.t_ns >= 5_500_000_000).map(|s| s.vris_per_vr[0]).collect();
     assert!(
         !settled.is_empty() && settled.iter().all(|c| *c == 3),
         "3x load step must settle at 3 cores within ~2.5 s: {settled:?}"
     );
     // And the reallocation events confirm growth started within 2 periods.
-    let first_growth_after_step = r
-        .realloc
-        .iter()
-        .find(|e| e.ts_ns > 3_000_000_000)
-        .expect("growth events after the step");
+    let first_growth_after_step =
+        r.realloc.iter().find(|e| e.ts_ns > 3_000_000_000).expect("growth events after the step");
     assert!(
         first_growth_after_step.ts_ns < 5_000_000_000,
         "first reaction too late: {} s",

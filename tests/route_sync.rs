@@ -13,11 +13,7 @@ use lvrm::router::{DynamicVr, RouteUpdate};
 #[test]
 fn route_update_propagates_between_vris() {
     let clock = ManualClock::new();
-    let cores = CoreMap::new(
-        CoreTopology::dual_quad_xeon(),
-        CoreId(0),
-        AffinityMode::SiblingFirst,
-    );
+    let cores = CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
     let config = LvrmConfig {
         allocator: lvrm::core::config::AllocatorKind::Fixed { cores: 2 },
         ..LvrmConfig::default()
@@ -35,8 +31,7 @@ fn route_update_propagates_between_vris() {
 
     // Neither instance can route 10.0.2.0/24 yet.
     let frame = || {
-        FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 5), Ipv4Addr::new(10, 0, 2, 9))
-            .udp(5000, 80, &[])
+        FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 5), Ipv4Addr::new(10, 0, 2, 9)).udp(5000, 80, &[])
     };
     lvrm.ingress(frame(), &mut host);
     host.pump();
@@ -55,15 +50,10 @@ fn route_update_propagates_between_vris() {
     // Apply locally at VRI 0 and emit the announcement upstream.
     {
         let (_, endpoint0, router0) = &mut host.endpoints[0];
-        let dyn0 = router0
-            .as_any_mut()
-            .downcast_mut::<DynamicVr>()
-            .expect("hosted router is a DynamicVr");
+        let dyn0 =
+            router0.as_any_mut().downcast_mut::<DynamicVr>().expect("hosted router is a DynamicVr");
         dyn0.apply(&update);
-        endpoint0
-            .ctrl_tx
-            .try_send(ControlEvent::new(vri0.0, vri1.0, update.to_bytes()))
-            .unwrap();
+        endpoint0.ctrl_tx.try_send(ControlEvent::new(vri0.0, vri1.0, update.to_bytes())).unwrap();
     }
     // LVRM relays the event to VRI 1, which applies it.
     lvrm.process_control();
