@@ -122,6 +122,26 @@ pub struct LvrmConfig {
     pub max_queue_memory_bytes: usize,
     /// Seed for the random balancer (reproducible experiments).
     pub seed: u64,
+    /// Run the VRI supervisor from the reallocation tick: detect dead or
+    /// stalled instances, re-dispatch their in-flight frames, respawn with
+    /// backoff, quarantine crash-looping VRs. Off by default — hosts that
+    /// never pump heartbeats would otherwise see every VRI as dead.
+    pub supervision: bool,
+    /// A VRI silent for this long is marked suspect (reported, not acted on).
+    pub suspect_after_ns: u64,
+    /// A VRI silent for this long is declared dead and recovered. Must
+    /// comfortably exceed the adapters' 100 ms heartbeat period.
+    pub dead_after_ns: u64,
+    /// Base respawn backoff after the *second* consecutive crash (the first
+    /// respawn is immediate so a one-off crash recovers within one tick).
+    pub respawn_backoff_ns: u64,
+    /// Cap on the exponential respawn backoff.
+    pub respawn_backoff_max_ns: u64,
+    /// Quarantine a VR after this many consecutive crashes (0 = never).
+    pub quarantine_after: u32,
+    /// A VR that stays healthy this long after a crash gets its
+    /// consecutive-crash streak reset.
+    pub crash_streak_reset_ns: u64,
 }
 
 impl Default for LvrmConfig {
@@ -145,6 +165,13 @@ impl Default for LvrmConfig {
             batch_size: 1,
             max_queue_memory_bytes: 0,
             seed: 0x1a2b3c4d,
+            supervision: false,
+            suspect_after_ns: 300_000_000,          // 300 ms
+            dead_after_ns: 1_000_000_000,           // 1 s
+            respawn_backoff_ns: 1_000_000_000,      // 1 s
+            respawn_backoff_max_ns: 30_000_000_000, // 30 s
+            quarantine_after: 5,
+            crash_streak_reset_ns: 10_000_000_000, // 10 s
         }
     }
 }
@@ -203,6 +230,8 @@ mod tests {
         assert!(!c.flow_based);
         assert_eq!(c.allocation_period_ns, 1_000_000_000);
         assert_eq!(c.batch_size, 1, "per-frame dataplane by default");
+        assert!(!c.supervision, "supervision is opt-in");
+        assert!(c.dead_after_ns > c.suspect_after_ns);
         assert!(
             matches!(c.allocator, AllocatorKind::DynamicFixed { per_core_rate } if per_core_rate == 60_000.0)
         );

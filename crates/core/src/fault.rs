@@ -1,0 +1,377 @@
+//! Deterministic fault injection for chaos-testing the supervisor.
+//!
+//! Failures are described ahead of time by a [`FaultPlan`]: a list of
+//! `(timestamp, fault)` pairs, either hand-written or generated from a seed.
+//! Nothing here consults wall-clock time or an OS entropy source — plans are
+//! replayed against a [`crate::clock::ManualClock`] (or any monotonic
+//! timestamp stream), so every chaos run is exactly reproducible from its
+//! seed.
+//!
+//! [`FaultyHost`] wraps any [`VriHost`] that knows how to hurt itself (the
+//! [`FaultInjectable`] verbs) and fires due faults as simulated time
+//! advances. Faults target VRIs by **spawn order** rather than id, so a plan
+//! written before the run ("crash the second instance ever started") stays
+//! meaningful across allocator decisions and respawns.
+//!
+//! [`FaultySocket`] wraps a [`SocketAdapter`] and models ingress error
+//! bursts: windows of arriving frames, addressed by frame index (again —
+//! deterministic regardless of timing), that are consumed from the inner
+//! adapter but delivered to nobody, as a NIC with a corrupted ring would.
+
+use lvrm_ipc::VriEndpoint;
+use lvrm_net::Frame;
+use lvrm_router::VirtualRouter;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::host::{RecordingHost, VriHost, VriSpec};
+use crate::socket::{SocketAdapter, SocketKind};
+use crate::{VrId, VriId};
+
+/// One kind of injected failure. VRIs are addressed by spawn order (the
+/// `nth_spawn`-th `spawn_vri` call the wrapped host ever saw, 0-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The VRI process dies: its endpoint detaches, frames queued toward it
+    /// stay in the queues for the supervisor to reap.
+    Crash { nth_spawn: usize },
+    /// The VRI wedges: it stops servicing `from_lvrm`, so its heartbeats
+    /// stop, but its endpoint stays attached.
+    Stall { nth_spawn: usize },
+    /// Un-wedge a stalled VRI.
+    Resume { nth_spawn: usize },
+    /// Toggle control-queue loss: the VRI keeps forwarding frames but its
+    /// proofs of life no longer reach the monitor.
+    CtrlLoss { nth_spawn: usize, on: bool },
+}
+
+/// A fault scheduled at a point in simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub at_ns: u64,
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule an arbitrary fault.
+    pub fn push(mut self, at_ns: u64, kind: FaultKind) -> FaultPlan {
+        self.events.push(FaultEvent { at_ns, kind });
+        self
+    }
+
+    /// Crash the `nth`-spawned VRI at `at_ns`.
+    pub fn crash_at(self, at_ns: u64, nth: usize) -> FaultPlan {
+        self.push(at_ns, FaultKind::Crash { nth_spawn: nth })
+    }
+
+    /// Stall the `nth`-spawned VRI at `at_ns`.
+    pub fn stall_at(self, at_ns: u64, nth: usize) -> FaultPlan {
+        self.push(at_ns, FaultKind::Stall { nth_spawn: nth })
+    }
+
+    /// Resume the `nth`-spawned VRI at `at_ns`.
+    pub fn resume_at(self, at_ns: u64, nth: usize) -> FaultPlan {
+        self.push(at_ns, FaultKind::Resume { nth_spawn: nth })
+    }
+
+    /// Toggle control-queue loss for the `nth`-spawned VRI at `at_ns`.
+    pub fn ctrl_loss_at(self, at_ns: u64, nth: usize, on: bool) -> FaultPlan {
+        self.push(at_ns, FaultKind::CtrlLoss { nth_spawn: nth, on })
+    }
+
+    /// Generate `count` faults uniformly over `(0, horizon_ns]` targeting
+    /// spawn indices below `max_spawns`, all from `seed`. The same seed
+    /// always yields the same plan.
+    pub fn randomized(seed: u64, horizon_ns: u64, count: usize, max_spawns: usize) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..count {
+            let at_ns = 1 + rng.gen_range(0..horizon_ns.max(1));
+            let nth = rng.gen_range(0..max_spawns.max(1));
+            let kind = match rng.gen_range(0..4u8) {
+                0 => FaultKind::Crash { nth_spawn: nth },
+                1 => FaultKind::Stall { nth_spawn: nth },
+                2 => FaultKind::Resume { nth_spawn: nth },
+                _ => FaultKind::CtrlLoss { nth_spawn: nth, on: rng.gen_range(0..2u8) == 1 },
+            };
+            plan = plan.push(at_ns, kind);
+        }
+        plan
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// The self-harm verbs a host must offer for [`FaultyHost`] to drive it.
+pub trait FaultInjectable {
+    /// Kill the VRI's execution vehicle abruptly: endpoint detaches,
+    /// in-flight frames stay queued for reaping. Not monitor work — the
+    /// supervisor discovers it via the detached endpoint.
+    fn inject_crash(&mut self, vri: VriId);
+
+    /// Wedge (`on = true`) or un-wedge the VRI's service loop.
+    fn inject_stall(&mut self, vri: VriId, on: bool);
+
+    /// Start or stop dropping the VRI's upstream liveness traffic.
+    fn inject_ctrl_loss(&mut self, vri: VriId, on: bool);
+}
+
+impl FaultInjectable for RecordingHost {
+    fn inject_crash(&mut self, vri: VriId) {
+        self.crash_vri(vri);
+    }
+
+    fn inject_stall(&mut self, vri: VriId, on: bool) {
+        if on {
+            self.stalled.insert(vri);
+        } else {
+            self.stalled.remove(&vri);
+        }
+    }
+
+    fn inject_ctrl_loss(&mut self, vri: VriId, on: bool) {
+        if on {
+            self.ctrl_mute.insert(vri);
+        } else {
+            self.ctrl_mute.remove(&vri);
+        }
+    }
+}
+
+/// A [`VriHost`] wrapper that fires a [`FaultPlan`] as time advances.
+///
+/// Spawns pass through and are recorded in order, so plan entries addressed
+/// by spawn index resolve to concrete [`VriId`]s at fire time. Call
+/// [`apply`] with the current timestamp from the driving loop; due events
+/// fire in schedule order. Events targeting a spawn index that has not
+/// happened yet are dropped (counted in `skipped`).
+///
+/// [`apply`]: FaultyHost::apply
+pub struct FaultyHost<H> {
+    pub inner: H,
+    plan: Vec<FaultEvent>,
+    cursor: usize,
+    /// VriId of every spawn the wrapped host ever saw, in order.
+    pub spawn_order: Vec<VriId>,
+    /// Faults fired so far.
+    pub injected: u64,
+    /// Plan entries dropped because their target never spawned.
+    pub skipped: u64,
+}
+
+impl<H> FaultyHost<H> {
+    pub fn new(inner: H, plan: FaultPlan) -> FaultyHost<H> {
+        let mut events = plan.events;
+        events.sort_by_key(|e| e.at_ns);
+        FaultyHost {
+            inner,
+            plan: events,
+            cursor: 0,
+            spawn_order: Vec::new(),
+            injected: 0,
+            skipped: 0,
+        }
+    }
+
+    fn target(&self, nth: usize) -> Option<VriId> {
+        self.spawn_order.get(nth).copied()
+    }
+}
+
+impl<H: VriHost + FaultInjectable> FaultyHost<H> {
+    /// Fire every event due at or before `now_ns`. Returns how many fired.
+    pub fn apply(&mut self, now_ns: u64) -> usize {
+        let mut fired = 0;
+        while self.cursor < self.plan.len() && self.plan[self.cursor].at_ns <= now_ns {
+            let ev = self.plan[self.cursor];
+            self.cursor += 1;
+            let nth = match ev.kind {
+                FaultKind::Crash { nth_spawn }
+                | FaultKind::Stall { nth_spawn }
+                | FaultKind::Resume { nth_spawn }
+                | FaultKind::CtrlLoss { nth_spawn, .. } => nth_spawn,
+            };
+            let Some(vri) = self.target(nth) else {
+                self.skipped += 1;
+                continue;
+            };
+            match ev.kind {
+                FaultKind::Crash { .. } => self.inner.inject_crash(vri),
+                FaultKind::Stall { .. } => self.inner.inject_stall(vri, true),
+                FaultKind::Resume { .. } => self.inner.inject_stall(vri, false),
+                FaultKind::CtrlLoss { on, .. } => self.inner.inject_ctrl_loss(vri, on),
+            }
+            self.injected += 1;
+            fired += 1;
+        }
+        fired
+    }
+}
+
+impl<H: VriHost> VriHost for FaultyHost<H> {
+    fn spawn_vri(
+        &mut self,
+        spec: VriSpec,
+        endpoint: VriEndpoint<Frame>,
+        router: Box<dyn VirtualRouter>,
+    ) {
+        self.spawn_order.push(spec.vri);
+        self.inner.spawn_vri(spec, endpoint, router);
+    }
+
+    fn kill_vri(&mut self, vr: VrId, vri: VriId) {
+        self.inner.kill_vri(vr, vri);
+    }
+
+    fn reap_endpoint(&mut self, vri: VriId) -> Option<VriEndpoint<Frame>> {
+        self.inner.reap_endpoint(vri)
+    }
+}
+
+/// A [`SocketAdapter`] wrapper modeling ingress error bursts: frames whose
+/// arrival index falls inside a configured window are consumed from the
+/// inner adapter but never delivered (a NIC signalling RX errors). Windows
+/// are addressed by frame index, not time, so a burst hits the same frames
+/// on every run regardless of poll cadence.
+pub struct FaultySocket<S> {
+    pub inner: S,
+    bursts: Vec<(u64, u64)>,
+    seen: u64,
+    /// Frames eaten by error bursts.
+    pub rx_errors: u64,
+}
+
+impl<S> FaultySocket<S> {
+    pub fn new(inner: S) -> FaultySocket<S> {
+        FaultySocket { inner, bursts: Vec::new(), seen: 0, rx_errors: 0 }
+    }
+
+    /// Drop `len` frames starting at arrival index `start` (0-based).
+    pub fn error_burst(mut self, start: u64, len: u64) -> FaultySocket<S> {
+        self.bursts.push((start, len));
+        self
+    }
+
+    fn is_error(&self, idx: u64) -> bool {
+        self.bursts.iter().any(|&(s, l)| idx >= s && idx < s + l)
+    }
+}
+
+impl<S: SocketAdapter> SocketAdapter for FaultySocket<S> {
+    fn poll(&mut self) -> Option<Frame> {
+        loop {
+            let f = self.inner.poll()?;
+            let idx = self.seen;
+            self.seen += 1;
+            if self.is_error(idx) {
+                self.rx_errors += 1;
+                continue;
+            }
+            return Some(f);
+        }
+    }
+
+    fn send(&mut self, frame: Frame) {
+        self.inner.send(frame);
+    }
+
+    fn send_batch(&mut self, frames: &mut Vec<Frame>) {
+        self.inner.send_batch(frames);
+    }
+
+    fn kind(&self) -> SocketKind {
+        self.inner.kind()
+    }
+
+    /// Frames actually delivered to LVRM (errored frames excluded).
+    fn rx_count(&self) -> u64 {
+        self.inner.rx_count() - self.rx_errors
+    }
+
+    fn tx_count(&self) -> u64 {
+        self.inner.tx_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::socket::MemTraceAdapter;
+    use crate::topology::CoreId;
+    use lvrm_ipc::QueueKind;
+    use lvrm_net::{Trace, TraceSpec};
+    use lvrm_router::{FastVr, RouteTable};
+
+    fn spawn(host: &mut FaultyHost<RecordingHost>, vri: u32) {
+        let (_chans, endpoint) =
+            lvrm_ipc::channels::vri_channels::<Frame>(QueueKind::Lamport, 8, 4);
+        host.spawn_vri(
+            VriSpec { vr: VrId(0), vri: VriId(vri), core: CoreId(vri as u16) },
+            endpoint,
+            Box::new(FastVr::new("t", RouteTable::new())),
+        );
+    }
+
+    #[test]
+    fn plan_fires_in_time_order_against_spawn_order() {
+        let plan = FaultPlan::new().stall_at(200, 1).crash_at(100, 0);
+        let mut host = FaultyHost::new(RecordingHost::default(), plan);
+        spawn(&mut host, 10);
+        spawn(&mut host, 11);
+        assert_eq!(host.apply(50), 0, "nothing due yet");
+        assert_eq!(host.apply(150), 1, "crash fires");
+        assert!(host.inner.endpoints.iter().all(|(id, _, _)| *id != VriId(10)));
+        assert_eq!(host.apply(300), 1, "stall fires");
+        assert!(host.inner.stalled.contains(&VriId(11)));
+        assert_eq!(host.injected, 2);
+    }
+
+    #[test]
+    fn faults_for_unspawned_targets_are_skipped() {
+        let plan = FaultPlan::new().crash_at(10, 7);
+        let mut host = FaultyHost::new(RecordingHost::default(), plan);
+        spawn(&mut host, 1);
+        assert_eq!(host.apply(100), 0);
+        assert_eq!(host.skipped, 1);
+    }
+
+    #[test]
+    fn randomized_plans_are_reproducible() {
+        let a = FaultPlan::randomized(42, 1_000_000, 16, 4);
+        let b = FaultPlan::randomized(42, 1_000_000, 16, 4);
+        assert_eq!(a.events(), b.events());
+        let c = FaultPlan::randomized(43, 1_000_000, 16, 4);
+        assert_ne!(a.events(), c.events(), "different seed, different plan");
+    }
+
+    #[test]
+    fn faulty_socket_eats_exactly_the_burst() {
+        let trace = Trace::generate(&TraceSpec::new(84, 4));
+        let inner = MemTraceAdapter::new(trace, 10);
+        let mut sock = FaultySocket::new(inner).error_burst(2, 3);
+        let mut got = 0;
+        while sock.poll().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 7, "indices 2..5 errored");
+        assert_eq!(sock.rx_errors, 3);
+        assert_eq!(sock.rx_count(), 7);
+    }
+}

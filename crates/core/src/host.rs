@@ -4,14 +4,17 @@
 //! `vfork()` and `kill()`" (§3.3) and binds each to a CPU core. How a VRI
 //! becomes a running entity is host-specific: the discrete-event testbed
 //! registers a simulated process on a simulated core, while the real runtime
-//! spawns an OS thread and (best-effort) pins it. LVRM only needs the two
-//! verbs below.
+//! spawns an OS thread and (best-effort) pins it. LVRM only needs the verbs
+//! below.
+
+use std::collections::HashSet;
 
 use lvrm_ipc::VriEndpoint;
 use lvrm_net::Frame;
 use lvrm_router::VirtualRouter;
 
 use crate::topology::CoreId;
+use crate::vri::encode_heartbeat;
 use crate::{VrId, VriId};
 
 /// Everything a host needs to start one VRI.
@@ -40,6 +43,15 @@ pub trait VriHost {
     /// afterwards ("kill the VRI … destroy all queues and clear allocated
     /// memory", Fig. 3.2).
     fn kill_vri(&mut self, vr: VrId, vri: VriId);
+
+    /// Hand back a dead VRI's queue endpoint so the supervisor can drain the
+    /// frames that were in flight when it died. Hosts that cannot recover
+    /// the endpoint (e.g. it lived in another address space) return `None`
+    /// and the supervisor counts those frames as `crash_lost`.
+    fn reap_endpoint(&mut self, vri: VriId) -> Option<VriEndpoint<Frame>> {
+        let _ = vri;
+        None
+    }
 }
 
 /// A no-op host for unit tests: records spawn/kill calls.
@@ -49,6 +61,18 @@ pub struct RecordingHost {
     pub killed: Vec<(VrId, VriId)>,
     /// Endpoints of live VRIs, so tests can drive them manually.
     pub endpoints: Vec<(VriId, VriEndpoint<Frame>, Box<dyn VirtualRouter>)>,
+    /// Endpoints of killed or crashed VRIs, awaiting `reap_endpoint`.
+    pub reapable: Vec<(VriId, VriEndpoint<Frame>)>,
+    /// VRIs wedged by fault injection: `pump` skips them entirely, so they
+    /// neither service frames nor emit heartbeats.
+    pub stalled: HashSet<VriId>,
+    /// VRIs whose upstream control path is lossy: serviced normally, but no
+    /// heartbeat is emitted for them.
+    pub ctrl_mute: HashSet<VriId>,
+    /// Emit one heartbeat per serviced endpoint per `pump` call (tests
+    /// control beat cadence by how often they pump). Off by default so
+    /// existing control-plane tests see no extra events.
+    pub heartbeats: bool,
 }
 
 impl VriHost for RecordingHost {
@@ -60,15 +84,32 @@ impl VriHost for RecordingHost {
     ) {
         self.spawned.push(spec);
         self.endpoints.push((spec.vri, endpoint, router));
+        self.stalled.remove(&spec.vri);
+        self.ctrl_mute.remove(&spec.vri);
     }
 
     fn kill_vri(&mut self, vr: VrId, vri: VriId) {
         self.killed.push((vr, vri));
-        self.endpoints.retain(|(id, _, _)| *id != vri);
+        if let Some(pos) = self.endpoints.iter().position(|(id, _, _)| *id == vri) {
+            let (_, endpoint, _) = self.endpoints.remove(pos);
+            endpoint.detach();
+            self.reapable.push((vri, endpoint));
+        }
+    }
+
+    fn reap_endpoint(&mut self, vri: VriId) -> Option<VriEndpoint<Frame>> {
+        let pos = self.reapable.iter().position(|(id, _)| *id == vri)?;
+        Some(self.reapable.remove(pos).1)
     }
 }
 
 impl RecordingHost {
+    /// A recording host that emits heartbeats from `pump` (one per serviced
+    /// endpoint per call), for supervision tests.
+    pub fn with_heartbeats() -> RecordingHost {
+        RecordingHost { heartbeats: true, ..Default::default() }
+    }
+
     /// Run every live VRI's loop once: drain control then data, process each
     /// frame through the router, and push forwarded frames back. Returns the
     /// number of frames processed. This makes the recording host a complete
@@ -76,7 +117,13 @@ impl RecordingHost {
     pub fn pump(&mut self) -> usize {
         use lvrm_ipc::channels::Work;
         let mut processed = 0;
-        for (_, endpoint, router) in &mut self.endpoints {
+        for (vri, endpoint, router) in &mut self.endpoints {
+            if self.stalled.contains(vri) {
+                continue;
+            }
+            if self.heartbeats && !self.ctrl_mute.contains(vri) {
+                let _ = endpoint.ctrl_tx.try_send(encode_heartbeat(*vri));
+            }
             while let Some(work) = endpoint.next_work() {
                 match work {
                     Work::Control(_ev) => {}
@@ -93,6 +140,18 @@ impl RecordingHost {
         }
         processed
     }
+
+    /// Simulate a VRI process crash: the endpoint detaches (as the real
+    /// process unwinding would) but stays reapable so the supervisor can
+    /// drain its in-flight frames. Unlike `kill_vri` this is not monitor
+    /// work — nothing is recorded in `killed`.
+    pub fn crash_vri(&mut self, vri: VriId) {
+        if let Some(pos) = self.endpoints.iter().position(|(id, _, _)| *id == vri) {
+            let (_, endpoint, _) = self.endpoints.remove(pos);
+            endpoint.detach();
+            self.reapable.push((vri, endpoint));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +159,14 @@ mod tests {
     use super::*;
     use lvrm_ipc::QueueKind;
     use lvrm_router::{FastVr, RouteTable};
+
+    fn frame() -> Frame {
+        lvrm_net::FrameBuilder::new(
+            std::net::Ipv4Addr::new(10, 0, 1, 1),
+            std::net::Ipv4Addr::new(10, 0, 2, 1),
+        )
+        .udp(1, 2, &[])
+    }
 
     #[test]
     fn recording_host_tracks_lifecycle() {
@@ -113,16 +180,56 @@ mod tests {
         assert_eq!(host.endpoints.len(), 1);
 
         // No routes: frames are dropped, not returned.
-        let f = lvrm_net::FrameBuilder::new(
-            std::net::Ipv4Addr::new(10, 0, 1, 1),
-            std::net::Ipv4Addr::new(10, 0, 2, 1),
-        )
-        .udp(1, 2, &[]);
-        chans.data_tx.try_send(f).unwrap();
+        chans.data_tx.try_send(frame()).unwrap();
         assert_eq!(host.pump(), 1);
         assert!(chans.data_rx.try_recv().is_none());
 
         host.kill_vri(VrId(0), VriId(1));
         assert!(host.endpoints.is_empty());
+        assert!(!chans.endpoint_attached(), "kill detaches the endpoint");
+    }
+
+    #[test]
+    fn crashed_endpoint_is_reapable_with_frames_intact() {
+        let mut host = RecordingHost::default();
+        let (mut chans, endpoint) =
+            lvrm_ipc::channels::vri_channels::<Frame>(QueueKind::Lamport, 8, 4);
+        let vr = FastVr::new("t", RouteTable::new());
+        host.spawn_vri(
+            VriSpec { vr: VrId(0), vri: VriId(1), core: CoreId(2) },
+            endpoint,
+            Box::new(vr),
+        );
+        chans.data_tx.try_send(frame()).unwrap();
+        chans.data_tx.try_send(frame()).unwrap();
+
+        host.crash_vri(VriId(1));
+        assert!(!chans.endpoint_attached());
+        assert!(host.killed.is_empty(), "a crash is not monitor work");
+        let mut ep = host.reap_endpoint(VriId(1)).expect("endpoint reapable");
+        let mut drained = Vec::new();
+        ep.data_rx.try_recv_batch(&mut drained, usize::MAX);
+        assert_eq!(drained.len(), 2, "in-flight frames survive the crash");
+        assert!(host.reap_endpoint(VriId(1)).is_none(), "reaping is one-shot");
+    }
+
+    #[test]
+    fn stalled_vri_is_skipped_by_pump() {
+        let mut host = RecordingHost::with_heartbeats();
+        let (mut chans, endpoint) =
+            lvrm_ipc::channels::vri_channels::<Frame>(QueueKind::Lamport, 8, 4);
+        let vr = FastVr::new("t", RouteTable::new());
+        host.spawn_vri(
+            VriSpec { vr: VrId(0), vri: VriId(1), core: CoreId(2) },
+            endpoint,
+            Box::new(vr),
+        );
+        chans.data_tx.try_send(frame()).unwrap();
+        host.stalled.insert(VriId(1));
+        assert_eq!(host.pump(), 0, "stalled VRI services nothing");
+        assert!(chans.ctrl_rx.try_recv().is_none(), "and emits no heartbeat");
+        host.stalled.remove(&VriId(1));
+        assert_eq!(host.pump(), 1);
+        assert!(chans.ctrl_rx.try_recv().is_some(), "heartbeat resumes");
     }
 }

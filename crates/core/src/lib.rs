@@ -33,6 +33,7 @@ pub mod balance;
 pub mod clock;
 pub mod config;
 pub mod estimate;
+pub mod fault;
 pub mod flowtable;
 pub mod host;
 pub mod monitor;
@@ -46,11 +47,12 @@ pub use alloc::{
 pub use balance::{BalanceCtx, Jsq, LoadBalancer, RandomBalancer, RoundRobin};
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use config::{AllocatorKind, BalancerKind, EstimatorKind, LvrmConfig};
-pub use host::{VriHost, VriSpec};
+pub use fault::{FaultEvent, FaultInjectable, FaultKind, FaultPlan, FaultyHost, FaultySocket};
+pub use host::{RecordingHost, VriHost, VriSpec};
 pub use monitor::{Lvrm, LvrmStats};
 pub use socket::{MemTraceAdapter, SocketAdapter, SocketKind};
 pub use topology::{AffinityMode, CoreId, CoreMap, CoreTopology};
-pub use vri::{LvrmAdapter, VriAdapter, LVRM_CTRL_ID};
+pub use vri::{LvrmAdapter, VriAdapter, VriHealth, LVRM_CTRL_ID};
 
 /// Identifies a VR hosted by LVRM.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]

@@ -29,7 +29,7 @@ use crate::clock::Clock;
 use crate::config::LvrmConfig;
 use crate::host::{VriHost, VriSpec};
 use crate::topology::CoreMap;
-use crate::vri::{decode_service_rate, VriAdapter};
+use crate::vri::{decode_heartbeat, decode_service_rate, VriAdapter, VriHealth};
 use crate::{VrId, VriId};
 
 /// A grow/shrink event, kept for the reaction-time analysis (Fig. 4.11).
@@ -46,8 +46,30 @@ pub struct ReallocEvent {
     pub vris_after: usize,
 }
 
+/// What the supervisor did to one VRI (kept for the recovery-time analysis,
+/// the fault-recovery mirror of Fig. 4.11's reaction-time log).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SupervisionAction {
+    /// Declared dead: `reclaimed` in-flight frames were drained for
+    /// re-dispatch, `lost` could not be recovered.
+    Died { reclaimed: u64, lost: u64 },
+    /// A replacement instance was spawned (the event's `vri` is the new id).
+    Respawned,
+    /// The VRI's VR crossed the crash-loop threshold and was quarantined.
+    Quarantined,
+}
+
+/// One supervisor decision, timestamped on the monitor clock.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisionEvent {
+    pub ts_ns: u64,
+    pub vr: VrId,
+    pub vri: VriId,
+    pub action: SupervisionAction,
+}
+
 /// Aggregate counters across the monitor.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LvrmStats {
     /// Frames accepted by `ingress`.
     pub frames_in: u64,
@@ -55,8 +77,13 @@ pub struct LvrmStats {
     pub frames_out: u64,
     /// Frames whose source matched no VR subnet.
     pub unclassified: u64,
-    /// Frames dropped because the chosen VRI's queue was full (summed with
-    /// per-adapter counts).
+    /// Frames discarded because the chosen VRI's queue was full. This equals
+    /// the sum of live adapters' `dispatch_drops` plus
+    /// [`retired_dispatch_drops`] exactly — each discard is recorded once in
+    /// the refusing adapter (via `note_discarded`) and once here, never
+    /// counted for frames that were refused but then retried elsewhere.
+    ///
+    /// [`retired_dispatch_drops`]: LvrmStats::retired_dispatch_drops
     pub dispatch_drops: u64,
     /// Frames dropped because the VR had no usable VRI.
     pub no_vri_drops: u64,
@@ -66,6 +93,22 @@ pub struct LvrmStats {
     pub control_relayed: u64,
     /// Control events dropped (unknown destination or full queue).
     pub control_drops: u64,
+    /// Frames reclaimed from dead VRIs' queues and re-balanced to survivors.
+    pub redispatched: u64,
+    /// Frames lost in a dead VRI's queues because the host could not hand
+    /// the endpoint back for draining.
+    pub crash_lost: u64,
+    /// Frames dropped because their VR was quarantined with no live VRI.
+    pub quarantined_drops: u64,
+    /// VRIs the supervisor declared dead.
+    pub vri_deaths: u64,
+    /// VRIs the supervisor respawned.
+    pub respawns: u64,
+    /// `dispatch_drops` carried by adapters since retired (shrunk or
+    /// reaped), so the [`dispatch_drops`] identity holds across kills.
+    ///
+    /// [`dispatch_drops`]: LvrmStats::dispatch_drops
+    pub retired_dispatch_drops: u64,
 }
 
 /// Per-VR state: the VRI monitor plus the VR monitor's estimators.
@@ -82,6 +125,18 @@ struct VrState {
     /// Frames this VR received / forwarded (for fairness accounting).
     pub frames_in: u64,
     pub frames_out: u64,
+    /// Consecutive supervisor-observed crashes (resets after a healthy
+    /// stretch of `crash_streak_reset_ns`).
+    crash_streak: u32,
+    /// When the last crash was observed.
+    last_crash_ns: u64,
+    /// No respawn before this instant (bounded exponential backoff).
+    backoff_until_ns: u64,
+    /// Instances owed to this VR by the supervisor (crashed, not respawned).
+    respawn_deficit: usize,
+    /// Crash-looped past the quarantine threshold: no more respawns, and
+    /// its traffic is dropped as `quarantined_drops` once no VRI survives.
+    quarantined: bool,
 }
 
 impl VrState {
@@ -107,6 +162,7 @@ pub struct VriSnapshot {
     pub returned: u64,
     pub dispatch_drops: u64,
     pub reported_service_rate: Option<f64>,
+    pub health: VriHealth,
 }
 
 /// Point-in-time view of one VR.
@@ -117,6 +173,7 @@ pub struct VrSnapshot {
     pub arrival_rate_fps: f64,
     pub frames_in: u64,
     pub frames_out: u64,
+    pub quarantined: bool,
     pub vris: Vec<VriSnapshot>,
 }
 
@@ -160,7 +217,12 @@ pub struct Lvrm<C: Clock> {
     last_alloc_ns: Option<u64>,
     /// Reallocation history for the reaction-time experiment.
     pub realloc_log: Vec<ReallocEvent>,
+    /// Supervisor history for the recovery-time experiment.
+    pub supervision_log: Vec<SupervisionEvent>,
     pub stats: LvrmStats,
+    /// Egress frames rescued from dead or shrunk VRIs, delivered by the next
+    /// `poll_egress` (already counted in `frames_out` at rescue time).
+    rescued_egress: Vec<Frame>,
     // Scratch buffers reused across calls (no hot-path allocation).
     scratch_loads: Vec<f64>,
     scratch_valid: Vec<bool>,
@@ -185,7 +247,9 @@ impl<C: Clock> Lvrm<C> {
             next_vri: 0,
             last_alloc_ns: None,
             realloc_log: Vec::new(),
+            supervision_log: Vec::new(),
             stats: LvrmStats::default(),
+            rescued_egress: Vec::new(),
             scratch_loads: Vec::new(),
             scratch_valid: Vec::new(),
             scratch_vris: Vec::new(),
@@ -273,6 +337,11 @@ impl<C: Clock> Lvrm<C> {
             arrival: RateEstimator::new(self.config.arrival_window_ns, self.config.arrival_weight),
             frames_in: 0,
             frames_out: 0,
+            crash_streak: 0,
+            last_crash_ns: 0,
+            backoff_until_ns: 0,
+            respawn_deficit: 0,
+            quarantined: false,
         });
         let now = self.clock.now_ns();
         self.grow_vr(id.0 as usize, now, host);
@@ -386,7 +455,9 @@ impl<C: Clock> Lvrm<C> {
         for v in &mut vr.vris {
             v.observe_load(now);
             self.scratch_loads.push(v.load());
-            self.scratch_valid.push(v.accepting());
+            // A crashed instance's endpoint detaches before the supervisor
+            // tick notices: stop feeding it between ticks.
+            self.scratch_valid.push(v.accepting() && v.endpoint_attached());
             self.scratch_vris.push(v.id);
         }
         while self.scratch_slot_buckets.len() < vr.vris.len() {
@@ -404,6 +475,7 @@ impl<C: Clock> Lvrm<C> {
                     self.scratch_slot_buckets[slot].push(frame);
                     self.scratch_loads[slot] += 1.0;
                 }
+                None if vr.quarantined => self.stats.quarantined_drops += 1,
                 None => self.stats.no_vri_drops += 1,
             }
         }
@@ -413,8 +485,14 @@ impl<C: Clock> Lvrm<C> {
             }
             vr.vris[slot].dispatch_batch(sb, now);
             // Whatever the bulk enqueue could not fit is dropped, exactly as
-            // the per-frame path drops on a full queue.
-            self.stats.dispatch_drops += sb.len() as u64;
+            // the per-frame path drops on a full queue. The discard is
+            // recorded in the refusing adapter too, keeping the aggregate
+            // equal to the per-adapter sums.
+            let leftover = sb.len() as u64;
+            if leftover > 0 {
+                vr.vris[slot].note_discarded(leftover);
+                self.stats.dispatch_drops += leftover;
+            }
             sb.clear();
         }
     }
@@ -422,6 +500,10 @@ impl<C: Clock> Lvrm<C> {
     /// Steps 3–4: collect frames the VRIs forwarded, appending to `out`.
     /// Returns how many were collected.
     pub fn poll_egress(&mut self, out: &mut Vec<Frame>) -> usize {
+        let start = out.len();
+        // Frames rescued from dead/shrunk VRIs' egress queues. They were
+        // counted in `frames_out` when rescued; deliver without recounting.
+        out.append(&mut self.rescued_egress);
         let before = out.len();
         for vr in &mut self.vrs {
             let vr_before = out.len();
@@ -432,7 +514,7 @@ impl<C: Clock> Lvrm<C> {
         }
         let n = out.len() - before;
         self.stats.frames_out += n as u64;
-        n
+        out.len() - start
     }
 
     /// Structured point-in-time view of every VR and VRI (for dashboards,
@@ -446,6 +528,7 @@ impl<C: Clock> Lvrm<C> {
                 arrival_rate_fps: vr.arrival.rate_per_sec(),
                 frames_in: vr.frames_in,
                 frames_out: vr.frames_out,
+                quarantined: vr.quarantined,
                 vris: vr
                     .vris
                     .iter()
@@ -458,6 +541,7 @@ impl<C: Clock> Lvrm<C> {
                         returned: v.returned,
                         dispatch_drops: v.dispatch_drops,
                         reported_service_rate: v.reported_service_rate,
+                        health: v.health,
                     })
                     .collect(),
             })
@@ -475,6 +559,7 @@ impl<C: Clock> Lvrm<C> {
     /// ("a VRI can share control information with other VRIs of the same
     /// VR", §2.1).
     pub fn process_control(&mut self) {
+        let now = self.clock.now_ns();
         let mut events = std::mem::take(&mut self.scratch_ctrl);
         events.clear();
         for vr in &mut self.vrs {
@@ -483,11 +568,23 @@ impl<C: Clock> Lvrm<C> {
             }
         }
         for ev in events.drain(..) {
+            // Heartbeats terminate at LVRM: pure proof of life.
+            if let Some(vri) = decode_heartbeat(&ev) {
+                if let Some(adapter) = self.find_vri_mut(vri) {
+                    adapter.note_liveness(now);
+                }
+                continue;
+            }
             if let Some((vri, rate)) = decode_service_rate(&ev) {
                 if let Some(adapter) = self.find_vri_mut(vri) {
                     adapter.reported_service_rate = Some(rate);
+                    adapter.note_liveness(now);
                 }
                 continue;
+            }
+            // Any other control event is also proof its source is alive.
+            if let Some(adapter) = self.find_vri_mut(VriId(ev.src_vri)) {
+                adapter.note_liveness(now);
             }
             let dst = VriId(ev.dst_vri);
             match self.find_vri_mut(dst) {
@@ -515,9 +612,18 @@ impl<C: Clock> Lvrm<C> {
         }
         self.last_alloc_ns = Some(now_ns);
 
+        // The supervisor shares the lazy tick: recover dead VRIs first so
+        // the allocator below sees the post-recovery instance counts.
+        self.supervise(now_ns, host);
+
         for idx in 0..self.vrs.len() {
             // Close out elapsed rate windows even for silent VRs.
             self.vrs[idx].arrival.advance(now_ns);
+            // A quarantined VR gets no allocator attention: no grows (it
+            // crash-loops) and no shrinks (nothing worth preserving).
+            if self.vrs[idx].quarantined {
+                continue;
+            }
             let view = VrLoadView {
                 arrival_rate: self.vrs[idx].arrival.rate_per_sec(),
                 service_rate_per_vri: self.vrs[idx].service_rate_per_vri(),
@@ -532,6 +638,190 @@ impl<C: Clock> Lvrm<C> {
                 }
                 AllocDecision::Hold => {}
             }
+        }
+    }
+
+    /// Whether `vr` has been quarantined by the supervisor.
+    pub fn vr_quarantined(&self, vr: VrId) -> bool {
+        self.vrs.get(vr.0 as usize).is_some_and(|s| s.quarantined)
+    }
+
+    /// The supervisor pass (run from the same lazy tick as reallocation,
+    /// gated on `config.supervision`): reclassify every VRI's health, tear
+    /// down the dead ones (rescuing their egress and reclaiming their
+    /// in-flight inbound frames), respawn within the backoff budget, and
+    /// re-balance reclaimed frames across the survivors. Public so hosts
+    /// can drive it directly in tests; production paths reach it through
+    /// [`Lvrm::maybe_reallocate`].
+    pub fn supervise(&mut self, now_ns: u64, host: &mut dyn VriHost) {
+        if !self.config.supervision {
+            return;
+        }
+        let suspect_after = self.config.suspect_after_ns;
+        let dead_after = self.config.dead_after_ns;
+        let mut reclaimed: Vec<Frame> = Vec::new();
+        for idx in 0..self.vrs.len() {
+            // A healthy stretch forgives past crashes.
+            if self.vrs[idx].crash_streak > 0
+                && !self.vrs[idx].quarantined
+                && now_ns.saturating_sub(self.vrs[idx].last_crash_ns)
+                    > self.config.crash_streak_reset_ns
+            {
+                self.vrs[idx].crash_streak = 0;
+            }
+
+            reclaimed.clear();
+            let mut slot = 0;
+            while slot < self.vrs[idx].vris.len() {
+                if self.vrs[idx].vris[slot].update_health(now_ns, suspect_after, dead_after)
+                    == VriHealth::Dead
+                {
+                    let adapter = self.vrs[idx].vris.remove(slot);
+                    self.reap_dead_vri(idx, adapter, now_ns, host, &mut reclaimed);
+                } else {
+                    slot += 1;
+                }
+            }
+
+            // Respawn before re-dispatch so a one-off crash recovers within
+            // this very tick (first respawn carries no backoff). `grow_vr`
+            // absorbs the deficit and logs the respawn, so an allocator that
+            // independently refills the VR in the same tick satisfies the
+            // same debt instead of provoking an over-grow here later.
+            while self.vrs[idx].respawn_deficit > 0
+                && !self.vrs[idx].quarantined
+                && now_ns >= self.vrs[idx].backoff_until_ns
+            {
+                if !self.grow_vr(idx, now_ns, host) {
+                    break; // no core/memory available; retry next tick
+                }
+            }
+
+            if !reclaimed.is_empty() {
+                self.redispatch(idx, &mut reclaimed, now_ns);
+            }
+        }
+    }
+
+    /// Tear down one dead VRI: kill its vehicle, rescue its egress frames,
+    /// reclaim its in-flight inbound frames (appended to `reclaimed`), fold
+    /// its counters, release its core, and update the VR's crash records.
+    fn reap_dead_vri(
+        &mut self,
+        idx: usize,
+        mut adapter: VriAdapter,
+        now_ns: u64,
+        host: &mut dyn VriHost,
+        reclaimed: &mut Vec<Frame>,
+    ) {
+        let vri = adapter.id;
+        let queued = adapter.queue_len() as u64;
+        host.kill_vri(self.vrs[idx].id, vri);
+
+        // Frames the instance already forwarded reach egress normally.
+        let mut rescued = Vec::new();
+        adapter.drain_egress(&mut rescued);
+        self.vrs[idx].frames_out += rescued.len() as u64;
+        self.stats.frames_out += rescued.len() as u64;
+        self.rescued_egress.append(&mut rescued);
+
+        // Frames still queued toward the instance: drain them back through
+        // the balancer if the host can hand the endpoint over, else they
+        // died with the process.
+        let before = reclaimed.len();
+        if let Some(mut endpoint) = host.reap_endpoint(vri) {
+            while endpoint.data_rx.try_recv_batch(reclaimed, usize::MAX) > 0 {}
+        }
+        let got = (reclaimed.len() - before) as u64;
+        let lost = queued.saturating_sub(got);
+        self.stats.crash_lost += lost;
+
+        self.stats.retired_dispatch_drops += adapter.dispatch_drops;
+        self.stats.vri_deaths += 1;
+        self.vrs[idx].balancer.purge_vri(vri);
+        self.cores.release(adapter.core);
+
+        let vr = &mut self.vrs[idx];
+        vr.crash_streak += 1;
+        vr.last_crash_ns = now_ns;
+        vr.respawn_deficit += 1;
+        // First crash respawns immediately; from the second on, exponential
+        // backoff doubling per crash, bounded.
+        let backoff = if vr.crash_streak <= 1 {
+            0
+        } else {
+            let doublings = (vr.crash_streak - 2).min(20);
+            self.config
+                .respawn_backoff_ns
+                .saturating_mul(1u64 << doublings)
+                .min(self.config.respawn_backoff_max_ns)
+        };
+        vr.backoff_until_ns = now_ns.saturating_add(backoff);
+        self.supervision_log.push(SupervisionEvent {
+            ts_ns: now_ns,
+            vr: vr.id,
+            vri,
+            action: SupervisionAction::Died { reclaimed: got, lost },
+        });
+        if self.config.quarantine_after > 0
+            && vr.crash_streak >= self.config.quarantine_after
+            && !vr.quarantined
+        {
+            vr.quarantined = true;
+            self.supervision_log.push(SupervisionEvent {
+                ts_ns: now_ns,
+                vr: vr.id,
+                vri,
+                action: SupervisionAction::Quarantined,
+            });
+        }
+    }
+
+    /// Re-balance frames reclaimed from a dead VRI across the VR's
+    /// survivors. Unlike [`Lvrm::dispatch_bucket`] this records neither
+    /// `frames_in` nor arrivals — the frames were admitted once already.
+    fn redispatch(&mut self, vr_idx: usize, frames: &mut Vec<Frame>, now: u64) {
+        let vr = &mut self.vrs[vr_idx];
+        self.scratch_loads.clear();
+        self.scratch_valid.clear();
+        self.scratch_vris.clear();
+        for v in &mut vr.vris {
+            v.observe_load(now);
+            self.scratch_loads.push(v.load());
+            self.scratch_valid.push(v.accepting() && v.endpoint_attached());
+            self.scratch_vris.push(v.id);
+        }
+        while self.scratch_slot_buckets.len() < vr.vris.len() {
+            self.scratch_slot_buckets.push(Vec::new());
+        }
+        for frame in frames.drain(..) {
+            let ctx = BalanceCtx {
+                vris: &self.scratch_vris,
+                loads: &self.scratch_loads,
+                valid: &self.scratch_valid,
+                now_ns: now,
+            };
+            match vr.balancer.pick(&frame, &ctx) {
+                Some(slot) => {
+                    self.scratch_slot_buckets[slot].push(frame);
+                    self.scratch_loads[slot] += 1.0;
+                }
+                None if vr.quarantined => self.stats.quarantined_drops += 1,
+                None => self.stats.no_vri_drops += 1,
+            }
+        }
+        for (slot, sb) in self.scratch_slot_buckets.iter_mut().enumerate().take(vr.vris.len()) {
+            if sb.is_empty() {
+                continue;
+            }
+            let accepted = vr.vris[slot].dispatch_batch(sb, now);
+            self.stats.redispatched += accepted as u64;
+            let leftover = sb.len() as u64;
+            if leftover > 0 {
+                vr.vris[slot].note_discarded(leftover);
+                self.stats.dispatch_drops += leftover;
+            }
+            sb.clear();
         }
     }
 
@@ -592,10 +882,27 @@ impl<C: Clock> Lvrm<C> {
             self.config.data_queue_capacity,
             self.config.ctrl_queue_capacity,
         );
-        let adapter = VriAdapter::new(vri, core, channels, self.config.build_estimator());
+        let mut adapter = VriAdapter::new(vri, core, channels, self.config.build_estimator());
+        // A newborn has not heartbeat yet; give it a full liveness window
+        // before the supervisor may judge it.
+        adapter.note_liveness(now_ns);
         let router = self.vrs[idx].router_template.spawn_instance();
         host.spawn_vri(VriSpec { vr: self.vrs[idx].id, vri, core }, endpoint, router);
         self.vrs[idx].vris.push(adapter);
+        // Any grow on a VR that owes instances to the supervisor counts as
+        // the replacement, whether the supervisor or the allocator asked for
+        // it — otherwise both paths would refill the same crash and the VR
+        // would overshoot its target by one.
+        if self.vrs[idx].respawn_deficit > 0 {
+            self.vrs[idx].respawn_deficit -= 1;
+            self.stats.respawns += 1;
+            self.supervision_log.push(SupervisionEvent {
+                ts_ns: now_ns,
+                vr: self.vrs[idx].id,
+                vri,
+                action: SupervisionAction::Respawned,
+            });
+        }
         let latency = self.clock.now_ns().saturating_sub(t0);
         self.realloc_log.push(ReallocEvent {
             ts_ns: now_ns,
@@ -624,7 +931,9 @@ impl<C: Clock> Lvrm<C> {
         let vr = &mut self.vrs[idx];
         vr.frames_out += rescued.len() as u64;
         self.stats.frames_out += rescued.len() as u64;
+        self.rescued_egress.append(&mut rescued);
         self.stats.shrink_lost += adapter.queue_len() as u64;
+        self.stats.retired_dispatch_drops += adapter.dispatch_drops;
         vr.balancer.purge_vri(adapter.id);
         self.cores.release(adapter.core);
         let latency = self.clock.now_ns().saturating_sub(t0);
@@ -635,10 +944,6 @@ impl<C: Clock> Lvrm<C> {
             latency_ns: latency,
             vris_after: vr.vris.len(),
         });
-        // Rescued frames still need delivery to the host's egress path: they
-        // are re-queued through the remaining VRIs' egress on next poll, so
-        // push them back out immediately via stats only.
-        drop(rescued);
         true
     }
 }

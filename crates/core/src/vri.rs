@@ -41,6 +41,37 @@ pub fn decode_service_rate(ev: &ControlEvent) -> Option<(VriId, f64)> {
     Some((VriId(ev.src_vri), rate))
 }
 
+/// Magic prefix of a heartbeat payload. Heartbeats piggyback on the same
+/// priority control path as `SVCR` reports: any control event from a VRI is
+/// proof of life, but an idle VRI emits no reports, so the adapter sends an
+/// explicit beat each period to distinguish "idle" from "wedged".
+const HEARTBEAT_MAGIC: &[u8; 4] = b"HBTB";
+
+/// Encode a liveness heartbeat addressed to LVRM.
+pub fn encode_heartbeat(vri: VriId) -> ControlEvent {
+    ControlEvent::new(vri.0, LVRM_CTRL_ID, HEARTBEAT_MAGIC.to_vec())
+}
+
+/// Decode a heartbeat, if the event is one.
+pub fn decode_heartbeat(ev: &ControlEvent) -> Option<VriId> {
+    if ev.dst_vri != LVRM_CTRL_ID || ev.payload.as_slice() != HEARTBEAT_MAGIC {
+        return None;
+    }
+    Some(VriId(ev.src_vri))
+}
+
+/// Supervisor-visible liveness of one VRI (DESIGN.md "supervision states").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VriHealth {
+    /// Heard from recently (heartbeat, report, or any control event).
+    #[default]
+    Live,
+    /// Quiet past the suspect threshold but not yet past the dead one.
+    Suspect,
+    /// Endpoint detached (process gone) or silent past the dead threshold.
+    Dead,
+}
+
 /// LVRM's side of one VRI.
 pub struct VriAdapter {
     pub id: VriId,
@@ -55,6 +86,12 @@ pub struct VriAdapter {
     pub returned: u64,
     /// Most recent service-rate report from the instance, frames/second.
     pub reported_service_rate: Option<f64>,
+    /// Supervisor classification from the last [`update_health`] pass.
+    ///
+    /// [`update_health`]: VriAdapter::update_health
+    pub health: VriHealth,
+    /// Timestamp of the last proof of life (any control event, or spawn).
+    pub last_seen_ns: u64,
 }
 
 impl VriAdapter {
@@ -73,13 +110,61 @@ impl VriAdapter {
             dispatch_drops: 0,
             returned: 0,
             reported_service_rate: None,
+            health: VriHealth::Live,
+            last_seen_ns: 0,
         }
+    }
+
+    /// Record proof of life at `now_ns` (called by LVRM when any control
+    /// event from this VRI is processed, and at spawn time).
+    pub fn note_liveness(&mut self, now_ns: u64) {
+        self.last_seen_ns = self.last_seen_ns.max(now_ns);
+        self.health = VriHealth::Live;
+    }
+
+    /// Whether the VRI side of the queue fabric still exists. A crashed
+    /// (unwound) or explicitly detached instance reads `false` even before
+    /// any liveness timeout elapses.
+    pub fn endpoint_attached(&self) -> bool {
+        self.channels.endpoint_attached()
+    }
+
+    /// Reclassify health from the attachment flag and liveness age. A
+    /// detached endpoint is dead immediately; otherwise silence past
+    /// `dead_after_ns` is dead and silence past `suspect_after_ns` is
+    /// suspect. Returns the new classification.
+    pub fn update_health(
+        &mut self,
+        now_ns: u64,
+        suspect_after_ns: u64,
+        dead_after_ns: u64,
+    ) -> VriHealth {
+        self.health = if !self.endpoint_attached() {
+            VriHealth::Dead
+        } else {
+            let idle = now_ns.saturating_sub(self.last_seen_ns);
+            if idle >= dead_after_ns {
+                VriHealth::Dead
+            } else if idle >= suspect_after_ns {
+                VriHealth::Suspect
+            } else {
+                VriHealth::Live
+            }
+        };
+        self.health
     }
 
     /// Push one frame toward the VRI and update the load estimate with the
     /// observed queue depth ("when the VRI adapter forwards a data frame to
     /// the VRI, it measures the load by observing the current queue length",
     /// §3.4). Returns the frame on backpressure.
+    ///
+    /// A refusal is *not* a drop yet — the caller still owns the frame and
+    /// may retry it elsewhere. When it gives up, it must report the discard
+    /// via [`note_discarded`] so per-adapter and monitor totals agree
+    /// (counting on refusal double-counted retried frames).
+    ///
+    /// [`note_discarded`]: VriAdapter::note_discarded
     pub fn dispatch(&mut self, frame: Frame, now_ns: u64) -> Result<(), Frame> {
         match self.channels.data_tx.try_send(frame) {
             Ok(()) => {
@@ -87,10 +172,7 @@ impl VriAdapter {
                 self.estimator.on_dispatch(self.channels.data_tx.len(), now_ns);
                 Ok(())
             }
-            Err(Full(frame)) => {
-                self.dispatch_drops += 1;
-                Err(frame)
-            }
+            Err(Full(frame)) => Err(frame),
         }
     }
 
@@ -98,8 +180,11 @@ impl VriAdapter {
     /// publication, draining the accepted prefix from `frames`. The load
     /// estimator sees the post-burst queue depth once (the batched
     /// equivalent of §3.4's observe-on-dispatch); frames that did not fit
-    /// stay in `frames` and are counted as drops here — the caller decides
-    /// whether to retry or discard them. Returns how many were accepted.
+    /// stay in `frames` — the caller decides whether to retry them or
+    /// discard them (reporting the latter via [`note_discarded`]). Returns
+    /// how many were accepted.
+    ///
+    /// [`note_discarded`]: VriAdapter::note_discarded
     pub fn dispatch_batch(&mut self, frames: &mut Vec<Frame>, now_ns: u64) -> usize {
         if frames.is_empty() {
             return 0;
@@ -109,8 +194,16 @@ impl VriAdapter {
         if accepted > 0 {
             self.estimator.on_dispatch(self.channels.data_tx.len(), now_ns);
         }
-        self.dispatch_drops += frames.len() as u64;
         accepted
+    }
+
+    /// Record `n` frames the caller discarded after this adapter refused
+    /// them. Keeps `dispatch_drops` an actual-loss counter: the monitor's
+    /// aggregate equals the sum over adapters exactly, with no
+    /// double-counting of frames that were refused here but retried
+    /// successfully elsewhere.
+    pub fn note_discarded(&mut self, n: u64) {
+        self.dispatch_drops += n;
     }
 
     /// Current smoothed load estimate for the balancer.
@@ -174,6 +267,9 @@ pub struct LvrmAdapter {
     report_period_ns: u64,
     last_report_ns: u64,
     estimate_service_rate: bool,
+    heartbeat_period_ns: u64,
+    last_heartbeat_ns: u64,
+    heartbeats: bool,
 }
 
 impl LvrmAdapter {
@@ -190,6 +286,9 @@ impl LvrmAdapter {
             report_period_ns: 100_000_000, // report every 100 ms
             last_report_ns: 0,
             estimate_service_rate: true,
+            heartbeat_period_ns: 100_000_000, // beat every 100 ms
+            last_heartbeat_ns: 0,
+            heartbeats: true,
         }
     }
 
@@ -197,6 +296,38 @@ impl LvrmAdapter {
     pub fn without_service_estimation(mut self) -> LvrmAdapter {
         self.estimate_service_rate = false;
         self
+    }
+
+    /// Override the heartbeat period (default 100 ms).
+    pub fn with_heartbeat_period(mut self, period_ns: u64) -> LvrmAdapter {
+        self.heartbeat_period_ns = period_ns;
+        self
+    }
+
+    /// Enable/disable heartbeat emission. Fault injection uses this to
+    /// simulate control-queue loss: the VRI keeps servicing frames but its
+    /// proofs of life stop reaching the supervisor.
+    pub fn set_heartbeats(&mut self, on: bool) {
+        self.heartbeats = on;
+    }
+
+    /// Unwrap the queue endpoint, e.g. so a host can hand a dead VRI's
+    /// endpoint back to the supervisor for draining in-flight frames.
+    pub fn into_endpoint(self) -> VriEndpoint<Frame> {
+        self.endpoint
+    }
+
+    /// Emit a heartbeat upstream if the period elapsed. Called from the
+    /// `from_lvrm` paths: a stalled VRI stops calling them, so its beats
+    /// stop. Best-effort — a full control queue just skips the beat.
+    fn maybe_heartbeat(&mut self, now_ns: u64) {
+        if !self.heartbeats {
+            return;
+        }
+        if now_ns.saturating_sub(self.last_heartbeat_ns) >= self.heartbeat_period_ns {
+            let _ = self.endpoint.ctrl_tx.try_send(encode_heartbeat(self.id));
+            self.last_heartbeat_ns = now_ns;
+        }
     }
 
     pub fn id(&self) -> VriId {
@@ -207,6 +338,7 @@ impl LvrmAdapter {
     /// Data departures feed the service-rate estimator, and a fresh estimate
     /// is reported upstream at most every report period.
     pub fn from_lvrm(&mut self, now_ns: u64) -> Option<Work<Frame>> {
+        self.maybe_heartbeat(now_ns);
         let work = self.endpoint.next_work();
         if self.estimate_service_rate {
             match &work {
@@ -236,7 +368,9 @@ impl LvrmAdapter {
         ctrl: &mut Vec<ControlEvent>,
         data: &mut Vec<Frame>,
         max: usize,
+        now_ns: u64,
     ) -> usize {
+        self.maybe_heartbeat(now_ns);
         while let Some(ev) = self.endpoint.ctrl_rx.try_recv() {
             ctrl.push(ev);
         }
@@ -335,6 +469,8 @@ mod tests {
         assert!(!lvrm.accepting());
         let refused = lvrm.dispatch(frame(), 1);
         assert!(refused.is_err());
+        assert_eq!(lvrm.dispatch_drops, 0, "a refusal is not a drop until the caller gives up");
+        lvrm.note_discarded(1);
         assert_eq!(lvrm.dispatch_drops, 1);
     }
 
@@ -379,13 +515,15 @@ mod tests {
         assert_eq!(lvrm.dispatch_batch(&mut burst, 0), 8, "queue capacity caps the burst");
         assert_eq!(burst.len(), 4, "rejected suffix stays with the caller");
         assert_eq!(lvrm.dispatched, 8);
+        assert_eq!(lvrm.dispatch_drops, 0, "the caller owns the rejected suffix");
+        lvrm.note_discarded(burst.len() as u64);
         assert_eq!(lvrm.dispatch_drops, 4);
         assert_eq!(lvrm.queue_len(), 8);
         burst.clear();
 
         let mut ctrl = Vec::new();
         let mut data = Vec::new();
-        assert_eq!(vri.from_lvrm_batch(&mut ctrl, &mut data, 64), 8);
+        assert_eq!(vri.from_lvrm_batch(&mut ctrl, &mut data, 64, 0), 8);
         assert!(ctrl.is_empty());
         let mut processed: Vec<Frame> = std::mem::take(&mut data);
         assert_eq!(vri.to_lvrm_batch(&mut processed), 8);
@@ -404,7 +542,7 @@ mod tests {
         lvrm.relay_control(ControlEvent::new(9, 7, b"cfg".to_vec())).unwrap();
         let mut ctrl = Vec::new();
         let mut data = Vec::new();
-        assert_eq!(vri.from_lvrm_batch(&mut ctrl, &mut data, 4), 1);
+        assert_eq!(vri.from_lvrm_batch(&mut ctrl, &mut data, 4, 0), 1);
         assert_eq!(ctrl.len(), 1, "control drained in the same pass");
         assert_eq!(data.len(), 1);
     }
@@ -418,7 +556,7 @@ mod tests {
         for _ in 0..32 {
             lvrm.dispatch(frame(), now).unwrap();
         }
-        vri.from_lvrm_batch(&mut ctrl, &mut data, 64);
+        vri.from_lvrm_batch(&mut ctrl, &mut data, 64, now);
         for f in data.drain(..) {
             now += 20_000; // 50 Kfps service pace
             vri.note_departure(now);
@@ -426,7 +564,7 @@ mod tests {
         }
         // Push past the report period so a report is emitted.
         lvrm.dispatch(frame(), now).unwrap();
-        vri.from_lvrm_batch(&mut ctrl, &mut data, 64);
+        vri.from_lvrm_batch(&mut ctrl, &mut data, 64, now);
         now += 200_000_000;
         vri.note_departure(now);
         let mut evs = Vec::new();

@@ -1,13 +1,19 @@
-//! Model-based property test: the open-addressing flow table must behave
-//! exactly like a `HashMap` with timestamps under any operation sequence
-//! (within capacity), including the backshift deletion path.
+//! Model-based property tests around flow affinity: the open-addressing
+//! flow table must behave exactly like a `HashMap` with timestamps under any
+//! operation sequence (within capacity), including the backshift deletion
+//! path — and the full monitor must keep flows pinned to a single VRI even
+//! when the supervisor kills an instance and re-balances its queue.
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use lvrm_core::flowtable::FlowTable;
-use lvrm_core::VriId;
+use lvrm_core::{
+    AffinityMode, AllocatorKind, CoreId, CoreMap, CoreTopology, Lvrm, LvrmConfig, ManualClock,
+    RecordingHost, VriId,
+};
 use lvrm_net::flow::{FlowKey, Protocol};
+use lvrm_net::{Frame, FrameBuilder};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
@@ -86,5 +92,98 @@ proptest! {
                 prop_assert_eq!(table.find_and_touch(&key(*k), now), Some(*vri));
             }
         }
+    }
+}
+
+/// One frame of flow `f`: distinct source address and port per flow, all
+/// inside the VR's subnet.
+fn flow_frame(f: u8) -> Frame {
+    FrameBuilder::new(Ipv4Addr::new(10, 0, 1, f + 1), Ipv4Addr::new(10, 0, 2, 1)).udp(
+        1000 + f as u16,
+        80,
+        &[],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Supervisor re-dispatch preserves flow affinity: after a VRI is killed
+    /// and its parked frames are re-balanced through the flow-based
+    /// balancer, no flow's frames may end up split across two live VRIs —
+    /// including frames that arrive after the recovery.
+    #[test]
+    fn redispatch_after_vri_kill_preserves_flow_affinity(
+        pre in prop::collection::vec(0u8..8, 1..120),
+        post in prop::collection::vec(0u8..8, 0..60),
+        victim_idx in 0usize..3,
+    ) {
+        let clock = ManualClock::new();
+        let config = LvrmConfig {
+            flow_based: true,
+            allocator: AllocatorKind::Fixed { cores: 3 },
+            supervision: true,
+            // Only detach-detection: this harness pumps no heartbeats, so
+            // the silence timers must never fire on the survivors.
+            suspect_after_ns: 500_000_000_000,
+            dead_after_ns: 1_000_000_000_000,
+            ..Default::default()
+        };
+        let cores =
+            CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
+        let mut lvrm = Lvrm::new(config, cores, clock.clone());
+        let mut host = RecordingHost::default();
+        let vr = lvrm.add_vr("deptA", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], {
+            let routes = lvrm_router::parse_map_file("0.0.0.0/0 1\n").unwrap();
+            Box::new(lvrm_router::FastVr::new("a", routes))
+        }, &mut host);
+        prop_assert_eq!(lvrm.vri_count(vr), 3);
+
+        // Park the pre-crash traffic (nothing services it), then yank one
+        // instance and let the supervisor reclaim and re-balance its queue.
+        for &f in &pre {
+            lvrm.ingress(flow_frame(f), &mut host);
+        }
+        let victim = host.spawned[victim_idx].vri;
+        host.crash_vri(victim);
+        clock.set_ns(1_100_000_000);
+        lvrm.maybe_reallocate(1_100_000_000, &mut host);
+        prop_assert_eq!(lvrm.stats.vri_deaths, 1);
+        prop_assert_eq!(lvrm.vri_count(vr), 3, "replacement spawned");
+
+        // Post-recovery traffic must follow wherever each flow now lives.
+        for &f in &post {
+            lvrm.ingress(flow_frame(f), &mut host);
+        }
+
+        // Read every live instance's incoming queue and map flow -> VRIs.
+        let mut seen: HashMap<u8, Vec<VriId>> = HashMap::new();
+        let mut drained = 0u64;
+        for (vri, endpoint, _) in &mut host.endpoints {
+            let mut frames = Vec::new();
+            while endpoint.data_rx.try_recv_batch(&mut frames, usize::MAX) > 0 {}
+            drained += frames.len() as u64;
+            for fr in &frames {
+                let f = fr.src_ip().unwrap().octets()[3] - 1;
+                let owners = seen.entry(f).or_default();
+                if !owners.contains(vri) {
+                    owners.push(*vri);
+                }
+            }
+        }
+        for (f, owners) in &seen {
+            prop_assert_eq!(
+                owners.len(),
+                1,
+                "flow {} split across {:?} after recovery",
+                f,
+                owners
+            );
+        }
+        // And the recovery lost nothing: every admitted frame is parked in
+        // exactly one live queue.
+        prop_assert_eq!(lvrm.stats.frames_in, (pre.len() + post.len()) as u64);
+        prop_assert_eq!(drained, lvrm.stats.frames_in);
+        prop_assert_eq!(lvrm.stats.crash_lost, 0);
     }
 }

@@ -7,6 +7,9 @@
 //! control event available in its incoming control queue, and then processes
 //! data frames available in its incoming data queue."
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use crate::{queue, QueueKind, Receiver, Sender};
 
 /// A control event exchanged between VRIs (via LVRM). The payload is opaque
@@ -50,6 +53,45 @@ pub enum Work<F> {
     Data(F),
 }
 
+/// Shared attachment flag between a [`VriEndpoint`] and the monitor-side
+/// [`VriChannels`]. While the endpoint (or a clone of this handle) is live the
+/// flag reads `true`; dropping the endpoint — e.g. the VRI process crashing
+/// and unwinding — or calling [`Attachment::detach`] flips it to `false`,
+/// which the supervisor reads as "peer is gone".
+#[derive(Clone, Debug)]
+pub struct Attachment {
+    flag: Arc<AtomicBool>,
+}
+
+impl Attachment {
+    fn new() -> Attachment {
+        Attachment { flag: Arc::new(AtomicBool::new(true)) }
+    }
+
+    /// Mark the endpoint as gone. Idempotent.
+    pub fn detach(&self) {
+        self.flag.store(false, Ordering::Release);
+    }
+
+    /// Whether the VRI side of the queue fabric is still attached.
+    pub fn is_attached(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Owned by the endpoint: detaches on drop so a crashed (unwound) VRI is
+/// observable from the monitor side even if nobody calls `detach` explicitly.
+#[derive(Debug)]
+struct AttachGuard {
+    attachment: Attachment,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        self.attachment.detach();
+    }
+}
+
 /// LVRM's side of a VRI's queues.
 pub struct VriChannels<F> {
     /// Data frames LVRM dispatches to the VRI.
@@ -60,6 +102,15 @@ pub struct VriChannels<F> {
     pub ctrl_tx: Sender<ControlEvent>,
     /// Control events this VRI emits (LVRM relays them onward).
     pub ctrl_rx: Receiver<ControlEvent>,
+    peer: Attachment,
+}
+
+impl<F> VriChannels<F> {
+    /// Whether the matching [`VriEndpoint`] still exists (has neither been
+    /// dropped nor explicitly detached).
+    pub fn endpoint_attached(&self) -> bool {
+        self.peer.is_attached()
+    }
 }
 
 /// The VRI's side of its queues.
@@ -72,6 +123,7 @@ pub struct VriEndpoint<F> {
     pub ctrl_rx: Receiver<ControlEvent>,
     /// Control events this VRI emits.
     pub ctrl_tx: Sender<ControlEvent>,
+    guard: AttachGuard,
 }
 
 impl<F: Send> VriEndpoint<F> {
@@ -83,6 +135,22 @@ impl<F: Send> VriEndpoint<F> {
             return Some(Work::Control(ev));
         }
         self.data_rx.try_recv().map(Work::Data)
+    }
+}
+
+impl<F> VriEndpoint<F> {
+    /// Explicitly mark this endpoint detached (the drop guard does the same
+    /// implicitly). Useful when the endpoint object is kept around for the
+    /// supervisor to reap its in-flight frames, but the VRI behind it is gone.
+    pub fn detach(&self) {
+        self.guard.attachment.detach();
+    }
+
+    /// A cloneable handle onto the attachment flag, e.g. so a host can flip
+    /// it *after* stashing the endpoint for reaping (avoids the race where
+    /// the supervisor sees "detached" before the endpoint is reapable).
+    pub fn attachment(&self) -> Attachment {
+        self.guard.attachment.clone()
     }
 }
 
@@ -98,13 +166,15 @@ pub fn vri_channels<F: Send>(
     let ((data_tx, vri_data_rx), (vri_data_tx, data_rx)) = duplex::<F>(kind, data_capacity);
     let ((ctrl_tx, vri_ctrl_rx), (vri_ctrl_tx, ctrl_rx)) =
         duplex::<ControlEvent>(kind, ctrl_capacity);
+    let attachment = Attachment::new();
     (
-        VriChannels { data_tx, data_rx, ctrl_tx, ctrl_rx },
+        VriChannels { data_tx, data_rx, ctrl_tx, ctrl_rx, peer: attachment.clone() },
         VriEndpoint {
             data_rx: vri_data_rx,
             data_tx: vri_data_tx,
             ctrl_rx: vri_ctrl_rx,
             ctrl_tx: vri_ctrl_tx,
+            guard: AttachGuard { attachment },
         },
     )
 }
@@ -138,6 +208,37 @@ mod tests {
         assert!(matches!(vri.next_work(), Some(Work::Data(1))));
         assert!(matches!(vri.next_work(), Some(Work::Data(2))));
         assert!(vri.next_work().is_none());
+    }
+
+    #[test]
+    fn dropping_the_endpoint_detaches_it() {
+        for kind in QueueKind::ALL {
+            let (lvrm, vri) = vri_channels::<u64>(kind, 8, 4);
+            assert!(lvrm.endpoint_attached());
+            drop(vri);
+            assert!(!lvrm.endpoint_attached());
+        }
+    }
+
+    #[test]
+    fn explicit_detach_survives_a_kept_endpoint() {
+        let (mut lvrm, mut vri) = vri_channels::<u64>(QueueKind::Mutex, 8, 4);
+        lvrm.data_tx.try_send(7).unwrap();
+        vri.detach();
+        assert!(!lvrm.endpoint_attached());
+        // The endpoint object is still usable for reaping in-flight frames.
+        assert!(matches!(vri.next_work(), Some(Work::Data(7))));
+    }
+
+    #[test]
+    fn attachment_handle_detaches_after_the_fact() {
+        let (lvrm, vri) = vri_channels::<u64>(QueueKind::Lamport, 8, 4);
+        let handle = vri.attachment();
+        assert!(handle.is_attached());
+        // Host stashes the endpoint for reaping *first*, then flips the flag.
+        let _stashed = vri;
+        handle.detach();
+        assert!(!lvrm.endpoint_attached());
     }
 
     #[test]

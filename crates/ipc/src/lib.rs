@@ -32,7 +32,7 @@ pub mod fastforward;
 pub mod lamport;
 pub mod mutexq;
 
-pub use channels::{duplex, ControlEvent, VriChannels, VriEndpoint};
+pub use channels::{duplex, Attachment, ControlEvent, VriChannels, VriEndpoint};
 pub use fastforward::FastForwardQueue;
 pub use lamport::LamportQueue;
 pub use mutexq::MutexQueue;

@@ -6,10 +6,12 @@
 //! Each thread runs the canonical VRI loop: `fromLVRM()` (control before
 //! data), optional synthetic per-frame load, route, `toLVRM()`.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lvrm_core::clock::{Clock, MonotonicClock};
+use lvrm_core::fault::FaultInjectable;
 use lvrm_core::host::{VriHost, VriSpec};
 use lvrm_core::vri::LvrmAdapter;
 use lvrm_core::{VrId, VriId};
@@ -37,6 +39,12 @@ struct VriThread {
     vr: VrId,
     vri: VriId,
     stop: Arc<AtomicBool>,
+    /// Fault injection: exit abruptly, abandoning queued frames.
+    crash: Arc<AtomicBool>,
+    /// Fault injection: wedge the service loop (no frames, no heartbeats).
+    stall: Arc<AtomicBool>,
+    /// Fault injection: suppress heartbeats while servicing normally.
+    ctrl_loss: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -54,7 +62,14 @@ pub struct ThreadHost {
     pub processed: Arc<AtomicU64>,
     /// Whether any pin attempt failed (diagnostic).
     pub pin_failures: Arc<AtomicU64>,
+    /// Endpoints of exited VRI threads, awaiting [`VriHost::reap_endpoint`].
+    /// Every thread stashes its endpoint here *before* detaching, so by the
+    /// time the supervisor observes a detached endpoint the frames are
+    /// already recoverable (no reap race).
+    reaped: ReapedEndpoints,
 }
+
+type ReapedEndpoints = Arc<Mutex<Vec<(VriId, VriEndpoint<Frame>)>>>;
 
 impl ThreadHost {
     pub fn new(clock: MonotonicClock) -> ThreadHost {
@@ -65,6 +80,7 @@ impl ThreadHost {
             batch_size: 1,
             processed: Arc::new(AtomicU64::new(0)),
             pin_failures: Arc::new(AtomicU64::new(0)),
+            reaped: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -112,6 +128,13 @@ impl VriHost for ThreadHost {
     ) {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let crash = Arc::new(AtomicBool::new(false));
+        let crash2 = Arc::clone(&crash);
+        let stall = Arc::new(AtomicBool::new(false));
+        let stall2 = Arc::clone(&stall);
+        let ctrl_loss = Arc::new(AtomicBool::new(false));
+        let ctrl_loss2 = Arc::clone(&ctrl_loss);
+        let reaped = Arc::clone(&self.reaped);
         let clock = self.clock.clone();
         let processed = Arc::clone(&self.processed);
         let pin_failures = Arc::clone(&self.pin_failures);
@@ -129,72 +152,131 @@ impl VriHost for ThreadHost {
                 if !pin_to_core(core) {
                     pin_failures.fetch_add(1, Ordering::Relaxed);
                 }
+                // Keep a detach handle outside the adapter so the endpoint
+                // can be stashed for reaping *before* the flag flips.
+                let attachment = endpoint.attachment();
                 let mut adapter = LvrmAdapter::new(vri, endpoint);
-                let dummy = router.dummy_load_ns();
-                let mut next_emit_ns = 0u64;
-                let mut ctrl: Vec<ControlEvent> = Vec::new();
-                let mut data: Vec<Frame> = Vec::with_capacity(batch);
-                let mut outq: Vec<Frame> = Vec::with_capacity(batch);
-                loop {
-                    if stop2.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let now = clock.now_ns();
-                    // Emitter role: originate a timestamped control event.
-                    if let CtrlRole::Emitter { dst, payload, period_ns } = &role {
-                        if now >= next_emit_ns {
-                            let mut ev = ControlEvent::new(vri.0, dst.0, vec![0u8; *payload]);
-                            ev.ts_ns = clock.now_ns();
-                            let _ = adapter.send_control(ev);
-                            next_emit_ns = now + period_ns;
+                // The service loop runs under `catch_unwind` so a panicking
+                // router ends this VRI like a crash — endpoint reapable,
+                // supervisor respawns — instead of poisoning the process.
+                let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let dummy = router.dummy_load_ns();
+                    let mut next_emit_ns = 0u64;
+                    let mut ctrl: Vec<ControlEvent> = Vec::new();
+                    let mut data: Vec<Frame> = Vec::with_capacity(batch);
+                    let mut outq: Vec<Frame> = Vec::with_capacity(batch);
+                    loop {
+                        if stop2.load(Ordering::Acquire) || crash2.load(Ordering::Acquire) {
+                            break;
                         }
-                    }
-                    // Control first (strict priority, §2.1), then a data
-                    // burst pulled with one index publication.
-                    let n = adapter.from_lvrm_batch(&mut ctrl, &mut data, batch);
-                    for ev in ctrl.drain(..) {
-                        if let CtrlRole::Recorder { sink } = &role {
-                            let latency = clock.now_ns().saturating_sub(ev.ts_ns);
-                            sink.lock().record(latency);
-                        }
-                    }
-                    if n == 0 {
-                        std::hint::spin_loop();
-                        continue;
-                    }
-                    for mut frame in data.drain(..) {
-                        spin_for_ns(dummy);
-                        if let RouterAction::Forward { .. } = router.process(&mut frame) {
-                            outq.push(frame);
-                        }
-                        // Per-frame departure times keep the service-rate
-                        // estimate honest even though the dequeue was bulk.
-                        adapter.note_departure(clock.now_ns());
-                        processed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    // Bulk return; retry until the outgoing queue accepts
-                    // everything (LVRM drains it continuously).
-                    while !outq.is_empty() {
-                        if adapter.to_lvrm_batch(&mut outq) == 0 {
-                            if stop2.load(Ordering::Acquire) {
-                                return;
-                            }
+                        if stall2.load(Ordering::Acquire) {
+                            // Wedged: no servicing, no heartbeats — exactly
+                            // what the supervisor's dead-man timer watches.
                             std::hint::spin_loop();
+                            continue;
+                        }
+                        adapter.set_heartbeats(!ctrl_loss2.load(Ordering::Acquire));
+                        let now = clock.now_ns();
+                        // Emitter role: originate a timestamped control event.
+                        if let CtrlRole::Emitter { dst, payload, period_ns } = &role {
+                            if now >= next_emit_ns {
+                                let mut ev = ControlEvent::new(vri.0, dst.0, vec![0u8; *payload]);
+                                ev.ts_ns = clock.now_ns();
+                                let _ = adapter.send_control(ev);
+                                next_emit_ns = now + period_ns;
+                            }
+                        }
+                        // Control first (strict priority, §2.1), then a data
+                        // burst pulled with one index publication.
+                        let n = adapter.from_lvrm_batch(&mut ctrl, &mut data, batch, now);
+                        for ev in ctrl.drain(..) {
+                            if let CtrlRole::Recorder { sink } = &role {
+                                let latency = clock.now_ns().saturating_sub(ev.ts_ns);
+                                sink.lock().record(latency);
+                            }
+                        }
+                        if n == 0 {
+                            std::hint::spin_loop();
+                            continue;
+                        }
+                        for mut frame in data.drain(..) {
+                            spin_for_ns(dummy);
+                            if let RouterAction::Forward { .. } = router.process(&mut frame) {
+                                outq.push(frame);
+                            }
+                            // Per-frame departure times keep the service-rate
+                            // estimate honest even though the dequeue was bulk.
+                            adapter.note_departure(clock.now_ns());
+                            processed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Bulk return; retry until the outgoing queue accepts
+                        // everything (LVRM drains it continuously).
+                        while !outq.is_empty() {
+                            if adapter.to_lvrm_batch(&mut outq) == 0 {
+                                if stop2.load(Ordering::Acquire) || crash2.load(Ordering::Acquire) {
+                                    return;
+                                }
+                                std::hint::spin_loop();
+                            }
                         }
                     }
-                }
+                }));
+                // Stash-then-detach: whoever observes the detached endpoint
+                // can already reap the in-flight frames.
+                reaped.lock().push((vri, adapter.into_endpoint()));
+                attachment.detach();
             })
             .expect("thread spawn");
-        self.threads.push(VriThread { vr: spec.vr, vri: spec.vri, stop, handle: Some(handle) });
+        self.threads.push(VriThread {
+            vr: spec.vr,
+            vri: spec.vri,
+            stop,
+            crash,
+            stall,
+            ctrl_loss,
+            handle: Some(handle),
+        });
     }
 
     fn kill_vri(&mut self, vr: VrId, vri: VriId) {
         if let Some(i) = self.threads.iter().position(|t| t.vr == vr && t.vri == vri) {
             let mut t = self.threads.remove(i);
             t.stop.store(true, Ordering::Release);
+            // A stalled thread ignores everything except stop/crash, so it
+            // still honors the kill.
             if let Some(h) = t.handle.take() {
                 let _ = h.join();
             }
+        }
+    }
+
+    fn reap_endpoint(&mut self, vri: VriId) -> Option<VriEndpoint<Frame>> {
+        let mut reaped = self.reaped.lock();
+        let pos = reaped.iter().position(|(id, _)| *id == vri)?;
+        Some(reaped.remove(pos).1)
+    }
+}
+
+impl FaultInjectable for ThreadHost {
+    fn inject_crash(&mut self, vri: VriId) {
+        if let Some(i) = self.threads.iter().position(|t| t.vri == vri) {
+            let mut t = self.threads.remove(i);
+            t.crash.store(true, Ordering::Release);
+            if let Some(h) = t.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    fn inject_stall(&mut self, vri: VriId, on: bool) {
+        if let Some(t) = self.threads.iter().find(|t| t.vri == vri) {
+            t.stall.store(on, Ordering::Release);
+        }
+    }
+
+    fn inject_ctrl_loss(&mut self, vri: VriId, on: bool) {
+        if let Some(t) = self.threads.iter().find(|t| t.vri == vri) {
+            t.ctrl_loss.store(on, Ordering::Release);
         }
     }
 }
@@ -234,6 +316,57 @@ mod tests {
         }
         assert_eq!(out.len(), 100);
         assert!(out.iter().all(|f| f.egress_if == 1));
+        host.shutdown();
+    }
+
+    #[test]
+    fn crashed_thread_is_reaped_and_respawned() {
+        let clock = MonotonicClock::new();
+        let cores = CoreMap::new(CoreTopology::single_package(2), CoreId(0), AffinityMode::Same);
+        let config = LvrmConfig {
+            supervision: true,
+            // Real time: generous windows so the test is not flaky under
+            // load, tight enough to finish quickly.
+            suspect_after_ns: 200_000_000,
+            dead_after_ns: 400_000_000,
+            allocation_period_ns: 50_000_000,
+            ..LvrmConfig::default()
+        };
+        let mut lvrm = Lvrm::new(config, cores, clock.clone());
+        let mut host = ThreadHost::new(clock.clone());
+        let _vr = lvrm.add_vr("t", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], routed_vr(), &mut host);
+        assert_eq!(host.live(), 1);
+        let victim = host.threads[0].vri;
+
+        // Park frames in the victim's inbound queue while it is wedged, then
+        // crash it: the frames must survive into the respawned instance.
+        host.inject_stall(victim, true);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        for _ in 0..50 {
+            let f = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 5), Ipv4Addr::new(10, 0, 2, 1))
+                .udp(1, 2, &[0u8; 10]);
+            lvrm.ingress(f, &mut host);
+        }
+        host.inject_crash(victim);
+        assert_eq!(host.live(), 0);
+
+        // Drive the supervisor until it notices the detached endpoint,
+        // respawns, and re-dispatches; then collect the frames.
+        let mut out = Vec::new();
+        let t0 = std::time::Instant::now();
+        while out.len() < 50 && t0.elapsed().as_secs() < 20 {
+            lvrm.process_control();
+            lvrm.maybe_reallocate(clock.now_ns(), &mut host);
+            lvrm.poll_egress(&mut out);
+            std::hint::spin_loop();
+        }
+        assert_eq!(out.len(), 50, "reclaimed frames flow through the respawn");
+        assert_eq!(host.live(), 1, "supervisor respawned the VRI");
+        let s = &lvrm.stats;
+        assert_eq!(s.vri_deaths, 1);
+        assert_eq!(s.respawns, 1);
+        assert_eq!(s.crash_lost, 0, "endpoint was reapable; nothing lost");
+        assert!(s.redispatched >= 50, "queued frames were re-balanced");
         host.shutdown();
     }
 

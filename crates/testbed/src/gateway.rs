@@ -4,6 +4,7 @@
 use std::net::Ipv4Addr;
 
 use lvrm_click::ClickVr;
+use lvrm_core::fault::FaultInjectable;
 use lvrm_core::host::{VriHost, VriSpec};
 use lvrm_core::vri::LvrmAdapter;
 use lvrm_core::{VrId, VriId};
@@ -136,9 +137,14 @@ pub struct SimVriSlot {
     /// The VRI's side of the queues, wrapped in the production
     /// `fromLVRM()`/`toLVRM()` adapter so service-rate estimation and
     /// reporting run in simulation exactly as on real threads (§3.6).
-    pub adapter: LvrmAdapter,
+    /// `None` once the slot is dead and its endpoint moved to the host's
+    /// reap stash.
+    pub adapter: Option<LvrmAdapter>,
     pub router: Box<dyn VirtualRouter>,
     pub alive: bool,
+    /// Fault injection: a stalled slot stops servicing its queues (and thus
+    /// stops heartbeating) while its endpoint stays attached.
+    pub stalled: bool,
     /// Spawn completes (and polling may begin) at this simulated time.
     pub active_after_ns: u64,
     /// A `VriPoll` event is in flight for this slot.
@@ -155,6 +161,8 @@ pub struct SimHost {
     pub newly_spawned: Vec<usize>,
     /// Kills since last drained (for charging teardown cost).
     pub newly_killed: Vec<usize>,
+    /// Endpoints of dead slots, awaiting [`VriHost::reap_endpoint`].
+    pub reapable: Vec<(VriId, VriEndpoint<Frame>)>,
 }
 
 impl SimHost {
@@ -166,6 +174,20 @@ impl SimHost {
     /// Live VRI count per VR id.
     pub fn live_count(&self, vr: VrId) -> usize {
         self.slots.iter().filter(|s| s.alive && s.spec.vr == vr).count()
+    }
+
+    /// Retire a slot: move its endpoint to the reap stash, then detach.
+    /// Stash-before-detach means the supervisor can always recover the
+    /// in-flight frames of an endpoint it observes as detached.
+    fn retire_slot(&mut self, i: usize) {
+        self.slots[i].alive = false;
+        if let Some(adapter) = self.slots[i].adapter.take() {
+            let vri = self.slots[i].spec.vri;
+            let endpoint = adapter.into_endpoint();
+            let attachment = endpoint.attachment();
+            self.reapable.push((vri, endpoint));
+            attachment.detach();
+        }
     }
 }
 
@@ -179,9 +201,10 @@ impl VriHost for SimHost {
         self.newly_spawned.push(self.slots.len());
         self.slots.push(SimVriSlot {
             spec,
-            adapter: LvrmAdapter::new(spec.vri, endpoint),
+            adapter: Some(LvrmAdapter::new(spec.vri, endpoint)),
             router,
             alive: true,
+            stalled: false,
             active_after_ns: 0,
             poll_scheduled: false,
             processed: 0,
@@ -192,8 +215,37 @@ impl VriHost for SimHost {
         if let Some(i) =
             self.slots.iter().position(|s| s.alive && s.spec.vr == vr && s.spec.vri == vri)
         {
-            self.slots[i].alive = false;
+            self.retire_slot(i);
             self.newly_killed.push(i);
+        }
+    }
+
+    fn reap_endpoint(&mut self, vri: VriId) -> Option<VriEndpoint<Frame>> {
+        let pos = self.reapable.iter().position(|(id, _)| *id == vri)?;
+        Some(self.reapable.remove(pos).1)
+    }
+}
+
+impl FaultInjectable for SimHost {
+    fn inject_crash(&mut self, vri: VriId) {
+        // Unlike `kill_vri`, a crash is not monitor work: nothing lands in
+        // `newly_killed`, so no teardown cost is charged to LVRM's core.
+        if let Some(i) = self.slot_of(vri) {
+            self.retire_slot(i);
+        }
+    }
+
+    fn inject_stall(&mut self, vri: VriId, on: bool) {
+        if let Some(i) = self.slot_of(vri) {
+            self.slots[i].stalled = on;
+        }
+    }
+
+    fn inject_ctrl_loss(&mut self, vri: VriId, on: bool) {
+        if let Some(i) = self.slot_of(vri) {
+            if let Some(adapter) = self.slots[i].adapter.as_mut() {
+                adapter.set_heartbeats(!on);
+            }
         }
     }
 }

@@ -11,7 +11,8 @@
 use std::collections::HashMap;
 
 use lvrm_core::clock::{Clock, ManualClock};
-use lvrm_core::monitor::ReallocEvent;
+use lvrm_core::fault::{FaultKind, FaultPlan};
+use lvrm_core::monitor::{ReallocEvent, SupervisionEvent};
 use lvrm_core::topology::{CoreId, CoreMap, CoreTopology};
 use lvrm_core::{Lvrm, LvrmConfig, SocketKind, VrId};
 use lvrm_metrics::LatencyHistogram;
@@ -77,6 +78,9 @@ pub struct Scenario {
     pub cost: CostModel,
     /// Time-series sampling period (0 disables sampling).
     pub sample_period_ns: u64,
+    /// Deterministic fault schedule (LVRM mechanism only). Faults address
+    /// VRIs by spawn order, which in the simulation is the slot index.
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -94,6 +98,7 @@ impl Scenario {
             warmup_ns: 200_000_000,
             cost: CostModel::default(),
             sample_period_ns: 0,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -163,6 +168,8 @@ pub struct ScenarioResult {
     pub per_vri_dispatches: Vec<Vec<u64>>,
     /// LVRM monitor drops and counters (LVRM only).
     pub lvrm_stats: Option<lvrm_core::LvrmStats>,
+    /// Supervisor decisions (deaths, respawns, quarantines; LVRM only).
+    pub supervision: Vec<SupervisionEvent>,
     /// Frames dropped at the NIC rings.
     pub ring_drops: u64,
 }
@@ -381,6 +388,9 @@ impl<'s> World<'s> {
         for (i, spec) in self.sc.tcp_flows.iter().enumerate() {
             self.q.schedule(spec.start_ns, Event::TcpKick { flow: i });
         }
+        for (idx, ev) in self.sc.faults.events().iter().enumerate() {
+            self.q.schedule(ev.at_ns, Event::Fault { idx });
+        }
         // Warmup boundary snapshot (always) + optional periodic samples.
         self.q.schedule(self.sc.warmup_ns, Event::WarmupSnapshot);
         if self.sc.sample_period_ns > 0 {
@@ -399,6 +409,7 @@ impl<'s> World<'s> {
                 Event::TcpTimeout { flow, epoch } => self.on_tcp_timeout(flow, epoch, now),
                 Event::Sample => self.on_sample(now),
                 Event::WarmupSnapshot => self.take_warmup_snapshot(now),
+                Event::Fault { idx } => self.on_fault(idx, now),
             }
         }
         self.finish()
@@ -787,7 +798,11 @@ impl<'s> World<'s> {
         {
             let Mech::Lvrm { host, .. } = &mut self.mech else { return };
             for (i, slot) in host.slots.iter_mut().enumerate() {
-                if slot.alive && !slot.poll_scheduled && slot.adapter.has_pending() {
+                if slot.alive
+                    && !slot.stalled
+                    && !slot.poll_scheduled
+                    && slot.adapter.as_ref().is_some_and(|a| a.has_pending())
+                {
                     slot.poll_scheduled = true;
                     wake.push(i);
                 }
@@ -808,6 +823,30 @@ impl<'s> World<'s> {
         }
     }
 
+    // ------------------------------------------------------------ faults
+
+    /// Fire one scheduled fault. Spawn order in the simulation is the slot
+    /// index (slots are only ever appended), so the plan's `nth_spawn`
+    /// addressing resolves directly.
+    fn on_fault(&mut self, idx: usize, _now: u64) {
+        use lvrm_core::fault::FaultInjectable;
+        let Some(ev) = self.sc.faults.events().get(idx).copied() else { return };
+        let Mech::Lvrm { host, .. } = &mut self.mech else { return };
+        let nth = match ev.kind {
+            FaultKind::Crash { nth_spawn }
+            | FaultKind::Stall { nth_spawn }
+            | FaultKind::Resume { nth_spawn }
+            | FaultKind::CtrlLoss { nth_spawn, .. } => nth_spawn,
+        };
+        let Some(vri) = host.slots.get(nth).map(|s| s.spec.vri) else { return };
+        match ev.kind {
+            FaultKind::Crash { .. } => host.inject_crash(vri),
+            FaultKind::Stall { .. } => host.inject_stall(vri, true),
+            FaultKind::Resume { .. } => host.inject_stall(vri, false),
+            FaultKind::CtrlLoss { on, .. } => host.inject_ctrl_loss(vri, on),
+        }
+    }
+
     // ------------------------------------------------------------ VRIs
 
     fn on_vri_poll(&mut self, slot: usize, now: u64) {
@@ -825,7 +864,9 @@ impl<'s> World<'s> {
         {
             let Mech::Lvrm { host, .. } = &mut self.mech else { return };
             let Some(s) = host.slots.get_mut(slot) else { return };
-            if !s.alive {
+            if !s.alive || s.stalled || s.adapter.is_none() {
+                // A stalled slot neither services nor heartbeats; it gets
+                // re-woken by `schedule_vri_polls` once un-stalled.
                 s.poll_scheduled = false;
                 return;
             }
@@ -851,7 +892,8 @@ impl<'s> World<'s> {
                 // timeline `t`, not the global clock: the global clock is
                 // advanced by unrelated events between this VRI's polls,
                 // which would pollute the measured per-frame service time.
-                match s.adapter.from_lvrm(t) {
+                let adapter = s.adapter.as_mut().expect("checked above");
+                match adapter.from_lvrm(t) {
                     Some(lvrm_ipc::channels::Work::Data(mut frame)) => {
                         let cost =
                             (penalty + s.router.nominal_cost_ns() + s.router.dummy_load_ns())
@@ -859,7 +901,7 @@ impl<'s> World<'s> {
                         t = self.cpu.charge(s.spec.core, t, cost, CpuBucket::User);
                         s.processed += 1;
                         if let RouterAction::Forward { .. } = s.router.process(&mut frame) {
-                            if s.adapter.to_lvrm(frame).is_ok() {
+                            if adapter.to_lvrm(frame).is_ok() {
                                 produced = true;
                             }
                         }
@@ -870,7 +912,7 @@ impl<'s> World<'s> {
                     None => break,
                 }
             }
-            more = s.adapter.has_pending();
+            more = s.adapter.as_ref().is_some_and(|a| a.has_pending());
             s.poll_scheduled = more;
         }
         if more {
@@ -947,13 +989,14 @@ impl<'s> World<'s> {
     }
 
     fn finish(self) -> ScenarioResult {
-        let (realloc, per_vri, lvrm_stats) = match &self.mech {
+        let (realloc, per_vri, lvrm_stats, supervision) = match &self.mech {
             Mech::Lvrm { lvrm, vr_ids, .. } => (
                 lvrm.realloc_log.clone(),
                 vr_ids.iter().map(|id| lvrm.vri_dispatch_counts(*id)).collect(),
                 Some(lvrm.stats.clone()),
+                lvrm.supervision_log.clone(),
             ),
-            _ => (Vec::new(), Vec::new(), None),
+            _ => (Vec::new(), Vec::new(), None, Vec::new()),
         };
         ScenarioResult {
             duration_ns: self.sc.duration_ns,
@@ -978,6 +1021,7 @@ impl<'s> World<'s> {
             cpu_busy: (0..8).map(|c| self.cpu.busy_ns(CoreId(c))).collect(),
             per_vri_dispatches: per_vri,
             lvrm_stats,
+            supervision,
             ring_drops: self.ring_drops,
         }
     }

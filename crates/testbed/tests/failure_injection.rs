@@ -3,6 +3,8 @@
 //! whose whole job is resource accounting.
 
 use lvrm_core::config::AllocatorKind;
+use lvrm_core::monitor::SupervisionAction;
+use lvrm_core::FaultPlan;
 use lvrm_testbed::scenario::{Scenario, SourceSpec};
 use lvrm_testbed::traffic::{RateSchedule, SourceKind};
 use lvrm_testbed::{ForwardingMech, VrSpec, VrType};
@@ -77,6 +79,94 @@ fn hypervisor_collapse_is_bounded_not_wedged() {
     let cap_fps = 1e9 / 55_000.0; // kvm fixed cost
     assert!(r.delivered_fps() < cap_fps * 1.3, "over capacity: {}", r.delivered_fps());
     assert!(r.delivered_fps() > cap_fps * 0.5, "wedged: {}", r.delivered_fps());
+}
+
+#[test]
+fn crashed_vri_is_respawned_and_traffic_recovers() {
+    // Two fixed VRIs under moderate load; one crashes mid-run. The
+    // supervisor must notice within one tick, respawn it, re-dispatch the
+    // frames stranded in its queues, and keep every loss accounted.
+    let crash_at = 2_500_000_000u64;
+    let mut sc = lvrm_scenario();
+    sc.duration_ns = 6_000_000_000;
+    sc.lvrm.supervision = true;
+    sc.lvrm.allocator = AllocatorKind::Fixed { cores: 2 };
+    sc.faults = FaultPlan::new().crash_at(crash_at, 0);
+    sc.sample_period_ns = 500_000_000;
+    let sc = sc.with_udp_load(0, 84, 80_000.0, 8);
+    let r = sc.run();
+
+    let died = r
+        .supervision
+        .iter()
+        .find(|e| matches!(e.action, SupervisionAction::Died { .. }))
+        .expect("supervisor must log the death");
+    assert!(died.ts_ns >= crash_at, "death observed after the crash");
+    assert!(
+        died.ts_ns <= crash_at + 1_100_000_000,
+        "death detected within one supervisor tick: {} ns late",
+        died.ts_ns - crash_at
+    );
+    let respawned = r
+        .supervision
+        .iter()
+        .find(|e| matches!(e.action, SupervisionAction::Respawned))
+        .expect("supervisor must respawn");
+    assert_eq!(respawned.ts_ns, died.ts_ns, "first respawn carries no backoff");
+
+    let s = r.lvrm_stats.clone().unwrap();
+    assert_eq!(s.vri_deaths, 1);
+    assert!(s.respawns >= 1);
+    assert!(s.quarantined_drops == 0, "one crash must not quarantine");
+
+    // Post-recovery delivery resumes at the offered rate.
+    let last = r.samples.last().unwrap();
+    assert!(last.vris_per_vr[0] >= 2, "VRI count restored: {:?}", last.vris_per_vr);
+    assert!(last.delivered_mbps > 20.0, "post-respawn delivery: {}", last.delivered_mbps);
+
+    // Every frame is delivered or sits in a named counter (small in-flight
+    // slack at run end, as in the overload test above).
+    let accounted = r.udp_received
+        + s.dispatch_drops
+        + s.no_vri_drops
+        + s.shrink_lost
+        + s.crash_lost
+        + s.quarantined_drops
+        + r.ring_drops;
+    assert!(
+        accounted + 5_000 >= r.udp_sent,
+        "unaccounted loss: sent {} vs accounted {accounted} ({s:?}, ring {})",
+        r.udp_sent,
+        r.ring_drops
+    );
+}
+
+#[test]
+fn stalled_vri_is_declared_dead_and_replaced() {
+    // A wedged instance keeps its endpoint attached but stops heartbeating;
+    // the dead-man timer must catch it and route around.
+    let stall_at = 2_500_000_000u64;
+    let mut sc = lvrm_scenario();
+    sc.duration_ns = 6_000_000_000;
+    sc.lvrm.supervision = true;
+    sc.lvrm.allocator = AllocatorKind::Fixed { cores: 2 };
+    sc.faults = FaultPlan::new().stall_at(stall_at, 0);
+    let sc = sc.with_udp_load(0, 84, 80_000.0, 8);
+    let r = sc.run();
+
+    let died = r
+        .supervision
+        .iter()
+        .find(|e| matches!(e.action, SupervisionAction::Died { .. }))
+        .expect("stall must be declared dead via heartbeat timeout");
+    // Detection needs the silence to exceed dead_after_ns (1 s, measured
+    // from the last heartbeat, up to one beat period before the stall),
+    // then the next supervisor tick.
+    assert!(died.ts_ns + 300_000_000 >= stall_at + sc.lvrm.dead_after_ns);
+    assert!(died.ts_ns <= stall_at + sc.lvrm.dead_after_ns + 1_200_000_000);
+    let s = r.lvrm_stats.unwrap();
+    assert_eq!(s.vri_deaths, 1);
+    assert!(s.respawns >= 1, "replacement spawned");
 }
 
 #[test]

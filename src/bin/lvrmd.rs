@@ -20,12 +20,16 @@
 //! allocator  fixed <cores> | dynamic <fps-per-core> | service-rate <bootstrap-fps>
 //! queue      lamport | fastforward | mutex
 //! batch-size <n>         # frames per ingress/dispatch burst (1 = per-frame)
+//! supervision on | off   # respawn crashed/stalled VRIs (off by default)
+//! fault crash <at-ms> <nth>   # inject: crash the nth-spawned VRI at at-ms
+//! fault stall <at-ms> <nth>   # inject: wedge the nth-spawned VRI at at-ms
 //! vr <name> <sender-cidr> <receiver-cidr>
 //! ```
 
 use std::net::Ipv4Addr;
 
 use lvrm::core::config::{AllocatorKind, BalancerKind};
+use lvrm::core::{FaultPlan, FaultyHost};
 use lvrm::prelude::*;
 use lvrm::router::Route;
 
@@ -40,6 +44,7 @@ struct VrDecl {
 struct DaemonConfig {
     lvrm: LvrmConfig,
     vrs: Vec<VrDecl>,
+    faults: FaultPlan,
 }
 
 fn parse_cidr(s: &str) -> Result<(Ipv4Addr, u8), String> {
@@ -56,6 +61,7 @@ fn parse_cidr(s: &str) -> Result<(Ipv4Addr, u8), String> {
 fn parse_config(text: &str) -> Result<DaemonConfig, String> {
     let mut lvrm = LvrmConfig::default();
     let mut vrs = Vec::new();
+    let mut faults = FaultPlan::new();
     for (no, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
@@ -99,6 +105,28 @@ fn parse_config(text: &str) -> Result<DaemonConfig, String> {
                         err(&format!("batch-size needs an integer >= 1, got {n:?}"))
                     })?;
             }
+            ("supervision", [v]) => {
+                lvrm.supervision = match *v {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(err(&format!("supervision must be on/off, got {other:?}")))
+                    }
+                };
+            }
+            ("fault", [kind, at_ms, nth]) => {
+                let at: u64 = at_ms
+                    .parse()
+                    .map_err(|_| err(&format!("fault needs a millisecond time, got {at_ms:?}")))?;
+                let nth: usize = nth
+                    .parse()
+                    .map_err(|_| err(&format!("fault needs a spawn index, got {nth:?}")))?;
+                faults = match *kind {
+                    "crash" => faults.crash_at(at * 1_000_000, nth),
+                    "stall" => faults.stall_at(at * 1_000_000, nth),
+                    other => return Err(err(&format!("unknown fault kind {other:?}"))),
+                };
+            }
             ("queue", [q]) => {
                 lvrm.queue_kind = match *q {
                     "lamport" => QueueKind::Lamport,
@@ -124,7 +152,7 @@ fn parse_config(text: &str) -> Result<DaemonConfig, String> {
             receiver: (Ipv4Addr::new(10, 0, 2, 0), 24),
         });
     }
-    Ok(DaemonConfig { lvrm, vrs })
+    Ok(DaemonConfig { lvrm, vrs, faults })
 }
 
 fn build_router(decl: &VrDecl) -> Box<dyn VirtualRouter> {
@@ -151,7 +179,11 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
     );
     let batch_size = config.lvrm.batch_size.max(1);
     let mut lvrm = Lvrm::new(config.lvrm, cores, clock.clone());
-    let mut host = lvrm::runtime::ThreadHost::new(clock.clone()).with_batch_size(batch_size);
+    // The host is always wrapped for fault injection; an empty plan is free.
+    let mut host = FaultyHost::new(
+        lvrm::runtime::ThreadHost::new(clock.clone()).with_batch_size(batch_size),
+        config.faults,
+    );
     let vr_ids: Vec<VrId> = config
         .vrs
         .iter()
@@ -221,7 +253,9 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
             lvrm.ingress_batch(&mut ingress, &mut host);
             ingress.clear();
         }
+        host.apply(clock.now_ns());
         lvrm.process_control();
+        lvrm.maybe_reallocate(clock.now_ns(), &mut host);
         egress.clear();
         lvrm.poll_egress(&mut egress);
         nic.send_batch(&mut egress); // back out the ring (the self-test peer counts them)
@@ -229,11 +263,13 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
             let s = &lvrm.stats;
             let vris: Vec<usize> = vr_ids.iter().map(|v| lvrm.vri_count(*v)).collect();
             println!(
-                "in {:>8}  out {:>8} (+{:>7}/s)  drops {:>6}  vris {:?}",
+                "in {:>8}  out {:>8} (+{:>7}/s)  drops {:>6}  deaths {}  respawns {}  vris {:?}",
                 s.frames_in,
                 s.frames_out,
                 s.frames_out - last_out,
-                s.dispatch_drops + s.no_vri_drops,
+                s.dispatch_drops + s.no_vri_drops + s.crash_lost + s.quarantined_drops,
+                s.vri_deaths,
+                s.respawns,
                 vris
             );
             last_out = s.frames_out;
@@ -242,7 +278,7 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
     }
     stop.store(true, std::sync::atomic::Ordering::Release);
     let (generated, echoed) = generator.join().expect("generator joins");
-    host.shutdown();
+    host.inner.shutdown();
     println!("\nfinal state:");
     for vr in lvrm.snapshot() {
         println!("{vr}");
@@ -348,5 +384,26 @@ mod tests {
         assert!(parse_config("flow-based maybe\n").is_err());
         assert!(parse_config("batch-size 0\n").is_err());
         assert!(parse_config("batch-size many\n").is_err());
+        assert!(parse_config("supervision maybe\n").is_err());
+        assert!(parse_config("fault melt 100 0\n").is_err());
+        assert!(parse_config("fault crash soon 0\n").is_err());
+    }
+
+    #[test]
+    fn supervision_and_fault_directives_parse() {
+        use lvrm::core::fault::FaultKind;
+        let c = parse_config(
+            "supervision on\n\
+             fault crash 1500 0\n\
+             fault stall 2000 1\n",
+        )
+        .unwrap();
+        assert!(c.lvrm.supervision);
+        let evs = c.faults.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].at_ns, 1_500_000_000);
+        assert_eq!(evs[0].kind, FaultKind::Crash { nth_spawn: 0 });
+        assert_eq!(evs[1].kind, FaultKind::Stall { nth_spawn: 1 });
+        assert!(!parse_config("supervision off\n").unwrap().lvrm.supervision);
     }
 }
