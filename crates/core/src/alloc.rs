@@ -15,6 +15,8 @@
 //! rate of the VR's VRIs, so VRs with heavier per-frame work automatically
 //! earn more cores (Experiment 2e's 1:2 service-rate ratio).
 
+use lvrm_ipc::PressureLevel;
+
 /// A VR's load picture at decision time.
 #[derive(Clone, Copy, Debug)]
 pub struct VrLoadView {
@@ -25,6 +27,11 @@ pub struct VrLoadView {
     pub service_rate_per_vri: Option<f64>,
     /// VRIs (= cores) currently allocated to the VR.
     pub current_vris: usize,
+    /// Watermark-derived queue pressure from the last burst refresh
+    /// (DESIGN.md §8). `Overloaded` means at least one data queue crossed the
+    /// high watermark and has not drained back below the low one — direct
+    /// evidence the smoothed rates understate demand.
+    pub pressure: PressureLevel,
 }
 
 /// The policy's verdict for one VR at one decision point.
@@ -112,6 +119,12 @@ impl CoreAllocator for DynamicFixedThreshold {
         if c == 0 {
             return AllocDecision::Grow;
         }
+        // Backed-up queues trump the smoothed rates: an EWMA lags a step
+        // increase by several windows, but a queue past the high watermark is
+        // proof the current allocation is not keeping up *now*.
+        if vr.pressure == PressureLevel::Overloaded {
+            return AllocDecision::Grow;
+        }
         // Fig. 3.2 shrink guard first: "arrival <= threshold(service w/ 1
         // less VRIs)" — but never below one VRI.
         if c > 1 && vr.arrival_rate <= self.threshold(c - 1) * self.shrink_margin {
@@ -160,6 +173,11 @@ impl CoreAllocator for DynamicServiceRate {
         if c == 0 {
             return AllocDecision::Grow;
         }
+        // As in [`DynamicFixedThreshold`]: watermark overload is direct
+        // evidence the rates understate demand.
+        if vr.pressure == PressureLevel::Overloaded {
+            return AllocDecision::Grow;
+        }
         let per_vri = vr.service_rate_per_vri.unwrap_or(self.bootstrap_rate);
         if per_vri <= 0.0 {
             return AllocDecision::Hold;
@@ -187,7 +205,12 @@ mod tests {
     use super::*;
 
     fn view(arrival: f64, vris: usize) -> VrLoadView {
-        VrLoadView { arrival_rate: arrival, service_rate_per_vri: None, current_vris: vris }
+        VrLoadView {
+            arrival_rate: arrival,
+            service_rate_per_vri: None,
+            current_vris: vris,
+            pressure: PressureLevel::Normal,
+        }
     }
 
     #[test]
@@ -245,6 +268,7 @@ mod tests {
             arrival_rate: 100_000.0,
             service_rate_per_vri: Some(30_000.0),
             current_vris: 3,
+            pressure: PressureLevel::Normal,
         };
         assert_eq!(a.decide(&vr), AllocDecision::Grow);
         let mut fixed = DynamicFixedThreshold::new(60_000.0);
@@ -258,8 +282,32 @@ mod tests {
             arrival_rate: 50_000.0,
             service_rate_per_vri: Some(60_000.0),
             current_vris: 2,
+            pressure: PressureLevel::Normal,
         };
         assert_eq!(a.decide(&vr), AllocDecision::Shrink);
+    }
+
+    #[test]
+    fn overload_pressure_overrides_rate_signals() {
+        let overloaded = |arrival: f64, vris: usize| VrLoadView {
+            pressure: PressureLevel::Overloaded,
+            ..view(arrival, vris)
+        };
+        // Rates say hold (or even shrink), but a queue past the high
+        // watermark forces growth for both dynamic policies...
+        let mut fixed = DynamicFixedThreshold::new(60_000.0);
+        assert_eq!(fixed.decide(&view(30_000.0, 2)), AllocDecision::Shrink);
+        assert_eq!(fixed.decide(&overloaded(30_000.0, 2)), AllocDecision::Grow);
+        let mut svc = DynamicServiceRate::new(60_000.0);
+        assert_eq!(svc.decide(&view(50_000.0, 1)), AllocDecision::Hold);
+        assert_eq!(svc.decide(&overloaded(50_000.0, 1)), AllocDecision::Grow);
+        // ...while the fixed allocator keeps its contract.
+        let mut pinned = FixedAllocator::new(2);
+        assert_eq!(pinned.decide(&overloaded(1e9, 2)), AllocDecision::Hold);
+        // The mere pressured band does not trigger growth.
+        let mut fixed = DynamicFixedThreshold::new(60_000.0);
+        let pressured = VrLoadView { pressure: PressureLevel::Pressured, ..view(30_000.0, 1) };
+        assert_eq!(fixed.decide(&pressured), AllocDecision::Hold);
     }
 
     #[test]

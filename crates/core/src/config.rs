@@ -1,6 +1,8 @@
 //! LVRM configuration: one knob per extensibility dimension.
 
-use lvrm_ipc::QueueKind;
+use std::fmt;
+
+use lvrm_ipc::{QueueKind, Watermarks};
 
 use crate::alloc::{CoreAllocator, DynamicFixedThreshold, DynamicServiceRate, FixedAllocator};
 use crate::balance::{FlowBased, Jsq, LoadBalancer, RandomBalancer, RoundRobin};
@@ -142,7 +144,73 @@ pub struct LvrmConfig {
     /// A VR that stays healthy this long after a crash gets its
     /// consecutive-crash streak reset.
     pub crash_streak_reset_ns: u64,
+    /// Low occupancy watermark on the per-VRI data queues, as a fraction of
+    /// capacity. A VR's pressure state only returns to `Normal` once every
+    /// queue has drained back to this mark (hysteresis).
+    pub low_watermark: f64,
+    /// High occupancy watermark: a queue at or above this fraction marks its
+    /// VR `Overloaded`.
+    pub high_watermark: f64,
+    /// Shed excess frames at ingress-classification time when a VR is
+    /// `Overloaded`, by per-VR weighted quota (deficit round-robin across
+    /// bursts). Off by default: without it dispatch degrades to pure
+    /// tail-drop at whichever queue fills first, as before.
+    pub overload_shedding: bool,
+    /// Default admission weight given to a VR at `add_vr` (tunable per VR via
+    /// `Lvrm::set_vr_weight`). An overloaded VR's per-burst admission quota is
+    /// `batch_size × weight / Σ weights`.
+    pub shed_weight: f64,
+    /// How long a shrink victim may keep servicing its parked frames before
+    /// it is forcibly retired and the leftovers re-homed through the
+    /// balancer. `0` retires immediately (still re-homing, never silently
+    /// discarding).
+    pub drain_deadline_ns: u64,
+    /// Control-plane starvation bound: after this many consecutive data
+    /// bursts without a control-relay pass, `ingress_batch` runs
+    /// `process_control` itself. The paper gives control events strict
+    /// priority inside a VRI; this makes the monitor side enforceable too.
+    pub ctrl_starvation_bursts: u32,
 }
+
+/// A statically-invalid [`LvrmConfig`], caught by [`LvrmConfig::validate`]
+/// before any queue or VRI is built.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConfigError {
+    /// Watermarks must satisfy `0 < low < high <= 1`.
+    Watermarks { low: f64, high: f64 },
+    /// Data- and control-queue capacities must be nonzero (the SPSC rings
+    /// assert this much deeper, at split time).
+    QueueCapacity { data: usize, ctrl: usize },
+    /// The dataplane burst size must be at least 1.
+    BatchSize,
+    /// The default shed weight must be positive and finite, so that every
+    /// VR's quota share is well-defined (weights sum > 0).
+    ShedWeight { weight: f64 },
+    /// The control starvation bound must be at least 1 burst.
+    CtrlStarvationBursts,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Watermarks { low, high } => {
+                write!(f, "watermarks must satisfy 0 < low < high <= 1, got low={low} high={high}")
+            }
+            ConfigError::QueueCapacity { data, ctrl } => {
+                write!(f, "queue capacities must be nonzero, got data={data} ctrl={ctrl}")
+            }
+            ConfigError::BatchSize => write!(f, "batch size must be at least 1"),
+            ConfigError::ShedWeight { weight } => {
+                write!(f, "shed weight must be positive and finite, got {weight}")
+            }
+            ConfigError::CtrlStarvationBursts => {
+                write!(f, "control starvation bound must be at least 1 burst")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl Default for LvrmConfig {
     fn default() -> Self {
@@ -172,11 +240,49 @@ impl Default for LvrmConfig {
             respawn_backoff_max_ns: 30_000_000_000, // 30 s
             quarantine_after: 5,
             crash_streak_reset_ns: 10_000_000_000, // 10 s
+            low_watermark: 0.25,
+            high_watermark: 0.75,
+            overload_shedding: false,
+            shed_weight: 1.0,
+            drain_deadline_ns: 500_000_000, // 500 ms
+            ctrl_starvation_bursts: 64,
         }
     }
 }
 
 impl LvrmConfig {
+    /// Check the statically-checkable invariants, returning the first
+    /// violation as a typed error. Call this at the edges (`lvrmd` config
+    /// parse, testbed scenario build) so a bad config fails with a message
+    /// instead of panicking deep inside queue construction.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.data_queue_capacity == 0 || self.ctrl_queue_capacity == 0 {
+            return Err(ConfigError::QueueCapacity {
+                data: self.data_queue_capacity,
+                ctrl: self.ctrl_queue_capacity,
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(ConfigError::BatchSize);
+        }
+        let (low, high) = (self.low_watermark, self.high_watermark);
+        if !(low.is_finite() && high.is_finite() && 0.0 < low && low < high && high <= 1.0) {
+            return Err(ConfigError::Watermarks { low, high });
+        }
+        if !(self.shed_weight.is_finite() && self.shed_weight > 0.0) {
+            return Err(ConfigError::ShedWeight { weight: self.shed_weight });
+        }
+        if self.ctrl_starvation_bursts == 0 {
+            return Err(ConfigError::CtrlStarvationBursts);
+        }
+        Ok(())
+    }
+
+    /// The configured data-queue watermarks.
+    pub fn watermarks(&self) -> Watermarks {
+        Watermarks::new(self.low_watermark, self.high_watermark)
+    }
+
     /// Instantiate the configured balancer.
     pub fn build_balancer(&self) -> Box<dyn LoadBalancer> {
         macro_rules! wrap {
@@ -235,6 +341,53 @@ mod tests {
         assert!(
             matches!(c.allocator, AllocatorKind::DynamicFixed { per_core_rate } if per_core_rate == 60_000.0)
         );
+    }
+
+    #[test]
+    fn default_config_validates() {
+        let c = LvrmConfig::default();
+        assert_eq!(c.validate(), Ok(()));
+        assert!(!c.overload_shedding, "shedding is opt-in");
+        assert!(c.low_watermark < c.high_watermark);
+    }
+
+    #[test]
+    fn validate_rejects_each_invariant() {
+        let base = LvrmConfig::default;
+
+        let c = LvrmConfig { data_queue_capacity: 0, ..base() };
+        assert!(matches!(c.validate(), Err(ConfigError::QueueCapacity { data: 0, .. })));
+        let c = LvrmConfig { ctrl_queue_capacity: 0, ..base() };
+        assert!(matches!(c.validate(), Err(ConfigError::QueueCapacity { ctrl: 0, .. })));
+
+        let c = LvrmConfig { batch_size: 0, ..base() };
+        assert_eq!(c.validate(), Err(ConfigError::BatchSize));
+
+        for (low, high) in
+            [(0.75, 0.25), (0.5, 0.5), (0.0, 0.5), (0.25, 1.5), (f64::NAN, 0.5), (0.25, f64::NAN)]
+        {
+            let c = LvrmConfig { low_watermark: low, high_watermark: high, ..base() };
+            assert!(
+                matches!(c.validate(), Err(ConfigError::Watermarks { .. })),
+                "low={low} high={high} should be rejected"
+            );
+        }
+
+        for w in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let c = LvrmConfig { shed_weight: w, ..base() };
+            assert!(matches!(c.validate(), Err(ConfigError::ShedWeight { .. })), "weight {w}");
+        }
+
+        let c = LvrmConfig { ctrl_starvation_bursts: 0, ..base() };
+        assert_eq!(c.validate(), Err(ConfigError::CtrlStarvationBursts));
+    }
+
+    #[test]
+    fn config_errors_render_their_values() {
+        let e = ConfigError::Watermarks { low: 0.9, high: 0.1 };
+        assert!(e.to_string().contains("low=0.9"));
+        let e = ConfigError::QueueCapacity { data: 0, ctrl: 64 };
+        assert!(e.to_string().contains("data=0"));
     }
 
     #[test]

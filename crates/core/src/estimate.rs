@@ -6,6 +6,7 @@
 //! each VRI." The pseudocode also sketches an inter-arrival-time variant;
 //! both are provided.
 
+use lvrm_ipc::{PressureLevel, Watermarks};
 use lvrm_metrics::Ewma;
 
 /// Estimates one VRI's load; consulted by the load balancer on every
@@ -112,9 +113,70 @@ impl LoadEstimator for EwmaInterArrival {
     }
 }
 
+/// Hysteretic pressure state machine over queue occupancy (overload control,
+/// DESIGN.md §8).
+///
+/// [`Watermarks::classify`] alone would flap between `Pressured` and
+/// `Overloaded` while a queue hovers near the high mark; this tracker makes
+/// the signal sticky: once `Overloaded`, a VR stays so until occupancy falls
+/// back to the *low* mark, so shedding decisions don't oscillate burst to
+/// burst.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PressureTracker {
+    level: PressureLevel,
+}
+
+impl PressureTracker {
+    /// Fold in the worst observed occupancy fraction for this refresh and
+    /// return the (possibly unchanged) level.
+    ///
+    /// * `occupancy >= high` → `Overloaded`;
+    /// * `occupancy <= low` → `Normal`;
+    /// * in between → `Overloaded` stays `Overloaded` (hysteresis), anything
+    ///   else reads `Pressured`.
+    pub fn update(&mut self, occupancy: f64, wm: &Watermarks) -> PressureLevel {
+        self.level = if occupancy >= wm.high {
+            PressureLevel::Overloaded
+        } else if occupancy <= wm.low {
+            PressureLevel::Normal
+        } else if self.level == PressureLevel::Overloaded {
+            PressureLevel::Overloaded
+        } else {
+            PressureLevel::Pressured
+        };
+        self.level
+    }
+
+    /// Current level, as of the last [`update`](PressureTracker::update).
+    pub fn level(&self) -> PressureLevel {
+        self.level
+    }
+
+    /// Reset to `Normal` (VR recycled).
+    pub fn reset(&mut self) {
+        self.level = PressureLevel::Normal;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pressure_tracker_is_hysteretic() {
+        let wm = Watermarks::new(0.25, 0.75);
+        let mut t = PressureTracker::default();
+        assert_eq!(t.level(), PressureLevel::Normal);
+        assert_eq!(t.update(0.5, &wm), PressureLevel::Pressured, "rising through the band");
+        assert_eq!(t.update(0.8, &wm), PressureLevel::Overloaded);
+        assert_eq!(t.update(0.5, &wm), PressureLevel::Overloaded, "sticky inside the band");
+        assert_eq!(t.update(0.74, &wm), PressureLevel::Overloaded, "still sticky near the top");
+        assert_eq!(t.update(0.25, &wm), PressureLevel::Normal, "released at the low mark");
+        assert_eq!(t.update(0.5, &wm), PressureLevel::Pressured, "band reads pressured again");
+        t.update(0.9, &wm);
+        t.reset();
+        assert_eq!(t.level(), PressureLevel::Normal);
+    }
 
     #[test]
     fn queue_length_tracks_backlog() {

@@ -19,6 +19,7 @@
 use std::net::Ipv4Addr;
 
 use lvrm_ipc::channels::{vri_channels, ControlEvent};
+use lvrm_ipc::PressureLevel;
 use lvrm_metrics::RateEstimator;
 use lvrm_net::Frame;
 use lvrm_router::{RouteTable, VirtualRouter};
@@ -27,6 +28,7 @@ use crate::alloc::{AllocDecision, CoreAllocator, VrLoadView};
 use crate::balance::{BalanceCtx, LoadBalancer};
 use crate::clock::Clock;
 use crate::config::LvrmConfig;
+use crate::estimate::PressureTracker;
 use crate::host::{VriHost, VriSpec};
 use crate::topology::CoreMap;
 use crate::vri::{decode_heartbeat, decode_service_rate, VriAdapter, VriHealth};
@@ -109,6 +111,10 @@ pub struct LvrmStats {
     ///
     /// [`dispatch_drops`]: LvrmStats::dispatch_drops
     pub retired_dispatch_drops: u64,
+    /// Frames shed at ingress-classification time: over an overloaded VR's
+    /// weighted admission quota (overload shedding on), or arriving after
+    /// shutdown quiesced ingress. Part of the conservation identity.
+    pub shed_early: u64,
 }
 
 /// Per-VR state: the VRI monitor plus the VR monitor's estimators.
@@ -137,6 +143,40 @@ struct VrState {
     /// Crash-looped past the quarantine threshold: no more respawns, and
     /// its traffic is dropped as `quarantined_drops` once no VRI survives.
     quarantined: bool,
+    /// Admission weight under overload shedding: the VR's per-burst quota is
+    /// `batch_size × weight / Σ weights` while `Overloaded`.
+    weight: f64,
+    /// Watermark pressure state, refreshed once per dispatched burst from
+    /// the worst data-queue occupancy across the VR's VRIs.
+    pressure: PressureTracker,
+    /// Frames admitted past ingress classification (balanced + dispatched).
+    admitted: u64,
+    /// Frames shed at ingress classification (this VR over quota).
+    shed: u64,
+    /// Deficit-round-robin credit carried across bursts while overloaded,
+    /// in frames; fractional so small quanta still admit over time.
+    shed_credit: f64,
+    /// Shrink victims still servicing their parked frames: dispatch stopped,
+    /// retirement pending on empty queue, endpoint loss, or deadline.
+    draining: Vec<DrainingVri>,
+}
+
+/// One VRI in the drain state: out of the balance set, awaiting retirement.
+struct DrainingVri {
+    adapter: VriAdapter,
+    /// Forcible-retirement instant on the monitor clock.
+    deadline_ns: u64,
+}
+
+/// Which counter is charged for frames that cannot be rehomed after a VRI
+/// departs (see [`Lvrm::rehome`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RehomeLoss {
+    /// Involuntary departure: survivors refusing a frame is an ordinary
+    /// dispatch drop; no survivor at all follows the usual drop taxonomy.
+    Crash,
+    /// Voluntary retirement: un-rehomeable frames are `shrink_lost` only.
+    Shrink,
 }
 
 impl VrState {
@@ -163,6 +203,9 @@ pub struct VriSnapshot {
     pub dispatch_drops: u64,
     pub reported_service_rate: Option<f64>,
     pub health: VriHealth,
+    /// In the drain state: no longer balanced to, still counted here so the
+    /// dispatch-drop identity holds at every instant.
+    pub draining: bool,
 }
 
 /// Point-in-time view of one VR.
@@ -174,6 +217,13 @@ pub struct VrSnapshot {
     pub frames_in: u64,
     pub frames_out: u64,
     pub quarantined: bool,
+    /// Watermark pressure state as of the last burst refresh.
+    pub pressure: PressureLevel,
+    /// Frames admitted past ingress classification.
+    pub admitted: u64,
+    /// Frames shed at ingress classification (over quota under overload).
+    pub shed: u64,
+    /// Live VRIs first, then any draining ones (flagged `draining`).
     pub vris: Vec<VriSnapshot>,
 }
 
@@ -181,24 +231,29 @@ impl std::fmt::Display for VrSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} [{} vri] arrival {:.0} fps, in/out {}/{}",
+            "{} [{} vri] arrival {:.0} fps, in/out {}/{}, pressure {}",
             self.name,
             self.vris.len(),
             self.arrival_rate_fps,
             self.frames_in,
-            self.frames_out
+            self.frames_out,
+            self.pressure.name()
         )?;
+        if self.shed > 0 {
+            write!(f, ", admitted/shed {}/{}", self.admitted, self.shed)?;
+        }
         for v in &self.vris {
             write!(
                 f,
-                "\n  {} on {}: load {:.2}, q {}, {}/{} in/out, {} drops",
+                "\n  {} on {}: load {:.2}, q {}, {}/{} in/out, {} drops{}",
                 v.id,
                 v.core,
                 v.load_estimate,
                 v.queue_len,
                 v.dispatched,
                 v.returned,
-                v.dispatch_drops
+                v.dispatch_drops,
+                if v.draining { " (draining)" } else { "" }
             )?;
         }
         Ok(())
@@ -223,6 +278,13 @@ pub struct Lvrm<C: Clock> {
     /// Egress frames rescued from dead or shrunk VRIs, delivered by the next
     /// `poll_egress` (already counted in `frames_out` at rescue time).
     rescued_egress: Vec<Frame>,
+    /// VRIs in the drain state across all VRs (O(1) fast-path check).
+    draining_count: usize,
+    /// Data bursts processed since the last control-relay pass (starvation
+    /// guard: see `config.ctrl_starvation_bursts`).
+    bursts_since_ctrl: u32,
+    /// Graceful shutdown begun: ingress quiesced, every VRI draining.
+    shutting_down: bool,
     // Scratch buffers reused across calls (no hot-path allocation).
     scratch_loads: Vec<f64>,
     scratch_valid: Vec<bool>,
@@ -250,6 +312,9 @@ impl<C: Clock> Lvrm<C> {
             supervision_log: Vec::new(),
             stats: LvrmStats::default(),
             rescued_egress: Vec::new(),
+            draining_count: 0,
+            bursts_since_ctrl: 0,
+            shutting_down: false,
             scratch_loads: Vec::new(),
             scratch_valid: Vec::new(),
             scratch_vris: Vec::new(),
@@ -342,6 +407,12 @@ impl<C: Clock> Lvrm<C> {
             backoff_until_ns: 0,
             respawn_deficit: 0,
             quarantined: false,
+            weight: self.config.shed_weight,
+            pressure: PressureTracker::default(),
+            admitted: 0,
+            shed: 0,
+            shed_credit: 0.0,
+            draining: Vec::new(),
         });
         let now = self.clock.now_ns();
         self.grow_vr(id.0 as usize, now, host);
@@ -355,6 +426,7 @@ impl<C: Clock> Lvrm<C> {
                 arrival_rate: self.vrs[idx].arrival.rate_per_sec(),
                 service_rate_per_vri: None,
                 current_vris: self.vrs[idx].vris.len(),
+                pressure: PressureLevel::Normal,
             };
             if self.vrs[idx].allocator.decide(&view) != AllocDecision::Grow {
                 break;
@@ -369,6 +441,30 @@ impl<C: Clock> Lvrm<C> {
     /// Human-readable name of `vr`.
     pub fn vr_name(&self, vr: VrId) -> &str {
         &self.vrs[vr.0 as usize].name
+    }
+
+    /// Set `vr`'s admission weight for overload shedding (defaults to
+    /// `config.shed_weight`). While overloaded, the VR's per-burst admission
+    /// quota is `batch_size × weight / Σ weights`.
+    pub fn set_vr_weight(&mut self, vr: VrId, weight: f64) {
+        assert!(weight.is_finite() && weight > 0.0, "shed weight must be positive and finite");
+        self.vrs[vr.0 as usize].weight = weight;
+    }
+
+    /// Watermark pressure state of `vr` as of its last dispatched burst.
+    pub fn vr_pressure(&self, vr: VrId) -> PressureLevel {
+        self.vrs.get(vr.0 as usize).map_or(PressureLevel::Normal, |s| s.pressure.level())
+    }
+
+    /// Per-VR (admitted, shed) admission counters. For every VR,
+    /// `frames_in == admitted + shed` holds exactly.
+    pub fn vr_admission_counts(&self, vr: VrId) -> (u64, u64) {
+        self.vrs.get(vr.0 as usize).map_or((0, 0), |s| (s.admitted, s.shed))
+    }
+
+    /// VRIs of `vr` currently in the drain state.
+    pub fn vr_draining_count(&self, vr: VrId) -> usize {
+        self.vrs.get(vr.0 as usize).map_or(0, |s| s.draining.len())
     }
 
     /// Step 2 of the workflow: accept one ingress frame, classify, balance,
@@ -400,6 +496,15 @@ impl<C: Clock> Lvrm<C> {
         }
         let now = self.clock.now_ns();
         self.stats.frames_in += frames.len() as u64;
+        if self.shutting_down {
+            // Quiesced: no new work enters a dataplane that is emptying out.
+            // The frames are still accounted for, so the conservation
+            // identity holds through the shutdown window.
+            self.stats.shed_early += frames.len() as u64;
+            frames.clear();
+            self.poll_drains(now, host);
+            return;
+        }
 
         // Classify by source address ("LVRM inspects the source IP address
         // of the data frame, and determines the VR", §2.1), bucketing the
@@ -430,6 +535,19 @@ impl<C: Clock> Lvrm<C> {
         }
         self.scratch_vr_buckets = buckets;
 
+        if self.draining_count > 0 {
+            self.poll_drains(now, host);
+        }
+
+        // Control starvation guard: a saturated ingress path must not defer
+        // control-event relay forever. The paper gives control strict
+        // priority inside a VRI; this bounds the monitor side too, even for
+        // hosts that only call `process_control` opportunistically.
+        self.bursts_since_ctrl = self.bursts_since_ctrl.saturating_add(1);
+        if self.bursts_since_ctrl >= self.config.ctrl_starvation_bursts {
+            self.process_control();
+        }
+
         // A burst of only-unclassified frames never reached a VR, and the
         // per-frame path returns before the reallocation check in that case.
         if any_classified {
@@ -443,8 +561,13 @@ impl<C: Clock> Lvrm<C> {
     /// has not observed yet (instead of sending the whole burst to the
     /// momentarily-shortest queue).
     fn dispatch_bucket(&mut self, vr_idx: usize, bucket: &mut Vec<Frame>, now: u64) {
+        let wm = self.config.watermarks();
+        let total_weight: f64 = self.vrs.iter().map(|v| v.weight).sum();
         let vr = &mut self.vrs[vr_idx];
         vr.frames_in += bucket.len() as u64;
+        // Arrivals are recorded before admission control: the allocator must
+        // see true offered load, or an overloaded VR could never earn the
+        // cores that would relieve the overload.
         for _ in 0..bucket.len() {
             vr.arrival.record(now);
         }
@@ -452,14 +575,42 @@ impl<C: Clock> Lvrm<C> {
         self.scratch_loads.clear();
         self.scratch_valid.clear();
         self.scratch_vris.clear();
+        let mut worst_occupancy: f64 = 0.0;
         for v in &mut vr.vris {
             v.observe_load(now);
+            worst_occupancy = worst_occupancy.max(v.occupancy());
             self.scratch_loads.push(v.load());
             // A crashed instance's endpoint detaches before the supervisor
             // tick notices: stop feeding it between ticks.
             self.scratch_valid.push(v.accepting() && v.endpoint_attached());
             self.scratch_vris.push(v.id);
         }
+        // Per-burst pressure refresh: one data queue past the high watermark
+        // marks the whole VR (JSQ would have spread the backlog first), and
+        // the tracker holds the state until the worst queue drains back
+        // below the low mark.
+        vr.pressure.update(worst_occupancy, &wm);
+
+        // Fair admission under overload: an `Overloaded` VR is held to its
+        // weighted share of the burst budget, with deficit-round-robin
+        // credit carried across bursts so fractional quanta still admit.
+        // Excess is shed here, before any balance or dispatch work is spent
+        // on frames that would tail-drop anyway.
+        if self.config.overload_shedding && vr.pressure.level() == PressureLevel::Overloaded {
+            let quantum = self.config.batch_size as f64 * vr.weight / total_weight;
+            vr.shed_credit = (vr.shed_credit + quantum).min(quantum.max(1.0));
+            let allowed = vr.shed_credit as usize;
+            if bucket.len() > allowed {
+                let over = (bucket.len() - allowed) as u64;
+                bucket.truncate(allowed);
+                vr.shed += over;
+                self.stats.shed_early += over;
+            }
+            vr.shed_credit -= bucket.len() as f64;
+        } else {
+            vr.shed_credit = 0.0;
+        }
+        vr.admitted += bucket.len() as u64;
         while self.scratch_slot_buckets.len() < vr.vris.len() {
             self.scratch_slot_buckets.push(Vec::new());
         }
@@ -510,6 +661,11 @@ impl<C: Clock> Lvrm<C> {
             for vri in &mut vr.vris {
                 vri.drain_egress(out);
             }
+            // Draining VRIs no longer receive dispatches but keep forwarding
+            // until retirement — that is what makes the drain hitless.
+            for d in &mut vr.draining {
+                d.adapter.drain_egress(out);
+            }
             vr.frames_out += (out.len() - vr_before) as u64;
         }
         let n = out.len() - before;
@@ -529,10 +685,15 @@ impl<C: Clock> Lvrm<C> {
                 frames_in: vr.frames_in,
                 frames_out: vr.frames_out,
                 quarantined: vr.quarantined,
+                pressure: vr.pressure.level(),
+                admitted: vr.admitted,
+                shed: vr.shed,
                 vris: vr
                     .vris
                     .iter()
-                    .map(|v| VriSnapshot {
+                    .map(|v| (v, false))
+                    .chain(vr.draining.iter().map(|d| (&d.adapter, true)))
+                    .map(|(v, draining)| VriSnapshot {
                         id: v.id,
                         core: v.core,
                         load_estimate: v.load(),
@@ -542,6 +703,7 @@ impl<C: Clock> Lvrm<C> {
                         dispatch_drops: v.dispatch_drops,
                         reported_service_rate: v.reported_service_rate,
                         health: v.health,
+                        draining,
                     })
                     .collect(),
             })
@@ -550,8 +712,12 @@ impl<C: Clock> Lvrm<C> {
 
     /// Whether any VRI has forwarded frames waiting to be collected (used
     /// by polling hosts to decide whether another egress pass is needed).
+    /// Draining VRIs count: their egress must flush before retirement.
     pub fn has_pending_egress(&self) -> bool {
-        self.vrs.iter().flat_map(|vr| vr.vris.iter()).any(|v| v.has_pending_egress())
+        self.vrs.iter().any(|vr| {
+            vr.vris.iter().any(|v| v.has_pending_egress())
+                || vr.draining.iter().any(|d| d.adapter.has_pending_egress())
+        })
     }
 
     /// Relay control traffic: service-rate reports terminate here; anything
@@ -559,12 +725,18 @@ impl<C: Clock> Lvrm<C> {
     /// ("a VRI can share control information with other VRIs of the same
     /// VR", §2.1).
     pub fn process_control(&mut self) {
+        self.bursts_since_ctrl = 0;
         let now = self.clock.now_ns();
         let mut events = std::mem::take(&mut self.scratch_ctrl);
         events.clear();
         for vr in &mut self.vrs {
             for vri in &mut vr.vris {
                 vri.drain_control(&mut events);
+            }
+            // Control from draining VRIs still flows: the drain is hitless
+            // for the control plane too.
+            for d in &mut vr.draining {
+                d.adapter.drain_control(&mut events);
             }
         }
         for ev in events.drain(..) {
@@ -599,13 +771,19 @@ impl<C: Clock> Lvrm<C> {
     }
 
     fn find_vri_mut(&mut self, id: VriId) -> Option<&mut VriAdapter> {
-        self.vrs.iter_mut().flat_map(|vr| vr.vris.iter_mut()).find(|v| v.id == id)
+        self.vrs
+            .iter_mut()
+            .flat_map(|vr| vr.vris.iter_mut().chain(vr.draining.iter_mut().map(|d| &mut d.adapter)))
+            .find(|v| v.id == id)
     }
 
     /// The VR monitor's allocation pass (Fig. 3.2's `allocate`), rate-limited
     /// to one run per allocation period. Exposed for hosts that want to
     /// drive it on a timer even without traffic.
     pub fn maybe_reallocate(&mut self, now_ns: u64, host: &mut dyn VriHost) {
+        if self.shutting_down {
+            return; // the only remaining allocation activity is the drain
+        }
         match self.last_alloc_ns {
             Some(last) if now_ns.saturating_sub(last) < self.config.allocation_period_ns => return,
             _ => {}
@@ -615,6 +793,9 @@ impl<C: Clock> Lvrm<C> {
         // The supervisor shares the lazy tick: recover dead VRIs first so
         // the allocator below sees the post-recovery instance counts.
         self.supervise(now_ns, host);
+        if self.draining_count > 0 {
+            self.poll_drains(now_ns, host);
+        }
 
         for idx in 0..self.vrs.len() {
             // Close out elapsed rate windows even for silent VRs.
@@ -624,10 +805,16 @@ impl<C: Clock> Lvrm<C> {
             if self.vrs[idx].quarantined {
                 continue;
             }
+            // A VR mid-drain holds its size until the drain settles; acting
+            // on load readings polluted by a retiring instance would flap.
+            if !self.vrs[idx].draining.is_empty() {
+                continue;
+            }
             let view = VrLoadView {
                 arrival_rate: self.vrs[idx].arrival.rate_per_sec(),
                 service_rate_per_vri: self.vrs[idx].service_rate_per_vri(),
                 current_vris: self.vrs[idx].vris.len(),
+                pressure: self.vrs[idx].pressure.level(),
             };
             match self.vrs[idx].allocator.decide(&view) {
                 AllocDecision::Grow => {
@@ -698,7 +885,7 @@ impl<C: Clock> Lvrm<C> {
             }
 
             if !reclaimed.is_empty() {
-                self.redispatch(idx, &mut reclaimed, now_ns);
+                self.rehome(idx, &mut reclaimed, now_ns, RehomeLoss::Crash);
             }
         }
     }
@@ -777,10 +964,16 @@ impl<C: Clock> Lvrm<C> {
         }
     }
 
-    /// Re-balance frames reclaimed from a dead VRI across the VR's
+    /// Re-balance frames reclaimed from a departed VRI across the VR's
     /// survivors. Unlike [`Lvrm::dispatch_bucket`] this records neither
     /// `frames_in` nor arrivals — the frames were admitted once already.
-    fn redispatch(&mut self, vr_idx: usize, frames: &mut Vec<Frame>, now: u64) {
+    ///
+    /// `loss` names the counter charged for frames that cannot be rehomed.
+    /// A crash charges the usual drop taxonomy (the survivors refusing a
+    /// frame is an ordinary dispatch drop); a shrink charges `shrink_lost`
+    /// only, *without* `note_discarded`, so the per-adapter dispatch-drop
+    /// identity is untouched by voluntary retirement.
+    fn rehome(&mut self, vr_idx: usize, frames: &mut Vec<Frame>, now: u64, loss: RehomeLoss) {
         let vr = &mut self.vrs[vr_idx];
         self.scratch_loads.clear();
         self.scratch_valid.clear();
@@ -806,8 +999,11 @@ impl<C: Clock> Lvrm<C> {
                     self.scratch_slot_buckets[slot].push(frame);
                     self.scratch_loads[slot] += 1.0;
                 }
-                None if vr.quarantined => self.stats.quarantined_drops += 1,
-                None => self.stats.no_vri_drops += 1,
+                None => match loss {
+                    RehomeLoss::Crash if vr.quarantined => self.stats.quarantined_drops += 1,
+                    RehomeLoss::Crash => self.stats.no_vri_drops += 1,
+                    RehomeLoss::Shrink => self.stats.shrink_lost += 1,
+                },
             }
         }
         for (slot, sb) in self.scratch_slot_buckets.iter_mut().enumerate().take(vr.vris.len()) {
@@ -818,8 +1014,13 @@ impl<C: Clock> Lvrm<C> {
             self.stats.redispatched += accepted as u64;
             let leftover = sb.len() as u64;
             if leftover > 0 {
-                vr.vris[slot].note_discarded(leftover);
-                self.stats.dispatch_drops += leftover;
+                match loss {
+                    RehomeLoss::Crash => {
+                        vr.vris[slot].note_discarded(leftover);
+                        self.stats.dispatch_drops += leftover;
+                    }
+                    RehomeLoss::Shrink => self.stats.shrink_lost += leftover,
+                }
             }
             sb.clear();
         }
@@ -838,6 +1039,10 @@ impl<C: Clock> Lvrm<C> {
         host: &mut dyn VriHost,
     ) {
         let idx = vr.0 as usize;
+        // Manual resize is explicit operator intent: settle pending drains
+        // first so their cores and queue-memory budget are actually free,
+        // and the instance count lands exactly on `target`.
+        self.force_retire_drains(now_ns, host);
         while self.vrs[idx].vris.len() < target {
             if !self.grow_vr(idx, now_ns, host) {
                 break;
@@ -846,6 +1051,20 @@ impl<C: Clock> Lvrm<C> {
         while self.vrs[idx].vris.len() > target.max(1) {
             if !self.shrink_vr(idx, now_ns, host) {
                 break;
+            }
+            // The forced path does not wait out the drain either.
+            self.force_retire_drains(now_ns, host);
+        }
+    }
+
+    /// Retire every draining VRI right now, deadline or not (forced-resize
+    /// path). Parked frames are still rehomed; only un-rehomeable ones are
+    /// `shrink_lost`.
+    fn force_retire_drains(&mut self, now_ns: u64, host: &mut dyn VriHost) {
+        for idx in 0..self.vrs.len() {
+            while let Some(d) = self.vrs[idx].draining.pop() {
+                self.draining_count -= 1;
+                self.retire_vri(idx, d.adapter, now_ns, host);
             }
         }
     }
@@ -866,7 +1085,8 @@ impl<C: Clock> Lvrm<C> {
             return false;
         }
         if self.config.max_queue_memory_bytes > 0 {
-            let live: usize = self.vrs.iter().map(|v| v.vris.len()).sum();
+            // Draining VRIs still hold their channel fabric until retired.
+            let live: usize = self.vrs.iter().map(|v| v.vris.len() + v.draining.len()).sum();
             if (live + 1) * self.vri_queue_memory_estimate() > self.config.max_queue_memory_bytes {
                 return false; // memory budget exhausted (§3.2 extension)
             }
@@ -914,37 +1134,134 @@ impl<C: Clock> Lvrm<C> {
         true
     }
 
-    /// "Destroy VRI adapter" (Fig. 3.2): kill the instance, tear down its
-    /// queues, release its core. The most recently added VRI goes first so
-    /// sibling cores are surrendered last.
+    /// "Destroy VRI adapter" (Fig. 3.2), hitlessly: the victim leaves the
+    /// balance set at once (no new dispatches), but its vehicle keeps
+    /// servicing parked frames until the queue empties, the endpoint
+    /// detaches, or `config.drain_deadline_ns` elapses — only then is it
+    /// retired ([`Lvrm::retire_vri`]). The most recently added VRI goes
+    /// first so sibling cores are surrendered last. With a zero deadline the
+    /// victim is retired immediately (still rehoming its parked frames).
     fn shrink_vr(&mut self, idx: usize, now_ns: u64, host: &mut dyn VriHost) -> bool {
-        if self.vrs[idx].vris.len() <= 1 {
+        if self.vrs[idx].vris.len() <= 1 && !self.shutting_down {
             return false; // a live VR keeps at least one instance
         }
+        if self.vrs[idx].vris.is_empty() {
+            return false;
+        }
         let t0 = self.clock.now_ns();
-        let mut adapter = self.vrs[idx].vris.pop().expect("len checked");
-        host.kill_vri(self.vrs[idx].id, adapter.id);
-        // Rescue already-forwarded frames; anything still queued inbound is
-        // lost with the queues (counted, per DESIGN.md's deviation log).
-        let mut rescued = Vec::new();
-        adapter.drain_egress(&mut rescued);
-        let vr = &mut self.vrs[idx];
-        vr.frames_out += rescued.len() as u64;
-        self.stats.frames_out += rescued.len() as u64;
-        self.rescued_egress.append(&mut rescued);
-        self.stats.shrink_lost += adapter.queue_len() as u64;
-        self.stats.retired_dispatch_drops += adapter.dispatch_drops;
-        vr.balancer.purge_vri(adapter.id);
-        self.cores.release(adapter.core);
+        let adapter = self.vrs[idx].vris.pop().expect("len checked");
+        let vri = adapter.id;
+        self.vrs[idx].balancer.purge_vri(vri);
         let latency = self.clock.now_ns().saturating_sub(t0);
         self.realloc_log.push(ReallocEvent {
             ts_ns: now_ns,
-            vr: vr.id,
+            vr: self.vrs[idx].id,
             decision: AllocDecision::Shrink,
             latency_ns: latency,
-            vris_after: vr.vris.len(),
+            vris_after: self.vrs[idx].vris.len(),
         });
+        if self.config.drain_deadline_ns == 0 {
+            self.retire_vri(idx, adapter, now_ns, host);
+        } else {
+            let deadline_ns = now_ns.saturating_add(self.config.drain_deadline_ns);
+            self.vrs[idx].draining.push(DrainingVri { adapter, deadline_ns });
+            self.draining_count += 1;
+        }
         true
+    }
+
+    /// Final teardown of a drained (or deadline-expired) VRI: kill the
+    /// vehicle, rescue forwarded frames, reclaim parked inbound frames and
+    /// rehome them across the survivors. Only frames neither rescued nor
+    /// rehomed count as `shrink_lost` — on the happy path (queue drained
+    /// empty) that is zero.
+    fn retire_vri(
+        &mut self,
+        idx: usize,
+        mut adapter: VriAdapter,
+        now_ns: u64,
+        host: &mut dyn VriHost,
+    ) {
+        let vri = adapter.id;
+        let queued = adapter.queue_len() as u64;
+        host.kill_vri(self.vrs[idx].id, vri);
+
+        let mut rescued = Vec::new();
+        adapter.drain_egress(&mut rescued);
+        self.vrs[idx].frames_out += rescued.len() as u64;
+        self.stats.frames_out += rescued.len() as u64;
+        self.rescued_egress.append(&mut rescued);
+
+        let mut reclaimed: Vec<Frame> = Vec::new();
+        if let Some(mut endpoint) = host.reap_endpoint(vri) {
+            while endpoint.data_rx.try_recv_batch(&mut reclaimed, usize::MAX) > 0 {}
+        }
+        self.stats.shrink_lost += queued.saturating_sub(reclaimed.len() as u64);
+        self.stats.retired_dispatch_drops += adapter.dispatch_drops;
+        self.cores.release(adapter.core);
+        if !reclaimed.is_empty() {
+            self.rehome(idx, &mut reclaimed, now_ns, RehomeLoss::Shrink);
+        }
+    }
+
+    /// Sweep the drain lists and retire every VRI whose queue has emptied,
+    /// whose endpoint has detached, or whose deadline has passed. Runs from
+    /// ingress bursts and the reallocation tick; hosts may also call it
+    /// directly (e.g. the shutdown loop).
+    pub fn poll_drains(&mut self, now_ns: u64, host: &mut dyn VriHost) {
+        if self.draining_count == 0 {
+            return;
+        }
+        for idx in 0..self.vrs.len() {
+            let mut slot = 0;
+            while slot < self.vrs[idx].draining.len() {
+                let d = &self.vrs[idx].draining[slot];
+                let ready = d.adapter.queue_len() == 0
+                    || !d.adapter.endpoint_attached()
+                    || now_ns >= d.deadline_ns;
+                if ready {
+                    let d = self.vrs[idx].draining.remove(slot);
+                    self.draining_count -= 1;
+                    self.retire_vri(idx, d.adapter, now_ns, host);
+                } else {
+                    slot += 1;
+                }
+            }
+        }
+    }
+
+    /// Begin (idempotently) and advance a graceful shutdown: every VRI of
+    /// every VR moves to the drain state, new ingress is quiesced (counted
+    /// as `shed_early`), and each call sweeps the drains. Returns `true`
+    /// once every VRI has been retired — hosts loop, pumping vehicles and
+    /// collecting egress, until then (or until their own deadline, passed
+    /// here as each drain's forcible-retirement instant).
+    pub fn shutdown(&mut self, deadline_ns: u64, host: &mut dyn VriHost) -> bool {
+        let now = self.clock.now_ns();
+        if !self.shutting_down {
+            self.shutting_down = true;
+            for idx in 0..self.vrs.len() {
+                while let Some(adapter) = self.vrs[idx].vris.pop() {
+                    self.vrs[idx].balancer.purge_vri(adapter.id);
+                    self.vrs[idx].draining.push(DrainingVri { adapter, deadline_ns });
+                    self.draining_count += 1;
+                }
+            }
+        }
+        // Relay any last control traffic, then sweep.
+        self.process_control();
+        self.poll_drains(now, host);
+        self.shutdown_complete()
+    }
+
+    /// Whether a begun shutdown has fully quiesced (every VRI retired).
+    pub fn shutdown_complete(&self) -> bool {
+        self.shutting_down && self.draining_count == 0
+    }
+
+    /// Whether [`Lvrm::shutdown`] has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down
     }
 }
 

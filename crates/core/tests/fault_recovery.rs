@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! frames_in == frames_out + unclassified + dispatch_drops + no_vri_drops
-//!              + shrink_lost + crash_lost + quarantined_drops
+//!              + shrink_lost + crash_lost + quarantined_drops + shed_early
 //! ```
 //!
 //! plus the drop identity (the double-counting regression guard):
@@ -83,7 +83,8 @@ fn assert_conserved(s: &LvrmStats) {
             + s.no_vri_drops
             + s.shrink_lost
             + s.crash_lost
-            + s.quarantined_drops,
+            + s.quarantined_drops
+            + s.shed_early,
         "conservation identity violated: {s:?}"
     );
 }

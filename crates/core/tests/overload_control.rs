@@ -1,0 +1,575 @@
+//! Overload control & graceful degradation: watermark pressure, fair
+//! weighted shedding, the control-plane starvation guard, hitless drain on
+//! shrink, and clean shutdown — all against the manual clock, no sleeps.
+//!
+//! Every test that finishes with drained queues asserts the conservation
+//! identity:
+//!
+//! ```text
+//! frames_in == frames_out + unclassified + dispatch_drops + no_vri_drops
+//!              + shrink_lost + crash_lost + quarantined_drops + shed_early
+//! ```
+//!
+//! The `overload_soak` storm (release CI soak leg; `-- --ignored`) sweeps
+//! every `QueueKind` — set `LVRM_CHAOS_QUEUE` to one of `lamport` /
+//! `fastforward` / `mutex` to restrict it, as the CI matrix does.
+
+use std::net::Ipv4Addr;
+
+use lvrm_core::alloc::AllocDecision;
+use lvrm_core::{
+    AffinityMode, AllocatorKind, Clock, CoreId, CoreMap, CoreTopology, Lvrm, LvrmConfig, LvrmStats,
+    ManualClock, RecordingHost, VriId,
+};
+use lvrm_ipc::channels::ControlEvent;
+use lvrm_ipc::{PressureLevel, QueueKind};
+use lvrm_net::{Frame, FrameBuilder};
+use lvrm_router::VirtualRouter;
+
+const SEEDS: &[u64] = &[7, 42, 1337];
+
+fn queue_kinds() -> Vec<QueueKind> {
+    let kinds: Vec<QueueKind> = match std::env::var("LVRM_CHAOS_QUEUE") {
+        Ok(want) => QueueKind::ALL.iter().copied().filter(|k| k.name() == want).collect(),
+        Err(_) => QueueKind::ALL.to_vec(),
+    };
+    assert!(!kinds.is_empty(), "LVRM_CHAOS_QUEUE named no known queue kind");
+    kinds
+}
+
+fn new_lvrm(clock: ManualClock, config: LvrmConfig) -> Lvrm<ManualClock> {
+    let cores = CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
+    Lvrm::new(config, cores, clock)
+}
+
+/// Every classified frame must come back out, so the VR routes everything.
+fn routed_vr(name: &str) -> Box<dyn VirtualRouter> {
+    let routes = lvrm_router::parse_map_file("0.0.0.0/0 1\n").unwrap();
+    Box::new(lvrm_router::FastVr::new(name, routes))
+}
+
+fn frame_from(src: [u8; 4]) -> Frame {
+    FrameBuilder::new(Ipv4Addr::from(src), Ipv4Addr::new(10, 0, 2, 1)).udp(1, 2, &[])
+}
+
+fn burst_from(subnet_third: u8, n: usize) -> Vec<Frame> {
+    (0..n).map(|i| frame_from([10, 0, subnet_third, (i % 250) as u8 + 1])).collect()
+}
+
+fn assert_conserved(s: &LvrmStats) {
+    assert_eq!(
+        s.frames_in,
+        s.frames_out
+            + s.unclassified
+            + s.dispatch_drops
+            + s.no_vri_drops
+            + s.shrink_lost
+            + s.crash_lost
+            + s.quarantined_drops
+            + s.shed_early,
+        "conservation identity violated: {s:?}"
+    );
+}
+
+fn assert_drop_identity(lvrm: &Lvrm<ManualClock>) {
+    let adapters: u64 =
+        lvrm.snapshot().iter().flat_map(|vr| vr.vris.clone()).map(|v| v.dispatch_drops).sum();
+    assert_eq!(
+        lvrm.stats.dispatch_drops,
+        adapters + lvrm.stats.retired_dispatch_drops,
+        "dispatch_drops must equal adapter sum ({adapters}) + retired ({}): {:?}",
+        lvrm.stats.retired_dispatch_drops,
+        lvrm.stats
+    );
+}
+
+/// Pump/relay/collect until nothing moves (no simulated time advances).
+fn drain(lvrm: &mut Lvrm<ManualClock>, host: &mut RecordingHost, out: &mut Vec<Frame>) {
+    loop {
+        let processed = host.pump();
+        lvrm.process_control();
+        let egress = lvrm.poll_egress(out);
+        if processed == 0 && egress == 0 {
+            break;
+        }
+    }
+}
+
+/// Push one application-level control event from `src` into its endpoint's
+/// outgoing control queue, addressed to `dst`.
+fn send_ctrl(host: &mut RecordingHost, src: VriId, dst: VriId) -> bool {
+    let Some((_, endpoint, _)) = host.endpoints.iter_mut().find(|(id, _, _)| *id == src) else {
+        return false;
+    };
+    endpoint.ctrl_tx.try_send(ControlEvent::new(src.0, dst.0, b"app-event".to_vec())).is_ok()
+}
+
+// ---------------------------------------------------------------------------
+// Weighted fair shedding
+// ---------------------------------------------------------------------------
+
+/// Two VRs, weights 3:1, tiny queues: once overloaded, each VR's per-burst
+/// admission quota is exactly `batch_size × weight / Σ weights` (12 and 4
+/// of a 16-frame burst), and the per-VR admission counters reconcile with
+/// the aggregate and with the conservation identity.
+#[test]
+fn overloaded_vrs_are_held_to_their_weighted_quota() {
+    let clock = ManualClock::new();
+    let config = LvrmConfig {
+        data_queue_capacity: 16,
+        batch_size: 16,
+        overload_shedding: true,
+        allocator: AllocatorKind::Fixed { cores: 1 },
+        ..Default::default()
+    };
+    let mut lvrm = new_lvrm(clock, config);
+    let mut host = RecordingHost::default();
+    let a = lvrm.add_vr("a", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], routed_vr("a"), &mut host);
+    let b = lvrm.add_vr("b", &[(Ipv4Addr::new(10, 0, 3, 0), 24)], routed_vr("b"), &mut host);
+    lvrm.set_vr_weight(a, 3.0);
+    lvrm.set_vr_weight(b, 1.0);
+
+    // Burst 1 per VR: queues are empty, pressure Normal, everything admits.
+    lvrm.ingress_batch(&mut burst_from(1, 16), &mut host);
+    lvrm.ingress_batch(&mut burst_from(3, 16), &mut host);
+    assert_eq!(lvrm.vr_pressure(a), PressureLevel::Normal);
+    assert_eq!(lvrm.vr_admission_counts(a), (16, 0));
+    assert_eq!(lvrm.vr_admission_counts(b), (16, 0));
+    assert_eq!(lvrm.stats.shed_early, 0);
+
+    // Bursts 2 and 3: nothing was pumped, so every data queue sits at its
+    // high watermark and both VRs are Overloaded. Quotas: 16×3/4 = 12 for
+    // `a`, 16×1/4 = 4 for `b`, deterministic per burst.
+    for _ in 0..2 {
+        lvrm.ingress_batch(&mut burst_from(1, 16), &mut host);
+        lvrm.ingress_batch(&mut burst_from(3, 16), &mut host);
+    }
+    assert_eq!(lvrm.vr_pressure(a), PressureLevel::Overloaded);
+    assert_eq!(lvrm.vr_pressure(b), PressureLevel::Overloaded);
+    assert_eq!(lvrm.vr_admission_counts(a), (16 + 12 + 12, 4 + 4), "weight-3 quota is 12 of 16");
+    assert_eq!(lvrm.vr_admission_counts(b), (16 + 4 + 4, 12 + 12), "weight-1 quota is 4 of 16");
+
+    // Per-VR shed sums to the aggregate, and frames_in == admitted + shed.
+    let snaps = lvrm.snapshot();
+    let shed_sum: u64 = snaps.iter().map(|v| v.shed).sum();
+    assert_eq!(shed_sum, lvrm.stats.shed_early);
+    for v in &snaps {
+        assert_eq!(v.frames_in, v.admitted + v.shed, "per-VR admission identity: {v}");
+    }
+
+    // Draining the queues recovers Normal (hysteresis releases below the
+    // low watermark) and the books balance exactly.
+    let mut out = Vec::new();
+    drain(&mut lvrm, &mut host, &mut out);
+    lvrm.ingress_batch(&mut burst_from(1, 1), &mut host);
+    assert_eq!(lvrm.vr_pressure(a), PressureLevel::Normal, "drained VR recovers");
+    drain(&mut lvrm, &mut host, &mut out);
+    assert_conserved(&lvrm.stats);
+    assert_drop_identity(&lvrm);
+}
+
+/// With shedding off (the default), the same overload degrades to pure
+/// tail-drop: nothing is shed, losses land in `dispatch_drops` instead.
+#[test]
+fn shedding_off_degrades_to_tail_drop() {
+    let clock = ManualClock::new();
+    let config = LvrmConfig {
+        data_queue_capacity: 16,
+        batch_size: 16,
+        allocator: AllocatorKind::Fixed { cores: 1 },
+        ..Default::default()
+    };
+    assert!(!config.overload_shedding, "shedding is opt-in");
+    let mut lvrm = new_lvrm(clock, config);
+    let mut host = RecordingHost::default();
+    let a = lvrm.add_vr("a", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], routed_vr("a"), &mut host);
+    for _ in 0..3 {
+        lvrm.ingress_batch(&mut burst_from(1, 16), &mut host);
+    }
+    // The pressure signal still reports the overload even when unused.
+    assert_eq!(lvrm.vr_pressure(a), PressureLevel::Overloaded);
+    assert_eq!(lvrm.stats.shed_early, 0);
+    assert_eq!(lvrm.vr_admission_counts(a), (48, 0));
+    // With the one VRI's queue full the balancer has no valid target, so the
+    // excess tail-drops as `no_vri_drops` (a partially-full fleet would show
+    // `dispatch_drops` instead) — either way, a named counter, not silence.
+    let tail_dropped = lvrm.stats.dispatch_drops + lvrm.stats.no_vri_drops;
+    assert!(tail_dropped > 0, "overload tail-drops: {:?}", lvrm.stats);
+    let mut out = Vec::new();
+    drain(&mut lvrm, &mut host, &mut out);
+    assert_conserved(&lvrm.stats);
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane starvation guard & drop accounting
+// ---------------------------------------------------------------------------
+
+/// A saturated ingress path must not defer control relay forever: after
+/// `ctrl_starvation_bursts` data bursts without a relay pass, `ingress_batch`
+/// runs `process_control` itself — and the bound resets afterwards.
+#[test]
+fn starvation_guard_bounds_control_relay_deferral() {
+    let clock = ManualClock::new();
+    let config = LvrmConfig {
+        allocator: AllocatorKind::Fixed { cores: 2 },
+        ctrl_starvation_bursts: 4,
+        ..Default::default()
+    };
+    let mut lvrm = new_lvrm(clock, config);
+    let mut host = RecordingHost::default();
+    lvrm.add_vr("a", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], routed_vr("a"), &mut host);
+    let (src, dst) = (host.endpoints[0].0, host.endpoints[1].0);
+
+    for round in 1..=2u64 {
+        assert!(send_ctrl(&mut host, src, dst));
+        // Three bursts: below the bound, the event stays parked.
+        for _ in 0..3 {
+            lvrm.ingress(frame_from([10, 0, 1, 1]), &mut host);
+        }
+        assert_eq!(lvrm.stats.control_relayed, round - 1, "relay deferred below the bound");
+        // The fourth consecutive burst trips the guard.
+        lvrm.ingress(frame_from([10, 0, 1, 1]), &mut host);
+        assert_eq!(lvrm.stats.control_relayed, round, "burst {round}×4 must force a relay pass");
+    }
+    assert_eq!(lvrm.stats.control_drops, 0);
+}
+
+/// Control drops reconcile: every event handed to the monitor is either
+/// relayed or counted in `control_drops`, with a full destination queue as
+/// the drop reason.
+#[test]
+fn control_drops_reconcile_against_emitted_events() {
+    let clock = ManualClock::new();
+    let config = LvrmConfig {
+        allocator: AllocatorKind::Fixed { cores: 2 },
+        ctrl_queue_capacity: 8,
+        ..Default::default()
+    };
+    let mut lvrm = new_lvrm(clock, config);
+    let mut host = RecordingHost::default();
+    lvrm.add_vr("a", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], routed_vr("a"), &mut host);
+    let (src, dst) = (host.endpoints[0].0, host.endpoints[1].0);
+
+    // Three rounds of 8; the destination VRI never services its control
+    // queue, so round 1 fills it and rounds 2-3 drop at relay time.
+    let mut emitted = 0u64;
+    for _ in 0..3 {
+        for _ in 0..8 {
+            assert!(send_ctrl(&mut host, src, dst), "source control queue must hold a round");
+            emitted += 1;
+        }
+        lvrm.process_control();
+    }
+    let s = &lvrm.stats;
+    assert_eq!(emitted, 24);
+    assert_eq!(s.control_relayed, 8, "exactly one destination queue's worth relays");
+    assert_eq!(s.control_drops, 16, "the rest drop against the full queue");
+    assert_eq!(s.control_relayed + s.control_drops, emitted, "no event vanishes");
+
+    // An unknown destination is also a counted drop, not a panic.
+    assert!(send_ctrl(&mut host, src, VriId(9999)));
+    lvrm.process_control();
+    assert_eq!(lvrm.stats.control_drops, 17);
+}
+
+// ---------------------------------------------------------------------------
+// Hitless drain on shrink
+// ---------------------------------------------------------------------------
+
+/// Drive a dynamic VR up under load, then idle it down. The shrink victim
+/// leaves the balance set at once but is NOT killed: it keeps servicing its
+/// parked frames and is only retired once its queue empties — `shrink_lost`
+/// stays zero and every frame comes out.
+#[test]
+fn shrink_drains_hitlessly_with_zero_loss() {
+    let clock = ManualClock::new();
+    let config = LvrmConfig {
+        allocator: AllocatorKind::DynamicFixed { per_core_rate: 1000.0 },
+        ..Default::default()
+    };
+    let mut lvrm = new_lvrm(clock.clone(), config);
+    let mut host = RecordingHost::default();
+    let mut out = Vec::new();
+    let vr = lvrm.add_vr("a", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], routed_vr("a"), &mut host);
+
+    // Grow: ~3000 fps for 3 simulated seconds, serviced and collected.
+    let mut now = 0u64;
+    for _ in 0..9000 {
+        now += 333_333;
+        clock.set_ns(now);
+        lvrm.ingress(frame_from([10, 0, 1, 5]), &mut host);
+        host.pump();
+        lvrm.poll_egress(&mut out);
+    }
+    let peak = lvrm.vri_count(vr);
+    assert!(peak >= 3, "load must grow the VR first, got {peak}");
+
+    // Idle down WITHOUT pumping: arriving frames park in the queues, so the
+    // shrink victim has work left when the allocator lets it go.
+    let mut observed_drain = false;
+    for _ in 0..60 {
+        now += 100_000_000;
+        clock.set_ns(now);
+        lvrm.ingress(frame_from([10, 0, 1, 5]), &mut host);
+        if lvrm.vr_draining_count(vr) == 1 {
+            observed_drain = true;
+            break;
+        }
+    }
+    assert!(observed_drain, "idling must put a shrink victim into the drain state");
+    assert!(lvrm.vri_count(vr) < peak, "the victim left the balance set");
+    assert!(host.killed.is_empty(), "hitless: nothing killed while draining");
+    let draining: Vec<_> =
+        lvrm.snapshot().iter().flat_map(|v| v.vris.clone()).filter(|v| v.draining).collect();
+    assert_eq!(draining.len(), 1, "snapshot flags exactly the draining VRI");
+    assert!(
+        lvrm.realloc_log.iter().any(|e| e.decision == AllocDecision::Shrink),
+        "the shrink decision is logged"
+    );
+
+    // The victim's vehicle is still live: pumping empties its queue, and the
+    // next sweep retires it with nothing left to lose.
+    host.pump();
+    now += 1_000_000;
+    clock.set_ns(now);
+    lvrm.poll_drains(now, &mut host);
+    assert_eq!(lvrm.vr_draining_count(vr), 0, "drained victim retires");
+    assert_eq!(host.killed.len(), 1, "retirement is the only kill");
+    assert_eq!(lvrm.stats.shrink_lost, 0, "happy-path drain loses nothing: {:?}", lvrm.stats);
+
+    drain(&mut lvrm, &mut host, &mut out);
+    assert_conserved(&lvrm.stats);
+    assert_drop_identity(&lvrm);
+    assert_eq!(lvrm.stats.frames_in, lvrm.stats.frames_out, "every frame forwarded");
+}
+
+/// A wedged shrink victim cannot drain; the deadline bounds how long it may
+/// squat. At expiry it is forcibly retired, its parked frames are reclaimed
+/// through the reaped endpoint and re-homed to the survivors — still with
+/// zero `shrink_lost`, because the host could hand the endpoint back.
+#[test]
+fn stalled_drain_is_bounded_by_the_deadline_and_rehomes() {
+    let clock = ManualClock::new();
+    let config = LvrmConfig {
+        allocator: AllocatorKind::DynamicFixed { per_core_rate: 1000.0 },
+        ..Default::default()
+    };
+    let deadline_ns = config.drain_deadline_ns;
+    let mut lvrm = new_lvrm(clock.clone(), config);
+    let mut host = RecordingHost::default();
+    let mut out = Vec::new();
+    let vr = lvrm.add_vr("a", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], routed_vr("a"), &mut host);
+
+    let mut now = 0u64;
+    for _ in 0..9000 {
+        now += 333_333;
+        clock.set_ns(now);
+        lvrm.ingress(frame_from([10, 0, 1, 5]), &mut host);
+        host.pump();
+        lvrm.poll_egress(&mut out);
+    }
+    assert!(lvrm.vri_count(vr) >= 2);
+
+    // Wedge the newest VRI (the next shrink victim) and park a burst across
+    // the VR — JSQ spreads it, so the victim holds some of it.
+    let victim = host.endpoints.last().expect("live endpoints").0;
+    host.stalled.insert(victim);
+    now += 1_000_000;
+    clock.set_ns(now);
+    lvrm.ingress_batch(&mut burst_from(1, 32), &mut host);
+
+    let mut observed_drain = false;
+    for _ in 0..60 {
+        now += 100_000_000;
+        clock.set_ns(now);
+        lvrm.ingress(frame_from([10, 0, 1, 5]), &mut host);
+        if lvrm.vr_draining_count(vr) == 1 {
+            observed_drain = true;
+            break;
+        }
+    }
+    assert!(observed_drain, "idling must start a drain");
+    let parked = lvrm
+        .snapshot()
+        .iter()
+        .flat_map(|v| v.vris.clone())
+        .find(|v| v.draining)
+        .expect("draining snapshot")
+        .queue_len;
+    assert!(parked > 0, "the stalled victim must hold parked frames");
+    assert!(host.killed.is_empty());
+
+    // Within the deadline the wedged victim is left alone...
+    lvrm.poll_drains(now, &mut host);
+    assert_eq!(lvrm.vr_draining_count(vr), 1, "no retirement before the deadline");
+
+    // ...but not past it.
+    now += deadline_ns + 100_000_000;
+    clock.set_ns(now);
+    lvrm.poll_drains(now, &mut host);
+    assert_eq!(lvrm.vr_draining_count(vr), 0);
+    assert!(host.killed.iter().any(|(_, id)| *id == victim), "deadline retires the victim");
+    assert_eq!(lvrm.stats.shrink_lost, 0, "reaped endpoint loses nothing: {:?}", lvrm.stats);
+    assert!(
+        lvrm.stats.redispatched >= parked as u64,
+        "parked frames re-home to survivors: {:?}",
+        lvrm.stats
+    );
+
+    drain(&mut lvrm, &mut host, &mut out);
+    assert_conserved(&lvrm.stats);
+    assert_drop_identity(&lvrm);
+}
+
+// ---------------------------------------------------------------------------
+// Clean shutdown
+// ---------------------------------------------------------------------------
+
+/// Shutdown is the drain machinery applied to everything at once: in-flight
+/// frames still come out (including egress rescued at retirement), late
+/// arrivals are quiesced into `shed_early`, and the final books balance
+/// exactly — the property `lvrmd` prints on SIGTERM.
+#[test]
+fn shutdown_drains_everything_and_conserves() {
+    let clock = ManualClock::new();
+    let config = LvrmConfig { allocator: AllocatorKind::Fixed { cores: 2 }, ..Default::default() };
+    let mut lvrm = new_lvrm(clock.clone(), config);
+    let mut host = RecordingHost::default();
+    lvrm.add_vr("a", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], routed_vr("a"), &mut host);
+
+    lvrm.ingress_batch(&mut burst_from(1, 100), &mut host);
+    host.pump(); // forwarded frames now sit in the egress queues, uncollected
+
+    let deadline = clock.now_ns() + 1_000_000_000;
+    let mut rounds = 0;
+    while !lvrm.shutdown(deadline, &mut host) {
+        host.pump();
+        rounds += 1;
+        assert!(rounds < 100, "shutdown must converge");
+    }
+    assert!(lvrm.shutdown_complete());
+    assert!(lvrm.is_shutting_down());
+    assert_eq!(host.killed.len(), 2, "every VRI retired");
+    assert_eq!(lvrm.stats.shrink_lost, 0, "drained shutdown loses nothing: {:?}", lvrm.stats);
+
+    // Rescued egress frames are delivered by the next collection pass.
+    let mut out = Vec::new();
+    lvrm.poll_egress(&mut out);
+    assert_eq!(out.len(), 100, "every forwarded frame is recovered");
+    assert_eq!(lvrm.stats.frames_out, 100);
+
+    // Late arrivals are quiesced, counted, and conserved.
+    lvrm.ingress_batch(&mut burst_from(1, 3), &mut host);
+    assert_eq!(lvrm.stats.shed_early, 3, "post-shutdown ingress is shed, not lost");
+    assert_conserved(&lvrm.stats);
+    assert_drop_identity(&lvrm);
+
+    // Idempotent: a second call is a completed no-op.
+    assert!(lvrm.shutdown(deadline, &mut host));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized overload storm (release soak; CI runs with -- --ignored)
+// ---------------------------------------------------------------------------
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// One seeded storm: bursty two-VR overload with weighted shedding, random
+/// pump/collect/control interleavings, dynamic grow/shrink (so drains fire
+/// mid-storm), ended by a deadline-bounded shutdown. Terminates with the
+/// exact conservation and drop identities. Returns the frames shed.
+fn storm(kind: QueueKind, seed: u64) -> u64 {
+    let clock = ManualClock::new();
+    let config = LvrmConfig {
+        queue_kind: kind,
+        data_queue_capacity: 64,
+        ctrl_queue_capacity: 8,
+        batch_size: 8,
+        overload_shedding: true,
+        allocator: AllocatorKind::DynamicFixed { per_core_rate: 50_000.0 },
+        ..Default::default()
+    };
+    config.validate().expect("storm config is valid");
+    let mut lvrm = new_lvrm(clock.clone(), config);
+    let mut host = RecordingHost::default();
+    let mut out = Vec::new();
+    let a = lvrm.add_vr("hot", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], routed_vr("hot"), &mut host);
+    let b = lvrm.add_vr("cold", &[(Ipv4Addr::new(10, 0, 3, 0), 24)], routed_vr("cold"), &mut host);
+    lvrm.set_vr_weight(a, 1.0);
+    lvrm.set_vr_weight(b, 3.0);
+
+    let mut rng = seed;
+    let mut now = 0u64;
+    for _ in 0..1500 {
+        now += 200_000 + lcg(&mut rng) % 2_000_000;
+        clock.set_ns(now);
+        let third = if lcg(&mut rng).is_multiple_of(4) { 3 } else { 1 }; // hot VR dominates
+        let n = (lcg(&mut rng) % 64) as usize;
+        if n > 0 {
+            lvrm.ingress_batch(&mut burst_from(third, n), &mut host);
+        }
+        if lcg(&mut rng).is_multiple_of(16) {
+            lvrm.ingress(frame_from([192, 168, 0, 1]), &mut host); // unclassified
+        }
+        if lcg(&mut rng).is_multiple_of(2) {
+            // Pump and collect as a pair: the recording host's egress queues
+            // are only `data_queue_capacity` deep, so servicing a full
+            // inbound queue into an uncollected outbound one would overflow
+            // silently inside the host — a harness artifact, not a monitor
+            // loss. Collecting right after keeps them empty at pump time.
+            host.pump();
+            lvrm.poll_egress(&mut out);
+        }
+        if lcg(&mut rng).is_multiple_of(8) && host.endpoints.len() >= 2 {
+            let i = (lcg(&mut rng) as usize) % host.endpoints.len();
+            let j = (lcg(&mut rng) as usize) % host.endpoints.len();
+            let (src, dst) = (host.endpoints[i].0, host.endpoints[j].0);
+            send_ctrl(&mut host, src, dst);
+        }
+        if lcg(&mut rng).is_multiple_of(16) {
+            lvrm.process_control();
+        }
+    }
+
+    // Deadline-bounded shutdown: pump while draining; once the clock passes
+    // the deadline, wedge-proof forcible retirement finishes the job.
+    let deadline = now + 5_000_000;
+    let mut rounds = 0;
+    loop {
+        now += 1_000_000;
+        clock.set_ns(now);
+        if lvrm.shutdown(deadline, &mut host) {
+            break;
+        }
+        host.pump();
+        lvrm.poll_egress(&mut out);
+        rounds += 1;
+        assert!(rounds < 64, "shutdown must terminate via the deadline");
+    }
+    drain(&mut lvrm, &mut host, &mut out);
+
+    assert_conserved(&lvrm.stats);
+    assert_drop_identity(&lvrm);
+    for v in &lvrm.snapshot() {
+        assert_eq!(v.frames_in, v.admitted + v.shed, "per-VR admission identity: {v}");
+        assert!(v.vris.is_empty(), "no VRI survives shutdown: {v}");
+    }
+    let relayed = lvrm.stats.control_relayed + lvrm.stats.control_drops;
+    assert!(relayed > 0 || lvrm.stats.frames_in == 0, "control plane exercised");
+    lvrm.stats.shed_early
+}
+
+#[test]
+#[ignore = "release soak leg: cargo test --release -p lvrm-core --test overload_control -- --ignored"]
+fn overload_soak() {
+    let mut total_shed = 0u64;
+    for kind in queue_kinds() {
+        for &seed in SEEDS {
+            total_shed += storm(kind, seed);
+        }
+    }
+    assert!(total_shed > 0, "the storm must provoke weighted shedding somewhere");
+}

@@ -63,6 +63,79 @@ impl QueueKind {
     }
 }
 
+/// Pressure level derived from a queue's occupancy against [`Watermarks`].
+///
+/// Ordered so that an aggregate over several queues is simply the `max`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum PressureLevel {
+    /// Occupancy at or below the low watermark.
+    #[default]
+    Normal,
+    /// Occupancy between the watermarks: elevated, but admission continues.
+    Pressured,
+    /// Occupancy at or above the high watermark: the consumer is not keeping
+    /// up and new work is liable to tail-drop.
+    Overloaded,
+}
+
+impl PressureLevel {
+    pub fn name(self) -> &'static str {
+        match self {
+            PressureLevel::Normal => "normal",
+            PressureLevel::Pressured => "pressured",
+            PressureLevel::Overloaded => "overloaded",
+        }
+    }
+}
+
+/// High/low occupancy watermarks, as fractions of queue capacity.
+///
+/// `classify` is stateless; the hysteresis between the two marks lives in the
+/// caller's state machine (see `lvrm-core`'s `PressureTracker`): a queue only
+/// leaves `Overloaded` once it drains back below `low`, so the band between
+/// the marks absorbs occupancy jitter instead of flapping the signal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Watermarks {
+    /// Fraction of capacity at or below which the queue is `Normal`.
+    pub low: f64,
+    /// Fraction of capacity at or above which the queue is `Overloaded`.
+    pub high: f64,
+}
+
+impl Watermarks {
+    pub const fn new(low: f64, high: f64) -> Watermarks {
+        Watermarks { low, high }
+    }
+
+    /// Stateless classification of `len` queued items out of `capacity`.
+    pub fn classify(&self, len: usize, capacity: usize) -> PressureLevel {
+        let occ = occupancy(len, capacity);
+        if occ >= self.high {
+            PressureLevel::Overloaded
+        } else if occ > self.low {
+            PressureLevel::Pressured
+        } else {
+            PressureLevel::Normal
+        }
+    }
+}
+
+impl Default for Watermarks {
+    fn default() -> Self {
+        // Overload at 3/4 full, recover once drained back to 1/4.
+        Watermarks { low: 0.25, high: 0.75 }
+    }
+}
+
+/// Occupancy fraction of a queue (`len / capacity`, 0.0 for zero capacity).
+pub fn occupancy(len: usize, capacity: usize) -> f64 {
+    if capacity == 0 {
+        0.0
+    } else {
+        len as f64 / capacity as f64
+    }
+}
+
 /// Error returned by `try_send` when the queue is full; carries the item back.
 #[derive(Debug, PartialEq, Eq)]
 pub struct Full<T>(pub T);
@@ -136,6 +209,18 @@ impl<T: Send> Sender<T> {
             Sender::FastForward(s) => s.capacity(),
             Sender::Mutex(s) => s.capacity(),
         }
+    }
+
+    /// Occupancy fraction (`len / capacity`) as observable from the producer.
+    #[inline]
+    pub fn occupancy(&self) -> f64 {
+        occupancy(self.len(), self.capacity())
+    }
+
+    /// Stateless pressure classification of this queue under `wm`.
+    #[inline]
+    pub fn pressure(&self, wm: &Watermarks) -> PressureLevel {
+        wm.classify(self.len(), self.capacity())
     }
 }
 
@@ -248,6 +333,43 @@ mod tests {
             assert_eq!(tx.try_send_batch(&mut items), 2, "{}", kind.name());
             assert_eq!(rx.try_recv_batch(&mut out, 1), 1, "{}", kind.name());
             assert_eq!(out.last(), Some(&4), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn watermarks_classify_by_occupancy() {
+        let wm = Watermarks::new(0.25, 0.75);
+        assert_eq!(wm.classify(0, 100), PressureLevel::Normal);
+        assert_eq!(wm.classify(25, 100), PressureLevel::Normal, "low mark inclusive");
+        assert_eq!(wm.classify(26, 100), PressureLevel::Pressured);
+        assert_eq!(wm.classify(74, 100), PressureLevel::Pressured);
+        assert_eq!(wm.classify(75, 100), PressureLevel::Overloaded, "high mark inclusive");
+        assert_eq!(wm.classify(100, 100), PressureLevel::Overloaded);
+        assert_eq!(wm.classify(10, 0), PressureLevel::Normal, "zero capacity never signals");
+    }
+
+    #[test]
+    fn pressure_levels_order_for_max_aggregation() {
+        assert!(PressureLevel::Normal < PressureLevel::Pressured);
+        assert!(PressureLevel::Pressured < PressureLevel::Overloaded);
+        let worst = [PressureLevel::Pressured, PressureLevel::Normal, PressureLevel::Overloaded]
+            .into_iter()
+            .max()
+            .unwrap();
+        assert_eq!(worst, PressureLevel::Overloaded);
+    }
+
+    #[test]
+    fn sender_reports_occupancy_and_pressure() {
+        let wm = Watermarks::new(0.25, 0.75);
+        for kind in QueueKind::ALL {
+            let (mut tx, _rx) = queue::<u32>(kind, 4);
+            assert_eq!(tx.pressure(&wm), PressureLevel::Normal, "{}", kind.name());
+            for i in 0..4 {
+                tx.try_send(i).unwrap();
+            }
+            assert!(tx.occupancy() >= 0.9, "{}", kind.name());
+            assert_eq!(tx.pressure(&wm), PressureLevel::Overloaded, "{}", kind.name());
         }
     }
 

@@ -19,6 +19,7 @@ pub mod pipeline;
 pub mod ring_adapter;
 #[cfg(target_os = "linux")]
 pub mod shm;
+pub mod signal;
 pub mod threads;
 pub mod udp_adapter;
 

@@ -1,0 +1,61 @@
+//! Minimal async-signal-safe shutdown flag.
+//!
+//! `lvrmd` quiesces on SIGINT/SIGTERM instead of dying mid-burst: the
+//! handler only flips an `AtomicBool` (the one operation that is legal in a
+//! handler), and the main loop polls [`requested`] to begin the graceful
+//! drain (`Lvrm::shutdown`). Installation is idempotent; a second signal
+//! while a drain is in progress falls through to the default disposition,
+//! so a stuck daemon can still be killed with a repeated Ctrl-C.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(signum: libc::c_int) {
+    SHUTDOWN.store(true, Ordering::Release);
+    // Restore default disposition: the next signal of this kind terminates.
+    unsafe {
+        libc::signal(signum, 0);
+    }
+}
+
+/// Install SIGINT and SIGTERM handlers that set the shutdown flag. Safe to
+/// call more than once; only the first call installs. Returns `false` if
+/// the OS refused either registration (the flag still works if set by
+/// [`request`]).
+pub fn install_shutdown_handlers() -> bool {
+    if INSTALLED.swap(true, Ordering::AcqRel) {
+        return true;
+    }
+    let handler = on_signal as extern "C" fn(libc::c_int) as libc::sighandler_t;
+    let mut ok = true;
+    unsafe {
+        ok &= libc::signal(libc::SIGINT, handler) != libc::SIG_ERR;
+        ok &= libc::signal(libc::SIGTERM, handler) != libc::SIG_ERR;
+    }
+    ok
+}
+
+/// Whether a shutdown has been requested (by a signal or [`request`]).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::Acquire)
+}
+
+/// Request shutdown programmatically (tests, a duration expiring).
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_flag_and_handlers_install() {
+        assert!(install_shutdown_handlers());
+        assert!(install_shutdown_handlers(), "second install is a no-op");
+        request();
+        assert!(requested());
+    }
+}

@@ -67,6 +67,11 @@ pub struct CostModel {
     pub dispatch: StageCost,
     /// LVRM's egress dequeue + hand-to-socket work per frame (user space).
     pub egress: StageCost,
+    /// Classify-then-drop work for a frame shed by overload admission
+    /// control: the classification share of `dispatch` plus a counter
+    /// bump, with no balance or enqueue. Length-independent — the payload
+    /// is never touched.
+    pub shed_ns: u64,
 
     /// Extra per-frame cost when a VRI's core is in LVRM's package
     /// (cache-line handover over the shared L3).
@@ -113,6 +118,7 @@ impl Default for CostModel {
 
             dispatch: StageCost::new(50, 0.12),
             egress: StageCost::new(30, 0.08),
+            shed_ns: 35,
 
             sibling_penalty_ns: 60,
             non_sibling_penalty_ns: 190,
@@ -239,6 +245,12 @@ mod tests {
         let unpinned = m.core_penalty(&topo, CoreId(0), CoreId(5), true);
         assert_eq!(same, 0);
         assert!(sib < non && non < unpinned);
+    }
+
+    #[test]
+    fn shedding_is_cheaper_than_dispatching() {
+        let m = CostModel::default();
+        assert!(m.shed_ns < m.dispatch.of(MIN_CAPTURED));
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub struct VrSpec {
     /// Subnet the VR's receivers live in.
     pub receiver_subnet: (Ipv4Addr, u8),
     pub vr_type: VrType,
+    /// Admission weight under overload shedding (`None` = the LVRM config's
+    /// default weight).
+    pub shed_weight: Option<f64>,
 }
 
 impl VrSpec {
@@ -79,7 +82,14 @@ impl VrSpec {
             sender_subnet: (Ipv4Addr::new(10, k as u8, 1, 0), 24),
             receiver_subnet: (Ipv4Addr::new(10, k as u8, 2, 0), 24),
             vr_type,
+            shed_weight: None,
         }
+    }
+
+    /// Builder-style admission-weight override.
+    pub fn with_shed_weight(mut self, weight: f64) -> VrSpec {
+        self.shed_weight = Some(weight);
+        self
     }
 
     /// An address for host `h` on the sender side.

@@ -170,6 +170,9 @@ pub struct ScenarioResult {
     pub lvrm_stats: Option<lvrm_core::LvrmStats>,
     /// Supervisor decisions (deaths, respawns, quarantines; LVRM only).
     pub supervision: Vec<SupervisionEvent>,
+    /// Final monitor snapshot: per-VR pressure, admission counters, and
+    /// per-VRI state (LVRM only).
+    pub vr_snapshots: Vec<lvrm_core::monitor::VrSnapshot>,
     /// Frames dropped at the NIC rings.
     pub ring_drops: u64,
 }
@@ -299,16 +302,24 @@ impl<'s> World<'s> {
                 Mech::Kernel { route: kernel_routes(&sc.vrs), hypervisor: Some(kind) }
             }
             ForwardingMech::Lvrm => {
+                if let Err(e) = sc.lvrm.validate() {
+                    panic!("scenario LVRM config invalid: {e}");
+                }
                 let clock = ManualClock::new();
                 let cores =
                     CoreMap::new(CoreTopology::dual_quad_xeon(), lvrm_core, sc.lvrm.affinity);
                 let mut lvrm = Lvrm::new(sc.lvrm.clone(), cores, clock.clone());
                 let mut host = SimHost::default();
-                let vr_ids = sc
+                let vr_ids: Vec<_> = sc
                     .vrs
                     .iter()
                     .map(|v| lvrm.add_vr(&v.name, &v.subnets(), v.build_router(), &mut host))
                     .collect();
+                for (v, id) in sc.vrs.iter().zip(&vr_ids) {
+                    if let Some(w) = v.shed_weight {
+                        lvrm.set_vr_weight(*id, w);
+                    }
+                }
                 Mech::Lvrm { lvrm, host, clock, vr_ids }
             }
         };
@@ -701,9 +712,13 @@ impl<'s> World<'s> {
         let mut t = now;
         let deadline = now + POLL_SLICE_NS;
 
-        // Phase 1: receive + classify + dispatch.
+        // Phase 1: receive + classify + dispatch. With overload shedding
+        // enabled, a frame the monitor sheds at classification time is
+        // charged `shed_ns` instead of the full balance+enqueue cost — the
+        // whole point of early shedding is that refused work is cheap.
         {
             let Mech::Lvrm { lvrm, host, clock, .. } = &mut self.mech else { unreachable!() };
+            let shedding = self.sc.lvrm.overload_shedding;
             let mut budget = GW_BATCH;
             for nic in 0..2 {
                 while budget > 0 && t < deadline {
@@ -716,14 +731,26 @@ impl<'s> World<'s> {
                         self.sc.cost.rx(socket, len) * contention,
                         rx_bucket,
                     );
-                    t = self.cpu.charge(
-                        self.lvrm_core,
-                        t,
-                        (self.sc.cost.dispatch.of(len) + penalty) * contention,
-                        CpuBucket::User,
-                    );
-                    clock.set_ns(clock.now_ns().max(t));
-                    lvrm.ingress(frame, host);
+                    if shedding {
+                        let shed_before = lvrm.stats.shed_early;
+                        clock.set_ns(clock.now_ns().max(t));
+                        lvrm.ingress(frame, host);
+                        let work = if lvrm.stats.shed_early > shed_before {
+                            self.sc.cost.shed_ns
+                        } else {
+                            self.sc.cost.dispatch.of(len) + penalty
+                        };
+                        t = self.cpu.charge(self.lvrm_core, t, work * contention, CpuBucket::User);
+                    } else {
+                        t = self.cpu.charge(
+                            self.lvrm_core,
+                            t,
+                            (self.sc.cost.dispatch.of(len) + penalty) * contention,
+                            CpuBucket::User,
+                        );
+                        clock.set_ns(clock.now_ns().max(t));
+                        lvrm.ingress(frame, host);
+                    }
                 }
             }
             clock.set_ns(clock.now_ns().max(t));
@@ -989,14 +1016,15 @@ impl<'s> World<'s> {
     }
 
     fn finish(self) -> ScenarioResult {
-        let (realloc, per_vri, lvrm_stats, supervision) = match &self.mech {
+        let (realloc, per_vri, lvrm_stats, supervision, vr_snapshots) = match &self.mech {
             Mech::Lvrm { lvrm, vr_ids, .. } => (
                 lvrm.realloc_log.clone(),
                 vr_ids.iter().map(|id| lvrm.vri_dispatch_counts(*id)).collect(),
                 Some(lvrm.stats.clone()),
                 lvrm.supervision_log.clone(),
+                lvrm.snapshot(),
             ),
-            _ => (Vec::new(), Vec::new(), None, Vec::new()),
+            _ => (Vec::new(), Vec::new(), None, Vec::new(), Vec::new()),
         };
         ScenarioResult {
             duration_ns: self.sc.duration_ns,
@@ -1022,6 +1050,7 @@ impl<'s> World<'s> {
             per_vri_dispatches: per_vri,
             lvrm_stats,
             supervision,
+            vr_snapshots,
             ring_drops: self.ring_drops,
         }
     }

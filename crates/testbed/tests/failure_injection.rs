@@ -27,8 +27,12 @@ fn overload_loses_frames_loudly_not_silently() {
     let r = sc.run();
     assert!(r.delivery_ratio() < 0.5, "overload must lose frames: {}", r.delivery_ratio());
     let s = r.lvrm_stats.unwrap();
-    let accounted =
-        r.udp_received + s.dispatch_drops + s.no_vri_drops + s.shrink_lost + r.ring_drops;
+    let accounted = r.udp_received
+        + s.dispatch_drops
+        + s.no_vri_drops
+        + s.shrink_lost
+        + s.shed_early
+        + r.ring_drops;
     // Everything sent in the window is either delivered or in a drop
     // counter (modulo frames still in flight at the end and the warmup
     // boundary). Allow a small in-flight slack.
@@ -132,6 +136,7 @@ fn crashed_vri_is_respawned_and_traffic_recovers() {
         + s.shrink_lost
         + s.crash_lost
         + s.quarantined_drops
+        + s.shed_early
         + r.ring_drops;
     assert!(
         accounted + 5_000 >= r.udp_sent,

@@ -41,6 +41,12 @@ pub const IPC_PRIVATE: key_t = 0;
 pub const IPC_CREAT: c_int = 0o1000;
 pub const IPC_RMID: c_int = 0;
 
+// Signals (Linux/glibc values) — only what the graceful-shutdown path needs.
+pub type sighandler_t = usize;
+pub const SIG_ERR: sighandler_t = usize::MAX; // (sighandler_t)-1
+pub const SIGINT: c_int = 2;
+pub const SIGTERM: c_int = 15;
+
 // waitpid status decoding (Linux encoding).
 pub fn WIFEXITED(status: c_int) -> bool {
     status & 0x7f == 0
@@ -60,6 +66,7 @@ extern "C" {
     pub fn fork() -> pid_t;
     pub fn _exit(status: c_int) -> !;
     pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
 }
 
 #[cfg(test)]

@@ -21,10 +21,17 @@
 //! queue      lamport | fastforward | mutex
 //! batch-size <n>         # frames per ingress/dispatch burst (1 = per-frame)
 //! supervision on | off   # respawn crashed/stalled VRIs (off by default)
+//! shedding   on | off    # fair per-VR early shedding under overload
+//! watermarks <low> <high>     # queue-occupancy pressure thresholds (0..1]
+//! drain-deadline-ms <n>       # max drain wait on shrink/shutdown (0 = none)
 //! fault crash <at-ms> <nth>   # inject: crash the nth-spawned VRI at at-ms
 //! fault stall <at-ms> <nth>   # inject: wedge the nth-spawned VRI at at-ms
-//! vr <name> <sender-cidr> <receiver-cidr>
+//! vr <name> <sender-cidr> <receiver-cidr> [shed-weight]
 //! ```
+//!
+//! The daemon exits cleanly on SIGINT/SIGTERM (or when `--duration`
+//! elapses): ingress quiesces, every VRI drains its queue and retires, and
+//! a final report checks the frame-conservation identity.
 
 use std::net::Ipv4Addr;
 
@@ -38,6 +45,8 @@ struct VrDecl {
     name: String,
     sender: (Ipv4Addr, u8),
     receiver: (Ipv4Addr, u8),
+    /// Admission weight under overload shedding (`None` = config default).
+    weight: Option<f64>,
 }
 
 #[derive(Debug)]
@@ -135,11 +144,40 @@ fn parse_config(text: &str) -> Result<DaemonConfig, String> {
                     other => return Err(err(&format!("unknown queue kind {other:?}"))),
                 };
             }
-            ("vr", [name, sender, receiver]) => {
+            ("shedding", [v]) => {
+                lvrm.overload_shedding = match *v {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(err(&format!("shedding must be on/off, got {other:?}"))),
+                };
+            }
+            ("watermarks", [low, high]) => {
+                lvrm.low_watermark =
+                    low.parse().map_err(|_| err(&format!("bad low watermark {low:?}")))?;
+                lvrm.high_watermark =
+                    high.parse().map_err(|_| err(&format!("bad high watermark {high:?}")))?;
+            }
+            ("drain-deadline-ms", [n]) => {
+                let ms: u64 = n.parse().map_err(|_| {
+                    err(&format!("drain-deadline-ms needs milliseconds, got {n:?}"))
+                })?;
+                lvrm.drain_deadline_ns = ms * 1_000_000;
+            }
+            ("vr", [name, sender, receiver]) | ("vr", [name, sender, receiver, _]) => {
+                let weight = match args.get(3) {
+                    Some(w) => Some(
+                        w.parse::<f64>()
+                            .ok()
+                            .filter(|w| w.is_finite() && *w > 0.0)
+                            .ok_or_else(|| err(&format!("bad shed-weight {w:?}")))?,
+                    ),
+                    None => None,
+                };
                 vrs.push(VrDecl {
                     name: name.to_string(),
                     sender: parse_cidr(sender).map_err(|e| err(&e))?,
                     receiver: parse_cidr(receiver).map_err(|e| err(&e))?,
+                    weight,
                 });
             }
             (other, _) => return Err(err(&format!("unknown or malformed directive {other:?}"))),
@@ -150,8 +188,10 @@ fn parse_config(text: &str) -> Result<DaemonConfig, String> {
             name: "vr0".into(),
             sender: (Ipv4Addr::new(10, 0, 1, 0), 24),
             receiver: (Ipv4Addr::new(10, 0, 2, 0), 24),
+            weight: None,
         });
     }
+    lvrm.validate().map_err(|e| format!("config: {e}"))?;
     Ok(DaemonConfig { lvrm, vrs, faults })
 }
 
@@ -178,6 +218,7 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
         if n > 1 { AffinityMode::SiblingFirst } else { AffinityMode::Same },
     );
     let batch_size = config.lvrm.batch_size.max(1);
+    let drain_deadline_ns = config.lvrm.drain_deadline_ns;
     let mut lvrm = Lvrm::new(config.lvrm, cores, clock.clone());
     // The host is always wrapped for fault injection; an empty plan is free.
     let mut host = FaultyHost::new(
@@ -189,6 +230,12 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
         .iter()
         .map(|d| lvrm.add_vr(&d.name, &[d.sender, d.receiver], build_router(d), &mut host))
         .collect();
+    for (d, id) in config.vrs.iter().zip(&vr_ids) {
+        if let Some(w) = d.weight {
+            lvrm.set_vr_weight(*id, w);
+        }
+    }
+    lvrm::runtime::signal::install_shutdown_handlers();
     for (d, id) in config.vrs.iter().zip(&vr_ids) {
         println!(
             "hosted {} ({} -> {}), {} VRI(s)",
@@ -241,7 +288,7 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
     let mut egress = Vec::new();
     let mut last_print = std::time::Instant::now();
     let mut last_out = 0u64;
-    while std::time::Instant::now() < t_end {
+    while std::time::Instant::now() < t_end && !lvrm::runtime::signal::requested() {
         // Burst dataplane: one poll, one classify/dispatch pass, one send
         // per batch (batch-size 1 degenerates to the per-frame loop).
         if nic.poll_batch(&mut ingress, batch_size) > 0 {
@@ -263,11 +310,12 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
             let s = &lvrm.stats;
             let vris: Vec<usize> = vr_ids.iter().map(|v| lvrm.vri_count(*v)).collect();
             println!(
-                "in {:>8}  out {:>8} (+{:>7}/s)  drops {:>6}  deaths {}  respawns {}  vris {:?}",
+                "in {:>8}  out {:>8} (+{:>7}/s)  drops {:>6}  shed {:>6}  deaths {}  respawns {}  vris {:?}",
                 s.frames_in,
                 s.frames_out,
                 s.frames_out - last_out,
                 s.dispatch_drops + s.no_vri_drops + s.crash_lost + s.quarantined_drops,
+                s.shed_early,
                 s.vri_deaths,
                 s.respawns,
                 vris
@@ -276,13 +324,55 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
             last_print = std::time::Instant::now();
         }
     }
+    let interrupted = lvrm::runtime::signal::requested();
     stop.store(true, std::sync::atomic::Ordering::Release);
     let (generated, echoed) = generator.join().expect("generator joins");
+
+    // Graceful drain: ingress is quiesced, every VRI empties its queue and
+    // retires; the deadline bounds how long a wedged instance can hold the
+    // exit. Egress keeps flowing out the ring the whole time.
+    println!("\n{}: draining...", if interrupted { "signal" } else { "duration elapsed" });
+    let deadline = clock.now_ns().saturating_add(drain_deadline_ns.max(1_000_000));
+    let t_drain_end = std::time::Instant::now()
+        + std::time::Duration::from_nanos(drain_deadline_ns + 500_000_000);
+    while !lvrm.shutdown(deadline, &mut host) && std::time::Instant::now() < t_drain_end {
+        egress.clear();
+        lvrm.poll_egress(&mut egress);
+        nic.send_batch(&mut egress);
+        std::hint::spin_loop();
+    }
+    egress.clear();
+    lvrm.poll_egress(&mut egress);
+    nic.send_batch(&mut egress);
     host.inner.shutdown();
     println!("\nfinal state:");
     for vr in lvrm.snapshot() {
         println!("{vr}");
     }
+    let s = &lvrm.stats;
+    let accounted = s.frames_out
+        + s.unclassified
+        + s.dispatch_drops
+        + s.no_vri_drops
+        + s.shrink_lost
+        + s.crash_lost
+        + s.quarantined_drops
+        + s.shed_early;
+    println!(
+        "conservation: frames_in {} == out {} + unclassified {} + dispatch_drops {} \
+         + no_vri {} + shrink_lost {} + crash_lost {} + quarantined {} + shed_early {} = {} [{}]",
+        s.frames_in,
+        s.frames_out,
+        s.unclassified,
+        s.dispatch_drops,
+        s.no_vri_drops,
+        s.shrink_lost,
+        s.crash_lost,
+        s.quarantined_drops,
+        s.shed_early,
+        accounted,
+        if s.frames_in == accounted { "exact" } else { "DELTA" },
+    );
     println!(
         "\nself-test done: generated {generated}, forwarded {}, echoed back to peer {echoed}",
         lvrm.stats.frames_out
@@ -387,6 +477,38 @@ mod tests {
         assert!(parse_config("supervision maybe\n").is_err());
         assert!(parse_config("fault melt 100 0\n").is_err());
         assert!(parse_config("fault crash soon 0\n").is_err());
+    }
+
+    #[test]
+    fn overload_directives_parse() {
+        let c = parse_config(
+            "shedding on\n\
+             watermarks 0.2 0.8\n\
+             drain-deadline-ms 250\n\
+             vr cs   10.0.1.0/24 10.0.2.0/24 4\n\
+             vr math 10.9.1.0/24 10.9.2.0/24\n",
+        )
+        .unwrap();
+        assert!(c.lvrm.overload_shedding);
+        assert_eq!(c.lvrm.low_watermark, 0.2);
+        assert_eq!(c.lvrm.high_watermark, 0.8);
+        assert_eq!(c.lvrm.drain_deadline_ns, 250_000_000);
+        assert_eq!(c.vrs[0].weight, Some(4.0));
+        assert_eq!(c.vrs[1].weight, None);
+        assert!(parse_config("shedding maybe\n").is_err());
+        assert!(parse_config("watermarks 0.5\n").is_err());
+        assert!(parse_config("drain-deadline-ms soon\n").is_err());
+        assert!(parse_config("vr a 10.0.1.0/24 10.0.2.0/24 -1\n").is_err());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_by_validate() {
+        // Parses directive-wise but fails semantic validation: watermarks
+        // out of order.
+        let e = parse_config("watermarks 0.9 0.3\n").unwrap_err();
+        assert!(e.contains("watermark"), "{e}");
+        let e = parse_config("batch-size 1\nwatermarks 0 0.5\n").unwrap_err();
+        assert!(e.contains("watermark"), "{e}");
     }
 
     #[test]
