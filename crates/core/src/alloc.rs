@@ -45,6 +45,17 @@ pub enum AllocDecision {
     Hold,
 }
 
+impl AllocDecision {
+    /// Stable lowercase name (event-log and metrics surface).
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocDecision::Grow => "grow",
+            AllocDecision::Shrink => "shrink",
+            AllocDecision::Hold => "hold",
+        }
+    }
+}
+
 /// A core-allocation policy. Stateless policies are the norm; the trait
 /// takes `&mut self` so adaptive policies can keep history.
 pub trait CoreAllocator: Send {

@@ -38,6 +38,13 @@ pub trait LoadBalancer: Send {
     fn purge_vri(&mut self, _vri: VriId) {}
 
     fn name(&self) -> &'static str;
+
+    /// Flow-affinity counters `(sticky_hits, fresh_picks)` for policies that
+    /// keep a flow table; stateless policies report zeros. Published as
+    /// per-VR metrics by the monitor.
+    fn flow_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// First valid slot helper shared by the policies.
@@ -186,6 +193,10 @@ impl<B: LoadBalancer> LoadBalancer for FlowBased<B> {
             "random" => "flow-random",
             _ => "flow-based",
         }
+    }
+
+    fn flow_stats(&self) -> (u64, u64) {
+        (self.sticky_hits, self.fresh_picks)
     }
 }
 

@@ -170,6 +170,10 @@ pub struct LvrmConfig {
     /// `process_control` itself. The paper gives control events strict
     /// priority inside a VRI; this makes the monitor side enforceable too.
     pub ctrl_starvation_bursts: u32,
+    /// Record per-VR dispatch→departure latency histograms in `poll_egress`
+    /// (one clock read per call plus ~5 relaxed atomic ops per frame). On by
+    /// default; the overhead experiment in EXPERIMENTS.md toggles this.
+    pub latency_histograms: bool,
 }
 
 /// A statically-invalid [`LvrmConfig`], caught by [`LvrmConfig::validate`]
@@ -246,6 +250,7 @@ impl Default for LvrmConfig {
             shed_weight: 1.0,
             drain_deadline_ns: 500_000_000, // 500 ms
             ctrl_starvation_bursts: 64,
+            latency_histograms: true,
         }
     }
 }

@@ -152,6 +152,16 @@ impl PressureTracker {
         self.level
     }
 
+    /// Numeric encoding of the current level for the pressure gauge
+    /// (0 normal, 1 pressured, 2 overloaded).
+    pub fn level_gauge(&self) -> f64 {
+        match self.level {
+            PressureLevel::Normal => 0.0,
+            PressureLevel::Pressured => 1.0,
+            PressureLevel::Overloaded => 2.0,
+        }
+    }
+
     /// Reset to `Normal` (VR recycled).
     pub fn reset(&mut self) {
         self.level = PressureLevel::Normal;

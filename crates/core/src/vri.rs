@@ -72,6 +72,26 @@ pub enum VriHealth {
     Dead,
 }
 
+impl VriHealth {
+    /// Stable lowercase name (event-log and metrics surface).
+    pub fn name(self) -> &'static str {
+        match self {
+            VriHealth::Live => "live",
+            VriHealth::Suspect => "suspect",
+            VriHealth::Dead => "dead",
+        }
+    }
+
+    /// Numeric encoding for the health gauge (0 live, 1 suspect, 2 dead).
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            VriHealth::Live => 0.0,
+            VriHealth::Suspect => 1.0,
+            VriHealth::Dead => 2.0,
+        }
+    }
+}
+
 /// LVRM's side of one VRI.
 pub struct VriAdapter {
     pub id: VriId,
@@ -92,6 +112,9 @@ pub struct VriAdapter {
     pub health: VriHealth,
     /// Timestamp of the last proof of life (any control event, or spawn).
     pub last_seen_ns: u64,
+    /// Deepest incoming-queue depth observed at dispatch time (occupancy
+    /// watermark for the metrics surface).
+    pub queue_watermark: u64,
 }
 
 impl VriAdapter {
@@ -112,6 +135,7 @@ impl VriAdapter {
             reported_service_rate: None,
             health: VriHealth::Live,
             last_seen_ns: 0,
+            queue_watermark: 0,
         }
     }
 
@@ -169,7 +193,9 @@ impl VriAdapter {
         match self.channels.data_tx.try_send(frame) {
             Ok(()) => {
                 self.dispatched += 1;
-                self.estimator.on_dispatch(self.channels.data_tx.len(), now_ns);
+                let depth = self.channels.data_tx.len();
+                self.queue_watermark = self.queue_watermark.max(depth as u64);
+                self.estimator.on_dispatch(depth, now_ns);
                 Ok(())
             }
             Err(Full(frame)) => Err(frame),
@@ -192,7 +218,9 @@ impl VriAdapter {
         let accepted = self.channels.data_tx.try_send_batch(frames);
         self.dispatched += accepted as u64;
         if accepted > 0 {
-            self.estimator.on_dispatch(self.channels.data_tx.len(), now_ns);
+            let depth = self.channels.data_tx.len();
+            self.queue_watermark = self.queue_watermark.max(depth as u64);
+            self.estimator.on_dispatch(depth, now_ns);
         }
         accepted
     }
@@ -242,6 +270,11 @@ impl VriAdapter {
     /// Whether forwarded frames are waiting in the outgoing data queue.
     pub fn has_pending_egress(&self) -> bool {
         !self.channels.data_rx.is_empty()
+    }
+
+    /// Instantaneous outgoing-queue depth (forwarded, not yet collected).
+    pub fn egress_len(&self) -> usize {
+        self.channels.data_rx.len()
     }
 
     /// Drain frames the VRI forwarded, appending to `out`. Internally pulls

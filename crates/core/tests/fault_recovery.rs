@@ -93,11 +93,11 @@ fn assert_drop_identity(lvrm: &Lvrm<ManualClock>) {
     let live: u64 =
         lvrm.snapshot().iter().flat_map(|vr| vr.vris.clone()).map(|v| v.dispatch_drops).sum();
     assert_eq!(
-        lvrm.stats.dispatch_drops,
-        live + lvrm.stats.retired_dispatch_drops,
+        lvrm.stats().dispatch_drops,
+        live + lvrm.stats().retired_dispatch_drops,
         "dispatch_drops must equal live adapter sum ({live}) + retired ({}): {:?}",
-        lvrm.stats.retired_dispatch_drops,
-        lvrm.stats
+        lvrm.stats().retired_dispatch_drops,
+        lvrm.stats()
     );
 }
 
@@ -185,7 +185,7 @@ fn crash_with_frames_in_flight_recovers_within_one_tick() {
             .expect("supervisor must respawn");
         assert_eq!(respawned.ts_ns, died.ts_ns, "{kind:?}: first respawn carries no backoff");
 
-        let s = &lvrm.stats;
+        let s = &lvrm.stats();
         assert_eq!(s.vri_deaths, 1, "{kind:?}");
         assert_eq!(s.respawns, 1, "{kind:?}");
         assert_eq!(s.crash_lost, 0, "{kind:?}");
@@ -228,7 +228,7 @@ fn stalled_vri_goes_suspect_then_dead_and_queues_are_reclaimed() {
                 let snap = lvrm.snapshot();
                 let v = snap[0].vris.iter().find(|v| v.id == victim).expect("victim still listed");
                 assert_eq!(v.health, lvrm_core::VriHealth::Suspect, "{kind:?}");
-                assert_eq!(lvrm.stats.vri_deaths, 0, "{kind:?}: suspect is not dead");
+                assert_eq!(lvrm.stats().vri_deaths, 0, "{kind:?}: suspect is not dead");
             }
             lvrm.maybe_reallocate(t, &mut host);
             lvrm.poll_egress(&mut out);
@@ -249,7 +249,7 @@ fn stalled_vri_goes_suspect_then_dead_and_queues_are_reclaimed() {
             "{kind:?}: dead-man timer fired at {} (stall {stall_at})",
             died.ts_ns
         );
-        let s = &lvrm.stats;
+        let s = &lvrm.stats();
         assert_eq!(s.vri_deaths, 1, "{kind:?}");
         assert_eq!(s.respawns, 1, "{kind:?}");
         assert_eq!(s.crash_lost, 0, "{kind:?}: attached endpoint is reapable");
@@ -291,8 +291,8 @@ fn crash_loop_quarantines_vr_and_counts_its_drops() {
         lvrm.ingress_batch(&mut burst, &mut host);
         host.crash_vri(host.spawned.last().unwrap().vri);
         tick(&mut lvrm, &mut host, &mut t);
-        assert_eq!(lvrm.stats.vri_deaths, 1, "{kind:?}");
-        assert_eq!(lvrm.stats.redispatched, 10, "{kind:?}: parked frames follow the respawn");
+        assert_eq!(lvrm.stats().vri_deaths, 1, "{kind:?}");
+        assert_eq!(lvrm.stats().redispatched, 10, "{kind:?}: parked frames follow the respawn");
 
         // Round 2: crash the replacement (now holding those 10 frames).
         // Streak 2 puts the supervisor's respawn behind a backoff, so the
@@ -300,13 +300,14 @@ fn crash_loop_quarantines_vr_and_counts_its_drops() {
         // same tick absorbs the deficit (one replacement, not two).
         host.crash_vri(host.spawned.last().unwrap().vri);
         tick(&mut lvrm, &mut host, &mut t);
-        assert_eq!(lvrm.stats.vri_deaths, 2, "{kind:?}");
+        assert_eq!(lvrm.stats().vri_deaths, 2, "{kind:?}");
         assert_eq!(
-            lvrm.stats.no_vri_drops, 10,
+            lvrm.stats().no_vri_drops,
+            10,
             "{kind:?}: backoff window loses to a named counter"
         );
         assert_eq!(lvrm.vri_count(vr), 1, "{kind:?}: allocator refill absorbed the deficit");
-        assert_eq!(lvrm.stats.respawns, 2, "{kind:?}");
+        assert_eq!(lvrm.stats().respawns, 2, "{kind:?}");
 
         // Round 3: park frames and crash again — the streak hits the
         // quarantine threshold, so the reclaimed frames are quarantine drops
@@ -316,8 +317,8 @@ fn crash_loop_quarantines_vr_and_counts_its_drops() {
         host.crash_vri(host.spawned.last().unwrap().vri);
         tick(&mut lvrm, &mut host, &mut t);
         assert!(lvrm.vr_quarantined(vr), "{kind:?}");
-        assert_eq!(lvrm.stats.vri_deaths, 3, "{kind:?}");
-        assert_eq!(lvrm.stats.quarantined_drops, 10, "{kind:?}");
+        assert_eq!(lvrm.stats().vri_deaths, 3, "{kind:?}");
+        assert_eq!(lvrm.stats().quarantined_drops, 10, "{kind:?}");
         assert_eq!(lvrm.vri_count(vr), 0, "{kind:?}: no respawn after quarantine");
         let quarantined_ts = lvrm
             .supervision_log
@@ -335,7 +336,7 @@ fn crash_loop_quarantines_vr_and_counts_its_drops() {
         t += 100_000_000_000;
         clock.set_ns(t);
         lvrm.maybe_reallocate(t, &mut host);
-        assert_eq!(lvrm.stats.quarantined_drops, 15, "{kind:?}");
+        assert_eq!(lvrm.stats().quarantined_drops, 15, "{kind:?}");
         assert_eq!(lvrm.vri_count(vr), 0, "{kind:?}");
         assert!(
             !lvrm
@@ -346,8 +347,8 @@ fn crash_loop_quarantines_vr_and_counts_its_drops() {
         );
 
         // Nothing was ever pumped, so everything sits in drop counters.
-        assert_eq!(lvrm.stats.frames_out, 0, "{kind:?}");
-        assert_conserved(&lvrm.stats);
+        assert_eq!(lvrm.stats().frames_out, 0, "{kind:?}");
+        assert_conserved(&lvrm.stats());
         assert_drop_identity(&lvrm);
     }
 }
@@ -408,18 +409,18 @@ fn unreapable_crash_loss_is_bounded_and_named() {
             SupervisionAction::Died { reclaimed: 0, lost: victim_queued },
             "{kind:?}"
         );
-        assert_eq!(lvrm.stats.crash_lost, victim_queued, "{kind:?}: loss bounded to the queue");
-        assert_eq!(lvrm.stats.redispatched, 0, "{kind:?}: nothing to re-balance");
+        assert_eq!(lvrm.stats().crash_lost, victim_queued, "{kind:?}: loss bounded to the queue");
+        assert_eq!(lvrm.stats().redispatched, 0, "{kind:?}: nothing to re-balance");
         assert_eq!(lvrm.vri_count(vr), 2, "{kind:?}: replacement still spawns");
 
         let mut out = Vec::new();
         drain(&mut lvrm, &mut host.inner, &mut out);
         assert_eq!(
-            lvrm.stats.frames_in,
-            lvrm.stats.frames_out + lvrm.stats.crash_lost,
+            lvrm.stats().frames_in,
+            lvrm.stats().frames_out + lvrm.stats().crash_lost,
             "{kind:?}: survivors' frames all delivered"
         );
-        assert_conserved(&lvrm.stats);
+        assert_conserved(&lvrm.stats());
         assert_drop_identity(&lvrm);
     }
 }
@@ -447,24 +448,24 @@ fn dispatch_drop_identity_survives_overflow_and_crash() {
 
         let mut burst: Vec<Frame> = (0..100).map(|i| frame((i % 200) as u8)).collect();
         lvrm.ingress_batch(&mut burst, &mut host);
-        assert!(lvrm.stats.dispatch_drops > 0, "{kind:?}: the burst must overflow");
+        assert!(lvrm.stats().dispatch_drops > 0, "{kind:?}: the burst must overflow");
         assert_drop_identity(&lvrm);
 
         // Crash the victim while it carries both queued frames and recorded
         // drops: its drops move to the retired bucket, the identity holds.
-        let drops_before = lvrm.stats.dispatch_drops;
+        let drops_before = lvrm.stats().dispatch_drops;
         host.crash_vri(victim);
         clock.set_ns(1_100_000_000);
         lvrm.maybe_reallocate(1_100_000_000, &mut host);
-        assert!(lvrm.stats.retired_dispatch_drops > 0, "{kind:?}: victim's drops are carried");
+        assert!(lvrm.stats().retired_dispatch_drops > 0, "{kind:?}: victim's drops are carried");
         assert_drop_identity(&lvrm);
 
         let mut out = Vec::new();
         drain(&mut lvrm, &mut host, &mut out);
         // Re-dispatch may have overflowed the survivors' tiny queues; that
         // too must stay inside the identity and the conservation total.
-        assert!(lvrm.stats.dispatch_drops >= drops_before, "{kind:?}");
-        assert_conserved(&lvrm.stats);
+        assert!(lvrm.stats().dispatch_drops >= drops_before, "{kind:?}");
+        assert_conserved(&lvrm.stats());
         assert_drop_identity(&lvrm);
 
         // Per-frame path: full queues invalidate the target before dispatch,
@@ -476,10 +477,10 @@ fn dispatch_drop_identity_survives_overflow_and_crash() {
         for i in 0..40 {
             lvrm.ingress(frame(i), &mut host);
         }
-        assert_eq!(lvrm.stats.dispatch_drops, 0, "{kind:?}: per-frame never half-accepts");
-        assert_eq!(lvrm.stats.no_vri_drops, 24, "{kind:?}: 2 x 8 fit, the rest are refused");
+        assert_eq!(lvrm.stats().dispatch_drops, 0, "{kind:?}: per-frame never half-accepts");
+        assert_eq!(lvrm.stats().no_vri_drops, 24, "{kind:?}: 2 x 8 fit, the rest are refused");
         drain(&mut lvrm, &mut host, &mut out);
-        assert_conserved(&lvrm.stats);
+        assert_conserved(&lvrm.stats());
         assert_drop_identity(&lvrm);
     }
 }
@@ -530,9 +531,9 @@ fn run_crash_script(kind: QueueKind, batched: bool) -> (LvrmStats, Vec<String>, 
         .iter()
         .map(|e| format!("{} {:?} {:?} {:?}", e.ts_ns, e.vr, e.vri, e.action))
         .collect();
-    assert_conserved(&lvrm.stats);
+    assert_conserved(&lvrm.stats());
     assert_drop_identity(&lvrm);
-    (lvrm.stats.clone(), log, out.len())
+    (lvrm.stats(), log, out.len())
 }
 
 /// Batch-of-1 must stay bit-identical to the per-frame path even through an
@@ -593,7 +594,7 @@ fn randomized_fault_storms_preserve_conservation() {
             }
             drain(&mut lvrm, &mut host.inner, &mut out);
 
-            let s = &lvrm.stats;
+            let s = &lvrm.stats();
             let snap = lvrm.snapshot();
             let parked: usize =
                 snap.iter().flat_map(|vr| vr.vris.iter()).map(|v| v.queue_len).sum();

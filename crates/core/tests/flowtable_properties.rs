@@ -148,7 +148,7 @@ proptest! {
         host.crash_vri(victim);
         clock.set_ns(1_100_000_000);
         lvrm.maybe_reallocate(1_100_000_000, &mut host);
-        prop_assert_eq!(lvrm.stats.vri_deaths, 1);
+        prop_assert_eq!(lvrm.stats().vri_deaths, 1);
         prop_assert_eq!(lvrm.vri_count(vr), 3, "replacement spawned");
 
         // Post-recovery traffic must follow wherever each flow now lives.
@@ -182,8 +182,8 @@ proptest! {
         }
         // And the recovery lost nothing: every admitted frame is parked in
         // exactly one live queue.
-        prop_assert_eq!(lvrm.stats.frames_in, (pre.len() + post.len()) as u64);
-        prop_assert_eq!(drained, lvrm.stats.frames_in);
-        prop_assert_eq!(lvrm.stats.crash_lost, 0);
+        prop_assert_eq!(lvrm.stats().frames_in, (pre.len() + post.len()) as u64);
+        prop_assert_eq!(drained, lvrm.stats().frames_in);
+        prop_assert_eq!(lvrm.stats().crash_lost, 0);
     }
 }

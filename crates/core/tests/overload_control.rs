@@ -75,11 +75,11 @@ fn assert_drop_identity(lvrm: &Lvrm<ManualClock>) {
     let adapters: u64 =
         lvrm.snapshot().iter().flat_map(|vr| vr.vris.clone()).map(|v| v.dispatch_drops).sum();
     assert_eq!(
-        lvrm.stats.dispatch_drops,
-        adapters + lvrm.stats.retired_dispatch_drops,
+        lvrm.stats().dispatch_drops,
+        adapters + lvrm.stats().retired_dispatch_drops,
         "dispatch_drops must equal adapter sum ({adapters}) + retired ({}): {:?}",
-        lvrm.stats.retired_dispatch_drops,
-        lvrm.stats
+        lvrm.stats().retired_dispatch_drops,
+        lvrm.stats()
     );
 }
 
@@ -135,7 +135,7 @@ fn overloaded_vrs_are_held_to_their_weighted_quota() {
     assert_eq!(lvrm.vr_pressure(a), PressureLevel::Normal);
     assert_eq!(lvrm.vr_admission_counts(a), (16, 0));
     assert_eq!(lvrm.vr_admission_counts(b), (16, 0));
-    assert_eq!(lvrm.stats.shed_early, 0);
+    assert_eq!(lvrm.stats().shed_early, 0);
 
     // Bursts 2 and 3: nothing was pumped, so every data queue sits at its
     // high watermark and both VRs are Overloaded. Quotas: 16×3/4 = 12 for
@@ -152,7 +152,7 @@ fn overloaded_vrs_are_held_to_their_weighted_quota() {
     // Per-VR shed sums to the aggregate, and frames_in == admitted + shed.
     let snaps = lvrm.snapshot();
     let shed_sum: u64 = snaps.iter().map(|v| v.shed).sum();
-    assert_eq!(shed_sum, lvrm.stats.shed_early);
+    assert_eq!(shed_sum, lvrm.stats().shed_early);
     for v in &snaps {
         assert_eq!(v.frames_in, v.admitted + v.shed, "per-VR admission identity: {v}");
     }
@@ -164,7 +164,7 @@ fn overloaded_vrs_are_held_to_their_weighted_quota() {
     lvrm.ingress_batch(&mut burst_from(1, 1), &mut host);
     assert_eq!(lvrm.vr_pressure(a), PressureLevel::Normal, "drained VR recovers");
     drain(&mut lvrm, &mut host, &mut out);
-    assert_conserved(&lvrm.stats);
+    assert_conserved(&lvrm.stats());
     assert_drop_identity(&lvrm);
 }
 
@@ -188,16 +188,16 @@ fn shedding_off_degrades_to_tail_drop() {
     }
     // The pressure signal still reports the overload even when unused.
     assert_eq!(lvrm.vr_pressure(a), PressureLevel::Overloaded);
-    assert_eq!(lvrm.stats.shed_early, 0);
+    assert_eq!(lvrm.stats().shed_early, 0);
     assert_eq!(lvrm.vr_admission_counts(a), (48, 0));
     // With the one VRI's queue full the balancer has no valid target, so the
     // excess tail-drops as `no_vri_drops` (a partially-full fleet would show
     // `dispatch_drops` instead) — either way, a named counter, not silence.
-    let tail_dropped = lvrm.stats.dispatch_drops + lvrm.stats.no_vri_drops;
-    assert!(tail_dropped > 0, "overload tail-drops: {:?}", lvrm.stats);
+    let tail_dropped = lvrm.stats().dispatch_drops + lvrm.stats().no_vri_drops;
+    assert!(tail_dropped > 0, "overload tail-drops: {:?}", lvrm.stats());
     let mut out = Vec::new();
     drain(&mut lvrm, &mut host, &mut out);
-    assert_conserved(&lvrm.stats);
+    assert_conserved(&lvrm.stats());
 }
 
 // ---------------------------------------------------------------------------
@@ -226,12 +226,12 @@ fn starvation_guard_bounds_control_relay_deferral() {
         for _ in 0..3 {
             lvrm.ingress(frame_from([10, 0, 1, 1]), &mut host);
         }
-        assert_eq!(lvrm.stats.control_relayed, round - 1, "relay deferred below the bound");
+        assert_eq!(lvrm.stats().control_relayed, round - 1, "relay deferred below the bound");
         // The fourth consecutive burst trips the guard.
         lvrm.ingress(frame_from([10, 0, 1, 1]), &mut host);
-        assert_eq!(lvrm.stats.control_relayed, round, "burst {round}×4 must force a relay pass");
+        assert_eq!(lvrm.stats().control_relayed, round, "burst {round}×4 must force a relay pass");
     }
-    assert_eq!(lvrm.stats.control_drops, 0);
+    assert_eq!(lvrm.stats().control_drops, 0);
 }
 
 /// Control drops reconcile: every event handed to the monitor is either
@@ -260,7 +260,7 @@ fn control_drops_reconcile_against_emitted_events() {
         }
         lvrm.process_control();
     }
-    let s = &lvrm.stats;
+    let s = &lvrm.stats();
     assert_eq!(emitted, 24);
     assert_eq!(s.control_relayed, 8, "exactly one destination queue's worth relays");
     assert_eq!(s.control_drops, 16, "the rest drop against the full queue");
@@ -269,7 +269,7 @@ fn control_drops_reconcile_against_emitted_events() {
     // An unknown destination is also a counted drop, not a panic.
     assert!(send_ctrl(&mut host, src, VriId(9999)));
     lvrm.process_control();
-    assert_eq!(lvrm.stats.control_drops, 17);
+    assert_eq!(lvrm.stats().control_drops, 17);
 }
 
 // ---------------------------------------------------------------------------
@@ -335,12 +335,12 @@ fn shrink_drains_hitlessly_with_zero_loss() {
     lvrm.poll_drains(now, &mut host);
     assert_eq!(lvrm.vr_draining_count(vr), 0, "drained victim retires");
     assert_eq!(host.killed.len(), 1, "retirement is the only kill");
-    assert_eq!(lvrm.stats.shrink_lost, 0, "happy-path drain loses nothing: {:?}", lvrm.stats);
+    assert_eq!(lvrm.stats().shrink_lost, 0, "happy-path drain loses nothing: {:?}", lvrm.stats());
 
     drain(&mut lvrm, &mut host, &mut out);
-    assert_conserved(&lvrm.stats);
+    assert_conserved(&lvrm.stats());
     assert_drop_identity(&lvrm);
-    assert_eq!(lvrm.stats.frames_in, lvrm.stats.frames_out, "every frame forwarded");
+    assert_eq!(lvrm.stats().frames_in, lvrm.stats().frames_out, "every frame forwarded");
 }
 
 /// A wedged shrink victim cannot drain; the deadline bounds how long it may
@@ -409,15 +409,15 @@ fn stalled_drain_is_bounded_by_the_deadline_and_rehomes() {
     lvrm.poll_drains(now, &mut host);
     assert_eq!(lvrm.vr_draining_count(vr), 0);
     assert!(host.killed.iter().any(|(_, id)| *id == victim), "deadline retires the victim");
-    assert_eq!(lvrm.stats.shrink_lost, 0, "reaped endpoint loses nothing: {:?}", lvrm.stats);
+    assert_eq!(lvrm.stats().shrink_lost, 0, "reaped endpoint loses nothing: {:?}", lvrm.stats());
     assert!(
-        lvrm.stats.redispatched >= parked as u64,
+        lvrm.stats().redispatched >= parked as u64,
         "parked frames re-home to survivors: {:?}",
-        lvrm.stats
+        lvrm.stats()
     );
 
     drain(&mut lvrm, &mut host, &mut out);
-    assert_conserved(&lvrm.stats);
+    assert_conserved(&lvrm.stats());
     assert_drop_identity(&lvrm);
 }
 
@@ -450,18 +450,18 @@ fn shutdown_drains_everything_and_conserves() {
     assert!(lvrm.shutdown_complete());
     assert!(lvrm.is_shutting_down());
     assert_eq!(host.killed.len(), 2, "every VRI retired");
-    assert_eq!(lvrm.stats.shrink_lost, 0, "drained shutdown loses nothing: {:?}", lvrm.stats);
+    assert_eq!(lvrm.stats().shrink_lost, 0, "drained shutdown loses nothing: {:?}", lvrm.stats());
 
     // Rescued egress frames are delivered by the next collection pass.
     let mut out = Vec::new();
     lvrm.poll_egress(&mut out);
     assert_eq!(out.len(), 100, "every forwarded frame is recovered");
-    assert_eq!(lvrm.stats.frames_out, 100);
+    assert_eq!(lvrm.stats().frames_out, 100);
 
     // Late arrivals are quiesced, counted, and conserved.
     lvrm.ingress_batch(&mut burst_from(1, 3), &mut host);
-    assert_eq!(lvrm.stats.shed_early, 3, "post-shutdown ingress is shed, not lost");
-    assert_conserved(&lvrm.stats);
+    assert_eq!(lvrm.stats().shed_early, 3, "post-shutdown ingress is shed, not lost");
+    assert_conserved(&lvrm.stats());
     assert_drop_identity(&lvrm);
 
     // Idempotent: a second call is a completed no-op.
@@ -551,15 +551,15 @@ fn storm(kind: QueueKind, seed: u64) -> u64 {
     }
     drain(&mut lvrm, &mut host, &mut out);
 
-    assert_conserved(&lvrm.stats);
+    assert_conserved(&lvrm.stats());
     assert_drop_identity(&lvrm);
     for v in &lvrm.snapshot() {
         assert_eq!(v.frames_in, v.admitted + v.shed, "per-VR admission identity: {v}");
         assert!(v.vris.is_empty(), "no VRI survives shutdown: {v}");
     }
-    let relayed = lvrm.stats.control_relayed + lvrm.stats.control_drops;
-    assert!(relayed > 0 || lvrm.stats.frames_in == 0, "control plane exercised");
-    lvrm.stats.shed_early
+    let relayed = lvrm.stats().control_relayed + lvrm.stats().control_drops;
+    assert!(relayed > 0 || lvrm.stats().frames_in == 0, "control plane exercised");
+    lvrm.stats().shed_early
 }
 
 #[test]

@@ -106,8 +106,14 @@ impl RateEstimator {
         self.ewma.value_or(0.0)
     }
 
+    /// Forget the smoothed rate and any partial window, but keep the window
+    /// anchor. Dropping the anchor would let the next `record()` re-anchor
+    /// time at whatever (possibly stale) timestamp it carries; a later
+    /// `advance()` at wall time would then close every window in between as
+    /// empty and flood the fresh EWMA with zeros. Keeping the anchor means
+    /// stale timestamps after a reset fall under the normal out-of-order
+    /// policy (ignored) instead.
     pub fn reset(&mut self) {
-        self.window_start = None;
         self.count_in_window = 0;
         self.ewma.reset();
     }
@@ -243,6 +249,37 @@ mod tests {
         r.record(5_000_000);
         r.record(1_000_000); // earlier than window start: not crash, counted
         let _ = r.rate_per_sec();
+    }
+
+    #[test]
+    fn rate_reset_clears_history() {
+        let mut r = RateEstimator::new(100_000_000, 1.0);
+        for i in 0..100 {
+            r.record(i * 1_000_000);
+        }
+        r.advance(200_000_000);
+        assert!(r.rate_per_sec() > 0.0);
+        r.reset();
+        assert_eq!(r.rate_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn rate_reset_mid_window_keeps_the_time_anchor() {
+        // Regression: reset() used to drop the window anchor, so a stale
+        // timestamp recorded afterwards re-anchored time in the past and the
+        // next advance() at wall time closed ~40 empty windows, burying the
+        // one real sample under a flood of zero-rate windows.
+        let mut r = RateEstimator::new(100_000_000, 1.0);
+        for i in 0..50 {
+            r.record(5_000_000_000 + i * 1_000_000); // anchor time around t=5s
+        }
+        r.reset();
+        r.record(1_000_000_000); // stale event from t=1s must NOT re-anchor time
+        r.advance(5_100_000_000); // one real window elapses at wall time
+                                  // Fixed: the stale event counts into the current (t=5s) window, one
+                                  // window closes, rate = 10/s. Buggy: 41 windows close (40 of them
+                                  // empty) and the rate is 10/2^40 ≈ 0.
+        assert!(r.rate_per_sec() > 1.0, "stale record collapsed rate: {}", r.rate_per_sec());
     }
 
     #[test]

@@ -11,6 +11,9 @@ const SUB_BITS: u32 = 6;
 const SUB: usize = 1 << SUB_BITS;
 /// Octaves covered: values up to 2^40 ns (~18 minutes) fit.
 const OCTAVES: usize = 40;
+/// Total bucket count — shared with the registry's atomic histogram so both
+/// sides agree on the bucket layout.
+pub(crate) const NUM_BUCKETS: usize = SUB * OCTAVES;
 
 /// Fixed-memory latency histogram over `u64` nanosecond samples.
 #[derive(Clone)]
@@ -39,7 +42,26 @@ impl LatencyHistogram {
         }
     }
 
-    fn index_of(value: u64) -> usize {
+    /// Rebuild a histogram from raw bucket counts + exact moments. Used by
+    /// the registry's atomic histogram to snapshot into this plain type.
+    pub(crate) fn from_raw(
+        buckets: Box<[u64; NUM_BUCKETS]>,
+        count: u64,
+        sum: u128,
+        min: u64,
+        max: u64,
+    ) -> LatencyHistogram {
+        LatencyHistogram { buckets, count, sum, min, max }
+    }
+
+    /// Raw `(buckets, count, sum, min, max)` with `min == u64::MAX` when
+    /// empty — the mirror-image of [`LatencyHistogram::from_raw`], for
+    /// publishing a locally-recorded histogram into an atomic one.
+    pub(crate) fn raw_parts(&self) -> (&[u64; NUM_BUCKETS], u64, u128, u64, u64) {
+        (&self.buckets, self.count, self.sum, self.min, self.max)
+    }
+
+    pub(crate) fn index_of(value: u64) -> usize {
         // Values below SUB go to their own linear bucket in octave 0.
         if value < SUB as u64 {
             return value as usize;
@@ -105,6 +127,11 @@ impl LatencyHistogram {
     }
 
     /// Approximate percentile (`q` in `[0, 1]`), within bucket resolution.
+    ///
+    /// The bucket's representative value is clamped into `[min, max]`: the
+    /// true samples all lie in that range, so a representative outside it
+    /// (possible because a bucket spans many values) would be nonsense — in
+    /// particular a single-sample histogram reports the sample exactly.
     pub fn percentile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -114,7 +141,7 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Self::value_of(i);
+                return Self::value_of(i).clamp(self.min, self.max);
             }
         }
         self.max
@@ -208,6 +235,28 @@ mod tests {
             let back = LatencyHistogram::value_of(idx) as f64;
             let err = (back - v as f64).abs() / v as f64;
             assert!(err < 0.05, "v={v} back={back} err={err}");
+        }
+    }
+
+    #[test]
+    fn single_bucket_percentile_returns_the_sample() {
+        // Regression: 99 lands in a bucket whose representative value is 98,
+        // so every percentile used to come back *below* the only sample.
+        let mut h = LatencyHistogram::new();
+        h.record(99);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile_ns(q), 99, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentiles_never_leave_observed_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_003);
+        h.record(1_000_007);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let p = h.percentile_ns(q);
+            assert!((1_000_003..=1_000_007).contains(&p), "q={q} p={p}");
         }
     }
 

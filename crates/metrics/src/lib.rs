@@ -10,13 +10,21 @@
 //! * **Off-line evaluation metrics** used by Chapter 4 — Jain's fairness
 //!   index, normalized max-min fairness, latency histograms with percentile
 //!   queries, and small summary statistics for multi-trial experiments.
+//! * **The runtime metrics registry** — lock-free counters/gauges/shared
+//!   histograms the live dataplane publishes into, snapshotted for tests
+//!   and rendered in Prometheus text format for the scrape endpoint.
 
 pub mod ewma;
 pub mod fairness;
 pub mod histogram;
+pub mod registry;
 pub mod summary;
 
 pub use ewma::{Ewma, RateEstimator, ServiceRateEstimator};
 pub use fairness::{jain_index, max_min_fairness};
 pub use histogram::LatencyHistogram;
+pub use registry::{
+    Counter, FamilySnapshot, Gauge, MetricEvent, MetricKind, MetricsRegistry, MetricsSnapshot,
+    SeriesSnapshot, SeriesValue, SharedHistogram,
+};
 pub use summary::Summary;

@@ -1,0 +1,721 @@
+//! Lock-free runtime metrics registry.
+//!
+//! The dataplane publishes into handles ([`Counter`], [`Gauge`],
+//! [`SharedHistogram`]) that are plain `Arc`s over atomics: recording is a
+//! handful of `Relaxed` atomic ops, never a lock, never an allocation. The
+//! registry itself (name → family → labelled series) sits behind a mutex
+//! that is only taken at registration and scrape/snapshot time — both off
+//! the per-frame path.
+//!
+//! Readers take a [`MetricsSnapshot`]: a point-in-time copy of every series
+//! plus the bounded event log, with lookup helpers for tests and a
+//! Prometheus text-format (0.0.4) renderer for the scrape endpoint.
+//!
+//! Naming follows Prometheus conventions: counters end in `_total`, gauges
+//! are bare, histograms are exposed as summaries (fixed quantiles +
+//! `_sum`/`_count`) to keep scrape cardinality bounded.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{LatencyHistogram, NUM_BUCKETS};
+
+/// Oldest events are evicted beyond this many (the log is a ring, not a
+/// database; the structured tick line is the durable record).
+const EVENT_CAP: usize = 1024;
+
+/// Monotonically increasing `u64` metric. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Overwrite the absolute value. For *mirrored* counters — authoritative
+    /// state lives elsewhere (e.g. a per-VR `u64` on the hot path) and is
+    /// copied into the registry at refresh time.
+    #[inline]
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Instantaneous value (f64 stored as bits). Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Relaxed))
+    }
+}
+
+/// Atomic share of a [`LatencyHistogram`]: same log-bucket layout, but every
+/// slot is an `AtomicU64` so any number of publishers can `record()`
+/// concurrently (one `fetch_add` per bucket + four for the moments — bounded
+/// hot-path cost, no lock). Cloning shares the buckets, which is how the
+/// histogram shards: each publisher holds its own cheap handle.
+#[derive(Clone)]
+pub struct SharedHistogram(Arc<AtomicBuckets>);
+
+struct AtomicBuckets {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for SharedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedHistogram {
+    pub fn new() -> SharedHistogram {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        SharedHistogram(Arc::new(AtomicBuckets {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one sample (nanoseconds).
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        let b = &*self.0;
+        b.buckets[LatencyHistogram::index_of(ns)].fetch_add(1, Relaxed);
+        b.count.fetch_add(1, Relaxed);
+        b.sum.fetch_add(ns, Relaxed);
+        b.min.fetch_min(ns, Relaxed);
+        b.max.fetch_max(ns, Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Relaxed)
+    }
+
+    /// Overwrite this series with `h`'s contents (`Relaxed` stores, no RMW).
+    ///
+    /// This is the single-writer publishing path: a dataplane that owns a
+    /// plain [`LatencyHistogram`] records into it with plain memory ops
+    /// (five locked RMWs per [`SharedHistogram::record`] — `fetch_min`/
+    /// `fetch_max` are CAS loops — cost ~30% of pipeline throughput at
+    /// batch 32) and mirrors it here at scrape/snapshot time instead.
+    pub fn store(&self, h: &LatencyHistogram) {
+        let b = &*self.0;
+        let (buckets, count, sum, min, max) = h.raw_parts();
+        for (dst, src) in b.buckets.iter().zip(buckets.iter()) {
+            dst.store(*src, Relaxed);
+        }
+        b.sum.store(sum as u64, Relaxed);
+        b.min.store(min, Relaxed);
+        b.max.store(max, Relaxed);
+        // Count last: `snapshot` keys emptiness off it, so a racing reader
+        // never sees a non-empty count with stale bounds.
+        b.count.store(count, Relaxed);
+    }
+
+    /// Point-in-time copy as a plain [`LatencyHistogram`]. Not atomic across
+    /// buckets (concurrent recording may straddle the copy), which is fine
+    /// for observability; quiesced histograms snapshot exactly.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let b = &*self.0;
+        let mut buckets = Box::new([0u64; NUM_BUCKETS]);
+        for (dst, src) in buckets.iter_mut().zip(b.buckets.iter()) {
+            *dst = src.load(Relaxed);
+        }
+        let count = b.count.load(Relaxed);
+        let min = if count == 0 { u64::MAX } else { b.min.load(Relaxed) };
+        LatencyHistogram::from_raw(
+            buckets,
+            count,
+            b.sum.load(Relaxed) as u128,
+            min,
+            b.max.load(Relaxed),
+        )
+    }
+}
+
+impl std::fmt::Debug for SharedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// One entry in the allocation/retirement/health event log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricEvent {
+    /// Monotonic timestamp (same clock as the dataplane).
+    pub ts_ns: u64,
+    /// `key=value` structured text, e.g. `vri-died vr=deptA vri=vri3`.
+    pub text: String,
+}
+
+/// What a metric family measures — drives `# TYPE` and rendering.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Summary,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Summary => "summary",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Summary(SharedHistogram),
+}
+
+struct Series {
+    /// Sorted by key at registration; lookup and rendering preserve this.
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    series: Vec<Series>,
+}
+
+#[derive(Default)]
+struct Inner {
+    families: Vec<Family>,
+    events: VecDeque<MetricEvent>,
+}
+
+/// The registry. Cloning shares it; handles returned from the `counter` /
+/// `gauge` / `summary` registrars stay valid for the registry's lifetime.
+/// Registering the same (name, labels) twice returns the *same* underlying
+/// cell, so refresh-style publishers can re-look-up by name each pass.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> =
+        labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    v.sort();
+    v
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Register (or find) a counter series. Panics if `name` was previously
+    /// registered with a different kind — that is a programming error, not a
+    /// runtime condition.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.series(name, help, MetricKind::Counter, labels) {
+            Handle::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Register (or find) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.series(name, help, MetricKind::Gauge, labels) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Register (or find) a latency summary series.
+    pub fn summary(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> SharedHistogram {
+        match self.series(name, help, MetricKind::Summary, labels) {
+            Handle::Summary(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    fn series(&self, name: &str, help: &str, kind: MetricKind, labels: &[(&str, &str)]) -> Handle {
+        let labels = sorted_labels(labels);
+        let mut inner = self.inner.lock().unwrap();
+        let family = match inner.families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert_eq!(f.kind, kind, "metric {name:?} registered as {:?} and {kind:?}", f.kind);
+                f
+            }
+            None => {
+                inner.families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    series: Vec::new(),
+                });
+                inner.families.last_mut().unwrap()
+            }
+        };
+        if let Some(s) = family.series.iter().find(|s| s.labels == labels) {
+            return s.handle.clone();
+        }
+        let handle = match kind {
+            MetricKind::Counter => Handle::Counter(Counter::new()),
+            MetricKind::Gauge => Handle::Gauge(Gauge::new()),
+            MetricKind::Summary => Handle::Summary(SharedHistogram::new()),
+        };
+        family.series.push(Series { labels, handle: handle.clone() });
+        handle
+    }
+
+    /// Append to the bounded event log (oldest evicted past the cap).
+    pub fn push_event(&self, ts_ns: u64, text: impl Into<String>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.events.len() == EVENT_CAP {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(MetricEvent { ts_ns, text: text.into() });
+    }
+
+    /// Copy of the current event log, oldest first.
+    pub fn events(&self) -> Vec<MetricEvent> {
+        self.inner.lock().unwrap().events.iter().cloned().collect()
+    }
+
+    /// Point-in-time copy of every series and the event log. Families come
+    /// back sorted by name and series by label values, so the snapshot (and
+    /// its rendering) is stable regardless of registration order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        let mut families: Vec<FamilySnapshot> = inner
+            .families
+            .iter()
+            .map(|f| {
+                let mut series: Vec<SeriesSnapshot> = f
+                    .series
+                    .iter()
+                    .map(|s| SeriesSnapshot {
+                        labels: s.labels.clone(),
+                        value: match &s.handle {
+                            Handle::Counter(c) => SeriesValue::Counter(c.get()),
+                            Handle::Gauge(g) => SeriesValue::Gauge(g.get()),
+                            Handle::Summary(h) => SeriesValue::Summary(h.snapshot()),
+                        },
+                    })
+                    .collect();
+                series.sort_by(|a, b| a.labels.cmp(&b.labels));
+                FamilySnapshot { name: f.name.clone(), help: f.help.clone(), kind: f.kind, series }
+            })
+            .collect();
+        families.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { families, events: inner.events.iter().cloned().collect() }
+    }
+}
+
+/// One series' value in a snapshot.
+#[derive(Clone, Debug)]
+pub enum SeriesValue {
+    Counter(u64),
+    Gauge(f64),
+    Summary(LatencyHistogram),
+}
+
+/// One labelled series in a snapshot.
+#[derive(Clone, Debug)]
+pub struct SeriesSnapshot {
+    /// Sorted by key.
+    pub labels: Vec<(String, String)>,
+    pub value: SeriesValue,
+}
+
+impl SeriesSnapshot {
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    pub fn as_counter(&self) -> Option<u64> {
+        match self.value {
+            SeriesValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_gauge(&self) -> Option<f64> {
+        match self.value {
+            SeriesValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_summary(&self) -> Option<&LatencyHistogram> {
+        match &self.value {
+            SeriesValue::Summary(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// One metric family (all series sharing a name/help/kind) in a snapshot.
+#[derive(Clone, Debug)]
+pub struct FamilySnapshot {
+    pub name: String,
+    pub help: String,
+    pub kind: MetricKind,
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// Point-in-time view of the whole registry.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Sorted by family name; series sorted by label values.
+    pub families: Vec<FamilySnapshot>,
+    /// Event log, oldest first.
+    pub events: Vec<MetricEvent>,
+}
+
+fn labels_match(series: &SeriesSnapshot, want: &[(&str, &str)]) -> bool {
+    series.labels.len() == want.len() && want.iter().all(|(k, v)| series.label(k) == Some(*v))
+}
+
+impl MetricsSnapshot {
+    pub fn family(&self, name: &str) -> Option<&FamilySnapshot> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SeriesSnapshot> {
+        self.family(name)?.series.iter().find(|s| labels_match(s, labels))
+    }
+
+    /// Counter value for an exact (name, labels) series.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.find(name, labels)?.as_counter()
+    }
+
+    /// Sum of a counter family across all its series (0 when absent).
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.family(name).map(|f| f.series.iter().filter_map(|s| s.as_counter()).sum()).unwrap_or(0)
+    }
+
+    /// Gauge value for an exact (name, labels) series.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.find(name, labels)?.as_gauge()
+    }
+
+    /// Sum of a gauge family across all its series (0 when absent).
+    pub fn gauge_sum(&self, name: &str) -> f64 {
+        self.family(name).map(|f| f.series.iter().filter_map(|s| s.as_gauge()).sum()).unwrap_or(0.0)
+    }
+
+    /// Latency summary for an exact (name, labels) series.
+    pub fn summary(&self, name: &str, labels: &[(&str, &str)]) -> Option<&LatencyHistogram> {
+        self.find(name, labels)?.as_summary()
+    }
+
+    /// Render in Prometheus text exposition format 0.0.4. Deterministic:
+    /// families by name, series by label values, labels by key.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        for f in &self.families {
+            out.push_str("# HELP ");
+            out.push_str(&f.name);
+            out.push(' ');
+            out.push_str(&escape_help(&f.help));
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&f.name);
+            out.push(' ');
+            out.push_str(f.kind.as_str());
+            out.push('\n');
+            for s in &f.series {
+                match &s.value {
+                    SeriesValue::Counter(v) => {
+                        render_sample(&mut out, &f.name, "", &s.labels, None, &v.to_string());
+                    }
+                    SeriesValue::Gauge(v) => {
+                        render_sample(&mut out, &f.name, "", &s.labels, None, &format_f64(*v));
+                    }
+                    SeriesValue::Summary(h) => {
+                        for (q, qs) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                            let v = h.percentile_ns(q);
+                            render_sample(
+                                &mut out,
+                                &f.name,
+                                "",
+                                &s.labels,
+                                Some(qs),
+                                &v.to_string(),
+                            );
+                        }
+                        let sum = (h.mean_ns() * h.count() as f64).round() as u128;
+                        render_sample(&mut out, &f.name, "_sum", &s.labels, None, &sum.to_string());
+                        render_sample(
+                            &mut out,
+                            &f.name,
+                            "_count",
+                            &s.labels,
+                            None,
+                            &h.count().to_string(),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_sample(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    labels: &[(String, String)],
+    quantile: Option<&str>,
+    value: &str,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    let extra = quantile.map(|q| ("quantile", q));
+    if !labels.is_empty() || extra.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Integral gauges render without a fractional part (Prometheus accepts
+/// either; integral keeps golden files readable).
+fn format_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip_and_sharing() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x_total", "help", &[]);
+        let b = reg.counter("x_total", "help", &[]);
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5, "re-registration must return the same cell");
+        assert_eq!(reg.snapshot().counter("x_total", &[]), Some(5));
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let reg = MetricsRegistry::new();
+        reg.counter("y_total", "h", &[("vr", "a")]).add(3);
+        reg.counter("y_total", "h", &[("vr", "b")]).add(7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("y_total", &[("vr", "a")]), Some(3));
+        assert_eq!(snap.counter("y_total", &[("vr", "b")]), Some(7));
+        assert_eq!(snap.counter_sum("y_total"), 10);
+        assert_eq!(snap.counter("y_total", &[("vr", "c")]), None);
+    }
+
+    #[test]
+    fn label_order_at_registration_does_not_matter() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("z_total", "h", &[("vr", "a"), ("vri", "vri0")]);
+        let b = reg.counter("z_total", "h", &[("vri", "vri0"), ("vr", "a")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("w", "h", &[]);
+        let _ = reg.gauge("w", "h", &[]);
+    }
+
+    #[test]
+    fn gauge_stores_floats() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("g", "h", &[]);
+        g.set(2.5);
+        assert_eq!(reg.snapshot().gauge("g", &[]), Some(2.5));
+    }
+
+    #[test]
+    fn shared_histogram_snapshot_matches_plain() {
+        let shared = SharedHistogram::new();
+        let mut plain = LatencyHistogram::new();
+        for v in [1u64, 99, 1_000, 123_456, 10_000_000] {
+            shared.record(v);
+            plain.record(v);
+        }
+        let snap = shared.snapshot();
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.min_ns(), plain.min_ns());
+        assert_eq!(snap.max_ns(), plain.max_ns());
+        assert_eq!(snap.percentile_ns(0.5), plain.percentile_ns(0.5));
+        assert_eq!(snap.percentile_ns(0.99), plain.percentile_ns(0.99));
+        assert!((snap.mean_ns() - plain.mean_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn store_mirrors_a_locally_recorded_histogram_exactly() {
+        let shared = SharedHistogram::new();
+        let mut local = LatencyHistogram::new();
+        for v in [1u64, 99, 1_000, 123_456, 10_000_000] {
+            local.record(v);
+        }
+        shared.store(&local);
+        let snap = shared.snapshot();
+        assert_eq!(snap.count(), local.count());
+        assert_eq!(snap.min_ns(), local.min_ns());
+        assert_eq!(snap.max_ns(), local.max_ns());
+        assert_eq!(snap.percentile_ns(0.5), local.percentile_ns(0.5));
+        assert_eq!(snap.percentile_ns(0.99), local.percentile_ns(0.99));
+        // Re-store after more samples overwrites, not accumulates.
+        local.record(7);
+        shared.store(&local);
+        assert_eq!(shared.snapshot().count(), local.count());
+        // Storing an empty histogram restores the calm-empty state.
+        shared.store(&LatencyHistogram::new());
+        assert_eq!(shared.snapshot().count(), 0);
+        assert_eq!(shared.snapshot().min_ns(), 0);
+    }
+
+    #[test]
+    fn empty_shared_histogram_snapshot_is_calm() {
+        let h = SharedHistogram::new().snapshot();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.percentile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn concurrent_publishers_lose_nothing() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c_total", "h", &[]);
+        let h = reg.summary("s_ns", "h", &[]);
+        let iters = if cfg!(miri) { 50 } else { 10_000 };
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let c = c.clone();
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..iters {
+                        c.inc();
+                        h.record(i + 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 2 * iters);
+        assert_eq!(h.count(), 2 * iters);
+        assert_eq!(h.snapshot().max_ns(), iters);
+    }
+
+    #[test]
+    fn event_log_is_bounded_and_ordered() {
+        let reg = MetricsRegistry::new();
+        for i in 0..(EVENT_CAP as u64 + 10) {
+            reg.push_event(i, format!("e{i}"));
+        }
+        let events = reg.events();
+        assert_eq!(events.len(), EVENT_CAP);
+        assert_eq!(events[0].text, "e10", "oldest evicted first");
+        assert_eq!(events.last().unwrap().ts_ns, EVENT_CAP as u64 + 9);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_stable_and_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_total", "second \"family\"", &[("vr", "a")]).add(2);
+        reg.gauge("a_gauge", "first\nfamily", &[]).set(3.0);
+        let text = reg.snapshot().render_prometheus();
+        let expect = "# HELP a_gauge first\\nfamily\n\
+                      # TYPE a_gauge gauge\n\
+                      a_gauge 3\n\
+                      # HELP b_total second \"family\"\n\
+                      # TYPE b_total counter\n\
+                      b_total{vr=\"a\"} 2\n";
+        assert_eq!(text, expect);
+    }
+
+    #[test]
+    fn prometheus_summary_rendering() {
+        let reg = MetricsRegistry::new();
+        let h = reg.summary("lat_ns", "latency", &[("vr", "a")]);
+        h.record(10);
+        h.record(10);
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE lat_ns summary\n"), "{text}");
+        assert!(text.contains("lat_ns{vr=\"a\",quantile=\"0.5\"} 10\n"), "{text}");
+        assert!(text.contains("lat_ns_sum{vr=\"a\"} 20\n"), "{text}");
+        assert!(text.contains("lat_ns_count{vr=\"a\"} 2\n"), "{text}");
+    }
+}

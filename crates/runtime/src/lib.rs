@@ -14,6 +14,7 @@
 //! can push real datagrams through a real kernel socket path.
 
 pub mod affinity;
+pub mod metrics_server;
 pub mod msglat;
 pub mod pipeline;
 pub mod ring_adapter;
@@ -23,6 +24,7 @@ pub mod signal;
 pub mod threads;
 pub mod udp_adapter;
 
+pub use metrics_server::MetricsServer;
 pub use msglat::{measure_control_latency, MsgLatencyReport};
 pub use pipeline::{
     run_lvrm_only, run_lvrm_only_batched, run_lvrm_only_inline, run_lvrm_only_inline_batched,

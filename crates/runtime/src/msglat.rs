@@ -95,7 +95,7 @@ pub fn measure_control_latency(
     host.shutdown();
     let latency =
         Arc::try_unwrap(sink).map(|m| m.into_inner()).unwrap_or_else(|arc| arc.lock().clone());
-    MsgLatencyReport { latency, control_drops: lvrm.stats.control_drops, data_frames }
+    MsgLatencyReport { latency, control_drops: lvrm.stats().control_drops, data_frames }
 }
 
 #[cfg(test)]

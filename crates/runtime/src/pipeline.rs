@@ -124,8 +124,8 @@ pub fn run_lvrm_only_batched(
     let mut egress: Vec<Frame> = Vec::with_capacity(1024);
     let mut forwarded = 0u64;
     let t0 = clock.now_ns();
-    let drops_before = lvrm.stats.dispatch_drops + lvrm.stats.no_vri_drops;
-    let unclassified_before = lvrm.stats.unclassified;
+    let drops_before = lvrm.stats().dispatch_drops + lvrm.stats().no_vri_drops;
+    let unclassified_before = lvrm.stats().unclassified;
 
     // The LVRM main loop: poll RAM -> ingress -> collect -> discard,
     // a burst at a time.
@@ -149,20 +149,20 @@ pub fn run_lvrm_only_batched(
                                          // Backpressure means the VRI threads are starved for CPU (on boxes
                                          // with fewer cores than VRIs); yield our timeslice to them instead
                                          // of spinning the queue full.
-        let drops_now = lvrm.stats.dispatch_drops + lvrm.stats.no_vri_drops;
+        let drops_now = lvrm.stats().dispatch_drops + lvrm.stats().no_vri_drops;
         if drops_now > last_drops {
             last_drops = drops_now;
             std::thread::yield_now();
         }
-        let lost = (drops_now - drops_before) + (lvrm.stats.unclassified - unclassified_before);
+        let lost = (drops_now - drops_before) + (lvrm.stats().unclassified - unclassified_before);
         if adapter.exhausted() && forwarded + lost >= total_frames {
             break;
         }
     }
     let elapsed_ns = clock.now_ns() - t0;
     host.shutdown();
-    let dropped = lvrm.stats.dispatch_drops + lvrm.stats.no_vri_drops - drops_before;
-    let unclassified = lvrm.stats.unclassified - unclassified_before;
+    let dropped = lvrm.stats().dispatch_drops + lvrm.stats().no_vri_drops - drops_before;
+    let unclassified = lvrm.stats().unclassified - unclassified_before;
     PipelineReport { frames: forwarded, elapsed_ns, latency, dropped, unclassified }
 }
 
@@ -215,8 +215,8 @@ pub fn run_lvrm_only_inline_batched(
     let elapsed_ns = clock.now_ns() - t0;
     // Account drops from the monitor's own counters: `total - forwarded`
     // would silently fold unclassified frames into backpressure drops.
-    let dropped = lvrm.stats.dispatch_drops + lvrm.stats.no_vri_drops;
-    let unclassified = lvrm.stats.unclassified;
+    let dropped = lvrm.stats().dispatch_drops + lvrm.stats().no_vri_drops;
+    let unclassified = lvrm.stats().unclassified;
     PipelineReport { frames: forwarded, elapsed_ns, latency, dropped, unclassified }
 }
 

@@ -362,7 +362,7 @@ mod tests {
         }
         assert_eq!(out.len(), 50, "reclaimed frames flow through the respawn");
         assert_eq!(host.live(), 1, "supervisor respawned the VRI");
-        let s = &lvrm.stats;
+        let s = &lvrm.stats();
         assert_eq!(s.vri_deaths, 1);
         assert_eq!(s.respawns, 1);
         assert_eq!(s.crash_lost, 0, "endpoint was reapable; nothing lost");

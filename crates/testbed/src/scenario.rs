@@ -732,10 +732,10 @@ impl<'s> World<'s> {
                         rx_bucket,
                     );
                     if shedding {
-                        let shed_before = lvrm.stats.shed_early;
+                        let shed_before = lvrm.stats().shed_early;
                         clock.set_ns(clock.now_ns().max(t));
                         lvrm.ingress(frame, host);
-                        let work = if lvrm.stats.shed_early > shed_before {
+                        let work = if lvrm.stats().shed_early > shed_before {
                             self.sc.cost.shed_ns
                         } else {
                             self.sc.cost.dispatch.of(len) + penalty
@@ -1020,7 +1020,7 @@ impl<'s> World<'s> {
             Mech::Lvrm { lvrm, vr_ids, .. } => (
                 lvrm.realloc_log.clone(),
                 vr_ids.iter().map(|id| lvrm.vri_dispatch_counts(*id)).collect(),
-                Some(lvrm.stats.clone()),
+                Some(lvrm.stats()),
                 lvrm.supervision_log.clone(),
                 lvrm.snapshot(),
             ),

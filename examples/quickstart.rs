@@ -57,10 +57,10 @@ fn main() {
     }
 
     let (vr_in, vr_out) = lvrm.vr_frame_counts(vr);
-    println!("frames in        : {}", lvrm.stats.frames_in);
+    println!("frames in        : {}", lvrm.stats().frames_in);
     println!("frames forwarded : {} (VR saw {vr_in}, returned {vr_out})", out.len());
-    println!("unclassified     : {}", lvrm.stats.unclassified);
-    println!("dispatch drops   : {}", lvrm.stats.dispatch_drops);
+    println!("unclassified     : {}", lvrm.stats().unclassified);
+    println!("dispatch drops   : {}", lvrm.stats().dispatch_drops);
     println!(
         "egress interface of first frame: {}",
         out.first().map(|f| f.egress_if).unwrap_or(u16::MAX)

@@ -10,7 +10,12 @@
 //!
 //! ```text
 //! lvrmd [--config <file>] [--duration <secs>] [--rate <fps>] [--self-test]
+//!       [--metrics-addr <ip:port>]
 //! ```
+//!
+//! `--metrics-addr` (off by default) serves the Prometheus text exposition
+//! over a non-blocking listener driven from the same polling loop as the
+//! dataplane — `curl http://<addr>/metrics` while the daemon runs.
 //!
 //! Config format (one directive per line, `#` comments):
 //!
@@ -24,6 +29,7 @@
 //! shedding   on | off    # fair per-VR early shedding under overload
 //! watermarks <low> <high>     # queue-occupancy pressure thresholds (0..1]
 //! drain-deadline-ms <n>       # max drain wait on shrink/shutdown (0 = none)
+//! latency-histograms on | off # dispatch→departure histograms (on by default)
 //! fault crash <at-ms> <nth>   # inject: crash the nth-spawned VRI at at-ms
 //! fault stall <at-ms> <nth>   # inject: wedge the nth-spawned VRI at at-ms
 //! vr <name> <sender-cidr> <receiver-cidr> [shed-weight]
@@ -163,6 +169,17 @@ fn parse_config(text: &str) -> Result<DaemonConfig, String> {
                 })?;
                 lvrm.drain_deadline_ns = ms * 1_000_000;
             }
+            ("latency-histograms", [v]) => {
+                lvrm.latency_histograms = match *v {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(err(&format!(
+                            "latency-histograms must be on/off, got {other:?}"
+                        )))
+                    }
+                };
+            }
             ("vr", [name, sender, receiver]) | ("vr", [name, sender, receiver, _]) => {
                 let weight = match args.get(3) {
                     Some(w) => Some(
@@ -207,7 +224,7 @@ fn build_router(decl: &VrDecl) -> Box<dyn VirtualRouter> {
     Box::new(FastVr::new(&decl.name, routes))
 }
 
-fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
+fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Option<&str>) {
     use lvrm::core::SocketAdapter;
 
     let clock = MonotonicClock::new();
@@ -245,6 +262,12 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
             lvrm.vri_count(*id)
         );
     }
+    let mut metrics = metrics_addr.map(|addr| {
+        let srv = lvrm::runtime::MetricsServer::bind(addr)
+            .unwrap_or_else(|e| die(&format!("cannot bind metrics endpoint {addr:?}: {e}")));
+        println!("metrics: http://{}/metrics", srv.local_addr());
+        srv
+    });
 
     // Self-test attachment: a ring pair with a generator thread that plays
     // each VR's sender subnet.
@@ -286,7 +309,6 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
     let t_end = std::time::Instant::now() + std::time::Duration::from_secs(duration_s);
     let mut ingress: Vec<Frame> = Vec::with_capacity(batch_size);
     let mut egress = Vec::new();
-    let mut last_print = std::time::Instant::now();
     let mut last_out = 0u64;
     while std::time::Instant::now() < t_end && !lvrm::runtime::signal::requested() {
         // Burst dataplane: one poll, one classify/dispatch pass, one send
@@ -306,22 +328,16 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
         egress.clear();
         lvrm.poll_egress(&mut egress);
         nic.send_batch(&mut egress); // back out the ring (the self-test peer counts them)
-        if last_print.elapsed().as_secs() >= 1 {
-            let s = &lvrm.stats;
-            let vris: Vec<usize> = vr_ids.iter().map(|v| lvrm.vri_count(*v)).collect();
-            println!(
-                "in {:>8}  out {:>8} (+{:>7}/s)  drops {:>6}  shed {:>6}  deaths {}  respawns {}  vris {:?}",
-                s.frames_in,
-                s.frames_out,
-                s.frames_out - last_out,
-                s.dispatch_drops + s.no_vri_drops + s.crash_lost + s.quarantined_drops,
-                s.shed_early,
-                s.vri_deaths,
-                s.respawns,
-                vris
-            );
-            last_out = s.frames_out;
-            last_print = std::time::Instant::now();
+                                     // Scrapes are served from the same loop: one non-blocking poll per
+                                     // iteration, rendering the exposition only when a request completed.
+        if let Some(srv) = metrics.as_mut() {
+            srv.poll(|| lvrm.render_prometheus());
+        }
+        // The 1 s reallocation tick leaves a structured one-line summary.
+        if let Some(line) = lvrm.take_tick_line() {
+            let out = lvrm.stats().frames_out;
+            println!("{line} out_per_s={}", out.saturating_sub(last_out));
+            last_out = out;
         }
     }
     let interrupted = lvrm::runtime::signal::requested();
@@ -349,7 +365,7 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
     for vr in lvrm.snapshot() {
         println!("{vr}");
     }
-    let s = &lvrm.stats;
+    let s = &lvrm.stats();
     let accounted = s.frames_out
         + s.unclassified
         + s.dispatch_drops
@@ -375,7 +391,7 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64) {
     );
     println!(
         "\nself-test done: generated {generated}, forwarded {}, echoed back to peer {echoed}",
-        lvrm.stats.frames_out
+        lvrm.stats().frames_out
     );
 }
 
@@ -384,6 +400,7 @@ fn main() {
     let mut config_path: Option<String> = None;
     let mut duration_s = 5u64;
     let mut rate_fps = 50_000.0;
+    let mut metrics_addr: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -405,10 +422,17 @@ fn main() {
                     .unwrap_or_else(|| die("--rate needs fps"));
                 i += 2;
             }
+            "--metrics-addr" => {
+                metrics_addr = Some(
+                    args.get(i + 1).cloned().unwrap_or_else(|| die("--metrics-addr needs ip:port")),
+                );
+                i += 2;
+            }
             "--self-test" => i += 1, // the default; accepted for clarity
             "--help" | "-h" => {
                 println!(
-                    "usage: lvrmd [--config FILE] [--duration SECS] [--rate FPS] [--self-test]"
+                    "usage: lvrmd [--config FILE] [--duration SECS] [--rate FPS] [--self-test] \
+                     [--metrics-addr IP:PORT]"
                 );
                 return;
             }
@@ -422,7 +446,7 @@ fn main() {
         None => String::new(),
     };
     let config = parse_config(&text).unwrap_or_else(|e| die(&e));
-    run(config, duration_s, rate_fps);
+    run(config, duration_s, rate_fps, metrics_addr.as_deref());
 }
 
 fn die(msg: &str) -> ! {
@@ -498,6 +522,9 @@ mod tests {
         assert!(parse_config("shedding maybe\n").is_err());
         assert!(parse_config("watermarks 0.5\n").is_err());
         assert!(parse_config("drain-deadline-ms soon\n").is_err());
+        assert!(parse_config("latency-histograms maybe\n").is_err());
+        assert!(!parse_config("latency-histograms off\n").unwrap().lvrm.latency_histograms);
+        assert!(parse_config("").unwrap().lvrm.latency_histograms, "on by default");
         assert!(parse_config("vr a 10.0.1.0/24 10.0.2.0/24 -1\n").is_err());
     }
 

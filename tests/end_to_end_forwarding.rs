@@ -39,7 +39,7 @@ fn multi_vr_classification_and_forwarding() {
     assert_eq!(out.len(), 200);
     assert_eq!(lvrm.vr_frame_counts(a), (100, 100));
     assert_eq!(lvrm.vr_frame_counts(b), (100, 100));
-    assert_eq!(lvrm.stats.unclassified, 0);
+    assert_eq!(lvrm.stats().unclassified, 0);
     assert!(out.iter().all(|f| f.egress_if == 1));
 }
 
@@ -69,7 +69,7 @@ fn threaded_runtime_forwards_and_reports_service_rate() {
     }
     host.shutdown();
     lvrm.poll_egress(&mut out);
-    let drops = lvrm.stats.dispatch_drops + lvrm.stats.no_vri_drops;
+    let drops = lvrm.stats().dispatch_drops + lvrm.stats().no_vri_drops;
     assert_eq!(out.len() as u64 + drops, sent, "conservation across threads");
     assert!(out.len() > 1_000, "most frames should flow: {}", out.len());
 }

@@ -70,7 +70,7 @@ fn route_update_propagates_between_vris() {
             other => panic!("expected relayed control event, got {other:?}"),
         }
     }
-    assert_eq!(lvrm.stats.control_relayed, 1);
+    assert_eq!(lvrm.stats().control_relayed, 1);
 
     // Now frames flow regardless of which VRI the balancer picks.
     for _ in 0..20 {
