@@ -53,7 +53,7 @@ fn run(total_frames: u64, histograms: bool, scrape: bool) -> (f64, u64) {
     let mut since_scrape = 0u64;
     let mut scrape_bytes = 0usize;
     let t0 = clock.now_ns();
-    while adapter.poll_batch(&mut ingress, BATCH) > 0 {
+    while adapter.poll_batch(&mut ingress, BATCH).unwrap_or(0) > 0 {
         let now = clock.now_ns();
         for f in ingress.iter_mut() {
             f.ts_ns = now;
@@ -64,7 +64,7 @@ fn run(total_frames: u64, histograms: bool, scrape: bool) -> (f64, u64) {
         egress.clear();
         lvrm.poll_egress(&mut egress);
         forwarded += egress.len() as u64;
-        adapter.send_batch(&mut egress);
+        let _ = adapter.send_batch(&mut egress);
         if scrape && since_scrape >= SCRAPE_EVERY {
             since_scrape = 0;
             scrape_bytes = lvrm.render_prometheus().len();

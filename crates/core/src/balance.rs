@@ -45,6 +45,15 @@ pub trait LoadBalancer: Send {
     fn flow_stats(&self) -> (u64, u64) {
         (0, 0)
     }
+
+    /// Append this policy's flow-affinity entries as
+    /// `(key, vri, last_seen_ns)` — the warm-restart export surface.
+    /// Stateless policies export nothing.
+    fn export_flows(&self, _out: &mut Vec<(FlowKey, VriId, u64)>) {}
+
+    /// Re-learn one flow-affinity entry from a checkpoint. Stateless
+    /// policies ignore it.
+    fn import_flow(&mut self, _key: FlowKey, _vri: VriId, _last_seen_ns: u64) {}
 }
 
 /// First valid slot helper shared by the policies.
@@ -198,6 +207,14 @@ impl<B: LoadBalancer> LoadBalancer for FlowBased<B> {
     fn flow_stats(&self) -> (u64, u64) {
         (self.sticky_hits, self.fresh_picks)
     }
+
+    fn export_flows(&self, out: &mut Vec<(FlowKey, VriId, u64)>) {
+        out.extend(self.table.entries());
+    }
+
+    fn import_flow(&mut self, key: FlowKey, vri: VriId, last_seen_ns: u64) {
+        self.table.insert(key, vri, last_seen_ns);
+    }
 }
 
 /// Fallback used when a VR currently has zero usable VRIs: `None` from any
@@ -334,6 +351,32 @@ mod tests {
             per_slot[b.pick(&frame(p), &ctx).unwrap()] += 1;
         }
         assert_eq!(per_slot, [50, 50]);
+    }
+
+    #[test]
+    fn export_import_roundtrips_affinity() {
+        let mut b = FlowBased::new(RoundRobin::default(), 64, u64::MAX);
+        let v = vris(3);
+        let loads = [0.0; 3];
+        let valid = [true; 3];
+        let f = frame(4242);
+        let ctx = BalanceCtx { vris: &v, loads: &loads, valid: &valid, now_ns: 5 };
+        let first = b.pick(&f, &ctx).unwrap();
+        let mut flows = Vec::new();
+        b.export_flows(&mut flows);
+        assert_eq!(flows.len(), 1);
+        // A fresh balancer fed the export sticks to the same VRI.
+        let mut b2 = FlowBased::new(RoundRobin::default(), 64, u64::MAX);
+        for (k, vri, ts) in flows {
+            b2.import_flow(k, vri, ts);
+        }
+        let ctx = BalanceCtx { vris: &v, loads: &loads, valid: &valid, now_ns: 6 };
+        assert_eq!(b2.pick(&f, &ctx), Some(first));
+        assert_eq!(b2.sticky_hits, 1, "imported entry hit, not re-balanced");
+        // Stateless policies are no-ops.
+        let mut none = Vec::new();
+        Jsq.export_flows(&mut none);
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -1,0 +1,544 @@
+//! Versioned, checksummed control-plane checkpoints for warm restart
+//! (DESIGN.md §10).
+//!
+//! A monitor restart used to lose exactly the state that State-Compute
+//! Replication shows must survive for correct stateful packet processing:
+//! flow affinity, allocator/quarantine/backoff state, pressure levels, and
+//! the cumulative counters behind the conservation identities. A
+//! [`Checkpoint`] captures all of it in one self-contained blob written
+//! atomically from the monitor's lazy tick.
+//!
+//! ## Wire format
+//!
+//! Everything little-endian, hand-rolled (no serde in the offline build):
+//!
+//! ```text
+//! "LVCK" | version u32 | epoch u32 | ts_ns u64 | payload | crc32 u32
+//! ```
+//!
+//! The trailing CRC-32 (IEEE polynomial) covers every byte before it,
+//! including magic and header, so truncation and bit-rot are both caught
+//! before any field is trusted. [`Checkpoint::decode`] never panics: any
+//! malformed input yields a [`CheckpointError`], and the monitor's
+//! `restore_from` logs a `checkpoint_rejected` event and cold-starts.
+//!
+//! Flow-affinity entries are recorded against the VRI's **slot index**
+//! within its VR (position in the live-VRI vector), not its `VriId`:
+//! VriIds are not stable across a restart (the restored monitor respawns
+//! fresh instances), but slot `i` of VR "deptA" before the restart maps to
+//! slot `i` after, so affinity survives.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use lvrm_net::flow::Protocol;
+use lvrm_net::FlowKey;
+
+use crate::monitor::LvrmStats;
+
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"LVCK";
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Why a checkpoint blob was rejected (or could not be produced).
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Shorter than the fixed header + trailer.
+    TooShort,
+    /// Leading magic is not `LVCK`.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// Trailing CRC-32 does not match the content.
+    BadChecksum { expected: u32, found: u32 },
+    /// Structurally invalid payload (bad length prefix, trailing garbage…).
+    Malformed(&'static str),
+    /// Filesystem error while reading or writing.
+    Io(io::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::TooShort => write!(f, "checkpoint too short"),
+            CheckpointError::BadMagic => write!(f, "bad checkpoint magic"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::BadChecksum { expected, found } => {
+                write!(
+                    f,
+                    "checkpoint crc mismatch (expected {expected:#010x}, found {found:#010x})"
+                )
+            }
+            CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+// CRC-32 (IEEE 802.3 polynomial, reflected), table built at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32/IEEE over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// One flow-affinity entry: `key` was pinned to slot `slot` of its VR.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowRecord {
+    pub key: FlowKey,
+    pub slot: u32,
+    pub last_seen_ns: u64,
+}
+
+/// Per-VR control-plane state (matched back by `name` on restore).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct VrCheckpoint {
+    pub name: String,
+    pub frames_in: u64,
+    pub frames_out: u64,
+    pub admitted: u64,
+    pub shed: u64,
+    pub weight: f64,
+    pub shed_credit: f64,
+    pub crash_streak: u32,
+    pub last_crash_ns: u64,
+    pub backoff_until_ns: u64,
+    pub respawn_deficit: u32,
+    pub quarantined: bool,
+    /// Pressure level gauge encoding (0 normal, 1 pressured, 2 overloaded).
+    pub pressure: u8,
+    /// Live VRIs at checkpoint time — the restore target instance count.
+    pub vri_slots: u32,
+    pub flows: Vec<FlowRecord>,
+}
+
+/// The whole control-plane snapshot.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Checkpoint {
+    pub epoch: u32,
+    pub ts_ns: u64,
+    pub stats: LvrmStats,
+    pub next_vri: u32,
+    pub vrs: Vec<VrCheckpoint>,
+}
+
+// ---- encoding ----------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn flow_key(&mut self, k: &FlowKey) {
+        self.buf.extend_from_slice(&k.src.octets());
+        self.buf.extend_from_slice(&k.dst.octets());
+        self.u16(k.src_port);
+        self.u16(k.dst_port);
+        self.u8(k.proto.to_ip_proto());
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(CheckpointError::Malformed("field past end of payload"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn bool(&mut self) -> Result<bool, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CheckpointError::Malformed("bool out of range")),
+        }
+    }
+    fn str(&mut self) -> Result<String, CheckpointError> {
+        let len = self.u32()? as usize;
+        if len > 1 << 16 {
+            return Err(CheckpointError::Malformed("string too long"));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CheckpointError::Malformed("string not utf-8"))
+    }
+    fn flow_key(&mut self) -> Result<FlowKey, CheckpointError> {
+        let src: [u8; 4] = self.take(4)?.try_into().expect("4 bytes");
+        let dst: [u8; 4] = self.take(4)?.try_into().expect("4 bytes");
+        let src_port = self.u16()?;
+        let dst_port = self.u16()?;
+        let proto = Protocol::from_ip_proto(self.u8()?);
+        Ok(FlowKey { src: src.into(), dst: dst.into(), src_port, dst_port, proto })
+    }
+}
+
+/// `LvrmStats` fields in wire order. One place to keep encode/decode and
+/// the field count in sync.
+fn stats_fields(s: &LvrmStats) -> [u64; 19] {
+    [
+        s.frames_in,
+        s.frames_out,
+        s.unclassified,
+        s.dispatch_drops,
+        s.no_vri_drops,
+        s.shrink_lost,
+        s.control_relayed,
+        s.control_drops,
+        s.redispatched,
+        s.crash_lost,
+        s.quarantined_drops,
+        s.vri_deaths,
+        s.respawns,
+        s.retired_dispatch_drops,
+        s.shed_early,
+        s.reclaimed,
+        s.queue_lost,
+        s.retired_dispatched,
+        s.retired_returned,
+    ]
+}
+
+fn stats_from_fields(f: [u64; 19]) -> LvrmStats {
+    LvrmStats {
+        frames_in: f[0],
+        frames_out: f[1],
+        unclassified: f[2],
+        dispatch_drops: f[3],
+        no_vri_drops: f[4],
+        shrink_lost: f[5],
+        control_relayed: f[6],
+        control_drops: f[7],
+        redispatched: f[8],
+        crash_lost: f[9],
+        quarantined_drops: f[10],
+        vri_deaths: f[11],
+        respawns: f[12],
+        retired_dispatch_drops: f[13],
+        shed_early: f[14],
+        reclaimed: f[15],
+        queue_lost: f[16],
+        retired_dispatched: f[17],
+        retired_returned: f[18],
+    }
+}
+
+impl Checkpoint {
+    /// Serialize to the versioned, CRC-trailed wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc { buf: Vec::with_capacity(256) };
+        e.buf.extend_from_slice(&CHECKPOINT_MAGIC);
+        e.u32(CHECKPOINT_VERSION);
+        e.u32(self.epoch);
+        e.u64(self.ts_ns);
+        for v in stats_fields(&self.stats) {
+            e.u64(v);
+        }
+        e.u32(self.next_vri);
+        e.u32(self.vrs.len() as u32);
+        for vr in &self.vrs {
+            e.str(&vr.name);
+            e.u64(vr.frames_in);
+            e.u64(vr.frames_out);
+            e.u64(vr.admitted);
+            e.u64(vr.shed);
+            e.f64(vr.weight);
+            e.f64(vr.shed_credit);
+            e.u32(vr.crash_streak);
+            e.u64(vr.last_crash_ns);
+            e.u64(vr.backoff_until_ns);
+            e.u32(vr.respawn_deficit);
+            e.u8(vr.quarantined as u8);
+            e.u8(vr.pressure);
+            e.u32(vr.vri_slots);
+            e.u32(vr.flows.len() as u32);
+            for f in &vr.flows {
+                e.flow_key(&f.key);
+                e.u32(f.slot);
+                e.u64(f.last_seen_ns);
+            }
+        }
+        let crc = crc32(&e.buf);
+        e.u32(crc);
+        e.buf
+    }
+
+    /// Parse and verify a blob. Never panics; every malformation maps to a
+    /// [`CheckpointError`].
+    pub fn decode(buf: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        // magic + version + epoch + ts + stats + next_vri + vr count + crc
+        if buf.len() < 4 + 4 + 4 + 8 + 19 * 8 + 4 + 4 + 4 {
+            return Err(CheckpointError::TooShort);
+        }
+        if buf[..4] != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let body = &buf[..buf.len() - 4];
+        let found = u32::from_le_bytes(buf[buf.len() - 4..].try_into().expect("4 bytes"));
+        let expected = crc32(body);
+        if found != expected {
+            return Err(CheckpointError::BadChecksum { expected, found });
+        }
+        let mut d = Dec { buf: body, pos: 4 };
+        let version = d.u32()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let epoch = d.u32()?;
+        let ts_ns = d.u64()?;
+        let mut fields = [0u64; 19];
+        for f in fields.iter_mut() {
+            *f = d.u64()?;
+        }
+        let stats = stats_from_fields(fields);
+        let next_vri = d.u32()?;
+        let n_vrs = d.u32()? as usize;
+        if n_vrs > 1 << 16 {
+            return Err(CheckpointError::Malformed("implausible vr count"));
+        }
+        let mut vrs = Vec::with_capacity(n_vrs.min(1024));
+        for _ in 0..n_vrs {
+            let name = d.str()?;
+            let frames_in = d.u64()?;
+            let frames_out = d.u64()?;
+            let admitted = d.u64()?;
+            let shed = d.u64()?;
+            let weight = d.f64()?;
+            let shed_credit = d.f64()?;
+            let crash_streak = d.u32()?;
+            let last_crash_ns = d.u64()?;
+            let backoff_until_ns = d.u64()?;
+            let respawn_deficit = d.u32()?;
+            let quarantined = d.bool()?;
+            let pressure = d.u8()?;
+            if pressure > 2 {
+                return Err(CheckpointError::Malformed("pressure level out of range"));
+            }
+            let vri_slots = d.u32()?;
+            let n_flows = d.u32()? as usize;
+            if n_flows > 1 << 24 {
+                return Err(CheckpointError::Malformed("implausible flow count"));
+            }
+            let mut flows = Vec::with_capacity(n_flows.min(65536));
+            for _ in 0..n_flows {
+                let key = d.flow_key()?;
+                let slot = d.u32()?;
+                let last_seen_ns = d.u64()?;
+                flows.push(FlowRecord { key, slot, last_seen_ns });
+            }
+            vrs.push(VrCheckpoint {
+                name,
+                frames_in,
+                frames_out,
+                admitted,
+                shed,
+                weight,
+                shed_credit,
+                crash_streak,
+                last_crash_ns,
+                backoff_until_ns,
+                respawn_deficit,
+                quarantined,
+                pressure,
+                vri_slots,
+                flows,
+            });
+        }
+        if d.pos != body.len() {
+            return Err(CheckpointError::Malformed("trailing bytes after payload"));
+        }
+        Ok(Checkpoint { epoch, ts_ns, stats, next_vri, vrs })
+    }
+
+    /// Write to `path` via a sibling `.tmp` file and an atomic rename, so a
+    /// crash mid-write never leaves a torn checkpoint where a reader (or
+    /// the next restore) expects a whole one.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        let bytes = self.encode();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and verify the checkpoint at `path`.
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        Checkpoint::decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            epoch: 3,
+            ts_ns: 123_456_789,
+            stats: LvrmStats {
+                frames_in: 600,
+                frames_out: 590,
+                dispatch_drops: 10,
+                ..Default::default()
+            },
+            next_vri: 9,
+            vrs: vec![
+                VrCheckpoint {
+                    name: "deptA".into(),
+                    frames_in: 400,
+                    frames_out: 395,
+                    admitted: 398,
+                    shed: 2,
+                    weight: 2.5,
+                    shed_credit: 0.75,
+                    crash_streak: 1,
+                    last_crash_ns: 77,
+                    backoff_until_ns: 99,
+                    respawn_deficit: 1,
+                    quarantined: false,
+                    pressure: 2,
+                    vri_slots: 3,
+                    flows: vec![FlowRecord {
+                        key: FlowKey {
+                            src: Ipv4Addr::new(10, 0, 1, 5),
+                            dst: Ipv4Addr::new(10, 0, 2, 9),
+                            src_port: 4242,
+                            dst_port: 80,
+                            proto: Protocol::Udp,
+                        },
+                        slot: 1,
+                        last_seen_ns: 1234,
+                    }],
+                },
+                VrCheckpoint { name: "deptB".into(), quarantined: true, ..Default::default() },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ck = sample();
+        let bytes = ck.encode();
+        let back = Checkpoint::decode(&bytes).expect("decodes");
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn crc_is_stable_and_detects_flips() {
+        // Known-answer: CRC-32/IEEE of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let r = Checkpoint::decode(&bad);
+            assert!(r.is_err(), "flip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected_not_panicked() {
+        let bytes = sample().encode();
+        for len in 0..bytes.len() {
+            assert!(Checkpoint::decode(&bytes[..len]).is_err(), "truncation to {len} accepted");
+        }
+    }
+
+    #[test]
+    fn wrong_version_and_magic_are_distinct_errors() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        assert!(matches!(Checkpoint::decode(&bytes), Err(CheckpointError::BadMagic)));
+        let mut bytes = sample().encode();
+        bytes[4] = 99; // version — also breaks the CRC unless re-trailed
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        assert!(matches!(Checkpoint::decode(&bytes), Err(CheckpointError::BadVersion(99))));
+    }
+
+    #[test]
+    fn atomic_write_then_load() {
+        let dir = std::env::temp_dir().join("lvrm-ck-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit.ck");
+        let ck = sample();
+        ck.write_atomic(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        assert!(!path.with_extension("ck.tmp").exists(), "tmp file renamed away");
+        std::fs::remove_file(&path).ok();
+    }
+}

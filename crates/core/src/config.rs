@@ -174,6 +174,24 @@ pub struct LvrmConfig {
     /// (one clock read per call plus ~5 relaxed atomic ops per frame). On by
     /// default; the overhead experiment in EXPERIMENTS.md toggles this.
     pub latency_histograms: bool,
+    /// Write a control-plane checkpoint here from the lazy reallocation tick
+    /// (warm restart, DESIGN.md §10). `None` disables checkpointing.
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Minimum spacing between periodic checkpoint writes.
+    pub checkpoint_interval_ns: u64,
+    /// Consecutive adapter faults before the supervised socket adapter is
+    /// marked `Degraded`.
+    pub adapter_error_threshold: u32,
+    /// Consecutive adapter faults before it is declared `Dead` (reopen /
+    /// failover). Must be ≥ `adapter_error_threshold`.
+    pub adapter_dead_threshold: u32,
+    /// Base backoff between reopen attempts on a dead adapter.
+    pub adapter_reopen_backoff_ns: u64,
+    /// Cap on the exponential reopen backoff.
+    pub adapter_reopen_backoff_max_ns: u64,
+    /// How long a refused egress frame waits in the supervisor's retry queue
+    /// before it is finally counted dropped.
+    pub egress_retry_deadline_ns: u64,
 }
 
 /// A statically-invalid [`LvrmConfig`], caught by [`LvrmConfig::validate`]
@@ -192,6 +210,10 @@ pub enum ConfigError {
     ShedWeight { weight: f64 },
     /// The control starvation bound must be at least 1 burst.
     CtrlStarvationBursts,
+    /// Adapter supervision thresholds must satisfy `1 <= error <= dead`.
+    AdapterThresholds { error: u32, dead: u32 },
+    /// The checkpoint interval must be nonzero when a checkpoint path is set.
+    CheckpointInterval,
 }
 
 impl fmt::Display for ConfigError {
@@ -209,6 +231,15 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::CtrlStarvationBursts => {
                 write!(f, "control starvation bound must be at least 1 burst")
+            }
+            ConfigError::AdapterThresholds { error, dead } => {
+                write!(
+                    f,
+                    "adapter thresholds must satisfy 1 <= error <= dead, got error={error} dead={dead}"
+                )
+            }
+            ConfigError::CheckpointInterval => {
+                write!(f, "checkpoint interval must be nonzero when a checkpoint path is set")
             }
         }
     }
@@ -251,6 +282,13 @@ impl Default for LvrmConfig {
             drain_deadline_ns: 500_000_000, // 500 ms
             ctrl_starvation_bursts: 64,
             latency_histograms: true,
+            checkpoint_path: None,
+            checkpoint_interval_ns: 1_000_000_000, // 1 s
+            adapter_error_threshold: 3,
+            adapter_dead_threshold: 8,
+            adapter_reopen_backoff_ns: 100_000_000, // 100 ms
+            adapter_reopen_backoff_max_ns: 10_000_000_000, // 10 s
+            egress_retry_deadline_ns: 50_000_000,   // 50 ms
         }
     }
 }
@@ -280,7 +318,30 @@ impl LvrmConfig {
         if self.ctrl_starvation_bursts == 0 {
             return Err(ConfigError::CtrlStarvationBursts);
         }
+        if self.adapter_error_threshold == 0
+            || self.adapter_dead_threshold < self.adapter_error_threshold
+        {
+            return Err(ConfigError::AdapterThresholds {
+                error: self.adapter_error_threshold,
+                dead: self.adapter_dead_threshold,
+            });
+        }
+        if self.checkpoint_path.is_some() && self.checkpoint_interval_ns == 0 {
+            return Err(ConfigError::CheckpointInterval);
+        }
         Ok(())
+    }
+
+    /// The adapter-supervision knobs bundled for
+    /// [`crate::adapter::SupervisedAdapter`].
+    pub fn adapter_supervisor(&self) -> crate::adapter::AdapterSupervisorConfig {
+        crate::adapter::AdapterSupervisorConfig {
+            error_threshold: self.adapter_error_threshold,
+            dead_threshold: self.adapter_dead_threshold,
+            reopen_backoff_ns: self.adapter_reopen_backoff_ns,
+            reopen_backoff_max_ns: self.adapter_reopen_backoff_max_ns,
+            egress_retry_deadline_ns: self.egress_retry_deadline_ns,
+        }
     }
 
     /// The configured data-queue watermarks.
@@ -385,6 +446,34 @@ mod tests {
 
         let c = LvrmConfig { ctrl_starvation_bursts: 0, ..base() };
         assert_eq!(c.validate(), Err(ConfigError::CtrlStarvationBursts));
+
+        let c = LvrmConfig { adapter_error_threshold: 0, ..base() };
+        assert!(matches!(c.validate(), Err(ConfigError::AdapterThresholds { error: 0, .. })));
+        let c = LvrmConfig { adapter_error_threshold: 5, adapter_dead_threshold: 4, ..base() };
+        assert!(matches!(c.validate(), Err(ConfigError::AdapterThresholds { .. })));
+
+        let c = LvrmConfig {
+            checkpoint_path: Some("lvrm.ck".into()),
+            checkpoint_interval_ns: 0,
+            ..base()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::CheckpointInterval));
+        // Interval 0 is fine while checkpointing is off.
+        let c = LvrmConfig { checkpoint_interval_ns: 0, ..base() };
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn adapter_supervisor_mirrors_knobs() {
+        let c = LvrmConfig {
+            adapter_error_threshold: 2,
+            adapter_dead_threshold: 9,
+            ..Default::default()
+        };
+        let s = c.adapter_supervisor();
+        assert_eq!(s.error_threshold, 2);
+        assert_eq!(s.dead_threshold, 9);
+        assert_eq!(s.egress_retry_deadline_ns, c.egress_retry_deadline_ns);
     }
 
     #[test]

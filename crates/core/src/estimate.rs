@@ -166,6 +166,13 @@ impl PressureTracker {
     pub fn reset(&mut self) {
         self.level = PressureLevel::Normal;
     }
+
+    /// Rebuild a tracker pinned at a checkpointed level (warm restart):
+    /// hysteresis history survives the monitor, so a VR that checkpointed
+    /// `Overloaded` stays sticky until occupancy truly falls to the low mark.
+    pub fn restore(level: PressureLevel) -> PressureTracker {
+        PressureTracker { level }
+    }
 }
 
 #[cfg(test)]

@@ -13,10 +13,16 @@
 //! written before the run ("crash the second instance ever started") stays
 //! meaningful across allocator decisions and respawns.
 //!
-//! [`FaultySocket`] wraps a [`SocketAdapter`] and models ingress error
-//! bursts: windows of arriving frames, addressed by frame index (again —
-//! deterministic regardless of timing), that are consumed from the inner
-//! adapter but delivered to nobody, as a NIC with a corrupted ring would.
+//! [`FaultySocket`] wraps a [`SocketAdapter`] and models NIC misbehavior:
+//! ingress error bursts (windows of arriving frames, addressed by frame
+//! index, that surface as [`AdapterError::Transient`]), refused sends
+//! (addressed by send-attempt index, the frame handed back intact), and
+//! time-addressed crash/stall events from the plan's adapter track. A
+//! crashed or stalled socket recovers on [`SocketAdapter::reopen`] — the
+//! model of restarting a wedged NIC — which is exactly the hook the
+//! [`crate::adapter::SupervisedAdapter`] drives.
+
+use std::io;
 
 use lvrm_ipc::VriEndpoint;
 use lvrm_net::Frame;
@@ -25,7 +31,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::host::{RecordingHost, VriHost, VriSpec};
-use crate::socket::{SocketAdapter, SocketKind};
+use crate::socket::{AdapterError, SendRejected, SocketAdapter, SocketKind};
 use crate::{VrId, VriId};
 
 /// One kind of injected failure. VRIs are addressed by spawn order (the
@@ -52,10 +58,36 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
-/// A deterministic schedule of faults.
+/// One kind of injected *adapter* failure, scheduled by simulated time on
+/// the plan's adapter track and fired by [`FaultySocket::apply`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdapterFaultKind {
+    /// The NIC dies outright: every poll/send fails [`AdapterError::Fatal`]
+    /// until the adapter is reopened.
+    Crash,
+    /// The NIC wedges: operations fail [`AdapterError::Stalled`] until
+    /// resumed or reopened.
+    Stall,
+    /// Un-wedge a stalled adapter (a crash still needs a reopen).
+    Resume,
+    /// Start an RX error burst: the next `len` arriving frames surface as
+    /// [`AdapterError::Transient`] instead of being delivered.
+    ErrorBurst { len: u64 },
+}
+
+/// An adapter fault scheduled at a point in simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdapterFaultEvent {
+    pub at_ns: u64,
+    pub kind: AdapterFaultKind,
+}
+
+/// A deterministic schedule of faults: a VRI track (spawn-order addressed)
+/// and an adapter track (time addressed).
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
+    adapter_events: Vec<AdapterFaultEvent>,
 }
 
 impl FaultPlan {
@@ -89,6 +121,32 @@ impl FaultPlan {
         self.push(at_ns, FaultKind::CtrlLoss { nth_spawn: nth, on })
     }
 
+    /// Schedule an arbitrary adapter fault.
+    pub fn push_adapter(mut self, at_ns: u64, kind: AdapterFaultKind) -> FaultPlan {
+        self.adapter_events.push(AdapterFaultEvent { at_ns, kind });
+        self
+    }
+
+    /// Crash the socket adapter at `at_ns`.
+    pub fn crash_adapter_at(self, at_ns: u64) -> FaultPlan {
+        self.push_adapter(at_ns, AdapterFaultKind::Crash)
+    }
+
+    /// Stall the socket adapter at `at_ns`.
+    pub fn stall_adapter_at(self, at_ns: u64) -> FaultPlan {
+        self.push_adapter(at_ns, AdapterFaultKind::Stall)
+    }
+
+    /// Un-stall the socket adapter at `at_ns`.
+    pub fn resume_adapter_at(self, at_ns: u64) -> FaultPlan {
+        self.push_adapter(at_ns, AdapterFaultKind::Resume)
+    }
+
+    /// Start a `len`-frame RX error burst at `at_ns`.
+    pub fn adapter_error_burst_at(self, at_ns: u64, len: u64) -> FaultPlan {
+        self.push_adapter(at_ns, AdapterFaultKind::ErrorBurst { len })
+    }
+
     /// Generate `count` faults uniformly over `(0, horizon_ns]` targeting
     /// spawn indices below `max_spawns`, all from `seed`. The same seed
     /// always yields the same plan.
@@ -109,13 +167,42 @@ impl FaultPlan {
         plan
     }
 
-    /// The scheduled events, in insertion order.
+    /// Generate `count` adapter faults uniformly over `(0, horizon_ns]`
+    /// from `seed`. Crashes and stalls are always paired with later
+    /// relief (reopen is the supervisor's job, resume is scheduled here for
+    /// stalls), so a randomized storm never wedges a run forever.
+    pub fn randomized_adapter(seed: u64, horizon_ns: u64, count: usize) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xada9_7e5f);
+        let mut plan = FaultPlan::new();
+        for _ in 0..count {
+            let at_ns = 1 + rng.gen_range(0..horizon_ns.max(1));
+            match rng.gen_range(0..3u8) {
+                0 => plan = plan.crash_adapter_at(at_ns),
+                1 => {
+                    let relief = at_ns + 1 + rng.gen_range(0..horizon_ns.max(1) / 2);
+                    plan = plan.stall_adapter_at(at_ns).resume_adapter_at(relief);
+                }
+                _ => {
+                    let len = 1 + rng.gen_range(0..16u64);
+                    plan = plan.adapter_error_burst_at(at_ns, len);
+                }
+            }
+        }
+        plan
+    }
+
+    /// The scheduled VRI events, in insertion order.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
     }
 
+    /// The scheduled adapter events, in insertion order.
+    pub fn adapter_events(&self) -> &[AdapterFaultEvent] {
+        &self.adapter_events
+    }
+
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.adapter_events.is_empty()
     }
 }
 
@@ -161,7 +248,8 @@ impl FaultInjectable for RecordingHost {
 /// by spawn index resolve to concrete [`VriId`]s at fire time. Call
 /// [`apply`] with the current timestamp from the driving loop; due events
 /// fire in schedule order. Events targeting a spawn index that has not
-/// happened yet are dropped (counted in `skipped`).
+/// happened yet are dropped (counted in `skipped`). The adapter track is
+/// ignored here — hand the same plan to [`FaultySocket::with_plan`].
 ///
 /// [`apply`]: FaultyHost::apply
 pub struct FaultyHost<H> {
@@ -245,55 +333,181 @@ impl<H: VriHost> VriHost for FaultyHost<H> {
     }
 }
 
-/// A [`SocketAdapter`] wrapper modeling ingress error bursts: frames whose
-/// arrival index falls inside a configured window are consumed from the
-/// inner adapter but never delivered (a NIC signalling RX errors). Windows
-/// are addressed by frame index, not time, so a burst hits the same frames
-/// on every run regardless of poll cadence.
+/// A [`SocketAdapter`] wrapper modeling NIC misbehavior. Three independent
+/// failure channels, all deterministic:
+///
+/// * **RX error bursts** — windows of arriving frames, addressed by frame
+///   index (not time, so a burst hits the same frames on every run
+///   regardless of poll cadence), consumed from the inner adapter and
+///   surfaced as [`AdapterError::Transient`];
+/// * **refused sends** — windows of send *attempts*, addressed by attempt
+///   index, handed back intact in a [`SendRejected`];
+/// * **crash/stall** — flipped by the plan's adapter track via
+///   [`apply`](FaultySocket::apply) (or the `crashed_from_start` /
+///   `stalled_from_start` builders); cleared by
+///   [`reopen`](SocketAdapter::reopen), modeling a NIC restart.
 pub struct FaultySocket<S> {
     pub inner: S,
     bursts: Vec<(u64, u64)>,
+    send_fails: Vec<(u64, u64)>,
+    plan: Vec<AdapterFaultEvent>,
+    cursor: usize,
     seen: u64,
+    send_seen: u64,
+    crashed: bool,
+    stalled: bool,
     /// Frames eaten by error bursts.
     pub rx_errors: u64,
+    /// Send attempts refused by the send-fail windows.
+    pub tx_errors: u64,
+    /// Adapter-track events fired so far.
+    pub injected: u64,
 }
 
 impl<S> FaultySocket<S> {
     pub fn new(inner: S) -> FaultySocket<S> {
-        FaultySocket { inner, bursts: Vec::new(), seen: 0, rx_errors: 0 }
+        FaultySocket {
+            inner,
+            bursts: Vec::new(),
+            send_fails: Vec::new(),
+            plan: Vec::new(),
+            cursor: 0,
+            seen: 0,
+            send_seen: 0,
+            crashed: false,
+            stalled: false,
+            rx_errors: 0,
+            tx_errors: 0,
+            injected: 0,
+        }
     }
 
-    /// Drop `len` frames starting at arrival index `start` (0-based).
+    /// Wrap `inner` and arm the adapter track of `plan` (time-addressed
+    /// crash/stall/burst events fired by [`apply`](FaultySocket::apply)).
+    pub fn with_plan(inner: S, plan: &FaultPlan) -> FaultySocket<S> {
+        let mut events = plan.adapter_events.clone();
+        events.sort_by_key(|e| e.at_ns);
+        let mut sock = FaultySocket::new(inner);
+        sock.plan = events;
+        sock
+    }
+
+    /// Error out `len` frames starting at arrival index `start` (0-based).
     pub fn error_burst(mut self, start: u64, len: u64) -> FaultySocket<S> {
         self.bursts.push((start, len));
         self
     }
 
-    fn is_error(&self, idx: u64) -> bool {
-        self.bursts.iter().any(|&(s, l)| idx >= s && idx < s + l)
+    /// Refuse `len` send attempts starting at attempt index `start`.
+    pub fn send_fail(mut self, start: u64, len: u64) -> FaultySocket<S> {
+        self.send_fails.push((start, len));
+        self
+    }
+
+    /// Begin life crashed (every op fails `Fatal` until reopened).
+    pub fn crashed_from_start(mut self) -> FaultySocket<S> {
+        self.crashed = true;
+        self
+    }
+
+    /// Begin life stalled (every op fails `Stalled` until resumed/reopened).
+    pub fn stalled_from_start(mut self) -> FaultySocket<S> {
+        self.stalled = true;
+        self
+    }
+
+    /// Fire every adapter-track event due at or before `now_ns`.
+    pub fn apply(&mut self, now_ns: u64) -> usize {
+        let mut fired = 0;
+        while self.cursor < self.plan.len() && self.plan[self.cursor].at_ns <= now_ns {
+            let ev = self.plan[self.cursor];
+            self.cursor += 1;
+            match ev.kind {
+                AdapterFaultKind::Crash => self.crashed = true,
+                AdapterFaultKind::Stall => self.stalled = true,
+                AdapterFaultKind::Resume => self.stalled = false,
+                AdapterFaultKind::ErrorBurst { len } => self.bursts.push((self.seen, len)),
+            }
+            self.injected += 1;
+            fired += 1;
+        }
+        fired
+    }
+
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    fn down_error(&self) -> Option<AdapterError> {
+        if self.crashed {
+            Some(AdapterError::Fatal)
+        } else if self.stalled {
+            Some(AdapterError::Stalled)
+        } else {
+            None
+        }
+    }
+
+    fn is_rx_error(&self, idx: u64) -> bool {
+        self.bursts.iter().any(|&(s, l)| idx >= s && idx < s.saturating_add(l))
+    }
+
+    fn is_tx_error(&self, idx: u64) -> bool {
+        self.send_fails.iter().any(|&(s, l)| idx >= s && idx < s.saturating_add(l))
     }
 }
 
 impl<S: SocketAdapter> SocketAdapter for FaultySocket<S> {
-    fn poll(&mut self) -> Option<Frame> {
-        loop {
-            let f = self.inner.poll()?;
-            let idx = self.seen;
-            self.seen += 1;
-            if self.is_error(idx) {
-                self.rx_errors += 1;
-                continue;
-            }
-            return Some(f);
+    fn poll(&mut self) -> Result<Frame, AdapterError> {
+        if let Some(e) = self.down_error() {
+            return Err(e);
         }
+        let f = self.inner.poll()?;
+        let idx = self.seen;
+        self.seen += 1;
+        if self.is_rx_error(idx) {
+            self.rx_errors += 1;
+            // The frame was consumed from the ring but arrived damaged.
+            return Err(AdapterError::Transient(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "injected rx error burst",
+            )));
+        }
+        Ok(f)
     }
 
-    fn send(&mut self, frame: Frame) {
-        self.inner.send(frame);
+    fn send(&mut self, frame: Frame) -> Result<(), SendRejected> {
+        if let Some(e) = self.down_error() {
+            return Err(SendRejected { frame, error: e });
+        }
+        let idx = self.send_seen;
+        self.send_seen += 1;
+        if self.is_tx_error(idx) {
+            self.tx_errors += 1;
+            return Err(SendRejected {
+                frame,
+                error: AdapterError::Transient(io::Error::other("injected tx refusal")),
+            });
+        }
+        self.inner.send(frame)
     }
 
-    fn send_batch(&mut self, frames: &mut Vec<Frame>) {
-        self.inner.send_batch(frames);
+    /// Clears crash/stall (a NIC restart) and reopens the inner adapter.
+    fn reopen(&mut self) -> Result<(), AdapterError> {
+        self.crashed = false;
+        self.stalled = false;
+        self.inner.reopen()
+    }
+
+    /// Consume due plan events; lets a boxed `FaultySocket` inside a
+    /// supervisor chain fire time-addressed faults.
+    fn advance(&mut self, now_ns: u64) {
+        self.apply(now_ns);
+        self.inner.advance(now_ns);
     }
 
     fn kind(&self) -> SocketKind {
@@ -329,6 +543,10 @@ mod tests {
         );
     }
 
+    fn mem(frames: u64) -> MemTraceAdapter {
+        MemTraceAdapter::new(Trace::generate(&TraceSpec::new(84, 4)), frames)
+    }
+
     #[test]
     fn plan_fires_in_time_order_against_spawn_order() {
         let plan = FaultPlan::new().stall_at(200, 1).crash_at(100, 0);
@@ -359,19 +577,82 @@ mod tests {
         assert_eq!(a.events(), b.events());
         let c = FaultPlan::randomized(43, 1_000_000, 16, 4);
         assert_ne!(a.events(), c.events(), "different seed, different plan");
+        let d = FaultPlan::randomized_adapter(42, 1_000_000, 8);
+        let e = FaultPlan::randomized_adapter(42, 1_000_000, 8);
+        assert_eq!(d.adapter_events(), e.adapter_events());
     }
 
     #[test]
-    fn faulty_socket_eats_exactly_the_burst() {
-        let trace = Trace::generate(&TraceSpec::new(84, 4));
-        let inner = MemTraceAdapter::new(trace, 10);
-        let mut sock = FaultySocket::new(inner).error_burst(2, 3);
-        let mut got = 0;
-        while sock.poll().is_some() {
-            got += 1;
+    fn faulty_socket_surfaces_exactly_the_burst() {
+        let mut sock = FaultySocket::new(mem(10)).error_burst(2, 3);
+        let (mut got, mut errs) = (0u64, 0u64);
+        loop {
+            match sock.poll() {
+                Ok(_) => got += 1,
+                Err(AdapterError::WouldBlock) => break,
+                Err(AdapterError::Transient(_)) => errs += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
         }
         assert_eq!(got, 7, "indices 2..5 errored");
+        assert_eq!(errs, 3, "each eaten frame surfaced as a transient error");
         assert_eq!(sock.rx_errors, 3);
         assert_eq!(sock.rx_count(), 7);
+    }
+
+    #[test]
+    fn refused_sends_hand_the_frame_back() {
+        let mut sock = FaultySocket::new(mem(5)).send_fail(1, 2);
+        let mut frames = Vec::new();
+        sock.poll_batch(&mut frames, 5).unwrap();
+        assert_eq!(frames.len(), 5);
+        let mut refused = 0;
+        for f in frames.drain(..) {
+            if let Err(rej) = sock.send(f) {
+                assert!(!rej.error.is_would_block());
+                refused += 1;
+            }
+        }
+        assert_eq!(refused, 2, "attempts 1 and 2 refused");
+        assert_eq!(sock.tx_errors, 2);
+        assert_eq!(sock.tx_count(), 3, "only accepted frames count");
+    }
+
+    #[test]
+    fn adapter_track_crash_is_fatal_until_reopen() {
+        let plan = FaultPlan::new().crash_adapter_at(100);
+        let mut sock = FaultySocket::with_plan(mem(10), &plan);
+        assert!(sock.poll().is_ok());
+        assert_eq!(sock.apply(50), 0);
+        assert_eq!(sock.apply(150), 1);
+        assert!(matches!(sock.poll(), Err(AdapterError::Fatal)));
+        let f = Trace::generate(&TraceSpec::new(84, 4)).frames()[0].clone();
+        let rej = sock.send(f).unwrap_err();
+        assert!(matches!(rej.error, AdapterError::Fatal), "frame handed back on crash");
+        sock.reopen().unwrap();
+        assert!(sock.poll().is_ok(), "reopen models a NIC restart");
+    }
+
+    #[test]
+    fn adapter_track_stall_resumes() {
+        let plan = FaultPlan::new().stall_adapter_at(10).resume_adapter_at(20);
+        let mut sock = FaultySocket::with_plan(mem(10), &plan);
+        sock.apply(10);
+        assert!(matches!(sock.poll(), Err(AdapterError::Stalled)));
+        sock.apply(20);
+        assert!(sock.poll().is_ok());
+    }
+
+    #[test]
+    fn timed_error_burst_starts_at_current_arrival_index() {
+        let plan = FaultPlan::new().adapter_error_burst_at(100, 2);
+        let mut sock = FaultySocket::with_plan(mem(6), &plan);
+        assert!(sock.poll().is_ok());
+        assert!(sock.poll().is_ok());
+        sock.apply(100); // burst armed at arrival index 2
+        assert!(matches!(sock.poll(), Err(AdapterError::Transient(_))));
+        assert!(matches!(sock.poll(), Err(AdapterError::Transient(_))));
+        assert!(sock.poll().is_ok());
+        assert_eq!(sock.rx_errors, 2);
     }
 }

@@ -113,6 +113,13 @@ impl FlowTable {
         false
     }
 
+    /// Iterate live entries as `(key, vri, last_seen_ns)` — the checkpoint
+    /// export surface. Entries already past `timeout_ns` may still appear
+    /// (they are reclaimed lazily); importers re-apply the timeout anyway.
+    pub fn entries(&self) -> impl Iterator<Item = (FlowKey, VriId, u64)> + '_ {
+        self.slots.iter().flatten().map(|e| (e.key, e.vri, e.last_seen_ns))
+    }
+
     /// Remove every entry pointing at `vri` (called when a VRI is killed so
     /// its flows get re-balanced instead of black-holed).
     ///

@@ -28,8 +28,10 @@
 //! (`lvrm-runtime`), via the [`host::VriHost`] and [`clock::Clock`]
 //! abstractions.
 
+pub mod adapter;
 pub mod alloc;
 pub mod balance;
+pub mod checkpoint;
 pub mod clock;
 pub mod config;
 pub mod estimate;
@@ -41,16 +43,21 @@ pub mod socket;
 pub mod topology;
 pub mod vri;
 
+pub use adapter::{AdapterState, AdapterSupervisorConfig, SupervisedAdapter};
 pub use alloc::{
     AllocDecision, CoreAllocator, DynamicFixedThreshold, DynamicServiceRate, FixedAllocator,
 };
 pub use balance::{BalanceCtx, Jsq, LoadBalancer, RandomBalancer, RoundRobin};
+pub use checkpoint::{Checkpoint, CheckpointError, FlowRecord, VrCheckpoint};
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use config::{AllocatorKind, BalancerKind, EstimatorKind, LvrmConfig};
-pub use fault::{FaultEvent, FaultInjectable, FaultKind, FaultPlan, FaultyHost, FaultySocket};
+pub use fault::{
+    AdapterFaultEvent, AdapterFaultKind, FaultEvent, FaultInjectable, FaultKind, FaultPlan,
+    FaultyHost, FaultySocket,
+};
 pub use host::{RecordingHost, VriHost, VriSpec};
 pub use monitor::{Lvrm, LvrmStats};
-pub use socket::{MemTraceAdapter, SocketAdapter, SocketKind};
+pub use socket::{AdapterError, MemTraceAdapter, SendRejected, SocketAdapter, SocketKind};
 pub use topology::{AffinityMode, CoreId, CoreMap, CoreTopology};
 pub use vri::{LvrmAdapter, VriAdapter, VriHealth, LVRM_CTRL_ID};
 

@@ -17,17 +17,19 @@
 //! from previous core allocation/deallocation", Fig. 3.2).
 
 use std::net::Ipv4Addr;
+use std::path::Path;
 
 use lvrm_ipc::channels::{vri_channels, ControlEvent};
 use lvrm_ipc::PressureLevel;
 use lvrm_metrics::{
     Counter, LatencyHistogram, MetricsRegistry, MetricsSnapshot, RateEstimator, SharedHistogram,
 };
-use lvrm_net::Frame;
+use lvrm_net::{FlowKey, Frame};
 use lvrm_router::{RouteTable, VirtualRouter};
 
 use crate::alloc::{AllocDecision, CoreAllocator, VrLoadView};
 use crate::balance::{BalanceCtx, LoadBalancer};
+use crate::checkpoint::{Checkpoint, CheckpointError, FlowRecord, VrCheckpoint};
 use crate::clock::Clock;
 use crate::config::LvrmConfig;
 use crate::estimate::PressureTracker;
@@ -179,6 +181,10 @@ struct StatCounters {
     queue_lost: Counter,
     retired_dispatched: Counter,
     retired_returned: Counter,
+    /// Robustness counters outside [`LvrmStats`] (no conservation identity
+    /// involves them), incremented by the checkpoint paths.
+    checkpoint_writes: Counter,
+    checkpoint_rejected: Counter,
 }
 
 impl StatCounters {
@@ -243,7 +249,34 @@ impl StatCounters {
                 "lvrm_retired_returned_total",
                 "Returned counters folded from retired adapters.",
             ),
+            checkpoint_writes: c(
+                "lvrm_checkpoint_writes_total",
+                "Control-plane checkpoints written successfully.",
+            ),
+            checkpoint_rejected: c(
+                "lvrm_checkpoint_rejected_total",
+                "Checkpoints rejected at restore time (corrupt, truncated, or unreadable).",
+            ),
         }
+    }
+
+    /// Pre-register the adapter-supervision families (at zero) so they exist
+    /// from the first scrape whether or not a
+    /// [`crate::adapter::SupervisedAdapter`] is wired in. Same names and
+    /// help as `SupervisedAdapter::publish` — registry dedup by name makes
+    /// these the very counters it stores into.
+    fn register_adapter_families(reg: &MetricsRegistry) {
+        reg.counter(
+            "lvrm_adapter_reopens_total",
+            "Successful reopens of a dead socket adapter.",
+            &[],
+        );
+        reg.counter("lvrm_adapter_failovers_total", "Failovers to a standby socket adapter.", &[]);
+        reg.counter(
+            "lvrm_egress_retries_total",
+            "Refused egress frames later delivered from the retry queue.",
+            &[],
+        );
     }
 
     fn read(&self) -> LvrmStats {
@@ -472,6 +505,11 @@ pub struct Lvrm<C: Clock> {
     bursts_since_ctrl: u32,
     /// Graceful shutdown begun: ingress quiesced, every VRI draining.
     shutting_down: bool,
+    /// Restart epoch: 0 on a cold start, `checkpoint.epoch + 1` after a
+    /// restore, so counters resumed across a restart are attributable.
+    epoch: u32,
+    /// When the last periodic checkpoint was written (monitor clock).
+    last_checkpoint_ns: Option<u64>,
     // Scratch buffers reused across calls (no hot-path allocation).
     scratch_loads: Vec<f64>,
     scratch_valid: Vec<bool>,
@@ -489,6 +527,7 @@ impl<C: Clock> Lvrm<C> {
     pub fn new(config: LvrmConfig, cores: CoreMap, clock: C) -> Lvrm<C> {
         let registry = MetricsRegistry::new();
         let stats = StatCounters::register(&registry);
+        StatCounters::register_adapter_families(&registry);
         registry
             .gauge(
                 "lvrm_info",
@@ -517,6 +556,8 @@ impl<C: Clock> Lvrm<C> {
             draining_count: 0,
             bursts_since_ctrl: 0,
             shutting_down: false,
+            epoch: 0,
+            last_checkpoint_ns: None,
             scratch_loads: Vec::new(),
             scratch_valid: Vec::new(),
             scratch_vris: Vec::new(),
@@ -1070,6 +1111,10 @@ impl<C: Clock> Lvrm<C> {
             s.vri_deaths,
             s.respawns,
         ));
+
+        // Periodic checkpoint rides the same lazy tick: zero hot-path cost,
+        // one serialize + atomic rename per interval.
+        self.maybe_checkpoint(now_ns);
     }
 
     /// Whether `vr` has been quarantined by the supervisor.
@@ -1689,6 +1734,11 @@ impl<C: Clock> Lvrm<C> {
             self.draining_count as f64,
         );
         g("lvrm_vrs", "Registered VRs.", self.vrs.len() as f64);
+        g(
+            "lvrm_restore_epoch",
+            "Restart epoch (0 cold start; checkpoint epoch + 1 after restore).",
+            self.epoch as f64,
+        );
     }
 
     /// Refresh the sampled gauges and snapshot the whole registry.
@@ -1706,6 +1756,207 @@ impl<C: Clock> Lvrm<C> {
     /// reallocation tick, if one fired since the previous call.
     pub fn take_tick_line(&mut self) -> Option<String> {
         self.tick_line.take()
+    }
+
+    /// Restart epoch: 0 on a cold start, `checkpoint.epoch + 1` after a
+    /// [`Lvrm::restore_from`].
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Periodic checkpoint, gated on `config.checkpoint_interval_ns`. Runs
+    /// from the lazy reallocation tick so the hot path never pays for it.
+    fn maybe_checkpoint(&mut self, now_ns: u64) {
+        let Some(path) = self.config.checkpoint_path.clone() else {
+            return;
+        };
+        if let Some(last) = self.last_checkpoint_ns {
+            if now_ns.saturating_sub(last) < self.config.checkpoint_interval_ns {
+                return;
+            }
+        }
+        self.last_checkpoint_ns = Some(now_ns);
+        self.checkpoint_to(&path, now_ns);
+    }
+
+    /// Write a checkpoint to `path` now (the SIGHUP / on-demand entry point).
+    /// Returns whether the write landed; failures are logged to the event
+    /// stream, never fatal — a monitor that cannot checkpoint keeps routing.
+    pub fn checkpoint_to(&mut self, path: &Path, now_ns: u64) -> bool {
+        let ck = self.build_checkpoint(now_ns);
+        match ck.write_atomic(path) {
+            Ok(()) => {
+                self.stats.checkpoint_writes.inc();
+                true
+            }
+            Err(e) => {
+                self.registry.push_event(
+                    now_ns,
+                    format!("checkpoint-error path={} err={e}", path.display()),
+                );
+                false
+            }
+        }
+    }
+
+    /// Snapshot the control plane into a [`Checkpoint`].
+    ///
+    /// Counters are folded **as if every live and draining VRI retired with
+    /// total loss**: per-VRI dispatched/returned/drops move into the
+    /// `retired_*` aggregates and in-flight frames (data + egress queues)
+    /// are charged to both `crash_lost` (drop taxonomy) and `queue_lost`
+    /// (dispatch identity). A restore therefore satisfies all four
+    /// conservation identities by construction — the frames a restart
+    /// genuinely loses are accounted, not wished away.
+    pub fn build_checkpoint(&self, now_ns: u64) -> Checkpoint {
+        let mut stats = self.stats.read();
+        let mut flows_scratch: Vec<(FlowKey, VriId, u64)> = Vec::new();
+        let mut vrs = Vec::with_capacity(self.vrs.len());
+        for vr in &self.vrs {
+            flows_scratch.clear();
+            vr.balancer.export_flows(&mut flows_scratch);
+            // Affinity is checkpointed against the VRI's *slot* within the
+            // VR (ids are not stable across restarts); draining/dead VRIs
+            // have left the balance set and are dropped here.
+            let mut flows = Vec::with_capacity(flows_scratch.len());
+            for &(key, vri, last_seen_ns) in &flows_scratch {
+                if let Some(slot) = vr.vris.iter().position(|v| v.id == vri) {
+                    flows.push(FlowRecord { key, slot: slot as u32, last_seen_ns });
+                }
+            }
+            for v in vr.vris.iter().chain(vr.draining.iter().map(|d| &d.adapter)) {
+                stats.retired_dispatched += v.dispatched;
+                stats.retired_returned += v.returned;
+                stats.retired_dispatch_drops += v.dispatch_drops;
+                let in_flight = (v.queue_len() + v.egress_len()) as u64;
+                stats.crash_lost += in_flight;
+                stats.queue_lost += in_flight;
+            }
+            vrs.push(VrCheckpoint {
+                name: vr.name.clone(),
+                frames_in: vr.frames_in,
+                frames_out: vr.frames_out,
+                admitted: vr.admitted,
+                shed: vr.shed,
+                weight: vr.weight,
+                shed_credit: vr.shed_credit,
+                crash_streak: vr.crash_streak,
+                last_crash_ns: vr.last_crash_ns,
+                backoff_until_ns: vr.backoff_until_ns,
+                respawn_deficit: vr.respawn_deficit as u32,
+                quarantined: vr.quarantined,
+                pressure: vr.pressure.level_gauge() as u8,
+                vri_slots: vr.vris.len() as u32,
+                flows,
+            });
+        }
+        Checkpoint { epoch: self.epoch, ts_ns: now_ns, stats, next_vri: self.next_vri, vrs }
+    }
+
+    /// Warm-restart entry point: load `path` and resume from it.
+    ///
+    /// A rejected checkpoint (corrupt, truncated, unreadable) is **not**
+    /// fatal: the monitor logs `checkpoint_rejected`, bumps the counter and
+    /// returns the error so the caller can proceed with a cold start.
+    /// On success returns the new epoch (`checkpoint.epoch + 1`).
+    pub fn restore_from(
+        &mut self,
+        path: &Path,
+        host: &mut dyn VriHost,
+    ) -> Result<u32, CheckpointError> {
+        let now_ns = self.clock.now_ns();
+        match Checkpoint::load(path) {
+            Ok(ck) => Ok(self.apply_checkpoint(&ck, now_ns, host)),
+            Err(e) => {
+                self.stats.checkpoint_rejected.inc();
+                self.registry.push_event(
+                    now_ns,
+                    format!("checkpoint_rejected path={} err={e}", path.display()),
+                );
+                Err(e)
+            }
+        }
+    }
+
+    /// Resume control-plane state from a decoded checkpoint: counter
+    /// baselines, supervisor state, pressure hysteresis, VRI population and
+    /// flow affinity. VRs are matched **by name** against the already
+    /// re-registered set; checkpointed VRs with no live counterpart are
+    /// logged and skipped.
+    pub fn apply_checkpoint(
+        &mut self,
+        ck: &Checkpoint,
+        now_ns: u64,
+        host: &mut dyn VriHost,
+    ) -> u32 {
+        let s = &ck.stats;
+        self.stats.frames_in.store(s.frames_in);
+        self.stats.frames_out.store(s.frames_out);
+        self.stats.unclassified.store(s.unclassified);
+        self.stats.dispatch_drops.store(s.dispatch_drops);
+        self.stats.no_vri_drops.store(s.no_vri_drops);
+        self.stats.shrink_lost.store(s.shrink_lost);
+        self.stats.control_relayed.store(s.control_relayed);
+        self.stats.control_drops.store(s.control_drops);
+        self.stats.redispatched.store(s.redispatched);
+        self.stats.crash_lost.store(s.crash_lost);
+        self.stats.quarantined_drops.store(s.quarantined_drops);
+        self.stats.vri_deaths.store(s.vri_deaths);
+        self.stats.respawns.store(s.respawns);
+        self.stats.retired_dispatch_drops.store(s.retired_dispatch_drops);
+        self.stats.shed_early.store(s.shed_early);
+        self.stats.reclaimed.store(s.reclaimed);
+        self.stats.queue_lost.store(s.queue_lost);
+        self.stats.retired_dispatched.store(s.retired_dispatched);
+        self.stats.retired_returned.store(s.retired_returned);
+        self.next_vri = self.next_vri.max(ck.next_vri);
+        self.epoch = ck.epoch.wrapping_add(1);
+        for vrck in &ck.vrs {
+            let Some(idx) = self.vrs.iter().position(|v| v.name == vrck.name) else {
+                self.registry
+                    .push_event(now_ns, format!("checkpoint-vr-unmatched vr={}", vrck.name));
+                continue;
+            };
+            {
+                let vr = &mut self.vrs[idx];
+                vr.frames_in = vrck.frames_in;
+                vr.frames_out = vrck.frames_out;
+                vr.admitted = vrck.admitted;
+                vr.shed = vrck.shed;
+                vr.weight = vrck.weight;
+                vr.shed_credit = vrck.shed_credit;
+                vr.crash_streak = vrck.crash_streak;
+                vr.last_crash_ns = vrck.last_crash_ns;
+                vr.backoff_until_ns = vrck.backoff_until_ns;
+                vr.quarantined = vrck.quarantined;
+                vr.pressure = PressureTracker::restore(match vrck.pressure {
+                    0 => PressureLevel::Normal,
+                    1 => PressureLevel::Pressured,
+                    _ => PressureLevel::Overloaded,
+                });
+            }
+            if !self.vrs[idx].quarantined {
+                while self.vrs[idx].vris.len() < vrck.vri_slots as usize {
+                    if !self.grow_vr(idx, now_ns, host) {
+                        break; // cores/memory shrank across the restart
+                    }
+                }
+            }
+            // Restored *after* the population grows back, so the refills
+            // above do not absorb the deficit as phantom respawns.
+            self.vrs[idx].respawn_deficit = vrck.respawn_deficit as usize;
+            for f in &vrck.flows {
+                if let Some(v) = self.vrs[idx].vris.get(f.slot as usize) {
+                    let vri = v.id;
+                    self.vrs[idx].balancer.import_flow(f.key, vri, f.last_seen_ns);
+                }
+            }
+        }
+        self.registry.push_event(
+            now_ns,
+            format!("monitor-restored epoch={} checkpoint_ts_ns={}", self.epoch, ck.ts_ns),
+        );
+        self.epoch
     }
 }
 

@@ -8,6 +8,12 @@
 //! trait plus the main-memory implementation; the simulated raw-socket and
 //! PF_RING variants live in `lvrm-testbed` (where their per-frame costs are
 //! modeled) and a live loopback variant in `lvrm-runtime`.
+//!
+//! The surface is **fallible**: `poll` and `send` return typed
+//! [`AdapterError`]s instead of folding I/O failures into "no traffic" or
+//! silent frame loss. `Err(WouldBlock)` is the ordinary idle case (EAGAIN or
+//! EINTR on a real socket); everything else is a genuine fault for the
+//! adapter supervisor ([`crate::adapter::SupervisedAdapter`]) to act on.
 
 use lvrm_net::{Frame, Trace};
 
@@ -35,44 +41,139 @@ impl SocketKind {
     }
 }
 
+/// Why an adapter operation could not complete. The ordering matters to the
+/// supervisor: `WouldBlock` is not a fault at all, `Transient` and `Stalled`
+/// accumulate toward degradation, `Fatal` kills the adapter outright.
+#[derive(Debug)]
+pub enum AdapterError {
+    /// No frame available / no transmit space right now — try again. Real
+    /// sockets map both `EWOULDBLOCK`/`EAGAIN` *and* `EINTR` here: an
+    /// interrupted syscall lost nothing and must not count as an error.
+    WouldBlock,
+    /// A recoverable I/O error (e.g. `ENOBUFS`, a truncated datagram). The
+    /// frame involved, if any, was lost or is handed back via
+    /// [`SendRejected`]; the adapter itself may still recover.
+    Transient(std::io::Error),
+    /// The lower layer has stopped making progress entirely (a wedged ring,
+    /// an injected stall). Polls and sends will keep failing until the
+    /// adapter is reopened.
+    Stalled,
+    /// The adapter is gone (closed descriptor, detached ring, injected
+    /// crash) and cannot serve another frame without a reopen or failover.
+    Fatal,
+}
+
+impl AdapterError {
+    /// True for the ordinary idle case, which is not a fault.
+    pub fn is_would_block(&self) -> bool {
+        matches!(self, AdapterError::WouldBlock)
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdapterError::WouldBlock => "would-block",
+            AdapterError::Transient(_) => "transient",
+            AdapterError::Stalled => "stalled",
+            AdapterError::Fatal => "fatal",
+        }
+    }
+}
+
+impl std::fmt::Display for AdapterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdapterError::Transient(e) => write!(f, "transient: {e}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// A refused `send`: the frame comes back to the caller so a retry layer can
+/// requeue it instead of losing it silently.
+#[derive(Debug)]
+pub struct SendRejected {
+    pub frame: Frame,
+    pub error: AdapterError,
+}
+
 /// The interface LVRM polls for ingress frames and hands egress frames to.
 pub trait SocketAdapter: Send {
     /// Non-blocking poll for the next available ingress frame.
-    fn poll(&mut self) -> Option<Frame>;
+    /// `Err(WouldBlock)` means idle; other errors are real faults.
+    fn poll(&mut self) -> Result<Frame, AdapterError>;
 
     /// Non-blocking poll for up to `budget` ingress frames, appended to
-    /// `out`. Returns how many arrived. The default just loops [`poll`];
+    /// `out`. Returns how many arrived; an idle adapter yields `Ok(0)`. A
+    /// mid-burst fault is only surfaced as `Err` when nothing at all was
+    /// delivered — a partial burst returns its count so no received frame
+    /// is stranded behind the error. The default just loops [`poll`];
     /// adapters with a cheaper bulk path (ring drains, trace replay)
     /// override it.
     ///
     /// [`poll`]: SocketAdapter::poll
-    fn poll_batch(&mut self, out: &mut Vec<Frame>, budget: usize) -> usize {
+    fn poll_batch(&mut self, out: &mut Vec<Frame>, budget: usize) -> Result<usize, AdapterError> {
         let mut n = 0;
         while n < budget {
             match self.poll() {
-                Some(f) => {
+                Ok(f) => {
                     out.push(f);
                     n += 1;
                 }
-                None => break,
+                Err(AdapterError::WouldBlock) => break,
+                Err(e) if n == 0 => return Err(e),
+                Err(_) => break,
             }
         }
-        n
+        Ok(n)
     }
 
     /// Emit one egress frame toward the wire (or wherever the adapter's
-    /// lower level leads). Adapters may drop on backpressure; they count it.
-    fn send(&mut self, frame: Frame);
+    /// lower level leads). A refusal hands the frame back via
+    /// [`SendRejected`] — the adapter never silently drops; loss decisions
+    /// belong to the caller (the supervisor's retry deadline).
+    fn send(&mut self, frame: Frame) -> Result<(), SendRejected>;
 
-    /// Emit a burst of egress frames. The default loops [`send`]; adapters
-    /// with a bulk enqueue override it.
+    /// Emit a burst of egress frames. Returns how many were accepted;
+    /// refused frames **remain in `frames`** (in order, starting with the
+    /// refused one) for the caller to retry. `Err` only when nothing was
+    /// accepted and the failure was a real fault. The default loops
+    /// [`send`]; adapters with a bulk enqueue override it.
     ///
     /// [`send`]: SocketAdapter::send
-    fn send_batch(&mut self, frames: &mut Vec<Frame>) {
-        for f in frames.drain(..) {
-            self.send(f);
+    fn send_batch(&mut self, frames: &mut Vec<Frame>) -> Result<usize, AdapterError> {
+        let mut accepted = 0;
+        let mut error: Option<AdapterError> = None;
+        let drained: Vec<Frame> = std::mem::take(frames);
+        for f in drained {
+            if error.is_none() {
+                match self.send(f) {
+                    Ok(()) => accepted += 1,
+                    Err(SendRejected { frame, error: e }) => {
+                        error = Some(e);
+                        frames.push(frame);
+                    }
+                }
+            } else {
+                frames.push(f);
+            }
+        }
+        match error {
+            Some(e) if accepted == 0 && !e.is_would_block() => Err(e),
+            _ => Ok(accepted),
         }
     }
+
+    /// Attempt to re-establish the lower layer after a fault (rebind the
+    /// socket, re-map the ring). Default: not supported.
+    fn reopen(&mut self) -> Result<(), AdapterError> {
+        Err(AdapterError::Fatal)
+    }
+
+    /// Advance adapter-internal time. Fault-injection wrappers consume
+    /// their scheduled events here; real adapters have nothing to do. The
+    /// supervisor forwards its `tick` clock to every chain member, so
+    /// time-addressed faults fire even on adapters boxed behind the trait.
+    fn advance(&mut self, _now_ns: u64) {}
 
     fn kind(&self) -> SocketKind;
 
@@ -85,7 +186,7 @@ pub trait SocketAdapter: Send {
 
 /// The main-memory adapter: replays a preloaded trace as fast as the caller
 /// polls, up to a frame budget; `send` discards (Experiment 1c: "add an
-/// output interface to LVRM to simply discard the frames").
+/// output interface to LVRM to simply discard the frames"). Never fails.
 pub struct MemTraceAdapter {
     trace: Trace,
     remaining: u64,
@@ -114,18 +215,18 @@ impl MemTraceAdapter {
 }
 
 impl SocketAdapter for MemTraceAdapter {
-    fn poll(&mut self) -> Option<Frame> {
+    fn poll(&mut self) -> Result<Frame, AdapterError> {
         if self.remaining == 0 {
-            return None;
+            return Err(AdapterError::WouldBlock);
         }
         self.remaining -= 1;
         self.rx += 1;
         let mut f = self.trace.next_frame();
         f.ingress_if = self.ingress_if;
-        Some(f)
+        Ok(f)
     }
 
-    fn poll_batch(&mut self, out: &mut Vec<Frame>, budget: usize) -> usize {
+    fn poll_batch(&mut self, out: &mut Vec<Frame>, budget: usize) -> Result<usize, AdapterError> {
         // Native bulk path: one budget check for the whole burst.
         let n = (budget as u64).min(self.remaining) as usize;
         self.remaining -= n as u64;
@@ -136,16 +237,23 @@ impl SocketAdapter for MemTraceAdapter {
             f.ingress_if = self.ingress_if;
             out.push(f);
         }
-        n
+        Ok(n)
     }
 
-    fn send(&mut self, _frame: Frame) {
+    fn send(&mut self, _frame: Frame) -> Result<(), SendRejected> {
         self.tx += 1; // discard
+        Ok(())
     }
 
-    fn send_batch(&mut self, frames: &mut Vec<Frame>) {
-        self.tx += frames.len() as u64;
+    fn send_batch(&mut self, frames: &mut Vec<Frame>) -> Result<usize, AdapterError> {
+        let n = frames.len();
+        self.tx += n as u64;
         frames.clear(); // discard
+        Ok(n)
+    }
+
+    fn reopen(&mut self) -> Result<(), AdapterError> {
+        Ok(()) // RAM does not fail; nothing to re-establish
     }
 
     fn kind(&self) -> SocketKind {
@@ -171,13 +279,14 @@ mod tests {
         let trace = Trace::generate(&TraceSpec::new(84, 4));
         let mut a = MemTraceAdapter::new(trace, 10);
         let mut n = 0;
-        while let Some(f) = a.poll() {
+        while let Ok(f) = a.poll() {
             assert_eq!(f.wire_len(), 84);
             n += 1;
         }
         assert_eq!(n, 10);
         assert!(a.exhausted());
         assert_eq!(a.rx_count(), 10);
+        assert!(a.poll().is_err_and(|e| e.is_would_block()), "exhausted reads as idle, not fault");
     }
 
     #[test]
@@ -185,7 +294,7 @@ mod tests {
         let trace = Trace::generate(&TraceSpec::new(84, 1));
         let mut a = MemTraceAdapter::new(trace, 1);
         let f = a.poll().unwrap();
-        a.send(f);
+        a.send(f).unwrap();
         assert_eq!(a.tx_count(), 1);
     }
 
@@ -194,13 +303,13 @@ mod tests {
         let trace = Trace::generate(&TraceSpec::new(84, 4));
         let mut a = MemTraceAdapter::new(trace, 10);
         let mut out = Vec::new();
-        assert_eq!(a.poll_batch(&mut out, 6), 6);
-        assert_eq!(a.poll_batch(&mut out, 6), 4, "budget capped by remaining");
-        assert_eq!(a.poll_batch(&mut out, 6), 0);
+        assert_eq!(a.poll_batch(&mut out, 6).unwrap(), 6);
+        assert_eq!(a.poll_batch(&mut out, 6).unwrap(), 4, "budget capped by remaining");
+        assert_eq!(a.poll_batch(&mut out, 6).unwrap(), 0);
         assert_eq!(out.len(), 10);
         assert_eq!(a.rx_count(), 10);
         assert!(a.exhausted());
-        a.send_batch(&mut out);
+        assert_eq!(a.send_batch(&mut out).unwrap(), 10);
         assert!(out.is_empty());
         assert_eq!(a.tx_count(), 10);
     }
@@ -210,5 +319,72 @@ mod tests {
         assert_eq!(SocketKind::RawSocket.name(), "raw-socket");
         assert_eq!(SocketKind::PfRing.name(), "pf_ring");
         assert_eq!(SocketKind::MemTrace.name(), "mem-trace");
+    }
+
+    #[test]
+    fn error_taxonomy_names_and_idle_classification() {
+        assert!(AdapterError::WouldBlock.is_would_block());
+        assert!(!AdapterError::Stalled.is_would_block());
+        assert!(!AdapterError::Fatal.is_would_block());
+        assert_eq!(AdapterError::Stalled.name(), "stalled");
+        assert_eq!(AdapterError::Fatal.name(), "fatal");
+        let t = AdapterError::Transient(std::io::Error::other("x"));
+        assert_eq!(t.name(), "transient");
+        assert!(t.to_string().contains("transient"));
+        assert_eq!(format!("{}", AdapterError::WouldBlock), "would-block");
+    }
+
+    /// A stub whose `send` always refuses, to pin the default `send_batch`
+    /// contract: refused frames stay in the vec, in order.
+    struct Refuser {
+        accept: usize,
+        tx: u64,
+    }
+
+    impl SocketAdapter for Refuser {
+        fn poll(&mut self) -> Result<Frame, AdapterError> {
+            Err(AdapterError::WouldBlock)
+        }
+
+        fn send(&mut self, frame: Frame) -> Result<(), SendRejected> {
+            if self.accept > 0 {
+                self.accept -= 1;
+                self.tx += 1;
+                Ok(())
+            } else {
+                Err(SendRejected { frame, error: AdapterError::Stalled })
+            }
+        }
+
+        fn kind(&self) -> SocketKind {
+            SocketKind::RawSocket
+        }
+
+        fn rx_count(&self) -> u64 {
+            0
+        }
+
+        fn tx_count(&self) -> u64 {
+            self.tx
+        }
+    }
+
+    #[test]
+    fn default_send_batch_keeps_refused_frames() {
+        let trace = Trace::generate(&TraceSpec::new(84, 8));
+        let mut src = MemTraceAdapter::new(trace, 5);
+        let mut frames = Vec::new();
+        src.poll_batch(&mut frames, 5).unwrap();
+
+        let mut a = Refuser { accept: 2, tx: 0 };
+        let accepted = a.send_batch(&mut frames).unwrap();
+        assert_eq!(accepted, 2);
+        assert_eq!(frames.len(), 3, "refused + unsent frames stay with the caller");
+        assert_eq!(a.tx_count(), 2);
+
+        // A total refusal with a real fault surfaces the error.
+        let mut b = Refuser { accept: 0, tx: 0 };
+        assert!(matches!(b.send_batch(&mut frames), Err(AdapterError::Stalled)));
+        assert_eq!(frames.len(), 3, "nothing was lost");
     }
 }

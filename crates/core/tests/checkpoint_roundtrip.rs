@@ -1,0 +1,267 @@
+//! Property tests for the checkpoint wire format (DESIGN.md §10): any
+//! checkpoint the monitor can build must round-trip bit-exactly through
+//! encode/decode, and *no* byte stream — corrupted, truncated, or outright
+//! garbage — may ever panic the decoder or be silently accepted. The final
+//! tests close the loop at the monitor level: a rejected checkpoint must
+//! leave the monitor cold-started but fully functional, with the rejection
+//! visible in `lvrm_checkpoint_rejected_total` and the event stream.
+
+use std::net::Ipv4Addr;
+
+use lvrm_core::{
+    AffinityMode, Checkpoint, CoreId, CoreMap, CoreTopology, FlowRecord, Lvrm, LvrmConfig,
+    LvrmStats, ManualClock, RecordingHost, VrCheckpoint,
+};
+use lvrm_net::flow::Protocol;
+use lvrm_net::{FlowKey, FrameBuilder};
+use proptest::prelude::*;
+
+const CASES: u32 = if cfg!(miri) { 8 } else { 128 };
+
+// ---- strategies --------------------------------------------------------
+
+fn arb_stats() -> impl Strategy<Value = LvrmStats> {
+    prop::collection::vec(any::<u64>(), 19..20).prop_map(|v| LvrmStats {
+        frames_in: v[0],
+        frames_out: v[1],
+        unclassified: v[2],
+        dispatch_drops: v[3],
+        no_vri_drops: v[4],
+        shrink_lost: v[5],
+        control_relayed: v[6],
+        control_drops: v[7],
+        redispatched: v[8],
+        crash_lost: v[9],
+        quarantined_drops: v[10],
+        vri_deaths: v[11],
+        respawns: v[12],
+        retired_dispatch_drops: v[13],
+        shed_early: v[14],
+        reclaimed: v[15],
+        queue_lost: v[16],
+        retired_dispatched: v[17],
+        retired_returned: v[18],
+    })
+}
+
+fn arb_flow() -> impl Strategy<Value = FlowRecord> {
+    (
+        (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>()),
+        (0u32..16, any::<u64>()),
+    )
+        .prop_map(|((src, dst, src_port, dst_port, proto), (slot, last_seen_ns))| FlowRecord {
+            key: FlowKey {
+                src: Ipv4Addr::from(src),
+                dst: Ipv4Addr::from(dst),
+                src_port,
+                dst_port,
+                // `from_ip_proto` is a bijection (unknown values keep their
+                // byte in `Other`), so any u8 round-trips.
+                proto: Protocol::from_ip_proto(proto),
+            },
+            slot,
+            last_seen_ns,
+        })
+}
+
+fn arb_vr() -> impl Strategy<Value = VrCheckpoint> {
+    (
+        (0u32..10_000, any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        // Finite floats only: NaN would round-trip bitwise but break the
+        // `PartialEq` the assertions rely on.
+        (0.0f64..64.0, 0.0f64..8.0, any::<u32>(), any::<u64>(), any::<u64>()),
+        (any::<u32>(), 0u8..2, 0u8..3, 0u32..16),
+        prop::collection::vec(arb_flow(), 0..16),
+    )
+        .prop_map(|((n, fi, fo, ad, sh), (w, sc, cs, lc, bo), (rd, q, p, vs), flows)| {
+            VrCheckpoint {
+                name: format!("vr{n}"),
+                frames_in: fi,
+                frames_out: fo,
+                admitted: ad,
+                shed: sh,
+                weight: w,
+                shed_credit: sc,
+                crash_streak: cs,
+                last_crash_ns: lc,
+                backoff_until_ns: bo,
+                respawn_deficit: rd,
+                quarantined: q == 1,
+                pressure: p,
+                vri_slots: vs,
+                flows,
+            }
+        })
+}
+
+fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
+    (any::<u32>(), any::<u64>(), arb_stats(), any::<u32>(), prop::collection::vec(arb_vr(), 0..5))
+        .prop_map(|(epoch, ts_ns, stats, next_vri, vrs)| Checkpoint {
+            epoch,
+            ts_ns,
+            stats,
+            next_vri,
+            vrs,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Encode → decode is the identity for every well-formed checkpoint.
+    #[test]
+    fn encode_decode_is_identity(ck in arb_checkpoint()) {
+        let bytes = ck.encode();
+        let back = Checkpoint::decode(&bytes).expect("well-formed checkpoint must decode");
+        prop_assert_eq!(back, ck);
+    }
+
+    /// Any single-byte corruption is caught by the trailing CRC (or an
+    /// earlier structural check) — never accepted, never a panic.
+    #[test]
+    fn single_byte_corruption_is_always_rejected(
+        ck in arb_checkpoint(),
+        pos in any::<u32>(),
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = ck.encode();
+        let idx = pos as usize % bytes.len();
+        bytes[idx] ^= mask;
+        prop_assert!(
+            Checkpoint::decode(&bytes).is_err(),
+            "flipping byte {} with mask {:#04x} was accepted", idx, mask
+        );
+    }
+
+    /// Every truncation point yields an error, not a panic or a partial
+    /// checkpoint.
+    #[test]
+    fn truncation_is_always_rejected(ck in arb_checkpoint(), cut in any::<u32>()) {
+        let bytes = ck.encode();
+        let len = cut as usize % bytes.len();
+        prop_assert!(
+            Checkpoint::decode(&bytes[..len]).is_err(),
+            "truncation to {} bytes was accepted", len
+        );
+    }
+
+    /// The decoder is total: arbitrary byte soup returns a `Result`, it
+    /// does not panic, overflow, or allocate unboundedly.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = Checkpoint::decode(&bytes);
+    }
+
+    /// Garbage that keeps the magic and a valid trailing CRC still cannot
+    /// smuggle a malformed payload past the structural checks.
+    #[test]
+    fn crc_blessed_garbage_is_still_structurally_checked(
+        payload in prop::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let mut bytes = Vec::with_capacity(payload.len() + 8);
+        bytes.extend_from_slice(b"LVCK");
+        bytes.extend_from_slice(&payload);
+        let crc = lvrm_core::checkpoint::crc32(&bytes).to_le_bytes();
+        bytes.extend_from_slice(&crc);
+        // Either rejected (nearly always) or a genuinely well-formed
+        // payload; the only forbidden outcome is a panic.
+        let _ = Checkpoint::decode(&bytes);
+    }
+}
+
+// ---- monitor-level rejection: corrupt checkpoint => cold start ---------
+
+fn new_lvrm(clock: ManualClock) -> Lvrm<ManualClock> {
+    let cores = CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
+    Lvrm::new(LvrmConfig::default(), cores, clock)
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("lvrm-ck-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+/// The fallback guarantee: a corrupt checkpoint file must not panic or
+/// wedge the monitor — it logs `checkpoint_rejected`, bumps the counter,
+/// and the caller proceeds with a perfectly functional cold start.
+#[test]
+fn corrupt_checkpoint_falls_back_to_cold_start() {
+    let path = temp_path("corrupt.ck");
+    std::fs::write(&path, b"LVCKthis is not a checkpoint at all").unwrap();
+
+    let clock = ManualClock::new();
+    let mut lvrm = new_lvrm(clock.clone());
+    let mut host = RecordingHost::default();
+    let routes = lvrm_router::parse_map_file("0.0.0.0/0 1\n").unwrap();
+    lvrm.add_vr(
+        "deptA",
+        &[(Ipv4Addr::new(10, 0, 1, 0), 24)],
+        Box::new(lvrm_router::FastVr::new("deptA", routes)),
+        &mut host,
+    );
+
+    assert!(lvrm.restore_from(&path, &mut host).is_err(), "corrupt blob must be rejected");
+    assert_eq!(lvrm.epoch(), 0, "a rejected restore stays in the cold-start epoch");
+
+    let snap = lvrm.metrics_snapshot();
+    assert_eq!(
+        snap.counter("lvrm_checkpoint_rejected_total", &[]),
+        Some(1),
+        "rejection must be visible as a counter"
+    );
+
+    // The monitor still routes: the cold start is a real start.
+    let frame = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 5), Ipv4Addr::new(10, 0, 2, 1)).udp(
+        1000,
+        2000,
+        &[],
+    );
+    lvrm.ingress(frame, &mut host);
+    host.pump();
+    lvrm.process_control();
+    let mut out = Vec::new();
+    assert_eq!(lvrm.poll_egress(&mut out), 1, "cold-started monitor must forward traffic");
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// Truncating a *valid* checkpoint mid-file (the torn-write scenario the
+/// atomic rename prevents, simulated here directly) is also rejected
+/// cleanly at the monitor level.
+#[test]
+fn truncated_checkpoint_is_rejected_at_restore() {
+    let path = temp_path("truncated.ck");
+    let clock = ManualClock::new();
+    let mut lvrm = new_lvrm(clock.clone());
+    let mut host = RecordingHost::default();
+    let routes = lvrm_router::parse_map_file("0.0.0.0/0 1\n").unwrap();
+    lvrm.add_vr(
+        "deptA",
+        &[(Ipv4Addr::new(10, 0, 1, 0), 24)],
+        Box::new(lvrm_router::FastVr::new("deptA", routes)),
+        &mut host,
+    );
+    assert!(lvrm.checkpoint_to(&path, 1_000), "baseline checkpoint must write");
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    assert!(lvrm.restore_from(&path, &mut host).is_err());
+    assert_eq!(lvrm.metrics_snapshot().counter("lvrm_checkpoint_rejected_total", &[]), Some(1));
+    std::fs::remove_file(&path).ok();
+}
+
+/// A checkpoint aimed at an unwritable path is reported (return false +
+/// event), never fatal: a monitor that cannot checkpoint keeps routing.
+#[test]
+fn unwritable_checkpoint_path_is_nonfatal() {
+    let clock = ManualClock::new();
+    let mut lvrm = new_lvrm(clock.clone());
+    let path = std::path::Path::new("/nonexistent-lvrm-dir/deep/ck.bin");
+    assert!(!lvrm.checkpoint_to(path, 1_000), "write into a missing dir must fail");
+    assert_eq!(
+        lvrm.metrics_snapshot().counter("lvrm_checkpoint_writes_total", &[]),
+        Some(0),
+        "failed writes are not counted as writes"
+    );
+}

@@ -131,7 +131,7 @@ pub fn run_lvrm_only_batched(
     // a burst at a time.
     let mut last_drops = drops_before;
     while forwarded < total_frames {
-        if adapter.poll_batch(&mut ingress, batch_size) > 0 {
+        if adapter.poll_batch(&mut ingress, batch_size).unwrap_or(0) > 0 {
             let now = clock.now_ns();
             for f in ingress.iter_mut() {
                 f.ts_ns = now;
@@ -145,10 +145,10 @@ pub fn run_lvrm_only_batched(
             latency.record(now.saturating_sub(f.ts_ns));
         }
         forwarded += egress.len() as u64;
-        adapter.send_batch(&mut egress); // discard
-                                         // Backpressure means the VRI threads are starved for CPU (on boxes
-                                         // with fewer cores than VRIs); yield our timeslice to them instead
-                                         // of spinning the queue full.
+        let _ = adapter.send_batch(&mut egress); // discard never fails
+                                                 // Backpressure means the VRI threads are starved for CPU (on boxes
+                                                 // with fewer cores than VRIs); yield our timeslice to them instead
+                                                 // of spinning the queue full.
         let drops_now = lvrm.stats().dispatch_drops + lvrm.stats().no_vri_drops;
         if drops_now > last_drops {
             last_drops = drops_now;
@@ -196,7 +196,7 @@ pub fn run_lvrm_only_inline_batched(
     let mut egress: Vec<Frame> = Vec::with_capacity(64);
     let mut forwarded = 0u64;
     let t0 = clock.now_ns();
-    while adapter.poll_batch(&mut ingress, batch_size) > 0 {
+    while adapter.poll_batch(&mut ingress, batch_size).unwrap_or(0) > 0 {
         let now = clock.now_ns();
         for f in ingress.iter_mut() {
             f.ts_ns = now;
@@ -210,7 +210,7 @@ pub fn run_lvrm_only_inline_batched(
             latency.record(now.saturating_sub(f.ts_ns));
         }
         forwarded += egress.len() as u64;
-        adapter.send_batch(&mut egress);
+        let _ = adapter.send_batch(&mut egress);
     }
     let elapsed_ns = clock.now_ns() - t0;
     // Account drops from the monitor's own counters: `total - forwarded`

@@ -1,4 +1,4 @@
-//! Minimal async-signal-safe shutdown flag.
+//! Minimal async-signal-safe shutdown and checkpoint flags.
 //!
 //! `lvrmd` quiesces on SIGINT/SIGTERM instead of dying mid-burst: the
 //! handler only flips an `AtomicBool` (the one operation that is legal in a
@@ -6,11 +6,18 @@
 //! drain (`Lvrm::shutdown`). Installation is idempotent; a second signal
 //! while a drain is in progress falls through to the default disposition,
 //! so a stuck daemon can still be killed with a repeated Ctrl-C.
+//!
+//! SIGHUP follows the same pattern with a separate flag: it requests an
+//! **on-demand checkpoint** (plus a conservation report) rather than a
+//! shutdown, and — unlike the shutdown handler — stays installed, because
+//! operators checkpoint repeatedly.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 static INSTALLED: AtomicBool = AtomicBool::new(false);
+static CHECKPOINT: AtomicBool = AtomicBool::new(false);
+static HUP_INSTALLED: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_signal(signum: libc::c_int) {
     SHUTDOWN.store(true, Ordering::Release);
@@ -47,6 +54,32 @@ pub fn request() {
     SHUTDOWN.store(true, Ordering::Release);
 }
 
+extern "C" fn on_hup(_signum: libc::c_int) {
+    // No disposition reset: checkpointing is a repeatable request.
+    CHECKPOINT.store(true, Ordering::Release);
+}
+
+/// Install the SIGHUP handler that requests an on-demand checkpoint. Safe
+/// to call more than once; only the first call installs.
+pub fn install_checkpoint_handler() -> bool {
+    if HUP_INSTALLED.swap(true, Ordering::AcqRel) {
+        return true;
+    }
+    let handler = on_hup as extern "C" fn(libc::c_int) as libc::sighandler_t;
+    unsafe { libc::signal(libc::SIGHUP, handler) != libc::SIG_ERR }
+}
+
+/// Consume a pending checkpoint request: `true` at most once per SIGHUP (or
+/// [`request_checkpoint`]), so one signal yields one checkpoint.
+pub fn take_checkpoint_request() -> bool {
+    CHECKPOINT.swap(false, Ordering::AcqRel)
+}
+
+/// Request a checkpoint programmatically (tests, admin endpoints).
+pub fn request_checkpoint() {
+    CHECKPOINT.store(true, Ordering::Release);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +90,28 @@ mod tests {
         assert!(install_shutdown_handlers(), "second install is a no-op");
         request();
         assert!(requested());
+    }
+
+    #[test]
+    fn checkpoint_request_is_consumed_once() {
+        assert!(install_checkpoint_handler());
+        assert!(install_checkpoint_handler(), "second install is a no-op");
+        assert!(!take_checkpoint_request(), "no request pending yet");
+        request_checkpoint();
+        assert!(take_checkpoint_request(), "one request, one checkpoint");
+        assert!(!take_checkpoint_request(), "request was consumed");
+    }
+
+    #[test]
+    fn sighup_raised_by_hand_sets_the_flag() {
+        assert!(install_checkpoint_handler());
+        unsafe {
+            libc::raise(libc::SIGHUP);
+        }
+        assert!(take_checkpoint_request(), "raised SIGHUP lands in the flag");
+        unsafe {
+            libc::raise(libc::SIGHUP);
+        }
+        assert!(take_checkpoint_request(), "handler survives repeated signals");
     }
 }

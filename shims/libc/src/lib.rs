@@ -44,6 +44,7 @@ pub const IPC_RMID: c_int = 0;
 // Signals (Linux/glibc values) — only what the graceful-shutdown path needs.
 pub type sighandler_t = usize;
 pub const SIG_ERR: sighandler_t = usize::MAX; // (sighandler_t)-1
+pub const SIGHUP: c_int = 1;
 pub const SIGINT: c_int = 2;
 pub const SIGTERM: c_int = 15;
 
@@ -67,6 +68,7 @@ extern "C" {
     pub fn _exit(status: c_int) -> !;
     pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
     pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+    pub fn raise(signum: c_int) -> c_int;
 }
 
 #[cfg(test)]

@@ -10,12 +10,20 @@
 //!
 //! ```text
 //! lvrmd [--config <file>] [--duration <secs>] [--rate <fps>] [--self-test]
-//!       [--metrics-addr <ip:port>]
+//!       [--metrics-addr <ip:port>] [--checkpoint-path <file>]
+//!       [--checkpoint-interval <secs>]
 //! ```
 //!
 //! `--metrics-addr` (off by default) serves the Prometheus text exposition
 //! over a non-blocking listener driven from the same polling loop as the
 //! dataplane — `curl http://<addr>/metrics` while the daemon runs.
+//!
+//! `--checkpoint-path` enables warm restart: the control plane is
+//! checkpointed there every `--checkpoint-interval` seconds (default 1)
+//! from the lazy reallocation tick, and a daemon started against an
+//! existing checkpoint resumes from it — counters, flow affinity and
+//! supervisor state survive, under an incremented restore epoch. SIGHUP
+//! forces an immediate checkpoint and prints a conservation report.
 //!
 //! Config format (one directive per line, `#` comments):
 //!
@@ -32,6 +40,10 @@
 //! latency-histograms on | off # dispatch→departure histograms (on by default)
 //! fault crash <at-ms> <nth>   # inject: crash the nth-spawned VRI at at-ms
 //! fault stall <at-ms> <nth>   # inject: wedge the nth-spawned VRI at at-ms
+//! fault adapter-crash <at-ms>  # inject: kill the NIC adapter at at-ms
+//! fault adapter-stall <at-ms>  # inject: wedge the NIC adapter at at-ms
+//! fault adapter-resume <at-ms> # inject: clear an adapter stall at at-ms
+//! adapter-failover <n>        # n standby NIC adapters behind the primary
 //! vr <name> <sender-cidr> <receiver-cidr> [shed-weight]
 //! ```
 //!
@@ -60,6 +72,8 @@ struct DaemonConfig {
     lvrm: LvrmConfig,
     vrs: Vec<VrDecl>,
     faults: FaultPlan,
+    /// Standby NIC adapters behind the primary (`adapter-failover <n>`).
+    standby_adapters: usize,
 }
 
 fn parse_cidr(s: &str) -> Result<(Ipv4Addr, u8), String> {
@@ -77,6 +91,7 @@ fn parse_config(text: &str) -> Result<DaemonConfig, String> {
     let mut lvrm = LvrmConfig::default();
     let mut vrs = Vec::new();
     let mut faults = FaultPlan::new();
+    let mut standby_adapters = 0usize;
     for (no, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
@@ -128,6 +143,24 @@ fn parse_config(text: &str) -> Result<DaemonConfig, String> {
                         return Err(err(&format!("supervision must be on/off, got {other:?}")))
                     }
                 };
+            }
+            ("fault", [kind, at_ms]) => {
+                let at: u64 = at_ms
+                    .parse()
+                    .map_err(|_| err(&format!("fault needs a millisecond time, got {at_ms:?}")))?;
+                faults = match *kind {
+                    "adapter-crash" => faults.crash_adapter_at(at * 1_000_000),
+                    "adapter-stall" => faults.stall_adapter_at(at * 1_000_000),
+                    "adapter-resume" => faults.resume_adapter_at(at * 1_000_000),
+                    other => return Err(err(&format!("unknown adapter fault kind {other:?}"))),
+                };
+            }
+            ("adapter-failover", [n]) => {
+                standby_adapters = n
+                    .parse()
+                    .ok()
+                    .filter(|s| *s <= 8)
+                    .ok_or_else(|| err(&format!("adapter-failover needs 0..=8, got {n:?}")))?;
             }
             ("fault", [kind, at_ms, nth]) => {
                 let at: u64 = at_ms
@@ -209,7 +242,7 @@ fn parse_config(text: &str) -> Result<DaemonConfig, String> {
         });
     }
     lvrm.validate().map_err(|e| format!("config: {e}"))?;
-    Ok(DaemonConfig { lvrm, vrs, faults })
+    Ok(DaemonConfig { lvrm, vrs, faults, standby_adapters })
 }
 
 fn build_router(decl: &VrDecl) -> Box<dyn VirtualRouter> {
@@ -225,7 +258,7 @@ fn build_router(decl: &VrDecl) -> Box<dyn VirtualRouter> {
 }
 
 fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Option<&str>) {
-    use lvrm::core::SocketAdapter;
+    use lvrm::core::{FaultySocket, SocketAdapter, SupervisedAdapter};
 
     let clock = MonotonicClock::new();
     let n = lvrm::runtime::affinity::available_cores().max(1) as u16;
@@ -240,7 +273,7 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Optio
     // The host is always wrapped for fault injection; an empty plan is free.
     let mut host = FaultyHost::new(
         lvrm::runtime::ThreadHost::new(clock.clone()).with_batch_size(batch_size),
-        config.faults,
+        config.faults.clone(),
     );
     let vr_ids: Vec<VrId> = config
         .vrs
@@ -253,6 +286,7 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Optio
         }
     }
     lvrm::runtime::signal::install_shutdown_handlers();
+    lvrm::runtime::signal::install_checkpoint_handler();
     for (d, id) in config.vrs.iter().zip(&vr_ids) {
         println!(
             "hosted {} ({} -> {}), {} VRI(s)",
@@ -262,6 +296,18 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Optio
             lvrm.vri_count(*id)
         );
     }
+    // Warm restart: resume from an existing checkpoint, if one is there.
+    let ckpt_path = lvrm.config().checkpoint_path.clone();
+    if let Some(path) = ckpt_path.as_ref() {
+        if path.exists() {
+            match lvrm.restore_from(path, &mut host) {
+                Ok(epoch) => println!("restored from {} (epoch {epoch})", path.display()),
+                Err(e) => println!("checkpoint rejected ({e}); cold start"),
+            }
+        } else {
+            println!("checkpointing to {} (no prior checkpoint)", path.display());
+        }
+    }
     let mut metrics = metrics_addr.map(|addr| {
         let srv = lvrm::runtime::MetricsServer::bind(addr)
             .unwrap_or_else(|e| die(&format!("cannot bind metrics endpoint {addr:?}: {e}")));
@@ -270,8 +316,19 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Optio
     });
 
     // Self-test attachment: a ring pair with a generator thread that plays
-    // each VR's sender subnet.
-    let (mut nic, mut far_end) = lvrm::runtime::RingAdapter::pair(8192);
+    // each VR's sender subnet. The NIC side goes behind the adapter
+    // supervisor, wrapped for deterministic fault injection (an empty plan
+    // is free); `adapter-failover <n>` adds standby rings to the chain.
+    let (primary, mut far_end) = lvrm::runtime::RingAdapter::pair(8192);
+    let mut chain: Vec<Box<dyn SocketAdapter>> =
+        vec![Box::new(FaultySocket::with_plan(primary, &config.faults))];
+    let mut standby_far_ends = Vec::new();
+    for _ in 0..config.standby_adapters {
+        let (near, far) = lvrm::runtime::RingAdapter::pair(8192);
+        chain.push(Box::new(near));
+        standby_far_ends.push(far);
+    }
+    let mut nic = SupervisedAdapter::with_chain(chain, lvrm.config().adapter_supervisor());
     let gen_specs: Vec<(Ipv4Addr, Ipv4Addr)> = config
         .vrs
         .iter()
@@ -295,12 +352,18 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Optio
                 let n = builders.len();
                 let b = &mut builders[i % n];
                 let f = b.udp(20_000 + (i % 1000) as u16, 30_000, &[0u8; 26]);
-                far_end.send(f);
+                let _ = far_end.send(f); // ring full = generator outpaced us
                 i += 1;
                 next += per_frame;
             }
-            while far_end.poll().is_some() {
+            while far_end.poll().is_ok() {
                 received_back += 1;
+            }
+            // After a failover, egress leaves through a standby ring.
+            for standby in standby_far_ends.iter_mut() {
+                while standby.poll().is_ok() {
+                    received_back += 1;
+                }
             }
         }
         (far_end.tx_count(), received_back)
@@ -312,8 +375,10 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Optio
     let mut last_out = 0u64;
     while std::time::Instant::now() < t_end && !lvrm::runtime::signal::requested() {
         // Burst dataplane: one poll, one classify/dispatch pass, one send
-        // per batch (batch-size 1 degenerates to the per-frame loop).
-        if nic.poll_batch(&mut ingress, batch_size) > 0 {
+        // per batch (batch-size 1 degenerates to the per-frame loop). The
+        // supervisor absorbs adapter faults: a degraded or dead NIC reads
+        // as idle here while reopen/failover runs underneath.
+        if nic.poll_batch(&mut ingress, batch_size).unwrap_or(0) > 0 {
             let ts = clock.now_ns();
             for f in ingress.iter_mut() {
                 f.ts_ns = ts;
@@ -323,18 +388,39 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Optio
             ingress.clear();
         }
         host.apply(clock.now_ns());
+        // Supervisor time: injected adapter faults fire, due reopens run,
+        // the egress retry queue flushes.
+        nic.tick(clock.now_ns());
         lvrm.process_control();
         lvrm.maybe_reallocate(clock.now_ns(), &mut host);
         egress.clear();
         lvrm.poll_egress(&mut egress);
-        nic.send_batch(&mut egress); // back out the ring (the self-test peer counts them)
-                                     // Scrapes are served from the same loop: one non-blocking poll per
-                                     // iteration, rendering the exposition only when a request completed.
+        // Back out the ring (the self-test peer counts them); refusals are
+        // parked in the supervisor's retry queue, not dropped.
+        let _ = nic.send_batch(&mut egress);
+        // Scrapes are served from the same loop: one non-blocking poll per
+        // iteration, rendering the exposition only when a request completed.
         if let Some(srv) = metrics.as_mut() {
             srv.poll(|| lvrm.render_prometheus());
         }
+        // SIGHUP: checkpoint now and report conservation, without stopping.
+        if lvrm::runtime::signal::take_checkpoint_request() {
+            match ckpt_path.as_ref() {
+                Some(path) => {
+                    let ok = lvrm.checkpoint_to(path, clock.now_ns());
+                    println!(
+                        "SIGHUP: checkpoint {} ({})",
+                        path.display(),
+                        if ok { "written" } else { "FAILED" }
+                    );
+                }
+                None => println!("SIGHUP: no --checkpoint-path configured"),
+            }
+            print_conservation(&lvrm.stats());
+        }
         // The 1 s reallocation tick leaves a structured one-line summary.
         if let Some(line) = lvrm.take_tick_line() {
+            nic.publish(lvrm.metrics());
             let out = lvrm.stats().frames_out;
             println!("{line} out_per_s={}", out.saturating_sub(last_out));
             last_out = out;
@@ -354,18 +440,38 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Optio
     while !lvrm.shutdown(deadline, &mut host) && std::time::Instant::now() < t_drain_end {
         egress.clear();
         lvrm.poll_egress(&mut egress);
-        nic.send_batch(&mut egress);
+        let _ = nic.send_batch(&mut egress);
+        nic.tick(clock.now_ns());
         std::hint::spin_loop();
     }
     egress.clear();
     lvrm.poll_egress(&mut egress);
-    nic.send_batch(&mut egress);
+    let _ = nic.send_batch(&mut egress);
+    nic.tick(clock.now_ns());
     host.inner.shutdown();
+    // A final checkpoint captures the drained state for the next start.
+    if let Some(path) = ckpt_path.as_ref() {
+        lvrm.checkpoint_to(path, clock.now_ns());
+    }
     println!("\nfinal state:");
     for vr in lvrm.snapshot() {
         println!("{vr}");
     }
-    let s = &lvrm.stats();
+    print_conservation(&lvrm.stats());
+    if nic.reopens + nic.failovers + nic.egress_retries + nic.tx_drops > 0 {
+        println!(
+            "adapter: reopens {}, failovers {}, egress retries {}, retry-deadline drops {}",
+            nic.reopens, nic.failovers, nic.egress_retries, nic.tx_drops
+        );
+    }
+    println!(
+        "\nself-test done: generated {generated}, forwarded {}, echoed back to peer {echoed}",
+        lvrm.stats().frames_out
+    );
+}
+
+/// The aggregate frame-conservation identity, as one printed line.
+fn print_conservation(s: &LvrmStats) {
     let accounted = s.frames_out
         + s.unclassified
         + s.dispatch_drops
@@ -389,10 +495,6 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Optio
         accounted,
         if s.frames_in == accounted { "exact" } else { "DELTA" },
     );
-    println!(
-        "\nself-test done: generated {generated}, forwarded {}, echoed back to peer {echoed}",
-        lvrm.stats().frames_out
-    );
 }
 
 fn main() {
@@ -401,6 +503,8 @@ fn main() {
     let mut duration_s = 5u64;
     let mut rate_fps = 50_000.0;
     let mut metrics_addr: Option<String> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut checkpoint_interval_s: Option<u64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -428,11 +532,29 @@ fn main() {
                 );
                 i += 2;
             }
+            "--checkpoint-path" => {
+                checkpoint_path = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .unwrap_or_else(|| die("--checkpoint-path needs a file")),
+                );
+                i += 2;
+            }
+            "--checkpoint-interval" => {
+                checkpoint_interval_s = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|s| *s > 0)
+                        .unwrap_or_else(|| die("--checkpoint-interval needs whole seconds >= 1")),
+                );
+                i += 2;
+            }
             "--self-test" => i += 1, // the default; accepted for clarity
             "--help" | "-h" => {
                 println!(
                     "usage: lvrmd [--config FILE] [--duration SECS] [--rate FPS] [--self-test] \
-                     [--metrics-addr IP:PORT]"
+                     [--metrics-addr IP:PORT] [--checkpoint-path FILE] \
+                     [--checkpoint-interval SECS]"
                 );
                 return;
             }
@@ -445,7 +567,13 @@ fn main() {
         }
         None => String::new(),
     };
-    let config = parse_config(&text).unwrap_or_else(|e| die(&e));
+    let mut config = parse_config(&text).unwrap_or_else(|e| die(&e));
+    if let Some(p) = checkpoint_path {
+        config.lvrm.checkpoint_path = Some(p.into());
+    }
+    if let Some(s) = checkpoint_interval_s {
+        config.lvrm.checkpoint_interval_ns = s * 1_000_000_000;
+    }
     run(config, duration_s, rate_fps, metrics_addr.as_deref());
 }
 
@@ -554,5 +682,29 @@ mod tests {
         assert_eq!(evs[0].kind, FaultKind::Crash { nth_spawn: 0 });
         assert_eq!(evs[1].kind, FaultKind::Stall { nth_spawn: 1 });
         assert!(!parse_config("supervision off\n").unwrap().lvrm.supervision);
+    }
+
+    #[test]
+    fn adapter_fault_and_failover_directives_parse() {
+        use lvrm::core::fault::AdapterFaultKind;
+        let c = parse_config(
+            "adapter-failover 2\n\
+             fault adapter-crash 500\n\
+             fault adapter-stall 900\n\
+             fault adapter-resume 1200\n",
+        )
+        .unwrap();
+        assert_eq!(c.standby_adapters, 2);
+        let evs = c.faults.adapter_events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].at_ns, 500_000_000);
+        assert_eq!(evs[0].kind, AdapterFaultKind::Crash);
+        assert_eq!(evs[1].kind, AdapterFaultKind::Stall);
+        assert_eq!(evs[2].kind, AdapterFaultKind::Resume);
+        assert_eq!(parse_config("").unwrap().standby_adapters, 0);
+        assert!(parse_config("adapter-failover many\n").is_err());
+        assert!(parse_config("adapter-failover 99\n").is_err());
+        assert!(parse_config("fault adapter-melt 100\n").is_err());
+        assert!(parse_config("fault adapter-crash soon\n").is_err());
     }
 }

@@ -70,9 +70,9 @@ pub use lvrm_testbed as testbed;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use lvrm_core::{
-        AffinityMode, AllocatorKind, BalancerKind, Clock, CoreId, CoreMap, CoreTopology,
-        EstimatorKind, Lvrm, LvrmConfig, ManualClock, MonotonicClock, SocketAdapter, SocketKind,
-        VrId, VriId,
+        AdapterError, AffinityMode, AllocatorKind, BalancerKind, Clock, CoreId, CoreMap,
+        CoreTopology, EstimatorKind, Lvrm, LvrmConfig, LvrmStats, ManualClock, MonotonicClock,
+        SocketAdapter, SocketKind, VrId, VriId,
     };
     pub use lvrm_ipc::QueueKind;
     pub use lvrm_net::{FlowKey, Frame, FrameBuilder, Trace, TraceSpec};
