@@ -1,0 +1,495 @@
+//! `bench-report`: the machine-readable perf trajectory for the queue-kind
+//! sweep. Runs a fixed matrix of benches over every [`QueueKind`] and writes
+//! one flat JSON array of rows, schema
+//! `{bench, queue_kind, batch, metric, value, unit}`, to `BENCH_6.json` at
+//! the repo root (override with `--out <path>`).
+//!
+//! Benches:
+//!
+//! - `queue_ops` — raw ring transfer between two real threads, per batch
+//!   size (wall clock, Mops/s).
+//! - `relay` — end-to-end ingress→VRI→egress relay through `Lvrm` with an
+//!   in-process host (wall clock, kfps).
+//! - `dispatch_uniform` / `dispatch_skew` — *deterministic simulated*
+//!   dispatch goodput over repeated burst-drain cycles under a quota-paced
+//!   host: every VRI services a fixed frame quota per simulated
+//!   millisecond, and the `skew` profile slows one VRI 10×. Classic kinds
+//!   commit each frame to one VRI's SPSC queue at dispatch time, so a
+//!   backlog queued behind the slowed instance drains at its pace; under
+//!   `vlink` the burst sits in the shared ring and the fast instances
+//!   steal through it (see `dispatch_goodput`).
+//! - `overload` — goodput fraction at 2× offered load with early shedding,
+//!   batch 32 (simulated, deterministic).
+//!
+//! Derived rows pin the PR's acceptance targets: `speedup_vs_lamport` under
+//! skew (target ≥ 1.3× at batch 32) and `delta_vs_lamport_pct` under
+//! uniform load (target within ±5 %).
+//!
+//! `--smoke` shrinks every bench to a seconds-long sanity run with the same
+//! row set (CI validates the schema from it).
+
+use std::net::Ipv4Addr;
+
+use lvrm_core::{
+    AffinityMode, AllocatorKind, CoreId, CoreMap, CoreTopology, Lvrm, LvrmConfig, ManualClock,
+    RecordingHost, VriHost, VriSpec,
+};
+use lvrm_ipc::channels::Work;
+use lvrm_ipc::{queue, Full, QueueKind, VriEndpoint};
+use lvrm_net::{Frame, FrameBuilder};
+use lvrm_router::{RouterAction, VirtualRouter};
+
+/// One output row of the fixed schema.
+struct Row {
+    bench: &'static str,
+    queue_kind: &'static str,
+    batch: usize,
+    metric: &'static str,
+    value: f64,
+    unit: &'static str,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn rows_to_json(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"queue_kind\": \"{}\", \"batch\": {}, \
+             \"metric\": \"{}\", \"value\": {:.4}, \"unit\": \"{}\"}}{}\n",
+            esc(r.bench),
+            esc(r.queue_kind),
+            r.batch,
+            esc(r.metric),
+            r.value,
+            esc(r.unit),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+const BATCHES: &[usize] = &[1, 32, 256];
+
+// ------------------------------------------------------------ queue_ops
+
+/// Push `total` u64s through one queue between two real threads, in bursts
+/// of `batch`; returns Mops/s of wall time.
+fn queue_ops(kind: QueueKind, batch: usize, total: u64) -> f64 {
+    let (mut tx, mut rx) = queue::<u64>(kind, 1024);
+    let start = std::time::Instant::now();
+    let t = std::thread::spawn(move || {
+        if batch == 1 {
+            for i in 0..total {
+                let mut v = i;
+                loop {
+                    match tx.try_send(v) {
+                        Ok(()) => break,
+                        Err(Full(b)) => {
+                            v = b;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        } else {
+            let mut pending: Vec<u64> = Vec::with_capacity(batch);
+            let mut next = 0u64;
+            while next < total || !pending.is_empty() {
+                while pending.len() < batch && next < total {
+                    pending.push(next);
+                    next += 1;
+                }
+                if tx.try_send_batch(&mut pending) == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    });
+    let mut got = 0u64;
+    let mut out: Vec<u64> = Vec::with_capacity(batch);
+    while got < total {
+        if batch == 1 {
+            if rx.try_recv().is_some() {
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        } else {
+            out.clear();
+            let n = rx.try_recv_batch(&mut out, batch);
+            if n == 0 {
+                std::thread::yield_now();
+            }
+            got += n as u64;
+        }
+    }
+    t.join().unwrap();
+    total as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+// ------------------------------------------------------------ relay
+
+/// Fixed flow population for the dispatch sims: a realistic recurring mix
+/// (IP/port 5-tuples repeat every few bursts) that spreads evenly over the
+/// instances.
+const FLOWS: u32 = 96;
+
+fn frame_for_flow(flow: u32) -> Frame {
+    let last = 1 + (flow % 200) as u8;
+    FrameBuilder::new(Ipv4Addr::new(10, 0, 1, last), Ipv4Addr::new(10, 0, 2, 1)).udp(
+        1000 + (flow % 512) as u16,
+        2,
+        &[],
+    )
+}
+
+fn routed_vr(name: &str) -> Box<dyn VirtualRouter> {
+    let routes = lvrm_router::parse_map_file("0.0.0.0/0 1\n").unwrap();
+    Box::new(lvrm_router::FastVr::new(name, routes))
+}
+
+fn subnet() -> [(Ipv4Addr, u8); 1] {
+    [(Ipv4Addr::new(10, 0, 1, 0), 24)]
+}
+
+fn new_lvrm(clock: ManualClock, config: LvrmConfig) -> Lvrm<ManualClock> {
+    let cores = CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
+    Lvrm::new(config, cores, clock)
+}
+
+/// End-to-end relay of `total` frames through the monitor and an in-process
+/// host, in bursts of `batch`; returns kfps of wall time.
+fn relay(kind: QueueKind, batch: usize, total: usize) -> f64 {
+    let clock = ManualClock::new();
+    let config = LvrmConfig {
+        queue_kind: kind,
+        allocator: AllocatorKind::Fixed { cores: 2 },
+        ..Default::default()
+    };
+    let mut lvrm = new_lvrm(clock.clone(), config);
+    let mut host = RecordingHost::default();
+    let _vr = lvrm.add_vr("bench", &subnet(), routed_vr("bench"), &mut host);
+    let mut out = Vec::new();
+    let mut burst: Vec<Frame> = Vec::with_capacity(batch);
+    let start = std::time::Instant::now();
+    let mut sent = 0usize;
+    while sent < total {
+        let n = batch.min(total - sent);
+        burst.extend((0..n).map(|i| frame_for_flow((sent + i) as u32)));
+        sent += n;
+        lvrm.ingress_batch(&mut burst, &mut host);
+        burst.clear();
+        host.pump();
+        lvrm.poll_egress(&mut out);
+        out.clear();
+    }
+    loop {
+        let moved = host.pump() + lvrm.poll_egress(&mut out);
+        out.clear();
+        if moved == 0 {
+            break;
+        }
+    }
+    lvrm.stats().frames_out as f64 / start.elapsed().as_secs_f64() / 1e3
+}
+
+// ------------------------------------------------------------ dispatch sim
+
+/// A host whose instances service a fixed frame quota per simulated step:
+/// the deterministic stand-in for "this VRI's core is N× slower".
+#[derive(Default)]
+struct PacedHost {
+    slots: Vec<(VriSpec, VriEndpoint<Frame>, Box<dyn VirtualRouter>)>,
+}
+
+impl VriHost for PacedHost {
+    fn spawn_vri(
+        &mut self,
+        spec: VriSpec,
+        endpoint: VriEndpoint<Frame>,
+        router: Box<dyn VirtualRouter>,
+    ) {
+        self.slots.push((spec, endpoint, router));
+    }
+
+    fn kill_vri(&mut self, _vr: lvrm_core::VrId, vri: lvrm_core::VriId) {
+        self.slots.retain(|(spec, _, _)| spec.vri != vri);
+    }
+}
+
+impl PacedHost {
+    /// Run one step: slot `i` services at most `quotas[i]` data frames.
+    fn service(&mut self, quotas: &[usize]) {
+        for (i, (_, endpoint, router)) in self.slots.iter_mut().enumerate() {
+            let mut quota = quotas.get(i).copied().unwrap_or(0);
+            while quota > 0 {
+                match endpoint.next_work() {
+                    Some(Work::Data(mut frame)) => {
+                        quota -= 1;
+                        if let RouterAction::Forward { .. } = router.process(&mut frame) {
+                            let _ = endpoint.data_tx.try_send(frame);
+                        }
+                    }
+                    Some(Work::Control(_)) => {}
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
+const VRIS: usize = 3;
+/// Frames one healthy VRI services per simulated millisecond step.
+const FAST_QUOTA: usize = 40;
+/// The skew profile: one VRI at a 10× slowdown.
+const SLOW_QUOTA: usize = FAST_QUOTA / 10;
+/// Frames per burst-drain cycle: fills each per-VRI queue (capacity 256) to
+/// 232 under an even JSQ spread, and fits the VLink ring (4 × 256) whole.
+/// 232 / 40 = 5.8 keeps the uniform makespan clear of a step boundary, so
+/// the ±1-frame wobble of a burst spread cannot flip a whole step.
+const CYCLE_FRAMES: usize = VRIS * 232;
+
+/// Simulated dispatch goodput (kfps of *simulated* time) over repeated
+/// burst-drain cycles: each cycle ingests `CYCLE_FRAMES` in bursts of
+/// `batch`, then the paced host services 1 ms steps until the cycle is
+/// fully delivered. `slow_first` applies the 10× slowdown to the
+/// first-spawned VRI.
+///
+/// This is where dispatch policy earns its keep. The classic kinds commit
+/// every frame to one VRI's SPSC queue at dispatch time, so the burst's
+/// share queued behind the slowed instance drains at one-tenth speed while
+/// its siblings sit idle — JSQ spreads by queue length *at dispatch*, and
+/// cannot migrate what it already enqueued. Under the VLink fabric the
+/// burst sits in the shared ring and the fast VRIs steal through it, so
+/// the cycle's makespan tracks aggregate service capacity instead of the
+/// slowest instance's backlog.
+fn dispatch_goodput(kind: QueueKind, batch: usize, cycles: u64, slow_first: bool) -> f64 {
+    let clock = ManualClock::new();
+    let config = LvrmConfig {
+        queue_kind: kind,
+        data_queue_capacity: 256,
+        allocator: AllocatorKind::Fixed { cores: VRIS },
+        batch_size: batch,
+        ..Default::default()
+    };
+    let mut lvrm = new_lvrm(clock.clone(), config);
+    let mut host = PacedHost::default();
+    let _vr = lvrm.add_vr("bench", &subnet(), routed_vr("bench"), &mut host);
+    assert_eq!(host.slots.len(), VRIS);
+
+    let mut quotas = vec![FAST_QUOTA; VRIS];
+    if slow_first {
+        quotas[0] = SLOW_QUOTA;
+    }
+
+    let step_ns = 1_000_000u64;
+    let mut flow = 0u32;
+    let mut burst: Vec<Frame> = Vec::with_capacity(batch);
+    let mut out = Vec::new();
+    let mut t = 0u64;
+    let mut delivered = 0u64;
+    for cycle in 0..cycles {
+        let mut left = CYCLE_FRAMES;
+        while left > 0 {
+            let n = batch.min(left);
+            left -= n;
+            burst.extend((0..n).map(|i| frame_for_flow(flow.wrapping_add(i as u32) % FLOWS)));
+            flow = flow.wrapping_add(n as u32);
+            lvrm.ingress_batch(&mut burst, &mut host);
+            burst.clear();
+        }
+        let target = delivered + CYCLE_FRAMES as u64;
+        // Every frame fits a queue, so nothing should drop; the step cap
+        // turns an accounting surprise into a loud failure, not a hang.
+        let mut steps_left = 64 * CYCLE_FRAMES / SLOW_QUOTA;
+        while lvrm.stats().frames_out < target {
+            assert!(steps_left > 0, "cycle {cycle} failed to drain: {:?}", lvrm.stats());
+            steps_left -= 1;
+            t += step_ns;
+            clock.set_ns(t);
+            host.service(&quotas);
+            lvrm.process_control();
+            lvrm.poll_egress(&mut out);
+            out.clear();
+        }
+        delivered = target;
+    }
+    assert_eq!(lvrm.stats().dispatch_drops, 0, "makespan cycles must not drop");
+    let sim_secs = t as f64 / 1e9;
+    delivered as f64 / sim_secs / 1e3
+}
+
+// ------------------------------------------------------------ overload
+
+/// Goodput fraction (delivered / offered, %) at 2× aggregate capacity with
+/// early shedding on; deterministic.
+fn overload_goodput_pct(kind: QueueKind, steps: u64) -> f64 {
+    let clock = ManualClock::new();
+    let config = LvrmConfig {
+        queue_kind: kind,
+        data_queue_capacity: 256,
+        allocator: AllocatorKind::Fixed { cores: VRIS },
+        batch_size: 32,
+        overload_shedding: true,
+        ..Default::default()
+    };
+    let mut lvrm = new_lvrm(clock.clone(), config);
+    let mut host = PacedHost::default();
+    let _vr = lvrm.add_vr("bench", &subnet(), routed_vr("bench"), &mut host);
+    let offered = 2 * VRIS * FAST_QUOTA;
+    let quotas = vec![FAST_QUOTA; VRIS];
+    let step_ns = 1_000_000u64;
+    let mut flow = 0u32;
+    let mut burst: Vec<Frame> = Vec::with_capacity(32);
+    let mut out = Vec::new();
+    let mut t = 0u64;
+    for _ in 0..steps + 32 {
+        t += step_ns;
+        clock.set_ns(t);
+        let mut left = if t <= steps * step_ns { offered } else { 0 };
+        while left > 0 {
+            let n = 32.min(left);
+            left -= n;
+            burst.extend((0..n).map(|i| frame_for_flow(flow.wrapping_add(i as u32) % FLOWS)));
+            flow = flow.wrapping_add(n as u32);
+            lvrm.ingress_batch(&mut burst, &mut host);
+            burst.clear();
+        }
+        host.service(&quotas);
+        lvrm.process_control();
+        lvrm.poll_egress(&mut out);
+        out.clear();
+    }
+    let s = lvrm.stats();
+    100.0 * s.frames_out as f64 / s.frames_in as f64
+}
+
+// ------------------------------------------------------------ main
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
+    for a in &args {
+        if a != "--smoke" && a != "--out" && !out_path.eq(a) {
+            eprintln!("usage: bench-report [--smoke] [--out <path>]");
+            std::process::exit(2);
+        }
+    }
+
+    let (ops_total, relay_total, cycles, overload_steps) = if smoke {
+        (200_000u64, 20_000usize, 5u64, 60u64)
+    } else {
+        (2_000_000, 200_000, 40, 1_000)
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for kind in QueueKind::ALL {
+        for &batch in BATCHES {
+            let mops = queue_ops(kind, batch, ops_total);
+            println!("queue_ops      {:>11} batch {batch:>3}: {mops:8.2} Mops/s", kind.name());
+            rows.push(Row {
+                bench: "queue_ops",
+                queue_kind: kind.as_str(),
+                batch,
+                metric: "throughput",
+                value: mops,
+                unit: "mops",
+            });
+        }
+    }
+    for kind in QueueKind::ALL {
+        for &batch in BATCHES {
+            let kfps = relay(kind, batch, relay_total);
+            println!("relay          {:>11} batch {batch:>3}: {kfps:8.0} kfps", kind.name());
+            rows.push(Row {
+                bench: "relay",
+                queue_kind: kind.as_str(),
+                batch,
+                metric: "throughput",
+                value: kfps,
+                unit: "kfps",
+            });
+        }
+    }
+    let mut uniform = std::collections::HashMap::new();
+    let mut skew = std::collections::HashMap::new();
+    for kind in QueueKind::ALL {
+        for &batch in BATCHES {
+            let u = dispatch_goodput(kind, batch, cycles, false);
+            let s = dispatch_goodput(kind, batch, cycles, true);
+            println!(
+                "dispatch       {:>11} batch {batch:>3}: uniform {u:8.1} kfps   skew {s:8.1} kfps",
+                kind.name()
+            );
+            uniform.insert((kind, batch), u);
+            skew.insert((kind, batch), s);
+            rows.push(Row {
+                bench: "dispatch_uniform",
+                queue_kind: kind.as_str(),
+                batch,
+                metric: "goodput",
+                value: u,
+                unit: "kfps",
+            });
+            rows.push(Row {
+                bench: "dispatch_skew",
+                queue_kind: kind.as_str(),
+                batch,
+                metric: "goodput",
+                value: s,
+                unit: "kfps",
+            });
+        }
+    }
+    for kind in QueueKind::ALL {
+        let pct = overload_goodput_pct(kind, overload_steps);
+        println!("overload       {:>11} batch  32: {pct:8.1} % goodput", kind.name());
+        rows.push(Row {
+            bench: "overload",
+            queue_kind: kind.as_str(),
+            batch: 32,
+            metric: "goodput_pct",
+            value: pct,
+            unit: "pct",
+        });
+    }
+
+    // Derived acceptance rows: the fabric against the Lamport baseline.
+    for &batch in BATCHES {
+        let speedup = skew[&(QueueKind::VLink, batch)] / skew[&(QueueKind::Lamport, batch)];
+        let delta = 100.0
+            * (uniform[&(QueueKind::VLink, batch)] / uniform[&(QueueKind::Lamport, batch)] - 1.0);
+        println!(
+            "targets        vlink vs lamport batch {batch:>3}: skew speedup {speedup:5.2}x, \
+             uniform delta {delta:+5.2} %"
+        );
+        rows.push(Row {
+            bench: "dispatch_skew",
+            queue_kind: "vlink",
+            batch,
+            metric: "speedup_vs_lamport",
+            value: speedup,
+            unit: "x",
+        });
+        rows.push(Row {
+            bench: "dispatch_uniform",
+            queue_kind: "vlink",
+            batch,
+            metric: "delta_vs_lamport_pct",
+            value: delta,
+            unit: "pct",
+        });
+    }
+
+    std::fs::write(&out_path, rows_to_json(&rows)).expect("write report");
+    println!("wrote {} rows to {out_path}", rows.len());
+}

@@ -84,6 +84,11 @@ pub struct LvrmConfig {
     pub data_queue_capacity: usize,
     /// Control-queue capacity per direction per VRI, events.
     pub ctrl_queue_capacity: usize,
+    /// Capacity of the per-VR shared ingress ring under the VLink fabric
+    /// (`queue_kind = vlink`, frame-based balancing), frames. `0` sizes it
+    /// automatically at 4 × `data_queue_capacity` so a VR-wide burst never
+    /// outruns what its per-VRI queues could have absorbed combined.
+    pub shared_ring_capacity: usize,
     /// Load-balancing policy.
     pub balancer: BalancerKind,
     /// Wrap the balancer in flow-based connection tracking.
@@ -253,6 +258,7 @@ impl Default for LvrmConfig {
             queue_kind: QueueKind::Lamport,
             data_queue_capacity: 1024,
             ctrl_queue_capacity: 64,
+            shared_ring_capacity: 0,
             balancer: BalancerKind::Jsq,
             flow_based: false,
             flow_table_capacity: 4096,
@@ -347,6 +353,25 @@ impl LvrmConfig {
     /// The configured data-queue watermarks.
     pub fn watermarks(&self) -> Watermarks {
         Watermarks::new(self.low_watermark, self.high_watermark)
+    }
+
+    /// Whether this configuration runs the VLink work-stealing fabric: a
+    /// shared per-VR MPMC ingress ring instead of per-VRI JSQ spreading.
+    /// Flow-based balancing opts back into per-VRI dispatch (the flow table
+    /// pins flows to instances, which a shared ring cannot honor), so the
+    /// fabric engages only for frame-based configs.
+    pub fn vlink_fabric(&self) -> bool {
+        self.queue_kind == QueueKind::VLink && !self.flow_based
+    }
+
+    /// The shared ring's capacity in frames: the explicit knob, or the
+    /// 4 × `data_queue_capacity` auto default when left at `0`.
+    pub fn effective_shared_ring_capacity(&self) -> usize {
+        if self.shared_ring_capacity > 0 {
+            self.shared_ring_capacity
+        } else {
+            self.data_queue_capacity * 4
+        }
     }
 
     /// Instantiate the configured balancer.

@@ -9,7 +9,7 @@
 
 use std::collections::HashSet;
 
-use lvrm_ipc::VriEndpoint;
+use lvrm_ipc::{Full, VriEndpoint};
 use lvrm_net::Frame;
 use lvrm_router::VirtualRouter;
 
@@ -73,6 +73,10 @@ pub struct RecordingHost {
     /// control beat cadence by how often they pump). Off by default so
     /// existing control-plane tests see no extra events.
     pub heartbeats: bool,
+    /// Routed frames a full egress queue refused, at most one per VRI: the
+    /// instance retries it (and pulls no new work) until LVRM makes room
+    /// via `poll_egress`, the way a real VRI blocks in `toLVRM()`.
+    pub egress_backlog: Vec<(VriId, Frame)>,
 }
 
 impl VriHost for RecordingHost {
@@ -91,7 +95,8 @@ impl VriHost for RecordingHost {
     fn kill_vri(&mut self, vr: VrId, vri: VriId) {
         self.killed.push((vr, vri));
         if let Some(pos) = self.endpoints.iter().position(|(id, _, _)| *id == vri) {
-            let (_, endpoint, _) = self.endpoints.remove(pos);
+            let (_, mut endpoint, _) = self.endpoints.remove(pos);
+            self.flush_backlog(vri, &mut endpoint);
             endpoint.detach();
             self.reapable.push((vri, endpoint));
         }
@@ -124,6 +129,16 @@ impl RecordingHost {
             if self.heartbeats && !self.ctrl_mute.contains(vri) {
                 let _ = endpoint.ctrl_tx.try_send(encode_heartbeat(*vri));
             }
+            // A frame refused by a full egress queue goes first; while it
+            // waits the instance pulls no new work. Matters under `vlink`,
+            // where a ring steal is not bounded by the p2p queue depth.
+            if let Some(pos) = self.egress_backlog.iter().position(|(id, _)| id == vri) {
+                let (_, frame) = self.egress_backlog.remove(pos);
+                if let Err(Full(frame)) = endpoint.data_tx.try_send(frame) {
+                    self.egress_backlog.push((*vri, frame));
+                    continue;
+                }
+            }
             while let Some(work) = endpoint.next_work() {
                 match work {
                     Work::Control(_ev) => {}
@@ -132,7 +147,10 @@ impl RecordingHost {
                         if let lvrm_router::RouterAction::Forward { .. } =
                             router.process(&mut frame)
                         {
-                            let _ = endpoint.data_tx.try_send(frame);
+                            if let Err(Full(frame)) = endpoint.data_tx.try_send(frame) {
+                                self.egress_backlog.push((*vri, frame));
+                                break;
+                            }
                         }
                     }
                 }
@@ -147,9 +165,20 @@ impl RecordingHost {
     /// work — nothing is recorded in `killed`.
     pub fn crash_vri(&mut self, vri: VriId) {
         if let Some(pos) = self.endpoints.iter().position(|(id, _, _)| *id == vri) {
-            let (_, endpoint, _) = self.endpoints.remove(pos);
+            let (_, mut endpoint, _) = self.endpoints.remove(pos);
+            self.flush_backlog(vri, &mut endpoint);
             endpoint.detach();
             self.reapable.push((vri, endpoint));
+        }
+    }
+
+    /// Push the VRI's parked egress frame (if any) out before its endpoint
+    /// goes away; there is at most one, and if the queue is still full it
+    /// dies with the process like any other in-flight frame.
+    fn flush_backlog(&mut self, vri: VriId, endpoint: &mut VriEndpoint<Frame>) {
+        if let Some(pos) = self.egress_backlog.iter().position(|(id, _)| *id == vri) {
+            let (_, frame) = self.egress_backlog.remove(pos);
+            let _ = endpoint.data_tx.try_send(frame);
         }
     }
 }

@@ -19,7 +19,8 @@
 use std::net::Ipv4Addr;
 use std::path::Path;
 
-use lvrm_ipc::channels::{vri_channels, ControlEvent};
+use lvrm_ipc::channels::{shared_ring, vri_channels_with_ring, ControlEvent};
+use lvrm_ipc::vlink::{VLinkReceiver, VLinkSender};
 use lvrm_ipc::PressureLevel;
 use lvrm_metrics::{
     Counter, LatencyHistogram, MetricsRegistry, MetricsSnapshot, RateEstimator, SharedHistogram,
@@ -371,6 +372,34 @@ struct VrState {
     /// `latency` by `refresh_registry`, never written on the hot path
     /// (`SharedHistogram::record` is five locked RMWs per frame).
     latency_pub: SharedHistogram,
+    /// Shared per-VR ingress ring (VLink work-stealing fabric). `Some` only
+    /// under `config.vlink_fabric()`; every VRI endpoint of this VR holds a
+    /// consumer clone and steals bursts from it instead of being balanced to.
+    ring: Option<VrRing>,
+}
+
+/// The monitor's handles onto one VR's shared ingress ring, plus the
+/// counters that keep the ring inside the conservation identities. The ring
+/// is published to the registry as a synthetic `vri="ring"` series in the
+/// per-VRI dispatch families, so identity (C)
+/// (`Σ dispatched == Σ returned + queued + reclaimed + lost`) and identity
+/// (D) (aggregate drops == per-series drop sum) hold unchanged.
+struct VrRing {
+    /// Producer: `dispatch_bucket` bulk-publishes a VR's burst here.
+    tx: VLinkSender<Frame>,
+    /// Monitor-side consumer clone: occupancy sampling and teardown drains
+    /// (the VRIs hold their own clones inside their endpoints).
+    rx: VLinkReceiver<Frame>,
+    /// Frames published into the ring (the ring series' `dispatched`).
+    enqueued: u64,
+    /// Frames a full ring refused (the ring series' `dispatch_drops`).
+    drops: u64,
+}
+
+impl VrRing {
+    fn occupancy(&self) -> f64 {
+        self.rx.len() as f64 / self.rx.capacity().max(1) as f64
+    }
 }
 
 /// One VRI in the drain state: out of the balance set, awaiting retirement.
@@ -521,6 +550,8 @@ pub struct Lvrm<C: Clock> {
     scratch_vr_buckets: Vec<Vec<Frame>>,
     /// Per-VRI-slot frame buckets within one VR's burst.
     scratch_slot_buckets: Vec<Vec<Frame>>,
+    /// A VR's current core set, for NUMA-aware placement in `grow_vr`.
+    scratch_cores: Vec<crate::topology::CoreId>,
 }
 
 impl<C: Clock> Lvrm<C> {
@@ -565,6 +596,7 @@ impl<C: Clock> Lvrm<C> {
             scratch_single: Vec::new(),
             scratch_vr_buckets: Vec::new(),
             scratch_slot_buckets: Vec::new(),
+            scratch_cores: Vec::new(),
         }
     }
 
@@ -665,6 +697,10 @@ impl<C: Clock> Lvrm<C> {
             draining: Vec::new(),
             latency: LatencyHistogram::new(),
             latency_pub,
+            ring: self.config.vlink_fabric().then(|| {
+                let (tx, rx) = shared_ring(self.config.effective_shared_ring_capacity());
+                VrRing { tx, rx, enqueued: 0, drops: 0 }
+            }),
         });
         let now = self.clock.now_ns();
         self.grow_vr(id.0 as usize, now, host);
@@ -837,6 +873,12 @@ impl<C: Clock> Lvrm<C> {
             self.scratch_valid.push(v.accepting() && v.endpoint_attached());
             self.scratch_vris.push(v.id);
         }
+        // Under the VLink fabric the shared ring *is* the VR's backlog; its
+        // occupancy joins the pressure reading so overload control fires on
+        // exactly the queue the frames actually sit in.
+        if let Some(ring) = &vr.ring {
+            worst_occupancy = worst_occupancy.max(ring.occupancy());
+        }
         // Per-burst pressure refresh: one data queue past the high watermark
         // marks the whole VR (JSQ would have spread the backlog first), and
         // the tracker holds the state until the worst queue drains back
@@ -863,6 +905,35 @@ impl<C: Clock> Lvrm<C> {
             vr.shed_credit = 0.0;
         }
         vr.admitted += bucket.len() as u64;
+
+        // VLink work-stealing fabric: publish the whole bucket into the VR's
+        // shared ring with one bulk operation instead of JSQ-spreading it
+        // across per-VRI queues — the VRIs steal bursts at their own pace, so
+        // a burst never serializes behind the slowest instance. The classic
+        // no-eligible-VRI outcomes are mirrored exactly: with no accepting,
+        // attached instance the frames drop here just as `balancer.pick`
+        // would have refused them.
+        if let Some(ring) = vr.ring.as_mut() {
+            let has_target = self.scratch_valid.iter().any(|&ok| ok);
+            if has_target {
+                let sent = ring.tx.try_send_batch(bucket) as u64;
+                ring.enqueued += sent;
+                let leftover = bucket.len() as u64;
+                if leftover > 0 {
+                    ring.drops += leftover;
+                    self.stats.dispatch_drops.add(leftover);
+                    bucket.clear();
+                }
+            } else if vr.quarantined {
+                self.stats.quarantined_drops.add(bucket.len() as u64);
+                bucket.clear();
+            } else {
+                self.stats.no_vri_drops.add(bucket.len() as u64);
+                bucket.clear();
+            }
+            return;
+        }
+
         while self.scratch_slot_buckets.len() < vr.vris.len() {
             self.scratch_slot_buckets.push(Vec::new());
         }
@@ -1279,6 +1350,19 @@ impl<C: Clock> Lvrm<C> {
                 action: SupervisionAction::Quarantined,
             });
         }
+        // A quarantined VR gets no respawn, so with no instance left nothing
+        // will ever steal from its shared ring: reconcile the parked frames
+        // through the crash taxonomy (quarantined_drops, as rehome charges
+        // for a quarantined VR with no survivors). A VR that *will* respawn
+        // keeps its ring intact — the replacement instance steals the
+        // backlog, which is exactly the "dead VRI loses nothing still
+        // queued" property of the fabric.
+        if self.vrs[idx].quarantined
+            && self.vrs[idx].vris.is_empty()
+            && self.vrs[idx].draining.is_empty()
+        {
+            self.drain_stranded_ring(idx, now_ns, RehomeLoss::Crash);
+        }
     }
 
     /// Re-balance frames reclaimed from a departed VRI across the VR's
@@ -1408,16 +1492,25 @@ impl<C: Clock> Lvrm<C> {
                 return false; // memory budget exhausted (§3.2 extension)
             }
         }
-        let Some(core) = self.cores.allocate() else {
+        // NUMA-aware placement: keep a VR's VRIs on the package(s) already
+        // hosting it — under the VLink fabric that package is the shared
+        // ring's home node, and a cross-socket steal costs a QPI round trip.
+        self.scratch_cores.clear();
+        self.scratch_cores.extend(self.vrs[idx].vris.iter().map(|v| v.core));
+        let near = std::mem::take(&mut self.scratch_cores);
+        let allocated = self.cores.allocate_near(&near);
+        self.scratch_cores = near;
+        let Some(core) = allocated else {
             return false; // every candidate core is taken
         };
         let t0 = self.clock.now_ns();
         let vri = VriId(self.next_vri);
         self.next_vri += 1;
-        let (channels, endpoint) = vri_channels::<Frame>(
+        let (channels, endpoint) = vri_channels_with_ring::<Frame>(
             self.config.queue_kind,
             self.config.data_queue_capacity,
             self.config.ctrl_queue_capacity,
+            self.vrs[idx].ring.as_ref().map(|r| r.rx.clone()),
         );
         let mut adapter = VriAdapter::new(vri, core, channels, self.config.build_estimator());
         // A newborn has not heartbeat yet; give it a full liveness window
@@ -1558,6 +1651,35 @@ impl<C: Clock> Lvrm<C> {
         if !reclaimed.is_empty() {
             self.rehome(idx, &mut reclaimed, now_ns, RehomeLoss::Shrink);
         }
+        // Shutdown path: the VR's last instance is gone, so frames still
+        // parked in the shared ring have no stealer left. Reconcile them
+        // through the voluntary-retirement taxonomy now rather than letting
+        // the queued gauge carry them forever.
+        if self.vrs[idx].vris.is_empty() && self.vrs[idx].draining.is_empty() {
+            self.drain_stranded_ring(idx, now_ns, RehomeLoss::Shrink);
+        }
+    }
+
+    /// Empty a VR's shared ring once no instance remains to steal from it,
+    /// keeping the conservation identities intact: drained frames count as
+    /// `reclaimed` (they left the queued gauge alive) and then run through
+    /// [`Lvrm::rehome`], which — with no survivors — charges them to the
+    /// taxonomy `loss` names. A no-op for VRs without a ring or with the
+    /// ring already empty.
+    fn drain_stranded_ring(&mut self, idx: usize, now_ns: u64, loss: RehomeLoss) {
+        let Some(ring) = self.vrs[idx].ring.as_ref() else {
+            return;
+        };
+        let mut frames: Vec<Frame> = Vec::new();
+        while ring.rx.try_recv_batch(&mut frames, usize::MAX) > 0 {}
+        if frames.is_empty() {
+            return;
+        }
+        let got = frames.len() as u64;
+        self.stats.reclaimed.add(got);
+        self.registry
+            .push_event(now_ns, format!("ring-drained vr={} frames={got}", self.vrs[idx].name));
+        self.rehome(idx, &mut frames, now_ns, loss);
     }
 
     /// Sweep the drain lists and retire every VRI whose queue has emptied,
@@ -1711,6 +1833,27 @@ impl<C: Clock> Lvrm<C> {
                     0.0
                 });
             }
+            // The shared ring publishes as a synthetic `vri="ring"` series in
+            // the per-VRI dispatch families: frames the monitor bulk-enqueued
+            // count as dispatched there (the stealing VRI's own series later
+            // records the `returned`), ring occupancy joins `lvrm_data_queued`,
+            // and ring refusals join the dispatch-drop family — identities
+            // (B), (C) and (D) hold without special-casing the fabric.
+            if let Some(ring) = &vr.ring {
+                let ring_len = ring.rx.len() as u64;
+                data_queued += ring_len;
+                let labels = [("vr", name), ("vri", "ring")];
+                reg.counter(M_VRI_DISPATCHED.0, M_VRI_DISPATCHED.1, &labels).store(ring.enqueued);
+                reg.counter(M_VRI_RETURNED.0, M_VRI_RETURNED.1, &labels).store(0);
+                reg.counter(M_VRI_DROPS.0, M_VRI_DROPS.1, &labels).store(ring.drops);
+                reg.gauge(M_VRI_QUEUE_LEN.0, M_VRI_QUEUE_LEN.1, &labels).set(ring_len as f64);
+                reg.gauge(
+                    "lvrm_vr_ring_occupancy",
+                    "Shared-ring fill fraction (VLink fabric only).",
+                    &[("vr", name)],
+                )
+                .set(ring.occupancy());
+            }
         }
         let g = |n: &str, h: &str, v: f64| reg.gauge(n, h, &[]).set(v);
         g(
@@ -1829,6 +1972,16 @@ impl<C: Clock> Lvrm<C> {
                 stats.retired_returned += v.returned;
                 stats.retired_dispatch_drops += v.dispatch_drops;
                 let in_flight = (v.queue_len() + v.egress_len()) as u64;
+                stats.crash_lost += in_flight;
+                stats.queue_lost += in_flight;
+            }
+            // The shared ring folds like one more instance: its series moves
+            // into the retired aggregates and its parked frames are charged
+            // as restart loss — a restore starts with a fresh, empty ring.
+            if let Some(ring) = &vr.ring {
+                stats.retired_dispatched += ring.enqueued;
+                stats.retired_dispatch_drops += ring.drops;
+                let in_flight = ring.rx.len() as u64;
                 stats.crash_lost += in_flight;
                 stats.queue_lost += in_flight;
             }
@@ -2069,12 +2222,17 @@ mod tests {
         let mut lvrm = new_lvrm(clock.clone(), config);
         let mut host = RecordingHost::default();
         let vr = lvrm.add_vr("deptA", &[subnet(10, 0, 1)], routed_vr("a"), &mut host);
+        // Keep egress drained like the real collect loop would: a full
+        // egress queue backpressures the instances and reads as load.
+        let mut sink = Vec::new();
         let mut now = 0u64;
         for _ in 0..9000 {
             now += 333_333;
             clock.set_ns(now);
             lvrm.ingress(frame_from([10, 0, 1, 5]), &mut host);
             host.pump();
+            lvrm.poll_egress(&mut sink);
+            sink.clear();
         }
         let peak = lvrm.vri_count(vr);
         assert!(peak >= 3);
@@ -2084,6 +2242,8 @@ mod tests {
             clock.set_ns(now);
             lvrm.ingress(frame_from([10, 0, 1, 5]), &mut host);
             host.pump();
+            lvrm.poll_egress(&mut sink);
+            sink.clear();
         }
         assert!(
             lvrm.vri_count(vr) < peak,

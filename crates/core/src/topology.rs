@@ -80,6 +80,20 @@ impl CoreTopology {
         CoreTopology::new(vec![(0..n).map(CoreId).collect()])
     }
 
+    /// A declared multi-socket machine: `sockets` packages of
+    /// `cores_per_socket` cores each, numbered contiguously (socket 0 gets
+    /// cores `0..cps`, socket 1 gets `cps..2*cps`, …). Generalizes
+    /// [`CoreTopology::dual_quad_xeon`] so NUMA-aware placement can be
+    /// exercised on shapes beyond the paper's gateway.
+    pub fn multi_socket(sockets: u16, cores_per_socket: u16) -> CoreTopology {
+        assert!(sockets > 0 && cores_per_socket > 0);
+        CoreTopology::new(
+            (0..sockets)
+                .map(|s| (s * cores_per_socket..(s + 1) * cores_per_socket).map(CoreId).collect())
+                .collect(),
+        )
+    }
+
     /// Total number of cores.
     pub fn num_cores(&self) -> usize {
         self.packages.iter().map(|p| p.len()).sum()
@@ -192,6 +206,33 @@ impl CoreMap {
         }
     }
 
+    /// Allocate the best free core *near* the given cores: packages already
+    /// hosting one of `near` are preferred (most-populated first), so a VR's
+    /// VRIs — and under the VLink fabric, the shared ring they all poll —
+    /// stay on one NUMA node as long as it has room. Falls back to the
+    /// plain affinity order when every nearby core is taken, and degenerates
+    /// to [`CoreMap::allocate`] when `near` is empty.
+    pub fn allocate_near(&mut self, near: &[CoreId]) -> Option<CoreId> {
+        if near.is_empty() || self.mode == AffinityMode::Same {
+            return self.allocate();
+        }
+        // Count how many of the anchor cores each package hosts.
+        let mut weight = vec![0usize; self.topology.packages.len()];
+        for c in near {
+            if let Some(p) = self.topology.package_of(*c) {
+                weight[p] += 1;
+            }
+        }
+        let free: Vec<CoreId> =
+            self.candidates().into_iter().filter(|c| !self.in_use.contains(c)).collect();
+        let w = |c: CoreId| self.topology.package_of(c).map_or(0, |p| weight[p]);
+        let best = free.iter().map(|c| w(*c)).max()?;
+        // First candidate (affinity order) within the most-populated package.
+        let core = free.into_iter().find(|c| w(*c) == best)?;
+        self.in_use.push(core);
+        Some(core)
+    }
+
     /// Release a core back to the pool. Returns `false` if it was not
     /// allocated.
     pub fn release(&mut self, core: CoreId) -> bool {
@@ -279,5 +320,58 @@ mod tests {
     fn lvrm_core_must_exist() {
         let _ =
             CoreMap::new(CoreTopology::single_package(2), CoreId(9), AffinityMode::SiblingFirst);
+    }
+
+    #[test]
+    fn multi_socket_shape() {
+        let t = CoreTopology::multi_socket(4, 6);
+        assert_eq!(t.num_cores(), 24);
+        assert_eq!(t.package_of(CoreId(0)), Some(0));
+        assert_eq!(t.package_of(CoreId(6)), Some(1));
+        assert_eq!(t.package_of(CoreId(23)), Some(3));
+        assert!(t.siblings(CoreId(12), CoreId(17)));
+        assert!(!t.siblings(CoreId(11), CoreId(12)));
+    }
+
+    #[test]
+    fn allocate_near_prefers_the_anchors_package() {
+        // LVRM on socket 0; anchors on socket 2 should pull the allocation
+        // there even though sibling-first would pick socket 0.
+        let mut m =
+            CoreMap::new(CoreTopology::multi_socket(4, 4), CoreId(0), AffinityMode::SiblingFirst);
+        let got = m.allocate_near(&[CoreId(8), CoreId(9)]).unwrap();
+        assert_eq!(m.topology().package_of(got), Some(2));
+        // Within the package, candidate ordering still applies (the anchors
+        // themselves are free in this synthetic setup, so the lowest wins).
+        assert_eq!(got, CoreId(8));
+    }
+
+    #[test]
+    fn allocate_near_skips_in_use_anchors() {
+        let mut m =
+            CoreMap::new(CoreTopology::multi_socket(2, 4), CoreId(0), AffinityMode::SiblingFirst);
+        // Simulate the VR's first two VRIs already holding socket-1 cores.
+        m.in_use.push(CoreId(4));
+        m.in_use.push(CoreId(5));
+        let got = m.allocate_near(&[CoreId(4), CoreId(5)]).unwrap();
+        assert_eq!(m.topology().package_of(got), Some(1), "stays on the ring's home socket");
+        assert_eq!(got, CoreId(6));
+    }
+
+    #[test]
+    fn allocate_near_falls_back_when_home_socket_is_full() {
+        let mut m =
+            CoreMap::new(CoreTopology::multi_socket(2, 2), CoreId(0), AffinityMode::SiblingFirst);
+        m.in_use.push(CoreId(2));
+        m.in_use.push(CoreId(3));
+        // Socket 1 (the anchor's home) is full; spill per affinity order.
+        let got = m.allocate_near(&[CoreId(2), CoreId(3)]).unwrap();
+        assert_eq!(got, CoreId(1));
+    }
+
+    #[test]
+    fn allocate_near_with_no_anchors_is_plain_allocate() {
+        let mut m = xeon_map(AffinityMode::SiblingFirst);
+        assert_eq!(m.allocate_near(&[]), Some(CoreId(1)));
     }
 }

@@ -418,7 +418,9 @@ impl LvrmAdapter {
         while let Some(ev) = self.endpoint.ctrl_rx.try_recv() {
             ctrl.push(ev);
         }
-        let n = self.endpoint.data_rx.try_recv_batch(data, max);
+        // Point-to-point frames first, then a stolen burst from the VR's
+        // shared ring if one is wired (VLink fabric).
+        let n = self.endpoint.steal_batch(data, max);
         if n == 0 && ctrl.is_empty() && self.estimate_service_rate {
             self.svc_est.note_idle();
         }
@@ -467,9 +469,12 @@ impl LvrmAdapter {
     }
 
     /// Whether any data or control work is queued for this VRI (used by
-    /// polling hosts to decide whether to schedule a service pass).
+    /// polling hosts to decide whether to schedule a service pass). Work
+    /// sitting in the VR's shared ring counts: any of its VRIs may steal it.
     pub fn has_pending(&self) -> bool {
-        !self.endpoint.data_rx.is_empty() || !self.endpoint.ctrl_rx.is_empty()
+        !self.endpoint.data_rx.is_empty()
+            || !self.endpoint.ctrl_rx.is_empty()
+            || self.endpoint.shared_rx.as_ref().is_some_and(|ring| !ring.is_empty())
     }
 }
 

@@ -6,7 +6,7 @@
 //! monitor, everything the monitor emits is either on the wire, parked in
 //! the retry queue, or visibly counted in `tx_drops`.
 //!
-//! Set `LVRM_CHAOS_QUEUE` to one of `lamport` / `fastforward` / `mutex` to
+//! Set `LVRM_CHAOS_QUEUE` to one of `lamport` / `fastforward` / `mutex` / `vlink` to
 //! restrict the sweep (the CI matrix does this); unset runs all three.
 
 use std::net::Ipv4Addr;
@@ -25,12 +25,10 @@ const STEPS: u64 = if cfg!(miri) { 20 } else { 60 };
 const SEEDS: &[u64] = if cfg!(miri) { &[7] } else { &[7, 42, 1337] };
 
 fn queue_kinds() -> Vec<QueueKind> {
-    let kinds: Vec<QueueKind> = match std::env::var("LVRM_CHAOS_QUEUE") {
-        Ok(want) => QueueKind::ALL.iter().copied().filter(|k| k.name() == want).collect(),
+    match std::env::var("LVRM_CHAOS_QUEUE") {
+        Ok(want) => vec![want.parse::<QueueKind>().expect("LVRM_CHAOS_QUEUE")],
         Err(_) => QueueKind::ALL.to_vec(),
-    };
-    assert!(!kinds.is_empty(), "LVRM_CHAOS_QUEUE named no known queue kind");
-    kinds
+    }
 }
 
 fn chaos_config(kind: QueueKind) -> LvrmConfig {

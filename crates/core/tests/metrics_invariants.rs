@@ -24,7 +24,7 @@
 //! the `lvrm_rescued_pending` gauge). (C) counts a reclaimed-then-rehomed
 //! frame once in `reclaimed` and once more in the survivor's `dispatched`.
 //!
-//! Set `LVRM_CHAOS_QUEUE` to one of `lamport` / `fastforward` / `mutex` to
+//! Set `LVRM_CHAOS_QUEUE` to one of `lamport` / `fastforward` / `mutex` / `vlink` to
 //! restrict the sweep (the CI matrix does this); unset runs all three.
 
 use std::net::Ipv4Addr;
@@ -43,12 +43,10 @@ const STEPS: u64 = if cfg!(miri) { 12 } else { 40 };
 const CASES: u32 = if cfg!(miri) { 2 } else { 8 };
 
 fn queue_kinds() -> Vec<QueueKind> {
-    let kinds: Vec<QueueKind> = match std::env::var("LVRM_CHAOS_QUEUE") {
-        Ok(want) => QueueKind::ALL.iter().copied().filter(|k| k.name() == want).collect(),
+    match std::env::var("LVRM_CHAOS_QUEUE") {
+        Ok(want) => vec![want.parse::<QueueKind>().expect("LVRM_CHAOS_QUEUE")],
         Err(_) => QueueKind::ALL.to_vec(),
-    };
-    assert!(!kinds.is_empty(), "LVRM_CHAOS_QUEUE named no known queue kind");
-    kinds
+    }
 }
 
 fn chaos_config(kind: QueueKind) -> LvrmConfig {

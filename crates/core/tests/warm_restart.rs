@@ -5,7 +5,7 @@
 //! the fold charges them to `crash_lost`/`queue_lost`, so the restored
 //! books balance to the frame.
 //!
-//! Set `LVRM_CHAOS_QUEUE` to one of `lamport` / `fastforward` / `mutex` to
+//! Set `LVRM_CHAOS_QUEUE` to one of `lamport` / `fastforward` / `mutex` / `vlink` to
 //! restrict the sweep (the CI matrix does this); unset runs all three.
 
 use std::net::Ipv4Addr;
@@ -24,12 +24,10 @@ const WARMUP_STEPS: u64 = if cfg!(miri) { 10 } else { 30 };
 const FLOWS: usize = 8;
 
 fn queue_kinds() -> Vec<QueueKind> {
-    let kinds: Vec<QueueKind> = match std::env::var("LVRM_CHAOS_QUEUE") {
-        Ok(want) => QueueKind::ALL.iter().copied().filter(|k| k.name() == want).collect(),
+    match std::env::var("LVRM_CHAOS_QUEUE") {
+        Ok(want) => vec![want.parse::<QueueKind>().expect("LVRM_CHAOS_QUEUE")],
         Err(_) => QueueKind::ALL.to_vec(),
-    };
-    assert!(!kinds.is_empty(), "LVRM_CHAOS_QUEUE named no known queue kind");
-    kinds
+    }
 }
 
 fn restart_config(kind: QueueKind) -> LvrmConfig {

@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use crate::vlink::{VLinkQueue, VLinkReceiver, VLinkSender};
 use crate::{queue, QueueKind, Receiver, Sender};
 
 /// A control event exchanged between VRIs (via LVRM). The payload is opaque
@@ -123,18 +124,41 @@ pub struct VriEndpoint<F> {
     pub ctrl_rx: Receiver<ControlEvent>,
     /// Control events this VRI emits.
     pub ctrl_tx: Sender<ControlEvent>,
+    /// Shared per-VR ingress ring (VLink fabric): all of the VR's VRIs hold a
+    /// clone of the same consumer and steal bursts from it. `None` outside
+    /// the VLink fabric; the point-to-point `data_rx` still exists alongside
+    /// it (rehomed frames and drains go point-to-point).
+    pub shared_rx: Option<VLinkReceiver<F>>,
     guard: AttachGuard,
 }
 
 impl<F: Send> VriEndpoint<F> {
     /// Pull the next unit of work, giving control events strict priority
-    /// over data frames (paper §2.1).
+    /// over data frames (paper §2.1). Point-to-point data outranks the
+    /// shared ring: frames addressed to *this* VRI (rehomes, drains) go
+    /// before stolen work.
     #[inline]
     pub fn next_work(&mut self) -> Option<Work<F>> {
         if let Some(ev) = self.ctrl_rx.try_recv() {
             return Some(Work::Control(ev));
         }
-        self.data_rx.try_recv().map(Work::Data)
+        if let Some(frame) = self.data_rx.try_recv() {
+            return Some(Work::Data(frame));
+        }
+        self.shared_rx.as_ref().and_then(|ring| ring.try_recv()).map(Work::Data)
+    }
+
+    /// Steal up to `max` data frames in one burst: the point-to-point queue
+    /// first, then the shared ring for whatever budget remains. Returns how
+    /// many were appended to `out`.
+    pub fn steal_batch(&mut self, out: &mut Vec<F>, max: usize) -> usize {
+        let mut got = self.data_rx.try_recv_batch(out, max);
+        if let Some(ring) = &self.shared_rx {
+            if got < max {
+                got += ring.try_recv_batch(out, max - got);
+            }
+        }
+        got
     }
 }
 
@@ -163,6 +187,17 @@ pub fn vri_channels<F: Send>(
     data_capacity: usize,
     ctrl_capacity: usize,
 ) -> (VriChannels<F>, VriEndpoint<F>) {
+    vri_channels_with_ring(kind, data_capacity, ctrl_capacity, None)
+}
+
+/// Like [`vri_channels`], but additionally hands the endpoint a consumer
+/// clone of the VR's shared ingress ring (the VLink work-stealing fabric).
+pub fn vri_channels_with_ring<F: Send>(
+    kind: QueueKind,
+    data_capacity: usize,
+    ctrl_capacity: usize,
+    shared_rx: Option<VLinkReceiver<F>>,
+) -> (VriChannels<F>, VriEndpoint<F>) {
     let ((data_tx, vri_data_rx), (vri_data_tx, data_rx)) = duplex::<F>(kind, data_capacity);
     let ((ctrl_tx, vri_ctrl_rx), (vri_ctrl_tx, ctrl_rx)) =
         duplex::<ControlEvent>(kind, ctrl_capacity);
@@ -174,9 +209,17 @@ pub fn vri_channels<F: Send>(
             data_tx: vri_data_tx,
             ctrl_rx: vri_ctrl_rx,
             ctrl_tx: vri_ctrl_tx,
+            shared_rx,
             guard: AttachGuard { attachment },
         },
     )
+}
+
+/// Build one VR's shared ingress ring: the monitor keeps the producer (and a
+/// consumer clone for teardown drains); each VRI endpoint gets a consumer
+/// clone via [`vri_channels_with_ring`].
+pub fn shared_ring<F: Send>(capacity: usize) -> (VLinkSender<F>, VLinkReceiver<F>) {
+    VLinkQueue::with_capacity(capacity)
 }
 
 #[cfg(test)]

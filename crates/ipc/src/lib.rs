@@ -31,14 +31,16 @@ pub mod channels;
 pub mod fastforward;
 pub mod lamport;
 pub mod mutexq;
+pub mod vlink;
 
 pub use channels::{duplex, Attachment, ControlEvent, VriChannels, VriEndpoint};
 pub use fastforward::FastForwardQueue;
 pub use lamport::LamportQueue;
 pub use mutexq::MutexQueue;
+pub use vlink::{VLinkQueue, VLinkReceiver, VLinkSender};
 
 /// Which queue implementation to instantiate (extensibility dimension §3.5).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum QueueKind {
     /// Lamport's lock-free SPSC ring (the paper's default).
     #[default]
@@ -47,19 +49,66 @@ pub enum QueueKind {
     FastForward,
     /// Lock-based baseline.
     Mutex,
+    /// Virtual-Link-style bounded MPMC ring. In point-to-point positions it
+    /// behaves like the SPSC rings; under `lvrm-core` it additionally enables
+    /// the shared per-VR ingress ring that VRIs steal bursts from.
+    VLink,
 }
+
+/// Error returned when a queue-kind name doesn't parse; carries the names
+/// that would have.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownQueueKind(pub String);
+
+impl std::fmt::Display for UnknownQueueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown queue kind {:?} (expected one of", self.0)?;
+        for kind in QueueKind::ALL {
+            write!(f, " {}", kind.as_str())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for UnknownQueueKind {}
 
 impl QueueKind {
     /// All variants, for sweeps and ablations.
-    pub const ALL: [QueueKind; 3] = [QueueKind::Lamport, QueueKind::FastForward, QueueKind::Mutex];
+    pub const ALL: [QueueKind; 4] =
+        [QueueKind::Lamport, QueueKind::FastForward, QueueKind::Mutex, QueueKind::VLink];
 
-    /// Human-readable name used in bench output.
-    pub fn name(self) -> &'static str {
+    /// Canonical name: the single source of truth for every flag, config
+    /// directive, env filter, and bench label. [`QueueKind::from_str`] is the
+    /// inverse; `QueueKind::ALL` round-trips through the pair.
+    pub fn as_str(self) -> &'static str {
         match self {
             QueueKind::Lamport => "lamport",
             QueueKind::FastForward => "fastforward",
             QueueKind::Mutex => "mutex",
+            QueueKind::VLink => "vlink",
         }
+    }
+
+    /// Human-readable name used in bench output (alias of [`Self::as_str`]).
+    pub fn name(self) -> &'static str {
+        self.as_str()
+    }
+}
+
+impl std::str::FromStr for QueueKind {
+    type Err = UnknownQueueKind;
+
+    fn from_str(s: &str) -> Result<QueueKind, UnknownQueueKind> {
+        QueueKind::ALL
+            .into_iter()
+            .find(|kind| kind.as_str() == s)
+            .ok_or_else(|| UnknownQueueKind(s.to_string()))
+    }
+}
+
+impl std::fmt::Display for QueueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -147,6 +196,7 @@ pub enum Sender<T> {
     Lamport(lamport::LamportSender<T>),
     FastForward(fastforward::FfSender<T>),
     Mutex(mutexq::MutexSender<T>),
+    VLink(vlink::VLinkSender<T>),
 }
 
 /// Receiving endpoint of an SPSC queue.
@@ -154,6 +204,7 @@ pub enum Receiver<T> {
     Lamport(lamport::LamportReceiver<T>),
     FastForward(fastforward::FfReceiver<T>),
     Mutex(mutexq::MutexReceiver<T>),
+    VLink(vlink::VLinkReceiver<T>),
 }
 
 impl<T: Send> Sender<T> {
@@ -164,6 +215,7 @@ impl<T: Send> Sender<T> {
             Sender::Lamport(s) => s.try_send(item),
             Sender::FastForward(s) => s.try_send(item),
             Sender::Mutex(s) => s.try_send(item),
+            Sender::VLink(s) => s.try_send(item),
         }
     }
 
@@ -179,6 +231,7 @@ impl<T: Send> Sender<T> {
             Sender::Lamport(s) => s.try_send_batch(items),
             Sender::FastForward(s) => s.try_send_batch(items),
             Sender::Mutex(s) => s.try_send_batch(items),
+            Sender::VLink(s) => s.try_send_batch(items),
         }
     }
 
@@ -193,6 +246,7 @@ impl<T: Send> Sender<T> {
             Sender::Lamport(s) => s.len(),
             Sender::FastForward(s) => s.len(),
             Sender::Mutex(s) => s.len(),
+            Sender::VLink(s) => s.len(),
         }
     }
 
@@ -208,6 +262,7 @@ impl<T: Send> Sender<T> {
             Sender::Lamport(s) => s.capacity(),
             Sender::FastForward(s) => s.capacity(),
             Sender::Mutex(s) => s.capacity(),
+            Sender::VLink(s) => s.capacity(),
         }
     }
 
@@ -232,6 +287,7 @@ impl<T: Send> Receiver<T> {
             Receiver::Lamport(r) => r.try_recv(),
             Receiver::FastForward(r) => r.try_recv(),
             Receiver::Mutex(r) => r.try_recv(),
+            Receiver::VLink(r) => r.try_recv(),
         }
     }
 
@@ -244,6 +300,7 @@ impl<T: Send> Receiver<T> {
             Receiver::Lamport(r) => r.try_recv_batch(out, max),
             Receiver::FastForward(r) => r.try_recv_batch(out, max),
             Receiver::Mutex(r) => r.try_recv_batch(out, max),
+            Receiver::VLink(r) => r.try_recv_batch(out, max),
         }
     }
 
@@ -254,6 +311,7 @@ impl<T: Send> Receiver<T> {
             Receiver::Lamport(r) => r.len(),
             Receiver::FastForward(r) => r.len(),
             Receiver::Mutex(r) => r.len(),
+            Receiver::VLink(r) => r.len(),
         }
     }
 
@@ -277,6 +335,10 @@ pub fn queue<T: Send>(kind: QueueKind, capacity: usize) -> (Sender<T>, Receiver<
         QueueKind::Mutex => {
             let (s, r) = mutexq::MutexQueue::with_capacity(capacity);
             (Sender::Mutex(s), Receiver::Mutex(r))
+        }
+        QueueKind::VLink => {
+            let (s, r) = vlink::VLinkQueue::with_capacity(capacity);
+            (Sender::VLink(s), Receiver::VLink(r))
         }
     }
 }
@@ -376,6 +438,19 @@ mod tests {
     #[test]
     fn kind_names_are_distinct() {
         let names: std::collections::HashSet<_> = QueueKind::ALL.iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), 3);
+        assert_eq!(names.len(), QueueKind::ALL.len());
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in QueueKind::ALL {
+            assert_eq!(kind.as_str().parse::<QueueKind>(), Ok(kind));
+            assert_eq!(kind.to_string().parse::<QueueKind>(), Ok(kind));
+        }
+        let err = "no-such-ring".parse::<QueueKind>().unwrap_err();
+        assert_eq!(err, UnknownQueueKind("no-such-ring".to_string()));
+        for kind in QueueKind::ALL {
+            assert!(err.to_string().contains(kind.as_str()), "error lists every valid name");
+        }
     }
 }

@@ -3,7 +3,10 @@
 //! and receives, and must deliver items unmutated and in order across threads.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
+use lvrm_ipc::vlink::VLinkQueue;
 use lvrm_ipc::{queue, Full, QueueKind};
 use proptest::prelude::*;
 
@@ -134,6 +137,12 @@ proptest! {
         check_against_model(QueueKind::Mutex, cap, &script);
     }
 
+    /// Single-threaded, the MPMC ring is a bounded FIFO like every SPSC kind.
+    #[test]
+    fn vlink_matches_fifo_model(script in ops(), cap in 1usize..16) {
+        check_against_model(QueueKind::VLink, cap, &script);
+    }
+
     /// Batch and per-item entry points are interchangeable: any interleaving
     /// of the four operations still behaves like the bounded FIFO model.
     #[test]
@@ -151,10 +160,15 @@ proptest! {
         check_batch_against_model(QueueKind::Mutex, cap, &script);
     }
 
+    #[test]
+    fn vlink_batch_matches_fifo_model(script in batch_ops(), cap in 1usize..16) {
+        check_batch_against_model(QueueKind::VLink, cap, &script);
+    }
+
     /// Producer-side `len()` must equal true occupancy whenever the queue is
     /// quiescent (no concurrent access), for every implementation.
     #[test]
-    fn quiescent_len_is_exact(kind_idx in 0usize..3, sends in 0usize..8, recvs in 0usize..8) {
+    fn quiescent_len_is_exact(kind_idx in 0usize..4, sends in 0usize..8, recvs in 0usize..8) {
         let kind = QueueKind::ALL[kind_idx];
         let cap = 8;
         let (mut tx, mut rx) = queue::<u64>(kind, cap);
@@ -209,6 +223,154 @@ fn concurrent_batch_order_all_kinds() {
         }
         t.join().unwrap();
     }
+}
+
+/// MPMC contract, part 1: several producers and several consumers hammering
+/// one ring — every element sent is delivered exactly once, nothing lost,
+/// nothing duplicated, and the union matches the sent multiset exactly.
+#[test]
+fn vlink_mpmc_delivers_exactly_once() {
+    const PRODUCERS: u64 = 3;
+    const CONSUMERS: usize = 3;
+    const PER_PRODUCER: u64 = if cfg!(miri) { 200 } else { 20_000 };
+    let (tx, rx) = VLinkQueue::<u64>::with_capacity(16);
+    let taken = Arc::new(AtomicUsize::new(0));
+    let total = (PRODUCERS * PER_PRODUCER) as usize;
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for seq in 0..PER_PRODUCER {
+                    let mut v = (p << 32) | seq;
+                    loop {
+                        match tx.try_send(v) {
+                            Ok(()) => break,
+                            Err(Full(back)) => {
+                                v = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|_| {
+            let rx = rx.clone();
+            let taken = taken.clone();
+            std::thread::spawn(move || {
+                let mut got: Vec<u64> = Vec::new();
+                let mut burst: Vec<u64> = Vec::new();
+                while taken.load(Ordering::Relaxed) < total {
+                    burst.clear();
+                    let n = rx.try_recv_batch(&mut burst, 5);
+                    if n == 0 {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    taken.fetch_add(n, Ordering::Relaxed);
+                    got.extend_from_slice(&burst);
+                }
+                got
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    let mut all: Vec<u64> = Vec::new();
+    for c in consumers {
+        all.extend(c.join().unwrap());
+    }
+    assert_eq!(all.len(), total, "every element must be delivered");
+    all.sort_unstable();
+    let expected: Vec<u64> =
+        (0..PRODUCERS).flat_map(|p| (0..PER_PRODUCER).map(move |s| (p << 32) | s)).collect();
+    assert_eq!(all, expected, "delivered multiset must match the sent multiset");
+}
+
+/// MPMC contract, part 2: stealing may interleave producers arbitrarily, but
+/// within any one consumer's stream each producer's items appear in send
+/// order (the ring is FIFO and claims are taken in ring order).
+#[test]
+fn vlink_mpmc_preserves_per_producer_fifo() {
+    const PRODUCERS: u64 = 3;
+    const CONSUMERS: usize = 2;
+    const PER_PRODUCER: u64 = if cfg!(miri) { 200 } else { 20_000 };
+    let (tx, rx) = VLinkQueue::<u64>::with_capacity(8);
+    let taken = Arc::new(AtomicUsize::new(0));
+    let total = (PRODUCERS * PER_PRODUCER) as usize;
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for seq in 0..PER_PRODUCER {
+                    let mut v = (p << 32) | seq;
+                    loop {
+                        match tx.try_send(v) {
+                            Ok(()) => break,
+                            Err(Full(back)) => {
+                                v = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|_| {
+            let rx = rx.clone();
+            let taken = taken.clone();
+            std::thread::spawn(move || {
+                let mut last: Vec<Option<u64>> = vec![None; PRODUCERS as usize];
+                let mut burst: Vec<u64> = Vec::new();
+                while taken.load(Ordering::Relaxed) < total {
+                    burst.clear();
+                    let n = rx.try_recv_batch(&mut burst, 3);
+                    if n == 0 {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    taken.fetch_add(n, Ordering::Relaxed);
+                    for v in &burst {
+                        let p = (v >> 32) as usize;
+                        let seq = v & 0xffff_ffff;
+                        if let Some(prev) = last[p] {
+                            assert!(prev < seq, "producer {p} reordered: {prev} then {seq}");
+                        }
+                        last[p] = Some(seq);
+                    }
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    for c in consumers {
+        c.join().unwrap();
+    }
+}
+
+/// Dropping the ring with items still queued must run their destructors:
+/// every clone sent but never received is released by the queue itself.
+#[test]
+fn vlink_drop_releases_queued_items() {
+    let sentinel = Arc::new(());
+    let (tx, rx) = VLinkQueue::<Arc<()>>::with_capacity(8);
+    for _ in 0..5 {
+        tx.try_send(sentinel.clone()).unwrap();
+    }
+    drop(rx.try_recv().expect("one out"));
+    assert_eq!(Arc::strong_count(&sentinel), 5, "4 queued + the sentinel");
+    drop(tx);
+    drop(rx);
+    assert_eq!(Arc::strong_count(&sentinel), 1, "destructor must drain the ring");
 }
 
 /// Concurrent smoke test per kind: order and content preserved under real

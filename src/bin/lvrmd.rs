@@ -31,7 +31,8 @@
 //! balancer   jsq | rr | random
 //! flow-based on | off
 //! allocator  fixed <cores> | dynamic <fps-per-core> | service-rate <bootstrap-fps>
-//! queue      lamport | fastforward | mutex
+//! queue      lamport | fastforward | mutex | vlink
+//! ring-capacity <n>      # shared-ring frames under vlink (0 = auto 4x data queue)
 //! batch-size <n>         # frames per ingress/dispatch burst (1 = per-frame)
 //! supervision on | off   # respawn crashed/stalled VRIs (off by default)
 //! shedding   on | off    # fair per-VR early shedding under overload
@@ -176,12 +177,11 @@ fn parse_config(text: &str) -> Result<DaemonConfig, String> {
                 };
             }
             ("queue", [q]) => {
-                lvrm.queue_kind = match *q {
-                    "lamport" => QueueKind::Lamport,
-                    "fastforward" => QueueKind::FastForward,
-                    "mutex" => QueueKind::Mutex,
-                    other => return Err(err(&format!("unknown queue kind {other:?}"))),
-                };
+                lvrm.queue_kind = q.parse::<QueueKind>().map_err(|e| err(&e.to_string()))?;
+            }
+            ("ring-capacity", [n]) => {
+                lvrm.shared_ring_capacity =
+                    n.parse().map_err(|_| err(&format!("bad shared ring capacity {n:?}")))?;
             }
             ("shedding", [v]) => {
                 lvrm.overload_shedding = match *v {
