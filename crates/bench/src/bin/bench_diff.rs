@@ -1,0 +1,87 @@
+//! `bench-diff`: the CI perf-trajectory gate.
+//!
+//! Compares a freshly generated report against the last committed
+//! `BENCH_*.json` and exits non-zero if any gated row regressed beyond
+//! tolerance:
+//!
+//! ```text
+//! bench-diff <old.json> <new.json> [--tolerance 0.10]
+//! ```
+//!
+//! Only deterministic, scale-invariant rows participate (simulated
+//! dispatch/overload/scenario goodput, ratios, the conservation flag);
+//! wall-clock rows measure the host machine and are reported but never
+//! gated. See `lvrm_bench::trajectory` for the exact gate predicate.
+
+use lvrm_bench::trajectory::{diff, is_gated, parse_rows, validate_rows};
+
+fn load(path: &str) -> Vec<lvrm_bench::trajectory::Row> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench-diff: cannot read {path}: {e}"));
+    let rows = parse_rows(&text).unwrap_or_else(|e| panic!("bench-diff: cannot parse {path}: {e}"));
+    let errs = validate_rows(&rows);
+    if !errs.is_empty() {
+        eprintln!("bench-diff: {path} violates the report schema:");
+        for e in &errs {
+            eprintln!("  {e}");
+        }
+        std::process::exit(2);
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.10f64;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            tolerance = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("bench-diff: --tolerance needs a number"));
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: bench-diff <old.json> <new.json> [--tolerance 0.10]");
+        std::process::exit(2);
+    };
+
+    let old = load(old_path);
+    let new = load(new_path);
+    let gated = old.iter().filter(|r| is_gated(r)).count();
+    println!(
+        "bench-diff: {old_path} ({} rows) vs {new_path} ({} rows); \
+         {gated} gated rows, tolerance {:.0}%",
+        old.len(),
+        new.len(),
+        tolerance * 100.0
+    );
+
+    let regressions = diff(&old, &new, tolerance);
+    if regressions.is_empty() {
+        println!("bench-diff: OK — no gated row regressed");
+        return;
+    }
+    eprintln!("bench-diff: {} regression(s):", regressions.len());
+    for r in &regressions {
+        let (bench, queue, batch, metric) = &r.key;
+        if r.new.is_nan() {
+            eprintln!(
+                "  {bench}/{queue}/b{batch}/{metric}: row missing from new report (old {:.4})",
+                r.old
+            );
+        } else {
+            eprintln!(
+                "  {bench}/{queue}/b{batch}/{metric}: {:.4} -> {:.4} ({:+.1}%)",
+                r.old,
+                r.new,
+                100.0 * (r.new / r.old - 1.0)
+            );
+        }
+    }
+    std::process::exit(1);
+}

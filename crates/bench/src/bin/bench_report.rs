@@ -1,8 +1,10 @@
 //! `bench-report`: the machine-readable perf trajectory for the queue-kind
 //! sweep. Runs a fixed matrix of benches over every [`QueueKind`] and writes
 //! one flat JSON array of rows, schema
-//! `{bench, queue_kind, batch, metric, value, unit}`, to `BENCH_6.json` at
-//! the repo root (override with `--out <path>`).
+//! `{bench, queue_kind, batch, metric, value, unit}`, to `BENCH_7.json` at
+//! the repo root (override with `--out <path>`). The schema, its
+//! validation, and the cross-report regression gate live in
+//! [`lvrm_bench::trajectory`]; `bench-diff` compares two reports.
 //!
 //! Benches:
 //!
@@ -20,6 +22,11 @@
 //!   steal through it (see `dispatch_goodput`).
 //! - `overload` — goodput fraction at 2× offered load with early shedding,
 //!   batch 32 (simulated, deterministic).
+//! - `scenario_million_flows` / `scenario_flash_crowd` /
+//!   `scenario_syn_flood` — the fixed declarative-scenario set on the full
+//!   simulated testbed (`lvrm_testbed::scenarios`): flow-census tracking
+//!   percentage, tenant goodput under overload, and a conservation flag
+//!   that must stay 1.
 //!
 //! Derived rows pin the PR's acceptance targets: `speedup_vs_lamport` under
 //! skew (target ≥ 1.3× at batch 32) and `delta_vs_lamport_pct` under
@@ -30,6 +37,7 @@
 
 use std::net::Ipv4Addr;
 
+use lvrm_bench::trajectory::{rows_to_json, validate_rows, Row};
 use lvrm_core::{
     AffinityMode, AllocatorKind, CoreId, CoreMap, CoreTopology, Lvrm, LvrmConfig, ManualClock,
     RecordingHost, VriHost, VriSpec,
@@ -38,39 +46,6 @@ use lvrm_ipc::channels::Work;
 use lvrm_ipc::{queue, Full, QueueKind, VriEndpoint};
 use lvrm_net::{Frame, FrameBuilder};
 use lvrm_router::{RouterAction, VirtualRouter};
-
-/// One output row of the fixed schema.
-struct Row {
-    bench: &'static str,
-    queue_kind: &'static str,
-    batch: usize,
-    metric: &'static str,
-    value: f64,
-    unit: &'static str,
-}
-
-fn esc(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn rows_to_json(rows: &[Row]) -> String {
-    let mut out = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"bench\": \"{}\", \"queue_kind\": \"{}\", \"batch\": {}, \
-             \"metric\": \"{}\", \"value\": {:.4}, \"unit\": \"{}\"}}{}\n",
-            esc(r.bench),
-            esc(r.queue_kind),
-            r.batch,
-            esc(r.metric),
-            r.value,
-            esc(r.unit),
-            if i + 1 < rows.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("]\n");
-    out
-}
 
 const BATCHES: &[usize] = &[1, 32, 256];
 
@@ -368,6 +343,76 @@ fn overload_goodput_pct(kind: QueueKind, steps: u64) -> f64 {
     100.0 * s.frames_out as f64 / s.frames_in as f64
 }
 
+// ------------------------------------------------------------ scenarios
+
+/// The fixed declarative-scenario bench set (deterministic simulated
+/// testbed, per queue kind). Absolute flow counts scale with the profile;
+/// the gated rows (`tracked_pct`, `goodput_pct`, `conservation_ok`) are
+/// scale-invariant so a smoke report diffs cleanly against a committed
+/// full one.
+fn scenario_rows(smoke: bool, rows: &mut Vec<Row>) {
+    use lvrm_testbed::scenarios::{flash_crowd, million_flows, syn_flood};
+
+    let flows: u32 = if smoke { 20_000 } else { 1_000_000 };
+    for kind in QueueKind::ALL {
+        let mut spec = million_flows(flows, 0x0131);
+        spec.queue_kind = kind;
+        let report = spec.run();
+        let tracked = report.tracked_flows();
+        let tracked_pct = 100.0 * tracked as f64 / flows as f64;
+        let goodput_pct = 100.0 * report.tenants[0].goodput();
+        let ok = report.conservation.all_hold();
+        println!(
+            "scenario       {:>11} million_flows: {tracked} tracked ({tracked_pct:5.1}%), \
+             goodput {goodput_pct:5.1}%, conservation {}",
+            kind.name(),
+            if ok { "ok" } else { "VIOLATED" },
+        );
+        let q = kind.as_str();
+        rows.push(Row::new(
+            "scenario_million_flows",
+            q,
+            1,
+            "tracked_flows",
+            tracked as f64,
+            "flows",
+        ));
+        rows.push(Row::new("scenario_million_flows", q, 1, "tracked_pct", tracked_pct, "pct"));
+        rows.push(Row::new("scenario_million_flows", q, 1, "goodput_pct", goodput_pct, "pct"));
+        rows.push(Row::new(
+            "scenario_million_flows",
+            q,
+            1,
+            "conservation_ok",
+            if ok { 1.0 } else { 0.0 },
+            "bool",
+        ));
+
+        // The adversarial pair runs the same spec in both profiles: the
+        // protected tenant's goodput is the figure of merit.
+        for (bench, spec) in [
+            ("scenario_flash_crowd", flash_crowd(0xF1A5)),
+            ("scenario_syn_flood", syn_flood(0x5EED)),
+        ] {
+            let mut spec = spec;
+            spec.queue_kind = kind;
+            let report = spec.run();
+            let goodput_pct = 100.0 * report.tenants[0].goodput();
+            let ok = report.conservation.all_hold();
+            println!(
+                "scenario       {:>11} {}: protected goodput {goodput_pct:5.1}%, \
+                 shed {} frames, conservation {}",
+                kind.name(),
+                &bench["scenario_".len()..],
+                report.shed_early(),
+                if ok { "ok" } else { "VIOLATED" },
+            );
+            rows.push(Row::new(bench, q, 1, "goodput_pct", goodput_pct, "pct"));
+            rows.push(Row::new(bench, q, 1, "conservation_ok", if ok { 1.0 } else { 0.0 }, "bool"));
+        }
+    }
+}
+
 // ------------------------------------------------------------ main
 
 fn main() {
@@ -377,7 +422,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
     for a in &args {
         if a != "--smoke" && a != "--out" && !out_path.eq(a) {
             eprintln!("usage: bench-report [--smoke] [--out <path>]");
@@ -396,28 +441,14 @@ fn main() {
         for &batch in BATCHES {
             let mops = queue_ops(kind, batch, ops_total);
             println!("queue_ops      {:>11} batch {batch:>3}: {mops:8.2} Mops/s", kind.name());
-            rows.push(Row {
-                bench: "queue_ops",
-                queue_kind: kind.as_str(),
-                batch,
-                metric: "throughput",
-                value: mops,
-                unit: "mops",
-            });
+            rows.push(Row::new("queue_ops", kind.as_str(), batch, "throughput", mops, "mops"));
         }
     }
     for kind in QueueKind::ALL {
         for &batch in BATCHES {
             let kfps = relay(kind, batch, relay_total);
             println!("relay          {:>11} batch {batch:>3}: {kfps:8.0} kfps", kind.name());
-            rows.push(Row {
-                bench: "relay",
-                queue_kind: kind.as_str(),
-                batch,
-                metric: "throughput",
-                value: kfps,
-                unit: "kfps",
-            });
+            rows.push(Row::new("relay", kind.as_str(), batch, "throughput", kfps, "kfps"));
         }
     }
     let mut uniform = std::collections::HashMap::new();
@@ -432,35 +463,14 @@ fn main() {
             );
             uniform.insert((kind, batch), u);
             skew.insert((kind, batch), s);
-            rows.push(Row {
-                bench: "dispatch_uniform",
-                queue_kind: kind.as_str(),
-                batch,
-                metric: "goodput",
-                value: u,
-                unit: "kfps",
-            });
-            rows.push(Row {
-                bench: "dispatch_skew",
-                queue_kind: kind.as_str(),
-                batch,
-                metric: "goodput",
-                value: s,
-                unit: "kfps",
-            });
+            rows.push(Row::new("dispatch_uniform", kind.as_str(), batch, "goodput", u, "kfps"));
+            rows.push(Row::new("dispatch_skew", kind.as_str(), batch, "goodput", s, "kfps"));
         }
     }
     for kind in QueueKind::ALL {
         let pct = overload_goodput_pct(kind, overload_steps);
         println!("overload       {:>11} batch  32: {pct:8.1} % goodput", kind.name());
-        rows.push(Row {
-            bench: "overload",
-            queue_kind: kind.as_str(),
-            batch: 32,
-            metric: "goodput_pct",
-            value: pct,
-            unit: "pct",
-        });
+        rows.push(Row::new("overload", kind.as_str(), 32, "goodput_pct", pct, "pct"));
     }
 
     // Derived acceptance rows: the fabric against the Lamport baseline.
@@ -472,22 +482,29 @@ fn main() {
             "targets        vlink vs lamport batch {batch:>3}: skew speedup {speedup:5.2}x, \
              uniform delta {delta:+5.2} %"
         );
-        rows.push(Row {
-            bench: "dispatch_skew",
-            queue_kind: "vlink",
+        rows.push(Row::new("dispatch_skew", "vlink", batch, "speedup_vs_lamport", speedup, "x"));
+        rows.push(Row::new(
+            "dispatch_uniform",
+            "vlink",
             batch,
-            metric: "speedup_vs_lamport",
-            value: speedup,
-            unit: "x",
-        });
-        rows.push(Row {
-            bench: "dispatch_uniform",
-            queue_kind: "vlink",
-            batch,
-            metric: "delta_vs_lamport_pct",
-            value: delta,
-            unit: "pct",
-        });
+            "delta_vs_lamport_pct",
+            delta,
+            "pct",
+        ));
+    }
+
+    scenario_rows(smoke, &mut rows);
+
+    // The report validates against its own schema before it is written:
+    // a NaN, a negative throughput, or a typo'd metric/unit never reaches
+    // disk (CI re-checks the written file independently).
+    let errs = validate_rows(&rows);
+    if !errs.is_empty() {
+        eprintln!("bench-report: generated rows violate the schema:");
+        for e in &errs {
+            eprintln!("  {e}");
+        }
+        std::process::exit(1);
     }
 
     std::fs::write(&out_path, rows_to_json(&rows)).expect("write report");

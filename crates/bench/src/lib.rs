@@ -176,6 +176,8 @@ mod tests {
     }
 }
 
+pub mod trajectory;
+
 /// Scenario-building helpers shared by the experiment binaries.
 pub mod scenarios {
     use lvrm_core::SocketKind;

@@ -1,0 +1,424 @@
+//! The perf-trajectory schema: `BENCH_N.json` rows, their validation, and
+//! the regression gate that diffs a fresh report against the last
+//! committed one.
+//!
+//! Every `bench-report` run emits a flat JSON array of
+//! `{bench, queue_kind, batch, metric, value, unit}` rows. This module is
+//! the single source of truth for what those rows may contain: the metric
+//! and unit vocabularies are closed sets, values must be finite, and only
+//! the explicitly signed metrics may go negative. `bench-diff` then
+//! compares the *deterministic, scale-invariant* subset of rows across two
+//! reports and fails on any regression beyond tolerance — wall-clock rows
+//! (`queue_ops`, `relay`) are excluded because they measure the machine,
+//! not the code.
+
+use std::fmt::Write as _;
+
+/// One report row. Owned strings so parsed and generated reports share a
+/// type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    pub bench: String,
+    pub queue_kind: String,
+    pub batch: usize,
+    pub metric: String,
+    pub value: f64,
+    pub unit: String,
+}
+
+impl Row {
+    pub fn new(
+        bench: &str,
+        queue_kind: &str,
+        batch: usize,
+        metric: &str,
+        value: f64,
+        unit: &str,
+    ) -> Row {
+        Row {
+            bench: bench.to_string(),
+            queue_kind: queue_kind.to_string(),
+            batch,
+            metric: metric.to_string(),
+            value,
+            unit: unit.to_string(),
+        }
+    }
+
+    /// The identity a row is matched by across reports.
+    pub fn key(&self) -> (String, String, usize, String) {
+        (self.bench.clone(), self.queue_kind.clone(), self.batch, self.metric.clone())
+    }
+}
+
+/// The closed metric vocabulary. A typo'd metric is a schema break, not a
+/// new data point.
+pub const KNOWN_METRICS: &[&str] = &[
+    "throughput",
+    "goodput",
+    "goodput_pct",
+    "speedup_vs_lamport",
+    "delta_vs_lamport_pct",
+    "tracked_flows",
+    "tracked_pct",
+    "conservation_ok",
+];
+
+/// The closed unit vocabulary.
+pub const KNOWN_UNITS: &[&str] = &["mops", "kfps", "pct", "x", "flows", "bool"];
+
+/// Metrics allowed to be negative (deltas against a baseline).
+pub const SIGNED_METRICS: &[&str] = &["delta_vs_lamport_pct"];
+
+/// Validate a full report: finite values, non-negative unless signed,
+/// metric/unit strings from the closed vocabularies, no duplicate keys.
+/// Returns every violation (empty = valid).
+pub fn validate_rows(rows: &[Row]) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (i, r) in rows.iter().enumerate() {
+        let ctx = format!("row {i} ({}/{}/b{}/{})", r.bench, r.queue_kind, r.batch, r.metric);
+        if !r.value.is_finite() {
+            errs.push(format!("{ctx}: non-finite value {}", r.value));
+        }
+        if r.value < 0.0 && !SIGNED_METRICS.contains(&r.metric.as_str()) {
+            errs.push(format!("{ctx}: negative value {} for unsigned metric", r.value));
+        }
+        if !KNOWN_METRICS.contains(&r.metric.as_str()) {
+            errs.push(format!("{ctx}: unknown metric {:?}", r.metric));
+        }
+        if !KNOWN_UNITS.contains(&r.unit.as_str()) {
+            errs.push(format!("{ctx}: unknown unit {:?}", r.unit));
+        }
+        if !seen.insert(r.key()) {
+            errs.push(format!("{ctx}: duplicate row key"));
+        }
+    }
+    errs
+}
+
+/// Serialize rows in the canonical flat-JSON report format.
+pub fn rows_to_json(rows: &[Row]) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {{\"bench\": \"{}\", \"queue_kind\": \"{}\", \"batch\": {}, \
+             \"metric\": \"{}\", \"value\": {:.4}, \"unit\": \"{}\"}}{}",
+            esc(&r.bench),
+            esc(&r.queue_kind),
+            r.batch,
+            esc(&r.metric),
+            r.value,
+            esc(&r.unit),
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Parse a flat report: a JSON array of objects whose values are strings or
+/// numbers. Hand-rolled for exactly this shape (the repo takes no JSON
+/// dependency); nested structures are a parse error.
+pub fn parse_rows(json: &str) -> Result<Vec<Row>, String> {
+    let mut p = Parser { b: json.as_bytes(), i: 0 };
+    p.ws();
+    p.expect(b'[')?;
+    let mut rows = Vec::new();
+    p.ws();
+    if p.peek() == Some(b']') {
+        return Ok(rows);
+    }
+    loop {
+        p.ws();
+        rows.push(p.object()?);
+        p.ws();
+        match p.next() {
+            Some(b',') => continue,
+            Some(b']') => break,
+            other => return Err(format!("expected ',' or ']' at byte {}, got {other:?}", p.i)),
+        }
+    }
+    Ok(rows)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        Some(c)
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        match self.next() {
+            Some(got) if got == c => Ok(()),
+            got => Err(format!("expected {:?} at byte {}, got {got:?}", c as char, self.i)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.next() {
+                    Some(c @ (b'"' | b'\\' | b'/')) => s.push(c as char),
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    other => {
+                        return Err(format!("unsupported escape {other:?} at byte {}", self.i))
+                    }
+                },
+                Some(c) => s.push(c as char),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.i;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    /// One `{...}` of string/number fields, mapped onto a [`Row`].
+    fn object(&mut self) -> Result<Row, String> {
+        self.expect(b'{')?;
+        let (mut bench, mut queue_kind, mut metric, mut unit) = (None, None, None, None);
+        let (mut batch, mut value) = (None, None);
+        loop {
+            self.ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                break;
+            }
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            match (key.as_str(), self.peek()) {
+                ("bench", _) => bench = Some(self.string()?),
+                ("queue_kind", _) => queue_kind = Some(self.string()?),
+                ("metric", _) => metric = Some(self.string()?),
+                ("unit", _) => unit = Some(self.string()?),
+                ("batch", _) => batch = Some(self.number()?),
+                ("value", _) => value = Some(self.number()?),
+                (k, _) => return Err(format!("unknown field {k:?}")),
+            }
+            self.ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => {
+                    return Err(format!("expected ',' or '}}' at byte {}, got {other:?}", self.i))
+                }
+            }
+        }
+        Ok(Row {
+            bench: bench.ok_or("row missing 'bench'")?,
+            queue_kind: queue_kind.ok_or("row missing 'queue_kind'")?,
+            batch: batch.ok_or("row missing 'batch'")? as usize,
+            metric: metric.ok_or("row missing 'metric'")?,
+            value: value.ok_or("row missing 'value'")?,
+            unit: unit.ok_or("row missing 'unit'")?,
+        })
+    }
+}
+
+/// Whether a row participates in the cross-report regression gate. Only
+/// deterministic, scale-invariant rows qualify:
+///
+/// * simulated dispatch/overload/scenario benches (never `queue_ops` or
+///   `relay`, which measure the host machine's wall clock);
+/// * ratio/percentage/speedup metrics plus the conservation flag (never
+///   `tracked_flows`, whose absolute value scales with the smoke-vs-full
+///   profile).
+///
+/// All gated metrics are higher-is-better.
+pub fn is_gated(row: &Row) -> bool {
+    let bench_ok = row.bench.starts_with("scenario_")
+        || matches!(row.bench.as_str(), "dispatch_uniform" | "dispatch_skew" | "overload");
+    let metric_ok = matches!(
+        row.metric.as_str(),
+        "goodput" | "goodput_pct" | "speedup_vs_lamport" | "tracked_pct" | "conservation_ok"
+    );
+    bench_ok && metric_ok
+}
+
+/// One gate violation.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    pub key: (String, String, usize, String),
+    pub old: f64,
+    pub new: f64,
+}
+
+/// Diff two reports over the gated rows: a regression is a gated key
+/// present in both whose new value fell below `old * (1 - tolerance)`.
+/// `conservation_ok` is exempt from tolerance — any drop below 1 fails.
+/// Gated keys that disappeared from `new` are regressions too (a silently
+/// dropped bench must not pass the gate).
+pub fn diff(old: &[Row], new: &[Row], tolerance: f64) -> Vec<Regression> {
+    let new_by_key: std::collections::HashMap<_, f64> =
+        new.iter().map(|r| (r.key(), r.value)).collect();
+    let mut out = Vec::new();
+    for o in old.iter().filter(|r| is_gated(r)) {
+        let key = o.key();
+        match new_by_key.get(&key) {
+            None => out.push(Regression { key, old: o.value, new: f64::NAN }),
+            Some(&n) => {
+                let floor = if o.metric == "conservation_ok" {
+                    o.value
+                } else {
+                    o.value * (1.0 - tolerance)
+                };
+                if n < floor {
+                    out.push(Regression { key, old: o.value, new: n });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(bench: &str, metric: &str, value: f64, unit: &str) -> Row {
+        Row::new(bench, "vlink", 32, metric, value, unit)
+    }
+
+    #[test]
+    fn validate_accepts_a_clean_report() {
+        let rows = vec![
+            row("dispatch_skew", "goodput", 103.2, "kfps"),
+            row("scenario_syn_flood", "goodput_pct", 99.1, "pct"),
+            Row::new("dispatch_uniform", "vlink", 32, "delta_vs_lamport_pct", -2.4, "pct"),
+        ];
+        assert!(validate_rows(&rows).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_nan_negative_and_unknown_strings() {
+        let bad = vec![
+            row("dispatch_skew", "goodput", f64::NAN, "kfps"),
+            row("dispatch_skew", "goodput_pct", -1.0, "pct"),
+            row("dispatch_skew", "framez_per_fortnight", 1.0, "kfps"),
+            row("overload", "goodput", 1.0, "furlongs"),
+        ];
+        let errs = validate_rows(&bad);
+        assert_eq!(errs.len(), 4, "{errs:?}");
+        assert!(errs[0].contains("non-finite"));
+        assert!(errs[1].contains("negative"));
+        assert!(errs[2].contains("unknown metric"));
+        assert!(errs[3].contains("unknown unit"));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_keys() {
+        let rows = vec![row("overload", "goodput_pct", 50.0, "pct"); 2];
+        let errs = validate_rows(&rows);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("duplicate"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rows = vec![
+            row("dispatch_skew", "goodput", 103.25, "kfps"),
+            Row::new("scenario_million_flows", "lamport", 1, "tracked_pct", 100.0, "pct"),
+        ];
+        let parsed = parse_rows(&rows_to_json(&rows)).unwrap();
+        assert_eq!(parsed.len(), rows.len());
+        for (p, r) in parsed.iter().zip(&rows) {
+            assert_eq!(p.key(), r.key());
+            assert!((p.value - r.value).abs() < 1e-4);
+            assert_eq!(p.unit, r.unit);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_rows("not json").is_err());
+        assert!(parse_rows("[{\"bench\": \"x\"}]").is_err(), "missing fields");
+        assert!(parse_rows("[{\"bench\": [1,2]}]").is_err(), "nested value");
+    }
+
+    #[test]
+    fn gate_skips_wall_clock_rows() {
+        assert!(is_gated(&row("dispatch_skew", "goodput", 1.0, "kfps")));
+        assert!(is_gated(&row("scenario_flash_crowd", "goodput_pct", 1.0, "pct")));
+        assert!(!is_gated(&row("queue_ops", "throughput", 1.0, "mops")));
+        assert!(!is_gated(&row("relay", "throughput", 1.0, "kfps")));
+        assert!(!is_gated(&row("scenario_million_flows", "tracked_flows", 1e6, "flows")));
+    }
+
+    #[test]
+    fn diff_flags_regressions_beyond_tolerance_only() {
+        let old = vec![
+            row("dispatch_skew", "goodput", 100.0, "kfps"),
+            row("overload", "goodput_pct", 50.0, "pct"),
+            row("relay", "throughput", 1000.0, "kfps"), // wall clock: ignored
+        ];
+        let ok = vec![
+            row("dispatch_skew", "goodput", 91.0, "kfps"), // -9%: inside tolerance
+            row("overload", "goodput_pct", 55.0, "pct"),
+            row("relay", "throughput", 1.0, "kfps"),
+        ];
+        assert!(diff(&old, &ok, 0.10).is_empty());
+
+        let bad = vec![
+            row("dispatch_skew", "goodput", 89.0, "kfps"), // -11%: regression
+            row("overload", "goodput_pct", 55.0, "pct"),
+        ];
+        let regs = diff(&old, &bad, 0.10);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key.0, "dispatch_skew");
+    }
+
+    #[test]
+    fn diff_fails_conservation_and_missing_rows_strictly() {
+        let old = vec![
+            row("scenario_syn_flood", "conservation_ok", 1.0, "bool"),
+            row("scenario_flash_crowd", "goodput_pct", 99.0, "pct"),
+        ];
+        // conservation_ok gets no tolerance...
+        let broken = vec![
+            row("scenario_syn_flood", "conservation_ok", 0.99, "bool"),
+            row("scenario_flash_crowd", "goodput_pct", 99.0, "pct"),
+        ];
+        assert_eq!(diff(&old, &broken, 0.10).len(), 1);
+        // ...and a vanished gated bench is itself a regression.
+        let missing = vec![row("scenario_syn_flood", "conservation_ok", 1.0, "bool")];
+        let regs = diff(&old, &missing, 0.10);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].new.is_nan());
+    }
+}

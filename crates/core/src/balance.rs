@@ -10,7 +10,7 @@ use lvrm_net::{FlowKey, Frame};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::flowtable::FlowTable;
+use crate::flowtable::{FlowTable, FlowTableStats};
 use crate::VriId;
 
 /// Everything a balancer may consult for one decision. Slots are parallel
@@ -54,6 +54,18 @@ pub trait LoadBalancer: Send {
     /// Re-learn one flow-affinity entry from a checkpoint. Stateless
     /// policies ignore it.
     fn import_flow(&mut self, _key: FlowKey, _vri: VriId, _last_seen_ns: u64) {}
+
+    /// Advance incremental flow aging by at most `budget` slots of work
+    /// (called from the monitor's 1 s tick — never a full-table scan).
+    /// Returns evicted-entry count. Stateless policies do nothing.
+    fn age_flows(&mut self, _now_ns: u64, _budget: usize) -> usize {
+        0
+    }
+
+    /// Flow-table occupancy/churn stats, `None` for stateless policies.
+    fn flow_table_stats(&self) -> Option<FlowTableStats> {
+        None
+    }
 }
 
 /// First valid slot helper shared by the policies.
@@ -214,6 +226,14 @@ impl<B: LoadBalancer> LoadBalancer for FlowBased<B> {
 
     fn import_flow(&mut self, key: FlowKey, vri: VriId, last_seen_ns: u64) {
         self.table.insert(key, vri, last_seen_ns);
+    }
+
+    fn age_flows(&mut self, now_ns: u64, budget: usize) -> usize {
+        self.table.age_step(now_ns, budget)
+    }
+
+    fn flow_table_stats(&self) -> Option<FlowTableStats> {
+        Some(self.table.stats())
     }
 }
 

@@ -97,6 +97,11 @@ pub struct LvrmConfig {
     pub flow_table_capacity: usize,
     /// Idle flows expire after this long (flow-based only).
     pub flow_timeout_ns: u64,
+    /// Flow-table slots the incremental aging sweep may visit per 1 s tick
+    /// (flow-based only). `0` = auto: `flow_table_capacity / 8`, floor 64 —
+    /// a full sweep roughly every 8 ticks with tick cost independent of
+    /// table size. See [`LvrmConfig::effective_flow_age_budget`].
+    pub flow_age_budget: usize,
     /// Core-allocation policy.
     pub allocator: AllocatorKind,
     /// Per-VRI load estimator.
@@ -263,6 +268,7 @@ impl Default for LvrmConfig {
             flow_based: false,
             flow_table_capacity: 4096,
             flow_timeout_ns: 30_000_000_000, // 30 s
+            flow_age_budget: 0,              // auto
             allocator: AllocatorKind::default(),
             estimator: EstimatorKind::QueueLength,
             estimator_weight: 7.0,
@@ -362,6 +368,18 @@ impl LvrmConfig {
     /// fabric engages only for frame-based configs.
     pub fn vlink_fabric(&self) -> bool {
         self.queue_kind == QueueKind::VLink && !self.flow_based
+    }
+
+    /// Per-tick flow-aging slot budget: the explicit knob, or the
+    /// `flow_table_capacity / 8` (floor 64) auto default when left at `0`.
+    /// With the default 1 s tick a full sweep finishes in ≈8 s, well inside
+    /// the 30 s flow timeout, while the tick's aging cost stays O(budget).
+    pub fn effective_flow_age_budget(&self) -> usize {
+        if self.flow_age_budget > 0 {
+            self.flow_age_budget
+        } else {
+            (self.flow_table_capacity / 8).max(64)
+        }
     }
 
     /// The shared ring's capacity in frames: the explicit knob, or the

@@ -10,6 +10,16 @@
 //! slot array, keyed by the flow's FNV hash. Every hit refreshes the entry's
 //! timestamp (the paper updates flow timestamps via `times()`); expired and
 //! dead-VRI entries are reclaimed lazily during probes.
+//!
+//! At million-flow scale, lazy probe-time reclamation alone lets dead flows
+//! silt the table up: an expired entry is only noticed when a probe happens
+//! to cross it, so under churn the table fills with corpses and inserts
+//! start refusing. [`FlowTable::age_step`] adds **incremental aging**: a
+//! sweep cursor visits a bounded number of slots per call (the monitor's
+//! 1 s tick drives it), evicting expired entries as it goes. Every pass is
+//! O(budget), never a full-table scan, so the tick cost stays bounded no
+//! matter how large the table is; a full sweep completes across
+//! `capacity / budget` consecutive ticks.
 
 use lvrm_net::FlowKey;
 
@@ -22,6 +32,34 @@ struct Entry {
     last_seen_ns: u64,
 }
 
+/// Occupancy and churn statistics of one [`FlowTable`], cheap to copy out
+/// (published as per-VR metrics and in `VrSnapshot`s).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowTableStats {
+    /// Stored entries (may include expired-but-unswept flows).
+    pub len: usize,
+    /// Slot-array size.
+    pub capacity: usize,
+    /// Expired entries evicted so far (lazy probe hits + aging sweeps).
+    pub evictions: u64,
+    /// Insertions refused because the probe chain was full.
+    pub overflows: u64,
+    /// Slots visited by [`FlowTable::age_step`] so far (proof the tick work
+    /// is bounded: grows by at most the configured budget per tick).
+    pub age_sweep_slots: u64,
+}
+
+impl FlowTableStats {
+    /// Stored entries as a fraction of capacity.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.len as f64 / self.capacity as f64
+        }
+    }
+}
+
 /// Fixed-capacity connection-tracking table.
 pub struct FlowTable {
     slots: Box<[Option<Entry>]>,
@@ -30,6 +68,13 @@ pub struct FlowTable {
     len: usize,
     /// Insertions refused because the table was full (observability).
     pub overflows: u64,
+    /// Next slot the incremental aging sweep will visit.
+    age_cursor: usize,
+    /// Expired entries evicted (lazily on probe, by slot reclaim on insert,
+    /// or by the aging sweep).
+    evictions: u64,
+    /// Total slots the aging sweep has visited.
+    age_sweep_slots: u64,
 }
 
 impl FlowTable {
@@ -43,6 +88,20 @@ impl FlowTable {
             timeout_ns,
             len: 0,
             overflows: 0,
+            age_cursor: 0,
+            evictions: 0,
+            age_sweep_slots: 0,
+        }
+    }
+
+    /// Copy out the occupancy/churn counters.
+    pub fn stats(&self) -> FlowTableStats {
+        FlowTableStats {
+            len: self.len,
+            capacity: self.slots.len(),
+            evictions: self.evictions,
+            overflows: self.overflows,
+            age_sweep_slots: self.age_sweep_slots,
         }
     }
 
@@ -74,6 +133,7 @@ impl FlowTable {
                 Some(e) if e.key == *key => {
                     if self.expired(&self.slots[i].unwrap(), now_ns) {
                         self.remove_at(i);
+                        self.evictions += 1;
                         return None;
                     }
                     let e = self.slots[i].as_mut().expect("just matched");
@@ -104,6 +164,7 @@ impl FlowTable {
                 Some(e) if now_ns.saturating_sub(e.last_seen_ns) > self.timeout_ns => {
                     // Reclaim an expired stranger's slot.
                     *e = Entry { key, vri, last_seen_ns: now_ns };
+                    self.evictions += 1;
                     return true;
                 }
                 Some(_) => i = (i + 1) & self.mask,
@@ -111,6 +172,46 @@ impl FlowTable {
         }
         self.overflows += 1;
         false
+    }
+
+    /// Advance the incremental aging sweep: advance the cursor over up to
+    /// `budget` slots, evicting expired entries as it goes, and return how
+    /// many were evicted. One call costs O(budget + evicted) — eviction work
+    /// is charged to the evicted entry, which it permanently removes, so the
+    /// amortized tick cost is O(budget) regardless of table size. This is
+    /// what the monitor's 1 s tick calls instead of a full-table scan; a
+    /// complete pass takes `ceil(capacity / budget)` calls. Entries the
+    /// backshift deletion relocates behind the cursor are caught on the next
+    /// pass (or lazily on probe) — aging is best-effort reclamation,
+    /// correctness still comes from the probe-time timeout check.
+    pub fn age_step(&mut self, now_ns: u64, budget: usize) -> usize {
+        let cap = self.slots.len();
+        let budget = budget.min(cap);
+        let mut i = self.age_cursor & self.mask;
+        let mut advanced = 0usize;
+        let mut evicted = 0usize;
+        while advanced < budget {
+            // Copy the verdict out so `remove_at` can borrow mutably.
+            let expired = match &self.slots[i] {
+                Some(e) => self.expired(e, now_ns),
+                None => false,
+            };
+            if expired {
+                self.remove_at(i);
+                self.evictions += 1;
+                evicted += 1;
+                // Backshift may have pulled a later chain member into slot
+                // `i`; re-examine it before advancing. This doesn't consume
+                // budget — each re-check evicted an entry, so the loop still
+                // terminates (the table only shrinks).
+            } else {
+                advanced += 1;
+                i = (i + 1) & self.mask;
+            }
+        }
+        self.age_cursor = i;
+        self.age_sweep_slots += (advanced + evicted) as u64;
+        evicted
     }
 
     /// Iterate live entries as `(key, vri, last_seen_ns)` — the checkpoint
@@ -178,6 +279,8 @@ impl std::fmt::Debug for FlowTable {
             .field("len", &self.len)
             .field("capacity", &self.capacity())
             .field("overflows", &self.overflows)
+            .field("evictions", &self.evictions)
+            .field("age_cursor", &self.age_cursor)
             .finish()
     }
 }
@@ -268,6 +371,82 @@ mod tests {
             }
             assert_eq!(t.find_and_touch(k, 0), Some(VriId(i as u32)), "key {i} lost");
         }
+    }
+
+    #[test]
+    fn age_step_visits_at_most_budget_slots() {
+        let mut t = FlowTable::new(256, 100);
+        for n in 0..50 {
+            t.insert(key(n), VriId(0), 0);
+        }
+        // Nothing expired at t=50: the sweep advances exactly `budget` slots.
+        let before = t.stats().age_sweep_slots;
+        t.age_step(50, 32);
+        assert_eq!(t.stats().age_sweep_slots - before, 32);
+        t.age_step(50, 7);
+        assert_eq!(t.stats().age_sweep_slots - before, 39);
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn full_sweep_evicts_every_expired_flow() {
+        let mut t = FlowTable::new(128, 100);
+        for n in 0..80 {
+            t.insert(key(n), VriId(0), 0);
+        }
+        // Two cursor laps with budget == capacity clear the whole table
+        // (backshift may relocate an entry behind the cursor mid-lap, so
+        // one lap is not guaranteed to catch everything).
+        let mut evicted = t.age_step(1_000_000, t.capacity());
+        evicted += t.age_step(1_000_000, t.capacity());
+        assert_eq!(evicted, 80);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.stats().evictions, 80);
+    }
+
+    #[test]
+    fn partial_sweeps_converge_across_ticks() {
+        let mut t = FlowTable::new(128, 100);
+        for n in 0..80 {
+            t.insert(key(n), VriId(0), 0);
+        }
+        // budget 16 per "tick": two laps of the 128-slot table are enough to
+        // catch entries that backshift moved behind the cursor.
+        for _ in 0..(2 * 128 / 16) {
+            t.age_step(1_000_000, 16);
+        }
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn age_step_spares_live_flows() {
+        let mut t = FlowTable::new(64, 1_000);
+        t.insert(key(1), VriId(1), 0);
+        t.insert(key(2), VriId(2), 900);
+        let evicted = t.age_step(1_500, t.capacity());
+        assert_eq!(evicted, 1); // key(1) idle 1500 > 1000; key(2) idle 600.
+        assert_eq!(t.find_and_touch(&key(2), 1_500), Some(VriId(2)));
+        assert_eq!(t.find_and_touch(&key(1), 1_500), None);
+    }
+
+    #[test]
+    fn age_step_on_empty_table_is_harmless() {
+        let mut t = FlowTable::new(16, 100);
+        assert_eq!(t.age_step(1_000, 1_000_000), 0);
+        // Budget clamps to capacity.
+        assert_eq!(t.stats().age_sweep_slots, 16);
+    }
+
+    #[test]
+    fn stats_snapshot_tracks_counters() {
+        let mut t = FlowTable::new(16, 10);
+        t.insert(key(1), VriId(0), 0);
+        let s = t.stats();
+        assert_eq!(s.len, 1);
+        assert_eq!(s.capacity, 16);
+        assert!(s.occupancy() > 0.0);
+        assert_eq!(t.find_and_touch(&key(1), 1_000), None); // lazy expiry
+        assert_eq!(t.stats().evictions, 1);
     }
 
     #[test]

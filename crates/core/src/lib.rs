@@ -55,6 +55,7 @@ pub use fault::{
     AdapterFaultEvent, AdapterFaultKind, FaultEvent, FaultInjectable, FaultKind, FaultPlan,
     FaultyHost, FaultySocket,
 };
+pub use flowtable::{FlowTable, FlowTableStats};
 pub use host::{RecordingHost, VriHost, VriSpec};
 pub use monitor::{Lvrm, LvrmStats};
 pub use socket::{AdapterError, MemTraceAdapter, SendRejected, SocketAdapter, SocketKind};

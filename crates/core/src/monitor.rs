@@ -464,6 +464,8 @@ pub struct VrSnapshot {
     pub admitted: u64,
     /// Frames shed at ingress classification (over quota under overload).
     pub shed: u64,
+    /// Flow-table occupancy/churn (flow-based balancers only).
+    pub flow: Option<crate::flowtable::FlowTableStats>,
     /// Live VRIs first, then any draining ones (flagged `draining`).
     pub vris: Vec<VriSnapshot>,
 }
@@ -1022,6 +1024,7 @@ impl<C: Clock> Lvrm<C> {
                 pressure: vr.pressure.level(),
                 admitted: vr.admitted,
                 shed: vr.shed,
+                flow: vr.balancer.flow_table_stats(),
                 vris: vr
                     .vris
                     .iter()
@@ -1131,9 +1134,16 @@ impl<C: Clock> Lvrm<C> {
             self.poll_drains(now_ns, host);
         }
 
+        let age_budget = self.config.effective_flow_age_budget();
         for idx in 0..self.vrs.len() {
             // Close out elapsed rate windows even for silent VRs.
             self.vrs[idx].arrival.advance(now_ns);
+            // Bounded incremental flow aging rides the tick (a no-op for
+            // frame-based balancers): O(budget) per tick, never a full
+            // table scan, so tick cost is independent of table size.
+            // Runs even for quarantined/draining VRs — their idle flows
+            // still need to expire.
+            self.vrs[idx].balancer.age_flows(now_ns, age_budget);
             // A quarantined VR gets no allocator attention: no grows (it
             // crash-loops) and no shrinks (nothing worth preserving).
             if self.vrs[idx].quarantined {
@@ -1790,6 +1800,29 @@ impl<C: Clock> Lvrm<C> {
             );
             vr.latency_pub.store(&vr.latency);
             let g = |n: &str, h: &str, v: f64| reg.gauge(n, h, &labels).set(v);
+            if let Some(fs) = vr.balancer.flow_table_stats() {
+                c(
+                    "lvrm_vr_flow_evictions_total",
+                    "Expired flow entries evicted (lazy probe hits + aging sweeps).",
+                    fs.evictions,
+                );
+                c(
+                    "lvrm_vr_flow_overflows_total",
+                    "Flow insertions refused because the table was full.",
+                    fs.overflows,
+                );
+                c(
+                    "lvrm_vr_flow_age_sweep_slots_total",
+                    "Slots visited by the incremental aging sweep (bounded per tick).",
+                    fs.age_sweep_slots,
+                );
+                g("lvrm_vr_flow_entries", "Tracked flows in the flow table.", fs.len as f64);
+                g(
+                    "lvrm_vr_flow_occupancy",
+                    "Flow-table fill fraction (entries / capacity).",
+                    fs.occupancy(),
+                );
+            }
             g(
                 "lvrm_vr_pressure",
                 "Watermark pressure state (0 normal, 1 pressured, 2 overloaded).",

@@ -95,6 +95,191 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Differential aging: incremental sweep vs the old full-scan semantics.
+
+/// The pre-incremental reference: a `HashMap` aged by an eager full scan.
+/// [`FlowTable::age_step`] replaced exactly this behavior with bounded work
+/// per tick, so the two must stay observation-equivalent — identical
+/// affinity answers at every step, identical live sets after a complete
+/// sweep, identical survivors across checkpoint/restore.
+struct ScanTable {
+    map: HashMap<u8, (VriId, u64)>,
+    timeout_ns: u64,
+}
+
+impl ScanTable {
+    fn live(&self, k: u8, now: u64) -> bool {
+        self.map.get(&k).is_some_and(|(_, seen)| now.saturating_sub(*seen) <= self.timeout_ns)
+    }
+
+    fn find_and_touch(&mut self, k: u8, now: u64) -> Option<VriId> {
+        if self.live(k, now) {
+            let e = self.map.get_mut(&k).unwrap();
+            e.1 = now;
+            Some(e.0)
+        } else {
+            // Lazy-probe eviction, exactly like the real table's probe path.
+            self.map.remove(&k);
+            None
+        }
+    }
+
+    /// The old 1 s tick: one full scan, every expired entry evicted.
+    fn age_full_scan(&mut self, now: u64) {
+        let timeout = self.timeout_ns;
+        self.map.retain(|_, (_, seen)| now.saturating_sub(*seen) <= timeout);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum AgeOp {
+    Insert {
+        key: u8,
+        vri: u8,
+    },
+    Find {
+        key: u8,
+    },
+    /// Partial incremental sweep — must never change observable answers.
+    AgeStep {
+        budget: u8,
+    },
+    /// Complete sweep on both tables, then live sets must match exactly.
+    FullSweep,
+    PurgeVri {
+        vri: u8,
+    },
+    /// Export the real table, rebuild a fresh one from the checkpoint.
+    CheckpointRestore,
+    Advance {
+        by: u32,
+    },
+}
+
+#[cfg(not(miri))]
+const AGE_CASES: u32 = 192;
+#[cfg(miri)]
+const AGE_CASES: u32 = 2;
+#[cfg(not(miri))]
+const AGE_STEPS: usize = 200;
+#[cfg(miri)]
+const AGE_STEPS: usize = 24;
+
+fn age_ops() -> impl Strategy<Value = Vec<AgeOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u8>(), 0u8..6).prop_map(|(key, vri)| AgeOp::Insert { key, vri }),
+            any::<u8>().prop_map(|key| AgeOp::Find { key }),
+            (1u8..65).prop_map(|budget| AgeOp::AgeStep { budget }),
+            Just(AgeOp::FullSweep),
+            (0u8..6).prop_map(|vri| AgeOp::PurgeVri { vri }),
+            Just(AgeOp::CheckpointRestore),
+            (1u32..8000).prop_map(|by| AgeOp::Advance { by }),
+        ],
+        0..AGE_STEPS,
+    )
+}
+
+/// Snapshot the physical table as `key-octet -> vri` (inverse of `key()`).
+fn table_contents(table: &FlowTable) -> HashMap<u8, VriId> {
+    table.entries().map(|(k, vri, _)| (k.src.octets()[3], vri)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(AGE_CASES))]
+
+    /// The incremental-aging table is observation-equivalent to the old
+    /// scan-based table under any operation sequence: same affinity
+    /// answers at every probe, same live set after every complete sweep
+    /// (⇒ the same entries were evicted), and checkpoint/restore preserves
+    /// exactly the survivors.
+    #[test]
+    fn incremental_aging_matches_full_scan_reference(script in age_ops()) {
+        const TIMEOUT: u64 = 10_000;
+        const CAPACITY: usize = 512; // >> 256 keys: overflow never muddies the model
+        let mut table = FlowTable::new(CAPACITY, TIMEOUT);
+        let mut model = ScanTable { map: HashMap::new(), timeout_ns: TIMEOUT };
+        let mut now: u64 = 0;
+        for op in script {
+            match op {
+                AgeOp::Insert { key: k, vri } => {
+                    prop_assert!(table.insert(key(k), VriId(vri as u32), now));
+                    model.map.insert(k, (VriId(vri as u32), now));
+                }
+                AgeOp::Find { key: k } => {
+                    prop_assert_eq!(
+                        table.find_and_touch(&key(k), now),
+                        model.find_and_touch(k, now),
+                        "affinity answer diverged for {} at t={}", k, now
+                    );
+                }
+                AgeOp::AgeStep { budget } => {
+                    // Bounded partial work: evicts only expired entries, so
+                    // observable answers cannot change. No model action.
+                    table.age_step(now, budget as usize);
+                }
+                AgeOp::FullSweep => {
+                    // Two budget=capacity calls guarantee a complete lap
+                    // even when backshift relocates entries behind the
+                    // cursor mid-pass.
+                    table.age_step(now, CAPACITY);
+                    table.age_step(now, CAPACITY);
+                    model.age_full_scan(now);
+                    let live: HashMap<u8, VriId> =
+                        model.map.iter().map(|(k, (v, _))| (*k, *v)).collect();
+                    prop_assert_eq!(
+                        table_contents(&table), live,
+                        "live sets diverged after a complete sweep at t={}", now
+                    );
+                }
+                AgeOp::PurgeVri { vri } => {
+                    table.purge_vri(VriId(vri as u32));
+                    model.map.retain(|_, (v, _)| *v != VriId(vri as u32));
+                }
+                AgeOp::CheckpointRestore => {
+                    // The warm-restart surface: export every stored entry
+                    // with its timestamp, import into a fresh table. The
+                    // aging cursor is NOT checkpointed state — a restored
+                    // table restarts its sweep from slot 0 — so
+                    // equivalence must hold regardless of cursor position.
+                    let dump: Vec<_> = table.entries().collect();
+                    let mut restored = FlowTable::new(CAPACITY, TIMEOUT);
+                    for (k, vri, seen) in &dump {
+                        prop_assert!(restored.insert(*k, *vri, *seen));
+                    }
+                    // Import may reclaim the slot of an already-expired
+                    // entry (a newer entry's timestamp proves it dead) —
+                    // that only sheds corpses. Every *live* flow must
+                    // survive the round trip with its VRI pinned.
+                    let live_of = |it: &mut dyn Iterator<Item = (FlowKey, VriId, u64)>| {
+                        it.filter(|(_, _, seen)| now.saturating_sub(*seen) <= TIMEOUT)
+                            .map(|(k, v, _)| (k.src.octets()[3], v))
+                            .collect::<HashMap<u8, VriId>>()
+                    };
+                    prop_assert_eq!(
+                        live_of(&mut restored.entries()),
+                        live_of(&mut dump.iter().copied()),
+                        "restore lost live flows"
+                    );
+                    table = restored;
+                }
+                AgeOp::Advance { by } => now += by as u64,
+            }
+        }
+        // Endgame: one complete sweep on both sides must converge them.
+        table.age_step(now, CAPACITY);
+        table.age_step(now, CAPACITY);
+        model.age_full_scan(now);
+        let live: HashMap<u8, VriId> = model.map.iter().map(|(k, (v, _))| (*k, *v)).collect();
+        prop_assert_eq!(table_contents(&table), live, "final live sets diverged");
+        // And every survivor still answers with its pinned VRI.
+        for (k, (vri, _)) in model.map.clone() {
+            prop_assert_eq!(table.find_and_touch(&key(k), now), Some(vri));
+        }
+    }
+}
+
 /// One frame of flow `f`: distinct source address and port per flow, all
 /// inside the VR's subnet.
 fn flow_frame(f: u8) -> Frame {

@@ -23,7 +23,11 @@
 //! * [`tcp`] — a Reno-style TCP model (slow start, AIMD, fast retransmit,
 //!   RTO, receiver window) plus the FTP workload of Experiments 3c/4;
 //! * [`scenario`] — experiment drivers: fixed-rate runs, achievable-
-//!   throughput search under the paper's 2 % loss criterion, time series.
+//!   throughput search under the paper's 2 % loss criterion, time series;
+//! * [`scenarios`] — a declarative scenario DSL on top of [`scenario`]:
+//!   multi-tenant specs composing heavy-tailed flow mixes, diurnal ramps,
+//!   flash crowds and SYN/UDP floods, reporting the four conservation
+//!   identities and per-tenant goodput as structured results.
 //!
 //! Everything is seeded and deterministic: the same scenario produces the
 //! same figures bit-for-bit.
@@ -34,6 +38,7 @@ pub mod engine;
 pub mod gateway;
 pub mod link;
 pub mod scenario;
+pub mod scenarios;
 pub mod tcp;
 pub mod traffic;
 
@@ -43,4 +48,5 @@ pub use engine::EventQueue;
 pub use gateway::{ForwardingMech, HypervisorKind};
 pub use gateway::{VrSpec, VrType};
 pub use scenario::{Scenario, ScenarioResult};
+pub use scenarios::{ConservationReport, ScenarioReport, ScenarioSpec, TenantSpec, WorkloadSpec};
 pub use traffic::RateSchedule;

@@ -26,7 +26,7 @@ use crate::engine::{Event, EventQueue};
 use crate::gateway::{HypervisorKind, SimHost, VrSpec};
 use crate::link::Link;
 use crate::tcp::{TcpConfig, TcpFlow, FTP_DATA_PORT};
-use crate::traffic::{RateSchedule, Source, SourceKind};
+use crate::traffic::{RateSchedule, Source, SourceKind, UDP_DATA_PORT};
 
 pub use crate::gateway::ForwardingMech;
 
@@ -81,6 +81,10 @@ pub struct Scenario {
     /// Deterministic fault schedule (LVRM mechanism only). Faults address
     /// VRIs by spawn order, which in the simulation is the slot index.
     pub faults: FaultPlan,
+    /// Drain the monitor through [`Lvrm::shutdown`] when the run ends, so
+    /// the final snapshot has empty queues and the conservation identities
+    /// close with zero in-flight (LVRM mechanism only).
+    pub drain_shutdown: bool,
 }
 
 impl Scenario {
@@ -99,6 +103,7 @@ impl Scenario {
             cost: CostModel::default(),
             sample_period_ns: 0,
             faults: FaultPlan::new(),
+            drain_shutdown: false,
         }
     }
 
@@ -147,6 +152,8 @@ pub struct ScenarioResult {
     /// UDP data frames sent / received inside the measurement window.
     pub udp_sent: u64,
     pub udp_received: u64,
+    /// Attack frames (SYN/UDP flood) sent inside the window.
+    pub flood_sent: u64,
     pub per_vr_sent: Vec<u64>,
     pub per_vr_received: Vec<u64>,
     /// Per-UDP-flow received (frames, wire_bytes) in the window.
@@ -170,9 +177,14 @@ pub struct ScenarioResult {
     pub lvrm_stats: Option<lvrm_core::LvrmStats>,
     /// Supervisor decisions (deaths, respawns, quarantines; LVRM only).
     pub supervision: Vec<SupervisionEvent>,
-    /// Final monitor snapshot: per-VR pressure, admission counters, and
-    /// per-VRI state (LVRM only).
+    /// End-of-run monitor snapshot (taken before any shutdown drain, so
+    /// flow-table occupancy is still visible): per-VR pressure, admission
+    /// counters, flow stats, and per-VRI state (LVRM only).
     pub vr_snapshots: Vec<lvrm_core::monitor::VrSnapshot>,
+    /// Final metrics-registry snapshot — after the shutdown drain when
+    /// `drain_shutdown` is set — the conservation-identity input (LVRM
+    /// only).
+    pub metrics: Option<lvrm_metrics::MetricsSnapshot>,
     /// Frames dropped at the NIC rings.
     pub ring_drops: u64,
 }
@@ -275,6 +287,7 @@ struct World<'s> {
     // measurement
     udp_sent: u64,
     udp_received: u64,
+    flood_sent: u64,
     per_vr_sent: Vec<u64>,
     per_vr_received: Vec<u64>,
     udp_flows: HashMap<u64, (u64, u64)>,
@@ -377,6 +390,7 @@ impl<'s> World<'s> {
             tcp_goodput_at_warmup: vec![0; n_tcp],
             udp_sent: 0,
             udp_received: 0,
+            flood_sent: 0,
             per_vr_sent: vec![0; sc.vrs.len()],
             per_vr_received: vec![0; sc.vrs.len()],
             udp_flows: HashMap::new(),
@@ -432,10 +446,13 @@ impl<'s> World<'s> {
         let in_window = now >= self.sc.warmup_ns;
         let (frame, delay) = self.sources[i].emit(now);
         if let Some(frame) = frame {
-            let is_udp_data = matches!(self.sources[i].kind, SourceKind::UdpCbr { .. });
-            if is_udp_data && in_window {
-                self.udp_sent += 1;
-                self.per_vr_sent[self.sources[i].vr] += 1;
+            if in_window {
+                if self.sources[i].kind.is_udp_data() {
+                    self.udp_sent += 1;
+                    self.per_vr_sent[self.sources[i].vr] += 1;
+                } else if self.sources[i].kind.is_flood() {
+                    self.flood_sent += 1;
+                }
             }
             self.offer_link(0, now, frame);
         }
@@ -482,6 +499,12 @@ impl<'s> World<'s> {
         let Ok(ip) = frame.ipv4() else { return };
         match ip.protocol() {
             IPPROTO_UDP if now >= self.sc.warmup_ns => {
+                // Only the data port counts toward goodput: UDP-flood
+                // frames (dst 9) that survive shedding are not "delivered
+                // work", and counting them would flatter attack scenarios.
+                if frame.udp().map(|u| u.dst_port()) != Ok(UDP_DATA_PORT) {
+                    return;
+                }
                 self.udp_received += 1;
                 if let Some(vr) = self.vr_of_src(&frame) {
                     self.per_vr_received[vr] += 1;
@@ -1015,22 +1038,47 @@ impl<'s> World<'s> {
         })
     }
 
-    fn finish(self) -> ScenarioResult {
-        let (realloc, per_vri, lvrm_stats, supervision, vr_snapshots) = match &self.mech {
+    fn finish(mut self) -> ScenarioResult {
+        // End-of-run monitor snapshot, taken BEFORE any shutdown drain:
+        // shutdown purges the balancer's flow tables, so tracked-flow
+        // occupancy is only observable here.
+        let vr_snapshots = match &self.mech {
+            Mech::Lvrm { lvrm, .. } => lvrm.snapshot(),
+            _ => Vec::new(),
+        };
+        if self.sc.drain_shutdown {
+            if let Mech::Lvrm { lvrm, host, clock, .. } = &mut self.mech {
+                // Drain to a quiescent monitor: every queued frame is
+                // serviced, rescued, or charged to a loss counter, so the
+                // final snapshot closes the books with zero in-flight.
+                let deadline = clock.now_ns() + 1_000_000_000;
+                let mut rounds = 0;
+                while !lvrm.shutdown(deadline, host) {
+                    pump_slots(host, clock.now_ns());
+                    rounds += 1;
+                    assert!(rounds < 1000, "scenario shutdown drain must converge");
+                }
+                // Collect egress rescued at retirement (counts frames_out).
+                let mut out = Vec::new();
+                lvrm.poll_egress(&mut out);
+            }
+        }
+        let (realloc, per_vri, lvrm_stats, supervision, metrics) = match &self.mech {
             Mech::Lvrm { lvrm, vr_ids, .. } => (
                 lvrm.realloc_log.clone(),
                 vr_ids.iter().map(|id| lvrm.vri_dispatch_counts(*id)).collect(),
                 Some(lvrm.stats()),
                 lvrm.supervision_log.clone(),
-                lvrm.snapshot(),
+                Some(lvrm.metrics_snapshot()),
             ),
-            _ => (Vec::new(), Vec::new(), None, Vec::new(), Vec::new()),
+            _ => (Vec::new(), Vec::new(), None, Vec::new(), None),
         };
         ScenarioResult {
             duration_ns: self.sc.duration_ns,
             warmup_ns: self.sc.warmup_ns,
             udp_sent: self.udp_sent,
             udp_received: self.udp_received,
+            flood_sent: self.flood_sent,
             per_vr_sent: self.per_vr_sent,
             per_vr_received: self.per_vr_received,
             udp_flows: self.udp_flows,
@@ -1051,7 +1099,26 @@ impl<'s> World<'s> {
             lvrm_stats,
             supervision,
             vr_snapshots,
+            metrics,
             ring_drops: self.ring_drops,
+        }
+    }
+}
+
+/// Service every live VRI slot to empty — the shutdown-drain pump (the
+/// event loop has already stopped, so polls won't fire again).
+fn pump_slots(host: &mut SimHost, now: u64) {
+    for s in host.slots.iter_mut() {
+        if !s.alive || s.stalled {
+            continue;
+        }
+        let Some(adapter) = s.adapter.as_mut() else { continue };
+        while let Some(work) = adapter.from_lvrm(now) {
+            if let lvrm_ipc::channels::Work::Data(mut frame) = work {
+                if let RouterAction::Forward { .. } = s.router.process(&mut frame) {
+                    let _ = adapter.to_lvrm(frame);
+                }
+            }
         }
     }
 }
