@@ -1,7 +1,7 @@
 //! `bench-report`: the machine-readable perf trajectory for the queue-kind
 //! sweep. Runs a fixed matrix of benches over every [`QueueKind`] and writes
 //! one flat JSON array of rows, schema
-//! `{bench, queue_kind, batch, metric, value, unit}`, to `BENCH_7.json` at
+//! `{bench, queue_kind, batch, metric, value, unit}`, to `BENCH_8.json` at
 //! the repo root (override with `--out <path>`). The schema, its
 //! validation, and the cross-report regression gate live in
 //! [`lvrm_bench::trajectory`]; `bench-diff` compares two reports.
@@ -27,6 +27,12 @@
 //!   simulated testbed (`lvrm_testbed::scenarios`): flow-census tracking
 //!   percentage, tenant goodput under overload, and a conservation flag
 //!   that must stay 1.
+//! - `ha_failover` — active/standby pair on the manual clock: elect,
+//!   stream checkpoint deltas under traffic, kill the master; emits the
+//!   simulated promotion latency (`failover_time`, ms) and the worst
+//!   observed replication lag (`delta_lag`, unacked stream positions).
+//!   Both are deterministic functions of the election timers and gate
+//!   lower-is-better.
 //!
 //! Derived rows pin the PR's acceptance targets: `speedup_vs_lamport` under
 //! skew (target ≥ 1.3× at batch 32) and `delta_vs_lamport_pct` under
@@ -39,8 +45,8 @@ use std::net::Ipv4Addr;
 
 use lvrm_bench::trajectory::{rows_to_json, validate_rows, Row};
 use lvrm_core::{
-    AffinityMode, AllocatorKind, CoreId, CoreMap, CoreTopology, Lvrm, LvrmConfig, ManualClock,
-    RecordingHost, VriHost, VriSpec,
+    AffinityMode, AllocatorKind, ChannelLink, CoreId, CoreMap, CoreTopology, HaConfig, Lvrm,
+    LvrmConfig, ManualClock, PeerLink, RecordingHost, VriHost, VriSpec,
 };
 use lvrm_ipc::channels::Work;
 use lvrm_ipc::{queue, Full, QueueKind, VriEndpoint};
@@ -343,6 +349,97 @@ fn overload_goodput_pct(kind: QueueKind, steps: u64) -> f64 {
     100.0 * s.frames_out as f64 / s.frames_in as f64
 }
 
+// ------------------------------------------------------------ ha failover
+
+/// One monitor of the HA bench pair: own clock and host, HA attached over
+/// the given link half.
+struct HaBenchNode {
+    clock: ManualClock,
+    lvrm: Lvrm<ManualClock>,
+    host: RecordingHost,
+}
+
+impl HaBenchNode {
+    fn new(kind: QueueKind, priority: u8, node_id: u64, link: Box<dyn PeerLink>) -> HaBenchNode {
+        let config = LvrmConfig {
+            queue_kind: kind,
+            allocator: AllocatorKind::Fixed { cores: 2 },
+            supervision: true,
+            flow_based: true,
+            ha: Some(HaConfig {
+                priority,
+                node_id,
+                delta_interval_ns: 200_000_000,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let clock = ManualClock::new();
+        let mut lvrm = new_lvrm(clock.clone(), config);
+        let mut host = RecordingHost::with_heartbeats();
+        let _vr = lvrm.add_vr("bench", &subnet(), routed_vr("bench"), &mut host);
+        assert!(lvrm.attach_ha(link), "config carries ha");
+        HaBenchNode { clock, lvrm, host }
+    }
+
+    fn step(&mut self, t: u64, out: &mut Vec<Frame>) {
+        self.clock.set_ns(t);
+        self.host.pump();
+        self.lvrm.process_control();
+        self.lvrm.maybe_reallocate(t, &mut self.host);
+        self.lvrm.poll_egress(out);
+        out.clear();
+    }
+}
+
+/// Deterministic simulated failover on the manual clock: elect an
+/// active/standby pair over an in-process link, stream deltas under
+/// traffic, then kill the master. Returns `(failover_ms, max_delta_lag)` —
+/// pure functions of the election timers and stream cadence, so the gate
+/// sees no machine noise.
+fn ha_failover(kind: QueueKind, warm_steps: u64) -> (f64, f64) {
+    const STEP_NS: u64 = 10_000_000; // 10 ms host-loop cadence
+    let (la, lb) = ChannelLink::pair();
+    let mut a = HaBenchNode::new(kind, 200, 1, Box::new(la));
+    let mut b = HaBenchNode::new(kind, 100, 2, Box::new(lb));
+    let mut out = Vec::new();
+
+    // Election: step until the higher-priority node owns the dataplane.
+    let mut t = 0u64;
+    for _ in 0..400 {
+        a.step(t, &mut out);
+        b.step(t, &mut out);
+        t += STEP_NS;
+        if a.lvrm.ha_accepting() {
+            break;
+        }
+    }
+    assert!(a.lvrm.ha_accepting(), "ha_failover bench: no master elected");
+
+    // Warm replication: traffic on the master, deltas streaming to the
+    // standby; track the worst unacked stream position.
+    let mut max_lag = 0u64;
+    for step in 0..warm_steps {
+        for i in 0..8u32 {
+            a.lvrm.ingress(frame_for_flow(step as u32 * 8 + i), &mut a.host);
+        }
+        a.step(t, &mut out);
+        b.step(t, &mut out);
+        max_lag = max_lag.max(a.lvrm.ha().expect("attached").delta_lag());
+        t += STEP_NS;
+    }
+
+    // The kill: master vanishes; measure simulated time to promotion.
+    drop(a);
+    let t_kill = t;
+    while t < t_kill + 2_000_000_000 && !b.lvrm.ha_accepting() {
+        t += STEP_NS;
+        b.step(t, &mut out);
+    }
+    assert!(b.lvrm.ha_accepting(), "ha_failover bench: standby never promoted");
+    ((t - t_kill) as f64 / 1e6, max_lag as f64)
+}
+
 // ------------------------------------------------------------ scenarios
 
 /// The fixed declarative-scenario bench set (deterministic simulated
@@ -422,7 +519,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_7.json".to_string());
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
     for a in &args {
         if a != "--smoke" && a != "--out" && !out_path.eq(a) {
             eprintln!("usage: bench-report [--smoke] [--out <path>]");
@@ -491,6 +588,19 @@ fn main() {
             delta,
             "pct",
         ));
+    }
+
+    // Fixed warm length in both profiles: the promotion latency depends on
+    // the advert phase at the kill instant, so smoke and full must kill at
+    // the same simulated time to produce identical (gateable) rows.
+    for kind in QueueKind::ALL {
+        let (ms, lag) = ha_failover(kind, 200);
+        println!(
+            "ha_failover    {:>11}: promoted in {ms:6.1} ms (sim), max delta lag {lag:.0}",
+            kind.name()
+        );
+        rows.push(Row::new("ha_failover", kind.as_str(), 1, "failover_time", ms, "ms"));
+        rows.push(Row::new("ha_failover", kind.as_str(), 1, "delta_lag", lag, "deltas"));
     }
 
     scenario_rows(smoke, &mut rows);

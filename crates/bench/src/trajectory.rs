@@ -62,13 +62,20 @@ pub const KNOWN_METRICS: &[&str] = &[
     "tracked_flows",
     "tracked_pct",
     "conservation_ok",
+    "failover_time",
+    "delta_lag",
 ];
 
 /// The closed unit vocabulary.
-pub const KNOWN_UNITS: &[&str] = &["mops", "kfps", "pct", "x", "flows", "bool"];
+pub const KNOWN_UNITS: &[&str] = &["mops", "kfps", "pct", "x", "flows", "bool", "ms", "deltas"];
 
 /// Metrics allowed to be negative (deltas against a baseline).
 pub const SIGNED_METRICS: &[&str] = &["delta_vs_lamport_pct"];
+
+/// Metrics where smaller is the improvement: latency-shaped rows. The gate
+/// inverts its comparison for these — a regression is the value *rising*
+/// past tolerance.
+pub const LOWER_IS_BETTER: &[&str] = &["failover_time", "delta_lag"];
 
 /// Validate a full report: finite values, non-negative unless signed,
 /// metric/unit strings from the closed vocabularies, no duplicate keys.
@@ -254,19 +261,30 @@ impl Parser<'_> {
 /// Whether a row participates in the cross-report regression gate. Only
 /// deterministic, scale-invariant rows qualify:
 ///
-/// * simulated dispatch/overload/scenario benches (never `queue_ops` or
-///   `relay`, which measure the host machine's wall clock);
+/// * simulated dispatch/overload/scenario/failover benches (never
+///   `queue_ops` or `relay`, which measure the host machine's wall clock);
 /// * ratio/percentage/speedup metrics plus the conservation flag (never
 ///   `tracked_flows`, whose absolute value scales with the smoke-vs-full
 ///   profile).
 ///
-/// All gated metrics are higher-is-better.
+/// Gated metrics are higher-is-better except those in
+/// [`LOWER_IS_BETTER`] (simulated failover time and replication lag, which
+/// run on the manual clock and are therefore deterministic).
 pub fn is_gated(row: &Row) -> bool {
     let bench_ok = row.bench.starts_with("scenario_")
-        || matches!(row.bench.as_str(), "dispatch_uniform" | "dispatch_skew" | "overload");
+        || matches!(
+            row.bench.as_str(),
+            "dispatch_uniform" | "dispatch_skew" | "overload" | "ha_failover"
+        );
     let metric_ok = matches!(
         row.metric.as_str(),
-        "goodput" | "goodput_pct" | "speedup_vs_lamport" | "tracked_pct" | "conservation_ok"
+        "goodput"
+            | "goodput_pct"
+            | "speedup_vs_lamport"
+            | "tracked_pct"
+            | "conservation_ok"
+            | "failover_time"
+            | "delta_lag"
     );
     bench_ok && metric_ok
 }
@@ -280,7 +298,8 @@ pub struct Regression {
 }
 
 /// Diff two reports over the gated rows: a regression is a gated key
-/// present in both whose new value fell below `old * (1 - tolerance)`.
+/// present in both whose new value fell below `old * (1 - tolerance)` —
+/// or, for [`LOWER_IS_BETTER`] metrics, rose above `old * (1 + tolerance)`.
 /// `conservation_ok` is exempt from tolerance — any drop below 1 fails.
 /// Gated keys that disappeared from `new` are regressions too (a silently
 /// dropped bench must not pass the gate).
@@ -293,12 +312,14 @@ pub fn diff(old: &[Row], new: &[Row], tolerance: f64) -> Vec<Regression> {
         match new_by_key.get(&key) {
             None => out.push(Regression { key, old: o.value, new: f64::NAN }),
             Some(&n) => {
-                let floor = if o.metric == "conservation_ok" {
-                    o.value
+                let regressed = if LOWER_IS_BETTER.contains(&o.metric.as_str()) {
+                    n > o.value * (1.0 + tolerance)
+                } else if o.metric == "conservation_ok" {
+                    n < o.value
                 } else {
-                    o.value * (1.0 - tolerance)
+                    n < o.value * (1.0 - tolerance)
                 };
-                if n < floor {
+                if regressed {
                     out.push(Regression { key, old: o.value, new: n });
                 }
             }
@@ -401,6 +422,41 @@ mod tests {
         let regs = diff(&old, &bad, 0.10);
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].key.0, "dispatch_skew");
+    }
+
+    #[test]
+    fn gate_includes_failover_rows() {
+        assert!(is_gated(&row("ha_failover", "failover_time", 320.0, "ms")));
+        assert!(is_gated(&row("ha_failover", "delta_lag", 1.0, "deltas")));
+        assert!(!is_gated(&row("ha_failover", "throughput", 1.0, "kfps")));
+    }
+
+    #[test]
+    fn diff_inverts_for_lower_is_better_metrics() {
+        let old = vec![
+            row("ha_failover", "failover_time", 300.0, "ms"),
+            row("ha_failover", "delta_lag", 2.0, "deltas"),
+        ];
+        // Dropping is an improvement, never a regression...
+        let faster = vec![
+            row("ha_failover", "failover_time", 150.0, "ms"),
+            row("ha_failover", "delta_lag", 1.0, "deltas"),
+        ];
+        assert!(diff(&old, &faster, 0.10).is_empty());
+        // ...a rise inside tolerance passes...
+        let wobble = vec![
+            row("ha_failover", "failover_time", 320.0, "ms"),
+            row("ha_failover", "delta_lag", 2.0, "deltas"),
+        ];
+        assert!(diff(&old, &wobble, 0.10).is_empty());
+        // ...and a rise past tolerance fails.
+        let slower = vec![
+            row("ha_failover", "failover_time", 400.0, "ms"),
+            row("ha_failover", "delta_lag", 2.0, "deltas"),
+        ];
+        let regs = diff(&old, &slower, 0.10);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key.3, "failover_time");
     }
 
     #[test]

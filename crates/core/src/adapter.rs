@@ -24,11 +24,18 @@
 //! process of the socket adapter … transparent" to the monitor.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use lvrm_metrics::MetricsRegistry;
 use lvrm_net::Frame;
 
+use crate::fault::jittered_backoff;
 use crate::socket::{AdapterError, SendRejected, SocketAdapter, SocketKind};
+
+/// Per-process construction counter seeding each supervisor's jitter salt,
+/// so two adapters built from the *same* config still reopen at different
+/// instants (no thundering-herd reopens against a shared NIC/driver).
+static NEXT_JITTER_SALT: AtomicU64 = AtomicU64::new(1);
 
 /// Supervisor health classification of the active adapter.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -107,6 +114,8 @@ pub struct SupervisedAdapter {
     /// No reopen attempt before this instant.
     next_reopen_ns: u64,
     retry_q: VecDeque<RetryFrame>,
+    /// Keys the ±25% reopen-backoff jitter; unique per instance by default.
+    jitter_salt: u64,
     /// Latest timestamp seen by [`tick`](SupervisedAdapter::tick); the trait
     /// methods carry no clock, so deadlines are stamped from this.
     last_now_ns: u64,
@@ -144,6 +153,7 @@ impl SupervisedAdapter {
             reopen_attempts: 0,
             next_reopen_ns: 0,
             retry_q: VecDeque::new(),
+            jitter_salt: NEXT_JITTER_SALT.fetch_add(1, Ordering::Relaxed),
             last_now_ns: 0,
             cfg,
             reopens: 0,
@@ -173,12 +183,21 @@ impl SupervisedAdapter {
         self.retry_q.len()
     }
 
+    /// Pin the jitter salt (tests; production code keeps the per-instance
+    /// default so same-config supervisors stay de-phased).
+    pub fn set_jitter_salt(&mut self, salt: u64) {
+        self.jitter_salt = salt;
+    }
+
     fn backoff_ns(&self) -> u64 {
         let doublings = self.reopen_attempts.saturating_sub(1).min(20);
-        self.cfg
+        let clamped = self
+            .cfg
             .reopen_backoff_ns
             .saturating_mul(1u64 << doublings)
-            .min(self.cfg.reopen_backoff_max_ns)
+            .min(self.cfg.reopen_backoff_max_ns);
+        // Jitter after the cap so even saturated backoffs stay de-phased.
+        jittered_backoff(clamped, self.jitter_salt, self.reopen_attempts as u64)
     }
 
     fn note_ok(&mut self) {
@@ -500,22 +519,82 @@ mod tests {
             reopen_backoff_max_ns: 400,
             ..Default::default()
         };
+        let band = |delta: u64, base: u64| {
+            assert!(
+                delta >= base - base / 4 && delta <= base + base / 4,
+                "backoff {delta} outside ±25% of {base}"
+            );
+        };
         let mut sup = SupervisedAdapter::new(Box::new(Brick), cfg);
+        sup.set_jitter_salt(42);
         sup.tick(0);
         assert!(sup.poll().is_err());
         assert_eq!(sup.state(), AdapterState::Dead);
         let first = sup.next_reopen_ns;
-        assert_eq!(first, 100, "first backoff at base");
+        band(first, 100);
         sup.tick(first);
         assert_eq!(sup.state(), AdapterState::Dead);
-        assert_eq!(sup.next_reopen_ns, first + 200, "backoff doubled");
+        band(sup.next_reopen_ns - first, 200);
         sup.tick(sup.next_reopen_ns);
         sup.tick(sup.next_reopen_ns);
-        // Capped at reopen_backoff_max_ns.
+        // Capped at reopen_backoff_max_ns (jitter still applies at the cap).
         let before = sup.next_reopen_ns;
         sup.tick(before);
-        assert_eq!(sup.next_reopen_ns - before, 400, "backoff capped");
+        band(sup.next_reopen_ns - before, 400);
         assert_eq!(sup.reopens, 0, "a brick never reopens");
+        // Determinism: an identically salted supervisor reproduces the run.
+        let cfg2 = AdapterSupervisorConfig {
+            reopen_backoff_ns: 100,
+            reopen_backoff_max_ns: 400,
+            ..Default::default()
+        };
+        let mut twin = SupervisedAdapter::new(Box::new(Brick), cfg2);
+        twin.set_jitter_salt(42);
+        twin.tick(0);
+        assert!(twin.poll().is_err());
+        assert_eq!(twin.next_reopen_ns, first, "same salt, same schedule");
+    }
+
+    #[test]
+    fn same_config_adapters_do_not_share_reopen_instants() {
+        struct Brick;
+        impl SocketAdapter for Brick {
+            fn poll(&mut self) -> Result<Frame, AdapterError> {
+                Err(AdapterError::Fatal)
+            }
+            fn send(&mut self, frame: Frame) -> Result<(), SendRejected> {
+                Err(SendRejected { frame, error: AdapterError::Fatal })
+            }
+            fn kind(&self) -> SocketKind {
+                SocketKind::RawSocket
+            }
+            fn rx_count(&self) -> u64 {
+                0
+            }
+            fn tx_count(&self) -> u64 {
+                0
+            }
+        }
+        let cfg = AdapterSupervisorConfig {
+            reopen_backoff_ns: 1_000_000,
+            reopen_backoff_max_ns: 64_000_000,
+            ..Default::default()
+        };
+        // Identical configs, default (per-instance) salts: the schedules
+        // must diverge or every adapter on a dead NIC retries in lockstep.
+        let schedule = |sup: &mut SupervisedAdapter| {
+            sup.tick(0);
+            assert!(sup.poll().is_err());
+            let mut s = vec![sup.next_reopen_ns];
+            for _ in 0..5 {
+                sup.tick(sup.next_reopen_ns);
+                s.push(sup.next_reopen_ns);
+            }
+            s
+        };
+        let mut a = SupervisedAdapter::new(Box::new(Brick), cfg);
+        let mut b = SupervisedAdapter::new(Box::new(Brick), cfg);
+        assert_ne!(schedule(&mut a), schedule(&mut b), "jitter must de-phase equal configs");
     }
 
     #[test]

@@ -73,6 +73,57 @@ pub enum EstimatorKind {
     InterArrival,
 }
 
+/// Active/standby HA knobs (DESIGN.md §13, RFC 5798 semantics). Lives in
+/// [`LvrmConfig::ha`]; the transport ([`crate::ha::PeerLink`]) is supplied
+/// separately via `Lvrm::attach_ha` — config carries policy, the host
+/// carries wiring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HaConfig {
+    /// VRRP priority, 1–254 (0 is the on-wire "resigning" sentinel and 255
+    /// the RFC's address-owner value — both reserved). Higher wins.
+    pub priority: u8,
+    /// Tiebreak for equal priorities (RFC 5798 breaks ties on IP address;
+    /// the testbed has none). Must differ between the two nodes.
+    pub node_id: u64,
+    /// Master heartbeat spacing. The master-down interval is
+    /// `3 × advert + skew`, so the 150 ms default detects a dead master in
+    /// ≈ 540 ms and completes probation well under one second.
+    pub advert_interval_ns: u64,
+    /// Replication-stream spacing: the master diffs its control plane and
+    /// ships a [`crate::checkpoint::CheckpointDelta`] this often. Rides the
+    /// lazy control tick by default (1 s), tunable down for tighter RPO.
+    pub delta_interval_ns: u64,
+    /// Preemption (RFC 5798 `Preempt_Mode`): a backup that outranks the
+    /// current master lets the master-down timer elect it instead of
+    /// deferring forever.
+    pub preempt: bool,
+}
+
+impl Default for HaConfig {
+    fn default() -> Self {
+        HaConfig {
+            priority: 100,
+            node_id: 1,
+            advert_interval_ns: 150_000_000,  // 150 ms
+            delta_interval_ns: 1_000_000_000, // 1 s — the lazy control tick
+            preempt: true,
+        }
+    }
+}
+
+impl HaConfig {
+    /// RFC 5798 skew time: `(256 − priority) / 256 × advert_interval`.
+    /// Higher priority ⇒ shorter skew ⇒ faster takeover.
+    pub fn skew_ns(&self) -> u64 {
+        (256 - self.priority as u64) * self.advert_interval_ns / 256
+    }
+
+    /// RFC 5798 master-down interval: `3 × advert_interval + skew`.
+    pub fn master_down_ns(&self) -> u64 {
+        3 * self.advert_interval_ns + self.skew_ns()
+    }
+}
+
 /// Full LVRM configuration. `Default` matches the paper's defaults (§4.1):
 /// PF_RING-style transport is the host's concern; here it is the lock-free
 /// Lamport queue, dynamic fixed-threshold allocation, and frame-based JSQ.
@@ -202,6 +253,10 @@ pub struct LvrmConfig {
     /// How long a refused egress frame waits in the supervisor's retry queue
     /// before it is finally counted dropped.
     pub egress_retry_deadline_ns: u64,
+    /// Active/standby HA election + replication knobs. `None` (the default)
+    /// runs the monitor solo, exactly as before; `Some` arms the election
+    /// state machine once a peer link is attached (`Lvrm::attach_ha`).
+    pub ha: Option<HaConfig>,
 }
 
 /// A statically-invalid [`LvrmConfig`], caught by [`LvrmConfig::validate`]
@@ -224,6 +279,10 @@ pub enum ConfigError {
     AdapterThresholds { error: u32, dead: u32 },
     /// The checkpoint interval must be nonzero when a checkpoint path is set.
     CheckpointInterval,
+    /// HA priority must be 1–254 (0 and 255 are reserved by RFC 5798).
+    HaPriority { priority: u8 },
+    /// HA advert and delta intervals must be nonzero.
+    HaIntervals { advert_ns: u64, delta_ns: u64 },
 }
 
 impl fmt::Display for ConfigError {
@@ -250,6 +309,15 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::CheckpointInterval => {
                 write!(f, "checkpoint interval must be nonzero when a checkpoint path is set")
+            }
+            ConfigError::HaPriority { priority } => {
+                write!(f, "ha priority must be 1-254 (RFC 5798 reserves 0 and 255), got {priority}")
+            }
+            ConfigError::HaIntervals { advert_ns, delta_ns } => {
+                write!(
+                    f,
+                    "ha advert and delta intervals must be nonzero, got advert={advert_ns} delta={delta_ns}"
+                )
             }
         }
     }
@@ -301,6 +369,7 @@ impl Default for LvrmConfig {
             adapter_reopen_backoff_ns: 100_000_000, // 100 ms
             adapter_reopen_backoff_max_ns: 10_000_000_000, // 10 s
             egress_retry_deadline_ns: 50_000_000,   // 50 ms
+            ha: None,
         }
     }
 }
@@ -340,6 +409,17 @@ impl LvrmConfig {
         }
         if self.checkpoint_path.is_some() && self.checkpoint_interval_ns == 0 {
             return Err(ConfigError::CheckpointInterval);
+        }
+        if let Some(ha) = &self.ha {
+            if ha.priority == 0 || ha.priority == 255 {
+                return Err(ConfigError::HaPriority { priority: ha.priority });
+            }
+            if ha.advert_interval_ns == 0 || ha.delta_interval_ns == 0 {
+                return Err(ConfigError::HaIntervals {
+                    advert_ns: ha.advert_interval_ns,
+                    delta_ns: ha.delta_interval_ns,
+                });
+            }
         }
         Ok(())
     }
@@ -503,6 +583,18 @@ mod tests {
         assert_eq!(c.validate(), Err(ConfigError::CheckpointInterval));
         // Interval 0 is fine while checkpointing is off.
         let c = LvrmConfig { checkpoint_interval_ns: 0, ..base() };
+        assert_eq!(c.validate(), Ok(()));
+
+        for priority in [0u8, 255] {
+            let c = LvrmConfig { ha: Some(HaConfig { priority, ..Default::default() }), ..base() };
+            assert_eq!(c.validate(), Err(ConfigError::HaPriority { priority }));
+        }
+        let c = LvrmConfig {
+            ha: Some(HaConfig { advert_interval_ns: 0, ..Default::default() }),
+            ..base()
+        };
+        assert!(matches!(c.validate(), Err(ConfigError::HaIntervals { advert_ns: 0, .. })));
+        let c = LvrmConfig { ha: Some(HaConfig::default()), ..base() };
         assert_eq!(c.validate(), Ok(()));
     }
 

@@ -30,6 +30,7 @@ use lvrm_router::VirtualRouter;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::ha::PeerLink;
 use crate::host::{RecordingHost, VriHost, VriSpec};
 use crate::socket::{AdapterError, SendRejected, SocketAdapter, SocketKind};
 use crate::{VrId, VriId};
@@ -524,6 +525,173 @@ impl<S: SocketAdapter> SocketAdapter for FaultySocket<S> {
     }
 }
 
+/// Avalanche mixer (splitmix64 finalizer) — the seed-to-jitter hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministically jitter `base_ns` into `[0.75·base, 1.25·base]`, keyed
+/// by an instance `salt` and a per-attempt `nonce`. Exponential backoff
+/// without jitter synchronizes every peer that failed together (the
+/// thundering herd); ±25% keyed per instance de-phases their retries while
+/// staying exactly reproducible for tests.
+pub fn jittered_backoff(base_ns: u64, salt: u64, nonce: u64) -> u64 {
+    let span = base_ns / 2;
+    let lo = base_ns - base_ns / 4;
+    if span == 0 {
+        return base_ns;
+    }
+    lo + splitmix64(salt ^ nonce.rotate_left(32)) % (span + 1)
+}
+
+/// One kind of injected *peer-link* failure, active over a window of
+/// simulated time (the HA fault track: advert loss, delivery delay,
+/// partition — the raw material of split-brain chaos tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFaultKind {
+    /// Drop everything sent in the window (a cut cable). Wrap both ends'
+    /// links for a symmetric partition, one end for an asymmetric one.
+    Partition,
+    /// Drop each message sent in the window with probability
+    /// `drop_per_mille / 1000` (seeded, reproducible).
+    Loss { drop_per_mille: u16 },
+    /// Deliver messages sent in the window `delay_ns` late.
+    Delay { delay_ns: u64 },
+}
+
+/// A [`LinkFaultKind`] active over `[from_ns, until_ns)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFaultWindow {
+    pub from_ns: u64,
+    pub until_ns: u64,
+    pub kind: LinkFaultKind,
+}
+
+impl LinkFaultWindow {
+    pub fn partition(from_ns: u64, until_ns: u64) -> LinkFaultWindow {
+        LinkFaultWindow { from_ns, until_ns, kind: LinkFaultKind::Partition }
+    }
+    pub fn loss(from_ns: u64, until_ns: u64, drop_per_mille: u16) -> LinkFaultWindow {
+        LinkFaultWindow { from_ns, until_ns, kind: LinkFaultKind::Loss { drop_per_mille } }
+    }
+    pub fn delay(from_ns: u64, until_ns: u64, delay_ns: u64) -> LinkFaultWindow {
+        LinkFaultWindow { from_ns, until_ns, kind: LinkFaultKind::Delay { delay_ns } }
+    }
+
+    fn active(&self, now_ns: u64) -> bool {
+        now_ns >= self.from_ns && now_ns < self.until_ns
+    }
+}
+
+/// Generate a seeded storm of link fault windows over `(0, horizon_ns]`,
+/// each at most `max_window_ns` long. The cap is the split-brain guard's
+/// operating envelope: outages shorter than the master-down interval while
+/// both monitors live never elect a second accepting master (DESIGN.md
+/// §13) — kill the master separately to exercise real failover.
+pub fn randomized_link_storm(
+    seed: u64,
+    horizon_ns: u64,
+    count: usize,
+    max_window_ns: u64,
+) -> Vec<LinkFaultWindow> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x11f0_57a9);
+    let mut windows = Vec::with_capacity(count);
+    for _ in 0..count {
+        let from_ns = 1 + rng.gen_range(0..horizon_ns.max(1));
+        let until_ns = from_ns + 1 + rng.gen_range(0..max_window_ns.max(1));
+        windows.push(match rng.gen_range(0..3u8) {
+            0 => LinkFaultWindow::partition(from_ns, until_ns),
+            1 => LinkFaultWindow::loss(from_ns, until_ns, rng.gen_range(100..900)),
+            _ => LinkFaultWindow::delay(from_ns, until_ns, rng.gen_range(0..max_window_ns.max(1))),
+        });
+    }
+    windows
+}
+
+/// A [`PeerLink`] wrapper firing [`LinkFaultWindow`]s as simulated time
+/// advances: sends inside a partition window vanish, loss windows drop
+/// probabilistically (seeded), delay windows park messages until their
+/// release instant. Deterministic: same windows + seed + call sequence ⇒
+/// same delivered stream.
+pub struct FaultyLink<L> {
+    pub inner: L,
+    windows: Vec<LinkFaultWindow>,
+    rng: SmallRng,
+    /// Parked messages awaiting their release instant, in send order.
+    delayed: Vec<(u64, Vec<u8>)>,
+    /// Messages swallowed by partition/loss windows.
+    pub dropped: u64,
+    /// Messages that took a delay window.
+    pub delayed_count: u64,
+}
+
+impl<L: PeerLink> FaultyLink<L> {
+    pub fn new(inner: L, windows: Vec<LinkFaultWindow>, seed: u64) -> FaultyLink<L> {
+        FaultyLink {
+            inner,
+            windows,
+            rng: SmallRng::seed_from_u64(seed ^ 0xfa17_71a6),
+            delayed: Vec::new(),
+            dropped: 0,
+            delayed_count: 0,
+        }
+    }
+
+    /// Release parked messages whose delay has elapsed, preserving order.
+    fn pump(&mut self, now_ns: u64) {
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= now_ns {
+                let (_, bytes) = self.delayed.remove(i);
+                self.inner.send(now_ns, &bytes);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl<L: PeerLink> PeerLink for FaultyLink<L> {
+    fn send(&mut self, now_ns: u64, bytes: &[u8]) {
+        self.pump(now_ns);
+        let mut delay: Option<u64> = None;
+        for w in &self.windows {
+            if !w.active(now_ns) {
+                continue;
+            }
+            match w.kind {
+                LinkFaultKind::Partition => {
+                    self.dropped += 1;
+                    return;
+                }
+                LinkFaultKind::Loss { drop_per_mille } => {
+                    if self.rng.gen_range(0..1000u16) < drop_per_mille {
+                        self.dropped += 1;
+                        return;
+                    }
+                }
+                LinkFaultKind::Delay { delay_ns } => {
+                    delay = Some(delay.map_or(delay_ns, |d: u64| d.max(delay_ns)));
+                }
+            }
+        }
+        if let Some(d) = delay {
+            self.delayed_count += 1;
+            self.delayed.push((now_ns + d, bytes.to_vec()));
+        } else {
+            self.inner.send(now_ns, bytes);
+        }
+    }
+
+    fn recv(&mut self, now_ns: u64, out: &mut Vec<Vec<u8>>) {
+        self.pump(now_ns);
+        self.inner.recv(now_ns, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -654,5 +822,71 @@ mod tests {
         assert!(matches!(sock.poll(), Err(AdapterError::Transient(_))));
         assert!(sock.poll().is_ok());
         assert_eq!(sock.rx_errors, 2);
+    }
+
+    #[test]
+    fn faulty_link_partition_drops_and_heals() {
+        let (a, b) = crate::ha::ChannelLink::pair();
+        let mut tx = FaultyLink::new(a, vec![LinkFaultWindow::partition(100, 200)], 7);
+        let mut rx = b;
+        let mut out = Vec::new();
+        tx.send(50, b"before");
+        tx.send(150, b"inside");
+        tx.send(250, b"after");
+        rx.recv(250, &mut out);
+        let got: Vec<&[u8]> = out.iter().map(|v| v.as_slice()).collect();
+        assert_eq!(got, vec![b"before".as_slice(), b"after".as_slice()]);
+        assert_eq!(tx.dropped, 1);
+    }
+
+    #[test]
+    fn faulty_link_delay_parks_until_release() {
+        let (a, b) = crate::ha::ChannelLink::pair();
+        let mut tx = FaultyLink::new(a, vec![LinkFaultWindow::delay(0, 500, 500)], 7);
+        let mut rx = b;
+        let mut out = Vec::new();
+        tx.send(100, b"slow");
+        rx.recv(200, &mut out);
+        assert!(out.is_empty(), "parked until 600");
+        tx.send(700, b"later"); // pump on the sender side releases the parked msg
+        rx.recv(700, &mut out);
+        let got: Vec<&[u8]> = out.iter().map(|v| v.as_slice()).collect();
+        assert_eq!(got, vec![b"slow".as_slice(), b"later".as_slice()]);
+        assert_eq!(tx.delayed_count, 1);
+    }
+
+    #[test]
+    fn faulty_link_loss_is_seeded_and_reproducible() {
+        let run = |seed: u64| {
+            let (a, b) = crate::ha::ChannelLink::pair();
+            let mut tx = FaultyLink::new(a, vec![LinkFaultWindow::loss(0, 10_000, 500)], seed);
+            let mut rx = b;
+            for i in 0..100u64 {
+                tx.send(i * 10, &i.to_le_bytes());
+            }
+            let mut out = Vec::new();
+            rx.recv(10_000, &mut out);
+            (tx.dropped, out)
+        };
+        let (d1, o1) = run(3);
+        let (d2, o2) = run(3);
+        let (d3, o3) = run(4);
+        assert_eq!((d1, &o1), (d2, &o2), "same seed, same stream");
+        assert!(d1 > 20 && d1 < 80, "~50% loss, got {d1}");
+        assert!(o1 != o3 || d1 != d3, "different seed should diverge");
+    }
+
+    #[test]
+    fn randomized_link_storms_are_reproducible_and_bounded() {
+        let a = randomized_link_storm(9, 10_000_000, 16, 250_000);
+        let b = randomized_link_storm(9, 10_000_000, 16, 250_000);
+        let c = randomized_link_storm(10, 10_000_000, 16, 250_000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16);
+        for w in &a {
+            assert!(w.until_ns > w.from_ns);
+            assert!(w.until_ns - w.from_ns <= 250_001, "window exceeds cap: {w:?}");
+        }
     }
 }

@@ -37,6 +37,7 @@ pub mod config;
 pub mod estimate;
 pub mod fault;
 pub mod flowtable;
+pub mod ha;
 pub mod host;
 pub mod monitor;
 pub mod socket;
@@ -48,14 +49,17 @@ pub use alloc::{
     AllocDecision, CoreAllocator, DynamicFixedThreshold, DynamicServiceRate, FixedAllocator,
 };
 pub use balance::{BalanceCtx, Jsq, LoadBalancer, RandomBalancer, RoundRobin};
-pub use checkpoint::{Checkpoint, CheckpointError, FlowRecord, VrCheckpoint};
+pub use checkpoint::{
+    Checkpoint, CheckpointDelta, CheckpointError, FlowRecord, VrCheckpoint, VrDelta,
+};
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use config::{AllocatorKind, BalancerKind, EstimatorKind, LvrmConfig};
+pub use config::{AllocatorKind, BalancerKind, EstimatorKind, HaConfig, LvrmConfig};
 pub use fault::{
-    AdapterFaultEvent, AdapterFaultKind, FaultEvent, FaultInjectable, FaultKind, FaultPlan,
-    FaultyHost, FaultySocket,
+    randomized_link_storm, AdapterFaultEvent, AdapterFaultKind, FaultEvent, FaultInjectable,
+    FaultKind, FaultPlan, FaultyHost, FaultyLink, FaultySocket, LinkFaultKind, LinkFaultWindow,
 };
 pub use flowtable::{FlowTable, FlowTableStats};
+pub use ha::{ChannelLink, HaMsg, HaNode, PeerLink, Role};
 pub use host::{RecordingHost, VriHost, VriSpec};
 pub use monitor::{Lvrm, LvrmStats};
 pub use socket::{AdapterError, MemTraceAdapter, SendRejected, SocketAdapter, SocketKind};

@@ -34,6 +34,7 @@ use crate::checkpoint::{Checkpoint, CheckpointError, FlowRecord, VrCheckpoint};
 use crate::clock::Clock;
 use crate::config::LvrmConfig;
 use crate::estimate::PressureTracker;
+use crate::ha::{HaNode, PeerLink, Role};
 use crate::host::{VriHost, VriSpec};
 use crate::topology::CoreMap;
 use crate::vri::{decode_heartbeat, decode_service_rate, VriAdapter, VriHealth};
@@ -541,6 +542,10 @@ pub struct Lvrm<C: Clock> {
     epoch: u32,
     /// When the last periodic checkpoint was written (monitor clock).
     last_checkpoint_ns: Option<u64>,
+    /// Active/standby HA node (election + replication), when attached.
+    /// Boxed: it carries a `dyn PeerLink` plus stream state, and most
+    /// monitors run solo.
+    ha: Option<Box<HaNode>>,
     // Scratch buffers reused across calls (no hot-path allocation).
     scratch_loads: Vec<f64>,
     scratch_valid: Vec<bool>,
@@ -591,6 +596,7 @@ impl<C: Clock> Lvrm<C> {
             shutting_down: false,
             epoch: 0,
             last_checkpoint_ns: None,
+            ha: None,
             scratch_loads: Vec::new(),
             scratch_valid: Vec::new(),
             scratch_vris: Vec::new(),
@@ -1118,6 +1124,14 @@ impl<C: Clock> Lvrm<C> {
     /// to one run per allocation period. Exposed for hosts that want to
     /// drive it on a timer even without traffic.
     pub fn maybe_reallocate(&mut self, now_ns: u64, host: &mut dyn VriHost) {
+        // Fast HA sub-tick: runs on *every* invocation (the host loop), ahead
+        // of the 1 s allocation gate — advert cadence, master-down detection,
+        // and promotion must all be sub-second. Take/put so the node can
+        // borrow the monitor mutably for checkpoint build/apply.
+        if let Some(mut ha) = self.ha.take() {
+            ha.tick(now_ns, self, host);
+            self.ha = Some(ha);
+        }
         if self.shutting_down {
             return; // the only remaining allocation activity is the drain
         }
@@ -1330,15 +1344,18 @@ impl<C: Clock> Lvrm<C> {
         vr.last_crash_ns = now_ns;
         vr.respawn_deficit += 1;
         // First crash respawns immediately; from the second on, exponential
-        // backoff doubling per crash, bounded.
+        // backoff doubling per crash, bounded, with ±25% jitter keyed by VR
+        // id so VRs that crashed together don't respawn in lockstep.
         let backoff = if vr.crash_streak <= 1 {
             0
         } else {
             let doublings = (vr.crash_streak - 2).min(20);
-            self.config
+            let clamped = self
+                .config
                 .respawn_backoff_ns
                 .saturating_mul(1u64 << doublings)
-                .min(self.config.respawn_backoff_max_ns)
+                .min(self.config.respawn_backoff_max_ns);
+            crate::fault::jittered_backoff(clamped, vr.id.0 as u64, vr.crash_streak as u64)
         };
         vr.backoff_until_ns = now_ns.saturating_add(backoff);
         self.supervision_log.push(SupervisionEvent {
@@ -1938,6 +1955,41 @@ impl<C: Clock> Lvrm<C> {
     /// [`Lvrm::restore_from`].
     pub fn epoch(&self) -> u32 {
         self.epoch
+    }
+
+    /// Arm the active/standby HA state machine over `link`, using the
+    /// election knobs in `config.ha`. Returns `false` (and attaches
+    /// nothing) when the config carries no HA section. The node starts as
+    /// `Backup`; with no peer on the link it promotes itself after one
+    /// master-down interval.
+    pub fn attach_ha(&mut self, link: Box<dyn PeerLink>) -> bool {
+        let Some(ha_cfg) = self.config.ha else {
+            return false;
+        };
+        self.ha = Some(Box::new(HaNode::new(ha_cfg, link, &self.registry)));
+        true
+    }
+
+    /// The attached HA node, if any.
+    pub fn ha(&self) -> Option<&HaNode> {
+        self.ha.as_deref()
+    }
+
+    /// Mutable access to the attached HA node (manual failover, tests).
+    pub fn ha_mut(&mut self) -> Option<&mut HaNode> {
+        self.ha.as_deref_mut()
+    }
+
+    /// Whether this monitor currently owns the dataplane. Solo monitors
+    /// (no HA attached) always accept; paired monitors accept only as the
+    /// post-probation master. Hosts gate ingress polling on this.
+    pub fn ha_accepting(&self) -> bool {
+        self.ha.as_ref().is_none_or(|h| h.accepting())
+    }
+
+    /// Current HA role, when HA is attached.
+    pub fn ha_role(&self) -> Option<Role> {
+        self.ha.as_ref().map(|h| h.role())
     }
 
     /// Periodic checkpoint, gated on `config.checkpoint_interval_ns`. Runs

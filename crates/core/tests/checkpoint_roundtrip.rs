@@ -9,8 +9,8 @@
 use std::net::Ipv4Addr;
 
 use lvrm_core::{
-    AffinityMode, Checkpoint, CoreId, CoreMap, CoreTopology, FlowRecord, Lvrm, LvrmConfig,
-    LvrmStats, ManualClock, RecordingHost, VrCheckpoint,
+    AffinityMode, Checkpoint, CheckpointDelta, CoreId, CoreMap, CoreTopology, FlowRecord, Lvrm,
+    LvrmConfig, LvrmStats, ManualClock, RecordingHost, VrCheckpoint,
 };
 use lvrm_net::flow::Protocol;
 use lvrm_net::{FlowKey, FrameBuilder};
@@ -105,8 +105,174 @@ fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
         })
 }
 
+/// The wire's canonical flow ordering (mirrors the private
+/// `flow_key_bytes` in `checkpoint.rs`).
+fn key_bytes(k: &lvrm_net::FlowKey) -> [u8; 13] {
+    let mut b = [0u8; 13];
+    b[0..4].copy_from_slice(&k.src.octets());
+    b[4..8].copy_from_slice(&k.dst.octets());
+    b[8..10].copy_from_slice(&k.src_port.to_be_bytes());
+    b[10..12].copy_from_slice(&k.dst_port.to_be_bytes());
+    b[12] = k.proto.to_ip_proto();
+    b
+}
+
+/// A checkpoint whose VR names and per-VR flow keys are unique — the
+/// shape the monitor actually produces, and the precondition for the
+/// delta diff/fold identity (set semantics need set-shaped input).
+fn arb_clean_checkpoint() -> impl Strategy<Value = Checkpoint> {
+    arb_checkpoint().prop_map(|mut ck| {
+        for (i, vr) in ck.vrs.iter_mut().enumerate() {
+            vr.name = format!("vr{i}");
+            vr.flows.sort_by_key(|f| key_bytes(&f.key));
+            vr.flows.dedup_by_key(|f| key_bytes(&f.key));
+        }
+        ck
+    })
+}
+
+/// Deterministically mutate a checkpoint the way a live monitor would
+/// between two stream instants: counters move forward, flows appear,
+/// disappear, and re-pin.
+fn mutate(ck: &Checkpoint, seed: u64) -> Checkpoint {
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut out = ck.clone();
+    out.ts_ns = out.ts_ns.wrapping_add(next() % 1_000_000_000);
+    out.stats.frames_in = out.stats.frames_in.wrapping_add(next() % 10_000);
+    out.stats.frames_out = out.stats.frames_out.wrapping_add(next() % 10_000);
+    out.stats.crash_lost = out.stats.crash_lost.wrapping_add(next() % 100);
+    out.next_vri = out.next_vri.wrapping_add((next() % 4) as u32);
+    for vr in &mut out.vrs {
+        vr.frames_in = vr.frames_in.wrapping_add(next() % 5_000);
+        vr.admitted = vr.admitted.wrapping_add(next() % 5_000);
+        if !vr.flows.is_empty() && next() % 2 == 0 {
+            let victim = (next() as usize) % vr.flows.len();
+            vr.flows.remove(victim);
+        }
+        if !vr.flows.is_empty() && next() % 2 == 0 {
+            let repin = (next() as usize) % vr.flows.len();
+            vr.flows[repin].slot = (next() % 8) as u32;
+            vr.flows[repin].last_seen_ns = next();
+        }
+        let fresh = FlowRecord {
+            key: lvrm_net::FlowKey {
+                src: Ipv4Addr::from((next() % u32::MAX as u64) as u32),
+                dst: Ipv4Addr::from((next() % u32::MAX as u64) as u32),
+                src_port: (next() % 65_536) as u16,
+                dst_port: (next() % 65_536) as u16,
+                proto: lvrm_net::flow::Protocol::Udp,
+            },
+            slot: (next() % 8) as u32,
+            last_seen_ns: next(),
+        };
+        if !vr.flows.iter().any(|f| key_bytes(&f.key) == key_bytes(&fresh.key)) {
+            vr.flows.push(fresh);
+        }
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Delta encode → decode is the identity for every diff the stream
+    /// can produce.
+    #[test]
+    fn delta_encode_decode_is_identity(
+        prev in arb_clean_checkpoint(),
+        seed in any::<u64>(),
+        seq in any::<u64>(),
+    ) {
+        let next = mutate(&prev, seed);
+        let delta = CheckpointDelta::diff(&prev, &next, seq);
+        let bytes = delta.encode();
+        let back = CheckpointDelta::decode(&bytes).expect("well-formed delta must decode");
+        prop_assert_eq!(back, delta);
+    }
+
+    /// Any single-byte corruption of a delta is rejected — the replication
+    /// stream can never fold a flipped bit into the shadow.
+    #[test]
+    fn delta_single_byte_corruption_is_always_rejected(
+        prev in arb_clean_checkpoint(),
+        seed in any::<u64>(),
+        pos in any::<u32>(),
+        mask in 1u8..=255,
+    ) {
+        let next = mutate(&prev, seed);
+        let mut bytes = CheckpointDelta::diff(&prev, &next, 1).encode();
+        let idx = pos as usize % bytes.len();
+        bytes[idx] ^= mask;
+        prop_assert!(
+            CheckpointDelta::decode(&bytes).is_err(),
+            "flipping delta byte {} with mask {:#04x} was accepted", idx, mask
+        );
+    }
+
+    /// Every delta truncation point errors — never panics, never yields a
+    /// partial delta.
+    #[test]
+    fn delta_truncation_is_always_rejected(
+        prev in arb_clean_checkpoint(),
+        seed in any::<u64>(),
+        cut in any::<u32>(),
+    ) {
+        let next = mutate(&prev, seed);
+        let bytes = CheckpointDelta::diff(&prev, &next, 1).encode();
+        let len = cut as usize % bytes.len();
+        prop_assert!(
+            CheckpointDelta::decode(&bytes[..len]).is_err(),
+            "delta truncation to {} bytes was accepted", len
+        );
+    }
+
+    /// The delta decoder is total over arbitrary byte soup.
+    #[test]
+    fn delta_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = CheckpointDelta::decode(&bytes);
+    }
+
+    /// The two wire formats cannot be confused for one another: a delta
+    /// never decodes as a checkpoint and vice versa (distinct magics).
+    #[test]
+    fn delta_and_checkpoint_magics_are_disjoint(
+        ck in arb_clean_checkpoint(),
+        seed in any::<u64>(),
+    ) {
+        let next = mutate(&ck, seed);
+        let delta_bytes = CheckpointDelta::diff(&ck, &next, 1).encode();
+        prop_assert!(Checkpoint::decode(&delta_bytes).is_err());
+        prop_assert!(CheckpointDelta::decode(&ck.encode()).is_err());
+    }
+
+    /// The differential identity the whole replication stream rests on:
+    /// folding the chain of diffs over any number of generations
+    /// reconstructs the final checkpoint exactly (canonical form).
+    #[test]
+    fn differential_fold_chain_reconstructs_exactly(
+        base in arb_clean_checkpoint(),
+        seeds in prop::collection::vec(any::<u64>(), 1..6),
+    ) {
+        let mut shadow = base.canonical();
+        let mut current = base;
+        for (i, &seed) in seeds.iter().enumerate() {
+            let next = mutate(&current, seed);
+            let delta = CheckpointDelta::diff(&current, &next, i as u64 + 1);
+            shadow.fold(&delta);
+            prop_assert_eq!(
+                &shadow,
+                &next.canonical(),
+                "fold diverged at generation {}", i
+            );
+            current = next;
+        }
+    }
 
     /// Encode → decode is the identity for every well-formed checkpoint.
     #[test]

@@ -1,0 +1,458 @@
+//! Active/standby HA acceptance suite (DESIGN.md §13): pair two monitors
+//! over an in-process peer link, elect the higher-priority one, stream
+//! checkpoint deltas, then kill the master — the standby must promote from
+//! its shadow in under a second with flow affinity and all four
+//! conservation identities exact. A seeded advert-loss/partition storm must
+//! never yield two monitors accepting frames at once.
+//!
+//! Set `LVRM_CHAOS_QUEUE` to one of `lamport` / `fastforward` / `mutex` /
+//! `vlink` to restrict the sweep (the CI matrix does this); unset runs all.
+
+use std::net::Ipv4Addr;
+
+use lvrm_core::{
+    AffinityMode, AllocatorKind, ChannelLink, CoreId, CoreMap, CoreTopology, FaultyLink, HaConfig,
+    LinkFaultWindow, Lvrm, LvrmConfig, ManualClock, PeerLink, RecordingHost, Role, VrId,
+};
+use lvrm_ipc::QueueKind;
+use lvrm_net::{Frame, FrameBuilder};
+use lvrm_router::VirtualRouter;
+
+/// Host-loop cadence: well under the advert interval, so election timers
+/// are observed with ~7% granularity.
+const STEP_NS: u64 = 10_000_000; // 10 ms
+const ADVERT_NS: u64 = 150_000_000; // 150 ms (the HaConfig default)
+const DELTA_NS: u64 = 200_000_000; // stream every 200 ms in tests
+const FLOWS: usize = 8;
+
+fn queue_kinds() -> Vec<QueueKind> {
+    match std::env::var("LVRM_CHAOS_QUEUE") {
+        Ok(want) => vec![want.parse::<QueueKind>().expect("LVRM_CHAOS_QUEUE")],
+        Err(_) => QueueKind::ALL.to_vec(),
+    }
+}
+
+fn ha_config(kind: QueueKind, priority: u8, node_id: u64) -> LvrmConfig {
+    LvrmConfig {
+        queue_kind: kind,
+        allocator: AllocatorKind::Fixed { cores: 2 },
+        supervision: true,
+        flow_based: true,
+        ha: Some(HaConfig {
+            priority,
+            node_id,
+            advert_interval_ns: ADVERT_NS,
+            delta_interval_ns: DELTA_NS,
+            preempt: true,
+        }),
+        ..Default::default()
+    }
+}
+
+fn routed_vr(name: &str) -> Box<dyn VirtualRouter> {
+    let routes = lvrm_router::parse_map_file("0.0.0.0/0 1\n").unwrap();
+    Box::new(lvrm_router::FastVr::new(name, routes))
+}
+
+fn subnet() -> [(Ipv4Addr, u8); 1] {
+    [(Ipv4Addr::new(10, 0, 1, 0), 24)]
+}
+
+fn flow_frame(i: usize) -> Frame {
+    FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 20 + i as u8), Ipv4Addr::new(10, 0, 2, 1)).udp(
+        4000 + i as u16,
+        80,
+        &[],
+    )
+}
+
+/// One monitor of the pair, with its own clock/host, HA-attached.
+struct Node {
+    clock: ManualClock,
+    lvrm: Lvrm<ManualClock>,
+    host: RecordingHost,
+    vr: VrId,
+}
+
+impl Node {
+    fn new(kind: QueueKind, priority: u8, node_id: u64, link: Box<dyn PeerLink>) -> Node {
+        let clock = ManualClock::new();
+        let cores =
+            CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
+        let mut lvrm = Lvrm::new(ha_config(kind, priority, node_id), cores, clock.clone());
+        let mut host = RecordingHost::with_heartbeats();
+        let vr = lvrm.add_vr("deptA", &subnet(), routed_vr("a"), &mut host);
+        assert!(lvrm.attach_ha(link), "config carries ha, attach must succeed");
+        Node { clock, lvrm, host, vr }
+    }
+
+    /// One host-loop iteration at absolute time `t`: pump, control, HA
+    /// sub-tick (inside `maybe_reallocate`), egress.
+    fn step(&mut self, t: u64, out: &mut Vec<Frame>) {
+        self.clock.set_ns(t);
+        self.host.pump();
+        self.lvrm.process_control();
+        self.lvrm.maybe_reallocate(t, &mut self.host);
+        self.lvrm.poll_egress(out);
+    }
+
+    fn accepting(&self) -> bool {
+        self.lvrm.ha_accepting()
+    }
+
+    fn role(&self) -> Role {
+        self.lvrm.ha_role().expect("ha attached")
+    }
+
+    fn drain(&mut self, out: &mut Vec<Frame>) {
+        loop {
+            let processed = self.host.pump();
+            self.lvrm.process_control();
+            let egress = self.lvrm.poll_egress(out);
+            if processed == 0 && egress == 0 {
+                break;
+            }
+        }
+    }
+
+    fn probe_slot(&mut self, i: usize, out: &mut Vec<Frame>) -> usize {
+        let before = self.lvrm.vri_dispatch_counts(self.vr);
+        self.lvrm.ingress(flow_frame(i), &mut self.host);
+        self.drain(out);
+        let after = self.lvrm.vri_dispatch_counts(self.vr);
+        let hits: Vec<usize> = after
+            .iter()
+            .zip(&before)
+            .enumerate()
+            .filter(|(_, (a, b))| *a > *b)
+            .map(|(slot, _)| slot)
+            .collect();
+        assert_eq!(hits.len(), 1, "exactly one slot must serve flow {i}, got {hits:?}");
+        hits[0]
+    }
+}
+
+/// All four conservation identities, from the public stats/snapshot
+/// surface. Call on a drained monitor.
+fn assert_identities(lvrm: &Lvrm<ManualClock>, ctx: &str) {
+    let s = lvrm.stats();
+    assert_eq!(
+        s.frames_in,
+        s.frames_out
+            + s.unclassified
+            + s.dispatch_drops
+            + s.no_vri_drops
+            + s.shrink_lost
+            + s.crash_lost
+            + s.quarantined_drops
+            + s.shed_early,
+        "(1) global conservation violated {ctx}: {s:?}"
+    );
+    let snap = lvrm.snapshot();
+    for vr in &snap {
+        assert_eq!(
+            vr.frames_in,
+            vr.admitted + vr.shed,
+            "(2) admission identity violated for {} {ctx}",
+            vr.name
+        );
+    }
+    let live_dispatched: u64 = snap.iter().flat_map(|v| &v.vris).map(|v| v.dispatched).sum();
+    let live_returned: u64 = snap.iter().flat_map(|v| &v.vris).map(|v| v.returned).sum();
+    let queued: u64 = snap.iter().flat_map(|v| &v.vris).map(|v| v.queue_len as u64).sum();
+    assert_eq!(
+        live_dispatched + s.retired_dispatched,
+        live_returned + s.retired_returned + queued + s.reclaimed + s.queue_lost,
+        "(3) dispatch identity violated {ctx}: {s:?}"
+    );
+    let live_drops: u64 = snap.iter().flat_map(|v| &v.vris).map(|v| v.dispatch_drops).sum();
+    assert_eq!(
+        s.dispatch_drops,
+        live_drops + s.retired_dispatch_drops,
+        "(4) drop identity violated {ctx}: {s:?}"
+    );
+}
+
+/// Step both nodes forward to `t_end`, feeding `flows_per_step` frames to
+/// whichever node is accepting, asserting the single-accepting-master
+/// invariant at every step. Returns the final time.
+fn run_pair(
+    a: &mut Node,
+    b: &mut Node,
+    t_start: u64,
+    t_end: u64,
+    flows_per_step: usize,
+    out: &mut Vec<Frame>,
+    ctx: &str,
+) -> u64 {
+    let mut t = t_start;
+    while t < t_end {
+        if a.accepting() {
+            for i in 0..flows_per_step {
+                a.lvrm.ingress(flow_frame(i % FLOWS), &mut a.host);
+            }
+        } else if b.accepting() {
+            for i in 0..flows_per_step {
+                b.lvrm.ingress(flow_frame(i % FLOWS), &mut b.host);
+            }
+        }
+        a.step(t, out);
+        b.step(t, out);
+        assert!(!(a.accepting() && b.accepting()), "{ctx}: dual accepting masters at t={t}");
+        t += STEP_NS;
+    }
+    t
+}
+
+/// Step the pair until the higher-priority node owns the dataplane.
+fn elect(a: &mut Node, b: &mut Node, out: &mut Vec<Frame>, ctx: &str) -> u64 {
+    let mut t = 0;
+    for _ in 0..400 {
+        a.step(t, out);
+        b.step(t, out);
+        assert!(!(a.accepting() && b.accepting()), "{ctx}: dual masters during election");
+        t += STEP_NS;
+        if a.accepting() {
+            assert_eq!(a.role(), Role::Master, "{ctx}");
+            assert_eq!(b.role(), Role::Backup, "{ctx}");
+            return t;
+        }
+    }
+    panic!("{ctx}: no master elected within {} ns", 400 * STEP_NS);
+}
+
+/// The headline acceptance: kill the active monitor; the standby must be
+/// accepting frames in < 1 s (master-down = 3 adverts + skew, plus one
+/// probation advert), with the master's books — all four identities and
+/// per-flow affinity — intact on the survivor.
+#[test]
+fn killed_master_promotes_standby_subsecond_with_exact_books() {
+    for kind in queue_kinds() {
+        let ctx = format!("{kind:?}");
+        let (la, lb) = ChannelLink::pair();
+        let mut a = Node::new(kind, 200, 1, Box::new(la));
+        let mut b = Node::new(kind, 100, 2, Box::new(lb));
+        let mut out = Vec::new();
+
+        let mut t = elect(&mut a, &mut b, &mut out, &ctx);
+
+        // Warm the master: traffic over the flow population, spread across
+        // both slots, then drain so the books are quiescent.
+        t = run_pair(&mut a, &mut b, t, t + 60 * STEP_NS, FLOWS, &mut out, &ctx);
+        a.drain(&mut out);
+        let slots_pre: Vec<usize> = (0..FLOWS).map(|i| a.probe_slot(i, &mut out)).collect();
+        assert!(
+            slots_pre.iter().any(|&s| s != slots_pre[0]),
+            "{ctx}: warmup must spread flows over both slots, got {slots_pre:?}"
+        );
+
+        // Replication exactness: at a known stream instant the standby's
+        // shadow must equal the canonical form of exactly what the master
+        // would checkpoint — the delta stream loses nothing.
+        t += DELTA_NS + STEP_NS; // guarantee the stream interval elapsed
+        a.clock.set_ns(t);
+        a.host.pump();
+        a.lvrm.process_control();
+        let expected = a.lvrm.build_checkpoint(t).canonical();
+        a.lvrm.maybe_reallocate(t, &mut a.host); // streams at exactly t
+        a.lvrm.poll_egress(&mut out);
+        b.step(t, &mut out); // folds the delta (or snapshot), acks
+        let shadow = b.lvrm.ha().expect("attached").shadow().expect("{ctx}: shadow baselined");
+        assert_eq!(shadow, &expected, "{ctx}: shadow drifted from the master's checkpoint");
+        let a_stats = a.lvrm.stats();
+
+        // The kill: the master vanishes mid-epoch (no goodbye advert).
+        drop(a);
+        let t_kill = t;
+        let mut promoted_at = None;
+        while t < t_kill + 2_000_000_000 {
+            t += STEP_NS;
+            b.step(t, &mut out);
+            if b.accepting() {
+                promoted_at = Some(t);
+                break;
+            }
+        }
+        let t_accept = promoted_at.unwrap_or_else(|| panic!("{ctx}: standby never took over"));
+        assert!(
+            t_accept - t_kill < 1_000_000_000,
+            "{ctx}: failover took {} ms, budget is < 1000 ms",
+            (t_accept - t_kill) / 1_000_000
+        );
+        assert_eq!(b.role(), Role::Master, "{ctx}");
+        // Term 1 was the initial election (A's timeout-promotion); the
+        // takeover is election term 2.
+        assert_eq!(b.lvrm.ha().expect("attached").term(), 2, "{ctx}: takeover bumps the term");
+
+        // The survivor's books are the master's books: counters resumed,
+        // identities exact, flows pinned to their old slots.
+        let s_b = b.lvrm.stats();
+        assert_eq!(s_b.frames_in, a_stats.frames_in, "{ctx}: counters resume, not reset");
+        assert_eq!(s_b.crash_lost, a_stats.crash_lost, "{ctx}");
+        assert_identities(&b.lvrm, &format!("post-promotion {ctx}"));
+        let slots_post: Vec<usize> = (0..FLOWS).map(|i| b.probe_slot(i, &mut out)).collect();
+        assert_eq!(slots_pre, slots_post, "{ctx}: flow affinity must survive the failover");
+
+        // Fresh traffic accumulates on the inherited baseline and the
+        // books stay balanced.
+        let before = b.lvrm.stats().frames_in;
+        for _ in 0..20 {
+            t += STEP_NS;
+            for i in 0..FLOWS {
+                b.lvrm.ingress(flow_frame(i), &mut b.host);
+            }
+            b.step(t, &mut out);
+        }
+        b.drain(&mut out);
+        assert!(b.lvrm.stats().frames_in > before, "{ctx}: promoted master serves traffic");
+        assert_identities(&b.lvrm, &format!("post-promotion traffic {ctx}"));
+
+        // Failover metrics surfaced.
+        b.lvrm.refresh_registry();
+        let snap = b.lvrm.metrics_snapshot();
+        assert_eq!(snap.gauge("lvrm_ha_role", &[]), Some(1.0), "{ctx}");
+        let failover_ns = snap.gauge("lvrm_ha_failover_ns", &[]).unwrap_or(0.0);
+        assert!(
+            failover_ns > 0.0 && failover_ns < 1e9,
+            "{ctx}: lvrm_ha_failover_ns must record the takeover, got {failover_ns}"
+        );
+    }
+}
+
+/// Graceful handoff (SIGUSR1 path): the master resigns with a priority-0
+/// advert; the standby takes over after skew — faster than master-down —
+/// and at no instant do both accept.
+#[test]
+fn graceful_handoff_transfers_mastership_without_overlap() {
+    for kind in queue_kinds() {
+        let ctx = format!("handoff {kind:?}");
+        let (la, lb) = ChannelLink::pair();
+        let mut a = Node::new(kind, 200, 1, Box::new(la));
+        let mut b = Node::new(kind, 100, 2, Box::new(lb));
+        let mut out = Vec::new();
+
+        let mut t = elect(&mut a, &mut b, &mut out, &ctx);
+        t = run_pair(&mut a, &mut b, t, t + 30 * STEP_NS, FLOWS, &mut out, &ctx);
+        a.drain(&mut out);
+
+        let t_handoff = t;
+        a.lvrm.ha_mut().expect("attached").request_handoff(t_handoff);
+        assert!(!a.accepting(), "{ctx}: resigned master stops accepting at once");
+        assert_eq!(a.role(), Role::Draining, "{ctx}");
+
+        let mut took_over = None;
+        while t < t_handoff + 1_000_000_000 {
+            t += STEP_NS;
+            a.step(t, &mut out);
+            b.step(t, &mut out);
+            assert!(!(a.accepting() && b.accepting()), "{ctx}: overlap during handoff");
+            if b.accepting() {
+                took_over = Some(t);
+                break;
+            }
+        }
+        let t_b = took_over.unwrap_or_else(|| panic!("{ctx}: peer never took over"));
+        // Budget: skew of the backup + one probation advert + loop slack.
+        let skew = (256 - 100) * ADVERT_NS / 256;
+        assert!(
+            t_b - t_handoff <= skew + ADVERT_NS + 3 * STEP_NS,
+            "{ctx}: handoff took {} ms",
+            (t_b - t_handoff) / 1_000_000
+        );
+        // The resigned master settles back to backup and STAYS there: a
+        // manual handoff must be sticky even though A outranks B and
+        // preemption is on (1.5 s is well past where preemption would
+        // have reclaimed the mastership).
+        for _ in 0..150 {
+            t += STEP_NS;
+            a.step(t, &mut out);
+            b.step(t, &mut out);
+            assert!(!(a.accepting() && b.accepting()), "{ctx}: overlap after handoff");
+        }
+        assert_eq!(a.role(), Role::Backup, "{ctx}: drain completes into backup");
+        assert!(b.accepting(), "{ctx}: new master keeps the dataplane");
+
+        // But stickiness must not cost liveness: if the new master dies
+        // for real, the resigned node still takes back over.
+        drop(b);
+        let t_kill = t;
+        while t < t_kill + 2_000_000_000 && !a.accepting() {
+            t += STEP_NS;
+            a.step(t, &mut out);
+        }
+        assert!(a.accepting(), "{ctx}: resigned node must still cover a real death");
+        assert!(t - t_kill < 1_000_000_000, "{ctx}: recovery took {} ms", (t - t_kill) / 1_000_000);
+    }
+}
+
+/// Seeded advert-loss/partition storms (both monitors alive throughout):
+/// outage windows are bounded below the master-down interval, so the
+/// election must ride them out — never two accepting monitors, and the
+/// rightful master still owns the dataplane when the weather clears. Then
+/// the master is killed for real and the standby must still take over.
+/// Deterministic for each (seed × QueueKind).
+#[test]
+fn partition_storm_never_yields_two_accepting_masters() {
+    for kind in queue_kinds() {
+        for &seed in &[7u64, 42, 1337] {
+            let ctx = format!("storm {kind:?} seed {seed}");
+            // Bounded storm schedule: windows <= 300 ms separated by
+            // >= 450 ms of clean air. Worst-case advert silence is then
+            // window + one interval ~ 450 ms < master-down (541 ms at
+            // priority 100), which is the documented operating envelope
+            // of the split-brain guard (DESIGN.md §13).
+            let mut rng = seed | 1;
+            let mut xorshift = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            let mut windows = Vec::new();
+            let mut from = 1_500_000_000u64; // let the election settle first
+            for _ in 0..8 {
+                let len = 50_000_000 + xorshift() % 250_000_000; // 50..300 ms
+                let until = from + len;
+                windows.push(match xorshift() % 3 {
+                    0 => LinkFaultWindow::partition(from, until),
+                    1 => LinkFaultWindow::loss(from, until, 600),
+                    _ => LinkFaultWindow::delay(from, until, 30_000_000),
+                });
+                from = until + 450_000_000 + xorshift() % 200_000_000;
+            }
+            let horizon = from + 500_000_000;
+
+            let (la, lb) = ChannelLink::pair();
+            let fa = FaultyLink::new(la, windows.clone(), seed);
+            let fb = FaultyLink::new(lb, windows, seed ^ 0xdead);
+            let mut a = Node::new(kind, 200, 1, Box::new(fa));
+            let mut b = Node::new(kind, 100, 2, Box::new(fb));
+            let mut out = Vec::new();
+
+            let t = elect(&mut a, &mut b, &mut out, &ctx);
+            let t = run_pair(&mut a, &mut b, t, horizon, 4, &mut out, &ctx);
+            assert!(a.accepting(), "{ctx}: master must hold through the storm");
+            assert_eq!(b.role(), Role::Backup, "{ctx}: standby must ride it out");
+
+            // Now a real failure: the master dies. The standby takes over
+            // even after all that weather.
+            drop(a);
+            let mut t2 = t;
+            while t2 < t + 2_000_000_000 {
+                t2 += STEP_NS;
+                b.step(t2, &mut out);
+                if b.accepting() {
+                    break;
+                }
+            }
+            assert!(b.accepting(), "{ctx}: standby must promote after the real kill");
+            assert!(
+                t2 - t < 1_000_000_000,
+                "{ctx}: post-storm failover took {} ms",
+                (t2 - t) / 1_000_000
+            );
+            b.drain(&mut out);
+            assert_identities(&b.lvrm, &ctx);
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! can push real datagrams through a real kernel socket path.
 
 pub mod affinity;
+pub mod ha_link;
 pub mod metrics_server;
 pub mod msglat;
 pub mod pipeline;
@@ -24,6 +25,7 @@ pub mod signal;
 pub mod threads;
 pub mod udp_adapter;
 
+pub use ha_link::UdpPeerLink;
 pub use metrics_server::MetricsServer;
 pub use msglat::{measure_control_latency, MsgLatencyReport};
 pub use pipeline::{

@@ -18,6 +18,8 @@ static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 static INSTALLED: AtomicBool = AtomicBool::new(false);
 static CHECKPOINT: AtomicBool = AtomicBool::new(false);
 static HUP_INSTALLED: AtomicBool = AtomicBool::new(false);
+static HANDOFF: AtomicBool = AtomicBool::new(false);
+static USR1_INSTALLED: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_signal(signum: libc::c_int) {
     SHUTDOWN.store(true, Ordering::Release);
@@ -80,6 +82,34 @@ pub fn request_checkpoint() {
     CHECKPOINT.store(true, Ordering::Release);
 }
 
+extern "C" fn on_usr1(_signum: libc::c_int) {
+    // Repeatable, like SIGHUP: operators may hand off more than once.
+    HANDOFF.store(true, Ordering::Release);
+}
+
+/// Install the SIGUSR1 handler that requests a **manual HA handoff**: the
+/// active monitor resigns mastership (priority-0 advert) so its standby
+/// takes over without waiting out the master-down timer. Safe to call more
+/// than once; only the first call installs.
+pub fn install_handoff_handler() -> bool {
+    if USR1_INSTALLED.swap(true, Ordering::AcqRel) {
+        return true;
+    }
+    let handler = on_usr1 as extern "C" fn(libc::c_int) as libc::sighandler_t;
+    unsafe { libc::signal(libc::SIGUSR1, handler) != libc::SIG_ERR }
+}
+
+/// Consume a pending handoff request: `true` at most once per SIGUSR1 (or
+/// [`request_handoff`]).
+pub fn take_handoff_request() -> bool {
+    HANDOFF.swap(false, Ordering::AcqRel)
+}
+
+/// Request a handoff programmatically (tests, admin endpoints).
+pub fn request_handoff() {
+    HANDOFF.store(true, Ordering::Release);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +130,20 @@ mod tests {
         request_checkpoint();
         assert!(take_checkpoint_request(), "one request, one checkpoint");
         assert!(!take_checkpoint_request(), "request was consumed");
+    }
+
+    #[test]
+    fn handoff_request_is_consumed_once() {
+        assert!(install_handoff_handler());
+        assert!(install_handoff_handler(), "second install is a no-op");
+        assert!(!take_handoff_request(), "no request pending yet");
+        request_handoff();
+        assert!(take_handoff_request(), "one request, one handoff");
+        assert!(!take_handoff_request(), "request was consumed");
+        unsafe {
+            libc::raise(libc::SIGUSR1);
+        }
+        assert!(take_handoff_request(), "raised SIGUSR1 lands in the flag");
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub const SIG_ERR: sighandler_t = usize::MAX; // (sighandler_t)-1
 pub const SIGHUP: c_int = 1;
 pub const SIGINT: c_int = 2;
 pub const SIGTERM: c_int = 15;
+pub const SIGUSR1: c_int = 10;
 
 // waitpid status decoding (Linux encoding).
 pub fn WIFEXITED(status: c_int) -> bool {

@@ -12,6 +12,8 @@
 //! lvrmd [--config <file>] [--duration <secs>] [--rate <fps>] [--self-test]
 //!       [--metrics-addr <ip:port>] [--checkpoint-path <file>]
 //!       [--checkpoint-interval <secs>]
+//!       [--ha-bind <ip:port> --ha-peer <ip:port>] [--ha-priority <1-254>]
+//!       [--ha-node-id <n>] [--advert-interval <ms>]
 //! ```
 //!
 //! `--metrics-addr` (off by default) serves the Prometheus text exposition
@@ -24,6 +26,14 @@
 //! existing checkpoint resumes from it — counters, flow affinity and
 //! supervisor state survive, under an incremented restore epoch. SIGHUP
 //! forces an immediate checkpoint and prints a conservation report.
+//!
+//! `--ha-bind`/`--ha-peer` pair two daemons into an active/standby set
+//! (DESIGN.md §13): VRRP-style adverts elect the higher `--ha-priority`
+//! monitor as master, the master streams checkpoint deltas over the same
+//! UDP link, and the standby — which does not accept dataplane frames —
+//! promotes from its shadow checkpoint within ~3 advert intervals of the
+//! master dying. SIGUSR1 on the master performs a graceful handoff
+//! (priority-0 resign, sub-advert-interval takeover).
 //!
 //! Config format (one directive per line, `#` comments):
 //!
@@ -257,7 +267,19 @@ fn build_router(decl: &VrDecl) -> Box<dyn VirtualRouter> {
     Box::new(FastVr::new(&decl.name, routes))
 }
 
-fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Option<&str>) {
+/// HA pairing options from the command line (present iff `--ha-peer`).
+struct HaCli {
+    bind: String,
+    peer: String,
+}
+
+fn run(
+    config: DaemonConfig,
+    duration_s: u64,
+    rate_fps: f64,
+    metrics_addr: Option<&str>,
+    ha: Option<HaCli>,
+) {
     use lvrm::core::{FaultySocket, SocketAdapter, SupervisedAdapter};
 
     let clock = MonotonicClock::new();
@@ -287,6 +309,23 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Optio
     }
     lvrm::runtime::signal::install_shutdown_handlers();
     lvrm::runtime::signal::install_checkpoint_handler();
+    lvrm::runtime::signal::install_handoff_handler();
+    if let Some(opts) = ha.as_ref() {
+        let link = lvrm::runtime::UdpPeerLink::connect(&opts.bind, &opts.peer)
+            .unwrap_or_else(|e| die(&format!("cannot open HA link {:?}: {e}", opts.bind)));
+        if !lvrm.attach_ha(Box::new(link)) {
+            die("--ha-peer given but the HA config was rejected");
+        }
+        let hc = lvrm.config().ha.expect("attach_ha succeeded");
+        println!(
+            "HA: node {} priority {} advertising every {} ms ({} -> {}); starting as backup",
+            hc.node_id,
+            hc.priority,
+            hc.advert_interval_ns / 1_000_000,
+            opts.bind,
+            opts.peer
+        );
+    }
     for (d, id) in config.vrs.iter().zip(&vr_ids) {
         println!(
             "hosted {} ({} -> {}), {} VRI(s)",
@@ -377,8 +416,10 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Optio
         // Burst dataplane: one poll, one classify/dispatch pass, one send
         // per batch (batch-size 1 degenerates to the per-frame loop). The
         // supervisor absorbs adapter faults: a degraded or dead NIC reads
-        // as idle here while reopen/failover runs underneath.
-        if nic.poll_batch(&mut ingress, batch_size).unwrap_or(0) > 0 {
+        // as idle here while reopen/failover runs underneath. An HA standby
+        // (or a master still in promotion probation) leaves the NIC alone —
+        // frames belong to the accepting master.
+        if lvrm.ha_accepting() && nic.poll_batch(&mut ingress, batch_size).unwrap_or(0) > 0 {
             let ts = clock.now_ns();
             for f in ingress.iter_mut() {
                 f.ts_ns = ts;
@@ -403,6 +444,16 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Optio
         if let Some(srv) = metrics.as_mut() {
             srv.poll(|| lvrm.render_prometheus());
         }
+        // SIGUSR1: graceful mastership handoff (priority-0 resign).
+        if lvrm::runtime::signal::take_handoff_request() {
+            match lvrm.ha_mut() {
+                Some(node) => {
+                    node.request_handoff(clock.now_ns());
+                    println!("SIGUSR1: resigning mastership (handoff to peer)");
+                }
+                None => println!("SIGUSR1: no HA peer configured"),
+            }
+        }
         // SIGHUP: checkpoint now and report conservation, without stopping.
         if lvrm::runtime::signal::take_checkpoint_request() {
             match ckpt_path.as_ref() {
@@ -422,7 +473,12 @@ fn run(config: DaemonConfig, duration_s: u64, rate_fps: f64, metrics_addr: Optio
         if let Some(line) = lvrm.take_tick_line() {
             nic.publish(lvrm.metrics());
             let out = lvrm.stats().frames_out;
-            println!("{line} out_per_s={}", out.saturating_sub(last_out));
+            match lvrm.ha_role() {
+                Some(role) => {
+                    println!("{line} out_per_s={} ha={role}", out.saturating_sub(last_out))
+                }
+                None => println!("{line} out_per_s={}", out.saturating_sub(last_out)),
+            }
             last_out = out;
         }
     }
@@ -505,6 +561,11 @@ fn main() {
     let mut metrics_addr: Option<String> = None;
     let mut checkpoint_path: Option<String> = None;
     let mut checkpoint_interval_s: Option<u64> = None;
+    let mut ha_bind: Option<String> = None;
+    let mut ha_peer: Option<String> = None;
+    let mut ha_priority: Option<u8> = None;
+    let mut ha_node_id: Option<u64> = None;
+    let mut advert_interval_ms: Option<u64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -549,12 +610,51 @@ fn main() {
                 );
                 i += 2;
             }
+            "--ha-bind" => {
+                ha_bind = Some(
+                    args.get(i + 1).cloned().unwrap_or_else(|| die("--ha-bind needs ip:port")),
+                );
+                i += 2;
+            }
+            "--ha-peer" => {
+                ha_peer = Some(
+                    args.get(i + 1).cloned().unwrap_or_else(|| die("--ha-peer needs ip:port")),
+                );
+                i += 2;
+            }
+            "--ha-priority" => {
+                ha_priority = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|p| (1..=254).contains(p))
+                        .unwrap_or_else(|| die("--ha-priority needs 1..=254")),
+                );
+                i += 2;
+            }
+            "--ha-node-id" => {
+                ha_node_id = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--ha-node-id needs an integer")),
+                );
+                i += 2;
+            }
+            "--advert-interval" => {
+                advert_interval_ms = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|ms| *ms > 0)
+                        .unwrap_or_else(|| die("--advert-interval needs whole milliseconds >= 1")),
+                );
+                i += 2;
+            }
             "--self-test" => i += 1, // the default; accepted for clarity
             "--help" | "-h" => {
                 println!(
                     "usage: lvrmd [--config FILE] [--duration SECS] [--rate FPS] [--self-test] \
                      [--metrics-addr IP:PORT] [--checkpoint-path FILE] \
-                     [--checkpoint-interval SECS]"
+                     [--checkpoint-interval SECS] [--ha-bind IP:PORT --ha-peer IP:PORT] \
+                     [--ha-priority 1-254] [--ha-node-id N] [--advert-interval MS]"
                 );
                 return;
             }
@@ -574,7 +674,31 @@ fn main() {
     if let Some(s) = checkpoint_interval_s {
         config.lvrm.checkpoint_interval_ns = s * 1_000_000_000;
     }
-    run(config, duration_s, rate_fps, metrics_addr.as_deref());
+    let ha = match (ha_bind, ha_peer) {
+        (Some(bind), Some(peer)) => {
+            let mut hc = lvrm::core::HaConfig::default();
+            if let Some(p) = ha_priority {
+                hc.priority = p;
+            }
+            if let Some(id) = ha_node_id {
+                hc.node_id = id;
+            }
+            if let Some(ms) = advert_interval_ms {
+                hc.advert_interval_ns = ms * 1_000_000;
+            }
+            config.lvrm.ha = Some(hc);
+            config.lvrm.validate().unwrap_or_else(|e| die(&format!("HA config: {e}")));
+            Some(HaCli { bind, peer })
+        }
+        (None, None) => {
+            if ha_priority.is_some() || ha_node_id.is_some() || advert_interval_ms.is_some() {
+                die("--ha-priority/--ha-node-id/--advert-interval need --ha-bind and --ha-peer");
+            }
+            None
+        }
+        _ => die("--ha-bind and --ha-peer must be given together"),
+    };
+    run(config, duration_s, rate_fps, metrics_addr.as_deref(), ha);
 }
 
 fn die(msg: &str) -> ! {
