@@ -1,7 +1,7 @@
 //! `bench-report`: the machine-readable perf trajectory for the queue-kind
 //! sweep. Runs a fixed matrix of benches over every [`QueueKind`] and writes
 //! one flat JSON array of rows, schema
-//! `{bench, queue_kind, batch, metric, value, unit}`, to `BENCH_8.json` at
+//! `{bench, queue_kind, batch, metric, value, unit}`, to `BENCH_9.json` at
 //! the repo root (override with `--out <path>`). The schema, its
 //! validation, and the cross-report regression gate live in
 //! [`lvrm_bench::trajectory`]; `bench-diff` compares two reports.
@@ -33,6 +33,13 @@
 //!   observed replication lag (`delta_lag`, unacked stream positions).
 //!   Both are deterministic functions of the election timers and gate
 //!   lower-is-better.
+//! - `repl_scaling` — the elephant-flow scenario under pinned vs
+//!   `replicated` dispatch (state-compute replication, DESIGN.md §14): one
+//!   bulk TCP flow through a compute-bound VR, goodput speedup over the
+//!   pinned baseline at 2 and 4 VRIs (`speedup_vs_pinned`, batch column =
+//!   VRI count; targets ≥ 1.7× and ≥ 3×), plus a conservation flag over
+//!   all five identities. Deterministic simulated time, identical rows in
+//!   smoke and full profiles.
 //!
 //! Derived rows pin the PR's acceptance targets: `speedup_vs_lamport` under
 //! skew (target ≥ 1.3× at batch 32) and `delta_vs_lamport_pct` under
@@ -510,6 +517,48 @@ fn scenario_rows(smoke: bool, rows: &mut Vec<Row>) {
     }
 }
 
+// ------------------------------------------------------------ repl scaling
+
+/// Elephant-flow scaling under state-compute replication, per queue kind:
+/// pinned at 2 VRIs is the baseline; replicated at 2 and 4 VRIs must beat
+/// it by the PR's acceptance ratios. Simulated time only, so smoke and
+/// full profiles emit identical rows.
+fn repl_scaling_rows(rows: &mut Vec<Row>) {
+    use lvrm_testbed::scenarios::elephant_flow;
+
+    const SEED: u64 = 42;
+    for kind in QueueKind::ALL {
+        let mut ok = true;
+        let mut run = |cores: usize, replicated: bool| {
+            let mut spec = elephant_flow(cores, replicated, SEED);
+            spec.queue_kind = kind;
+            let report = spec.run();
+            ok &= report.conservation.all_hold();
+            report.tcp_mbps()
+        };
+        let base = run(2, false);
+        let x2 = run(2, true) / base;
+        let x4 = run(4, true) / base;
+        println!(
+            "repl_scaling   {:>11}: pinned {base:6.1} Mbps, replicated {x2:4.2}x @2 VRIs, \
+             {x4:4.2}x @4 VRIs, conservation {}",
+            kind.name(),
+            if ok { "ok" } else { "VIOLATED" },
+        );
+        let q = kind.as_str();
+        rows.push(Row::new("repl_scaling", q, 2, "speedup_vs_pinned", x2, "x"));
+        rows.push(Row::new("repl_scaling", q, 4, "speedup_vs_pinned", x4, "x"));
+        rows.push(Row::new(
+            "repl_scaling",
+            q,
+            2,
+            "conservation_ok",
+            if ok { 1.0 } else { 0.0 },
+            "bool",
+        ));
+    }
+}
+
 // ------------------------------------------------------------ main
 
 fn main() {
@@ -519,7 +568,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_8.json".to_string());
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
     for a in &args {
         if a != "--smoke" && a != "--out" && !out_path.eq(a) {
             eprintln!("usage: bench-report [--smoke] [--out <path>]");
@@ -604,6 +653,7 @@ fn main() {
     }
 
     scenario_rows(smoke, &mut rows);
+    repl_scaling_rows(&mut rows);
 
     // The report validates against its own schema before it is written:
     // a NaN, a negative throughput, or a typo'd metric/unit never reaches

@@ -58,6 +58,7 @@ pub const KNOWN_METRICS: &[&str] = &[
     "goodput",
     "goodput_pct",
     "speedup_vs_lamport",
+    "speedup_vs_pinned",
     "delta_vs_lamport_pct",
     "tracked_flows",
     "tracked_pct",
@@ -274,13 +275,14 @@ pub fn is_gated(row: &Row) -> bool {
     let bench_ok = row.bench.starts_with("scenario_")
         || matches!(
             row.bench.as_str(),
-            "dispatch_uniform" | "dispatch_skew" | "overload" | "ha_failover"
+            "dispatch_uniform" | "dispatch_skew" | "overload" | "ha_failover" | "repl_scaling"
         );
     let metric_ok = matches!(
         row.metric.as_str(),
         "goodput"
             | "goodput_pct"
             | "speedup_vs_lamport"
+            | "speedup_vs_pinned"
             | "tracked_pct"
             | "conservation_ok"
             | "failover_time"
@@ -422,6 +424,14 @@ mod tests {
         let regs = diff(&old, &bad, 0.10);
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].key.0, "dispatch_skew");
+    }
+
+    #[test]
+    fn gate_includes_replication_scaling_rows() {
+        assert!(is_gated(&row("repl_scaling", "speedup_vs_pinned", 1.9, "x")));
+        assert!(is_gated(&row("repl_scaling", "conservation_ok", 1.0, "bool")));
+        assert!(!is_gated(&row("repl_scaling", "throughput", 1.0, "kfps")));
+        assert!(validate_rows(&[row("repl_scaling", "speedup_vs_pinned", 1.9, "x")]).is_empty());
     }
 
     #[test]

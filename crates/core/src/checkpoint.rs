@@ -38,7 +38,13 @@ use lvrm_net::FlowKey;
 use crate::monitor::LvrmStats;
 
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"LVCK";
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// Number of [`LvrmStats`] counters on the wire (`stats_fields` order).
+/// Version 2 appended the three `lvrm_repl_*` replication counters, so the
+/// fifth conservation identity survives warm restart and the HA delta
+/// stream exactly like the first four.
+pub const STATS_FIELDS: usize = 22;
 
 /// Why a checkpoint blob was rejected (or could not be produced).
 #[derive(Debug)]
@@ -244,7 +250,7 @@ impl<'a> Dec<'a> {
 
 /// `LvrmStats` fields in wire order. One place to keep encode/decode and
 /// the field count in sync.
-fn stats_fields(s: &LvrmStats) -> [u64; 19] {
+fn stats_fields(s: &LvrmStats) -> [u64; STATS_FIELDS] {
     [
         s.frames_in,
         s.frames_out,
@@ -265,10 +271,13 @@ fn stats_fields(s: &LvrmStats) -> [u64; 19] {
         s.queue_lost,
         s.retired_dispatched,
         s.retired_returned,
+        s.updates_emitted,
+        s.updates_folded,
+        s.updates_lost,
     ]
 }
 
-fn stats_from_fields(f: [u64; 19]) -> LvrmStats {
+fn stats_from_fields(f: [u64; STATS_FIELDS]) -> LvrmStats {
     LvrmStats {
         frames_in: f[0],
         frames_out: f[1],
@@ -289,6 +298,9 @@ fn stats_from_fields(f: [u64; 19]) -> LvrmStats {
         queue_lost: f[16],
         retired_dispatched: f[17],
         retired_returned: f[18],
+        updates_emitted: f[19],
+        updates_folded: f[20],
+        updates_lost: f[21],
     }
 }
 
@@ -336,7 +348,7 @@ impl Checkpoint {
     /// [`CheckpointError`].
     pub fn decode(buf: &[u8]) -> Result<Checkpoint, CheckpointError> {
         // magic + version + epoch + ts + stats + next_vri + vr count + crc
-        if buf.len() < 4 + 4 + 4 + 8 + 19 * 8 + 4 + 4 + 4 {
+        if buf.len() < 4 + 4 + 4 + 8 + STATS_FIELDS * 8 + 4 + 4 + 4 {
             return Err(CheckpointError::TooShort);
         }
         if buf[..4] != CHECKPOINT_MAGIC {
@@ -355,7 +367,7 @@ impl Checkpoint {
         }
         let epoch = d.u32()?;
         let ts_ns = d.u64()?;
-        let mut fields = [0u64; 19];
+        let mut fields = [0u64; STATS_FIELDS];
         for f in fields.iter_mut() {
             *f = d.u64()?;
         }
@@ -474,7 +486,7 @@ impl Checkpoint {
         self.epoch = d.epoch;
         self.ts_ns = d.ts_ns;
         let old = stats_fields(&self.stats);
-        let mut folded = [0u64; 19];
+        let mut folded = [0u64; STATS_FIELDS];
         for (i, f) in folded.iter_mut().enumerate() {
             *f = old[i].wrapping_add(d.stats_delta[i]);
         }
@@ -523,7 +535,7 @@ fn flow_key_bytes(k: &FlowKey) -> [u8; 13] {
 // ---- checkpoint deltas (HA replication stream, DESIGN.md §13) ----------
 
 pub const DELTA_MAGIC: [u8; 4] = *b"LVCD";
-pub const DELTA_VERSION: u32 = 1;
+pub const DELTA_VERSION: u32 = 2;
 
 /// Per-VR slice of a [`CheckpointDelta`]: the VR's full (small) scalar
 /// state plus the flow-table *changes* since the previous snapshot. The
@@ -559,7 +571,7 @@ pub struct CheckpointDelta {
     pub epoch: u32,
     pub seq: u64,
     pub ts_ns: u64,
-    pub stats_delta: [u64; 19],
+    pub stats_delta: [u64; STATS_FIELDS],
     pub next_vri: u32,
     pub vrs: Vec<VrDelta>,
 }
@@ -570,7 +582,7 @@ impl CheckpointDelta {
     pub fn diff(prev: &Checkpoint, next: &Checkpoint, seq: u64) -> CheckpointDelta {
         let p = stats_fields(&prev.stats);
         let n = stats_fields(&next.stats);
-        let mut stats_delta = [0u64; 19];
+        let mut stats_delta = [0u64; STATS_FIELDS];
         for (i, d) in stats_delta.iter_mut().enumerate() {
             *d = n[i].wrapping_sub(p[i]);
         }
@@ -661,7 +673,7 @@ impl CheckpointDelta {
     /// [`CheckpointError`].
     pub fn decode(buf: &[u8]) -> Result<CheckpointDelta, CheckpointError> {
         // magic + version + epoch + seq + ts + stats + next_vri + vr count + crc
-        if buf.len() < 4 + 4 + 4 + 8 + 8 + 19 * 8 + 4 + 4 + 4 {
+        if buf.len() < 4 + 4 + 4 + 8 + 8 + STATS_FIELDS * 8 + 4 + 4 + 4 {
             return Err(CheckpointError::TooShort);
         }
         if buf[..4] != DELTA_MAGIC {
@@ -681,7 +693,7 @@ impl CheckpointDelta {
         let epoch = d.u32()?;
         let seq = d.u64()?;
         let ts_ns = d.u64()?;
-        let mut stats_delta = [0u64; 19];
+        let mut stats_delta = [0u64; STATS_FIELDS];
         for f in stats_delta.iter_mut() {
             *f = d.u64()?;
         }

@@ -63,6 +63,44 @@ impl AllocatorKind {
     }
 }
 
+/// How a VR's ingress traffic is spread over its VRIs (DESIGN.md §14).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DispatchMode {
+    /// Classic dispatch: the configured balancer picks a VRI per frame, and
+    /// `flow_based` may pin each flow to one instance. A single flow never
+    /// exceeds single-VRI throughput.
+    #[default]
+    Pinned,
+    /// State-Compute Replication (arXiv 2309.14647): any VRI may take any
+    /// frame — ingress spreads regardless of flow key — and replicas
+    /// reconverge by exchanging compact `StateUpdate` records over the
+    /// control-priority queues. Incompatible with `flow_based` pinning.
+    Replicated,
+}
+
+impl DispatchMode {
+    pub const ALL: [DispatchMode; 2] = [DispatchMode::Pinned, DispatchMode::Replicated];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchMode::Pinned => "pinned",
+            DispatchMode::Replicated => "replicated",
+        }
+    }
+}
+
+impl std::str::FromStr for DispatchMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pinned" => Ok(DispatchMode::Pinned),
+            "replicated" => Ok(DispatchMode::Replicated),
+            other => Err(format!("unknown dispatch mode {other:?} (pinned|replicated)")),
+        }
+    }
+}
+
 /// Which per-VRI load estimator to run (paper §3.4).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum EstimatorKind {
@@ -144,6 +182,10 @@ pub struct LvrmConfig {
     pub balancer: BalancerKind,
     /// Wrap the balancer in flow-based connection tracking.
     pub flow_based: bool,
+    /// Default dispatch mode for new VRs (per-VR override via
+    /// `Lvrm::set_vr_dispatch`). `Replicated` spreads every frame across a
+    /// VR's VRIs and replicates per-flow state updates between them.
+    pub dispatch: DispatchMode,
     /// Flow-table slots (flow-based only).
     pub flow_table_capacity: usize,
     /// Idle flows expire after this long (flow-based only).
@@ -283,6 +325,9 @@ pub enum ConfigError {
     HaPriority { priority: u8 },
     /// HA advert and delta intervals must be nonzero.
     HaIntervals { advert_ns: u64, delta_ns: u64 },
+    /// Replicated dispatch spreads frames regardless of flow key, which
+    /// flow-based pinning contradicts: the two cannot both be the default.
+    ReplicatedFlowPinned,
 }
 
 impl fmt::Display for ConfigError {
@@ -319,6 +364,9 @@ impl fmt::Display for ConfigError {
                     "ha advert and delta intervals must be nonzero, got advert={advert_ns} delta={delta_ns}"
                 )
             }
+            ConfigError::ReplicatedFlowPinned => {
+                write!(f, "replicated dispatch is incompatible with flow_based pinning")
+            }
         }
     }
 }
@@ -334,6 +382,7 @@ impl Default for LvrmConfig {
             shared_ring_capacity: 0,
             balancer: BalancerKind::Jsq,
             flow_based: false,
+            dispatch: DispatchMode::Pinned,
             flow_table_capacity: 4096,
             flow_timeout_ns: 30_000_000_000, // 30 s
             flow_age_budget: 0,              // auto
@@ -410,6 +459,9 @@ impl LvrmConfig {
         if self.checkpoint_path.is_some() && self.checkpoint_interval_ns == 0 {
             return Err(ConfigError::CheckpointInterval);
         }
+        if self.dispatch == DispatchMode::Replicated && self.flow_based {
+            return Err(ConfigError::ReplicatedFlowPinned);
+        }
         if let Some(ha) = &self.ha {
             if ha.priority == 0 || ha.priority == 255 {
                 return Err(ConfigError::HaPriority { priority: ha.priority });
@@ -474,9 +526,16 @@ impl LvrmConfig {
 
     /// Instantiate the configured balancer.
     pub fn build_balancer(&self) -> Box<dyn LoadBalancer> {
+        self.build_balancer_for(self.dispatch)
+    }
+
+    /// Instantiate the balancer for one VR's dispatch mode: a replicated VR
+    /// never wraps in [`FlowBased`] (any instance may take any frame), a
+    /// pinned VR follows the `flow_based` knob.
+    pub fn build_balancer_for(&self, mode: DispatchMode) -> Box<dyn LoadBalancer> {
         macro_rules! wrap {
             ($inner:expr) => {
-                if self.flow_based {
+                if self.flow_based && mode == DispatchMode::Pinned {
                     Box::new(FlowBased::new($inner, self.flow_table_capacity, self.flow_timeout_ns))
                         as Box<dyn LoadBalancer>
                 } else {
@@ -596,6 +655,34 @@ mod tests {
         assert!(matches!(c.validate(), Err(ConfigError::HaIntervals { advert_ns: 0, .. })));
         let c = LvrmConfig { ha: Some(HaConfig::default()), ..base() };
         assert_eq!(c.validate(), Ok(()));
+
+        let c = LvrmConfig { dispatch: DispatchMode::Replicated, flow_based: true, ..base() };
+        assert_eq!(c.validate(), Err(ConfigError::ReplicatedFlowPinned));
+        let c = LvrmConfig { dispatch: DispatchMode::Replicated, ..base() };
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn dispatch_mode_parses_and_defaults_pinned() {
+        let c = LvrmConfig::default();
+        assert_eq!(c.dispatch, DispatchMode::Pinned);
+        assert_eq!("pinned".parse::<DispatchMode>(), Ok(DispatchMode::Pinned));
+        assert_eq!("replicated".parse::<DispatchMode>(), Ok(DispatchMode::Replicated));
+        assert!("sharded".parse::<DispatchMode>().is_err());
+        for m in DispatchMode::ALL {
+            assert_eq!(m.name().parse::<DispatchMode>(), Ok(m));
+        }
+    }
+
+    #[test]
+    fn replicated_balancer_never_pins_flows() {
+        let c = LvrmConfig { flow_based: true, ..Default::default() };
+        assert_eq!(c.build_balancer_for(DispatchMode::Pinned).name(), "flow-jsq");
+        assert_eq!(
+            c.build_balancer_for(DispatchMode::Replicated).name(),
+            "jsq",
+            "a replicated VR must spread frames regardless of flow key"
+        );
     }
 
     #[test]

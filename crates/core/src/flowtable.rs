@@ -180,37 +180,38 @@ impl FlowTable {
     /// is charged to the evicted entry, which it permanently removes, so the
     /// amortized tick cost is O(budget) regardless of table size. This is
     /// what the monitor's 1 s tick calls instead of a full-table scan; a
-    /// complete pass takes `ceil(capacity / budget)` calls. Entries the
-    /// backshift deletion relocates behind the cursor are caught on the next
-    /// pass (or lazily on probe) — aging is best-effort reclamation,
-    /// correctness still comes from the probe-time timeout check.
+    /// complete pass takes `ceil(capacity / budget)` calls.
+    ///
+    /// The scan is mutation-free: expired keys are collected over the budget
+    /// window first and removed afterwards, so every slot in the window is
+    /// examined exactly once and each expired entry is evicted exactly once
+    /// (a positional evict-as-you-go sweep would re-examine slots the
+    /// backshift refills). Combined with the cursor rewind in [`remove_at`],
+    /// a lap over `capacity` slots is guaranteed to evict every entry that
+    /// was expired when its slot was swept — even when probe-time lazy
+    /// expiry relocates entries across the cursor between windows.
     pub fn age_step(&mut self, now_ns: u64, budget: usize) -> usize {
         let cap = self.slots.len();
         let budget = budget.min(cap);
         let mut i = self.age_cursor & self.mask;
-        let mut advanced = 0usize;
-        let mut evicted = 0usize;
-        while advanced < budget {
-            // Copy the verdict out so `remove_at` can borrow mutably.
-            let expired = match &self.slots[i] {
-                Some(e) => self.expired(e, now_ns),
-                None => false,
-            };
-            if expired {
-                self.remove_at(i);
-                self.evictions += 1;
-                evicted += 1;
-                // Backshift may have pulled a later chain member into slot
-                // `i`; re-examine it before advancing. This doesn't consume
-                // budget — each re-check evicted an entry, so the loop still
-                // terminates (the table only shrinks).
-            } else {
-                advanced += 1;
-                i = (i + 1) & self.mask;
+        let mut expired_keys: Vec<FlowKey> = Vec::new();
+        for _ in 0..budget {
+            if let Some(e) = &self.slots[i] {
+                if self.expired(e, now_ns) {
+                    expired_keys.push(e.key);
+                }
             }
+            i = (i + 1) & self.mask;
         }
+        // Commit the window's end before removing: backshift relocations
+        // that cross the cursor rewind it from here (see `remove_at`).
         self.age_cursor = i;
-        self.age_sweep_slots += (advanced + evicted) as u64;
+        for k in &expired_keys {
+            self.remove_key(k);
+        }
+        let evicted = expired_keys.len();
+        self.evictions += evicted as u64;
+        self.age_sweep_slots += (budget + evicted) as u64;
         evicted
     }
 
@@ -268,6 +269,19 @@ impl FlowTable {
             }
             self.slots[k] = Some(e);
             self.len += 1;
+            // Backshift can carry an entry across the aging cursor: from a
+            // slot the sweep had yet to visit to one it already passed (a
+            // slot freed and refilled within the same budget window). Rewind
+            // the cursor to the landing slot so the in-flight lap still
+            // examines the relocated entry — without this an expired flow
+            // rides the relocation past the sweep and survives a full lap
+            // (pinned by `lazy_expiry_relocation_cannot_escape_the_sweep`).
+            let c = self.age_cursor & self.mask;
+            let visit_old = j.wrapping_sub(c) & self.mask;
+            let visit_new = k.wrapping_sub(c) & self.mask;
+            if visit_new > visit_old {
+                self.age_cursor = k;
+            }
             j = (j + 1) & self.mask;
         }
     }
@@ -394,11 +408,10 @@ mod tests {
         for n in 0..80 {
             t.insert(key(n), VriId(0), 0);
         }
-        // Two cursor laps with budget == capacity clear the whole table
-        // (backshift may relocate an entry behind the cursor mid-lap, so
-        // one lap is not guaranteed to catch everything).
-        let mut evicted = t.age_step(1_000_000, t.capacity());
-        evicted += t.age_step(1_000_000, t.capacity());
+        // One cursor lap with budget == capacity clears the whole table:
+        // the mutation-free scan sees every slot exactly once, so no
+        // relocation can hide an expired entry from it.
+        let evicted = t.age_step(1_000_000, t.capacity());
         assert_eq!(evicted, 80);
         assert_eq!(t.len(), 0);
         assert_eq!(t.stats().evictions, 80);
@@ -410,8 +423,9 @@ mod tests {
         for n in 0..80 {
             t.insert(key(n), VriId(0), 0);
         }
-        // budget 16 per "tick": two laps of the 128-slot table are enough to
-        // catch entries that backshift moved behind the cursor.
+        // budget 16 per "tick": cursor rewinds triggered by backshift
+        // relocations can stretch a lap past `capacity / budget` windows,
+        // but two laps' worth of budget always converges.
         for _ in 0..(2 * 128 / 16) {
             t.age_step(1_000_000, 16);
         }
@@ -447,6 +461,75 @@ mod tests {
         assert!(s.occupancy() > 0.0);
         assert_eq!(t.find_and_touch(&key(1), 1_000), None); // lazy expiry
         assert_eq!(t.stats().evictions, 1);
+    }
+
+    /// Keys whose home slot in a 16-slot table is 0, for crafting probe
+    /// chains with known geometry.
+    fn home0_keys(want: usize) -> Vec<FlowKey> {
+        let mut out = Vec::new();
+        for n in 0..=u8::MAX {
+            if key(n).hash64() as usize & 15 == 0 {
+                out.push(key(n));
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        assert_eq!(out.len(), want, "not enough colliding keys in search space");
+        out
+    }
+
+    /// Regression: a probe-time lazy expiry between two budget windows used
+    /// to backshift an expired entry from the slot the cursor would visit
+    /// next into a slot it had already passed — freed and refilled within
+    /// the same budget window — so the entry skipped the rest of the lap.
+    /// The cursor rewind in `remove_at` pins eviction-exactly-once: the lap
+    /// must still evict it, and evict it exactly once.
+    #[test]
+    fn lazy_expiry_relocation_cannot_escape_the_sweep() {
+        let k = home0_keys(3);
+        let (a, b, x) = (k[0], k[1], k[2]);
+        let mut t = FlowTable::new(16, 100);
+        assert!(t.insert(a, VriId(0), 0)); // slot 0 (home)
+        assert!(t.insert(b, VriId(0), 0)); // slot 1
+        assert!(t.insert(x, VriId(0), 0)); // slot 2
+                                           // Window 1: budget 2 sweeps slots 0 and 1 while everything is live.
+        assert_eq!(t.age_step(50, 2), 0);
+        // Between windows, A expires and a probe reclaims it lazily; the
+        // backshift pulls B into slot 0 and X into slot 1 — X jumps from
+        // directly ahead of the cursor to directly behind it.
+        assert_eq!(t.find_and_touch(&a, 200), None);
+        // The remainder of the lap (plus rewind slack) must evict X.
+        let mut evicted = 0;
+        for _ in 0..8 {
+            evicted += t.age_step(200, 2);
+        }
+        assert!(
+            t.entries().all(|(key, _, _)| key != x),
+            "expired entry escaped the sweep via backshift relocation"
+        );
+        // B and X both expired mid-lap; each evicted exactly once.
+        assert_eq!(evicted, 2);
+        assert_eq!(t.stats().evictions, 3); // A (lazy) + B + X (sweep)
+        assert_eq!(t.len(), 0);
+    }
+
+    /// The mutation-free scan must not double-count an entry the backshift
+    /// relocates while the window's collected victims are being removed.
+    #[test]
+    fn sweep_evicts_each_expired_entry_exactly_once() {
+        let keys = home0_keys(6);
+        let mut t = FlowTable::new(16, 100);
+        for k in &keys {
+            t.insert(*k, VriId(0), 0);
+        }
+        // All six share one probe chain and all are expired: one full-budget
+        // call must evict each exactly once despite every removal rehoming
+        // the survivors.
+        let evicted = t.age_step(1_000, t.capacity());
+        assert_eq!(evicted, 6);
+        assert_eq!(t.stats().evictions, 6);
+        assert_eq!(t.len(), 0);
     }
 
     #[test]

@@ -7,14 +7,16 @@
 //! spawns an OS thread and (best-effort) pins it. LVRM only needs the verbs
 //! below.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
+use lvrm_ipc::channels::ControlEvent;
 use lvrm_ipc::{Full, VriEndpoint};
-use lvrm_net::Frame;
+use lvrm_net::{FlowKey, Frame};
 use lvrm_router::VirtualRouter;
 
+use crate::repl::ReplicaLedger;
 use crate::topology::CoreId;
-use crate::vri::encode_heartbeat;
+use crate::vri::{encode_heartbeat, LVRM_CTRL_ID};
 use crate::{VrId, VriId};
 
 /// Everything a host needs to start one VRI.
@@ -77,6 +79,17 @@ pub struct RecordingHost {
     /// instance retries it (and pulls no new work) until LVRM makes room
     /// via `poll_egress`, the way a real VRI blocks in `toLVRM()`.
     pub egress_backlog: Vec<(VriId, Frame)>,
+    /// State-compute replication: when set, every serviced frame is recorded
+    /// in the VRI's [`ReplicaLedger`], LVSU batches arriving on the control
+    /// queue are folded into it, and pending deltas are flushed to LVRM at
+    /// the end of each `pump` pass.
+    pub replicate: bool,
+    /// Per-VRI replica ledgers (lazily created on first serviced frame or
+    /// folded batch). Tests inspect these to check replica convergence.
+    pub ledgers: HashMap<VriId, ReplicaLedger>,
+    /// Monotonic pump counter used as the `last_seen_ns` stamp for observed
+    /// flows; the recording host has no clock of its own.
+    pub pump_ticks: u64,
 }
 
 impl VriHost for RecordingHost {
@@ -115,6 +128,13 @@ impl RecordingHost {
         RecordingHost { heartbeats: true, ..Default::default() }
     }
 
+    /// A recording host whose VRIs keep replica ledgers: serviced frames are
+    /// observed per flow, LVSU batches folded, and deltas flushed upstream
+    /// each `pump`. For state-compute replication tests.
+    pub fn with_replication() -> RecordingHost {
+        RecordingHost { replicate: true, ..Default::default() }
+    }
+
     /// Run every live VRI's loop once: drain control then data, process each
     /// frame through the router, and push forwarded frames back. Returns the
     /// number of frames processed. This makes the recording host a complete
@@ -122,6 +142,8 @@ impl RecordingHost {
     pub fn pump(&mut self) -> usize {
         use lvrm_ipc::channels::Work;
         let mut processed = 0;
+        self.pump_ticks += 1;
+        let now_ns = self.pump_ticks;
         for (vri, endpoint, router) in &mut self.endpoints {
             if self.stalled.contains(vri) {
                 continue;
@@ -141,9 +163,26 @@ impl RecordingHost {
             }
             while let Some(work) = endpoint.next_work() {
                 match work {
-                    Work::Control(_ev) => {}
+                    Work::Control(ev) => {
+                        if self.replicate && crate::repl::is_state_update(&ev.payload) {
+                            if let Ok((origin, updates)) = crate::repl::decode_batch(&ev.payload) {
+                                self.ledgers
+                                    .entry(*vri)
+                                    .or_insert_with(|| ReplicaLedger::new(vri.0))
+                                    .fold_batch(origin, &updates);
+                            }
+                        }
+                    }
                     Work::Data(mut frame) => {
                         processed += 1;
+                        if self.replicate {
+                            if let Some(key) = FlowKey::from_frame(&frame) {
+                                self.ledgers
+                                    .entry(*vri)
+                                    .or_insert_with(|| ReplicaLedger::new(vri.0))
+                                    .observe(key, frame.len() as u64, now_ns);
+                            }
+                        }
                         if let lvrm_router::RouterAction::Forward { .. } =
                             router.process(&mut frame)
                         {
@@ -152,6 +191,17 @@ impl RecordingHost {
                                 break;
                             }
                         }
+                    }
+                }
+            }
+            // Flush this pass's per-flow deltas upstream. A full control
+            // queue silently drops the batch: LVRM only charges identity E
+            // on receipt, so nothing is ever double-counted.
+            if self.replicate {
+                if let Some(ledger) = self.ledgers.get_mut(vri) {
+                    if let Some(buf) = ledger.flush() {
+                        let _ =
+                            endpoint.ctrl_tx.try_send(ControlEvent::new(vri.0, LVRM_CTRL_ID, buf));
                     }
                 }
             }
@@ -169,6 +219,11 @@ impl RecordingHost {
             self.flush_backlog(vri, &mut endpoint);
             endpoint.detach();
             self.reapable.push((vri, endpoint));
+        }
+        // Un-flushed per-flow deltas die with the process; they were never
+        // emitted, so identity E is untouched. Books stay for inspection.
+        if let Some(ledger) = self.ledgers.get_mut(&vri) {
+            ledger.drop_pending();
         }
     }
 

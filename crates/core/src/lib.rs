@@ -40,6 +40,7 @@ pub mod flowtable;
 pub mod ha;
 pub mod host;
 pub mod monitor;
+pub mod repl;
 pub mod socket;
 pub mod topology;
 pub mod vri;
@@ -53,7 +54,7 @@ pub use checkpoint::{
     Checkpoint, CheckpointDelta, CheckpointError, FlowRecord, VrCheckpoint, VrDelta,
 };
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use config::{AllocatorKind, BalancerKind, EstimatorKind, HaConfig, LvrmConfig};
+pub use config::{AllocatorKind, BalancerKind, DispatchMode, EstimatorKind, HaConfig, LvrmConfig};
 pub use fault::{
     randomized_link_storm, AdapterFaultEvent, AdapterFaultKind, FaultEvent, FaultInjectable,
     FaultKind, FaultPlan, FaultyHost, FaultyLink, FaultySocket, LinkFaultKind, LinkFaultWindow,
@@ -62,6 +63,10 @@ pub use flowtable::{FlowTable, FlowTableStats};
 pub use ha::{ChannelLink, HaMsg, HaNode, PeerLink, Role};
 pub use host::{RecordingHost, VriHost, VriSpec};
 pub use monitor::{Lvrm, LvrmStats};
+pub use repl::{
+    decode_batch, encode_batch, is_state_update, FlowBook, ReplicaLedger, StateUpdate,
+    STATE_UPDATE_MAGIC,
+};
 pub use socket::{AdapterError, MemTraceAdapter, SendRejected, SocketAdapter, SocketKind};
 pub use topology::{AffinityMode, CoreId, CoreMap, CoreTopology};
 pub use vri::{LvrmAdapter, VriAdapter, VriHealth, LVRM_CTRL_ID};

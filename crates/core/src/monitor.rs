@@ -32,7 +32,7 @@ use crate::alloc::{AllocDecision, CoreAllocator, VrLoadView};
 use crate::balance::{BalanceCtx, LoadBalancer};
 use crate::checkpoint::{Checkpoint, CheckpointError, FlowRecord, VrCheckpoint};
 use crate::clock::Clock;
-use crate::config::LvrmConfig;
+use crate::config::{DispatchMode, LvrmConfig};
 use crate::estimate::PressureTracker;
 use crate::ha::{HaNode, PeerLink, Role};
 use crate::host::{VriHost, VriSpec};
@@ -138,6 +138,20 @@ pub struct LvrmStats {
     pub retired_dispatched: u64,
     /// `returned` folded from since-retired adapters.
     pub retired_returned: u64,
+    /// State-update records accepted for replica fan-out: when the sub-tick
+    /// decodes an `LVSU` batch of `k` records from a VRI with `m` live
+    /// sibling replicas, this grows by `k × m` — one expected fold per
+    /// record per sibling. The fifth conservation identity holds by
+    /// construction at every snapshot:
+    /// `updates_emitted == updates_folded + updates_lost`.
+    pub updates_emitted: u64,
+    /// State-update records relayed onto a sibling replica's control queue
+    /// (the sibling folds them into its local books).
+    pub updates_folded: u64,
+    /// State-update records a sibling's full control queue refused — that
+    /// replica will reconverge from later updates, but these records are
+    /// gone and the identity charges them here.
+    pub updates_lost: u64,
 }
 
 /// (name, help) pairs for the per-VRI metric families, shared between the
@@ -183,6 +197,9 @@ struct StatCounters {
     queue_lost: Counter,
     retired_dispatched: Counter,
     retired_returned: Counter,
+    updates_emitted: Counter,
+    updates_folded: Counter,
+    updates_lost: Counter,
     /// Robustness counters outside [`LvrmStats`] (no conservation identity
     /// involves them), incremented by the checkpoint paths.
     checkpoint_writes: Counter,
@@ -251,6 +268,18 @@ impl StatCounters {
                 "lvrm_retired_returned_total",
                 "Returned counters folded from retired adapters.",
             ),
+            updates_emitted: c(
+                "lvrm_repl_updates_emitted_total",
+                "State-update records accepted for replica fan-out (records × siblings).",
+            ),
+            updates_folded: c(
+                "lvrm_repl_updates_folded_total",
+                "State-update records relayed onto sibling replicas' control queues.",
+            ),
+            updates_lost: c(
+                "lvrm_repl_updates_lost_total",
+                "State-update records refused by a sibling's full control queue.",
+            ),
             checkpoint_writes: c(
                 "lvrm_checkpoint_writes_total",
                 "Control-plane checkpoints written successfully.",
@@ -302,6 +331,9 @@ impl StatCounters {
             queue_lost: self.queue_lost.get(),
             retired_dispatched: self.retired_dispatched.get(),
             retired_returned: self.retired_returned.get(),
+            updates_emitted: self.updates_emitted.get(),
+            updates_folded: self.updates_folded.get(),
+            updates_lost: self.updates_lost.get(),
         }
     }
 }
@@ -331,6 +363,11 @@ struct VrState {
     /// Live instances, in allocation order.
     vris: Vec<VriAdapter>,
     balancer: Box<dyn LoadBalancer>,
+    /// How ingress spreads this VR's frames: `Pinned` keeps per-flow
+    /// affinity (possibly flow-based); `Replicated` spreads every frame
+    /// across all VRIs regardless of flow key — the replicas reconverge
+    /// through the `LVSU` state-update fan-out (DESIGN.md §14).
+    dispatch: DispatchMode,
     allocator: Box<dyn CoreAllocator>,
     arrival: RateEstimator,
     /// Frames this VR received / forwarded (for fairness accounting).
@@ -688,6 +725,7 @@ impl<C: Clock> Lvrm<C> {
             router_template: router,
             vris: Vec::new(),
             balancer: self.config.build_balancer(),
+            dispatch: self.config.dispatch,
             allocator,
             arrival: RateEstimator::new(self.config.arrival_window_ns, self.config.arrival_weight),
             frames_in: 0,
@@ -745,6 +783,31 @@ impl<C: Clock> Lvrm<C> {
     pub fn set_vr_weight(&mut self, vr: VrId, weight: f64) {
         assert!(weight.is_finite() && weight > 0.0, "shed weight must be positive and finite");
         self.vrs[vr.0 as usize].weight = weight;
+    }
+
+    /// Switch `vr` between flow-pinned and replicated dispatch (DESIGN.md
+    /// §14). Rebuilds the VR's balancer for the new mode: `Replicated`
+    /// never wraps in flow pinning (any VRI takes any frame), `Pinned`
+    /// returns to the configured balancer, flow-based wrap included.
+    /// Switching discards the old balancer's flow table — replicated mode
+    /// keeps no affinity to lose, and a switch back re-pins flows on their
+    /// next frame.
+    pub fn set_vr_dispatch(&mut self, vr: VrId, mode: DispatchMode) {
+        let state = &mut self.vrs[vr.0 as usize];
+        if state.dispatch == mode {
+            return;
+        }
+        state.dispatch = mode;
+        state.balancer = self.config.build_balancer_for(mode);
+        self.registry.push_event(
+            self.clock.now_ns(),
+            format!("vr-dispatch vr={} mode={}", state.name, mode.name()),
+        );
+    }
+
+    /// Current dispatch mode of `vr`.
+    pub fn vr_dispatch(&self, vr: VrId) -> DispatchMode {
+        self.vrs.get(vr.0 as usize).map_or(self.config.dispatch, |s| s.dispatch)
     }
 
     /// Watermark pressure state of `vr` as of its last dispatched burst.
@@ -1101,6 +1164,16 @@ impl<C: Clock> Lvrm<C> {
             if let Some(adapter) = self.find_vri_mut(VriId(ev.src_vri)) {
                 adapter.note_liveness(now);
             }
+            // `LVSU` state-update batches are replication traffic: decode
+            // once here and fan the records out to the origin's live
+            // sibling replicas (DESIGN.md §14) instead of point-to-point
+            // relay. Emitted/folded/lost are charged so the fifth identity
+            // (`updates_emitted == updates_folded + updates_lost`) holds at
+            // every snapshot.
+            if crate::repl::is_state_update(&ev.payload) {
+                self.fan_out_state_updates(ev);
+                continue;
+            }
             let dst = VriId(ev.dst_vri);
             match self.find_vri_mut(dst) {
                 Some(adapter) => match adapter.relay_control(ev) {
@@ -1111,6 +1184,49 @@ impl<C: Clock> Lvrm<C> {
             }
         }
         self.scratch_ctrl = events;
+    }
+
+    /// Fan one `LVSU` batch out to the origin VRI's live sibling replicas.
+    ///
+    /// A batch of `k` records with `m` live siblings charges
+    /// `updates_emitted += k × m`; each sibling relay then lands in either
+    /// `updates_folded` (accepted onto its control queue) or `updates_lost`
+    /// (queue full), so the fifth conservation identity is exact by
+    /// construction. A batch that fails to decode (corrupt, truncated)
+    /// never charges `emitted` and is counted as a control drop. Draining
+    /// siblings are skipped: they are leaving the replica set and their
+    /// books die with them.
+    fn fan_out_state_updates(&mut self, ev: ControlEvent) {
+        let batch_len = match crate::repl::decode_batch(&ev.payload) {
+            Ok((_origin, updates)) => updates.len() as u64,
+            Err(_) => {
+                self.stats.control_drops.inc();
+                return;
+            }
+        };
+        let origin = VriId(ev.src_vri);
+        let Some(vr) = self.vrs.iter_mut().find(|vr| vr.vris.iter().any(|v| v.id == origin)) else {
+            // Origin died or drained between emit and fan-out: no sibling
+            // set to address, nothing was promised, nothing is lost.
+            self.stats.control_drops.inc();
+            return;
+        };
+        let siblings: u64 = vr.vris.iter().filter(|v| v.id != origin).count() as u64;
+        self.stats.updates_emitted.add(batch_len * siblings);
+        for vri in vr.vris.iter_mut().filter(|v| v.id != origin) {
+            let mut copy = ev.clone();
+            copy.dst_vri = vri.id.0;
+            match vri.relay_control(copy) {
+                Ok(()) => {
+                    self.stats.updates_folded.add(batch_len);
+                    self.stats.control_relayed.inc();
+                }
+                Err(_) => {
+                    self.stats.updates_lost.add(batch_len);
+                    self.stats.control_drops.inc();
+                }
+            }
+        }
     }
 
     fn find_vri_mut(&mut self, id: VriId) -> Option<&mut VriAdapter> {
@@ -2147,6 +2263,9 @@ impl<C: Clock> Lvrm<C> {
         self.stats.queue_lost.store(s.queue_lost);
         self.stats.retired_dispatched.store(s.retired_dispatched);
         self.stats.retired_returned.store(s.retired_returned);
+        self.stats.updates_emitted.store(s.updates_emitted);
+        self.stats.updates_folded.store(s.updates_folded);
+        self.stats.updates_lost.store(s.updates_lost);
         self.next_vri = self.next_vri.max(ck.next_vri);
         self.epoch = ck.epoch.wrapping_add(1);
         for vrck in &ck.vrs {

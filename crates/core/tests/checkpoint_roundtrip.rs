@@ -9,8 +9,9 @@
 use std::net::Ipv4Addr;
 
 use lvrm_core::{
-    AffinityMode, Checkpoint, CheckpointDelta, CoreId, CoreMap, CoreTopology, FlowRecord, Lvrm,
-    LvrmConfig, LvrmStats, ManualClock, RecordingHost, VrCheckpoint,
+    decode_batch, encode_batch, AffinityMode, Checkpoint, CheckpointDelta, CoreId, CoreMap,
+    CoreTopology, FlowRecord, HaMsg, Lvrm, LvrmConfig, LvrmStats, ManualClock, RecordingHost,
+    ReplicaLedger, StateUpdate, VrCheckpoint,
 };
 use lvrm_net::flow::Protocol;
 use lvrm_net::{FlowKey, FrameBuilder};
@@ -21,7 +22,7 @@ const CASES: u32 = if cfg!(miri) { 8 } else { 128 };
 // ---- strategies --------------------------------------------------------
 
 fn arb_stats() -> impl Strategy<Value = LvrmStats> {
-    prop::collection::vec(any::<u64>(), 19..20).prop_map(|v| LvrmStats {
+    prop::collection::vec(any::<u64>(), 22..23).prop_map(|v| LvrmStats {
         frames_in: v[0],
         frames_out: v[1],
         unclassified: v[2],
@@ -41,6 +42,9 @@ fn arb_stats() -> impl Strategy<Value = LvrmStats> {
         queue_lost: v[16],
         retired_dispatched: v[17],
         retired_returned: v[18],
+        updates_emitted: v[19],
+        updates_folded: v[20],
+        updates_lost: v[21],
     })
 }
 
@@ -332,6 +336,147 @@ proptest! {
         // Either rejected (nearly always) or a genuinely well-formed
         // payload; the only forbidden outcome is a panic.
         let _ = Checkpoint::decode(&bytes);
+    }
+}
+
+// ---- LVSU state-update batches (DESIGN.md §14) -------------------------
+
+fn arb_update_key() -> impl Strategy<Value = FlowKey> {
+    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
+        |(src, dst, src_port, dst_port, proto)| FlowKey {
+            src: Ipv4Addr::from(src),
+            dst: Ipv4Addr::from(dst),
+            src_port,
+            dst_port,
+            proto: Protocol::from_ip_proto(proto),
+        },
+    )
+}
+
+/// A batch the emitter can produce: per-origin seqs strictly increase.
+fn arb_update_batch() -> impl Strategy<Value = Vec<StateUpdate>> {
+    prop::collection::vec((arb_update_key(), any::<u64>(), any::<u64>(), any::<u64>()), 0..24)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (key, d_frames, d_bytes, last_seen_ns))| StateUpdate {
+                    key,
+                    seq: i as u64 + 1,
+                    d_frames,
+                    d_bytes,
+                    last_seen_ns,
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// LVSU encode → decode is the identity, and the wire length is exactly
+    /// the documented fixed-size framing (no hidden variability to desync
+    /// a reader on).
+    #[test]
+    fn state_update_encode_decode_is_identity(
+        origin in any::<u32>(),
+        updates in arb_update_batch(),
+    ) {
+        let bytes = encode_batch(origin, &updates);
+        prop_assert_eq!(bytes.len(), 15 + 45 * updates.len());
+        let (back_origin, back) = decode_batch(&bytes).expect("well-formed batch must decode");
+        prop_assert_eq!(back_origin, origin);
+        prop_assert_eq!(back, updates);
+    }
+
+    /// Any single-byte corruption of a batch is rejected — a sibling
+    /// replica can never fold a flipped bit into its books.
+    #[test]
+    fn state_update_single_byte_corruption_is_always_rejected(
+        origin in any::<u32>(),
+        updates in arb_update_batch(),
+        pos in any::<u32>(),
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = encode_batch(origin, &updates);
+        let idx = pos as usize % bytes.len();
+        bytes[idx] ^= mask;
+        prop_assert!(
+            decode_batch(&bytes).is_err(),
+            "flipping LVSU byte {} with mask {:#04x} was accepted", idx, mask
+        );
+    }
+
+    /// Every truncation point errors — never panics, never yields a
+    /// partial batch.
+    #[test]
+    fn state_update_truncation_is_always_rejected(
+        origin in any::<u32>(),
+        updates in arb_update_batch(),
+        cut in any::<u32>(),
+    ) {
+        let bytes = encode_batch(origin, &updates);
+        let len = cut as usize % bytes.len();
+        prop_assert!(
+            decode_batch(&bytes[..len]).is_err(),
+            "LVSU truncation to {} bytes was accepted", len
+        );
+    }
+
+    /// The LVSU decoder is total over arbitrary byte soup.
+    #[test]
+    fn state_update_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = decode_batch(&bytes);
+    }
+
+    /// The four wire magics — LVCK, LVCD, LVHA, LVSU — are mutually
+    /// disjoint: no format's well-formed bytes decode as any other, so a
+    /// mis-routed control payload can never be folded as the wrong kind.
+    #[test]
+    fn state_update_magic_is_disjoint_from_other_formats(
+        ck in arb_clean_checkpoint(),
+        seed in any::<u64>(),
+        origin in any::<u32>(),
+        updates in arb_update_batch(),
+    ) {
+        let lvsu = encode_batch(origin, &updates);
+        prop_assert!(Checkpoint::decode(&lvsu).is_err());
+        prop_assert!(CheckpointDelta::decode(&lvsu).is_err());
+        prop_assert!(HaMsg::decode(&lvsu).is_err());
+
+        let next = mutate(&ck, seed);
+        prop_assert!(decode_batch(&ck.encode()).is_err());
+        prop_assert!(decode_batch(&CheckpointDelta::diff(&ck, &next, 1).encode()).is_err());
+        prop_assert!(decode_batch(&HaMsg::SyncReq { have_seq: seed }.encode()).is_err());
+    }
+
+    /// Folding is idempotent per (origin, seq): after a batch sequence has
+    /// been folded in order, re-folding any replayed/reordered selection of
+    /// those batches changes neither the books nor the folded count. This
+    /// is what makes at-least-once fan-out delivery safe.
+    #[test]
+    fn state_update_fold_is_idempotent_under_replay_and_reorder(
+        updates in arb_update_batch(),
+        replay in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let mut ledger = ReplicaLedger::new(7);
+        for u in &updates {
+            prop_assert!(ledger.fold(3, u), "first delivery must fold");
+        }
+        let books: Vec<_> = updates
+            .iter()
+            .map(|u| ledger.book(&u.key).expect("observed flow has a book"))
+            .collect();
+        let folded = ledger.folded;
+        if !updates.is_empty() {
+            for r in replay {
+                let u = &updates[r as usize % updates.len()];
+                prop_assert!(!ledger.fold(3, u), "replayed seq {} must be a no-op", u.seq);
+            }
+        }
+        prop_assert_eq!(ledger.folded, folded, "replays never recount");
+        for (u, before) in updates.iter().zip(books) {
+            prop_assert_eq!(ledger.book(&u.key), Some(before));
+        }
     }
 }
 

@@ -16,6 +16,7 @@
 //! (C) per VRI:    Σ dispatched == Σ returned + data_queued + egress_queued
 //!                 + reclaimed + queue_lost      (sums include retired series)
 //! (D) drops:      dispatch_drops == Σ vri_dispatch_drops (incl. retired)
+//! (E) replication: updates_emitted == updates_folded + updates_lost
 //! ```
 //!
 //! (B) holds at every instant because in-flight frames are visible as the
@@ -30,8 +31,8 @@
 use std::net::Ipv4Addr;
 
 use lvrm_core::{
-    AffinityMode, AllocatorKind, CoreId, CoreMap, CoreTopology, FaultPlan, FaultyHost, Lvrm,
-    LvrmConfig, ManualClock, RecordingHost,
+    AffinityMode, AllocatorKind, CoreId, CoreMap, CoreTopology, DispatchMode, FaultPlan,
+    FaultyHost, Lvrm, LvrmConfig, ManualClock, RecordingHost,
 };
 use lvrm_ipc::QueueKind;
 use lvrm_metrics::MetricsSnapshot;
@@ -135,6 +136,15 @@ fn assert_snapshot_invariants(snap: &MetricsSnapshot, ctx: &str) {
         snap.counter_sum("lvrm_vri_dispatch_drops_total"),
         "(D) drop identity violated {ctx}"
     );
+
+    // (E) replication: every state-update record accepted for fan-out is
+    // either folded into a sibling replica or lost to a full/defunct queue.
+    // Exact even when no VR runs replicated (all three stay at zero).
+    assert_eq!(
+        c(snap, "lvrm_repl_updates_emitted_total"),
+        c(snap, "lvrm_repl_updates_folded_total") + c(snap, "lvrm_repl_updates_lost_total"),
+        "(E) replication identity violated {ctx}"
+    );
 }
 
 /// Drive one randomized fault storm against one queue kind, snapshotting
@@ -147,6 +157,11 @@ fn storm(kind: QueueKind, seed: u64) {
     let mut host = FaultyHost::new(RecordingHost::with_heartbeats(), plan);
     let a = lvrm.add_vr("deptA", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], routed_vr("a"), &mut host);
     let b = lvrm.add_vr("deptB", &[(Ipv4Addr::new(10, 0, 3, 0), 24)], routed_vr("b"), &mut host);
+    // deptB runs replicated: its VRIs ledger every serviced frame and flush
+    // LVSU batches upstream, so identity (E) sees real fan-out under chaos
+    // (relays to crashed/stalled siblings land in `updates_lost`).
+    host.inner.replicate = true;
+    lvrm.set_vr_dispatch(b, DispatchMode::Replicated);
 
     // Deterministic per-seed traffic shape (splitmix-style mixer).
     let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);

@@ -7,7 +7,7 @@ use lvrm_click::ClickVr;
 use lvrm_core::fault::FaultInjectable;
 use lvrm_core::host::{VriHost, VriSpec};
 use lvrm_core::vri::LvrmAdapter;
-use lvrm_core::{VrId, VriId};
+use lvrm_core::{DispatchMode, ReplicaLedger, VrId, VriId};
 use lvrm_ipc::VriEndpoint;
 use lvrm_net::Frame;
 use lvrm_router::{FastVr, Route, RouteTable, VirtualRouter};
@@ -71,6 +71,15 @@ pub struct VrSpec {
     /// Admission weight under overload shedding (`None` = the LVRM config's
     /// default weight).
     pub shed_weight: Option<f64>,
+    /// Per-VR dispatch override (`None` = the LVRM config's global mode).
+    /// `Replicated` spreads every frame across the VR's VRIs and replicates
+    /// per-flow state via LVSU batches (DESIGN.md §14).
+    pub dispatch: Option<DispatchMode>,
+    /// Extra VRI service cost charged per payload byte, modelling
+    /// compute-bound per-frame work (deep inspection, crypto). This is what
+    /// makes a single elephant flow saturate one core while its ACKs stay
+    /// cheap.
+    pub per_byte_load_ns: u64,
 }
 
 impl VrSpec {
@@ -83,12 +92,26 @@ impl VrSpec {
             receiver_subnet: (Ipv4Addr::new(10, k as u8, 2, 0), 24),
             vr_type,
             shed_weight: None,
+            dispatch: None,
+            per_byte_load_ns: 0,
         }
     }
 
     /// Builder-style admission-weight override.
     pub fn with_shed_weight(mut self, weight: f64) -> VrSpec {
         self.shed_weight = Some(weight);
+        self
+    }
+
+    /// Builder-style dispatch-mode override.
+    pub fn with_dispatch(mut self, mode: DispatchMode) -> VrSpec {
+        self.dispatch = Some(mode);
+        self
+    }
+
+    /// Builder-style per-byte service-cost override.
+    pub fn with_per_byte_load_ns(mut self, ns: u64) -> VrSpec {
+        self.per_byte_load_ns = ns;
         self
     }
 
@@ -160,6 +183,9 @@ pub struct SimVriSlot {
     /// A `VriPoll` event is in flight for this slot.
     pub poll_scheduled: bool,
     pub processed: u64,
+    /// Replicated-dispatch state books (DESIGN.md §14). Lazily created by
+    /// the world on the first poll of a slot whose VR runs replicated.
+    pub ledger: Option<ReplicaLedger>,
 }
 
 /// The simulated host: LVRM spawns VRIs as slots; the world schedules their
@@ -218,6 +244,7 @@ impl VriHost for SimHost {
             active_after_ns: 0,
             poll_scheduled: false,
             processed: 0,
+            ledger: None,
         });
     }
 

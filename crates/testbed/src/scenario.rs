@@ -14,10 +14,12 @@ use lvrm_core::clock::{Clock, ManualClock};
 use lvrm_core::fault::{FaultKind, FaultPlan};
 use lvrm_core::monitor::{ReallocEvent, SupervisionEvent};
 use lvrm_core::topology::{CoreId, CoreMap, CoreTopology};
-use lvrm_core::{Lvrm, LvrmConfig, SocketKind, VrId};
+use lvrm_core::vri::LVRM_CTRL_ID;
+use lvrm_core::{DispatchMode, Lvrm, LvrmConfig, ReplicaLedger, SocketKind, VrId};
+use lvrm_ipc::channels::ControlEvent;
 use lvrm_metrics::LatencyHistogram;
 use lvrm_net::headers::{IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP};
-use lvrm_net::{Frame, FrameBuilder};
+use lvrm_net::{FlowKey, Frame, FrameBuilder};
 use lvrm_router::RouterAction;
 
 use crate::cost::CostModel;
@@ -44,6 +46,11 @@ const VRI_BATCH: usize = 32;
 const POLL_SLICE_NS: u64 = 100_000;
 /// NIC ring capacity, frames.
 const RX_RING_CAP: usize = 4096;
+/// Core time to fold or encode one 45-byte state-update record
+/// (replicated dispatch, DESIGN.md §14).
+const REPL_FOLD_NS: u64 = 25;
+/// Fixed overhead of flushing one LVSU batch onto the control queue.
+const REPL_EMIT_BASE_NS: u64 = 80;
 
 /// One traffic source attachment.
 #[derive(Clone, Debug)]
@@ -187,6 +194,10 @@ pub struct ScenarioResult {
     pub metrics: Option<lvrm_metrics::MetricsSnapshot>,
     /// Frames dropped at the NIC rings.
     pub ring_drops: u64,
+    /// FNV-1a digests of every LVSU state-update batch flushed by a VRI, in
+    /// emission order — the determinism fingerprint of the replication
+    /// plane (empty unless some VR dispatches replicated; LVRM only).
+    pub repl_trace: Vec<u64>,
 }
 
 impl ScenarioResult {
@@ -300,6 +311,7 @@ struct World<'s> {
     tcp_goodput_last_sample: u64,
     last_sample_ns: u64,
     egress_unrouted: u64,
+    repl_trace: Vec<u64>,
 }
 
 impl<'s> World<'s> {
@@ -331,6 +343,9 @@ impl<'s> World<'s> {
                 for (v, id) in sc.vrs.iter().zip(&vr_ids) {
                     if let Some(w) = v.shed_weight {
                         lvrm.set_vr_weight(*id, w);
+                    }
+                    if let Some(mode) = v.dispatch {
+                        lvrm.set_vr_dispatch(*id, mode);
                     }
                 }
                 Mech::Lvrm { lvrm, host, clock, vr_ids }
@@ -403,6 +418,7 @@ impl<'s> World<'s> {
             tcp_goodput_last_sample: 0,
             last_sample_ns: 0,
             egress_unrouted: 0,
+            repl_trace: Vec::new(),
         }
     }
 
@@ -899,6 +915,12 @@ impl<'s> World<'s> {
 
     // ------------------------------------------------------------ VRIs
 
+    /// Whether VR spec `k` runs replicated dispatch (per-VR override first,
+    /// then the config's global mode).
+    fn vr_replicated(&self, k: usize) -> bool {
+        self.sc.vrs[k].dispatch.unwrap_or(self.sc.lvrm.dispatch) == DispatchMode::Replicated
+    }
+
     fn on_vri_poll(&mut self, slot: usize, now: u64) {
         let unpinned = self.sc.lvrm.affinity == lvrm_core::topology::AffinityMode::Default;
         let contention = {
@@ -907,6 +929,20 @@ impl<'s> World<'s> {
                 _ => None,
             };
             core.map_or(1, |c| self.core_residents(c))
+        };
+        // Replication plumbing resolved up front: the owning VR spec's
+        // per-byte service cost and whether this slot keeps a state ledger.
+        let (per_byte, replicated) = {
+            let vr_idx = match &self.mech {
+                Mech::Lvrm { host, vr_ids, .. } => {
+                    host.slots.get(slot).and_then(|s| vr_ids.iter().position(|id| *id == s.spec.vr))
+                }
+                _ => None,
+            };
+            match vr_idx {
+                Some(k) => (self.sc.vrs[k].per_byte_load_ns, self.vr_replicated(k)),
+                None => (0, false),
+            }
         };
         let mut t = now;
         let mut produced = false;
@@ -931,6 +967,9 @@ impl<'s> World<'s> {
                 self.q.schedule(busy, Event::VriPoll { slot });
                 return;
             }
+            if replicated && s.ledger.is_none() {
+                s.ledger = Some(ReplicaLedger::new(s.spec.vri.0));
+            }
             let deadline = now + POLL_SLICE_NS;
             let topo = CoreTopology::dual_quad_xeon();
             let penalty = self.sc.cost.core_penalty(&topo, self.lvrm_core, s.spec.core, unpinned);
@@ -945,21 +984,58 @@ impl<'s> World<'s> {
                 let adapter = s.adapter.as_mut().expect("checked above");
                 match adapter.from_lvrm(t) {
                     Some(lvrm_ipc::channels::Work::Data(mut frame)) => {
-                        let cost =
-                            (penalty + s.router.nominal_cost_ns() + s.router.dummy_load_ns())
-                                * contention;
+                        let cost = (penalty
+                            + s.router.nominal_cost_ns()
+                            + s.router.dummy_load_ns()
+                            + per_byte * frame.len() as u64)
+                            * contention;
                         t = self.cpu.charge(s.spec.core, t, cost, CpuBucket::User);
                         s.processed += 1;
+                        if let Some(ledger) = s.ledger.as_mut() {
+                            if let Some(key) = FlowKey::from_frame(&frame) {
+                                ledger.observe(key, frame.len() as u64, t);
+                            }
+                        }
                         if let RouterAction::Forward { .. } = s.router.process(&mut frame) {
                             if adapter.to_lvrm(frame).is_ok() {
                                 produced = true;
                             }
                         }
                     }
-                    Some(lvrm_ipc::channels::Work::Control(_ev)) => {
-                        t = self.cpu.charge(s.spec.core, t, 100, CpuBucket::User);
+                    Some(lvrm_ipc::channels::Work::Control(ev)) => {
+                        // Sibling state-update batches fold into the local
+                        // books; other control traffic costs a flat touch.
+                        let mut cost = 100;
+                        if let Some(ledger) = s.ledger.as_mut() {
+                            if lvrm_core::is_state_update(&ev.payload) {
+                                if let Ok((origin, updates)) = lvrm_core::decode_batch(&ev.payload)
+                                {
+                                    cost += REPL_FOLD_NS * updates.len() as u64;
+                                    ledger.fold_batch(origin, &updates);
+                                }
+                            }
+                        }
+                        t = self.cpu.charge(s.spec.core, t, cost * contention, CpuBucket::User);
                     }
                     None => break,
+                }
+            }
+            // Emit this pass's coalesced state deltas to the monitor for
+            // fan-out to the sibling replicas (DESIGN.md §14).
+            if let Some(ledger) = s.ledger.as_mut() {
+                if let Some(buf) = ledger.flush() {
+                    let records = (buf.len().saturating_sub(15) / 45) as u64;
+                    t = self.cpu.charge(
+                        s.spec.core,
+                        t,
+                        (REPL_EMIT_BASE_NS + REPL_FOLD_NS * records) * contention,
+                        CpuBucket::User,
+                    );
+                    self.repl_trace.push(fnv1a(&buf));
+                    let adapter = s.adapter.as_mut().expect("checked above");
+                    let _ =
+                        adapter.send_control(ControlEvent::new(s.spec.vri.0, LVRM_CTRL_ID, buf));
+                    produced = true;
                 }
             }
             more = s.adapter.as_ref().is_some_and(|a| a.has_pending());
@@ -1101,6 +1177,7 @@ impl<'s> World<'s> {
             vr_snapshots,
             metrics,
             ring_drops: self.ring_drops,
+            repl_trace: self.repl_trace,
         }
     }
 }
@@ -1151,6 +1228,16 @@ fn socket_buckets(kind: SocketKind) -> (CpuBucket, CpuBucket) {
         SocketKind::PfRing => (CpuBucket::SoftIrq, CpuBucket::SoftIrq),
         SocketKind::MemTrace => (CpuBucket::User, CpuBucket::User),
     }
+}
+
+/// FNV-1a over an encoded LVSU batch — the replication-trace digest.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
 }
 
 /// Stable per-flow key: source address + source port.

@@ -6,7 +6,7 @@
 //! VRs) with [`WorkloadSpec`] traffic shapes — constant-rate, seeded
 //! heavy-tailed flow mixes, diurnal ramps, flash crowds, SYN/UDP floods —
 //! and lowers to a runnable `Scenario`. Every run returns a structured
-//! [`ScenarioReport`]: the four frame-conservation identities evaluated on
+//! [`ScenarioReport`]: the five conservation identities evaluated on
 //! the final metrics snapshot, per-tenant goodput, and flow-table
 //! occupancy. "Benchmarking NFV Software Dataplanes" (arXiv 1605.05843)
 //! shows dataplane rankings invert with the traffic *profile*, not just the
@@ -17,13 +17,14 @@
 //! seed, so two runs of the same spec produce identical flow traces and
 //! identical reports (property-tested in `scenario_determinism.rs`).
 
-use lvrm_core::SocketKind;
+use lvrm_core::{DispatchMode, SocketKind};
 use lvrm_ipc::QueueKind;
 use lvrm_metrics::MetricsSnapshot;
 
 use crate::cost::StageCost;
 use crate::gateway::{ForwardingMech, VrSpec, VrType};
-use crate::scenario::{Scenario, ScenarioResult, SourceSpec};
+use crate::scenario::{Scenario, ScenarioResult, SourceSpec, TcpFlowSpec};
+use crate::tcp::TcpConfig;
 use crate::traffic::{RateSchedule, SourceKind};
 
 /// One traffic shape attached to a tenant.
@@ -70,12 +71,28 @@ pub struct TenantSpec {
     pub weight: f64,
     /// Per-frame dummy routing load, modelling VR processing cost.
     pub dummy_load_ns: u64,
+    /// Per-byte VRI service cost, modelling compute-bound per-frame work —
+    /// what makes one elephant flow saturate a single core.
+    pub per_byte_load_ns: u64,
+    /// Per-VR dispatch override (`None` keeps the config's global mode;
+    /// `Replicated` enables state-compute replication, DESIGN.md §14).
+    pub dispatch: Option<DispatchMode>,
     pub workloads: Vec<WorkloadSpec>,
+    /// Bulk TCP flows through this tenant's VR (started at t = 0).
+    pub tcp_flows: Vec<TcpConfig>,
 }
 
 impl TenantSpec {
     pub fn new(name: &str, weight: f64) -> TenantSpec {
-        TenantSpec { name: name.to_string(), weight, dummy_load_ns: 0, workloads: Vec::new() }
+        TenantSpec {
+            name: name.to_string(),
+            weight,
+            dummy_load_ns: 0,
+            per_byte_load_ns: 0,
+            dispatch: None,
+            workloads: Vec::new(),
+            tcp_flows: Vec::new(),
+        }
     }
 
     pub fn with_load(mut self, dummy_load_ns: u64) -> TenantSpec {
@@ -83,8 +100,23 @@ impl TenantSpec {
         self
     }
 
+    pub fn with_per_byte_load(mut self, per_byte_load_ns: u64) -> TenantSpec {
+        self.per_byte_load_ns = per_byte_load_ns;
+        self
+    }
+
+    pub fn dispatch(mut self, mode: DispatchMode) -> TenantSpec {
+        self.dispatch = Some(mode);
+        self
+    }
+
     pub fn workload(mut self, w: WorkloadSpec) -> TenantSpec {
         self.workloads.push(w);
+        self
+    }
+
+    pub fn tcp(mut self, cfg: TcpConfig) -> TenantSpec {
+        self.tcp_flows.push(cfg);
         self
     }
 }
@@ -246,8 +278,13 @@ impl ScenarioSpec {
             .iter()
             .enumerate()
             .map(|(k, t)| {
-                VrSpec::numbered(k, VrType::Cpp { dummy_load_ns: t.dummy_load_ns })
+                let mut v = VrSpec::numbered(k, VrType::Cpp { dummy_load_ns: t.dummy_load_ns })
                     .with_shed_weight(t.weight)
+                    .with_per_byte_load_ns(t.per_byte_load_ns);
+                if let Some(mode) = t.dispatch {
+                    v = v.with_dispatch(mode);
+                }
+                v
             })
             .collect();
         sc.sources = self
@@ -259,6 +296,14 @@ impl ScenarioSpec {
                     let (kind, schedule) = self.lower(w, self.derived_seed(k, j));
                     SourceSpec { vr: k, host: (j + 1) as u8, kind, schedule }
                 })
+            })
+            .collect();
+        sc.tcp_flows = self
+            .tenants
+            .iter()
+            .enumerate()
+            .flat_map(|(k, t)| {
+                t.tcp_flows.iter().map(move |cfg| TcpFlowSpec { vr: k, cfg: *cfg, start_ns: 0 })
             })
             .collect();
         sc
@@ -288,8 +333,8 @@ impl Identity {
     }
 }
 
-/// The four frame-conservation identities (DESIGN.md §9, `metrics_invariants`
-/// suite) evaluated on one metrics snapshot.
+/// The five conservation identities (DESIGN.md §9 and §14,
+/// `metrics_invariants` suite) evaluated on one metrics snapshot.
 #[derive(Clone, Debug)]
 pub struct ConservationReport {
     /// (A) per VR: `frames_in == admitted + shed`.
@@ -302,6 +347,8 @@ pub struct ConservationReport {
     pub dispatch: Identity,
     /// (D) `dispatch_drops == Σ vri_dispatch_drops`.
     pub drops: Identity,
+    /// (E) replication: `updates_emitted == updates_folded + updates_lost`.
+    pub replication: Identity,
 }
 
 impl ConservationReport {
@@ -359,12 +406,20 @@ impl ConservationReport {
             rhs: snap.counter_sum("lvrm_vri_dispatch_drops_total"),
         };
 
-        ConservationReport { admission, global, dispatch, drops }
+        let replication = Identity {
+            label: "replication".to_string(),
+            lhs: c("lvrm_repl_updates_emitted_total"),
+            rhs: c("lvrm_repl_updates_folded_total") + c("lvrm_repl_updates_lost_total"),
+        };
+
+        ConservationReport { admission, global, dispatch, drops, replication }
     }
 
     /// Every identity, admission ones included.
     pub fn all(&self) -> impl Iterator<Item = &Identity> {
-        [&self.global, &self.dispatch, &self.drops].into_iter().chain(self.admission.iter())
+        [&self.global, &self.dispatch, &self.drops, &self.replication]
+            .into_iter()
+            .chain(self.admission.iter())
     }
 
     pub fn all_hold(&self) -> bool {
@@ -449,6 +504,17 @@ impl ScenarioReport {
     /// Frames shed at ingress (the PR 3 overload path), from the stats.
     pub fn shed_early(&self) -> u64 {
         self.result.lvrm_stats.as_ref().map_or(0, |s| s.shed_early)
+    }
+
+    /// State updates emitted toward sibling replicas (identity E's
+    /// left-hand side).
+    pub fn updates_emitted(&self) -> u64 {
+        self.result.lvrm_stats.as_ref().map_or(0, |s| s.updates_emitted)
+    }
+
+    /// Aggregate TCP goodput inside the measurement window, Mbps.
+    pub fn tcp_mbps(&self) -> f64 {
+        self.result.tcp_aggregate_mbps()
     }
 }
 
@@ -565,6 +631,33 @@ pub fn diurnal(seed: u64) -> ScenarioSpec {
             period_ns: 700_000_000,
         }),
     ];
+    spec
+}
+
+/// Elephant flow: one bulk TCP transfer through a compute-bound VR
+/// (`per_byte_load_ns` makes each 1460-byte data segment cost ~100 µs of
+/// core time, while its ACKs stay cheap), plus a seeded trickle of
+/// heavy-tailed mice for replication-trace seed sensitivity.
+///
+/// Under pinned dispatch the flow's 5-tuple rides one VRI and goodput caps
+/// at a single core's service rate no matter how many VRIs the VR owns.
+/// Under `replicated` dispatch every VRI serves the flow and goodput
+/// scales with `vri_cores` — the state-compute replication headline. The
+/// raised `dupack_threshold` (TCP-NCR style) absorbs the cross-replica
+/// reordering that any-VRI dispatch introduces.
+pub fn elephant_flow(vri_cores: usize, replicated: bool, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("elephant_flow", seed);
+    spec.duration_ns = 1_200_000_000;
+    spec.warmup_ns = 200_000_000;
+    spec.vri_cores = vri_cores;
+    let mut tenant = TenantSpec::new("elephant", 1.0)
+        .with_per_byte_load(65)
+        .tcp(TcpConfig { dupack_threshold: 64, ..TcpConfig::default() })
+        .workload(WorkloadSpec::HeavyTailed { wire_size: 84, fps: 2_000.0, flows: 64, alpha: 1.3 });
+    if replicated {
+        tenant = tenant.dispatch(DispatchMode::Replicated);
+    }
+    spec.tenants = vec![tenant];
     spec
 }
 

@@ -34,6 +34,9 @@ pub struct TcpConfig {
     pub min_rto_ns: u64,
     /// Pace segments no closer than this (None = window-limited only).
     pub pacing_ns: Option<u64>,
+    /// Duplicate ACKs before fast retransmit (RFC 5681 uses 3; raise it
+    /// TCP-NCR style when the path reorders, e.g. replicated dispatch).
+    pub dupack_threshold: u32,
 }
 
 impl Default for TcpConfig {
@@ -44,6 +47,7 @@ impl Default for TcpConfig {
             init_ssthresh: 64.0,
             min_rto_ns: 200_000_000,
             pacing_ns: None,
+            dupack_threshold: 3,
         }
     }
 }
@@ -281,10 +285,10 @@ impl TcpFlow {
             self.dup_acks += 1;
             if self.in_recovery {
                 self.cwnd += 1.0; // inflation
-            } else if self.dup_acks == 3 {
+            } else if self.dup_acks == self.cfg.dupack_threshold {
                 // Fast retransmit.
                 self.ssthresh = (self.inflight() as f64 / self.cfg.mss as f64 / 2.0).max(2.0);
-                self.cwnd = self.ssthresh + 3.0;
+                self.cwnd = self.ssthresh + self.cfg.dupack_threshold as f64;
                 self.in_recovery = true;
                 self.recover = self.snd_nxt;
                 self.rtt_probe = None; // Karn
@@ -435,6 +439,37 @@ mod tests {
         let act = f.on_ack_at_sender(ack, 110);
         // recover = 6*MSS > 4*MSS: partial ack retransmits the next hole...
         assert_eq!(act.transmit, vec![4 * MSS]);
+    }
+
+    #[test]
+    fn raised_dupack_threshold_tolerates_reordering() {
+        // TCP-NCR style: with the threshold above the reorder depth, a
+        // late-but-not-lost segment must not trigger a spurious retransmit.
+        let cfg = TcpConfig { dupack_threshold: 6, ..TcpConfig::default() };
+        let mut f =
+            TcpFlow::new(0, 0, cfg, Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 1), 40_000);
+        f.cwnd = 10.0;
+        let mut seqs = Vec::new();
+        for _ in 0..6 {
+            seqs.push(f.send_new(0).tcp().unwrap().seq() as u64);
+        }
+        // Segment 0 is merely reordered behind 1..=4: four dup ACKs arrive,
+        // below the raised threshold of 6.
+        for &s in &seqs[1..5] {
+            let ackf = f.on_data_at_receiver(s, MSS as usize, 50);
+            let ack = ackf.tcp().unwrap().ack() as u64;
+            let act = f.on_ack_at_sender(ack, 60);
+            assert!(act.transmit.is_empty(), "no spurious fast retransmit");
+        }
+        assert!(!f.in_recovery);
+        assert_eq!(f.retransmits, 0);
+        // The straggler lands: cumulative ACK jumps, dup-ack count resets.
+        let ackf = f.on_data_at_receiver(0, MSS as usize, 100);
+        let ack = ackf.tcp().unwrap().ack() as u64;
+        assert_eq!(ack, 5 * MSS);
+        f.on_ack_at_sender(ack, 110);
+        assert_eq!(f.dup_acks, 0);
+        assert_eq!(f.retransmits, 0, "reordering absorbed without loss response");
     }
 
     #[test]

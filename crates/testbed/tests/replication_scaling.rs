@@ -1,0 +1,79 @@
+//! Elephant-flow scaling under state-compute replication (DESIGN.md §14).
+//!
+//! One bulk TCP flow through a compute-bound VR: pinned dispatch rides a
+//! single VRI and caps at one core's service rate; replicated dispatch
+//! spreads the same flow over every VRI and goodput scales with the VRI
+//! count. The suite asserts the headline ratios (≥1.7× at 2 VRIs, ≥3× at
+//! 4) and that all five conservation identities stay exact in every run.
+
+use lvrm_testbed::scenarios::elephant_flow;
+
+const SEED: u64 = 42;
+
+#[test]
+fn elephant_scales_with_replicated_dispatch() {
+    let pinned = elephant_flow(2, false, SEED).run();
+    let repl2 = elephant_flow(2, true, SEED).run();
+    let repl4 = elephant_flow(4, true, SEED).run();
+
+    for (name, r) in [("pinned", &pinned), ("repl2", &repl2), ("repl4", &repl4)] {
+        r.conservation.assert_all(&format!("(elephant {name})"));
+    }
+    assert_eq!(pinned.updates_emitted(), 0, "pinned dispatch replicates nothing");
+    assert!(repl2.updates_emitted() > 0, "replicated dispatch must emit state updates");
+    assert!(repl4.updates_emitted() > 0);
+
+    let base = pinned.tcp_mbps();
+    let x2 = repl2.tcp_mbps() / base;
+    let x4 = repl4.tcp_mbps() / base;
+    println!(
+        "elephant goodput: pinned {base:.1} Mbps, repl2 {:.1} ({x2:.2}x), repl4 {:.1} ({x4:.2}x)",
+        repl2.tcp_mbps(),
+        repl4.tcp_mbps()
+    );
+    assert!(x2 >= 1.7, "2-VRI replicated speedup {x2:.2} < 1.7 (base {base:.1} Mbps)");
+    assert!(x4 >= 3.0, "4-VRI replicated speedup {x4:.2} < 3.0 (base {base:.1} Mbps)");
+}
+
+/// Per-VRI dispatched counts for VR `vr0`, from the metrics snapshot
+/// (the live per-VRI lists are empty after the shutdown drain; the
+/// per-series counters survive retirement).
+fn vr0_dispatches(report: &lvrm_testbed::scenarios::ScenarioReport) -> Vec<u64> {
+    let snap = report.result.metrics.as_ref().expect("LVRM runs export metrics");
+    let fam = snap.family("lvrm_vri_dispatched_total").expect("dispatched family exists");
+    fam.series
+        .iter()
+        .filter(|s| {
+            s.labels.iter().any(|(k, v)| k == "vr" && v == "vr0")
+                && !s.labels.iter().any(|(k, v)| k == "vri" && v == "ring")
+        })
+        .map(|s| s.as_counter().unwrap_or(0))
+        .collect()
+}
+
+/// Pinned dispatch must leave the elephant on one VRI even with spare
+/// capacity — the negative control for the scaling claim.
+#[test]
+fn pinned_elephant_rides_one_vri() {
+    let pinned = elephant_flow(2, false, SEED).run();
+    let dispatches = vr0_dispatches(&pinned);
+    let total: u64 = dispatches.iter().sum();
+    let max = dispatches.iter().copied().max().unwrap_or(0);
+    assert!(total > 0);
+    // The TCP data path dominates; mice may land elsewhere. The top VRI
+    // must carry the overwhelming majority of the VR's frames.
+    assert!(max as f64 >= 0.8 * total as f64, "pinned elephant spread across VRIs: {dispatches:?}");
+}
+
+/// Replicated dispatch must actually spread the single flow: no VRI may
+/// carry more than a fair-share-plus-slack fraction of the VR's frames.
+#[test]
+fn replicated_elephant_spreads_across_vris() {
+    let repl4 = elephant_flow(4, true, SEED).run();
+    let dispatches = vr0_dispatches(&repl4);
+    let total: u64 = dispatches.iter().sum();
+    let max = dispatches.iter().copied().max().unwrap_or(0);
+    assert!(total > 0);
+    assert!((max as f64) < 0.5 * total as f64, "replicated elephant not spread: {dispatches:?}");
+    assert!(!repl4.result.repl_trace.is_empty(), "replicated run records an update trace");
+}

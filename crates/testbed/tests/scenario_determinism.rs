@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use lvrm_testbed::scenarios::{diurnal, ScenarioReport};
+use lvrm_testbed::scenarios::{diurnal, elephant_flow, ScenarioReport};
 
 /// Project a run onto everything workload-observable: per-flow delivery
 /// maps, tenant books, identity values, flow-table occupancy.
@@ -52,5 +52,35 @@ fn different_seed_changes_the_flow_trace() {
         fingerprint(&a).0,
         fingerprint(&b).0,
         "generators must consume their seed: seeds 1 and 2 produced identical traces"
+    );
+}
+
+/// The replication plane is part of the reproducible surface: the same
+/// elephant-flow spec + seed must emit a bit-identical LVSU batch trace
+/// (DESIGN.md §14), and the five identities must close in both runs.
+#[test]
+fn elephant_replication_trace_is_deterministic() {
+    let a = elephant_flow(2, true, 0xE1E).run();
+    let b = elephant_flow(2, true, 0xE1E).run();
+    a.conservation.assert_all("(elephant, run A)");
+    b.conservation.assert_all("(elephant, run B)");
+    assert!(!a.result.repl_trace.is_empty(), "replicated run must emit state updates");
+    assert_eq!(a.result.repl_trace, b.result.repl_trace, "replicated-update traces diverged");
+    assert_eq!(fingerprint(&a), fingerprint(&b), "elephant fingerprints diverged");
+    assert_eq!(a.updates_emitted(), b.updates_emitted());
+    assert_eq!(a.tcp_mbps(), b.tcp_mbps(), "goodput must reproduce bit-for-bit");
+}
+
+/// A different seed perturbs the mice mix and with it the replicated
+/// update stream — the trace must not be seed-blind.
+#[test]
+fn elephant_replication_trace_consumes_the_seed() {
+    let a = elephant_flow(2, true, 3).run();
+    let b = elephant_flow(2, true, 4).run();
+    a.conservation.assert_all("(elephant, seed 3)");
+    b.conservation.assert_all("(elephant, seed 4)");
+    assert_ne!(
+        a.result.repl_trace, b.result.repl_trace,
+        "seeds 3 and 4 produced identical replicated-update traces"
     );
 }

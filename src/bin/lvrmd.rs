@@ -10,6 +10,7 @@
 //!
 //! ```text
 //! lvrmd [--config <file>] [--duration <secs>] [--rate <fps>] [--self-test]
+//!       [--dispatch pinned|replicated]
 //!       [--metrics-addr <ip:port>] [--checkpoint-path <file>]
 //!       [--checkpoint-interval <secs>]
 //!       [--ha-bind <ip:port> --ha-peer <ip:port>] [--ha-priority <1-254>]
@@ -40,6 +41,7 @@
 //! ```text
 //! balancer   jsq | rr | random
 //! flow-based on | off
+//! dispatch   pinned | replicated   # replicated: any-VRI dispatch + LVSU state replication (DESIGN.md §14)
 //! allocator  fixed <cores> | dynamic <fps-per-core> | service-rate <bootstrap-fps>
 //! queue      lamport | fastforward | mutex | vlink
 //! ring-capacity <n>      # shared-ring frames under vlink (0 = auto 4x data queue)
@@ -127,6 +129,9 @@ fn parse_config(text: &str) -> Result<DaemonConfig, String> {
                     "off" => false,
                     other => return Err(err(&format!("flow-based must be on/off, got {other:?}"))),
                 };
+            }
+            ("dispatch", [m]) => {
+                lvrm.dispatch = m.parse::<DispatchMode>().map_err(|e| err(&e.to_string()))?;
             }
             ("allocator", ["fixed", n]) => {
                 let cores: usize = n.parse().map_err(|_| err(&format!("bad core count {n:?}")))?;
@@ -551,6 +556,18 @@ fn print_conservation(s: &LvrmStats) {
         accounted,
         if s.frames_in == accounted { "exact" } else { "DELTA" },
     );
+    // Identity (E) only materialises under replicated dispatch; keep the
+    // pinned-mode report one line.
+    if s.updates_emitted + s.updates_folded + s.updates_lost > 0 {
+        println!(
+            "replication: updates_emitted {} == folded {} + lost {} = {} [{}]",
+            s.updates_emitted,
+            s.updates_folded,
+            s.updates_lost,
+            s.updates_folded + s.updates_lost,
+            if s.updates_emitted == s.updates_folded + s.updates_lost { "exact" } else { "DELTA" },
+        );
+    }
 }
 
 fn main() {
@@ -559,6 +576,7 @@ fn main() {
     let mut duration_s = 5u64;
     let mut rate_fps = 50_000.0;
     let mut metrics_addr: Option<String> = None;
+    let mut dispatch: Option<DispatchMode> = None;
     let mut checkpoint_path: Option<String> = None;
     let mut checkpoint_interval_s: Option<u64> = None;
     let mut ha_bind: Option<String> = None;
@@ -585,6 +603,14 @@ fn main() {
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--rate needs fps"));
+                i += 2;
+            }
+            "--dispatch" => {
+                dispatch = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse::<DispatchMode>().ok())
+                        .unwrap_or_else(|| die("--dispatch needs pinned|replicated")),
+                );
                 i += 2;
             }
             "--metrics-addr" => {
@@ -652,6 +678,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: lvrmd [--config FILE] [--duration SECS] [--rate FPS] [--self-test] \
+                     [--dispatch pinned|replicated] \
                      [--metrics-addr IP:PORT] [--checkpoint-path FILE] \
                      [--checkpoint-interval SECS] [--ha-bind IP:PORT --ha-peer IP:PORT] \
                      [--ha-priority 1-254] [--ha-node-id N] [--advert-interval MS]"
@@ -668,6 +695,10 @@ fn main() {
         None => String::new(),
     };
     let mut config = parse_config(&text).unwrap_or_else(|e| die(&e));
+    if let Some(mode) = dispatch {
+        config.lvrm.dispatch = mode;
+        config.lvrm.validate().unwrap_or_else(|e| die(&format!("--dispatch: {e}")));
+    }
     if let Some(p) = checkpoint_path {
         config.lvrm.checkpoint_path = Some(p.into());
     }
@@ -740,6 +771,19 @@ mod tests {
         assert_eq!(c.vrs.len(), 2);
         assert_eq!(c.vrs[1].name, "math");
         assert_eq!(c.vrs[1].sender.0, Ipv4Addr::new(10, 9, 1, 0));
+    }
+
+    #[test]
+    fn dispatch_directive_parses() {
+        let c = parse_config("dispatch replicated\n").unwrap();
+        assert_eq!(c.lvrm.dispatch, DispatchMode::Replicated);
+        let c = parse_config("dispatch pinned\n").unwrap();
+        assert_eq!(c.lvrm.dispatch, DispatchMode::Pinned);
+        assert_eq!(parse_config("").unwrap().lvrm.dispatch, DispatchMode::Pinned);
+        assert!(parse_config("dispatch sideways\n").is_err());
+        // Semantic clash: replicated dispatch defeats flow affinity.
+        let e = parse_config("flow-based on\ndispatch replicated\n").unwrap_err();
+        assert!(e.contains("flow"), "{e}");
     }
 
     #[test]

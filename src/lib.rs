@@ -71,8 +71,8 @@ pub use lvrm_testbed as testbed;
 pub mod prelude {
     pub use lvrm_core::{
         AdapterError, AffinityMode, AllocatorKind, BalancerKind, Clock, CoreId, CoreMap,
-        CoreTopology, EstimatorKind, Lvrm, LvrmConfig, LvrmStats, ManualClock, MonotonicClock,
-        SocketAdapter, SocketKind, VrId, VriId,
+        CoreTopology, DispatchMode, EstimatorKind, Lvrm, LvrmConfig, LvrmStats, ManualClock,
+        MonotonicClock, SocketAdapter, SocketKind, VrId, VriId,
     };
     pub use lvrm_ipc::QueueKind;
     pub use lvrm_net::{FlowKey, Frame, FrameBuilder, Trace, TraceSpec};
