@@ -1,7 +1,7 @@
 //! `bench-report`: the machine-readable perf trajectory for the queue-kind
 //! sweep. Runs a fixed matrix of benches over every [`QueueKind`] and writes
 //! one flat JSON array of rows, schema
-//! `{bench, queue_kind, batch, metric, value, unit}`, to `BENCH_9.json` at
+//! `{bench, queue_kind, batch, metric, value, unit}`, to `BENCH_10.json` at
 //! the repo root (override with `--out <path>`). The schema, its
 //! validation, and the cross-report regression gate live in
 //! [`lvrm_bench::trajectory`]; `bench-diff` compares two reports.
@@ -40,6 +40,17 @@
 //!   VRI count; targets ≥ 1.7× and ≥ 3×), plus a conservation flag over
 //!   all five identities. Deterministic simulated time, identical rows in
 //!   smoke and full profiles.
+//! - `shard_takeover` — three-shard fleet on the manual clock (DESIGN.md
+//!   §15): warm the directory under traffic, kill one shard mid-epoch, and
+//!   measure the simulated time until every orphaned VR is owned by its
+//!   rendezvous successor (`failover_time`, ms, lower-is-better), plus a
+//!   conservation flag over global/replication conservation and the fleet
+//!   identity (every VR exactly one owner) after convergence.
+//! - `repl_scaling_threads` — the elephant flow on *real* VRI threads
+//!   (`lvrm_runtime::ThreadHost` with the replica-ledger path): pinned vs
+//!   replicated wall-clock throughput and their ratio. Machine-dependent,
+//!   so these rows are excluded from the regression gate and from the
+//!   smoke profile.
 //!
 //! Derived rows pin the PR's acceptance targets: `speedup_vs_lamport` under
 //! skew (target ≥ 1.3× at batch 32) and `delta_vs_lamport_pct` under
@@ -51,9 +62,11 @@
 use std::net::Ipv4Addr;
 
 use lvrm_bench::trajectory::{rows_to_json, validate_rows, Row};
+use lvrm_core::clock::Clock as _;
 use lvrm_core::{
-    AffinityMode, AllocatorKind, ChannelLink, CoreId, CoreMap, CoreTopology, HaConfig, Lvrm,
-    LvrmConfig, ManualClock, PeerLink, RecordingHost, VriHost, VriSpec,
+    rendezvous_owner, AffinityMode, AllocatorKind, ChannelLink, CoreId, CoreMap, CoreTopology,
+    DispatchMode, HaConfig, Lvrm, LvrmConfig, ManualClock, MonotonicClock, PeerLink, RecordingHost,
+    ShardConfig, VriHost, VriSpec,
 };
 use lvrm_ipc::channels::Work;
 use lvrm_ipc::{queue, Full, QueueKind, VriEndpoint};
@@ -447,6 +460,240 @@ fn ha_failover(kind: QueueKind, warm_steps: u64) -> (f64, f64) {
     ((t - t_kill) as f64 / 1e6, max_lag as f64)
 }
 
+// ------------------------------------------------------------ shard takeover
+
+const FLEET_SHARDS: u32 = 3;
+const FLEET_VRS: u32 = 6;
+
+/// One fleet member of the shard-takeover bench: a solo monitor declaring
+/// the full six-VR universe, serving its rendezvous share.
+struct ShardBenchNode {
+    clock: ManualClock,
+    lvrm: Lvrm<ManualClock>,
+    host: RecordingHost,
+}
+
+impl ShardBenchNode {
+    fn new(kind: QueueKind, shard_id: u32, links: Vec<(u32, Box<dyn PeerLink>)>) -> ShardBenchNode {
+        let config = LvrmConfig {
+            queue_kind: kind,
+            allocator: AllocatorKind::Fixed { cores: 1 },
+            supervision: true,
+            flow_based: true,
+            shard: Some(ShardConfig {
+                shard_id,
+                shards: FLEET_SHARDS,
+                advert_interval_ns: 100_000_000,
+                snapshot_interval_ns: 200_000_000,
+            }),
+            ..Default::default()
+        };
+        let clock = ManualClock::new();
+        let mut lvrm = new_lvrm(clock.clone(), config);
+        let mut host = RecordingHost::with_heartbeats();
+        for i in 0..FLEET_VRS {
+            let name = fleet_vr_name(i);
+            let net = [(Ipv4Addr::new(10, 0, 1 + i as u8, 0), 24)];
+            lvrm.add_vr(name.clone(), &net, routed_vr(&name), &mut host);
+        }
+        assert!(lvrm.attach_fleet(links), "config carries shard");
+        ShardBenchNode { clock, lvrm, host }
+    }
+
+    fn step(&mut self, t: u64, out: &mut Vec<Frame>) {
+        self.clock.set_ns(t);
+        self.host.pump();
+        self.lvrm.process_control();
+        self.lvrm.maybe_reallocate(t, &mut self.host);
+        self.lvrm.poll_egress(out);
+        out.clear();
+    }
+
+    fn owns(&self, vr: u32) -> bool {
+        self.lvrm.vr_owned_by_name(&fleet_vr_name(vr))
+    }
+}
+
+fn fleet_vr_name(i: u32) -> String {
+    format!("dept{}", i + 1)
+}
+
+/// Global + replication conservation on every survivor, and the fleet
+/// identity: every declared VR owned by exactly one shard.
+fn fleet_conservation_ok(nodes: &[&ShardBenchNode]) -> bool {
+    let mut ok = true;
+    for n in nodes {
+        let s = n.lvrm.stats();
+        ok &= s.frames_in
+            == s.frames_out
+                + s.unclassified
+                + s.dispatch_drops
+                + s.no_vri_drops
+                + s.shrink_lost
+                + s.crash_lost
+                + s.quarantined_drops
+                + s.shed_early;
+        ok &= s.updates_emitted == s.updates_folded + s.updates_lost;
+    }
+    for vr in 0..FLEET_VRS {
+        ok &= nodes.iter().filter(|n| n.owns(vr)).count() == 1;
+    }
+    ok
+}
+
+/// Deterministic simulated shard takeover on the manual clock (DESIGN.md
+/// §15): warm a three-shard fleet under traffic for a second, kill shard 0
+/// mid-epoch, and return `(rehome_ms, conservation_ok)` — the simulated
+/// time until every orphaned VR is owned by its rendezvous successor, and
+/// the conservation flag after a settling interval. Both are pure
+/// functions of the gossip timers, so the gate sees no machine noise.
+fn shard_takeover(kind: QueueKind) -> (f64, bool) {
+    const STEP_NS: u64 = 10_000_000; // 10 ms host-loop cadence
+    let (l01, l10) = ChannelLink::pair();
+    let (l02, l20) = ChannelLink::pair();
+    let (l12, l21) = ChannelLink::pair();
+    let links: [Vec<(u32, Box<dyn PeerLink>)>; 3] = [
+        vec![(1, Box::new(l01) as Box<dyn PeerLink>), (2, Box::new(l02))],
+        vec![(0, Box::new(l10) as Box<dyn PeerLink>), (2, Box::new(l12))],
+        vec![(0, Box::new(l20) as Box<dyn PeerLink>), (1, Box::new(l21))],
+    ];
+    let mut shards: Vec<Option<ShardBenchNode>> = links
+        .into_iter()
+        .enumerate()
+        .map(|(id, l)| Some(ShardBenchNode::new(kind, id as u32, l)))
+        .collect();
+    let mut out = Vec::new();
+
+    // Warm: adverts and snapshots flowing, traffic on every VR at its
+    // current owner.
+    let mut t = 0u64;
+    while t < 1_000_000_000 {
+        for vr in 0..FLEET_VRS {
+            let frame = FrameBuilder::new(
+                Ipv4Addr::new(10, 0, 1 + vr as u8, 20),
+                Ipv4Addr::new(10, 0, 100, 1),
+            )
+            .udp(4000, 80, &[]);
+            if let Some(owner) = shards.iter_mut().flatten().find(|s| s.owns(vr)) {
+                owner.lvrm.ingress(frame, &mut owner.host);
+            }
+        }
+        for s in shards.iter_mut().flatten() {
+            s.step(t, &mut out);
+        }
+        t += STEP_NS;
+    }
+
+    // The kill: shard 0 vanishes, no goodbye; poll until its VRs land on
+    // their rendezvous successors.
+    let victim_vrs: Vec<u32> =
+        (0..FLEET_VRS).filter(|&vr| shards[0].as_ref().unwrap().owns(vr)).collect();
+    assert!(!victim_vrs.is_empty(), "shard_takeover bench: rendezvous left shard 0 empty");
+    shards[0] = None;
+    let survivors = [1u32, 2];
+    let t_kill = t;
+    loop {
+        assert!(t < t_kill + 2_000_000_000, "shard_takeover bench: VRs never re-homed");
+        for s in shards.iter_mut().flatten() {
+            s.step(t, &mut out);
+        }
+        let done = victim_vrs.iter().all(|&vr| {
+            let successor = rendezvous_owner(&fleet_vr_name(vr), &survivors).unwrap();
+            shards[successor as usize].as_ref().unwrap().owns(vr)
+        });
+        if done {
+            break;
+        }
+        t += STEP_NS;
+    }
+    let rehome_ms = (t - t_kill) as f64 / 1e6;
+
+    // Let the claim/ack exchange settle before auditing the books.
+    let t_end = t + 500_000_000;
+    while t < t_end {
+        for s in shards.iter_mut().flatten() {
+            s.step(t, &mut out);
+        }
+        t += STEP_NS;
+    }
+    let live: Vec<&ShardBenchNode> = shards.iter().flatten().collect();
+    (rehome_ms, fleet_conservation_ok(&live))
+}
+
+// ------------------------------------------------------------ repl threads
+
+/// The elephant flow on real VRI threads: wall-clock kfps under pinned vs
+/// replicated dispatch through `lvrm_runtime::ThreadHost`. Returns
+/// `(pinned_kfps, replicated_kfps, conservation_ok)`. Machine-dependent —
+/// these rows never enter the regression gate.
+fn repl_scaling_threads(kind: QueueKind, frames: u64) -> (f64, f64, bool) {
+    use lvrm_runtime::ThreadHost;
+
+    const VRIS: usize = 4;
+    let mut conservation_ok = true;
+    let mut run = |mode: DispatchMode| -> f64 {
+        let clock = MonotonicClock::new();
+        let config = LvrmConfig {
+            queue_kind: kind,
+            allocator: AllocatorKind::Fixed { cores: VRIS },
+            flow_based: true,
+            data_queue_capacity: 1024,
+            ..Default::default()
+        };
+        let cores =
+            CoreMap::new(CoreTopology::single_package(8), CoreId(0), AffinityMode::SiblingFirst);
+        let mut lvrm = Lvrm::new(config, cores, clock.clone());
+        let mut host = ThreadHost::new(clock.clone());
+        if mode == DispatchMode::Replicated {
+            host = host.with_replication();
+        }
+        let routes = lvrm_router::parse_map_file("0.0.0.0/0 1\n").unwrap();
+        // Compute-bound service (10 us/frame) so one VRI is the bottleneck
+        // under pinned dispatch.
+        let router = Box::new(lvrm_router::FastVr::new("vr0", routes).with_dummy_load_ns(10_000));
+        let vr = lvrm.add_vr("vr0", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], router, &mut host);
+        lvrm.set_vr_dispatch(vr, mode);
+        for _ in 1..VRIS {
+            lvrm.maybe_reallocate(clock.now_ns() + 2_000_000_000, &mut host);
+        }
+
+        // One elephant: every frame the same 5-tuple.
+        let frame = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 20), Ipv4Addr::new(10, 0, 2, 1))
+            .udp(4000, 80, &[0u8; 46]);
+        let mut egress = Vec::with_capacity(1024);
+        let mut sent = 0u64;
+        let mut out = 0u64;
+        let t0 = clock.now_ns();
+        let deadline = t0 + 30_000_000_000;
+        while clock.now_ns() < deadline {
+            if sent < frames {
+                for _ in 0..32.min(frames - sent) {
+                    lvrm.ingress(frame.clone(), &mut host);
+                    sent += 1;
+                }
+            }
+            egress.clear();
+            lvrm.poll_egress(&mut egress);
+            out += egress.len() as u64;
+            let s = lvrm.stats();
+            let lost = s.dispatch_drops + s.no_vri_drops + s.queue_lost;
+            if sent == frames && out + lost >= frames {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let elapsed_ns = clock.now_ns() - t0;
+        let s = lvrm.stats();
+        conservation_ok &= s.frames_in
+            == s.frames_out + s.dispatch_drops + s.no_vri_drops + s.unclassified + s.shed_early;
+        host.shutdown();
+        out as f64 / (elapsed_ns as f64 / 1e9) / 1e3
+    };
+    let pinned = run(DispatchMode::Pinned);
+    let replicated = run(DispatchMode::Replicated);
+    (pinned, replicated, conservation_ok)
+}
+
 // ------------------------------------------------------------ scenarios
 
 /// The fixed declarative-scenario bench set (deterministic simulated
@@ -568,7 +815,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_9.json".to_string());
+        .unwrap_or_else(|| "BENCH_10.json".to_string());
     for a in &args {
         if a != "--smoke" && a != "--out" && !out_path.eq(a) {
             eprintln!("usage: bench-report [--smoke] [--out <path>]");
@@ -652,8 +899,60 @@ fn main() {
         rows.push(Row::new("ha_failover", kind.as_str(), 1, "delta_lag", lag, "deltas"));
     }
 
+    for kind in QueueKind::ALL {
+        let (ms, ok) = shard_takeover(kind);
+        println!(
+            "shard_takeover {:>11}: re-homed in {ms:6.1} ms (sim), conservation {}",
+            kind.name(),
+            if ok { "ok" } else { "VIOLATED" },
+        );
+        rows.push(Row::new("shard_takeover", kind.as_str(), 1, "failover_time", ms, "ms"));
+        rows.push(Row::new(
+            "shard_takeover",
+            kind.as_str(),
+            1,
+            "conservation_ok",
+            if ok { 1.0 } else { 0.0 },
+            "bool",
+        ));
+    }
+
     scenario_rows(smoke, &mut rows);
     repl_scaling_rows(&mut rows);
+
+    // Real threads measure this machine's wall clock: full profile only,
+    // never gated.
+    if !smoke {
+        for kind in QueueKind::ALL {
+            let (pinned, replicated, ok) = repl_scaling_threads(kind, 20_000);
+            println!(
+                "repl_threads   {:>11}: pinned {pinned:6.1} kfps, replicated {replicated:6.1} kfps \
+                 ({:.2}x), conservation {}",
+                kind.name(),
+                replicated / pinned,
+                if ok { "ok" } else { "VIOLATED" },
+            );
+            let q = kind.as_str();
+            rows.push(Row::new("repl_scaling_threads", q, 1, "throughput", pinned, "kfps"));
+            rows.push(Row::new("repl_scaling_threads", q, 4, "throughput", replicated, "kfps"));
+            rows.push(Row::new(
+                "repl_scaling_threads",
+                q,
+                4,
+                "speedup_vs_pinned",
+                replicated / pinned,
+                "x",
+            ));
+            rows.push(Row::new(
+                "repl_scaling_threads",
+                q,
+                4,
+                "conservation_ok",
+                if ok { 1.0 } else { 0.0 },
+                "bool",
+            ));
+        }
+    }
 
     // The report validates against its own schema before it is written:
     // a NaN, a negative throughput, or a typo'd metric/unit never reaches

@@ -275,7 +275,12 @@ pub fn is_gated(row: &Row) -> bool {
     let bench_ok = row.bench.starts_with("scenario_")
         || matches!(
             row.bench.as_str(),
-            "dispatch_uniform" | "dispatch_skew" | "overload" | "ha_failover" | "repl_scaling"
+            "dispatch_uniform"
+                | "dispatch_skew"
+                | "overload"
+                | "ha_failover"
+                | "repl_scaling"
+                | "shard_takeover"
         );
     let metric_ok = matches!(
         row.metric.as_str(),
@@ -439,6 +444,17 @@ mod tests {
         assert!(is_gated(&row("ha_failover", "failover_time", 320.0, "ms")));
         assert!(is_gated(&row("ha_failover", "delta_lag", 1.0, "deltas")));
         assert!(!is_gated(&row("ha_failover", "throughput", 1.0, "kfps")));
+    }
+
+    #[test]
+    fn gate_includes_shard_takeover_rows() {
+        assert!(is_gated(&row("shard_takeover", "failover_time", 700.0, "ms")));
+        assert!(is_gated(&row("shard_takeover", "conservation_ok", 1.0, "bool")));
+        assert!(!is_gated(&row("shard_takeover", "throughput", 1.0, "kfps")));
+        // The real-thread replication rows measure the host machine's wall
+        // clock and must stay outside the gate.
+        assert!(!is_gated(&row("repl_scaling_threads", "speedup_vs_pinned", 1.0, "x")));
+        assert!(validate_rows(&[row("shard_takeover", "failover_time", 700.0, "ms")]).is_empty());
     }
 
     #[test]

@@ -162,6 +162,54 @@ impl HaConfig {
     }
 }
 
+/// Monitor-fleet sharding knobs (DESIGN.md §15). Lives in
+/// [`LvrmConfig::shard`]; the per-peer transports are supplied separately
+/// via `Lvrm::attach_fleet` — config carries topology, the host carries
+/// wiring. Each shard is itself a PR-8 style HA pair (or a solo monitor);
+/// only the shard's accepting node speaks on the fleet directory.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardConfig {
+    /// This monitor's shard index, `0 <= shard_id < shards`.
+    pub shard_id: u32,
+    /// Fleet size: how many shards partition the VR space.
+    pub shards: u32,
+    /// Shard-advert spacing on the fleet directory. The per-peer
+    /// shard-down interval is `6 × advert + jitter`: deliberately twice
+    /// the RFC 5798 master-down budget, so an intra-shard HA failover
+    /// (3 × advert + skew) completes before the fleet declares the whole
+    /// shard dead and re-homes its VRs.
+    pub advert_interval_ns: u64,
+    /// Inter-shard state-snapshot spacing: the shard's accepting node
+    /// ships its full checkpoint to every peer this often, so a takeover
+    /// can warm-adopt from the freshest shadow instead of cold-starting.
+    pub snapshot_interval_ns: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shard_id: 0,
+            shards: 1,
+            advert_interval_ns: 100_000_000,   // 100 ms
+            snapshot_interval_ns: 500_000_000, // 500 ms
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Base shard-down interval: `6 × advert_interval`. The fleet adds a
+    /// seeded ±25% jitter per peer on top (see `crate::shard`), so
+    /// co-detecting shards do not stampede the takeover path in lockstep.
+    pub fn shard_down_ns(&self) -> u64 {
+        6 * self.advert_interval_ns
+    }
+
+    /// Directory quorum: strict majority of the configured fleet size.
+    pub fn quorum(&self) -> u32 {
+        self.shards / 2 + 1
+    }
+}
+
 /// Full LVRM configuration. `Default` matches the paper's defaults (§4.1):
 /// PF_RING-style transport is the host's concern; here it is the lock-free
 /// Lamport queue, dynamic fixed-threshold allocation, and frame-based JSQ.
@@ -299,6 +347,10 @@ pub struct LvrmConfig {
     /// runs the monitor solo, exactly as before; `Some` arms the election
     /// state machine once a peer link is attached (`Lvrm::attach_ha`).
     pub ha: Option<HaConfig>,
+    /// Monitor-fleet sharding knobs. `None` (the default) runs a single
+    /// monitor owning every VR, exactly as before; `Some` arms the shard
+    /// directory once peer links are attached (`Lvrm::attach_fleet`).
+    pub shard: Option<ShardConfig>,
 }
 
 /// A statically-invalid [`LvrmConfig`], caught by [`LvrmConfig::validate`]
@@ -328,6 +380,10 @@ pub enum ConfigError {
     /// Replicated dispatch spreads frames regardless of flow key, which
     /// flow-based pinning contradicts: the two cannot both be the default.
     ReplicatedFlowPinned,
+    /// The shard topology must satisfy `shard_id < shards` and `shards >= 1`.
+    ShardTopology { shard_id: u32, shards: u32 },
+    /// Shard advert and snapshot intervals must be nonzero.
+    ShardIntervals { advert_ns: u64, snapshot_ns: u64 },
 }
 
 impl fmt::Display for ConfigError {
@@ -366,6 +422,15 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ReplicatedFlowPinned => {
                 write!(f, "replicated dispatch is incompatible with flow_based pinning")
+            }
+            ConfigError::ShardTopology { shard_id, shards } => {
+                write!(f, "shard topology must satisfy shard_id < shards >= 1, got shard_id={shard_id} shards={shards}")
+            }
+            ConfigError::ShardIntervals { advert_ns, snapshot_ns } => {
+                write!(
+                    f,
+                    "shard advert and snapshot intervals must be nonzero, got advert={advert_ns} snapshot={snapshot_ns}"
+                )
             }
         }
     }
@@ -419,6 +484,7 @@ impl Default for LvrmConfig {
             adapter_reopen_backoff_max_ns: 10_000_000_000, // 10 s
             egress_retry_deadline_ns: 50_000_000,   // 50 ms
             ha: None,
+            shard: None,
         }
     }
 }
@@ -470,6 +536,20 @@ impl LvrmConfig {
                 return Err(ConfigError::HaIntervals {
                     advert_ns: ha.advert_interval_ns,
                     delta_ns: ha.delta_interval_ns,
+                });
+            }
+        }
+        if let Some(shard) = &self.shard {
+            if shard.shards == 0 || shard.shard_id >= shard.shards {
+                return Err(ConfigError::ShardTopology {
+                    shard_id: shard.shard_id,
+                    shards: shard.shards,
+                });
+            }
+            if shard.advert_interval_ns == 0 || shard.snapshot_interval_ns == 0 {
+                return Err(ConfigError::ShardIntervals {
+                    advert_ns: shard.advert_interval_ns,
+                    snapshot_ns: shard.snapshot_interval_ns,
                 });
             }
         }
@@ -659,6 +739,25 @@ mod tests {
         let c = LvrmConfig { dispatch: DispatchMode::Replicated, flow_based: true, ..base() };
         assert_eq!(c.validate(), Err(ConfigError::ReplicatedFlowPinned));
         let c = LvrmConfig { dispatch: DispatchMode::Replicated, ..base() };
+        assert_eq!(c.validate(), Ok(()));
+
+        let c =
+            LvrmConfig { shard: Some(ShardConfig { shards: 0, ..Default::default() }), ..base() };
+        assert!(matches!(c.validate(), Err(ConfigError::ShardTopology { shards: 0, .. })));
+        let c = LvrmConfig {
+            shard: Some(ShardConfig { shard_id: 3, shards: 3, ..Default::default() }),
+            ..base()
+        };
+        assert!(matches!(c.validate(), Err(ConfigError::ShardTopology { shard_id: 3, .. })));
+        let c = LvrmConfig {
+            shard: Some(ShardConfig { snapshot_interval_ns: 0, ..Default::default() }),
+            ..base()
+        };
+        assert!(matches!(c.validate(), Err(ConfigError::ShardIntervals { snapshot_ns: 0, .. })));
+        let c = LvrmConfig {
+            shard: Some(ShardConfig { shard_id: 1, shards: 3, ..Default::default() }),
+            ..base()
+        };
         assert_eq!(c.validate(), Ok(()));
     }
 

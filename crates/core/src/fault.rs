@@ -525,8 +525,9 @@ impl<S: SocketAdapter> SocketAdapter for FaultySocket<S> {
     }
 }
 
-/// Avalanche mixer (splitmix64 finalizer) — the seed-to-jitter hash.
-fn splitmix64(mut x: u64) -> u64 {
+/// Avalanche mixer (splitmix64 finalizer) — the seed-to-jitter hash, and
+/// the per-shard weight mixer behind `shard::rendezvous_owner`.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -607,6 +608,39 @@ pub fn randomized_link_storm(
             1 => LinkFaultWindow::loss(from_ns, until_ns, rng.gen_range(100..900)),
             _ => LinkFaultWindow::delay(from_ns, until_ns, rng.gen_range(0..max_window_ns.max(1))),
         });
+    }
+    windows
+}
+
+/// Generate a seeded storm for the *fleet* chaos track: like
+/// [`randomized_link_storm`] but with windows laid out sequentially and
+/// separated by quiet gaps of at least `2 × max_window_ns`, so no two
+/// windows coalesce into one outage longer than the cap. Keep
+/// `max_window_ns` below `shard_down − 2 × advert` and a storm can degrade
+/// delivery arbitrarily without ever legitimately burying a live shard —
+/// any takeover under such a storm is a split-brain bug, which is exactly
+/// what the fleet suite asserts.
+pub fn randomized_fleet_storm(
+    seed: u64,
+    horizon_ns: u64,
+    count: usize,
+    max_window_ns: u64,
+) -> Vec<LinkFaultWindow> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xf1ee_707a);
+    let mut windows = Vec::with_capacity(count);
+    let mut cursor = 1u64;
+    for _ in 0..count {
+        let from_ns = cursor + rng.gen_range(0..max_window_ns.max(1));
+        let until_ns = from_ns + 1 + rng.gen_range(0..max_window_ns.max(1));
+        if until_ns >= horizon_ns {
+            break;
+        }
+        windows.push(match rng.gen_range(0..3u8) {
+            0 => LinkFaultWindow::partition(from_ns, until_ns),
+            1 => LinkFaultWindow::loss(from_ns, until_ns, rng.gen_range(100..900)),
+            _ => LinkFaultWindow::delay(from_ns, until_ns, rng.gen_range(0..max_window_ns.max(1))),
+        });
+        cursor = until_ns + 2 * max_window_ns.max(1);
     }
     windows
 }

@@ -55,6 +55,7 @@ use lvrm_metrics::{Counter, Gauge, MetricsRegistry};
 use crate::checkpoint::{crc32, Checkpoint, CheckpointDelta, CheckpointError, Dec, Enc};
 use crate::clock::Clock;
 use crate::config::HaConfig;
+use crate::fault::jittered_backoff;
 use crate::host::VriHost;
 use crate::monitor::Lvrm;
 
@@ -289,6 +290,14 @@ pub struct HaNode {
     // ---- standby-side shadow ----
     shadow: Option<Checkpoint>,
     shadow_seq: u64,
+    /// When the last `SyncReq` went out, if a resync is in flight. Gapped
+    /// deltas arrive at the stream cadence; re-requesting on every one of
+    /// them turns a single lost Snapshot into a storm of N duplicate
+    /// re-baselines. At most one SyncReq per backoff interval instead.
+    last_syncreq_tx_ns: Option<u64>,
+    /// Consecutive SyncReqs without a Snapshot landing: exponent of the
+    /// backoff (capped), reset by any snapshot or in-sequence delta.
+    syncreq_streak: u32,
     // ---- metrics ----
     registry: MetricsRegistry,
     m_role: Gauge,
@@ -357,6 +366,8 @@ impl HaNode {
             peer_ever_acked: false,
             shadow: None,
             shadow_seq: 0,
+            last_syncreq_tx_ns: None,
+            syncreq_streak: 0,
             registry: registry.clone(),
             m_role,
             m_transitions,
@@ -527,6 +538,10 @@ impl HaNode {
                 Ok(ck) => {
                     self.shadow = Some(ck);
                     self.shadow_seq = seq;
+                    // Re-baseline landed: the resync is over, clear the
+                    // SyncReq backoff so a future gap re-requests promptly.
+                    self.last_syncreq_tx_ns = None;
+                    self.syncreq_streak = 0;
                     self.send_ack(now_ns);
                 }
                 Err(_) => self.m_rejected.inc(),
@@ -550,6 +565,8 @@ impl HaNode {
             Some(shadow) if delta.seq == self.shadow_seq + 1 => {
                 shadow.fold(&delta);
                 self.shadow_seq = delta.seq;
+                self.last_syncreq_tx_ns = None;
+                self.syncreq_streak = 0;
                 self.send_ack(now_ns);
             }
             Some(_) if delta.seq <= self.shadow_seq => {
@@ -557,11 +574,30 @@ impl HaNode {
                 self.send_ack(now_ns);
             }
             _ => {
-                // Re-request on every gapped delta: a lost SyncReq (or a
-                // lost Snapshot reply) must not wedge the resync. Deltas
-                // arrive at the stream cadence, so this is rate-limited.
-                let msg = HaMsg::SyncReq { have_seq: self.shadow_seq };
-                self.link.send(now_ns, &msg.encode());
+                // One in-flight SyncReq at a time, with jittered exponential
+                // backoff: on a lossy link every gapped delta used to
+                // re-request, and every request the master *did* hear
+                // answered with a full Snapshot re-baseline — N duplicate
+                // snapshots for one gap. The retry (not the suppression)
+                // still guarantees a lost SyncReq or a lost Snapshot reply
+                // cannot wedge the resync.
+                let due = match self.last_syncreq_tx_ns {
+                    None => true,
+                    Some(last) => {
+                        let base = self
+                            .cfg
+                            .advert_interval_ns
+                            .saturating_mul(1 << self.syncreq_streak.min(3));
+                        now_ns.saturating_sub(last)
+                            >= jittered_backoff(base, self.cfg.node_id, self.syncreq_streak as u64)
+                    }
+                };
+                if due {
+                    self.last_syncreq_tx_ns = Some(now_ns);
+                    self.syncreq_streak = self.syncreq_streak.saturating_add(1);
+                    let msg = HaMsg::SyncReq { have_seq: self.shadow_seq };
+                    self.link.send(now_ns, &msg.encode());
+                }
             }
         }
     }

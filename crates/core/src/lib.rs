@@ -41,6 +41,7 @@ pub mod ha;
 pub mod host;
 pub mod monitor;
 pub mod repl;
+pub mod shard;
 pub mod socket;
 pub mod topology;
 pub mod vri;
@@ -54,10 +55,13 @@ pub use checkpoint::{
     Checkpoint, CheckpointDelta, CheckpointError, FlowRecord, VrCheckpoint, VrDelta,
 };
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use config::{AllocatorKind, BalancerKind, DispatchMode, EstimatorKind, HaConfig, LvrmConfig};
+pub use config::{
+    AllocatorKind, BalancerKind, DispatchMode, EstimatorKind, HaConfig, LvrmConfig, ShardConfig,
+};
 pub use fault::{
-    randomized_link_storm, AdapterFaultEvent, AdapterFaultKind, FaultEvent, FaultInjectable,
-    FaultKind, FaultPlan, FaultyHost, FaultyLink, FaultySocket, LinkFaultKind, LinkFaultWindow,
+    jittered_backoff, randomized_fleet_storm, randomized_link_storm, splitmix64, AdapterFaultEvent,
+    AdapterFaultKind, FaultEvent, FaultInjectable, FaultKind, FaultPlan, FaultyHost, FaultyLink,
+    FaultySocket, LinkFaultKind, LinkFaultWindow,
 };
 pub use flowtable::{FlowTable, FlowTableStats};
 pub use ha::{ChannelLink, HaMsg, HaNode, PeerLink, Role};
@@ -67,6 +71,7 @@ pub use repl::{
     decode_batch, encode_batch, is_state_update, FlowBook, ReplicaLedger, StateUpdate,
     STATE_UPDATE_MAGIC,
 };
+pub use shard::{rendezvous_owner, FleetMsg, FleetNode, ShardEntry, ShardMap, SHARD_MAP_MAGIC};
 pub use socket::{AdapterError, MemTraceAdapter, SendRejected, SocketAdapter, SocketKind};
 pub use topology::{AffinityMode, CoreId, CoreMap, CoreTopology};
 pub use vri::{LvrmAdapter, VriAdapter, VriHealth, LVRM_CTRL_ID};

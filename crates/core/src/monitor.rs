@@ -36,6 +36,7 @@ use crate::config::{DispatchMode, LvrmConfig};
 use crate::estimate::PressureTracker;
 use crate::ha::{HaNode, PeerLink, Role};
 use crate::host::{VriHost, VriSpec};
+use crate::shard::{FleetNode, ShardMap};
 use crate::topology::CoreMap;
 use crate::vri::{decode_heartbeat, decode_service_rate, VriAdapter, VriHealth};
 use crate::{VrId, VriId};
@@ -414,6 +415,15 @@ struct VrState {
     /// under `config.vlink_fabric()`; every VRI endpoint of this VR holds a
     /// consumer clone and steals bursts from it instead of being balanced to.
     ring: Option<VrRing>,
+    /// Fleet ownership (DESIGN.md §15): a sharded monitor declares every VR
+    /// in the universe but serves only the ones the shard map assigns to it.
+    /// Unowned VRs shed their classified frames at ingress (the frames still
+    /// book as `frames_in + shed`, so the identities are unconditional).
+    /// Always true outside a fleet.
+    owned: bool,
+    /// The classify subnets this VR was declared with — the shard key the
+    /// fleet partitions by, kept for map construction at `attach_fleet`.
+    subnets: Vec<(Ipv4Addr, u8)>,
 }
 
 /// The monitor's handles onto one VR's shared ingress ring, plus the
@@ -583,6 +593,15 @@ pub struct Lvrm<C: Clock> {
     /// Boxed: it carries a `dyn PeerLink` plus stream state, and most
     /// monitors run solo.
     ha: Option<Box<HaNode>>,
+    /// Fleet directory node (N-way sharding, DESIGN.md §15), when attached.
+    /// Ticked from the same lazy sub-tick as HA, right after it, so a
+    /// promotion is visible to the directory within the same call.
+    fleet: Option<Box<FleetNode>>,
+    /// Records relayed by the most recent state-update fan-out — the
+    /// sibling-book staleness bound in updates (`lvrm_repl_lag_updates`).
+    repl_last_fanout_records: u64,
+    /// When that fan-out happened (monitor clock), 0 before the first one.
+    repl_last_fanout_ns: u64,
     // Scratch buffers reused across calls (no hot-path allocation).
     scratch_loads: Vec<f64>,
     scratch_valid: Vec<bool>,
@@ -634,6 +653,9 @@ impl<C: Clock> Lvrm<C> {
             epoch: 0,
             last_checkpoint_ns: None,
             ha: None,
+            fleet: None,
+            repl_last_fanout_records: 0,
+            repl_last_fanout_ns: 0,
             scratch_loads: Vec::new(),
             scratch_valid: Vec::new(),
             scratch_vris: Vec::new(),
@@ -747,6 +769,8 @@ impl<C: Clock> Lvrm<C> {
                 let (tx, rx) = shared_ring(self.config.effective_shared_ring_capacity());
                 VrRing { tx, rx, enqueued: 0, drops: 0 }
             }),
+            owned: true,
+            subnets: subnets.to_vec(),
         });
         let now = self.clock.now_ns();
         self.grow_vr(id.0 as usize, now, host);
@@ -923,6 +947,19 @@ impl<C: Clock> Lvrm<C> {
         let wm = self.config.watermarks();
         let total_weight: f64 = self.vrs.iter().map(|v| v.weight).sum();
         let vr = &mut self.vrs[vr_idx];
+        // Fleet ownership gate (DESIGN.md §15): frames classified to a VR
+        // another shard owns are shed whole, before admission control. They
+        // still book as `frames_in + shed`, so identity (A) holds per VR and
+        // `shed_early` keeps the global ledger exact — an unowned VR is just
+        // a VR whose admission quota is zero.
+        if !vr.owned {
+            let n = bucket.len() as u64;
+            vr.frames_in += n;
+            vr.shed += n;
+            self.stats.shed_early.add(n);
+            bucket.clear();
+            return;
+        }
         vr.frames_in += bucket.len() as u64;
         // Arrivals are recorded before admission control: the allocator must
         // see true offered load, or an overloaded VR could never earn the
@@ -1171,7 +1208,7 @@ impl<C: Clock> Lvrm<C> {
             // (`updates_emitted == updates_folded + updates_lost`) holds at
             // every snapshot.
             if crate::repl::is_state_update(&ev.payload) {
-                self.fan_out_state_updates(ev);
+                self.fan_out_state_updates(ev, now);
                 continue;
             }
             let dst = VriId(ev.dst_vri);
@@ -1196,7 +1233,7 @@ impl<C: Clock> Lvrm<C> {
     /// never charges `emitted` and is counted as a control drop. Draining
     /// siblings are skipped: they are leaving the replica set and their
     /// books die with them.
-    fn fan_out_state_updates(&mut self, ev: ControlEvent) {
+    fn fan_out_state_updates(&mut self, ev: ControlEvent, now: u64) {
         let batch_len = match crate::repl::decode_batch(&ev.payload) {
             Ok((_origin, updates)) => updates.len() as u64,
             Err(_) => {
@@ -1204,6 +1241,12 @@ impl<C: Clock> Lvrm<C> {
                 return;
             }
         };
+        // Replication-lag bookkeeping (ROADMAP item 2): how many records the
+        // most recent fan-out carried, and when it ran. Between fan-outs the
+        // sibling books are stale by at most this batch plus the elapsed
+        // time — the `lvrm_repl_lag_{updates,ns}` gauges.
+        self.repl_last_fanout_records = batch_len;
+        self.repl_last_fanout_ns = now;
         let origin = VriId(ev.src_vri);
         let Some(vr) = self.vrs.iter_mut().find(|vr| vr.vris.iter().any(|v| v.id == origin)) else {
             // Origin died or drained between emit and fan-out: no sibling
@@ -1247,6 +1290,13 @@ impl<C: Clock> Lvrm<C> {
         if let Some(mut ha) = self.ha.take() {
             ha.tick(now_ns, self, host);
             self.ha = Some(ha);
+        }
+        // Fleet directory sub-tick, immediately after HA so a promotion is
+        // visible to the directory within the same invocation (the freshly
+        // promoted master starts adverting for its shard right away).
+        if let Some(mut fleet) = self.fleet.take() {
+            fleet.tick(now_ns, self, host);
+            self.fleet = Some(fleet);
         }
         if self.shutting_down {
             return; // the only remaining allocation activity is the drain
@@ -1309,7 +1359,8 @@ impl<C: Clock> Lvrm<C> {
             s.dispatch_drops + s.no_vri_drops + s.crash_lost + s.shrink_lost + s.quarantined_drops;
         self.tick_line = Some(format!(
             "lvrm-tick ts_ns={} vrs={} vris={} draining={} frames_in={} frames_out={} \
-             drops={} shed={} redispatched={} deaths={} respawns={}",
+             drops={} shed={} redispatched={} deaths={} respawns={} \
+             repl_lag_updates={} repl_lag_ns={}",
             now_ns,
             self.vrs.len(),
             self.vrs.iter().map(|v| v.vris.len()).sum::<usize>(),
@@ -1321,6 +1372,8 @@ impl<C: Clock> Lvrm<C> {
             s.redispatched,
             s.vri_deaths,
             s.respawns,
+            self.repl_last_fanout_records,
+            self.repl_lag_ns(now_ns),
         ));
 
         // Periodic checkpoint rides the same lazy tick: zero hot-path cost,
@@ -2048,6 +2101,16 @@ impl<C: Clock> Lvrm<C> {
             "Restart epoch (0 cold start; checkpoint epoch + 1 after restore).",
             self.epoch as f64,
         );
+        g(
+            "lvrm_repl_lag_updates",
+            "Records carried by the most recent state-update fan-out (sibling-book staleness).",
+            self.repl_last_fanout_records as f64,
+        );
+        g(
+            "lvrm_repl_lag_ns",
+            "Age of the most recent state-update fan-out, vs the replica flush interval.",
+            self.repl_lag_ns(self.clock.now_ns()) as f64,
+        );
     }
 
     /// Refresh the sampled gauges and snapshot the whole registry.
@@ -2314,6 +2377,206 @@ impl<C: Clock> Lvrm<C> {
             format!("monitor-restored epoch={} checkpoint_ts_ns={}", self.epoch, ck.ts_ns),
         );
         self.epoch
+    }
+
+    // ---- fleet (N-way sharding, DESIGN.md §15) -------------------------
+
+    /// Nanoseconds since the most recent state-update fan-out (0 before the
+    /// first, or when replication is idle because nothing emitted).
+    fn repl_lag_ns(&self, now_ns: u64) -> u64 {
+        if self.repl_last_fanout_ns == 0 {
+            0
+        } else {
+            now_ns.saturating_sub(self.repl_last_fanout_ns)
+        }
+    }
+
+    /// Join an N-shard monitor fleet over `links` (`(peer shard id, link)`
+    /// pairs), using the sharding knobs in `config.shard`. Returns `false`
+    /// (and attaches nothing) when the config carries no shard section.
+    ///
+    /// Every fleet member declares the same VR universe and calls this with
+    /// the same topology, so the version-1 [`ShardMap`] — a rendezvous hash
+    /// over the declared VR names — is unanimous without any exchange. VRs
+    /// the map assigns elsewhere are immediately disowned: their classified
+    /// frames shed at ingress until a takeover re-homes them here.
+    pub fn attach_fleet(&mut self, links: Vec<(u32, Box<dyn PeerLink>)>) -> bool {
+        let Some(shard_cfg) = self.config.shard else {
+            return false;
+        };
+        let universe: Vec<(String, Ipv4Addr, u8)> = self
+            .vrs
+            .iter()
+            .map(|vr| {
+                let (net, prefix) =
+                    vr.subnets.first().copied().unwrap_or((Ipv4Addr::UNSPECIFIED, 0));
+                (vr.name.clone(), net, prefix)
+            })
+            .collect();
+        let shards: Vec<u32> = (0..shard_cfg.shards).collect();
+        let map = ShardMap::partition(&universe, &shards);
+        for vr in &mut self.vrs {
+            vr.owned = map.owner_of(&vr.name) == Some(shard_cfg.shard_id);
+        }
+        self.fleet = Some(Box::new(FleetNode::new(shard_cfg, map, links, &self.registry)));
+        self.registry.push_event(
+            self.clock.now_ns(),
+            format!(
+                "fleet-attached shard={} shards={} owned={}",
+                shard_cfg.shard_id,
+                shard_cfg.shards,
+                self.owned_vrs()
+            ),
+        );
+        true
+    }
+
+    /// The attached fleet directory node, if any.
+    pub fn fleet(&self) -> Option<&FleetNode> {
+        self.fleet.as_deref()
+    }
+
+    /// Mutable access to the attached fleet node (tests, manual rebalance).
+    pub fn fleet_mut(&mut self) -> Option<&mut FleetNode> {
+        self.fleet.as_deref_mut()
+    }
+
+    /// VRs this monitor currently owns (all of them outside a fleet). The
+    /// per-shard term of the sixth fleet identity:
+    /// `Σ owned over shards == vrs declared` at every directory epoch.
+    pub fn owned_vrs(&self) -> usize {
+        self.vrs.iter().filter(|v| v.owned).count()
+    }
+
+    /// Whether the named VR is currently owned (served) by this monitor.
+    pub fn vr_owned_by_name(&self, name: &str) -> bool {
+        self.vrs.iter().any(|v| v.name == name && v.owned)
+    }
+
+    /// Grant or revoke ownership of the named VR. Revocation stops ingress
+    /// admission on the next classified burst; the VR's VRIs stay warm so a
+    /// later re-grant serves immediately.
+    pub fn set_vr_owned_by_name(&mut self, name: &str, owned: bool) {
+        if let Some(vr) = self.vrs.iter_mut().find(|v| v.name == name) {
+            vr.owned = owned;
+        }
+    }
+
+    /// Cold-adopt the named VR after a shard takeover with no usable shadow
+    /// checkpoint: mark it owned and make sure at least one VRI is up. The
+    /// dead shard's in-flight frames were already folded into
+    /// `crash_lost`/`queue_lost` when its last checkpoint was built, so the
+    /// books the successor starts from are honest — what could not be
+    /// recovered is counted as lost, not wished away.
+    pub fn adopt_vr_cold(&mut self, name: &str, now_ns: u64, host: &mut dyn VriHost) {
+        let Some(idx) = self.vrs.iter().position(|v| v.name == name) else {
+            return;
+        };
+        self.vrs[idx].owned = true;
+        if self.vrs[idx].vris.is_empty() && !self.vrs[idx].quarantined {
+            self.grow_vr(idx, now_ns, host);
+        }
+    }
+
+    /// Warm-adopt a dead shard's VRs from its last streamed checkpoint.
+    ///
+    /// Unlike [`Lvrm::apply_checkpoint`] (a restart: the monitor's books
+    /// *are* the checkpoint's books), a takeover merges two live histories:
+    /// global counters are **added** component-wise — every conservation
+    /// identity is a linear equation over the counters, so the sum of two
+    /// identity-satisfying states satisfies them too — and only the VRs in
+    /// `names` (the share the new map assigns here) are restored. Exactly
+    /// one successor per dead shard passes `fold_global = true` (the
+    /// rendezvous primary), so the fleet-wide ledger counts the dead
+    /// shard's frames exactly once. Returns how many VRs warm-restored.
+    pub fn adopt_checkpoint(
+        &mut self,
+        ck: &Checkpoint,
+        names: &[String],
+        fold_global: bool,
+        now_ns: u64,
+        host: &mut dyn VriHost,
+    ) -> usize {
+        if fold_global {
+            let s = &ck.stats;
+            self.stats.frames_in.add(s.frames_in);
+            self.stats.frames_out.add(s.frames_out);
+            self.stats.unclassified.add(s.unclassified);
+            self.stats.dispatch_drops.add(s.dispatch_drops);
+            self.stats.no_vri_drops.add(s.no_vri_drops);
+            self.stats.shrink_lost.add(s.shrink_lost);
+            self.stats.control_relayed.add(s.control_relayed);
+            self.stats.control_drops.add(s.control_drops);
+            self.stats.redispatched.add(s.redispatched);
+            self.stats.crash_lost.add(s.crash_lost);
+            self.stats.quarantined_drops.add(s.quarantined_drops);
+            self.stats.vri_deaths.add(s.vri_deaths);
+            self.stats.respawns.add(s.respawns);
+            self.stats.retired_dispatch_drops.add(s.retired_dispatch_drops);
+            self.stats.shed_early.add(s.shed_early);
+            self.stats.reclaimed.add(s.reclaimed);
+            self.stats.queue_lost.add(s.queue_lost);
+            self.stats.retired_dispatched.add(s.retired_dispatched);
+            self.stats.retired_returned.add(s.retired_returned);
+            self.stats.updates_emitted.add(s.updates_emitted);
+            self.stats.updates_folded.add(s.updates_folded);
+            self.stats.updates_lost.add(s.updates_lost);
+        }
+        let mut warm = 0usize;
+        for vrck in &ck.vrs {
+            if !names.contains(&vrck.name) {
+                continue;
+            }
+            let Some(idx) = self.vrs.iter().position(|v| v.name == vrck.name) else {
+                self.registry.push_event(now_ns, format!("takeover-vr-unmatched vr={}", vrck.name));
+                continue;
+            };
+            {
+                let vr = &mut self.vrs[idx];
+                vr.owned = true;
+                // Frame books add (this shard shed the VR's frames while
+                // unowned — that history stays on the ledger); supervisor
+                // and pressure state transfer wholesale from the corpse.
+                vr.frames_in += vrck.frames_in;
+                vr.frames_out += vrck.frames_out;
+                vr.admitted += vrck.admitted;
+                vr.shed += vrck.shed;
+                vr.weight = vrck.weight;
+                vr.shed_credit = vrck.shed_credit;
+                vr.crash_streak = vrck.crash_streak;
+                vr.last_crash_ns = vrck.last_crash_ns;
+                vr.backoff_until_ns = vrck.backoff_until_ns;
+                vr.quarantined = vrck.quarantined;
+                vr.pressure = PressureTracker::restore(match vrck.pressure {
+                    0 => PressureLevel::Normal,
+                    1 => PressureLevel::Pressured,
+                    _ => PressureLevel::Overloaded,
+                });
+            }
+            if !self.vrs[idx].quarantined {
+                while self.vrs[idx].vris.len() < vrck.vri_slots as usize {
+                    if !self.grow_vr(idx, now_ns, host) {
+                        break; // not enough cores to match the corpse
+                    }
+                }
+            }
+            self.vrs[idx].respawn_deficit = vrck.respawn_deficit as usize;
+            for f in &vrck.flows {
+                if let Some(v) = self.vrs[idx].vris.get(f.slot as usize) {
+                    let vri = v.id;
+                    self.vrs[idx].balancer.import_flow(f.key, vri, f.last_seen_ns);
+                }
+            }
+            warm += 1;
+        }
+        self.registry.push_event(
+            now_ns,
+            format!(
+                "takeover-adopted vrs={warm} fold_global={fold_global} checkpoint_ts_ns={}",
+                ck.ts_ns
+            ),
+        );
+        warm
     }
 }
 

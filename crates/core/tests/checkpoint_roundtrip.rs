@@ -11,7 +11,7 @@ use std::net::Ipv4Addr;
 use lvrm_core::{
     decode_batch, encode_batch, AffinityMode, Checkpoint, CheckpointDelta, CoreId, CoreMap,
     CoreTopology, FlowRecord, HaMsg, Lvrm, LvrmConfig, LvrmStats, ManualClock, RecordingHost,
-    ReplicaLedger, StateUpdate, VrCheckpoint,
+    ReplicaLedger, ShardEntry, ShardMap, StateUpdate, VrCheckpoint, SHARD_MAP_MAGIC,
 };
 use lvrm_net::flow::Protocol;
 use lvrm_net::{FlowKey, FrameBuilder};
@@ -575,4 +575,89 @@ fn unwritable_checkpoint_path_is_nonfatal() {
         Some(0),
         "failed writes are not counted as writes"
     );
+}
+
+// ---- shard-map (LVSM) wire format --------------------------------------
+
+fn arb_shard_entry() -> impl Strategy<Value = ShardEntry> {
+    (0u32..10_000, any::<u32>(), 0u8..=32, 0u32..64).prop_map(|(n, net, prefix, shard)| {
+        ShardEntry { vr: format!("vr{n}"), net: Ipv4Addr::from(net), prefix, shard }
+    })
+}
+
+fn arb_shard_map() -> impl Strategy<Value = ShardMap> {
+    (any::<u32>(), prop::collection::vec(arb_shard_entry(), 0..32))
+        .prop_map(|(version, entries)| ShardMap { version, entries })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// The fleet directory's wire format (LVSM) round-trips bit-exactly:
+    /// any map the partitioner can build survives encode → decode.
+    #[test]
+    fn shard_map_encode_decode_is_identity(map in arb_shard_map()) {
+        let bytes = map.encode();
+        prop_assert_eq!(&bytes[..4], SHARD_MAP_MAGIC.as_slice());
+        let back = ShardMap::decode(&bytes).expect("well-formed map must decode");
+        prop_assert_eq!(back, map);
+    }
+
+    /// Any single-byte corruption of an LVSM frame is rejected — a
+    /// flipped bit on the gossip wire can never re-partition the fleet.
+    #[test]
+    fn shard_map_single_byte_corruption_is_always_rejected(
+        map in arb_shard_map(),
+        pos in any::<u32>(),
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = map.encode();
+        let idx = pos as usize % bytes.len();
+        bytes[idx] ^= mask;
+        prop_assert!(
+            ShardMap::decode(&bytes).is_err(),
+            "flipping LVSM byte {} with mask {:#04x} was accepted", idx, mask
+        );
+    }
+
+    /// Every LVSM truncation point errors — never panics, never yields a
+    /// partial directory.
+    #[test]
+    fn shard_map_truncation_is_always_rejected(map in arb_shard_map(), cut in any::<u32>()) {
+        let bytes = map.encode();
+        let len = cut as usize % bytes.len();
+        prop_assert!(
+            ShardMap::decode(&bytes[..len]).is_err(),
+            "LVSM truncation to {} bytes was accepted", len
+        );
+    }
+
+    /// The LVSM decoder is total over arbitrary byte soup.
+    #[test]
+    fn shard_map_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = ShardMap::decode(&bytes);
+    }
+
+    /// LVSM is magic-disjoint from every other wire format in the family
+    /// (LVCK checkpoints, LVCD deltas, LVHA pair messages, LVSU state
+    /// updates) — no frame of one kind ever decodes as another.
+    #[test]
+    fn shard_map_magic_is_disjoint_from_the_wire_family(
+        map in arb_shard_map(),
+        ck in arb_clean_checkpoint(),
+        seed in any::<u64>(),
+    ) {
+        let lvsm = map.encode();
+        prop_assert!(Checkpoint::decode(&lvsm).is_err(), "LVSM decoded as LVCK");
+        prop_assert!(CheckpointDelta::decode(&lvsm).is_err(), "LVSM decoded as LVCD");
+        prop_assert!(HaMsg::decode(&lvsm).is_err(), "LVSM decoded as LVHA");
+        prop_assert!(decode_batch(&lvsm).is_err(), "LVSM decoded as LVSU");
+
+        let next = mutate(&ck, seed);
+        prop_assert!(ShardMap::decode(&ck.encode()).is_err(), "LVCK decoded as LVSM");
+        let delta = CheckpointDelta::diff(&ck, &next, 1).encode();
+        prop_assert!(ShardMap::decode(&delta).is_err(), "LVCD decoded as LVSM");
+        let advert = HaMsg::Advert { term: 1, node_id: 2, priority: 3, epoch: 4, seq: 5 };
+        prop_assert!(ShardMap::decode(&advert.encode()).is_err(), "LVHA decoded as LVSM");
+    }
 }

@@ -1,0 +1,640 @@
+//! Sharded monitor fleet acceptance suite (DESIGN.md §15): three shards
+//! partition six VRs by rendezvous hash over an in-process link mesh.
+//! Killing any one shard must re-home all of its VRs to their rendezvous
+//! successors in under a second of simulated time, with all five
+//! conservation identities plus the sixth fleet identity
+//! (`vrs_owned_total == vrs_declared`) exact after convergence. Seeded
+//! partition storms bounded below the shard-down interval must never
+//! yield two shards accepting the same VR, and a shard that loses
+//! directory quorum must keep serving what it owns but never take over.
+//!
+//! Set `LVRM_CHAOS_QUEUE` to one of `lamport` / `fastforward` / `mutex` /
+//! `vlink` to restrict the sweep (the CI matrix does this); unset runs all.
+
+use std::net::Ipv4Addr;
+
+use lvrm_core::{
+    randomized_fleet_storm, rendezvous_owner, AffinityMode, AllocatorKind, ChannelLink, CoreId,
+    CoreMap, CoreTopology, FaultyLink, HaConfig, LinkFaultWindow, Lvrm, LvrmConfig, ManualClock,
+    PeerLink, RecordingHost, Role, ShardConfig,
+};
+use lvrm_ipc::QueueKind;
+use lvrm_net::{Frame, FrameBuilder};
+use lvrm_router::VirtualRouter;
+
+const STEP_NS: u64 = 10_000_000; // 10 ms host loop
+const ADVERT_NS: u64 = 100_000_000; // 100 ms fleet adverts
+const SNAPSHOT_NS: u64 = 200_000_000; // 200 ms inter-shard snapshots
+const VRS: u32 = 6;
+const SHARDS: u32 = 3;
+
+fn queue_kinds() -> Vec<QueueKind> {
+    match std::env::var("LVRM_CHAOS_QUEUE") {
+        Ok(want) => vec![want.parse::<QueueKind>().expect("LVRM_CHAOS_QUEUE")],
+        Err(_) => QueueKind::ALL.to_vec(),
+    }
+}
+
+fn vr_name(i: u32) -> String {
+    format!("dept{}", i + 1)
+}
+
+fn vr_subnet(i: u32) -> [(Ipv4Addr, u8); 1] {
+    [(Ipv4Addr::new(10, 0, 1 + i as u8, 0), 24)]
+}
+
+fn vr_frame(i: u32, salt: u8) -> Frame {
+    FrameBuilder::new(Ipv4Addr::new(10, 0, 1 + i as u8, 20 + salt), Ipv4Addr::new(10, 0, 100, 1))
+        .udp(4000 + salt as u16, 80, &[])
+}
+
+fn routed_vr(name: &str) -> Box<dyn VirtualRouter> {
+    let routes = lvrm_router::parse_map_file("0.0.0.0/0 1\n").unwrap();
+    Box::new(lvrm_router::FastVr::new(name, routes))
+}
+
+fn fleet_config(kind: QueueKind, shard_id: u32) -> LvrmConfig {
+    LvrmConfig {
+        queue_kind: kind,
+        allocator: AllocatorKind::Fixed { cores: 1 },
+        supervision: true,
+        flow_based: true,
+        shard: Some(ShardConfig {
+            shard_id,
+            shards: SHARDS,
+            advert_interval_ns: ADVERT_NS,
+            snapshot_interval_ns: SNAPSHOT_NS,
+        }),
+        ..Default::default()
+    }
+}
+
+/// One fleet member: a solo monitor (no HA pair) declaring the full VR
+/// universe, serving only its shard-map share.
+struct Shard {
+    id: u32,
+    clock: ManualClock,
+    lvrm: Lvrm<ManualClock>,
+    host: RecordingHost,
+}
+
+impl Shard {
+    fn new(kind: QueueKind, id: u32, links: Vec<(u32, Box<dyn PeerLink>)>) -> Shard {
+        Shard::with_config(fleet_config(kind, id), id, links)
+    }
+
+    fn with_config(config: LvrmConfig, id: u32, links: Vec<(u32, Box<dyn PeerLink>)>) -> Shard {
+        let clock = ManualClock::new();
+        let cores =
+            CoreMap::new(CoreTopology::dual_quad_xeon(), CoreId(0), AffinityMode::SiblingFirst);
+        let mut lvrm = Lvrm::new(config, cores, clock.clone());
+        let mut host = RecordingHost::with_heartbeats();
+        for i in 0..VRS {
+            lvrm.add_vr(vr_name(i), &vr_subnet(i), routed_vr(&vr_name(i)), &mut host);
+        }
+        if lvrm.config().ha.is_some() {
+            // HA-pair member: the caller attaches the intra-shard link
+            // before the fleet ticks; see `shard0_ha_pair_failover_...`.
+        }
+        assert!(lvrm.attach_fleet(links), "config carries shard, attach must succeed");
+        Shard { id, clock, lvrm, host }
+    }
+
+    fn step(&mut self, t: u64, out: &mut Vec<Frame>) {
+        self.clock.set_ns(t);
+        self.host.pump();
+        self.lvrm.process_control();
+        self.lvrm.maybe_reallocate(t, &mut self.host);
+        self.lvrm.poll_egress(out);
+    }
+
+    fn drain(&mut self, out: &mut Vec<Frame>) {
+        loop {
+            let processed = self.host.pump();
+            self.lvrm.process_control();
+            let egress = self.lvrm.poll_egress(out);
+            if processed == 0 && egress == 0 {
+                break;
+            }
+        }
+    }
+
+    fn owns(&self, vr: u32) -> bool {
+        self.lvrm.vr_owned_by_name(&vr_name(vr))
+    }
+
+    fn epoch(&self) -> u32 {
+        self.lvrm.fleet().expect("fleet attached").epoch()
+    }
+}
+
+/// All five conservation identities, from the public stats/snapshot
+/// surface. Call on a drained monitor.
+fn assert_identities(lvrm: &Lvrm<ManualClock>, ctx: &str) {
+    let s = lvrm.stats();
+    assert_eq!(
+        s.frames_in,
+        s.frames_out
+            + s.unclassified
+            + s.dispatch_drops
+            + s.no_vri_drops
+            + s.shrink_lost
+            + s.crash_lost
+            + s.quarantined_drops
+            + s.shed_early,
+        "(1) global conservation violated {ctx}: {s:?}"
+    );
+    let snap = lvrm.snapshot();
+    for vr in &snap {
+        assert_eq!(
+            vr.frames_in,
+            vr.admitted + vr.shed,
+            "(2) admission identity violated for {} {ctx}",
+            vr.name
+        );
+    }
+    let live_dispatched: u64 = snap.iter().flat_map(|v| &v.vris).map(|v| v.dispatched).sum();
+    let live_returned: u64 = snap.iter().flat_map(|v| &v.vris).map(|v| v.returned).sum();
+    let queued: u64 = snap.iter().flat_map(|v| &v.vris).map(|v| v.queue_len as u64).sum();
+    assert_eq!(
+        live_dispatched + s.retired_dispatched,
+        live_returned + s.retired_returned + queued + s.reclaimed + s.queue_lost,
+        "(3) dispatch identity violated {ctx}: {s:?}"
+    );
+    let live_drops: u64 = snap.iter().flat_map(|v| &v.vris).map(|v| v.dispatch_drops).sum();
+    assert_eq!(
+        s.dispatch_drops,
+        live_drops + s.retired_dispatch_drops,
+        "(4) drop identity violated {ctx}: {s:?}"
+    );
+    assert_eq!(
+        s.updates_emitted,
+        s.updates_folded + s.updates_lost,
+        "(5) replication identity violated {ctx}: {s:?}"
+    );
+}
+
+/// The sixth (fleet) identity over the surviving members: every declared
+/// VR owned by exactly one shard.
+fn assert_fleet_identity(shards: &[&Shard], ctx: &str) {
+    for vr in 0..VRS {
+        let owners: Vec<u32> = shards.iter().filter(|s| s.owns(vr)).map(|s| s.id).collect();
+        assert_eq!(
+            owners.len(),
+            1,
+            "{ctx}: {} must have exactly one owner, got {owners:?}",
+            vr_name(vr)
+        );
+    }
+    let total: usize = shards.iter().map(|s| s.lvrm.owned_vrs()).sum();
+    assert_eq!(total as u32, VRS, "{ctx}: vrs_owned_total != vrs_declared");
+}
+
+/// No VR accepted by more than one shard — the storm-safe half of the
+/// fleet identity (a VR may be transiently unowned mid-takeover, never
+/// multiply owned).
+fn assert_one_owner_at_most(shards: &[&Shard], ctx: &str) {
+    for vr in 0..VRS {
+        let owners: Vec<u32> = shards.iter().filter(|s| s.owns(vr)).map(|s| s.id).collect();
+        assert!(
+            owners.len() <= 1,
+            "{ctx}: {} accepted by multiple shards: {owners:?}",
+            vr_name(vr)
+        );
+    }
+}
+
+/// Build the 3-shard full mesh over [`ChannelLink`]s: returns per-shard
+/// link vectors `(peer shard id, link)`.
+fn mesh3() -> [Vec<(u32, Box<dyn PeerLink>)>; 3] {
+    let (l01, l10) = ChannelLink::pair();
+    let (l02, l20) = ChannelLink::pair();
+    let (l12, l21) = ChannelLink::pair();
+    [
+        vec![(1, Box::new(l01) as Box<dyn PeerLink>), (2, Box::new(l02))],
+        vec![(0, Box::new(l10) as Box<dyn PeerLink>), (2, Box::new(l12))],
+        vec![(0, Box::new(l20) as Box<dyn PeerLink>), (1, Box::new(l21))],
+    ]
+}
+
+/// Same mesh, every end wrapped in a [`FaultyLink`] sharing one storm
+/// schedule but with per-end drop seeds.
+fn mesh3_faulty(windows: &[LinkFaultWindow], seed: u64) -> [Vec<(u32, Box<dyn PeerLink>)>; 3] {
+    let (l01, l10) = ChannelLink::pair();
+    let (l02, l20) = ChannelLink::pair();
+    let (l12, l21) = ChannelLink::pair();
+    let f = |link: ChannelLink, salt: u64| -> Box<dyn PeerLink> {
+        Box::new(FaultyLink::new(link, windows.to_vec(), seed ^ salt))
+    };
+    [
+        vec![(1, f(l01, 0x01)), (2, f(l02, 0x02))],
+        vec![(0, f(l10, 0x10)), (2, f(l12, 0x12))],
+        vec![(0, f(l20, 0x20)), (1, f(l21, 0x21))],
+    ]
+}
+
+/// Step every live shard once, feeding each VR's traffic to its current
+/// owner (the fleet's steady-state contract: the front-end routes by the
+/// gossiped map).
+fn step_fleet(shards: &mut [Option<Shard>], t: u64, traffic: bool, out: &mut Vec<Frame>) {
+    if traffic {
+        for vr in 0..VRS {
+            for salt in 0..2u8 {
+                let frame = vr_frame(vr, salt);
+                if let Some(owner) = shards.iter_mut().flatten().find(|s| s.owns(vr)) {
+                    owner.lvrm.ingress(frame, &mut owner.host);
+                    let _ = &owner;
+                }
+            }
+        }
+    }
+    for s in shards.iter_mut().flatten() {
+        s.step(t, out);
+    }
+}
+
+/// The headline acceptance: kill each of the three shards in turn; every
+/// VR of the corpse must land on its rendezvous successor in < 1 s of
+/// simulated time, warm-adopted (books carried over), with all six
+/// identities exact on every survivor after convergence.
+#[test]
+fn killing_any_shard_rehomes_its_vrs_to_the_rendezvous_successor_subsecond() {
+    for kind in queue_kinds() {
+        for victim in 0..SHARDS {
+            let ctx = format!("{kind:?} victim {victim}");
+            let links = mesh3();
+            let mut shards: Vec<Option<Shard>> = links
+                .into_iter()
+                .enumerate()
+                .map(|(id, l)| Some(Shard::new(kind, id as u32, l)))
+                .collect();
+            let mut out = Vec::new();
+
+            // Warm the fleet: everyone adverting, snapshots streamed, and
+            // traffic on every VR at its owner.
+            let mut t = 0;
+            while t < 1_000_000_000 {
+                step_fleet(&mut shards, t, true, &mut out);
+                t += STEP_NS;
+            }
+            {
+                let live: Vec<&Shard> = shards.iter().flatten().collect();
+                assert_fleet_identity(&live, &format!("{ctx} pre-kill"));
+                for s in &live {
+                    assert_eq!(s.epoch(), 1, "{ctx}: no membership change pre-kill");
+                }
+            }
+            // Victim's per-VR books at the instant of death, keyed by name.
+            let victim_books: Vec<(String, u64)> = {
+                let v = shards[victim as usize].as_ref().unwrap();
+                v.lvrm
+                    .snapshot()
+                    .iter()
+                    .filter(|vr| v.lvrm.vr_owned_by_name(&vr.name))
+                    .map(|vr| (vr.name.clone(), vr.frames_in))
+                    .collect()
+            };
+            assert!(
+                victim_books.iter().all(|(_, f)| *f > 0),
+                "{ctx}: warmup must put traffic on every victim VR"
+            );
+            let victim_vrs: Vec<u32> =
+                (0..VRS).filter(|&vr| shards[victim as usize].as_ref().unwrap().owns(vr)).collect();
+            assert!(!victim_vrs.is_empty(), "{ctx}: rendezvous left the victim empty");
+
+            // The kill: the shard vanishes mid-epoch, no goodbye.
+            shards[victim as usize] = None;
+            let t_kill = t;
+            let survivors: Vec<u32> = (0..SHARDS).filter(|&s| s != victim).collect();
+
+            // Successors must own the corpse's VRs within the budget.
+            let mut rehomed_at = None;
+            while t < t_kill + 2_000_000_000 {
+                step_fleet(&mut shards, t, false, &mut out);
+                let all_rehomed = victim_vrs.iter().all(|&vr| {
+                    let successor = rendezvous_owner(&vr_name(vr), &survivors).unwrap();
+                    shards[successor as usize].as_ref().unwrap().owns(vr)
+                });
+                if all_rehomed && rehomed_at.is_none() {
+                    rehomed_at = Some(t);
+                    break;
+                }
+                t += STEP_NS;
+            }
+            let t_rehomed = rehomed_at.unwrap_or_else(|| panic!("{ctx}: VRs never re-homed"));
+            assert!(
+                t_rehomed - t_kill < 1_000_000_000,
+                "{ctx}: re-homing took {} ms, budget is < 1000 ms",
+                (t_rehomed - t_kill) / 1_000_000
+            );
+
+            // Let the claim/ack exchange and the second survivor's map
+            // adoption settle, then audit everything.
+            let t_end = t + 500_000_000;
+            while t < t_end {
+                step_fleet(&mut shards, t, true, &mut out);
+                t += STEP_NS;
+            }
+            for s in shards.iter_mut().flatten() {
+                s.drain(&mut out);
+            }
+            let live: Vec<&Shard> = shards.iter().flatten().collect();
+            assert_fleet_identity(&live, &format!("{ctx} post-takeover"));
+            for s in &live {
+                assert!(s.epoch() > 1, "{ctx}: takeover must bump the directory epoch");
+                assert_identities(&s.lvrm, &format!("{ctx} shard {}", s.id));
+                assert!(
+                    s.lvrm.fleet().unwrap().accepting_new_vrs(),
+                    "{ctx}: majority survivors keep quorum"
+                );
+            }
+
+            // Warm adoption: the successor's books carry the victim's
+            // frame history for every adopted VR (the snapshot stream was
+            // fresh — nothing was cold-started away).
+            for (name, victim_in) in &victim_books {
+                let successor = rendezvous_owner(name, &survivors).unwrap();
+                let s = shards[successor as usize].as_ref().unwrap();
+                let adopted_in = s
+                    .lvrm
+                    .snapshot()
+                    .iter()
+                    .find(|vr| &vr.name == name)
+                    .map(|vr| vr.frames_in)
+                    .unwrap_or(0);
+                assert!(
+                    adopted_in >= *victim_in,
+                    "{ctx}: {name} adopted cold — successor books {adopted_in} < victim {victim_in}"
+                );
+            }
+
+            // Takeover metrics surfaced on at least one successor.
+            let takeovers: u64 = live
+                .iter()
+                .map(|s| {
+                    s.lvrm.refresh_registry();
+                    s.lvrm
+                        .metrics_snapshot()
+                        .counter("lvrm_shard_takeovers_total", &[])
+                        .unwrap_or(0)
+                })
+                .sum();
+            assert!(takeovers >= 1, "{ctx}: takeover counter must record the adoption");
+            for s in &live {
+                let snap = s.lvrm.metrics_snapshot();
+                assert_eq!(
+                    snap.gauge("lvrm_shard_owned", &[]),
+                    Some(s.lvrm.owned_vrs() as f64),
+                    "{ctx}: owned gauge tracks ownership"
+                );
+                assert!(
+                    snap.gauge("lvrm_shard_directory_epoch", &[]).unwrap_or(0.0) > 1.0,
+                    "{ctx}: epoch gauge must advance"
+                );
+            }
+        }
+    }
+}
+
+/// Cold adoption: kill a shard before its first snapshot interval elapses
+/// — no shadow anywhere — and the successors must still adopt its VRs
+/// (empty books, identities exact), because availability does not depend
+/// on the state stream.
+#[test]
+fn takeover_without_a_shadow_cold_adopts() {
+    let kind = queue_kinds()[0];
+    let ctx = format!("cold {kind:?}");
+    let links = mesh3();
+    let mut shards: Vec<Option<Shard>> =
+        links.into_iter().enumerate().map(|(id, l)| Some(Shard::new(kind, id as u32, l))).collect();
+    let mut out = Vec::new();
+
+    // A few adverts so everyone is heard from, but kill before the first
+    // snapshot ships (SNAPSHOT_NS has not elapsed).
+    let mut t = 0;
+    while t < SNAPSHOT_NS - 2 * STEP_NS {
+        step_fleet(&mut shards, t, false, &mut out);
+        t += STEP_NS;
+    }
+    let victim = 0u32;
+    let victim_vrs: Vec<u32> =
+        (0..VRS).filter(|&vr| shards[0].as_ref().unwrap().owns(vr)).collect();
+    shards[0] = None;
+    let survivors = [1u32, 2];
+
+    let t_kill = t;
+    while t < t_kill + 2_000_000_000 {
+        step_fleet(&mut shards, t, false, &mut out);
+        let done = victim_vrs.iter().all(|&vr| {
+            let successor = rendezvous_owner(&vr_name(vr), &survivors).unwrap();
+            shards[successor as usize].as_ref().unwrap().owns(vr)
+        });
+        if done {
+            break;
+        }
+        t += STEP_NS;
+    }
+    let live: Vec<&Shard> = shards.iter().flatten().collect();
+    assert_fleet_identity(&live, &ctx);
+    for s in &live {
+        assert_identities(&s.lvrm, &format!("{ctx} shard {}", s.id));
+    }
+    let _ = victim;
+}
+
+/// Seeded fleet storms (all shards alive throughout): outage windows are
+/// bounded below the shard-down interval, so the directory must ride them
+/// out — no takeover, no epoch change, and never two shards accepting the
+/// same VR at any step. Deterministic per (seed × QueueKind).
+#[test]
+fn fleet_storm_never_yields_two_owners_for_a_vr() {
+    for kind in queue_kinds() {
+        for &seed in &[7u64, 42, 1337] {
+            let ctx = format!("fleet-storm {kind:?} seed {seed}");
+            // Windows <= 250 ms with >= 500 ms of clean air between them:
+            // worst advert silence ~ 350 ms, well under the 600 ms (+ jitter)
+            // shard-down interval — the fleet's documented operating
+            // envelope (DESIGN.md §15).
+            let horizon = 6_000_000_000u64;
+            let windows = randomized_fleet_storm(seed, horizon, 8, 250_000_000);
+            assert!(!windows.is_empty(), "{ctx}: storm schedule must be non-trivial");
+
+            let links = mesh3_faulty(&windows, seed);
+            let mut shards: Vec<Option<Shard>> = links
+                .into_iter()
+                .enumerate()
+                .map(|(id, l)| Some(Shard::new(kind, id as u32, l)))
+                .collect();
+            let mut out = Vec::new();
+
+            let mut t = 0;
+            while t < horizon {
+                step_fleet(&mut shards, t, true, &mut out);
+                let live: Vec<&Shard> = shards.iter().flatten().collect();
+                assert_one_owner_at_most(&live, &format!("{ctx} t={t}"));
+                t += STEP_NS;
+            }
+            for s in shards.iter_mut().flatten() {
+                s.drain(&mut out);
+            }
+            let live: Vec<&Shard> = shards.iter().flatten().collect();
+            assert_fleet_identity(&live, &format!("{ctx} post-storm"));
+            for s in &live {
+                assert_eq!(
+                    s.epoch(),
+                    1,
+                    "{ctx}: a bounded storm must never bury a live shard (false takeover)"
+                );
+                assert_identities(&s.lvrm, &format!("{ctx} shard {}", s.id));
+            }
+        }
+    }
+}
+
+/// Quorum loss (CAP stance): with 2 of 3 shards dead, the lone survivor
+/// keeps serving the VRs it already owns but must not absorb the second
+/// corpse's VRs and must stop accepting new ones.
+#[test]
+fn minority_survivor_serves_owned_vrs_but_never_absorbs_the_fleet() {
+    let kind = queue_kinds()[0];
+    let ctx = format!("quorum {kind:?}");
+    let links = mesh3();
+    let mut shards: Vec<Option<Shard>> =
+        links.into_iter().enumerate().map(|(id, l)| Some(Shard::new(kind, id as u32, l))).collect();
+    let mut out = Vec::new();
+
+    let mut t = 0;
+    while t < 1_000_000_000 {
+        step_fleet(&mut shards, t, true, &mut out);
+        t += STEP_NS;
+    }
+    let survivor = 0usize;
+    let owned_before = shards[survivor].as_ref().unwrap().lvrm.owned_vrs();
+    // Both peers die at once: the survivor may adopt at most the first
+    // corpse it detects (quorum still holds with the second presumed
+    // alive), and must refuse the second.
+    shards[1] = None;
+    shards[2] = None;
+    let t_kill = t;
+    while t < t_kill + 3_000_000_000 {
+        step_fleet(&mut shards, t, true, &mut out);
+        t += STEP_NS;
+    }
+    let s = shards[survivor].as_mut().unwrap();
+    s.drain(&mut out);
+    assert!(
+        !s.lvrm.fleet().unwrap().accepting_new_vrs(),
+        "{ctx}: minority survivor must report quorum loss"
+    );
+    assert!(
+        s.lvrm.owned_vrs() < VRS as usize,
+        "{ctx}: minority survivor absorbed the whole fleet ({} VRs)",
+        s.lvrm.owned_vrs()
+    );
+    assert!(
+        s.lvrm.owned_vrs() >= owned_before,
+        "{ctx}: quorum loss must not drop the survivor's own VRs"
+    );
+    // Owned VRs still serve traffic.
+    let owned_vr = (0..VRS).find(|&vr| s.owns(vr)).expect("owns something");
+    let before = s.lvrm.stats().frames_out;
+    for salt in 0..4u8 {
+        s.lvrm.ingress(vr_frame(owned_vr, salt), &mut s.host);
+    }
+    s.drain(&mut out);
+    assert!(
+        s.lvrm.stats().frames_out > before,
+        "{ctx}: owned VRs must keep serving without quorum"
+    );
+    assert_identities(&s.lvrm, &ctx);
+}
+
+/// Intra-shard HA failover must stay invisible to the fleet: shard 0 is a
+/// PR-8 HA pair whose master dies; the standby promotes well inside the
+/// shard-down interval (6 × advert is twice the HA budget by design), so
+/// the directory sees an unbroken shard — no takeover, no epoch bump, no
+/// ownership movement.
+#[test]
+fn ha_pair_failover_inside_a_shard_does_not_trigger_fleet_takeover() {
+    let kind = queue_kinds()[0];
+    let ctx = format!("ha-pair {kind:?}");
+
+    // Fleet links: shard 1 and shard 2 hear shard 0 through whichever HA
+    // member currently speaks, so both members get a link to each peer.
+    let (m1, l1m) = ChannelLink::pair(); // master0 <-> shard1
+    let (m2, l2m) = ChannelLink::pair(); // master0 <-> shard2
+    let (b1, l1b) = ChannelLink::pair(); // backup0 <-> shard1
+    let (b2, l2b) = ChannelLink::pair(); // backup0 <-> shard2
+    let (l12, l21) = ChannelLink::pair(); // shard1 <-> shard2
+    let (ha_m, ha_b) = ChannelLink::pair(); // intra-shard HA link
+
+    let ha = |priority, node_id| HaConfig {
+        priority,
+        node_id,
+        advert_interval_ns: ADVERT_NS, // HA budget: 3 × 100 ms + skew
+        delta_interval_ns: SNAPSHOT_NS,
+        preempt: true,
+    };
+    let mut cfg_m = fleet_config(kind, 0);
+    cfg_m.ha = Some(ha(200, 1));
+    let mut cfg_b = fleet_config(kind, 0);
+    cfg_b.ha = Some(ha(100, 2));
+
+    let mut master0 = Shard::with_config(
+        cfg_m,
+        0,
+        vec![(1, Box::new(m1) as Box<dyn PeerLink>), (2, Box::new(m2))],
+    );
+    let mut backup0 = Shard::with_config(
+        cfg_b,
+        0,
+        vec![(1, Box::new(b1) as Box<dyn PeerLink>), (2, Box::new(b2))],
+    );
+    assert!(master0.lvrm.attach_ha(Box::new(ha_m)));
+    assert!(backup0.lvrm.attach_ha(Box::new(ha_b)));
+    let mut shard1 = Shard::new(
+        kind,
+        1,
+        vec![(0, Box::new(l1m) as Box<dyn PeerLink>), (0, Box::new(l1b)), (2, Box::new(l12))],
+    );
+    let mut shard2 = Shard::new(
+        kind,
+        2,
+        vec![(0, Box::new(l2m) as Box<dyn PeerLink>), (0, Box::new(l2b)), (1, Box::new(l21))],
+    );
+    let mut out = Vec::new();
+
+    // Settle: HA election inside shard 0, fleet adverts everywhere.
+    let mut t = 0;
+    while t < 1_500_000_000 {
+        master0.step(t, &mut out);
+        backup0.step(t, &mut out);
+        shard1.step(t, &mut out);
+        shard2.step(t, &mut out);
+        t += STEP_NS;
+    }
+    assert_eq!(master0.lvrm.ha_role(), Some(Role::Master), "{ctx}: election settles");
+    assert_eq!(backup0.lvrm.ha_role(), Some(Role::Backup), "{ctx}");
+    let shard0_owned: Vec<u32> = (0..VRS).filter(|&vr| master0.owns(vr)).collect();
+    assert_eq!(shard1.epoch(), 1, "{ctx}");
+
+    // Kill the master. The standby promotes in ~3 adverts + skew + one
+    // probation advert (≈ 460 ms) — inside the ≥ 675 ms jittered fleet
+    // deadline — and starts speaking for shard 0.
+    drop(master0);
+    let t_kill = t;
+    while t < t_kill + 2_000_000_000 {
+        backup0.step(t, &mut out);
+        shard1.step(t, &mut out);
+        shard2.step(t, &mut out);
+        t += STEP_NS;
+    }
+    assert_eq!(backup0.lvrm.ha_role(), Some(Role::Master), "{ctx}: standby promotes");
+    for s in [&shard1, &shard2] {
+        assert_eq!(s.epoch(), 1, "{ctx}: an intra-shard failover must not bump the fleet epoch");
+    }
+    for &vr in &shard0_owned {
+        assert!(backup0.owns(vr), "{ctx}: promoted standby owns the shard's VRs");
+        assert!(!shard1.owns(vr) && !shard2.owns(vr), "{ctx}: no peer stole {}", vr_name(vr));
+    }
+}

@@ -456,3 +456,151 @@ fn partition_storm_never_yields_two_accepting_masters() {
         }
     }
 }
+
+/// Seeded 50% loss on the *state stream only* (HaMsg kind byte at wire
+/// offset 5; adverts are kind 0 and sail through): the resync regression
+/// below targets the Delta/Snapshot/SyncReq exchange, and dropping
+/// adverts too would simply re-test the election envelope.
+struct StreamLossLink<L> {
+    inner: L,
+    from: u64,
+    until: u64,
+    rng: u64,
+}
+
+impl<L> StreamLossLink<L> {
+    fn drops(&mut self, now_ns: u64, bytes: &[u8]) -> bool {
+        if now_ns < self.from || now_ns >= self.until {
+            return false;
+        }
+        if bytes.len() <= 5 || bytes[5] == 0 {
+            return false;
+        }
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        (self.rng >> 33) % 1000 < 500
+    }
+}
+
+impl<L: PeerLink> PeerLink for StreamLossLink<L> {
+    fn send(&mut self, now_ns: u64, bytes: &[u8]) {
+        if !self.drops(now_ns, bytes) {
+            self.inner.send(now_ns, bytes);
+        }
+    }
+
+    fn recv(&mut self, now_ns: u64, out: &mut Vec<Vec<u8>>) {
+        self.inner.recv(now_ns, out);
+    }
+}
+
+/// Wire tap for the resync regression below: counts standby-side SyncReq
+/// sends and Snapshot receipts by the HaMsg kind byte (offset 5 on the
+/// wire), then forwards to the (lossy) inner link untouched.
+struct CountingLink<L> {
+    inner: L,
+    syncreq_tx: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    snapshot_rx: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl<L: PeerLink> PeerLink for CountingLink<L> {
+    fn send(&mut self, now_ns: u64, bytes: &[u8]) {
+        if bytes.len() > 5 && bytes[5] == 4 {
+            self.syncreq_tx.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        self.inner.send(now_ns, bytes);
+    }
+
+    fn recv(&mut self, now_ns: u64, out: &mut Vec<Vec<u8>>) {
+        let start = out.len();
+        self.inner.recv(now_ns, out);
+        for msg in &out[start..] {
+            if msg.len() > 5 && msg[5] == 3 {
+                self.snapshot_rx.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// SyncReq rate-limit regression: a sustained 50%-loss link gaps the delta
+/// stream over and over, but the standby must hold to one in-flight
+/// SyncReq per (jittered, exponentially backed-off) interval — so the
+/// master re-baselines a handful of times, not once per gapped delta —
+/// and the shadow must still converge once the weather clears.
+#[test]
+fn lossy_link_resync_is_rate_limited_and_still_converges() {
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    for kind in queue_kinds() {
+        let ctx = format!("lossy-resync {kind:?}");
+        // 50% state-stream loss in both directions for 3 s, starting
+        // after election; adverts keep flowing so the election holds.
+        let loss_from = 1_500_000_000u64;
+        let loss_until = loss_from + 3_000_000_000;
+
+        let syncreq_tx = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let snapshot_rx = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let (la, lb) = ChannelLink::pair();
+        let fa = StreamLossLink { inner: la, from: loss_from, until: loss_until, rng: 7 | 1 };
+        let fb =
+            StreamLossLink { inner: lb, from: loss_from, until: loss_until, rng: (7 ^ 0xdead) | 1 };
+        let tapped = CountingLink {
+            inner: fb,
+            syncreq_tx: syncreq_tx.clone(),
+            snapshot_rx: snapshot_rx.clone(),
+        };
+        let mut a = Node::new(kind, 200, 1, Box::new(fa));
+        let mut b = Node::new(kind, 100, 2, Box::new(tapped));
+        let mut out = Vec::new();
+
+        let t = elect(&mut a, &mut b, &mut out, &ctx);
+        let baseline_snapshots = snapshot_rx.load(Ordering::Relaxed);
+        // Traffic through the whole loss window, then a quiet settle so
+        // the final resync (if any) completes.
+        let t = run_pair(&mut a, &mut b, t, loss_until + 1_500_000_000, 4, &mut out, &ctx);
+        assert!(a.accepting(), "{ctx}: 50% loss must not cost the mastership");
+
+        // The backoff ladder (advert << streak, capped at 8x, jitter
+        // >= 0.75) admits at most ~9 requests over a 3 s outage at a
+        // 150 ms advert interval; without the rate limit this is one per
+        // gapped delta — dozens. Budget 2x the ladder for re-gaps after
+        // partial resyncs.
+        let requests = syncreq_tx.load(Ordering::Relaxed);
+        assert!(
+            requests <= 18,
+            "{ctx}: {requests} SyncReqs across one 3 s loss window — rate limit broken"
+        );
+        let rebaselines = snapshot_rx.load(Ordering::Relaxed) - baseline_snapshots;
+        assert!(
+            rebaselines <= requests + 1,
+            "{ctx}: {rebaselines} snapshot re-baselines for {requests} requests"
+        );
+
+        // Convergence: the shadow equals the master's books exactly, so a
+        // kill right now promotes with zero divergence.
+        a.drain(&mut out);
+        let mut t2 = t;
+        // One more delta interval of clean air to flush the stream tail.
+        while t2 < t + 2 * DELTA_NS {
+            t2 += STEP_NS;
+            a.step(t2, &mut out);
+            b.step(t2, &mut out);
+        }
+        let mut master_books = a.lvrm.build_checkpoint(t2).canonical();
+        let mut shadow = b
+            .lvrm
+            .ha()
+            .expect("attached")
+            .shadow()
+            .unwrap_or_else(|| panic!("{ctx}: standby never built a shadow"))
+            .canonical();
+        // The shadow's build stamp is the last stream tick, not "now".
+        master_books.ts_ns = 0;
+        shadow.ts_ns = 0;
+        assert_eq!(master_books, shadow, "{ctx}: shadow must converge after the storm");
+        assert_identities(&a.lvrm, &ctx);
+        assert_identities(&b.lvrm, &ctx);
+    }
+}

@@ -147,6 +147,52 @@ impl PeerLink for UdpPeerLink {
     }
 }
 
+/// One `--fleet-peer` argument: `<shard>,<bind ip:port>,<peer ip:port>`.
+/// A fleet member carries one such spec per remote shard (DESIGN.md §15);
+/// parsing is here so the daemon and tests share it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetPeerSpec {
+    pub shard: u32,
+    pub bind: String,
+    pub peer: String,
+}
+
+impl std::str::FromStr for FleetPeerSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FleetPeerSpec, String> {
+        let mut it = s.splitn(3, ',');
+        let shard = it
+            .next()
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| format!("bad shard id in fleet peer spec {s:?}"))?;
+        let bind = it.next().ok_or_else(|| format!("missing bind addr in {s:?}"))?.to_string();
+        let peer = it.next().ok_or_else(|| format!("missing peer addr in {s:?}"))?.to_string();
+        if bind.is_empty() || peer.is_empty() {
+            return Err(format!("empty addr in fleet peer spec {s:?}"));
+        }
+        Ok(FleetPeerSpec { shard, bind, peer })
+    }
+}
+
+/// Fan-out of the UDP peer link to N fleet peers: one bound socket per
+/// remote shard, each aimed at that shard's fleet port. The directory
+/// wants per-peer links (`Lvrm::attach_fleet` takes `(shard, link)`
+/// pairs), so this is a constructor, not a mux: it opens every link and
+/// hands them over, failing atomically if any bind/resolve fails.
+pub struct UdpFanout;
+
+impl UdpFanout {
+    pub fn connect(specs: &[FleetPeerSpec]) -> std::io::Result<Vec<(u32, Box<dyn PeerLink>)>> {
+        let mut links: Vec<(u32, Box<dyn PeerLink>)> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let link = UdpPeerLink::connect(&spec.bind, &spec.peer)?;
+            links.push((spec.shard, Box::new(link)));
+        }
+        Ok(links)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +247,37 @@ mod tests {
         assert_eq!(recv_until(&mut b, 1), vec![b"ping".to_vec()]);
         b.send(0, b"pong");
         assert_eq!(recv_until(&mut a, 1), vec![b"pong".to_vec()]);
+    }
+
+    #[test]
+    fn fleet_peer_spec_parses_and_rejects() {
+        let spec: FleetPeerSpec = "2,127.0.0.1:7002,127.0.0.1:8002".parse().unwrap();
+        assert_eq!(
+            spec,
+            FleetPeerSpec {
+                shard: 2,
+                bind: "127.0.0.1:7002".into(),
+                peer: "127.0.0.1:8002".into()
+            }
+        );
+        assert!("x,127.0.0.1:1,127.0.0.1:2".parse::<FleetPeerSpec>().is_err());
+        assert!("1,127.0.0.1:1".parse::<FleetPeerSpec>().is_err());
+        assert!("1,,127.0.0.1:2".parse::<FleetPeerSpec>().is_err());
+    }
+
+    #[test]
+    fn udp_fanout_opens_one_link_per_peer() {
+        // Reserve two ephemeral bind points, then fan out to (fake) peers.
+        let a = UdpSocket::bind("127.0.0.1:0").expect("bind a");
+        let b = UdpSocket::bind("127.0.0.1:0").expect("bind b");
+        let (aa, ba) = (a.local_addr().unwrap(), b.local_addr().unwrap());
+        drop(a);
+        drop(b);
+        let specs = vec![
+            FleetPeerSpec { shard: 1, bind: aa.to_string(), peer: "127.0.0.1:9".into() },
+            FleetPeerSpec { shard: 2, bind: ba.to_string(), peer: "127.0.0.1:9".into() },
+        ];
+        let links = UdpFanout::connect(&specs).expect("fanout binds");
+        assert_eq!(links.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![1, 2]);
     }
 }

@@ -13,11 +13,12 @@ use std::sync::Arc;
 use lvrm_core::clock::{Clock, MonotonicClock};
 use lvrm_core::fault::FaultInjectable;
 use lvrm_core::host::{VriHost, VriSpec};
-use lvrm_core::vri::LvrmAdapter;
+use lvrm_core::repl::{decode_batch, is_state_update, ReplicaLedger};
+use lvrm_core::vri::{LvrmAdapter, LVRM_CTRL_ID};
 use lvrm_core::{VrId, VriId};
 use lvrm_ipc::channels::ControlEvent;
 use lvrm_ipc::VriEndpoint;
-use lvrm_net::Frame;
+use lvrm_net::{FlowKey, Frame};
 use lvrm_router::{RouterAction, VirtualRouter};
 use parking_lot::Mutex;
 
@@ -67,6 +68,10 @@ pub struct ThreadHost {
     /// time the supervisor observes a detached endpoint the frames are
     /// already recoverable (no reap race).
     reaped: ReapedEndpoints,
+    /// State-compute replication (DESIGN.md §14): each VRI thread keeps a
+    /// per-flow [`ReplicaLedger`], flushes `LVSU` batches upstream after
+    /// every service burst, and folds sibling batches it receives.
+    replicate: bool,
 }
 
 type ReapedEndpoints = Arc<Mutex<Vec<(VriId, VriEndpoint<Frame>)>>>;
@@ -81,7 +86,15 @@ impl ThreadHost {
             processed: Arc::new(AtomicU64::new(0)),
             pin_failures: Arc::new(AtomicU64::new(0)),
             reaped: Arc::new(Mutex::new(Vec::new())),
+            replicate: false,
         }
+    }
+
+    /// Enable the VRI-side replica ledgers (replicated-dispatch VRs need
+    /// them; pinned-only hosts skip the per-frame flow accounting).
+    pub fn with_replication(mut self) -> ThreadHost {
+        self.replicate = true;
+        self
     }
 
     /// Builder-style batch-size override for the batched pipeline.
@@ -146,6 +159,7 @@ impl VriHost for ThreadHost {
         let core = spec.core.0 as usize;
         let vri = spec.vri;
         let batch = self.batch_size.max(1);
+        let replicate = self.replicate;
         let handle = std::thread::Builder::new()
             .name(format!("{}-{}", spec.vr, spec.vri))
             .spawn(move || {
@@ -162,6 +176,7 @@ impl VriHost for ThreadHost {
                 let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     let dummy = router.dummy_load_ns();
                     let mut next_emit_ns = 0u64;
+                    let mut ledger = replicate.then(|| ReplicaLedger::new(vri.0));
                     let mut ctrl: Vec<ControlEvent> = Vec::new();
                     let mut data: Vec<Frame> = Vec::with_capacity(batch);
                     let mut outq: Vec<Frame> = Vec::with_capacity(batch);
@@ -190,6 +205,14 @@ impl VriHost for ThreadHost {
                         // burst pulled with one index publication.
                         let n = adapter.from_lvrm_batch(&mut ctrl, &mut data, batch, now);
                         for ev in ctrl.drain(..) {
+                            if let Some(ledger) = ledger.as_mut() {
+                                if is_state_update(&ev.payload) {
+                                    if let Ok((origin, updates)) = decode_batch(&ev.payload) {
+                                        ledger.fold_batch(origin, &updates);
+                                    }
+                                    continue;
+                                }
+                            }
                             if let CtrlRole::Recorder { sink } = &role {
                                 let latency = clock.now_ns().saturating_sub(ev.ts_ns);
                                 sink.lock().record(latency);
@@ -201,6 +224,11 @@ impl VriHost for ThreadHost {
                         }
                         for mut frame in data.drain(..) {
                             spin_for_ns(dummy);
+                            if let Some(ledger) = ledger.as_mut() {
+                                if let Some(key) = FlowKey::from_frame(&frame) {
+                                    ledger.observe(key, frame.len() as u64, clock.now_ns());
+                                }
+                            }
                             if let RouterAction::Forward { .. } = router.process(&mut frame) {
                                 outq.push(frame);
                             }
@@ -208,6 +236,18 @@ impl VriHost for ThreadHost {
                             // estimate honest even though the dequeue was bulk.
                             adapter.note_departure(clock.now_ns());
                             processed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Flush this burst's per-flow deltas upstream. A full
+                        // control queue drops the batch: LVRM charges identity
+                        // E on receipt, so nothing is double-counted.
+                        if let Some(ledger) = ledger.as_mut() {
+                            if let Some(buf) = ledger.flush() {
+                                let _ = adapter.send_control(ControlEvent::new(
+                                    vri.0,
+                                    LVRM_CTRL_ID,
+                                    buf,
+                                ));
+                            }
                         }
                         // Bulk return; retry until the outgoing queue accepts
                         // everything (LVRM drains it continuously).

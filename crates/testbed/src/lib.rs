@@ -48,5 +48,7 @@ pub use engine::EventQueue;
 pub use gateway::{ForwardingMech, HypervisorKind};
 pub use gateway::{VrSpec, VrType};
 pub use scenario::{Scenario, ScenarioResult};
-pub use scenarios::{ConservationReport, ScenarioReport, ScenarioSpec, TenantSpec, WorkloadSpec};
+pub use scenarios::{
+    shard_split, ConservationReport, ScenarioReport, ScenarioSpec, TenantSpec, WorkloadSpec,
+};
 pub use traffic::RateSchedule;

@@ -349,6 +349,12 @@ pub struct ConservationReport {
     pub drops: Identity,
     /// (E) replication: `updates_emitted == updates_folded + updates_lost`.
     pub replication: Identity,
+    /// Sibling-book staleness at snapshot time (not an identity):
+    /// records carried by the most recent state-update fan-out.
+    pub repl_lag_updates: u64,
+    /// Age of that fan-out in nanoseconds (0 = fanned out this tick or
+    /// never fanned out).
+    pub repl_lag_ns: u64,
 }
 
 impl ConservationReport {
@@ -412,7 +418,15 @@ impl ConservationReport {
             rhs: c("lvrm_repl_updates_folded_total") + c("lvrm_repl_updates_lost_total"),
         };
 
-        ConservationReport { admission, global, dispatch, drops, replication }
+        ConservationReport {
+            admission,
+            global,
+            dispatch,
+            drops,
+            replication,
+            repl_lag_updates: g("lvrm_repl_lag_updates"),
+            repl_lag_ns: g("lvrm_repl_lag_ns"),
+        }
     }
 
     /// Every identity, admission ones included.
@@ -661,6 +675,30 @@ pub fn elephant_flow(vri_cores: usize, replicated: bool, seed: u64) -> ScenarioS
     spec
 }
 
+/// Lower one multi-tenant spec onto an N-shard fleet (DESIGN.md §15):
+/// each returned spec keeps only the tenants the rendezvous hash assigns
+/// to that shard — the same hash `ShardMap::partition` uses, so a testbed
+/// split and a live fleet agree on placement. Names, seeds, and every
+/// other knob are preserved; a shard with no tenants still gets a spec
+/// (it serves nothing but participates in the directory).
+pub fn shard_split(spec: &ScenarioSpec, shards: u32) -> Vec<ScenarioSpec> {
+    assert!(shards >= 1, "a fleet has at least one shard");
+    let ids: Vec<u32> = (0..shards).collect();
+    (0..shards)
+        .map(|shard| {
+            let mut part = spec.clone();
+            part.name = format!("{}-shard{shard}", spec.name);
+            part.tenants = spec
+                .tenants
+                .iter()
+                .filter(|t| lvrm_core::rendezvous_owner(&t.name, &ids) == Some(shard))
+                .cloned()
+                .collect();
+            part
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -713,6 +751,44 @@ mod tests {
         let min_ns = spec.warmup_ns + (2.0 * 1_000_000.0 / 1_200_000.0 * 1e9) as u64;
         assert!(spec.duration_ns > min_ns);
         assert!(spec.flow_table_capacity >= 2 * 1_000_000);
+    }
+
+    /// Every tenant of a split spec lands on exactly one shard, the union
+    /// covers the original tenant set, and the assignment matches what a
+    /// live [`lvrm_core::ShardMap`] would compute for the same names.
+    #[test]
+    fn shard_split_partitions_tenants_exactly_once() {
+        let mut spec = ScenarioSpec::new("fleet", 3);
+        for i in 0..12 {
+            spec.tenants.push(
+                TenantSpec::new(&format!("tenant{i}"), 1.0).workload(WorkloadSpec::Cbr {
+                    wire_size: 84,
+                    fps: 1_000.0,
+                    flows: 4,
+                }),
+            );
+        }
+        let shards = 3u32;
+        let parts = shard_split(&spec, shards);
+        assert_eq!(parts.len(), shards as usize);
+        let total: usize = parts.iter().map(|p| p.tenants.len()).sum();
+        assert_eq!(total, spec.tenants.len(), "no tenant lost or duplicated");
+        let ids: Vec<u32> = (0..shards).collect();
+        for (shard, part) in parts.iter().enumerate() {
+            assert_eq!(part.name, format!("fleet-shard{shard}"));
+            assert_eq!(part.seed, spec.seed, "derived seeds must stay stable per tenant");
+            for t in &part.tenants {
+                assert_eq!(
+                    lvrm_core::rendezvous_owner(&t.name, &ids),
+                    Some(shard as u32),
+                    "{} placed off its rendezvous shard",
+                    t.name
+                );
+            }
+        }
+        // More than one shard gets work for this universe (rendezvous
+        // spreads 12 names over 3 shards).
+        assert!(parts.iter().filter(|p| !p.tenants.is_empty()).count() > 1);
     }
 
     /// A tiny end-to-end spec run: identities hold, report is populated.

@@ -77,3 +77,114 @@ fn replicated_elephant_spreads_across_vris() {
     assert!((max as f64) < 0.5 * total as f64, "replicated elephant not spread: {dispatches:?}");
     assert!(!repl4.result.repl_trace.is_empty(), "replicated run records an update trace");
 }
+
+/// The same claim on *real* VRI threads (spawned via `ThreadHost`, the
+/// runtime's host): replicated dispatch spreads one elephant flow across
+/// every live VRI while pinned dispatch rides one, with the global frame
+/// books conserved on both. Ignored by default — it spawns OS threads and
+/// its throughput depends on the box — run with `cargo test -- --ignored`;
+/// the `repl_scaling_threads` bench row records the measured rates.
+#[test]
+#[ignore = "spawns real VRI threads; run with -- --ignored"]
+fn elephant_spreads_on_real_vri_threads() {
+    use std::net::Ipv4Addr;
+
+    use lvrm_core::clock::Clock;
+    use lvrm_core::{
+        AffinityMode, AllocatorKind, CoreId, CoreMap, CoreTopology, DispatchMode, Lvrm, LvrmConfig,
+        MonotonicClock,
+    };
+    use lvrm_net::FrameBuilder;
+    use lvrm_runtime::ThreadHost;
+
+    const VRIS: usize = 4;
+    const FRAMES: u64 = 20_000;
+
+    let run = |mode: DispatchMode| -> (Vec<u64>, f64, u64) {
+        let clock = MonotonicClock::new();
+        let config = LvrmConfig {
+            allocator: AllocatorKind::Fixed { cores: VRIS },
+            flow_based: true,
+            data_queue_capacity: 1024,
+            ..LvrmConfig::default()
+        };
+        let cores =
+            CoreMap::new(CoreTopology::single_package(8), CoreId(0), AffinityMode::SiblingFirst);
+        let mut lvrm = Lvrm::new(config, cores, clock.clone());
+        let mut host = ThreadHost::new(clock.clone());
+        if mode == DispatchMode::Replicated {
+            host = host.with_replication();
+        }
+        let routes = lvrm_router::parse_map_file("0.0.0.0/0 1\n").unwrap();
+        // Compute-bound service (10 us/frame) so one VRI is the bottleneck
+        // under pinned dispatch.
+        let router = Box::new(lvrm_router::FastVr::new("vr0", routes).with_dummy_load_ns(10_000));
+        let vr = lvrm.add_vr("vr0", &[(Ipv4Addr::new(10, 0, 1, 0), 24)], router, &mut host);
+        lvrm.set_vr_dispatch(vr, mode);
+        for _ in 1..VRIS {
+            lvrm.maybe_reallocate(clock.now_ns() + 2_000_000_000, &mut host);
+        }
+        assert_eq!(lvrm.vri_dispatch_counts(vr).len(), VRIS, "all VRIs spawned");
+
+        // One elephant: every frame the same 5-tuple.
+        let frame = FrameBuilder::new(Ipv4Addr::new(10, 0, 1, 20), Ipv4Addr::new(10, 0, 2, 1))
+            .udp(4000, 80, &[0u8; 46]);
+        let mut egress = Vec::with_capacity(1024);
+        let mut sent = 0u64;
+        let mut out = 0u64;
+        let t0 = clock.now_ns();
+        let deadline = t0 + 20_000_000_000;
+        while clock.now_ns() < deadline {
+            if sent < FRAMES {
+                for _ in 0..32.min(FRAMES - sent) {
+                    lvrm.ingress(frame.clone(), &mut host);
+                    sent += 1;
+                }
+            }
+            egress.clear();
+            lvrm.poll_egress(&mut egress);
+            out += egress.len() as u64;
+            let s = lvrm.stats();
+            let lost = s.dispatch_drops + s.no_vri_drops + s.queue_lost;
+            if sent == FRAMES && out + lost >= FRAMES {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let elapsed_ns = clock.now_ns() - t0;
+        let dispatches = lvrm.vri_dispatch_counts(vr);
+        let s = lvrm.stats();
+        assert_eq!(
+            s.frames_in,
+            s.frames_out + s.dispatch_drops + s.no_vri_drops + s.unclassified + s.shed_early,
+            "global conservation violated on real threads ({mode:?}): {s:?}"
+        );
+        host.shutdown();
+        (dispatches, out as f64 / (elapsed_ns as f64 / 1e9), s.updates_emitted)
+    };
+
+    let (pinned, pinned_fps, pinned_updates) = run(DispatchMode::Pinned);
+    let (repl, repl_fps, repl_updates) = run(DispatchMode::Replicated);
+    println!(
+        "real-thread elephant: pinned {pinned_fps:.0} fps {pinned:?}, \
+         replicated {repl_fps:.0} fps {repl:?}"
+    );
+
+    let total: u64 = pinned.iter().sum();
+    let max = pinned.iter().copied().max().unwrap_or(0);
+    assert!(total > 0);
+    assert!(
+        max as f64 >= 0.9 * total as f64,
+        "pinned elephant spread across real VRI threads: {pinned:?}"
+    );
+    assert_eq!(pinned_updates, 0, "pinned dispatch replicates nothing");
+
+    let total: u64 = repl.iter().sum();
+    let max = repl.iter().copied().max().unwrap_or(0);
+    assert!(total > 0);
+    assert!(
+        (max as f64) < 0.6 * total as f64,
+        "replicated elephant not spread across real VRI threads: {repl:?}"
+    );
+    assert!(repl_updates > 0, "replicated dispatch must emit state updates");
+}

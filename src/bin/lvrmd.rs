@@ -15,6 +15,7 @@
 //!       [--checkpoint-interval <secs>]
 //!       [--ha-bind <ip:port> --ha-peer <ip:port>] [--ha-priority <1-254>]
 //!       [--ha-node-id <n>] [--advert-interval <ms>]
+//!       [--shard-id <n> --shards <n>] [--fleet-peer <shard,bind,peer>]...
 //! ```
 //!
 //! `--metrics-addr` (off by default) serves the Prometheus text exposition
@@ -35,6 +36,16 @@
 //! promotes from its shadow checkpoint within ~3 advert intervals of the
 //! master dying. SIGUSR1 on the master performs a graceful handoff
 //! (priority-0 resign, sub-advert-interval takeover).
+//!
+//! `--shard-id`/`--shards` join an N-shard monitor fleet (DESIGN.md §15):
+//! every member declares the same VR universe (the config's `vr` lines),
+//! serves only the share the rendezvous partition assigns to its shard id,
+//! and gossips the directory with each `--fleet-peer <shard>,<bind>,<peer>`
+//! over UDP. Frames classified to an unowned VR are shed (counted, never
+//! silent). A shard that dies is detected in ~6 advert intervals and its
+//! VRs re-home to their rendezvous successors, warm-adopted from the
+//! inter-shard snapshot stream. Composes with `--ha-bind/--ha-peer`: a
+//! shard may itself be an active/standby pair.
 //!
 //! Config format (one directive per line, `#` comments):
 //!
@@ -284,6 +295,7 @@ fn run(
     rate_fps: f64,
     metrics_addr: Option<&str>,
     ha: Option<HaCli>,
+    fleet_peers: Vec<lvrm::runtime::FleetPeerSpec>,
 ) {
     use lvrm::core::{FaultySocket, SocketAdapter, SupervisedAdapter};
 
@@ -331,13 +343,30 @@ fn run(
             opts.peer
         );
     }
-    for (d, id) in config.vrs.iter().zip(&vr_ids) {
+    if let Some(sc) = lvrm.config().shard {
+        let links = lvrm::runtime::UdpFanout::connect(&fleet_peers)
+            .unwrap_or_else(|e| die(&format!("cannot open fleet links: {e}")));
+        if !lvrm.attach_fleet(links) {
+            die("--shard-id/--shards given but the fleet config was rejected");
+        }
+        let owned = lvrm.owned_vrs();
         println!(
-            "hosted {} ({} -> {}), {} VRI(s)",
+            "fleet: shard {}/{} serving {owned} of {} declared VRs, advert every {} ms",
+            sc.shard_id,
+            sc.shards,
+            config.vrs.len(),
+            sc.advert_interval_ns / 1_000_000
+        );
+    }
+    for (d, id) in config.vrs.iter().zip(&vr_ids) {
+        let owned = lvrm.config().shard.is_none() || lvrm.vr_owned_by_name(&d.name);
+        println!(
+            "hosted {} ({} -> {}), {} VRI(s){}",
             d.name,
             d.sender.0,
             d.receiver.0,
-            lvrm.vri_count(*id)
+            lvrm.vri_count(*id),
+            if owned { "" } else { " [unowned: shedding]" }
         );
     }
     // Warm restart: resume from an existing checkpoint, if one is there.
@@ -584,6 +613,9 @@ fn main() {
     let mut ha_priority: Option<u8> = None;
     let mut ha_node_id: Option<u64> = None;
     let mut advert_interval_ms: Option<u64> = None;
+    let mut shard_id: Option<u32> = None;
+    let mut shards: Option<u32> = None;
+    let mut fleet_peers: Vec<lvrm::runtime::FleetPeerSpec> = Vec::new();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -674,6 +706,31 @@ fn main() {
                 );
                 i += 2;
             }
+            "--shard-id" => {
+                shard_id = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--shard-id needs an integer")),
+                );
+                i += 2;
+            }
+            "--shards" => {
+                shards = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|n| *n >= 1)
+                        .unwrap_or_else(|| die("--shards needs an integer >= 1")),
+                );
+                i += 2;
+            }
+            "--fleet-peer" => {
+                fleet_peers.push(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--fleet-peer needs <shard>,<bind>,<peer>")),
+                );
+                i += 2;
+            }
             "--self-test" => i += 1, // the default; accepted for clarity
             "--help" | "-h" => {
                 println!(
@@ -681,7 +738,8 @@ fn main() {
                      [--dispatch pinned|replicated] \
                      [--metrics-addr IP:PORT] [--checkpoint-path FILE] \
                      [--checkpoint-interval SECS] [--ha-bind IP:PORT --ha-peer IP:PORT] \
-                     [--ha-priority 1-254] [--ha-node-id N] [--advert-interval MS]"
+                     [--ha-priority 1-254] [--ha-node-id N] [--advert-interval MS] \
+                     [--shard-id N --shards N] [--fleet-peer SHARD,BIND,PEER]..."
                 );
                 return;
             }
@@ -729,7 +787,28 @@ fn main() {
         }
         _ => die("--ha-bind and --ha-peer must be given together"),
     };
-    run(config, duration_s, rate_fps, metrics_addr.as_deref(), ha);
+    match (shard_id, shards) {
+        (Some(id), Some(n)) => {
+            if id >= n {
+                die("--shard-id must be < --shards");
+            }
+            for spec in &fleet_peers {
+                if spec.shard == id || spec.shard >= n {
+                    die("--fleet-peer shard ids must name *other* members of the fleet");
+                }
+            }
+            config.lvrm.shard =
+                Some(lvrm::core::ShardConfig { shard_id: id, shards: n, ..Default::default() });
+            config.lvrm.validate().unwrap_or_else(|e| die(&format!("fleet config: {e}")));
+        }
+        (None, None) => {
+            if !fleet_peers.is_empty() {
+                die("--fleet-peer needs --shard-id and --shards");
+            }
+        }
+        _ => die("--shard-id and --shards must be given together"),
+    }
+    run(config, duration_s, rate_fps, metrics_addr.as_deref(), ha, fleet_peers);
 }
 
 fn die(msg: &str) -> ! {
